@@ -1,0 +1,67 @@
+//! Block bookkeeping shared by the pool implementations.
+
+use dmx_memhier::LevelId;
+
+/// Where a served allocation lives: the simulated address, the level whose
+/// costs its accesses incur, and its sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// Simulated start address of the payload.
+    pub addr: u64,
+    /// Memory level holding the block.
+    pub level: LevelId,
+    /// Bytes the application requested.
+    pub requested: u32,
+    /// Bytes the pool actually dedicated to the block (payload + header +
+    /// alignment + unsplit remainder) — the source of internal
+    /// fragmentation.
+    pub occupied: u32,
+}
+
+impl BlockInfo {
+    /// Internal fragmentation of this block, in bytes.
+    pub fn internal_fragmentation(&self) -> u32 {
+        self.occupied.saturating_sub(self.requested)
+    }
+}
+
+/// Rounds `size` up to a multiple of `align`.
+///
+/// # Panics
+///
+/// Panics if `align` is zero or not a power of two.
+pub(crate) fn align_up(size: u32, align: u32) -> u32 {
+    assert!(align.is_power_of_two(), "alignment must be a power of two");
+    (size + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_up_rounds() {
+        assert_eq!(align_up(1, 8), 8);
+        assert_eq!(align_up(8, 8), 8);
+        assert_eq!(align_up(9, 8), 16);
+        assert_eq!(align_up(74, 4), 76);
+        assert_eq!(align_up(0, 16), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn align_must_be_power_of_two() {
+        let _ = align_up(5, 3);
+    }
+
+    #[test]
+    fn internal_fragmentation() {
+        let b = BlockInfo {
+            addr: 0,
+            level: LevelId(0),
+            requested: 74,
+            occupied: 88,
+        };
+        assert_eq!(b.internal_fragmentation(), 14);
+    }
+}

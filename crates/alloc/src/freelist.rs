@@ -1,0 +1,515 @@
+//! The parameterized free list of a general pool.
+//!
+//! The host-side container is a `VecDeque` of `(address, size)` entries,
+//! but the *charged* cost model follows the simulated data structure the
+//! configuration denotes:
+//!
+//! * `Lifo`/`Fifo` — a singly-linked list with head (and tail) pointers:
+//!   O(1) insertion (2 writes), searches walk from the head at 2 reads per
+//!   examined node (size word + next pointer);
+//! * `AddressOrdered`/`SizeOrdered` — a sorted singly-linked list:
+//!   insertion additionally walks to its position (2 reads per examined
+//!   node);
+//! * direct removals (used by boundary-tag coalescing) are charged as
+//!   doubly-linked unlinking: 2 writes, no walk.
+//!
+//! The host container and the charged structure agree on *order*, so fit
+//! searches examine exactly the blocks the simulated list would examine.
+
+use std::collections::VecDeque;
+
+use dmx_memhier::LevelId;
+
+use crate::ctx::AllocCtx;
+use crate::policy::{FitPolicy, FreeOrder};
+
+/// Cost of examining one list node during a walk (read size, read next).
+const READS_PER_PROBE: u64 = 2;
+
+/// A free list of `(address, size)` entries kept in a configured order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreeList {
+    order: FreeOrder,
+    items: VecDeque<(u64, u32)>,
+    rover: usize,
+}
+
+impl FreeList {
+    /// An empty list with the given order discipline.
+    pub fn new(order: FreeOrder) -> Self {
+        FreeList {
+            order,
+            items: VecDeque::new(),
+            rover: 0,
+        }
+    }
+
+    /// The configured order discipline.
+    pub fn order(&self) -> FreeOrder {
+        self.order
+    }
+
+    /// Number of free blocks on the list.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if the list holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The entry at `idx` (list order).
+    pub fn get(&self, idx: usize) -> (u64, u32) {
+        self.items[idx]
+    }
+
+    /// Iterates over `(address, size)` entries in list order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// Inserts a freed block, charging the order's insertion cost.
+    /// Returns the index at which the block now sits.
+    pub fn insert(&mut self, addr: u64, size: u32, level: LevelId, ctx: &mut AllocCtx) -> usize {
+        match self.order {
+            FreeOrder::Lifo => {
+                ctx.meta_write(level, 2);
+                self.items.push_front((addr, size));
+                self.bump_rover_on_insert(0);
+                0
+            }
+            FreeOrder::Fifo => {
+                ctx.meta_write(level, 2);
+                self.items.push_back((addr, size));
+                self.items.len() - 1
+            }
+            FreeOrder::AddressOrdered => {
+                let pos = self
+                    .items
+                    .binary_search_by(|(a, _)| a.cmp(&addr))
+                    .unwrap_or_else(|p| p);
+                ctx.meta_read(level, READS_PER_PROBE * pos as u64);
+                ctx.meta_write(level, 2);
+                self.items.insert(pos, (addr, size));
+                self.bump_rover_on_insert(pos);
+                pos
+            }
+            FreeOrder::SizeOrdered => {
+                let pos = self
+                    .items
+                    .binary_search_by(|(_, s)| s.cmp(&size))
+                    .unwrap_or_else(|p| p);
+                ctx.meta_read(level, READS_PER_PROBE * pos as u64);
+                ctx.meta_write(level, 2);
+                self.items.insert(pos, (addr, size));
+                self.bump_rover_on_insert(pos);
+                pos
+            }
+        }
+    }
+
+    /// Searches for a block of at least `need` bytes under `fit`, charging
+    /// the walk. Returns the index of the chosen block.
+    pub fn find(
+        &mut self,
+        fit: FitPolicy,
+        need: u32,
+        level: LevelId,
+        ctx: &mut AllocCtx,
+    ) -> Option<usize> {
+        let n = self.items.len();
+        if n == 0 {
+            // Reading the (null) head pointer still costs one access.
+            ctx.meta_read(level, 1);
+            return None;
+        }
+        match fit {
+            FitPolicy::FirstFit => {
+                for (k, (_, size)) in self.items.iter().enumerate() {
+                    ctx.meta_read(level, READS_PER_PROBE);
+                    if *size >= need {
+                        return Some(k);
+                    }
+                }
+                None
+            }
+            FitPolicy::NextFit => {
+                let start = self.rover.min(n - 1);
+                for step in 0..n {
+                    let k = (start + step) % n;
+                    ctx.meta_read(level, READS_PER_PROBE);
+                    if self.items[k].1 >= need {
+                        self.rover = k;
+                        return Some(k);
+                    }
+                }
+                None
+            }
+            FitPolicy::BestFit => {
+                if self.order == FreeOrder::SizeOrdered {
+                    // Sorted by size: the first fitting block is the best.
+                    for (k, (_, size)) in self.items.iter().enumerate() {
+                        ctx.meta_read(level, READS_PER_PROBE);
+                        if *size >= need {
+                            return Some(k);
+                        }
+                    }
+                    return None;
+                }
+                let mut best: Option<(usize, u32)> = None;
+                for (k, (_, size)) in self.items.iter().enumerate() {
+                    ctx.meta_read(level, READS_PER_PROBE);
+                    if *size >= need {
+                        let better = match best {
+                            None => true,
+                            Some((_, bs)) => *size < bs,
+                        };
+                        if better {
+                            best = Some((k, *size));
+                            if *size == need {
+                                // Exact fit: searches stop early.
+                                break;
+                            }
+                        }
+                    }
+                }
+                best.map(|(k, _)| k)
+            }
+            FitPolicy::WorstFit => {
+                if self.order == FreeOrder::SizeOrdered {
+                    // Sorted ascending: the tail is the largest block.
+                    ctx.meta_read(level, READS_PER_PROBE);
+                    let k = n - 1;
+                    return (self.items[k].1 >= need).then_some(k);
+                }
+                let mut worst: Option<(usize, u32)> = None;
+                for (k, (_, size)) in self.items.iter().enumerate() {
+                    ctx.meta_read(level, READS_PER_PROBE);
+                    if *size >= need {
+                        let better = match worst {
+                            None => true,
+                            Some((_, ws)) => *size > ws,
+                        };
+                        if better {
+                            worst = Some((k, *size));
+                        }
+                    }
+                }
+                worst.map(|(k, _)| k)
+            }
+        }
+    }
+
+    /// Removes the entry at `idx` after a charged walk reached it (the
+    /// walk retained the predecessor, so unlinking is one pointer write).
+    pub fn take(&mut self, idx: usize, level: LevelId, ctx: &mut AllocCtx) -> (u64, u32) {
+        ctx.meta_write(level, 1);
+        let entry = self.items.remove(idx).expect("index in range");
+        self.fix_rover_on_remove(idx);
+        entry
+    }
+
+    /// Removes the entry holding `addr` by direct (doubly-linked) unlink:
+    /// charged 2 writes, no walk. Returns the entry if present.
+    ///
+    /// The host-side position scan is *not* charged — the simulated
+    /// structure reaches the node through the block's boundary tags.
+    pub fn remove_addr_direct(
+        &mut self,
+        addr: u64,
+        level: LevelId,
+        ctx: &mut AllocCtx,
+    ) -> Option<(u64, u32)> {
+        let idx = self.items.iter().position(|(a, _)| *a == addr)?;
+        ctx.meta_write(level, 2);
+        let entry = self.items.remove(idx).expect("index in range");
+        self.fix_rover_on_remove(idx);
+        Some(entry)
+    }
+
+    /// Replaces the entry at `idx` with a split remainder, charging the
+    /// in-place node rewrite (or a reposition for a size-ordered list).
+    pub fn replace(
+        &mut self,
+        idx: usize,
+        addr: u64,
+        size: u32,
+        level: LevelId,
+        ctx: &mut AllocCtx,
+    ) {
+        if self.order == FreeOrder::SizeOrdered {
+            // The remainder is smaller: the node must be repositioned.
+            ctx.meta_write(level, 1);
+            self.items.remove(idx).expect("index in range");
+            self.fix_rover_on_remove(idx);
+            self.insert(addr, size, level, ctx);
+        } else {
+            ctx.meta_write(level, 2);
+            self.items[idx] = (addr, size);
+        }
+    }
+
+    /// Clears the list without charging (used when a sweep rebuilds the
+    /// list; the sweep itself is charged by the caller).
+    pub fn rebuild<I: IntoIterator<Item = (u64, u32)>>(&mut self, entries: I) {
+        self.items.clear();
+        self.rover = 0;
+        self.items.extend(entries);
+        match self.order {
+            FreeOrder::AddressOrdered => {
+                self.items.make_contiguous().sort_by_key(|(a, _)| *a);
+            }
+            FreeOrder::SizeOrdered => {
+                self.items.make_contiguous().sort_by_key(|(_, s)| *s);
+            }
+            FreeOrder::Lifo | FreeOrder::Fifo => {}
+        }
+    }
+
+    fn bump_rover_on_insert(&mut self, pos: usize) {
+        if pos <= self.rover && !self.items.is_empty() {
+            self.rover = (self.rover + 1).min(self.items.len() - 1);
+        }
+    }
+
+    fn fix_rover_on_remove(&mut self, pos: usize) {
+        if self.items.is_empty() {
+            self.rover = 0;
+        } else {
+            if pos < self.rover {
+                self.rover -= 1;
+            }
+            self.rover = self.rover.min(self.items.len() - 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> AllocCtx {
+        AllocCtx::new(1)
+    }
+    const L: LevelId = LevelId(0);
+
+    #[test]
+    fn lifo_inserts_at_head() {
+        let mut c = ctx();
+        let mut fl = FreeList::new(FreeOrder::Lifo);
+        fl.insert(100, 32, L, &mut c);
+        fl.insert(200, 64, L, &mut c);
+        assert_eq!(fl.get(0), (200, 64));
+        assert_eq!(fl.get(1), (100, 32));
+        // Two O(1) insertions: 4 writes, no reads.
+        assert_eq!(c.meta_counters.total_writes(), 4);
+        assert_eq!(c.meta_counters.total_reads(), 0);
+    }
+
+    #[test]
+    fn fifo_appends_at_tail() {
+        let mut c = ctx();
+        let mut fl = FreeList::new(FreeOrder::Fifo);
+        fl.insert(100, 32, L, &mut c);
+        fl.insert(200, 64, L, &mut c);
+        assert_eq!(fl.get(0), (100, 32));
+        assert_eq!(fl.get(1), (200, 64));
+    }
+
+    #[test]
+    fn address_order_is_sorted_and_charged() {
+        let mut c = ctx();
+        let mut fl = FreeList::new(FreeOrder::AddressOrdered);
+        fl.insert(300, 8, L, &mut c);
+        fl.insert(100, 8, L, &mut c);
+        let reads_before = c.meta_counters.total_reads();
+        fl.insert(200, 8, L, &mut c); // walks past 100 → 2 reads
+        assert_eq!(c.meta_counters.total_reads() - reads_before, 2);
+        let addrs: Vec<u64> = fl.iter().map(|(a, _)| a).collect();
+        assert_eq!(addrs, [100, 200, 300]);
+    }
+
+    #[test]
+    fn size_order_is_sorted() {
+        let mut c = ctx();
+        let mut fl = FreeList::new(FreeOrder::SizeOrdered);
+        fl.insert(1, 64, L, &mut c);
+        fl.insert(2, 16, L, &mut c);
+        fl.insert(3, 32, L, &mut c);
+        let sizes: Vec<u32> = fl.iter().map(|(_, s)| s).collect();
+        assert_eq!(sizes, [16, 32, 64]);
+    }
+
+    #[test]
+    fn first_fit_takes_first_fitting() {
+        let mut c = ctx();
+        let mut fl = FreeList::new(FreeOrder::Fifo);
+        fl.insert(1, 16, L, &mut c);
+        fl.insert(2, 64, L, &mut c);
+        fl.insert(3, 128, L, &mut c);
+        let idx = fl.find(FitPolicy::FirstFit, 32, L, &mut c).unwrap();
+        assert_eq!(fl.get(idx), (2, 64));
+    }
+
+    #[test]
+    fn first_fit_charges_walk_length() {
+        let mut c = ctx();
+        let mut fl = FreeList::new(FreeOrder::Fifo);
+        for i in 0..10 {
+            fl.insert(i, 8, L, &mut c);
+        }
+        fl.insert(99, 100, L, &mut c);
+        let reads_before = c.meta_counters.total_reads();
+        let idx = fl.find(FitPolicy::FirstFit, 50, L, &mut c).unwrap();
+        assert_eq!(fl.get(idx).0, 99);
+        // Walked all 11 nodes at 2 reads each.
+        assert_eq!(c.meta_counters.total_reads() - reads_before, 22);
+    }
+
+    #[test]
+    fn best_fit_picks_tightest() {
+        let mut c = ctx();
+        let mut fl = FreeList::new(FreeOrder::Fifo);
+        fl.insert(1, 128, L, &mut c);
+        fl.insert(2, 40, L, &mut c);
+        fl.insert(3, 64, L, &mut c);
+        let idx = fl.find(FitPolicy::BestFit, 33, L, &mut c).unwrap();
+        assert_eq!(fl.get(idx), (2, 40));
+    }
+
+    #[test]
+    fn best_fit_on_size_ordered_stops_early() {
+        let mut c = ctx();
+        let mut fl = FreeList::new(FreeOrder::SizeOrdered);
+        for (a, s) in [(1, 16), (2, 32), (3, 64), (4, 128), (5, 256)] {
+            fl.insert(a, s, L, &mut c);
+        }
+        let reads_before = c.meta_counters.total_reads();
+        let idx = fl.find(FitPolicy::BestFit, 33, L, &mut c).unwrap();
+        assert_eq!(fl.get(idx), (3, 64));
+        // Examined 16, 32, 64 → 3 probes.
+        assert_eq!(c.meta_counters.total_reads() - reads_before, 6);
+    }
+
+    #[test]
+    fn worst_fit_picks_largest() {
+        let mut c = ctx();
+        let mut fl = FreeList::new(FreeOrder::Lifo);
+        fl.insert(1, 64, L, &mut c);
+        fl.insert(2, 256, L, &mut c);
+        fl.insert(3, 128, L, &mut c);
+        let idx = fl.find(FitPolicy::WorstFit, 10, L, &mut c).unwrap();
+        assert_eq!(fl.get(idx), (2, 256));
+    }
+
+    #[test]
+    fn next_fit_resumes_from_rover() {
+        let mut c = ctx();
+        let mut fl = FreeList::new(FreeOrder::Fifo);
+        for i in 0..4 {
+            fl.insert(i, 32, L, &mut c);
+        }
+        let first = fl.find(FitPolicy::NextFit, 16, L, &mut c).unwrap();
+        assert_eq!(fl.get(first).0, 0);
+        // Rover stays at the hit; next search starts there, not at head.
+        let second = fl.find(FitPolicy::NextFit, 16, L, &mut c).unwrap();
+        assert_eq!(fl.get(second).0, 0);
+        fl.take(second, L, &mut c);
+        let third = fl.find(FitPolicy::NextFit, 16, L, &mut c).unwrap();
+        assert_eq!(fl.get(third).0, 1);
+    }
+
+    #[test]
+    fn miss_returns_none_but_charges() {
+        let mut c = ctx();
+        let mut fl = FreeList::new(FreeOrder::Lifo);
+        fl.insert(1, 8, L, &mut c);
+        let reads_before = c.meta_counters.total_reads();
+        assert!(fl.find(FitPolicy::FirstFit, 64, L, &mut c).is_none());
+        assert_eq!(c.meta_counters.total_reads() - reads_before, 2);
+        // Empty list: head read still charged.
+        let mut empty = FreeList::new(FreeOrder::Lifo);
+        assert!(empty.find(FitPolicy::FirstFit, 1, L, &mut c).is_none());
+    }
+
+    #[test]
+    fn take_unlinks_with_one_write() {
+        let mut c = ctx();
+        let mut fl = FreeList::new(FreeOrder::Fifo);
+        fl.insert(1, 8, L, &mut c);
+        fl.insert(2, 8, L, &mut c);
+        let writes_before = c.meta_counters.total_writes();
+        let (addr, _) = fl.take(0, L, &mut c);
+        assert_eq!(addr, 1);
+        assert_eq!(c.meta_counters.total_writes() - writes_before, 1);
+        assert_eq!(fl.len(), 1);
+    }
+
+    #[test]
+    fn remove_addr_direct_charges_two_writes() {
+        let mut c = ctx();
+        let mut fl = FreeList::new(FreeOrder::Lifo);
+        fl.insert(1, 8, L, &mut c);
+        fl.insert(2, 8, L, &mut c);
+        let writes_before = c.meta_counters.total_writes();
+        assert_eq!(fl.remove_addr_direct(1, L, &mut c), Some((1, 8)));
+        assert_eq!(c.meta_counters.total_writes() - writes_before, 2);
+        assert_eq!(fl.remove_addr_direct(42, L, &mut c), None);
+    }
+
+    #[test]
+    fn replace_keeps_sorted_orders_sorted() {
+        let mut c = ctx();
+        let mut fl = FreeList::new(FreeOrder::SizeOrdered);
+        fl.insert(1, 64, L, &mut c);
+        fl.insert(2, 128, L, &mut c);
+        // Split the 128 block down to 24 bytes: must re-sort ahead of 64.
+        let idx = fl.iter().position(|(a, _)| a == 2).unwrap();
+        fl.replace(idx, 90, 24, L, &mut c);
+        let sizes: Vec<u32> = fl.iter().map(|(_, s)| s).collect();
+        assert_eq!(sizes, [24, 64]);
+    }
+
+    #[test]
+    fn rover_survives_heavy_churn() {
+        // Regression guard: the next-fit rover must stay in range through
+        // arbitrary interleavings of inserts and removals.
+        let mut c = ctx();
+        let mut fl = FreeList::new(FreeOrder::Fifo);
+        for i in 0..12u64 {
+            fl.insert(i * 16, 32, L, &mut c);
+        }
+        for round in 0..40u64 {
+            let _ = fl.find(FitPolicy::NextFit, 16, L, &mut c);
+            if fl.len() > 1 && round % 3 == 0 {
+                fl.take((round as usize) % fl.len(), L, &mut c);
+            }
+            fl.insert(1000 + round * 8, 24, L, &mut c);
+            // The next search must not panic and must find something.
+            assert!(fl.find(FitPolicy::NextFit, 8, L, &mut c).is_some());
+        }
+    }
+
+    #[test]
+    fn take_last_element_resets_rover() {
+        let mut c = ctx();
+        let mut fl = FreeList::new(FreeOrder::Lifo);
+        fl.insert(1, 8, L, &mut c);
+        let idx = fl.find(FitPolicy::NextFit, 8, L, &mut c).unwrap();
+        fl.take(idx, L, &mut c);
+        assert!(fl.is_empty());
+        assert!(fl.find(FitPolicy::NextFit, 8, L, &mut c).is_none());
+        fl.insert(2, 8, L, &mut c);
+        assert!(fl.find(FitPolicy::NextFit, 8, L, &mut c).is_some());
+    }
+
+    #[test]
+    fn rebuild_restores_order_invariant() {
+        let mut fl = FreeList::new(FreeOrder::AddressOrdered);
+        fl.rebuild(vec![(300, 8), (100, 8), (200, 8)]);
+        let addrs: Vec<u64> = fl.iter().map(|(a, _)| a).collect();
+        assert_eq!(addrs, [100, 200, 300]);
+        assert_eq!(fl.len(), 3);
+    }
+}

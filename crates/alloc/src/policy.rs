@@ -1,0 +1,207 @@
+//! Allocator policy parameters.
+//!
+//! These enums are the *parameter axes* of the exploration: each general
+//! pool picks one value per axis, and the cartesian product of axis values
+//! spans the configuration space (the paper: "the list of arrays with the
+//! parameter values to be explored").
+
+use std::fmt;
+
+/// How a general pool searches its free list for a block to serve a
+/// request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FitPolicy {
+    /// Take the first free block that fits.
+    FirstFit,
+    /// Like first-fit, but resume from where the previous search stopped.
+    NextFit,
+    /// Scan for the smallest free block that fits (early exit on exact fit).
+    BestFit,
+    /// Scan for the largest free block (maximizes remainder usefulness).
+    WorstFit,
+}
+
+impl FitPolicy {
+    /// All fit policies, for space enumeration.
+    pub const ALL: [FitPolicy; 4] = [
+        FitPolicy::FirstFit,
+        FitPolicy::NextFit,
+        FitPolicy::BestFit,
+        FitPolicy::WorstFit,
+    ];
+
+    /// Short label used in configuration strings (`ff`, `nf`, `bf`, `wf`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            FitPolicy::FirstFit => "ff",
+            FitPolicy::NextFit => "nf",
+            FitPolicy::BestFit => "bf",
+            FitPolicy::WorstFit => "wf",
+        }
+    }
+}
+
+impl fmt::Display for FitPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// The order in which a general pool keeps its free list.
+///
+/// The order determines both where a freed block is inserted (and what that
+/// insertion costs) and the order in which fit searches examine blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FreeOrder {
+    /// Freed blocks are pushed on the head (stack discipline, O(1) insert).
+    Lifo,
+    /// Freed blocks are appended at the tail (queue discipline, O(1) insert
+    /// with a tail pointer).
+    Fifo,
+    /// The list is kept sorted by block address (O(n) insert walk; enables
+    /// cheap neighbour coalescing during the walk).
+    AddressOrdered,
+    /// The list is kept sorted by block size (O(n) insert walk; makes
+    /// best-fit a prefix scan).
+    SizeOrdered,
+}
+
+impl FreeOrder {
+    /// All free-list orders, for space enumeration.
+    pub const ALL: [FreeOrder; 4] = [
+        FreeOrder::Lifo,
+        FreeOrder::Fifo,
+        FreeOrder::AddressOrdered,
+        FreeOrder::SizeOrdered,
+    ];
+
+    /// Short label used in configuration strings.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FreeOrder::Lifo => "lifo",
+            FreeOrder::Fifo => "fifo",
+            FreeOrder::AddressOrdered => "addr",
+            FreeOrder::SizeOrdered => "size",
+        }
+    }
+}
+
+impl fmt::Display for FreeOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// When a general pool merges adjacent free blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CoalescePolicy {
+    /// Never merge; external fragmentation accumulates but frees stay cheap.
+    Never,
+    /// Merge with free neighbours on every free. With an address-ordered
+    /// list the insertion walk locates the neighbours; with any other order
+    /// the pool pays for boundary tags (footer word per block) and
+    /// doubly-linked unlinking instead.
+    Immediate,
+    /// Every `n` frees, sweep the whole pool and merge all adjacent free
+    /// blocks (batched cost, bounded staleness).
+    DeferredEvery(
+        /// Sweep period, in frees (must be >= 1).
+        u32,
+    ),
+}
+
+impl CoalescePolicy {
+    /// A representative set of coalescing policies for space enumeration.
+    pub const COMMON: [CoalescePolicy; 3] = [
+        CoalescePolicy::Never,
+        CoalescePolicy::Immediate,
+        CoalescePolicy::DeferredEvery(64),
+    ];
+
+    /// Short label used in configuration strings.
+    pub fn tag(self) -> String {
+        match self {
+            CoalescePolicy::Never => "co-no".to_owned(),
+            CoalescePolicy::Immediate => "co-im".to_owned(),
+            CoalescePolicy::DeferredEvery(n) => format!("co-d{n}"),
+        }
+    }
+}
+
+impl fmt::Display for CoalescePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.tag())
+    }
+}
+
+/// When a general pool splits a free block that is larger than the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SplitPolicy {
+    /// Never split; the whole free block is handed out (internal
+    /// fragmentation, no split cost).
+    Never,
+    /// Split whenever the remainder would be at least this many payload
+    /// bytes (plus the block header).
+    MinRemainder(
+        /// Minimum useful remainder payload, in bytes.
+        u32,
+    ),
+}
+
+impl SplitPolicy {
+    /// A representative set of split policies for space enumeration.
+    pub const COMMON: [SplitPolicy; 2] =
+        [SplitPolicy::Never, SplitPolicy::MinRemainder(16)];
+
+    /// Short label used in configuration strings.
+    pub fn tag(self) -> String {
+        match self {
+            SplitPolicy::Never => "sp-no".to_owned(),
+            SplitPolicy::MinRemainder(n) => format!("sp-{n}"),
+        }
+    }
+}
+
+impl fmt::Display for SplitPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.tag())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_unique() {
+        let tags: Vec<&str> = FitPolicy::ALL.iter().map(|p| p.tag()).collect();
+        let mut dedup = tags.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(tags.len(), dedup.len());
+
+        let tags: Vec<&str> = FreeOrder::ALL.iter().map(|p| p.tag()).collect();
+        let mut dedup = tags.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(tags.len(), dedup.len());
+    }
+
+    #[test]
+    fn coalesce_tags_encode_period() {
+        assert_eq!(CoalescePolicy::DeferredEvery(32).tag(), "co-d32");
+        assert_eq!(CoalescePolicy::Never.tag(), "co-no");
+    }
+
+    #[test]
+    fn split_tags_encode_threshold() {
+        assert_eq!(SplitPolicy::MinRemainder(16).tag(), "sp-16");
+        assert_eq!(SplitPolicy::Never.tag(), "sp-no");
+    }
+
+    #[test]
+    fn display_matches_tag() {
+        assert_eq!(FitPolicy::BestFit.to_string(), "bf");
+        assert_eq!(FreeOrder::AddressOrdered.to_string(), "addr");
+    }
+}

@@ -1,0 +1,793 @@
+//! The parameterized general-purpose pool.
+//!
+//! This is the configurable core of the allocator library: a free-list
+//! allocator whose fit policy, list order, coalescing and splitting
+//! behaviour are all exploration parameters. Its cost profile spans the
+//! whole spectrum the paper explores — from "fast but fragmenting" (LIFO +
+//! first-fit + never coalesce) to "compact but expensive" (address-ordered
+//! + best-fit + immediate coalescing).
+//!
+//! Block layout (simulated): an 8-byte header (size + status + link) in
+//! front of every block, plus a 4-byte boundary-tag footer when immediate
+//! coalescing runs on a non-address-ordered list (the tags are what make
+//! O(1) neighbour lookup possible there).
+
+use std::collections::BTreeMap;
+
+use dmx_memhier::{LevelId, RegionTable};
+
+use crate::block::{align_up, BlockInfo};
+use crate::ctx::AllocCtx;
+use crate::error::AllocError;
+use crate::freelist::FreeList;
+use crate::policy::{CoalescePolicy, FitPolicy, FreeOrder, SplitPolicy};
+use crate::pool::{Pool, PoolStats};
+
+/// Simulated per-block header: size, status bit, free-list link.
+pub const HEADER_BYTES: u32 = 8;
+/// Simulated boundary-tag footer (only when the configuration needs it).
+pub const FOOTER_BYTES: u32 = 4;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GBlock {
+    /// Total size including header/footer.
+    size: u32,
+    free: bool,
+}
+
+/// A general-purpose pool with parameterized policies.
+#[derive(Debug, Clone)]
+pub struct GeneralPool {
+    level: LevelId,
+    fit: FitPolicy,
+    coalesce: CoalescePolicy,
+    split: SplitPolicy,
+    align: u32,
+    chunk_bytes: u64,
+    footer: u32,
+    min_block: u32,
+    blocks: BTreeMap<u64, GBlock>,
+    free_list: FreeList,
+    /// First address of every chunk: blocks never merge across chunk
+    /// boundaries (chunks are independent platform reservations).
+    chunk_starts: std::collections::HashSet<u64>,
+    frees_since_sweep: u32,
+    live: u64,
+    reserved_bytes: u64,
+}
+
+impl GeneralPool {
+    /// A general pool on `level` with the given policies.
+    ///
+    /// `align` is the payload alignment (power of two), `chunk_bytes` the
+    /// growth granularity when the pool asks its level for more memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two, `chunk_bytes` is zero or
+    /// larger than 4 GiB, or a deferred-coalescing period is zero.
+    pub fn new(
+        level: LevelId,
+        fit: FitPolicy,
+        order: FreeOrder,
+        coalesce: CoalescePolicy,
+        split: SplitPolicy,
+        align: u32,
+        chunk_bytes: u64,
+    ) -> Self {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        assert!(chunk_bytes > 0, "chunk must be non-zero");
+        assert!(chunk_bytes <= u64::from(u32::MAX), "chunk exceeds block-size domain");
+        if let CoalescePolicy::DeferredEvery(n) = coalesce {
+            assert!(n > 0, "deferred coalescing period must be >= 1");
+        }
+        // Boundary tags are required for O(1) neighbour lookup unless the
+        // address-ordered insertion walk provides the neighbours anyway.
+        let footer = match (coalesce, order) {
+            (CoalescePolicy::Immediate, o) if o != FreeOrder::AddressOrdered => FOOTER_BYTES,
+            _ => 0,
+        };
+        let min_block = align_up(HEADER_BYTES + footer + 8, align.max(4));
+        GeneralPool {
+            level,
+            fit,
+            coalesce,
+            split,
+            align,
+            chunk_bytes,
+            footer,
+            min_block,
+            blocks: BTreeMap::new(),
+            free_list: FreeList::new(order),
+            chunk_starts: std::collections::HashSet::new(),
+            frees_since_sweep: 0,
+            live: 0,
+            reserved_bytes: 0,
+        }
+    }
+
+    /// The fit policy in use.
+    pub fn fit(&self) -> FitPolicy {
+        self.fit
+    }
+
+    /// The free-list order in use.
+    pub fn order(&self) -> FreeOrder {
+        self.free_list.order()
+    }
+
+    /// Number of blocks (free and live) currently carved in the pool.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of free blocks (the free-list length).
+    pub fn free_blocks(&self) -> usize {
+        self.free_list.len()
+    }
+
+    /// External fragmentation: free bytes that exist but sit in blocks, as
+    /// a fraction of all carved bytes. 0.0 for an empty pool.
+    pub fn external_fragmentation(&self) -> f64 {
+        let total: u64 = self.blocks.values().map(|b| u64::from(b.size)).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let free: u64 = self
+            .blocks
+            .values()
+            .filter(|b| b.free)
+            .map(|b| u64::from(b.size))
+            .sum();
+        free as f64 / total as f64
+    }
+
+    /// Total block size needed for a request, including metadata.
+    fn alloc_size(&self, size: u32) -> u32 {
+        align_up(size + HEADER_BYTES + self.footer, self.align).max(self.min_block)
+    }
+
+    fn writes_per_header(&self) -> u64 {
+        if self.footer > 0 {
+            2 // header + footer
+        } else {
+            1
+        }
+    }
+
+    fn serve_from_free(
+        &mut self,
+        idx: usize,
+        asize: u32,
+        requested: u32,
+        ctx: &mut AllocCtx,
+    ) -> BlockInfo {
+        let (addr, bsize) = self.free_list.get(idx);
+        debug_assert!(bsize >= asize);
+        let do_split = match self.split {
+            SplitPolicy::Never => false,
+            SplitPolicy::MinRemainder(m) => {
+                let remainder_min = self.min_block.max(m + HEADER_BYTES + self.footer);
+                bsize - asize >= remainder_min
+            }
+        };
+        if do_split {
+            let remainder = bsize - asize;
+            let rem_addr = addr + u64::from(asize);
+            let b = self.blocks.get_mut(&addr).expect("free-list block exists");
+            b.size = asize;
+            b.free = false;
+            self.blocks.insert(rem_addr, GBlock { size: remainder, free: true });
+            self.free_list.replace(idx, rem_addr, remainder, self.level, ctx);
+            // Write allocated header (+footer) and the remainder header.
+            ctx.meta_write(self.level, self.writes_per_header() + 1);
+            BlockInfo {
+                addr,
+                level: self.level,
+                requested,
+                occupied: asize,
+            }
+        } else {
+            self.free_list.take(idx, self.level, ctx);
+            let b = self.blocks.get_mut(&addr).expect("free-list block exists");
+            b.free = false;
+            ctx.meta_write(self.level, self.writes_per_header());
+            BlockInfo {
+                addr,
+                level: self.level,
+                requested,
+                occupied: bsize,
+            }
+        }
+    }
+
+    fn grow_and_serve(
+        &mut self,
+        asize: u32,
+        requested: u32,
+        regions: &mut RegionTable,
+        ctx: &mut AllocCtx,
+    ) -> Result<BlockInfo, AllocError> {
+        let chunk = self.chunk_bytes.max(u64::from(asize));
+        let region = regions.reserve(self.level, chunk)?;
+        ctx.footprint.grow(self.level, chunk);
+        self.chunk_starts.insert(region.base);
+        self.reserved_bytes += chunk;
+        // Pool descriptor update: chunk list + limits.
+        ctx.meta_write(self.level, 2);
+
+        let remainder = chunk - u64::from(asize);
+        let occupied = if remainder >= u64::from(self.min_block) {
+            let rem_addr = region.base + u64::from(asize);
+            self.blocks.insert(region.base, GBlock { size: asize, free: false });
+            self.blocks
+                .insert(rem_addr, GBlock { size: remainder as u32, free: true });
+            self.free_list
+                .insert(rem_addr, remainder as u32, self.level, ctx);
+            ctx.meta_write(self.level, self.writes_per_header() + 1);
+            asize
+        } else {
+            // Too small to split off: the whole chunk is the block.
+            self.blocks
+                .insert(region.base, GBlock { size: chunk as u32, free: false });
+            ctx.meta_write(self.level, self.writes_per_header());
+            chunk as u32
+        };
+        Ok(BlockInfo {
+            addr: region.base,
+            level: self.level,
+            requested,
+            occupied,
+        })
+    }
+
+    /// Immediate coalescing on an address-ordered list: the insertion walk
+    /// has already located the list position; neighbours are checked there.
+    fn coalesce_addr_ordered(&mut self, addr: u64, size: u32, ctx: &mut AllocCtx) {
+        let mut pos = self.free_list.insert(addr, size, self.level, ctx);
+        let mut addr = addr;
+        let mut size = size;
+        // Adjacency probes: previous block's end, next block's start.
+        ctx.meta_read(self.level, 2);
+        if pos > 0 {
+            let (paddr, psize) = self.free_list.get(pos - 1);
+            if paddr + u64::from(psize) == addr && !self.chunk_starts.contains(&addr) {
+                let merged = psize + size;
+                self.blocks.remove(&addr);
+                self.blocks.get_mut(&paddr).expect("prev block exists").size = merged;
+                self.free_list.take(pos, self.level, ctx);
+                self.free_list.replace(pos - 1, paddr, merged, self.level, ctx);
+                pos -= 1;
+                addr = paddr;
+                size = merged;
+            }
+        }
+        if pos + 1 < self.free_list.len() {
+            let (naddr, nsize) = self.free_list.get(pos + 1);
+            if addr + u64::from(size) == naddr && !self.chunk_starts.contains(&naddr) {
+                let merged = size + nsize;
+                self.blocks.remove(&naddr);
+                self.blocks.get_mut(&addr).expect("merged block exists").size = merged;
+                self.free_list.take(pos + 1, self.level, ctx);
+                self.free_list.replace(pos, addr, merged, self.level, ctx);
+            }
+        }
+    }
+
+    /// Immediate coalescing with boundary tags: O(1) neighbour lookup via
+    /// the previous block's footer and the next block's header.
+    fn coalesce_tagged(&mut self, addr: u64, size: u32, ctx: &mut AllocCtx) {
+        let mut addr = addr;
+        let mut size = size;
+        ctx.meta_read(self.level, 2);
+        // Merge with the previous block if it is free and adjacent.
+        let prev = self
+            .blocks
+            .range(..addr)
+            .next_back()
+            .map(|(a, b)| (*a, *b));
+        if let Some((paddr, pblock)) = prev {
+            if pblock.free
+                && paddr + u64::from(pblock.size) == addr
+                && !self.chunk_starts.contains(&addr)
+            {
+                self.free_list.remove_addr_direct(paddr, self.level, ctx);
+                self.blocks.remove(&addr);
+                let merged = pblock.size + size;
+                self.blocks.get_mut(&paddr).expect("prev block exists").size = merged;
+                ctx.meta_write(self.level, 2); // rewritten header + footer
+                addr = paddr;
+                size = merged;
+            }
+        }
+        // Merge with the next block if it is free and adjacent.
+        let next = self
+            .blocks
+            .range(addr + 1..)
+            .next()
+            .map(|(a, b)| (*a, *b));
+        if let Some((naddr, nblock)) = next {
+            if nblock.free
+                && addr + u64::from(size) == naddr
+                && !self.chunk_starts.contains(&naddr)
+            {
+                self.free_list.remove_addr_direct(naddr, self.level, ctx);
+                self.blocks.remove(&naddr);
+                size += nblock.size;
+                self.blocks.get_mut(&addr).expect("merged block exists").size = size;
+                ctx.meta_write(self.level, 2);
+            }
+        }
+        self.free_list.insert(addr, size, self.level, ctx);
+    }
+
+    /// Deferred sweep: walk every block, merge adjacent free runs, relink
+    /// the free list.
+    fn sweep(&mut self, ctx: &mut AllocCtx) {
+        // Examination cost: header of every block.
+        ctx.meta_read(self.level, 2 * self.blocks.len() as u64);
+        let mut rebuilt: Vec<(u64, GBlock)> = Vec::with_capacity(self.blocks.len());
+        for (&addr, &block) in self.blocks.iter() {
+            if let Some(last) = rebuilt.last_mut() {
+                if last.1.free
+                    && block.free
+                    && last.0 + u64::from(last.1.size) == addr
+                    && !self.chunk_starts.contains(&addr)
+                {
+                    last.1.size += block.size;
+                    ctx.meta_write(self.level, 2); // merged header rewrite
+                    continue;
+                }
+            }
+            rebuilt.push((addr, block));
+        }
+        self.blocks = rebuilt.iter().copied().collect();
+        let free_entries: Vec<(u64, u32)> = rebuilt
+            .iter()
+            .filter(|(_, b)| b.free)
+            .map(|(a, b)| (*a, b.size))
+            .collect();
+        // Relink cost: one write per surviving free block.
+        ctx.meta_write(self.level, free_entries.len() as u64);
+        self.free_list.rebuild(free_entries);
+    }
+}
+
+impl Pool for GeneralPool {
+    fn alloc(
+        &mut self,
+        size: u32,
+        regions: &mut RegionTable,
+        ctx: &mut AllocCtx,
+    ) -> Result<BlockInfo, AllocError> {
+        let asize = self.alloc_size(size);
+        let found = self.free_list.find(self.fit, asize, self.level, ctx);
+        let info = match found {
+            Some(idx) => self.serve_from_free(idx, asize, size, ctx),
+            None => self.grow_and_serve(asize, size, regions, ctx)?,
+        };
+        self.live += 1;
+        Ok(info)
+    }
+
+    fn free(&mut self, addr: u64, ctx: &mut AllocCtx) {
+        let block = *self
+            .blocks
+            .get(&addr)
+            .unwrap_or_else(|| panic!("free of address {addr:#x} not owned by this pool"));
+        assert!(!block.free, "double free of {addr:#x}");
+        // Read the header, mark the block free.
+        ctx.meta_read(self.level, 1);
+        ctx.meta_write(self.level, 1);
+        self.blocks.get_mut(&addr).expect("checked above").free = true;
+        self.live -= 1;
+
+        match self.coalesce {
+            CoalescePolicy::Never => {
+                self.free_list.insert(addr, block.size, self.level, ctx);
+            }
+            CoalescePolicy::Immediate => {
+                if self.free_list.order() == FreeOrder::AddressOrdered {
+                    self.coalesce_addr_ordered(addr, block.size, ctx);
+                } else {
+                    self.coalesce_tagged(addr, block.size, ctx);
+                }
+            }
+            CoalescePolicy::DeferredEvery(n) => {
+                self.free_list.insert(addr, block.size, self.level, ctx);
+                self.frees_since_sweep += 1;
+                if self.frees_since_sweep >= n {
+                    self.sweep(ctx);
+                    self.frees_since_sweep = 0;
+                }
+            }
+        }
+    }
+
+    fn level(&self) -> LevelId {
+        self.level
+    }
+
+    fn live_blocks(&self) -> u64 {
+        self.live
+    }
+
+    fn stats(&self) -> PoolStats {
+        let live_bytes: u64 = self
+            .blocks
+            .values()
+            .filter(|b| !b.free)
+            .map(|b| u64::from(b.size))
+            .sum();
+        PoolStats {
+            reserved_bytes: self.reserved_bytes,
+            live_bytes,
+            live_blocks: self.live,
+            free_blocks: self.free_list.len() as u64,
+        }
+    }
+
+    fn validate(&self) {
+        // Blocks are disjoint and sorted (BTreeMap is sorted by address);
+        // adjacency may not overlap.
+        let mut prev: Option<(u64, GBlock)> = None;
+        for (&addr, &block) in self.blocks.iter() {
+            assert!(block.size > 0, "zero-size block at {addr:#x}");
+            if let Some((paddr, pblock)) = prev {
+                assert!(
+                    paddr + u64::from(pblock.size) <= addr,
+                    "blocks overlap at {addr:#x}"
+                );
+            }
+            prev = Some((addr, block));
+        }
+        // The free list and the block map agree exactly.
+        let map_free: Vec<(u64, u32)> = self
+            .blocks
+            .iter()
+            .filter(|(_, b)| b.free)
+            .map(|(a, b)| (*a, b.size))
+            .collect();
+        assert_eq!(
+            map_free.len(),
+            self.free_list.len(),
+            "free-list length disagrees with free blocks"
+        );
+        for (addr, size) in self.free_list.iter() {
+            let b = self
+                .blocks
+                .get(&addr)
+                .unwrap_or_else(|| panic!("free-list entry {addr:#x} has no block"));
+            assert!(b.free, "free-list entry {addr:#x} is not free");
+            assert_eq!(b.size, size, "free-list size mismatch at {addr:#x}");
+        }
+        // Live accounting.
+        let live = self.blocks.values().filter(|b| !b.free).count() as u64;
+        assert_eq!(live, self.live, "live-block count mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmx_memhier::presets;
+
+    const L1: LevelId = LevelId(1);
+
+    fn setup() -> (RegionTable, AllocCtx) {
+        let hier = presets::sp64k_dram4m();
+        (RegionTable::new(&hier), AllocCtx::new(hier.len()))
+    }
+
+    fn pool(
+        fit: FitPolicy,
+        order: FreeOrder,
+        coalesce: CoalescePolicy,
+        split: SplitPolicy,
+    ) -> GeneralPool {
+        GeneralPool::new(L1, fit, order, coalesce, split, 8, 4096)
+    }
+
+    #[test]
+    fn alloc_roundtrip_and_validate() {
+        let (mut regions, mut ctx) = setup();
+        let mut p = pool(
+            FitPolicy::FirstFit,
+            FreeOrder::Lifo,
+            CoalescePolicy::Never,
+            SplitPolicy::MinRemainder(16),
+        );
+        let a = p.alloc(100, &mut regions, &mut ctx).unwrap();
+        let b = p.alloc(200, &mut regions, &mut ctx).unwrap();
+        assert_ne!(a.addr, b.addr);
+        assert_eq!(p.live_blocks(), 2);
+        p.validate();
+        p.free(a.addr, &mut ctx);
+        p.validate();
+        p.free(b.addr, &mut ctx);
+        p.validate();
+        assert_eq!(p.live_blocks(), 0);
+    }
+
+    #[test]
+    fn freed_block_is_reused() {
+        let (mut regions, mut ctx) = setup();
+        let mut p = pool(
+            FitPolicy::FirstFit,
+            FreeOrder::Lifo,
+            CoalescePolicy::Never,
+            SplitPolicy::Never,
+        );
+        let a = p.alloc(128, &mut regions, &mut ctx).unwrap();
+        p.free(a.addr, &mut ctx);
+        let before = ctx.footprint.peak_total();
+        let b = p.alloc(120, &mut regions, &mut ctx).unwrap();
+        assert_eq!(b.addr, a.addr, "first fit reuses the freed block");
+        assert_eq!(ctx.footprint.peak_total(), before, "no growth needed");
+        p.validate();
+    }
+
+    #[test]
+    fn split_carves_remainder() {
+        let (mut regions, mut ctx) = setup();
+        let mut p = pool(
+            FitPolicy::FirstFit,
+            FreeOrder::Lifo,
+            CoalescePolicy::Never,
+            SplitPolicy::MinRemainder(16),
+        );
+        let a = p.alloc(1000, &mut regions, &mut ctx).unwrap();
+        p.free(a.addr, &mut ctx);
+        let b = p.alloc(100, &mut regions, &mut ctx).unwrap();
+        assert_eq!(b.addr, a.addr);
+        assert!(b.occupied < a.occupied, "block was split");
+        assert!(p.free_blocks() >= 1, "remainder is free");
+        p.validate();
+    }
+
+    #[test]
+    fn no_split_hands_out_whole_block() {
+        let (mut regions, mut ctx) = setup();
+        let mut p = pool(
+            FitPolicy::FirstFit,
+            FreeOrder::Lifo,
+            CoalescePolicy::Never,
+            SplitPolicy::Never,
+        );
+        let a = p.alloc(1000, &mut regions, &mut ctx).unwrap();
+        p.free(a.addr, &mut ctx);
+        let b = p.alloc(10, &mut regions, &mut ctx).unwrap();
+        assert_eq!(b.addr, a.addr);
+        assert_eq!(b.occupied, a.occupied, "whole block handed out");
+        assert!(b.internal_fragmentation() > 900);
+        p.validate();
+    }
+
+    #[test]
+    fn immediate_coalescing_merges_neighbours_tagged() {
+        let (mut regions, mut ctx) = setup();
+        let mut p = pool(
+            FitPolicy::FirstFit,
+            FreeOrder::Lifo,
+            CoalescePolicy::Immediate,
+            SplitPolicy::MinRemainder(16),
+        );
+        let a = p.alloc(100, &mut regions, &mut ctx).unwrap();
+        let b = p.alloc(100, &mut regions, &mut ctx).unwrap();
+        let c = p.alloc(100, &mut regions, &mut ctx).unwrap();
+        p.free(a.addr, &mut ctx);
+        p.free(c.addr, &mut ctx);
+        p.validate();
+        let free_before = p.free_blocks();
+        p.free(b.addr, &mut ctx);
+        p.validate();
+        // b merged with both neighbours (and the chunk remainder beyond c).
+        assert!(
+            p.free_blocks() < free_before + 1,
+            "coalescing must reduce free-block count: {} -> {}",
+            free_before,
+            p.free_blocks()
+        );
+    }
+
+    #[test]
+    fn immediate_coalescing_merges_neighbours_addr_ordered() {
+        let (mut regions, mut ctx) = setup();
+        let mut p = pool(
+            FitPolicy::FirstFit,
+            FreeOrder::AddressOrdered,
+            CoalescePolicy::Immediate,
+            SplitPolicy::MinRemainder(16),
+        );
+        let a = p.alloc(100, &mut regions, &mut ctx).unwrap();
+        let b = p.alloc(100, &mut regions, &mut ctx).unwrap();
+        let c = p.alloc(100, &mut regions, &mut ctx).unwrap();
+        p.free(a.addr, &mut ctx);
+        p.free(c.addr, &mut ctx);
+        p.free(b.addr, &mut ctx);
+        p.validate();
+        // Everything merged back into one free region.
+        assert_eq!(p.free_blocks(), 1);
+        assert_eq!(p.block_count(), 1);
+    }
+
+    #[test]
+    fn deferred_coalescing_sweeps_on_period() {
+        let (mut regions, mut ctx) = setup();
+        let mut p = GeneralPool::new(
+            L1,
+            FitPolicy::FirstFit,
+            FreeOrder::Lifo,
+            CoalescePolicy::DeferredEvery(4),
+            SplitPolicy::MinRemainder(16),
+            8,
+            4096,
+        );
+        let blocks: Vec<_> = (0..4)
+            .map(|_| p.alloc(64, &mut regions, &mut ctx).unwrap())
+            .collect();
+        for b in &blocks[..3] {
+            p.free(b.addr, &mut ctx);
+        }
+        assert!(p.free_blocks() >= 3, "no sweep yet");
+        p.free(blocks[3].addr, &mut ctx); // 4th free triggers the sweep
+        p.validate();
+        assert_eq!(p.free_blocks(), 1, "sweep merged everything");
+    }
+
+    #[test]
+    fn never_coalescing_accumulates_free_blocks() {
+        let (mut regions, mut ctx) = setup();
+        let mut p = pool(
+            FitPolicy::FirstFit,
+            FreeOrder::Lifo,
+            CoalescePolicy::Never,
+            SplitPolicy::Never,
+        );
+        let blocks: Vec<_> = (0..8)
+            .map(|_| p.alloc(64, &mut regions, &mut ctx).unwrap())
+            .collect();
+        for b in &blocks {
+            p.free(b.addr, &mut ctx);
+        }
+        assert!(p.free_blocks() >= 8, "fragmentation persists");
+        assert!(p.external_fragmentation() > 0.9);
+        p.validate();
+    }
+
+    #[test]
+    fn fragmentation_forces_growth_without_coalescing() {
+        let (mut regions, mut ctx) = setup();
+        let mut p = GeneralPool::new(
+            L1,
+            FitPolicy::FirstFit,
+            FreeOrder::Lifo,
+            CoalescePolicy::Never,
+            SplitPolicy::MinRemainder(16),
+            8,
+            1024,
+        );
+        // Fill a chunk with small blocks, free them, then ask for a block
+        // that only a merged region could serve.
+        let blocks: Vec<_> = (0..8)
+            .map(|_| p.alloc(100, &mut regions, &mut ctx).unwrap())
+            .collect();
+        for b in &blocks {
+            p.free(b.addr, &mut ctx);
+        }
+        let before = ctx.footprint.peak_total();
+        let _big = p.alloc(800, &mut regions, &mut ctx).unwrap();
+        assert!(
+            ctx.footprint.peak_total() > before,
+            "fragmented pool must grow for the big request"
+        );
+        p.validate();
+    }
+
+    #[test]
+    fn coalescing_avoids_growth_where_fragmentation_forces_it() {
+        let run = |coalesce: CoalescePolicy| {
+            let (mut regions, mut ctx) = setup();
+            let mut p = GeneralPool::new(
+                L1,
+                FitPolicy::FirstFit,
+                FreeOrder::AddressOrdered,
+                coalesce,
+                SplitPolicy::MinRemainder(16),
+                8,
+                1024,
+            );
+            let blocks: Vec<_> = (0..8)
+                .map(|_| p.alloc(100, &mut regions, &mut ctx).unwrap())
+                .collect();
+            for b in &blocks {
+                p.free(b.addr, &mut ctx);
+            }
+            let _big = p.alloc(800, &mut regions, &mut ctx).unwrap();
+            p.validate();
+            ctx.footprint.peak_total()
+        };
+        let never = run(CoalescePolicy::Never);
+        let immediate = run(CoalescePolicy::Immediate);
+        assert!(
+            immediate < never,
+            "coalescing footprint {immediate} must beat fragmented {never}"
+        );
+    }
+
+    #[test]
+    fn best_fit_reduces_internal_frag_vs_worst_fit() {
+        let run = |fit: FitPolicy| {
+            let (mut regions, mut ctx) = setup();
+            let mut p = GeneralPool::new(
+                L1,
+                fit,
+                FreeOrder::Lifo,
+                CoalescePolicy::Never,
+                SplitPolicy::Never,
+                8,
+                8192,
+            );
+            // Create free blocks of diverse sizes.
+            let sizes = [64u32, 512, 128, 1024, 256];
+            let blocks: Vec<_> = sizes
+                .iter()
+                .map(|s| p.alloc(*s, &mut regions, &mut ctx).unwrap())
+                .collect();
+            for b in &blocks {
+                p.free(b.addr, &mut ctx);
+            }
+            let got = p.alloc(100, &mut regions, &mut ctx).unwrap();
+            got.internal_fragmentation()
+        };
+        assert!(run(FitPolicy::BestFit) < run(FitPolicy::WorstFit));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let (mut regions, mut ctx) = setup();
+        let mut p = pool(
+            FitPolicy::FirstFit,
+            FreeOrder::Lifo,
+            CoalescePolicy::Never,
+            SplitPolicy::Never,
+        );
+        let a = p.alloc(64, &mut regions, &mut ctx).unwrap();
+        p.free(a.addr, &mut ctx);
+        p.free(a.addr, &mut ctx);
+    }
+
+    #[test]
+    fn all_policy_combinations_stay_consistent() {
+        // A smoke sweep over the full policy cross-product.
+        for fit in FitPolicy::ALL {
+            for order in FreeOrder::ALL {
+                for coalesce in CoalescePolicy::COMMON {
+                    for split in SplitPolicy::COMMON {
+                        let (mut regions, mut ctx) = setup();
+                        let mut p = GeneralPool::new(
+                            L1, fit, order, coalesce, split, 8, 2048,
+                        );
+                        let mut live = Vec::new();
+                        for i in 0..40u32 {
+                            let size = 16 + (i * 37) % 300;
+                            let b = p.alloc(size, &mut regions, &mut ctx).unwrap();
+                            live.push(b.addr);
+                            if i % 3 == 0 {
+                                let addr = live.remove((i as usize / 3) % live.len());
+                                p.free(addr, &mut ctx);
+                            }
+                        }
+                        p.validate();
+                        for addr in live {
+                            p.free(addr, &mut ctx);
+                        }
+                        p.validate();
+                        assert_eq!(p.live_blocks(), 0, "{fit} {order} {coalesce} {split}");
+                    }
+                }
+            }
+        }
+    }
+}

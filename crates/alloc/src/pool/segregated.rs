@@ -1,0 +1,318 @@
+//! Segregated-storage pool: power-of-two size classes, exact-fit O(1).
+
+use std::collections::HashMap;
+
+use dmx_memhier::{LevelId, Region, RegionTable};
+
+use crate::block::{align_up, BlockInfo};
+use crate::ctx::AllocCtx;
+use crate::error::AllocError;
+use crate::pool::{Pool, PoolStats};
+
+/// Per-class state: an embedded free list plus a bump chunk.
+#[derive(Debug, Clone, Default)]
+struct Class {
+    free: Vec<u64>,
+    chunks: Vec<Region>,
+    bump_used: u32,
+}
+
+/// A segregated-storage pool: one embedded free list per power-of-two size
+/// class. Allocation and free are O(1); internal fragmentation is the
+/// price (a request occupies its whole class slot).
+///
+/// Requests larger than the largest class are served as *large objects*:
+/// each gets its own exactly-sized region, recycled by exact size.
+#[derive(Debug, Clone)]
+pub struct SegregatedPool {
+    level: LevelId,
+    /// Class slot sizes, ascending powers of two.
+    classes: Vec<u32>,
+    class_state: Vec<Class>,
+    chunk_bytes: u64,
+    /// Class index of every handed-out slot (simulated: per-chunk
+    /// descriptor, charged as one read on free).
+    slot_class: HashMap<u64, usize>,
+    /// Large-object recycling by exact occupied size.
+    large_free: HashMap<u32, Vec<u64>>,
+    large_live: HashMap<u64, u32>,
+    live: u64,
+}
+
+impl SegregatedPool {
+    /// A segregated pool with classes `min_class, 2*min_class, ...,
+    /// max_class` on `level`, growing each class `chunk_bytes` at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `min_class` and `max_class` are powers of two with
+    /// `8 <= min_class <= max_class`, or if `chunk_bytes` is zero.
+    pub fn new(level: LevelId, min_class: u32, max_class: u32, chunk_bytes: u64) -> Self {
+        assert!(min_class.is_power_of_two() && max_class.is_power_of_two());
+        assert!((8..=max_class).contains(&min_class), "bad class range");
+        assert!(chunk_bytes > 0, "chunk must be non-zero");
+        let mut classes = Vec::new();
+        let mut c = min_class;
+        while c <= max_class {
+            classes.push(c);
+            c *= 2;
+        }
+        let class_state = vec![Class::default(); classes.len()];
+        SegregatedPool {
+            level,
+            classes,
+            class_state,
+            chunk_bytes,
+            slot_class: HashMap::new(),
+            large_free: HashMap::new(),
+            large_live: HashMap::new(),
+            live: 0,
+        }
+    }
+
+    /// The class slot sizes, ascending.
+    pub fn classes(&self) -> &[u32] {
+        &self.classes
+    }
+
+    fn class_of(&self, size: u32) -> Option<usize> {
+        self.classes.iter().position(|c| *c >= size)
+    }
+}
+
+impl Pool for SegregatedPool {
+    fn alloc(
+        &mut self,
+        size: u32,
+        regions: &mut RegionTable,
+        ctx: &mut AllocCtx,
+    ) -> Result<BlockInfo, AllocError> {
+        match self.class_of(size) {
+            Some(ci) => {
+                let slot = self.classes[ci];
+                // Read the class head pointer (class index is arithmetic).
+                ctx.meta_read(self.level, 1);
+                let addr = if let Some(addr) = self.class_state[ci].free.pop() {
+                    ctx.meta_read(self.level, 1); // embedded next pointer
+                    ctx.meta_write(self.level, 1); // head update
+                    addr
+                } else {
+                    let state = &mut self.class_state[ci];
+                    let per_chunk = (self.chunk_bytes / u64::from(slot)).max(1) as u32;
+                    let need_grow = match state.chunks.last() {
+                        Some(_) => state.bump_used >= per_chunk,
+                        None => true,
+                    };
+                    if need_grow {
+                        let bytes = u64::from(per_chunk) * u64::from(slot);
+                        let region = regions.reserve(self.level, bytes)?;
+                        ctx.footprint.grow(self.level, bytes);
+                        ctx.meta_write(self.level, 2);
+                        state.chunks.push(region);
+                        state.bump_used = 0;
+                    }
+                    let chunk = state.chunks.last().expect("chunk exists");
+                    let addr = chunk.base + u64::from(state.bump_used) * u64::from(slot);
+                    state.bump_used += 1;
+                    ctx.meta_read(self.level, 1);
+                    ctx.meta_write(self.level, 1);
+                    addr
+                };
+                self.slot_class.insert(addr, ci);
+                self.live += 1;
+                Ok(BlockInfo {
+                    addr,
+                    level: self.level,
+                    requested: size,
+                    occupied: slot,
+                })
+            }
+            None => {
+                // Large object: exactly-sized dedicated region.
+                let occupied = align_up(size, 8);
+                ctx.meta_read(self.level, 1); // large-object table probe
+                let addr = match self.large_free.get_mut(&occupied).and_then(Vec::pop) {
+                    Some(addr) => {
+                        ctx.meta_write(self.level, 1);
+                        addr
+                    }
+                    None => {
+                        let region = regions.reserve(self.level, u64::from(occupied))?;
+                        ctx.footprint.grow(self.level, u64::from(occupied));
+                        ctx.meta_write(self.level, 2);
+                        region.base
+                    }
+                };
+                self.large_live.insert(addr, occupied);
+                self.live += 1;
+                Ok(BlockInfo {
+                    addr,
+                    level: self.level,
+                    requested: size,
+                    occupied,
+                })
+            }
+        }
+    }
+
+    fn free(&mut self, addr: u64, ctx: &mut AllocCtx) {
+        if let Some(ci) = self.slot_class.remove(&addr) {
+            // Read the chunk descriptor to find the class, push on the list.
+            ctx.meta_read(self.level, 1);
+            ctx.meta_write(self.level, 2);
+            self.class_state[ci].free.push(addr);
+        } else if let Some(occupied) = self.large_live.remove(&addr) {
+            ctx.meta_read(self.level, 1);
+            ctx.meta_write(self.level, 2);
+            self.large_free.entry(occupied).or_default().push(addr);
+        } else {
+            panic!("free of address {addr:#x} not owned by this segregated pool");
+        }
+        assert!(self.live > 0, "free with no live blocks");
+        self.live -= 1;
+    }
+
+    fn level(&self) -> LevelId {
+        self.level
+    }
+
+    fn live_blocks(&self) -> u64 {
+        self.live
+    }
+
+    fn stats(&self) -> PoolStats {
+        let class_live: u64 = self
+            .slot_class
+            .values()
+            .map(|&ci| u64::from(self.classes[ci]))
+            .sum();
+        let large_live: u64 = self.large_live.values().map(|&s| u64::from(s)).sum();
+        let reserved: u64 = self
+            .class_state
+            .iter()
+            .flat_map(|st| st.chunks.iter().map(|c| c.size))
+            .sum::<u64>()
+            + self
+                .large_live
+                .values()
+                .map(|&s| u64::from(s))
+                .sum::<u64>()
+            + self
+                .large_free
+                .iter()
+                .map(|(&size, addrs)| u64::from(size) * addrs.len() as u64)
+                .sum::<u64>();
+        let free_blocks = self.class_state.iter().map(|st| st.free.len() as u64).sum::<u64>()
+            + self.large_free.values().map(|v| v.len() as u64).sum::<u64>();
+        PoolStats {
+            reserved_bytes: reserved,
+            live_bytes: class_live + large_live,
+            live_blocks: self.live,
+            free_blocks,
+        }
+    }
+
+    fn validate(&self) {
+        for (ci, state) in self.class_state.iter().enumerate() {
+            for addr in &state.free {
+                assert!(
+                    state.chunks.iter().any(|c| c.contains(*addr)),
+                    "class {ci} free slot outside its chunks"
+                );
+                assert!(
+                    !self.slot_class.contains_key(addr),
+                    "slot both free and live"
+                );
+            }
+        }
+        let class_live = self.slot_class.len() as u64;
+        let large_live = self.large_live.len() as u64;
+        assert_eq!(class_live + large_live, self.live, "live count mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmx_memhier::presets;
+
+    const L1: LevelId = LevelId(1);
+
+    fn setup() -> (RegionTable, AllocCtx) {
+        let hier = presets::sp64k_dram4m();
+        (RegionTable::new(&hier), AllocCtx::new(hier.len()))
+    }
+
+    #[test]
+    fn classes_are_powers_of_two() {
+        let p = SegregatedPool::new(L1, 16, 256, 4096);
+        assert_eq!(p.classes(), [16, 32, 64, 128, 256]);
+    }
+
+    #[test]
+    fn rounds_up_to_class() {
+        let (mut regions, mut ctx) = setup();
+        let mut p = SegregatedPool::new(L1, 16, 1024, 4096);
+        let b = p.alloc(74, &mut regions, &mut ctx).unwrap();
+        assert_eq!(b.occupied, 128, "74 rounds up to the 128 class");
+        assert_eq!(b.internal_fragmentation(), 54);
+        p.validate();
+    }
+
+    #[test]
+    fn recycles_within_class() {
+        let (mut regions, mut ctx) = setup();
+        let mut p = SegregatedPool::new(L1, 16, 256, 4096);
+        let a = p.alloc(60, &mut regions, &mut ctx).unwrap();
+        p.free(a.addr, &mut ctx);
+        let b = p.alloc(50, &mut regions, &mut ctx).unwrap();
+        assert_eq!(a.addr, b.addr, "same class reuses the slot");
+        p.validate();
+    }
+
+    #[test]
+    fn large_objects_get_exact_regions_and_recycle() {
+        let (mut regions, mut ctx) = setup();
+        let mut p = SegregatedPool::new(L1, 16, 256, 4096);
+        let big = p.alloc(65_536, &mut regions, &mut ctx).unwrap();
+        assert_eq!(big.occupied, 65_536);
+        p.free(big.addr, &mut ctx);
+        let fp = ctx.footprint.peak_total();
+        let again = p.alloc(65_536, &mut regions, &mut ctx).unwrap();
+        assert_eq!(again.addr, big.addr, "large object recycled");
+        assert_eq!(ctx.footprint.peak_total(), fp, "no second region");
+        p.validate();
+    }
+
+    #[test]
+    fn alloc_cost_is_constant() {
+        let (mut regions, mut ctx) = setup();
+        let mut p = SegregatedPool::new(L1, 16, 256, 4096);
+        let a = p.alloc(32, &mut regions, &mut ctx).unwrap();
+        p.free(a.addr, &mut ctx);
+        let before = ctx.meta_counters.total_accesses();
+        let _ = p.alloc(32, &mut regions, &mut ctx).unwrap();
+        assert_eq!(ctx.meta_counters.total_accesses() - before, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not owned")]
+    fn foreign_free_panics() {
+        let (_regions, mut ctx) = setup();
+        let mut p = SegregatedPool::new(L1, 16, 256, 4096);
+        p.free(0x42, &mut ctx);
+    }
+
+    #[test]
+    fn live_counting() {
+        let (mut regions, mut ctx) = setup();
+        let mut p = SegregatedPool::new(L1, 16, 64, 1024);
+        let a = p.alloc(16, &mut regions, &mut ctx).unwrap();
+        let b = p.alloc(4096, &mut regions, &mut ctx).unwrap(); // large
+        assert_eq!(p.live_blocks(), 2);
+        p.free(a.addr, &mut ctx);
+        p.free(b.addr, &mut ctx);
+        assert_eq!(p.live_blocks(), 0);
+        p.validate();
+    }
+}

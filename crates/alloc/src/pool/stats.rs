@@ -1,0 +1,75 @@
+//! Per-pool occupancy statistics.
+
+use std::fmt;
+
+/// A point-in-time snapshot of one pool's occupancy.
+///
+/// `reserved_bytes` is what the pool has claimed from its level;
+/// `live_bytes` is what the application currently holds in it. The gap is
+/// the pool's overhead: headers, alignment, free space and fragmentation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Bytes reserved from the memory level.
+    pub reserved_bytes: u64,
+    /// Bytes currently occupied by live blocks (including per-block
+    /// metadata and rounding — the `occupied` sizes).
+    pub live_bytes: u64,
+    /// Number of live blocks.
+    pub live_blocks: u64,
+    /// Number of free blocks tracked by the pool's own structures
+    /// (0 for bump arenas, which track no individual free blocks).
+    pub free_blocks: u64,
+}
+
+impl PoolStats {
+    /// Fraction of reserved bytes not occupied by live blocks
+    /// (0.0 for an empty pool).
+    pub fn slack(&self) -> f64 {
+        if self.reserved_bytes == 0 {
+            return 0.0;
+        }
+        1.0 - self.live_bytes as f64 / self.reserved_bytes as f64
+    }
+}
+
+impl fmt::Display for PoolStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reserved {} B, live {} B in {} blocks, {} free blocks ({:.0}% slack)",
+            self.reserved_bytes,
+            self.live_bytes,
+            self.live_blocks,
+            self.free_blocks,
+            self.slack() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slack_fraction() {
+        let s = PoolStats {
+            reserved_bytes: 1000,
+            live_bytes: 250,
+            live_blocks: 5,
+            free_blocks: 3,
+        };
+        assert!((s.slack() - 0.75).abs() < 1e-9);
+        assert_eq!(PoolStats::default().slack(), 0.0);
+    }
+
+    #[test]
+    fn display_shows_percent() {
+        let s = PoolStats {
+            reserved_bytes: 200,
+            live_bytes: 100,
+            live_blocks: 1,
+            free_blocks: 1,
+        };
+        assert!(s.to_string().contains("50% slack"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Property tests: every pool kind survives arbitrary alloc/free sequences
+//! with its internal invariants intact, and its accounting stays
+//! consistent with ground truth.
+
+use proptest::prelude::*;
+
+use dmx_alloc::pool::{
+    BuddyPool, FixedBlockPool, GeneralPool, Pool, RegionPool, SegregatedPool,
+};
+use dmx_alloc::{AllocCtx, CoalescePolicy, FitPolicy, FreeOrder, SplitPolicy};
+use dmx_memhier::{presets, LevelId, RegionTable};
+
+/// A miniature op script: sizes to allocate, interleaved with frees picked
+/// by index into the live set.
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u32),
+    FreeNth(usize),
+}
+
+fn arb_ops(max_size: u32) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u32..max_size).prop_map(Op::Alloc),
+            (0usize..64).prop_map(Op::FreeNth),
+        ],
+        1..120,
+    )
+}
+
+/// Drives a pool with the script, validating after every step; returns
+/// (live_count, total_allocs).
+fn drive(pool: &mut dyn Pool, ops: &[Op]) -> (u64, u64) {
+    let hier = presets::sp64k_dram4m();
+    let mut regions = RegionTable::new(&hier);
+    let mut ctx = AllocCtx::new(hier.len());
+    let mut live: Vec<(u64, u32)> = Vec::new();
+    let mut allocs = 0u64;
+    for op in ops {
+        match op {
+            Op::Alloc(size) => {
+                if let Ok(b) = pool.alloc(*size, &mut regions, &mut ctx) {
+                    assert!(b.occupied >= *size || b.requested == *size);
+                    live.push((b.addr, *size));
+                    allocs += 1;
+                }
+            }
+            Op::FreeNth(n) => {
+                if !live.is_empty() {
+                    let (addr, _) = live.remove(n % live.len());
+                    pool.free(addr, &mut ctx);
+                }
+            }
+        }
+        pool.validate();
+        assert_eq!(pool.live_blocks(), live.len() as u64, "live count drifted");
+        let stats = pool.stats();
+        assert_eq!(stats.live_blocks, live.len() as u64);
+        assert!(
+            stats.live_bytes <= stats.reserved_bytes,
+            "live {} exceeds reserved {}",
+            stats.live_bytes,
+            stats.reserved_bytes
+        );
+    }
+    // Tear down everything and re-validate.
+    for (addr, _) in live.drain(..) {
+        pool.free(addr, &mut ctx);
+    }
+    pool.validate();
+    assert_eq!(pool.live_blocks(), 0);
+    (0, allocs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fixed_pool_invariants(ops in arb_ops(74)) {
+        let mut pool = FixedBlockPool::new(LevelId(1), 74, 8);
+        drive(&mut pool, &ops);
+    }
+
+    #[test]
+    fn segregated_pool_invariants(ops in arb_ops(3000)) {
+        let mut pool = SegregatedPool::new(LevelId(1), 16, 1024, 4096);
+        drive(&mut pool, &ops);
+    }
+
+    #[test]
+    fn buddy_pool_invariants(ops in arb_ops(4000)) {
+        let mut pool = BuddyPool::new(LevelId(1), 5, 13);
+        drive(&mut pool, &ops);
+    }
+
+    #[test]
+    fn region_pool_invariants(ops in arb_ops(2000)) {
+        let mut pool = RegionPool::new(LevelId(1), 4096);
+        drive(&mut pool, &ops);
+    }
+
+    #[test]
+    fn general_pool_invariants(
+        ops in arb_ops(2000),
+        fit_idx in 0usize..4,
+        order_idx in 0usize..4,
+        coalesce_idx in 0usize..3,
+        split in prop::bool::ANY,
+    ) {
+        let mut pool = GeneralPool::new(
+            LevelId(1),
+            FitPolicy::ALL[fit_idx],
+            FreeOrder::ALL[order_idx],
+            CoalescePolicy::COMMON[coalesce_idx],
+            if split { SplitPolicy::MinRemainder(16) } else { SplitPolicy::Never },
+            8,
+            4096,
+        );
+        drive(&mut pool, &ops);
+    }
+
+    /// Address uniqueness: live blocks from any pool never overlap.
+    #[test]
+    fn general_pool_blocks_never_overlap(ops in arb_ops(1500), order_idx in 0usize..4) {
+        let hier = presets::sp64k_dram4m();
+        let mut regions = RegionTable::new(&hier);
+        let mut ctx = AllocCtx::new(hier.len());
+        let mut pool = GeneralPool::new(
+            LevelId(1),
+            FitPolicy::FirstFit,
+            FreeOrder::ALL[order_idx],
+            CoalescePolicy::Immediate,
+            SplitPolicy::MinRemainder(16),
+            8,
+            4096,
+        );
+        let mut live: Vec<(u64, u64)> = Vec::new(); // (start, end)
+        for op in &ops {
+            match op {
+                Op::Alloc(size) => {
+                    if let Ok(b) = pool.alloc(*size, &mut regions, &mut ctx) {
+                        let end = b.addr + u64::from(b.occupied);
+                        for &(s, e) in &live {
+                            prop_assert!(end <= s || b.addr >= e,
+                                "block [{}, {}) overlaps [{s}, {e})", b.addr, end);
+                        }
+                        live.push((b.addr, end));
+                    }
+                }
+                Op::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let (addr, _) = live.remove(n % live.len());
+                        pool.free(addr, &mut ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Footprint accounting in the context always matches what the pools
+    /// actually reserved.
+    #[test]
+    fn footprint_matches_reservations(ops in arb_ops(1000)) {
+        let hier = presets::sp64k_dram4m();
+        let mut regions = RegionTable::new(&hier);
+        let mut ctx = AllocCtx::new(hier.len());
+        let mut pool = SegregatedPool::new(LevelId(1), 16, 512, 2048);
+        let mut live: Vec<u64> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Alloc(size) => {
+                    if let Ok(b) = pool.alloc(*size, &mut regions, &mut ctx) {
+                        live.push(b.addr);
+                    }
+                }
+                Op::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let addr = live.remove(n % live.len());
+                        pool.free(addr, &mut ctx);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(ctx.footprint.reserved(LevelId(1)), regions.used(LevelId(1)));
+        prop_assert_eq!(ctx.footprint.reserved(LevelId(1)), pool.stats().reserved_bytes);
+    }
+}

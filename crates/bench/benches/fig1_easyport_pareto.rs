@@ -1,0 +1,57 @@
+//! Figure 1 (DATE 2006): the Pareto-optimal curve of memory accesses vs.
+//! memory footprint for the Easyport case study.
+//!
+//! At startup this bench regenerates the figure's data: it runs the full
+//! paper-scale exploration once and prints the Pareto series (the paper's
+//! curve) plus the surrounding cloud statistics. Criterion then measures
+//! the tool-side costs that the paper attributes to this step: Pareto
+//! filtering and summary computation over the full result set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use dmx_core::study::{easyport_study, Study, StudyScale};
+use dmx_core::{pareto_front, Objective, StudySummary};
+
+fn study() -> Study {
+    easyport_study(StudyScale::Paper, 42)
+}
+
+fn print_figure(study: &Study) {
+    println!("\n==== Figure 1: Pareto-optimal curve, Easyport (footprint vs accesses) ====");
+    println!(
+        "cloud: {} configurations ({} feasible)",
+        study.summary.total_configs, study.summary.feasible_configs
+    );
+    println!("{:>14} {:>14}   configuration", "footprint_B", "accesses");
+    for (label, fp, acc, _, _) in &study.summary.pareto_curve {
+        println!("{fp:>14} {acc:>14}   {label}");
+    }
+    println!(
+        "series shape vs paper: {} Pareto points (paper: 15); footprint spread /{:.1} \
+         (paper: /2.9); access spread /{:.1} (paper: /4.1)",
+        study.summary.pareto_count,
+        study.summary.pareto_footprint_factor,
+        study.summary.pareto_access_factor
+    );
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let study = study();
+    print_figure(&study);
+
+    let (_, points) = study.exploration.objective_points(&Objective::FIG1);
+    c.bench_function("fig1/pareto_filter_full_space", |b| {
+        b.iter(|| pareto_front(std::hint::black_box(&points)))
+    });
+    c.bench_function("fig1/summary_compute", |b| {
+        b.iter(|| StudySummary::compute(std::hint::black_box(&study.exploration)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_secs(1));
+    targets = bench_fig1
+}
+criterion_main!(benches);

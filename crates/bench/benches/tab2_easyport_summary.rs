@@ -1,0 +1,105 @@
+//! Section 3, Easyport numbers (the paper's first case study).
+//!
+//! Regenerates every quantitative claim the paper makes for Easyport and
+//! prints them paper-vs-measured:
+//!
+//! * full-space footprint range ×11, access range ×54;
+//! * 15 Pareto-optimal configurations;
+//! * within the Pareto set: footprint ÷2.9, accesses ÷4.1,
+//!   energy −71.74 %, execution time −27.92 %.
+//!
+//! Criterion then measures the per-configuration simulation cost (the
+//! inner loop the whole exploration pays 864× for).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+use dmx_alloc::{AllocatorConfig, Simulator};
+use dmx_core::study::{easyport_study, easyport_trace, StudyScale};
+
+fn print_table(summary: &dmx_core::StudySummary) {
+    println!("\n==== Table E (Sec. 3): Easyport case study, paper vs measured ====");
+    println!("{:<44} {:>10} {:>12}", "metric", "paper", "measured");
+    let rows: [(&str, String, String); 7] = [
+        (
+            "full-space footprint range (x)",
+            "11".into(),
+            format!("{:.1}", summary.footprint_range_factor),
+        ),
+        (
+            "full-space access range (x)",
+            "54".into(),
+            format!("{:.1}", summary.access_range_factor),
+        ),
+        ("Pareto-optimal configurations", "15".into(), summary.pareto_count.to_string()),
+        (
+            "within-Pareto footprint reduction (x)",
+            "2.9".into(),
+            format!("{:.1}", summary.pareto_footprint_factor),
+        ),
+        (
+            "within-Pareto access reduction (x)",
+            "4.1".into(),
+            format!("{:.1}", summary.pareto_access_factor),
+        ),
+        (
+            "within-Pareto energy saving (%)",
+            "71.74".into(),
+            format!("{:.2}", summary.energy_saving_pct),
+        ),
+        (
+            "within-Pareto exec-time saving (%)",
+            "27.92".into(),
+            format!("{:.2}", summary.exec_time_saving_pct),
+        ),
+    ];
+    for (name, paper, measured) in rows {
+        println!("{name:<44} {paper:>10} {measured:>12}");
+    }
+}
+
+fn print_meta_front_note(study: &dmx_core::study::Study) {
+    // Auxiliary analysis for EXPERIMENTS.md note 2: the paper's x4.1
+    // within-Pareto access spread is recovered when the access metric is
+    // restricted to allocator-attributable accesses (metadata), i.e. when
+    // the application-data floor is removed.
+    let feasible = study.exploration.feasible();
+    let points: Vec<Vec<u64>> = feasible
+        .iter()
+        .map(|r| vec![r.metrics.footprint, r.metrics.meta_counters.total_accesses()])
+        .collect();
+    let front = dmx_core::pareto_front(&points);
+    let factor = front.range_factor(1).unwrap_or(0.0);
+    println!(
+        "auxiliary: Pareto front on (footprint, allocator-metadata accesses): \
+         {} points, meta-access spread /{:.1} (cf. paper's /4.1 on its access metric)",
+        front.len(),
+        factor
+    );
+}
+
+fn bench_easyport(c: &mut Criterion) {
+    let study = easyport_study(StudyScale::Paper, 42);
+    print_table(&study.summary);
+    print_meta_front_note(&study);
+
+    // The exploration's inner loop: simulate one configuration. Use the
+    // paper's worked-example configuration over the real study trace.
+    let trace = easyport_trace(StudyScale::Paper, 42);
+    let config = AllocatorConfig::paper_example(&study.hierarchy);
+    let sim = Simulator::new(&study.hierarchy);
+
+    let mut group = c.benchmark_group("tab2_easyport");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("simulate_paper_example_config", |b| {
+        b.iter(|| sim.run(std::hint::black_box(&config), std::hint::black_box(&trace)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(5)).warm_up_time(Duration::from_secs(1));
+    targets = bench_easyport
+}
+criterion_main!(benches);

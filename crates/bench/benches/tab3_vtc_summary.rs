@@ -1,0 +1,63 @@
+//! Section 3, VTC numbers (the paper's second case study).
+//!
+//! Paper: "a reduction of up to 82.4% for energy consumption and up to
+//! 5.4% for execution time within the available Pareto-optimal
+//! configurations" for the MPEG-4 Visual Texture deCoder.
+//!
+//! The shape that must reproduce: a compute-dominated decoder whose
+//! allocator tuning moves energy a lot (pool placement) but execution time
+//! only a little.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+use dmx_alloc::Simulator;
+use dmx_core::study::{vtc_study, vtc_trace, StudyScale};
+
+fn bench_vtc(c: &mut Criterion) {
+    let study = vtc_study(StudyScale::Paper, 42);
+    let s = &study.summary;
+
+    println!("\n==== Table V (Sec. 3): MPEG-4 VTC case study, paper vs measured ====");
+    println!("{:<44} {:>10} {:>12}", "metric", "paper", "measured");
+    println!(
+        "{:<44} {:>10} {:>12.2}",
+        "within-Pareto energy saving (%)", "82.4", s.energy_saving_pct
+    );
+    println!(
+        "{:<44} {:>10} {:>12.2}",
+        "within-Pareto exec-time saving (%)", "5.4", s.exec_time_saving_pct
+    );
+    println!(
+        "{:<44} {:>10} {:>12}",
+        "Pareto-optimal configurations", "n/a", s.pareto_count
+    );
+    println!(
+        "shape check: energy lever ({:.1}%) >> time lever ({:.1}%) — compute-dominated decoder",
+        s.energy_saving_pct, s.exec_time_saving_pct
+    );
+    println!("\nPareto curve (footprint bytes, accesses, energy pJ, cycles):");
+    for (label, fp, acc, en, cy) in &s.pareto_curve {
+        println!("{fp:>12} {acc:>12} {en:>16} {cy:>14}  {label}");
+    }
+
+    // Inner loop cost: simulate the knee (or first Pareto) configuration.
+    let trace = vtc_trace(StudyScale::Paper, 42);
+    let front = study.exploration.pareto(&dmx_core::Objective::FIG1);
+    let config = study.exploration.results[front.indices[0]].config.clone();
+    let sim = Simulator::new(&study.hierarchy);
+
+    let mut group = c.benchmark_group("tab3_vtc");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("simulate_pareto_config", |b| {
+        b.iter(|| sim.run(std::hint::black_box(&config), std::hint::black_box(&trace)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(5)).warm_up_time(Duration::from_secs(1));
+    targets = bench_vtc
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Section 2 claim: "our fast parsing of the profiling data (less than 20
+//! seconds), which can reach Gigabytes for one single configuration".
+//!
+//! This bench synthesizes a large profile corpus, measures the parser's
+//! sustained throughput, and reports the implied time for 1 GB next to the
+//! paper's 20-second bar.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::{Duration, Instant};
+
+use dmx_profile::{parse_records, records_to_string, ProfileRecord};
+
+/// Builds a corpus of `n` plausible records (~110 bytes per line).
+fn corpus(n: usize) -> String {
+    let mut records = Vec::with_capacity(n);
+    for i in 0..n as u64 {
+        let mut r = ProfileRecord::new(format!(
+            "fix{}@L0+fix1500@L1+gen(ff,addr,co-im,sp-16,a8)@L1#{i}",
+            28 + (i % 64)
+        ));
+        r.allocs = 24_000 + i;
+        r.frees = 24_000 + i;
+        r.failures = 0;
+        r.footprint = 80_000 + i * 13 % 500_000;
+        r.footprint_per_level = vec![4096 + i % 65_536, 76_000 + i % 400_000];
+        r.energy_pj = 900_000_000 + i * 7919;
+        r.cycles = 12_000_000 + i * 131;
+        r.accesses = vec![(500_000 + i, 250_000 + i), (100_000 + i, 50_000 + i)];
+        r.meta_accesses = vec![(60_000 + i, 30_000 + i), (9_000 + i, 4_000 + i)];
+        records.push(r);
+    }
+    records_to_string(&records)
+}
+
+fn bench_parse(c: &mut Criterion) {
+    // ~55 MB corpus: big enough for a stable throughput estimate, small
+    // enough to iterate.
+    let text = corpus(400_000);
+    let bytes = text.len();
+
+    // One timed pass to print the paper-vs-measured row.
+    let t0 = Instant::now();
+    let parsed = parse_records(&text).expect("corpus is well-formed");
+    let dt = t0.elapsed();
+    let mbps = bytes as f64 / 1e6 / dt.as_secs_f64();
+    let secs_per_gb = 1e9 / (mbps * 1e6);
+    println!("\n==== Claim P1 (Sec. 2): profiling-data parsing speed ====");
+    println!(
+        "corpus: {} records, {:.1} MB; parsed in {:.3} s ({:.0} MB/s)",
+        parsed.len(),
+        bytes as f64 / 1e6,
+        dt.as_secs_f64(),
+        mbps
+    );
+    println!(
+        "time for 1 GB: paper < 20 s, measured {:.1} s — {}",
+        secs_per_gb,
+        if secs_per_gb < 20.0 { "claim holds" } else { "claim DOES NOT hold" }
+    );
+
+    let mut group = c.benchmark_group("tab4_parse");
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.sample_size(10);
+    group.bench_function("parse_records_55MB", |b| {
+        b.iter(|| parse_records(std::hint::black_box(&text)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(Duration::from_secs(8)).warm_up_time(Duration::from_secs(1));
+    targets = bench_parse
+}
+criterion_main!(benches);

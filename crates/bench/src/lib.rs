@@ -1,0 +1,2 @@
+//! Shared helpers for the dmx benchmark harness live in the bench targets
+//! themselves; this crate exists to host the Criterion benches.

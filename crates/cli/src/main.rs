@@ -1,0 +1,253 @@
+//! `dmx` — command-line front-end for the exploration tool.
+//!
+//! Subcommands mirror the paper's tool flow (Figure 1):
+//!
+//! ```text
+//! dmx gen-trace <easyport|vtc|synthetic> --out FILE [--seed N] [--paper]
+//! dmx profile   --trace FILE
+//! dmx explore   --trace FILE --out-records FILE [--csv FILE] [--gnuplot FILE]
+//! dmx pareto    --records FILE [--objectives footprint,accesses]
+//! dmx report    --records FILE
+//! ```
+
+use std::fs;
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use dmx_core::export::{gnuplot_script, to_csv};
+use dmx_core::{Explorer, Objective, ParamSpace, StudySummary};
+use dmx_memhier::presets;
+use dmx_profile::{parse_records, records_to_string, ProfileRecord};
+use dmx_trace::gen::{EasyportConfig, SyntheticConfig, TraceGenerator, VtcConfig};
+use dmx_trace::{textfmt, Trace, TraceStats};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("dmx: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    };
+    // Downstream tools (`head`, `less`) may close stdout early; flush and
+    // swallow the broken pipe rather than panicking mid-report.
+    let _ = std::io::stdout().flush();
+    code
+}
+
+/// `println!` that ignores a closed stdout (SIGPIPE-friendly).
+macro_rules! outln {
+    ($($arg:tt)*) => {
+        if writeln!(std::io::stdout(), $($arg)*).is_err() {
+            return Ok(());
+        }
+    };
+}
+
+const USAGE: &str = "usage:
+  dmx gen-trace <easyport|vtc|synthetic> --out FILE [--seed N] [--paper]
+  dmx profile   --trace FILE
+  dmx explore   --trace FILE --out-records FILE [--csv FILE] [--gnuplot FILE]
+  dmx pareto    --records FILE [--objectives footprint,accesses,energy,cycles]
+  dmx report    --records FILE
+  dmx study     <easyport|vtc> [--seed N] [--paper]";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or("missing subcommand")?;
+    let rest: Vec<&String> = it.collect();
+    match cmd.as_str() {
+        "gen-trace" => gen_trace(&rest),
+        "profile" => profile(&rest),
+        "explore" => explore(&rest),
+        "pareto" => pareto(&rest),
+        "report" => report(&rest),
+        "study" => study(&rest),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+/// Fetches the value following a `--flag`.
+fn opt<'a>(rest: &'a [&String], flag: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a.as_str() == flag)
+        .and_then(|i| rest.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn has_flag(rest: &[&String], flag: &str) -> bool {
+    rest.iter().any(|a| a.as_str() == flag)
+}
+
+fn load_trace(rest: &[&String]) -> Result<Trace, String> {
+    let path = opt(rest, "--trace").ok_or("missing --trace FILE")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    textfmt::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn load_records(rest: &[&String]) -> Result<Vec<ProfileRecord>, String> {
+    let path = opt(rest, "--records").ok_or("missing --records FILE")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse_records(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn gen_trace(rest: &[&String]) -> Result<(), String> {
+    let kind = rest.first().ok_or("missing generator kind")?;
+    let out = opt(rest, "--out").ok_or("missing --out FILE")?;
+    let seed: u64 = opt(rest, "--seed").unwrap_or("42").parse().map_err(|_| "bad --seed")?;
+    let paper = has_flag(rest, "--paper");
+    let trace = match kind.as_str() {
+        "easyport" => {
+            let cfg = if paper { EasyportConfig::paper() } else { EasyportConfig::small() };
+            cfg.generate(seed)
+        }
+        "vtc" => {
+            let cfg = if paper { VtcConfig::paper() } else { VtcConfig::small() };
+            cfg.generate(seed)
+        }
+        "synthetic" => SyntheticConfig::uniform_churn(if paper { 50_000 } else { 5_000 })
+            .generate(seed),
+        other => return Err(format!("unknown generator `{other}`")),
+    };
+    fs::write(out, textfmt::to_string(&trace)).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("wrote {} events to {out}", trace.len());
+    Ok(())
+}
+
+fn profile(rest: &[&String]) -> Result<(), String> {
+    let trace = load_trace(rest)?;
+    let stats = TraceStats::compute(&trace);
+    outln!("trace `{}`", trace.name());
+    outln!("  events          : {}", stats.events);
+    outln!("  allocs / frees  : {} / {}", stats.allocs, stats.frees);
+    outln!("  peak live       : {} B in {} blocks", stats.peak_live_bytes, stats.peak_live_blocks);
+    outln!("  sizes           : {}..{} B", stats.min_size, stats.max_size);
+    outln!("  mean lifetime   : {:.1} events", stats.mean_lifetime_events);
+    outln!("  app accesses    : {} r / {} w", stats.app_reads, stats.app_writes);
+    outln!("  compute         : {} cycles", stats.tick_cycles);
+    outln!("  hot sizes (top 8 by allocation count):");
+    for s in stats.per_size.iter().take(8) {
+        outln!(
+            "    {:>7} B  x{:<8} peak live {:<6} accesses {}",
+            s.size, s.allocs, s.peak_live, s.accesses
+        );
+    }
+    Ok(())
+}
+
+fn explore(rest: &[&String]) -> Result<(), String> {
+    let trace = load_trace(rest)?;
+    let out_records = opt(rest, "--out-records").ok_or("missing --out-records FILE")?;
+    let hier = presets::sp64k_dram4m();
+    let stats = TraceStats::compute(&trace);
+    let space = ParamSpace::suggest(&stats, &hier);
+    eprintln!(
+        "exploring {} configurations over trace `{}` ({} events)...",
+        space.len(),
+        trace.name(),
+        trace.len()
+    );
+    let exploration = Explorer::new(&hier).run(&space, &trace);
+    let records = exploration.to_records();
+    fs::write(out_records, records_to_string(&records))
+        .map_err(|e| format!("writing {out_records}: {e}"))?;
+    eprintln!("wrote {} records to {out_records}", records.len());
+
+    if let Some(path) = opt(rest, "--csv") {
+        fs::write(path, to_csv(&exploration)).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote CSV to {path}");
+    }
+    if let Some(path) = opt(rest, "--gnuplot") {
+        let front = exploration.pareto(&Objective::FIG1);
+        let script = gnuplot_script(&exploration, &front, Objective::FIG1, trace.name());
+        fs::write(path, script).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote Gnuplot script to {path}");
+    }
+    let _ = write!(std::io::stdout(), "{}", StudySummary::compute(&exploration).render());
+    Ok(())
+}
+
+fn parse_objectives(spec: &str) -> Result<Vec<Objective>, String> {
+    spec.split(',')
+        .map(|name| match name.trim() {
+            "footprint" => Ok(Objective::Footprint),
+            "accesses" => Ok(Objective::Accesses),
+            "energy" => Ok(Objective::EnergyPj),
+            "cycles" | "time" => Ok(Objective::Cycles),
+            other => Err(format!("unknown objective `{other}`")),
+        })
+        .collect()
+}
+
+fn extract(record: &ProfileRecord, objective: Objective) -> u64 {
+    match objective {
+        Objective::Footprint => record.footprint,
+        Objective::Accesses => record.total_accesses(),
+        Objective::EnergyPj => record.energy_pj,
+        Objective::Cycles => record.cycles,
+        _ => unreachable!("parse_objectives covers all variants"),
+    }
+}
+
+fn pareto(rest: &[&String]) -> Result<(), String> {
+    let records = load_records(rest)?;
+    let objectives = parse_objectives(opt(rest, "--objectives").unwrap_or("footprint,accesses"))?;
+    let feasible: Vec<&ProfileRecord> = records.iter().filter(|r| r.feasible()).collect();
+    let points: Vec<Vec<u64>> = feasible
+        .iter()
+        .map(|r| objectives.iter().map(|o| extract(r, *o)).collect())
+        .collect();
+    let front = dmx_core::pareto_front(&points);
+    outln!(
+        "{} records, {} feasible, {} Pareto-optimal on ({})",
+        records.len(),
+        feasible.len(),
+        front.len(),
+        objectives.iter().map(|o| o.name()).collect::<Vec<_>>().join(", ")
+    );
+    for (k, &i) in front.indices.iter().enumerate() {
+        let vals: Vec<String> = front.points[k].iter().map(|v| v.to_string()).collect();
+        outln!("{:<60} {}", feasible[i].label, vals.join(" "));
+    }
+    Ok(())
+}
+
+fn study(rest: &[&String]) -> Result<(), String> {
+    use dmx_core::study::{easyport_study, vtc_study, StudyScale};
+    let which = rest.first().ok_or("missing study name")?;
+    let seed: u64 = opt(rest, "--seed").unwrap_or("42").parse().map_err(|_| "bad --seed")?;
+    let scale = if has_flag(rest, "--paper") { StudyScale::Paper } else { StudyScale::Quick };
+    let study = match which.as_str() {
+        "easyport" => easyport_study(scale, seed),
+        "vtc" => vtc_study(scale, seed),
+        other => return Err(format!("unknown study `{other}`")),
+    };
+    let _ = write!(std::io::stdout(), "{}", study.summary.render());
+    Ok(())
+}
+
+fn report(rest: &[&String]) -> Result<(), String> {
+    let records = load_records(rest)?;
+    let feasible: Vec<&ProfileRecord> = records.iter().filter(|r| r.feasible()).collect();
+    outln!("records: {} total, {} feasible", records.len(), feasible.len());
+    if feasible.is_empty() {
+        return Ok(());
+    }
+    let by = |f: fn(&ProfileRecord) -> u64| {
+        let min = feasible.iter().map(|r| f(r)).min().expect("non-empty");
+        let max = feasible.iter().map(|r| f(r)).max().expect("non-empty");
+        (min, max)
+    };
+    let (fp_min, fp_max) = by(|r| r.footprint);
+    let (ac_min, ac_max) = by(|r| r.total_accesses());
+    let (en_min, en_max) = by(|r| r.energy_pj);
+    let (cy_min, cy_max) = by(|r| r.cycles);
+    outln!("footprint : {fp_min} .. {fp_max} B (x{:.1})", fp_max as f64 / fp_min as f64);
+    outln!("accesses  : {ac_min} .. {ac_max} (x{:.1})", ac_max as f64 / ac_min as f64);
+    outln!("energy    : {en_min} .. {en_max} pJ (x{:.1})", en_max as f64 / en_min as f64);
+    outln!("cycles    : {cy_min} .. {cy_max} (x{:.1})", cy_max as f64 / cy_min as f64);
+    Ok(())
+}

@@ -1,0 +1,135 @@
+//! Integration tests for the `dmx` binary: every subcommand end to end
+//! through real process invocations and real files.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn dmx() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dmx"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dmx-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let out = cmd.output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "command failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+#[test]
+fn gen_profile_explore_pareto_report_pipeline() {
+    let dir = tmpdir("pipeline");
+    let trace = dir.join("t.trace");
+    let records = dir.join("t.prof");
+    let csv = dir.join("t.csv");
+    let gp = dir.join("t.gp");
+
+    // gen-trace with a small synthetic workload (fast).
+    run_ok(dmx()
+        .args(["gen-trace", "synthetic", "--seed", "3", "--out"])
+        .arg(&trace));
+    assert!(trace.exists());
+
+    // profile
+    let out = run_ok(dmx().arg("profile").arg("--trace").arg(&trace));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("hot sizes"), "profile output: {text}");
+
+    // explore (+ csv + gnuplot artifacts)
+    let out = run_ok(dmx()
+        .arg("explore")
+        .arg("--trace")
+        .arg(&trace)
+        .arg("--out-records")
+        .arg(&records)
+        .arg("--csv")
+        .arg(&csv)
+        .arg("--gnuplot")
+        .arg(&gp));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Pareto-optimal configurations"));
+    assert!(records.exists() && csv.exists() && gp.exists());
+
+    // pareto over the written records
+    let out = run_ok(dmx()
+        .arg("pareto")
+        .arg("--records")
+        .arg(&records)
+        .args(["--objectives", "footprint,accesses,energy"]));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Pareto-optimal on (footprint_bytes, accesses, energy_pj)"));
+
+    // report
+    let out = run_ok(dmx().arg("report").arg("--records").arg(&records));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("footprint :"));
+    assert!(text.contains("energy    :"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn study_subcommand_prints_summary() {
+    let out = run_ok(dmx().args(["study", "vtc", "--seed", "5"]));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("=== dmx exploration summary: vtc ==="));
+    assert!(text.contains("within Pareto set"));
+}
+
+#[test]
+fn missing_arguments_fail_with_usage() {
+    let out = dmx().output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "stderr: {err}");
+
+    let out = dmx().args(["explore"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--trace"), "stderr: {err}");
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let out = dmx().args(["frobnicate"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn bad_trace_file_is_reported() {
+    let dir = tmpdir("bad");
+    let bogus = dir.join("bogus.trace");
+    std::fs::write(&bogus, "this is not a trace\n").unwrap();
+    let out = dmx()
+        .arg("profile")
+        .arg("--trace")
+        .arg(&bogus)
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("parsing"), "stderr: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gen_trace_all_kinds() {
+    let dir = tmpdir("kinds");
+    for kind in ["easyport", "vtc", "synthetic"] {
+        let path = dir.join(format!("{kind}.trace"));
+        run_ok(dmx().args(["gen-trace", kind, "--seed", "1", "--out"]).arg(&path));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("dmxtrace v1"), "{kind} trace header");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

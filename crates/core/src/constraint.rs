@@ -1,0 +1,166 @@
+//! Designer constraints over exploration results.
+//!
+//! Real embedded designs come with hard budgets ("at most 256 KB of
+//! memory", "the scratchpad is shared — use at most half of it"). A
+//! [`ConstraintSet`] filters an exploration down to the configurations a
+//! designer may actually ship, *before* Pareto selection — the paper's
+//! workflow with the platform limits made explicit.
+
+use dmx_alloc::SimMetrics;
+use dmx_memhier::LevelId;
+
+use crate::objective::Objective;
+use crate::runner::{Exploration, RunResult};
+
+/// One hard constraint on a measured configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Constraint {
+    /// Upper bound on an objective's value.
+    Max(Objective, u64),
+    /// Upper bound on the peak bytes reserved on one memory level.
+    MaxLevelFootprint(LevelId, u64),
+    /// Require that no allocation failed (feasibility).
+    Feasible,
+}
+
+impl Constraint {
+    /// `true` if `metrics` satisfies this constraint.
+    pub fn accepts(&self, metrics: &SimMetrics) -> bool {
+        match *self {
+            Constraint::Max(objective, bound) => objective.extract(metrics) <= bound,
+            Constraint::MaxLevelFootprint(level, bound) => metrics
+                .footprint_per_level
+                .get(level.index())
+                .is_some_and(|&fp| fp <= bound),
+            Constraint::Feasible => metrics.feasible(),
+        }
+    }
+}
+
+/// A conjunction of constraints.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConstraintSet {
+    constraints: Vec<Constraint>,
+}
+
+impl ConstraintSet {
+    /// An empty set (accepts everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a constraint (builder style).
+    #[must_use]
+    pub fn and(mut self, constraint: Constraint) -> Self {
+        self.constraints.push(constraint);
+        self
+    }
+
+    /// The constraints in this set.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// `true` if `metrics` satisfies every constraint.
+    pub fn accepts(&self, metrics: &SimMetrics) -> bool {
+        self.constraints.iter().all(|c| c.accepts(metrics))
+    }
+
+    /// The results of `exploration` that satisfy every constraint.
+    pub fn filter<'a>(&self, exploration: &'a Exploration) -> Vec<&'a RunResult> {
+        exploration
+            .results
+            .iter()
+            .filter(|r| self.accepts(&r.metrics))
+            .collect()
+    }
+
+    /// Restricts an exploration to the admissible configurations,
+    /// producing a new exploration (so Pareto/report tooling applies
+    /// unchanged).
+    pub fn restrict(&self, exploration: &Exploration) -> Exploration {
+        Exploration {
+            workload: exploration.workload.clone(),
+            results: exploration
+                .results
+                .iter()
+                .filter(|r| self.accepts(&r.metrics))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{easyport_study, StudyScale};
+
+    #[test]
+    fn max_objective_constraint_filters() {
+        let study = easyport_study(StudyScale::Quick, 42);
+        let all = study.exploration.results.len();
+        let median_fp = {
+            let mut fps: Vec<u64> = study
+                .exploration
+                .results
+                .iter()
+                .map(|r| r.metrics.footprint)
+                .collect();
+            fps.sort_unstable();
+            fps[fps.len() / 2]
+        };
+        let set = ConstraintSet::new()
+            .and(Constraint::Feasible)
+            .and(Constraint::Max(Objective::Footprint, median_fp));
+        let admissible = set.filter(&study.exploration);
+        assert!(!admissible.is_empty());
+        assert!(admissible.len() < all);
+        for r in &admissible {
+            assert!(r.metrics.footprint <= median_fp);
+            assert!(r.metrics.feasible());
+        }
+    }
+
+    #[test]
+    fn level_budget_constraint() {
+        let study = easyport_study(StudyScale::Quick, 42);
+        let sp = study.hierarchy.fastest();
+        // Allow at most half the scratchpad.
+        let budget = study.hierarchy.level(sp).capacity() / 2;
+        let set = ConstraintSet::new().and(Constraint::MaxLevelFootprint(sp, budget));
+        for r in set.filter(&study.exploration) {
+            assert!(r.metrics.footprint_per_level[sp.index()] <= budget);
+        }
+    }
+
+    #[test]
+    fn restricted_exploration_keeps_tooling_working() {
+        let study = easyport_study(StudyScale::Quick, 42);
+        let set = ConstraintSet::new().and(Constraint::Feasible);
+        let restricted = set.restrict(&study.exploration);
+        assert_eq!(restricted.workload, study.exploration.workload);
+        let front = restricted.pareto(&Objective::FIG1);
+        assert!(!front.is_empty());
+        // Constrained front is never better than the unconstrained one.
+        let full_front = study.exploration.pareto(&Objective::FIG1);
+        let best_fp_full = full_front.points.iter().map(|p| p[0]).min().unwrap();
+        let best_fp_restricted = front.points.iter().map(|p| p[0]).min().unwrap();
+        assert!(best_fp_restricted >= best_fp_full);
+    }
+
+    #[test]
+    fn empty_set_accepts_everything() {
+        let study = easyport_study(StudyScale::Quick, 7);
+        let set = ConstraintSet::new();
+        assert_eq!(set.filter(&study.exploration).len(), study.exploration.results.len());
+    }
+
+    #[test]
+    fn unknown_level_rejects() {
+        let study = easyport_study(StudyScale::Quick, 7);
+        let set = ConstraintSet::new().and(Constraint::MaxLevelFootprint(LevelId(9), u64::MAX));
+        assert!(set.filter(&study.exploration).is_empty(), "out-of-range level never accepts");
+    }
+}

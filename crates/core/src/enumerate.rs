@@ -1,0 +1,191 @@
+//! Enumeration of the configuration space: an odometer over the parameter
+//! axes that yields fully-formed [`AllocatorConfig`]s.
+
+use dmx_alloc::{AllocatorConfig, PoolKind, PoolSpec, Route};
+use dmx_memhier::MemoryHierarchy;
+
+use crate::param::ParamSpace;
+
+/// Iterator over every configuration of a [`ParamSpace`].
+///
+/// The iteration order is deterministic (row-major over the axes in
+/// declaration order), so result tables are reproducible run to run.
+#[derive(Debug)]
+pub struct ConfigIter<'a> {
+    space: &'a ParamSpace,
+    hierarchy: &'a MemoryHierarchy,
+    /// Odometer over the axes; `None` once exhausted.
+    index: Option<[usize; 8]>,
+}
+
+impl<'a> ConfigIter<'a> {
+    pub(crate) fn new(space: &'a ParamSpace, hierarchy: &'a MemoryHierarchy) -> Self {
+        let index = (!space.is_empty()).then_some([0; 8]);
+        ConfigIter { space, hierarchy, index }
+    }
+
+    fn axis_lens(&self) -> [usize; 8] {
+        [
+            self.space.dedicated_size_sets.len(),
+            self.space.placements.len(),
+            self.space.fits.len(),
+            self.space.orders.len(),
+            self.space.coalesces.len(),
+            self.space.splits.len(),
+            self.space.general_levels.len(),
+            self.space.general_chunks.len(),
+        ]
+    }
+
+    fn materialize(&self, idx: &[usize; 8]) -> AllocatorConfig {
+        let sizes = &self.space.dedicated_size_sets[idx[0]];
+        let placement = self.space.placements[idx[1]];
+        let fit = self.space.fits[idx[2]];
+        let order = self.space.orders[idx[3]];
+        let coalesce = self.space.coalesces[idx[4]];
+        let split = self.space.splits[idx[5]];
+        let general_level = self.space.general_levels[idx[6]];
+        let chunk = self.space.general_chunks[idx[7]];
+
+        let mut pools: Vec<PoolSpec> = sizes
+            .iter()
+            .map(|&size| PoolSpec {
+                route: Route::Exact(size),
+                kind: PoolKind::Fixed { block_size: size, chunk_blocks: 32 },
+                level: placement.level_for(size, self.hierarchy),
+            })
+            .collect();
+        pools.push(PoolSpec {
+            route: Route::Fallback,
+            kind: PoolKind::General {
+                fit,
+                order,
+                coalesce,
+                split,
+                align: 8,
+                chunk_bytes: chunk,
+            },
+            level: general_level,
+        });
+        AllocatorConfig { pools }
+    }
+}
+
+impl Iterator for ConfigIter<'_> {
+    type Item = AllocatorConfig;
+
+    fn next(&mut self) -> Option<AllocatorConfig> {
+        loop {
+            let idx = self.index?;
+            // With no dedicated pools the placement axis is meaningless;
+            // emitting it for every placement would duplicate the baseline
+            // configuration. Skip all but placement 0.
+            let skip = self.space.dedicated_size_sets[idx[0]].is_empty() && idx[1] > 0;
+            let config = (!skip).then(|| self.materialize(&idx));
+            // Advance the odometer (last axis fastest).
+            let lens = self.axis_lens();
+            let mut next = idx;
+            let mut carry = true;
+            for d in (0..8).rev() {
+                if !carry {
+                    break;
+                }
+                next[d] += 1;
+                if next[d] < lens[d] {
+                    carry = false;
+                } else {
+                    next[d] = 0;
+                }
+            }
+            self.index = (!carry).then_some(next);
+            if let Some(config) = config {
+                return Some(config);
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Exact size is cheap to compute once; good enough as a hint.
+        let total = self.space.len();
+        (0, Some(total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::PlacementStrategy;
+    use dmx_alloc::{CoalescePolicy, FitPolicy, FreeOrder, SplitPolicy};
+    use dmx_memhier::presets;
+
+    fn tiny_space(hier: &MemoryHierarchy) -> ParamSpace {
+        ParamSpace {
+            dedicated_size_sets: vec![vec![], vec![74]],
+            placements: vec![PlacementStrategy::SmallOnFastest { max_size: 512 }],
+            fits: vec![FitPolicy::FirstFit, FitPolicy::BestFit],
+            orders: vec![FreeOrder::Lifo],
+            coalesces: vec![CoalescePolicy::Never, CoalescePolicy::Immediate],
+            splits: vec![SplitPolicy::Never],
+            general_levels: vec![hier.slowest()],
+            general_chunks: vec![4096],
+        }
+    }
+
+    #[test]
+    fn yields_exactly_len_configs() {
+        let hier = presets::sp64k_dram4m();
+        let space = tiny_space(&hier);
+        let configs: Vec<_> = space.iter_configs(&hier).collect();
+        assert_eq!(configs.len(), space.len());
+        assert_eq!(configs.len(), 8);
+    }
+
+    #[test]
+    fn all_configs_are_valid_and_distinct() {
+        let hier = presets::sp64k_dram4m();
+        let space = tiny_space(&hier);
+        let mut labels: Vec<String> = space
+            .iter_configs(&hier)
+            .map(|c| {
+                c.validate(&hier).expect("enumerated configs are valid");
+                c.label()
+            })
+            .collect();
+        let before = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), before, "labels must be unique");
+    }
+
+    #[test]
+    fn iteration_is_deterministic() {
+        let hier = presets::sp64k_dram4m();
+        let space = tiny_space(&hier);
+        let a: Vec<String> = space.iter_configs(&hier).map(|c| c.label()).collect();
+        let b: Vec<String> = space.iter_configs(&hier).map(|c| c.label()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dedicated_pools_follow_placement() {
+        let hier = presets::sp64k_dram4m();
+        let mut space = tiny_space(&hier);
+        space.dedicated_size_sets = vec![vec![74, 1500]];
+        space.fits.truncate(1);
+        space.coalesces.truncate(1);
+        let config = space.iter_configs(&hier).next().unwrap();
+        // 74 on the scratchpad, 1500 on main memory, general on main.
+        assert_eq!(config.pools[0].level, hier.fastest());
+        assert_eq!(config.pools[1].level, hier.slowest());
+        assert_eq!(config.pools[2].level, hier.slowest());
+    }
+
+    #[test]
+    fn first_config_is_the_bare_baseline() {
+        let hier = presets::sp64k_dram4m();
+        let space = tiny_space(&hier);
+        let first = space.iter_configs(&hier).next().unwrap();
+        assert_eq!(first.pools.len(), 1, "empty dedicated set comes first");
+        assert!(matches!(first.pools[0].route, Route::Fallback));
+    }
+}

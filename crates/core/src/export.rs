@@ -1,0 +1,206 @@
+//! Result exports: CSV, Gnuplot and Markdown — the paper's "results are
+//! provided either on a GUI or in a format easy to import to Excel or
+//! Gnuplot".
+
+use std::fmt::Write as _;
+
+use crate::objective::Objective;
+use crate::pareto::ParetoSet;
+use crate::runner::Exploration;
+
+/// Serializes a full exploration as CSV: one row per configuration with
+/// every metric (spreadsheet import path).
+pub fn to_csv(exploration: &Exploration) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "label,feasible,allocs,frees,failures,footprint_bytes,energy_pj,cycles,accesses,meta_accesses",
+    );
+    let levels = exploration
+        .results
+        .first()
+        .map_or(0, |r| r.metrics.footprint_per_level.len());
+    for l in 0..levels {
+        let _ = write!(out, ",fp_l{l},reads_l{l},writes_l{l}");
+    }
+    out.push('\n');
+    for r in &exploration.results {
+        let m = &r.metrics;
+        let _ = write!(
+            out,
+            "\"{}\",{},{},{},{},{},{},{},{},{}",
+            r.label,
+            m.feasible(),
+            m.allocs,
+            m.frees,
+            m.failures,
+            m.footprint,
+            m.energy_pj,
+            m.cycles,
+            m.total_accesses(),
+            m.meta_counters.total_accesses(),
+        );
+        for (l, fp) in m.footprint_per_level.iter().enumerate() {
+            let c = m.counters.level(dmx_memhier::LevelId(l as u16));
+            let _ = write!(out, ",{fp},{},{}", c.reads, c.writes);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes a Pareto front as CSV with objective columns.
+pub fn pareto_to_csv(
+    exploration: &Exploration,
+    front: &ParetoSet,
+    objectives: &[Objective],
+) -> String {
+    let mut out = String::from("label");
+    for o in objectives {
+        let _ = write!(out, ",{}", o.name());
+    }
+    out.push('\n');
+    for (k, &i) in front.indices.iter().enumerate() {
+        let _ = write!(out, "\"{}\"", exploration.results[i].label);
+        for v in &front.points[k] {
+            let _ = write!(out, ",{v}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Emits a self-contained Gnuplot script plotting every feasible
+/// configuration (dots) and the Pareto front (line+points), reproducing
+/// the paper's Figure 1 curve for the chosen objective pair.
+pub fn gnuplot_script(
+    exploration: &Exploration,
+    front: &ParetoSet,
+    objectives: [Objective; 2],
+    title: &str,
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# dmx exploration plot — {title}");
+    let _ = writeln!(s, "set title \"{title}\"");
+    let _ = writeln!(s, "set xlabel \"{}\"", objectives[0].name());
+    let _ = writeln!(s, "set ylabel \"{}\"", objectives[1].name());
+    let _ = writeln!(s, "set logscale xy");
+    let _ = writeln!(s, "set key top right");
+    s.push_str("$all << EOD\n");
+    let (_, points) = exploration.objective_points(&objectives);
+    for p in &points {
+        let _ = writeln!(s, "{} {}", p[0], p[1]);
+    }
+    s.push_str("EOD\n$pareto << EOD\n");
+    for p in &front.points {
+        let _ = writeln!(s, "{} {}", p[0], p[1]);
+    }
+    s.push_str("EOD\n");
+    s.push_str(
+        "plot $all with points pt 7 ps 0.4 lc rgb \"gray\" title \"all configurations\", \\\n     $pareto with linespoints pt 5 ps 1 lc rgb \"red\" title \"Pareto-optimal\"\n",
+    );
+    s
+}
+
+/// Renders the Pareto front as a Markdown table.
+pub fn pareto_to_markdown(
+    exploration: &Exploration,
+    front: &ParetoSet,
+    objectives: &[Objective],
+) -> String {
+    let mut s = String::from("| configuration |");
+    for o in objectives {
+        let _ = write!(s, " {} |", o.name());
+    }
+    s.push_str("\n|---|");
+    for _ in objectives {
+        s.push_str("---:|");
+    }
+    s.push('\n');
+    for (k, &i) in front.indices.iter().enumerate() {
+        let _ = write!(s, "| `{}` |", exploration.results[i].label);
+        for v in &front.points[k] {
+            let _ = write!(s, " {v} |");
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::{ParamSpace, PlacementStrategy};
+    use crate::runner::Explorer;
+    use dmx_alloc::{CoalescePolicy, FitPolicy, FreeOrder, SplitPolicy};
+    use dmx_memhier::presets;
+    use dmx_trace::gen::{EasyportConfig, TraceGenerator};
+
+    fn tiny_exploration() -> Exploration {
+        let hier = presets::sp64k_dram4m();
+        let trace = EasyportConfig { packets: 120, ..EasyportConfig::paper() }.generate(1);
+        let space = ParamSpace {
+            dedicated_size_sets: vec![vec![], vec![74]],
+            placements: vec![PlacementStrategy::SmallOnFastest { max_size: 512 }],
+            fits: vec![FitPolicy::FirstFit],
+            orders: vec![FreeOrder::Lifo],
+            coalesces: vec![CoalescePolicy::Never],
+            splits: vec![SplitPolicy::Never],
+            general_levels: vec![hier.slowest()],
+            general_chunks: vec![8192],
+        };
+        Explorer::new(&hier).with_threads(1).run(&space, &trace)
+    }
+
+    #[test]
+    fn csv_has_header_and_all_rows() {
+        let exp = tiny_exploration();
+        let csv = to_csv(&exp);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + exp.results.len());
+        assert!(lines[0].starts_with("label,feasible"));
+        assert!(lines[0].contains("fp_l0"), "per-level columns present");
+        // Labels are quoted (they contain commas); the remaining fields of
+        // every row must match the header's column count.
+        let commas = lines[0].matches(',').count();
+        for row in &lines[1..] {
+            assert!(row.starts_with('"'), "label must be quoted: {row}");
+            let after_label = row.rsplit('"').next().expect("closing quote");
+            assert_eq!(after_label.matches(',').count(), commas, "ragged row: {row}");
+        }
+    }
+
+    #[test]
+    fn pareto_csv_lists_front_in_order() {
+        let exp = tiny_exploration();
+        let front = exp.pareto(&Objective::FIG1);
+        let csv = pareto_to_csv(&exp, &front, &Objective::FIG1);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "label,footprint_bytes,accesses");
+        assert_eq!(lines.len(), 1 + front.len());
+        for row in &lines[1..] {
+            assert!(row.starts_with('"'), "label must be quoted: {row}");
+        }
+    }
+
+    #[test]
+    fn gnuplot_script_is_self_contained() {
+        let exp = tiny_exploration();
+        let front = exp.pareto(&Objective::FIG1);
+        let script = gnuplot_script(&exp, &front, Objective::FIG1, "Easyport");
+        assert!(script.contains("$all << EOD"));
+        assert!(script.contains("$pareto << EOD"));
+        assert!(script.contains("set xlabel \"footprint_bytes\""));
+        assert!(script.contains("plot $all"));
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let exp = tiny_exploration();
+        let front = exp.pareto(&Objective::FIG1);
+        let md = pareto_to_markdown(&exp, &front, &Objective::FIG1);
+        let lines: Vec<&str> = md.lines().collect();
+        assert!(lines[0].starts_with("| configuration |"));
+        assert!(lines[1].starts_with("|---|"));
+        assert_eq!(lines.len(), 2 + front.len());
+    }
+}

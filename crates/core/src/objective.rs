@@ -1,0 +1,90 @@
+//! Exploration objectives: which measured metric to minimize.
+
+use std::fmt;
+
+use dmx_alloc::SimMetrics;
+
+/// A metric the Pareto selection minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Objective {
+    /// Total memory accesses over all levels.
+    Accesses,
+    /// Peak memory footprint (bytes reserved from the platform).
+    Footprint,
+    /// Total access energy in picojoules.
+    EnergyPj,
+    /// Execution time in cycles.
+    Cycles,
+}
+
+impl Objective {
+    /// The canonical objective pair of the paper's Figure 1.
+    pub const FIG1: [Objective; 2] = [Objective::Footprint, Objective::Accesses];
+
+    /// Extracts this objective's value from measured metrics.
+    pub fn extract(self, metrics: &SimMetrics) -> u64 {
+        match self {
+            Objective::Accesses => metrics.total_accesses(),
+            Objective::Footprint => metrics.footprint,
+            Objective::EnergyPj => metrics.energy_pj,
+            Objective::Cycles => metrics.cycles,
+        }
+    }
+
+    /// Column/axis name for exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::Accesses => "accesses",
+            Objective::Footprint => "footprint_bytes",
+            Objective::EnergyPj => "energy_pj",
+            Objective::Cycles => "cycles",
+        }
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmx_memhier::CounterSet;
+
+    fn metrics() -> SimMetrics {
+        let mut counters = CounterSet::new(1);
+        counters.record_reads(dmx_memhier::LevelId(0), 10);
+        counters.record_writes(dmx_memhier::LevelId(0), 5);
+        SimMetrics {
+            counters,
+            meta_counters: CounterSet::new(1),
+            footprint: 4096,
+            footprint_per_level: vec![4096],
+            energy_pj: 777,
+            cycles: 999,
+            allocs: 1,
+            frees: 1,
+            failures: 0,
+            peak_internal_frag: 0,
+            ops: 2,
+        }
+    }
+
+    #[test]
+    fn extraction_matches_fields() {
+        let m = metrics();
+        assert_eq!(Objective::Accesses.extract(&m), 15);
+        assert_eq!(Objective::Footprint.extract(&m), 4096);
+        assert_eq!(Objective::EnergyPj.extract(&m), 777);
+        assert_eq!(Objective::Cycles.extract(&m), 999);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Objective::Footprint.to_string(), "footprint_bytes");
+        assert_eq!(Objective::FIG1[1].name(), "accesses");
+    }
+}

@@ -1,0 +1,206 @@
+//! The exploration parameter space — "the list of arrays with the
+//! parameter values to be explored" that is the tool's only required input.
+
+use dmx_alloc::{CoalescePolicy, FitPolicy, FreeOrder, SplitPolicy};
+use dmx_memhier::{LevelId, MemoryHierarchy};
+use dmx_trace::TraceStats;
+
+use crate::enumerate::ConfigIter;
+
+/// How the dedicated pools of a configuration are mapped onto the memory
+/// hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacementStrategy {
+    /// Every dedicated pool on one fixed level.
+    AllOn(LevelId),
+    /// Dedicated pools for blocks up to `max_size` bytes go on the fastest
+    /// level (the scratchpad); larger ones on the slowest. This is the
+    /// paper's example mapping: 74-byte pool on L1, 1500-byte pool on main
+    /// memory.
+    SmallOnFastest {
+        /// Largest block size still placed on the fastest level.
+        max_size: u32,
+    },
+}
+
+impl PlacementStrategy {
+    /// The level a dedicated pool for `size`-byte blocks is placed on.
+    pub fn level_for(&self, size: u32, hierarchy: &MemoryHierarchy) -> LevelId {
+        match *self {
+            PlacementStrategy::AllOn(level) => level,
+            PlacementStrategy::SmallOnFastest { max_size } => {
+                if size <= max_size {
+                    hierarchy.fastest()
+                } else {
+                    hierarchy.slowest()
+                }
+            }
+        }
+    }
+
+    /// Short label for configuration strings.
+    pub fn tag(&self) -> String {
+        match *self {
+            PlacementStrategy::AllOn(level) => format!("all@{level}"),
+            PlacementStrategy::SmallOnFastest { max_size } => format!("sp<={max_size}"),
+        }
+    }
+}
+
+/// The cartesian parameter space of allocator configurations.
+///
+/// Every field is one "array of parameter values"; the explored space is
+/// the cartesian product of all of them. One point denotes: a set of
+/// dedicated fixed-block pools (possibly empty), their placement, and a
+/// fully parameterized general fallback pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpace {
+    /// Candidate sets of dedicated-pool block sizes (e.g. `[]`, `[74]`,
+    /// `[28, 74, 1500]`).
+    pub dedicated_size_sets: Vec<Vec<u32>>,
+    /// Candidate placements for the dedicated pools.
+    pub placements: Vec<PlacementStrategy>,
+    /// Fit policies for the general pool.
+    pub fits: Vec<FitPolicy>,
+    /// Free-list orders for the general pool.
+    pub orders: Vec<FreeOrder>,
+    /// Coalescing policies for the general pool.
+    pub coalesces: Vec<CoalescePolicy>,
+    /// Split policies for the general pool.
+    pub splits: Vec<SplitPolicy>,
+    /// Levels the general pool may be placed on.
+    pub general_levels: Vec<LevelId>,
+    /// Growth-chunk sizes (bytes) for the general pool.
+    pub general_chunks: Vec<u64>,
+}
+
+impl ParamSpace {
+    /// The number of *distinct* configurations in the space.
+    ///
+    /// For an empty dedicated-size set the placement axis collapses (there
+    /// is no dedicated pool to place), so that set contributes one
+    /// configuration per general-pool combination instead of one per
+    /// placement.
+    pub fn len(&self) -> usize {
+        let general = self.fits.len()
+            * self.orders.len()
+            * self.coalesces.len()
+            * self.splits.len()
+            * self.general_levels.len()
+            * self.general_chunks.len();
+        let placed_sets: usize = self
+            .dedicated_size_sets
+            .iter()
+            .map(|set| if set.is_empty() { 1 } else { self.placements.len() })
+            .sum();
+        placed_sets * general
+    }
+
+    /// `true` if any axis is empty (no configurations).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over every configuration in the space.
+    pub fn iter_configs<'a>(&'a self, hierarchy: &'a MemoryHierarchy) -> ConfigIter<'a> {
+        ConfigIter::new(self, hierarchy)
+    }
+
+    /// Derives a default space from profiled workload statistics: the
+    /// dominant block sizes become dedicated-pool candidates (prefix sets
+    /// of the top-4), both placements are explored, and the general pool
+    /// spans the full policy cross-product.
+    ///
+    /// This is the paper's automated flow: profile once, explore the
+    /// derived space.
+    pub fn suggest(stats: &TraceStats, hierarchy: &MemoryHierarchy) -> ParamSpace {
+        let hot = stats.dominant_sizes(4);
+        let mut dedicated_size_sets: Vec<Vec<u32>> = vec![vec![]];
+        for k in 1..=hot.len() {
+            let mut set = hot[..k].to_vec();
+            set.sort_unstable();
+            dedicated_size_sets.push(set);
+        }
+        let scratchpad_cutoff = hierarchy
+            .level(hierarchy.fastest())
+            .capacity()
+            .min(512) as u32;
+        ParamSpace {
+            dedicated_size_sets,
+            placements: vec![
+                PlacementStrategy::AllOn(hierarchy.slowest()),
+                PlacementStrategy::SmallOnFastest { max_size: scratchpad_cutoff },
+            ],
+            fits: FitPolicy::ALL.to_vec(),
+            orders: FreeOrder::ALL.to_vec(),
+            coalesces: CoalescePolicy::COMMON.to_vec(),
+            splits: SplitPolicy::COMMON.to_vec(),
+            general_levels: vec![hierarchy.slowest()],
+            general_chunks: vec![8192],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmx_memhier::presets;
+    use dmx_trace::gen::{EasyportConfig, TraceGenerator};
+
+    #[test]
+    fn placement_strategies_map_sizes() {
+        let hier = presets::sp64k_dram4m();
+        let all_main = PlacementStrategy::AllOn(hier.slowest());
+        assert_eq!(all_main.level_for(74, &hier), hier.slowest());
+        let smart = PlacementStrategy::SmallOnFastest { max_size: 512 };
+        assert_eq!(smart.level_for(74, &hier), hier.fastest());
+        assert_eq!(smart.level_for(1500, &hier), hier.slowest());
+    }
+
+    #[test]
+    fn space_len_is_axis_product() {
+        let hier = presets::sp64k_dram4m();
+        let trace = EasyportConfig::small().generate(1);
+        let stats = dmx_trace::TraceStats::compute(&trace);
+        let space = ParamSpace::suggest(&stats, &hier);
+        // One empty set (placement collapses) + the non-empty sets × 2
+        // placements; times the general-pool cross-product 4*4*3*2.
+        let placed = 1 + (space.dedicated_size_sets.len() - 1) * 2;
+        assert_eq!(space.len(), placed * 4 * 4 * 3 * 2);
+        assert!(!space.is_empty());
+    }
+
+    #[test]
+    fn suggest_uses_dominant_sizes() {
+        let hier = presets::sp64k_dram4m();
+        let trace = EasyportConfig::small().generate(2);
+        let stats = dmx_trace::TraceStats::compute(&trace);
+        let space = ParamSpace::suggest(&stats, &hier);
+        // First set is empty (the general-pool-only baseline).
+        assert!(space.dedicated_size_sets[0].is_empty());
+        // The hottest sizes (28-byte descriptors, 74-byte headers) appear.
+        let all: Vec<u32> = space.dedicated_size_sets.iter().flatten().copied().collect();
+        assert!(all.contains(&28));
+        assert!(all.contains(&74));
+    }
+
+    #[test]
+    fn empty_axis_means_empty_space() {
+        let hier = presets::sp64k_dram4m();
+        let trace = EasyportConfig::small().generate(3);
+        let stats = dmx_trace::TraceStats::compute(&trace);
+        let mut space = ParamSpace::suggest(&stats, &hier);
+        space.fits.clear();
+        assert!(space.is_empty());
+        assert_eq!(space.iter_configs(&hier).count(), 0);
+    }
+
+    #[test]
+    fn placement_tags() {
+        assert_eq!(PlacementStrategy::AllOn(LevelId(1)).tag(), "all@L1");
+        assert_eq!(
+            PlacementStrategy::SmallOnFastest { max_size: 512 }.tag(),
+            "sp<=512"
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Subsampled exploration for very large spaces.
+//!
+//! The paper's spaces reach "tens of thousands" of configurations; when a
+//! full sweep is too slow, a uniform random subsample still recovers most
+//! of the Pareto front (the `tab6_ablation` bench quantifies how much).
+//! Sampling is deterministic in the seed, so subsampled studies stay
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use dmx_alloc::AllocatorConfig;
+use dmx_memhier::MemoryHierarchy;
+
+use crate::param::ParamSpace;
+
+/// Draws `n` distinct configurations uniformly from `space`
+/// (all of them if `n >= space.len()`). Deterministic in `seed`.
+pub fn sample_configs(
+    space: &ParamSpace,
+    hierarchy: &MemoryHierarchy,
+    n: usize,
+    seed: u64,
+) -> Vec<AllocatorConfig> {
+    let total = space.len();
+    if n >= total {
+        return space.iter_configs(hierarchy).collect();
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5A3D_17E1);
+    let mut picks: Vec<usize> = (0..total).collect();
+    picks.shuffle(&mut rng);
+    picks.truncate(n);
+    picks.sort_unstable();
+
+    let mut out = Vec::with_capacity(n);
+    let mut want = picks.iter().copied().peekable();
+    for (i, config) in space.iter_configs(hierarchy).enumerate() {
+        match want.peek() {
+            Some(&next) if next == i => {
+                out.push(config);
+                want.next();
+            }
+            Some(_) => {}
+            None => break,
+        }
+    }
+    out
+}
+
+/// The 2-D hypervolume indicator of a point set (all objectives
+/// minimized), relative to a reference point that must dominate no input
+/// point: the area dominated by the set inside the reference box. Larger
+/// is better; used to quantify how much of the full front a subsample
+/// recovers.
+///
+/// # Panics
+///
+/// Panics if any point exceeds the reference point in either dimension.
+pub fn hypervolume_2d(points: &[(u64, u64)], reference: (u64, u64)) -> u128 {
+    if points.is_empty() {
+        return 0;
+    }
+    let mut sorted: Vec<(u64, u64)> = points.to_vec();
+    for &(x, y) in &sorted {
+        assert!(
+            x <= reference.0 && y <= reference.1,
+            "point ({x}, {y}) outside reference box {reference:?}"
+        );
+    }
+    sorted.sort_unstable();
+    // Sweep in x; only points that improve y contribute area.
+    let mut volume: u128 = 0;
+    let mut best_y = reference.1;
+    for &(x, y) in &sorted {
+        if y < best_y {
+            volume += u128::from(reference.0 - x) * u128::from(best_y - y);
+            best_y = y;
+        }
+    }
+    volume
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{easyport_space, StudyScale};
+    use dmx_memhier::presets;
+
+    #[test]
+    fn sample_is_deterministic_and_distinct() {
+        let hier = presets::sp64k_dram4m();
+        let space = easyport_space(&hier, StudyScale::Quick);
+        let a = sample_configs(&space, &hier, 10, 7);
+        let b = sample_configs(&space, &hier, 10, 7);
+        assert_eq!(a.len(), 10);
+        let la: Vec<String> = a.iter().map(|c| c.label()).collect();
+        let lb: Vec<String> = b.iter().map(|c| c.label()).collect();
+        assert_eq!(la, lb, "same seed, same sample");
+        let mut dedup = la.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10, "sampled configs are distinct");
+    }
+
+    #[test]
+    fn different_seed_different_sample() {
+        let hier = presets::sp64k_dram4m();
+        let space = easyport_space(&hier, StudyScale::Quick);
+        let a: Vec<String> = sample_configs(&space, &hier, 12, 1)
+            .iter()
+            .map(|c| c.label())
+            .collect();
+        let b: Vec<String> = sample_configs(&space, &hier, 12, 2)
+            .iter()
+            .map(|c| c.label())
+            .collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn oversized_request_returns_whole_space() {
+        let hier = presets::sp64k_dram4m();
+        let space = easyport_space(&hier, StudyScale::Quick);
+        let all = sample_configs(&space, &hier, usize::MAX, 3);
+        assert_eq!(all.len(), space.len());
+    }
+
+    #[test]
+    fn hypervolume_of_single_point() {
+        // Point (2, 3) with reference (10, 10): area 8 * 7 = 56.
+        assert_eq!(hypervolume_2d(&[(2, 3)], (10, 10)), 56);
+    }
+
+    #[test]
+    fn hypervolume_staircase() {
+        // Two trade-off points: (2, 8) and (6, 3), reference (10, 10).
+        // (2,8): (10-2)*(10-8) = 16; (6,3): (10-6)*(8-3) = 20. Total 36.
+        assert_eq!(hypervolume_2d(&[(2, 8), (6, 3)], (10, 10)), 36);
+        // Order must not matter.
+        assert_eq!(hypervolume_2d(&[(6, 3), (2, 8)], (10, 10)), 36);
+    }
+
+    #[test]
+    fn dominated_points_add_nothing() {
+        let with = hypervolume_2d(&[(2, 3), (5, 5)], (10, 10));
+        let without = hypervolume_2d(&[(2, 3)], (10, 10));
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    fn empty_set_has_zero_volume() {
+        assert_eq!(hypervolume_2d(&[], (10, 10)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside reference box")]
+    fn reference_must_bound_points() {
+        let _ = hypervolume_2d(&[(11, 3)], (10, 10));
+    }
+
+    #[test]
+    fn subsample_front_volume_close_to_full() {
+        use crate::objective::Objective;
+        use crate::runner::Explorer;
+        use crate::study::easyport_trace;
+
+        let hier = presets::sp64k_dram4m();
+        let space = easyport_space(&hier, StudyScale::Quick);
+        let trace = easyport_trace(StudyScale::Quick, 42);
+        let explorer = Explorer::new(&hier);
+
+        let full = explorer.run(&space, &trace);
+        let half = explorer.run_configs(
+            sample_configs(&space, &hier, space.len() / 2, 9),
+            &trace,
+        );
+
+        let points = |e: &crate::runner::Exploration| -> Vec<(u64, u64)> {
+            e.pareto(&Objective::FIG1)
+                .points
+                .iter()
+                .map(|p| (p[0], p[1]))
+                .collect()
+        };
+        let pf = points(&full);
+        let ph = points(&half);
+        let reference = (
+            pf.iter().chain(&ph).map(|p| p.0).max().unwrap() + 1,
+            pf.iter().chain(&ph).map(|p| p.1).max().unwrap() + 1,
+        );
+        let vf = hypervolume_2d(&pf, reference);
+        let vh = hypervolume_2d(&ph, reference);
+        assert!(vh <= vf, "subsample cannot beat the full front");
+        assert!(
+            vh * 10 >= vf * 7,
+            "a 50% sample should recover >=70% of the front volume ({vh} vs {vf})"
+        );
+    }
+}

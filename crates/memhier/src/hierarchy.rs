@@ -1,0 +1,202 @@
+//! The ordered collection of memory levels making up a platform.
+
+use std::fmt;
+
+use crate::error::HierarchyError;
+use crate::level::MemoryLevel;
+
+/// Index of a level within a [`MemoryHierarchy`].
+///
+/// Level 0 is the fastest/closest level (e.g. an L1 scratchpad); higher
+/// indices are further from the CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LevelId(pub u16);
+
+impl LevelId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LevelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// An ordered, validated set of [`MemoryLevel`]s.
+///
+/// Levels are ordered fastest-first. The hierarchy is immutable once built:
+/// the exploration tool treats the platform as fixed while it varies the
+/// allocator configuration (the paper's premise — customization happens in
+/// middleware, not platform hardware).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryHierarchy {
+    levels: Vec<MemoryLevel>,
+}
+
+impl MemoryHierarchy {
+    /// Builds a hierarchy from fastest to slowest level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HierarchyError::Empty`] for an empty level list and
+    /// [`HierarchyError::DuplicateName`] if two levels share a name.
+    pub fn new(levels: Vec<MemoryLevel>) -> Result<Self, HierarchyError> {
+        if levels.is_empty() {
+            return Err(HierarchyError::Empty);
+        }
+        for (i, a) in levels.iter().enumerate() {
+            for b in levels.iter().skip(i + 1) {
+                if a.name() == b.name() {
+                    return Err(HierarchyError::DuplicateName(a.name().to_owned()));
+                }
+            }
+        }
+        Ok(MemoryHierarchy { levels })
+    }
+
+    /// Number of levels.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// `true` if the hierarchy has no levels (never true for a built value).
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// The level with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range; ids should come from the same
+    /// hierarchy via [`MemoryHierarchy::ids`] or
+    /// [`MemoryHierarchy::id_by_name`].
+    pub fn level(&self, id: LevelId) -> &MemoryLevel {
+        &self.levels[id.index()]
+    }
+
+    /// Iterates over `(LevelId, &MemoryLevel)` pairs, fastest first.
+    pub fn iter(&self) -> impl Iterator<Item = (LevelId, &MemoryLevel)> {
+        self.levels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LevelId(i as u16), l))
+    }
+
+    /// Iterates over the ids of all levels, fastest first.
+    pub fn ids(&self) -> impl Iterator<Item = LevelId> + '_ {
+        (0..self.levels.len()).map(|i| LevelId(i as u16))
+    }
+
+    /// Looks a level up by name.
+    pub fn id_by_name(&self, name: &str) -> Option<LevelId> {
+        self.levels
+            .iter()
+            .position(|l| l.name() == name)
+            .map(|i| LevelId(i as u16))
+    }
+
+    /// Id of the fastest (first) level.
+    pub fn fastest(&self) -> LevelId {
+        LevelId(0)
+    }
+
+    /// Id of the slowest (last) level — the conventional default placement
+    /// for pools that were not explicitly mapped.
+    pub fn slowest(&self) -> LevelId {
+        LevelId((self.levels.len() - 1) as u16)
+    }
+
+    /// Total capacity over all levels, in bytes.
+    pub fn total_capacity(&self) -> u64 {
+        self.levels.iter().map(|l| l.capacity()).sum()
+    }
+
+    /// `true` if `id` belongs to this hierarchy.
+    pub fn contains(&self, id: LevelId) -> bool {
+        id.index() < self.levels.len()
+    }
+}
+
+impl fmt::Display for MemoryHierarchy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (id, level) in self.iter() {
+            writeln!(f, "{id}: {level}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::LevelKind;
+
+    fn mk(name: &str, cap: u64) -> MemoryLevel {
+        MemoryLevel::builder(name, LevelKind::Sram)
+            .capacity(cap)
+            .build()
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(MemoryHierarchy::new(vec![]), Err(HierarchyError::Empty));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = MemoryHierarchy::new(vec![mk("a", 1), mk("a", 2)]).unwrap_err();
+        assert_eq!(err, HierarchyError::DuplicateName("a".into()));
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let h = MemoryHierarchy::new(vec![mk("l1", 64), mk("main", 4096)]).unwrap();
+        let main = h.id_by_name("main").unwrap();
+        assert_eq!(main, LevelId(1));
+        assert_eq!(h.level(main).capacity(), 4096);
+        assert!(h.id_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn fastest_and_slowest() {
+        let h = MemoryHierarchy::new(vec![mk("l1", 64), mk("l2", 128), mk("main", 4096)]).unwrap();
+        assert_eq!(h.fastest(), LevelId(0));
+        assert_eq!(h.slowest(), LevelId(2));
+        assert_eq!(h.len(), 3);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn total_capacity_sums_levels() {
+        let h = MemoryHierarchy::new(vec![mk("l1", 64), mk("main", 4096)]).unwrap();
+        assert_eq!(h.total_capacity(), 4160);
+    }
+
+    #[test]
+    fn iter_is_ordered() {
+        let h = MemoryHierarchy::new(vec![mk("l1", 64), mk("main", 4096)]).unwrap();
+        let names: Vec<&str> = h.iter().map(|(_, l)| l.name()).collect();
+        assert_eq!(names, ["l1", "main"]);
+        let ids: Vec<LevelId> = h.ids().collect();
+        assert_eq!(ids, [LevelId(0), LevelId(1)]);
+    }
+
+    #[test]
+    fn contains_checks_range() {
+        let h = MemoryHierarchy::new(vec![mk("l1", 64)]).unwrap();
+        assert!(h.contains(LevelId(0)));
+        assert!(!h.contains(LevelId(1)));
+    }
+
+    #[test]
+    fn display_lists_all_levels() {
+        let h = MemoryHierarchy::new(vec![mk("l1", 64), mk("main", 4096)]).unwrap();
+        let s = h.to_string();
+        assert!(s.contains("L0"));
+        assert!(s.contains("main"));
+    }
+}

@@ -1,0 +1,283 @@
+//! A single level of the platform memory hierarchy.
+
+use std::fmt;
+
+/// The technology class of a memory level.
+///
+/// The kind is descriptive: all cost figures live in [`MemoryLevel`] itself.
+/// It is used by reports and by placement heuristics (e.g. "prefer the
+/// scratchpad for the hottest dedicated pool").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum LevelKind {
+    /// Software-controlled on-chip SRAM (no tags, single-cycle).
+    Scratchpad,
+    /// Generic on-chip SRAM (e.g. an L2 memory).
+    Sram,
+    /// Off-chip or embedded DRAM main memory.
+    Dram,
+    /// Non-volatile flash (rarely a DM-pool target; modeled for completeness).
+    Flash,
+}
+
+impl fmt::Display for LevelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LevelKind::Scratchpad => "scratchpad",
+            LevelKind::Sram => "sram",
+            LevelKind::Dram => "dram",
+            LevelKind::Flash => "flash",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One level of the memory hierarchy: capacity plus per-access costs.
+///
+/// Energy is tracked in integer **picojoules per access** and latency in
+/// integer **cycles per access**, so all derived totals are exact integers.
+/// The default figures in [`presets`](crate::presets) are CACTI-style
+/// ballpark values for a 0.13–0.18 µm embedded platform, which is the class
+/// of platform the DATE 2006 paper evaluates on; only the *ratios* between
+/// levels matter for the shape of the exploration results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryLevel {
+    name: String,
+    kind: LevelKind,
+    capacity: u64,
+    read_energy_pj: u64,
+    write_energy_pj: u64,
+    read_latency: u32,
+    write_latency: u32,
+    leakage_pj_per_kcycle: u64,
+}
+
+impl MemoryLevel {
+    /// Starts building a level with the given name and kind.
+    ///
+    /// ```
+    /// use dmx_memhier::{LevelKind, MemoryLevel};
+    /// let sp = MemoryLevel::builder("L1", LevelKind::Scratchpad)
+    ///     .capacity(64 * 1024)
+    ///     .read_energy_pj(50)
+    ///     .write_energy_pj(55)
+    ///     .read_latency(1)
+    ///     .write_latency(1)
+    ///     .build();
+    /// assert_eq!(sp.capacity(), 65536);
+    /// ```
+    pub fn builder(name: impl Into<String>, kind: LevelKind) -> MemoryLevelBuilder {
+        MemoryLevelBuilder {
+            name: name.into(),
+            kind,
+            capacity: 0,
+            read_energy_pj: 1,
+            write_energy_pj: 1,
+            read_latency: 1,
+            write_latency: 1,
+            leakage_pj_per_kcycle: 0,
+        }
+    }
+
+    /// Human-readable level name, unique within a hierarchy.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Technology class of this level.
+    pub fn kind(&self) -> LevelKind {
+        self.kind
+    }
+
+    /// Usable capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Energy per read access, in picojoules.
+    pub fn read_energy_pj(&self) -> u64 {
+        self.read_energy_pj
+    }
+
+    /// Energy per write access, in picojoules.
+    pub fn write_energy_pj(&self) -> u64 {
+        self.write_energy_pj
+    }
+
+    /// Latency of one read access, in CPU cycles.
+    pub fn read_latency(&self) -> u32 {
+        self.read_latency
+    }
+
+    /// Latency of one write access, in CPU cycles.
+    pub fn write_latency(&self) -> u32 {
+        self.write_latency
+    }
+
+    /// Static (leakage/refresh) energy, in picojoules per 1000 cycles.
+    /// Zero means leakage is not modeled for this level.
+    pub fn leakage_pj_per_kcycle(&self) -> u64 {
+        self.leakage_pj_per_kcycle
+    }
+}
+
+impl fmt::Display for MemoryLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {} B, r/w {}/{} pJ, {}/{} cyc)",
+            self.name,
+            self.kind,
+            self.capacity,
+            self.read_energy_pj,
+            self.write_energy_pj,
+            self.read_latency,
+            self.write_latency
+        )
+    }
+}
+
+/// Builder for [`MemoryLevel`]; see [`MemoryLevel::builder`].
+#[derive(Debug, Clone)]
+pub struct MemoryLevelBuilder {
+    name: String,
+    kind: LevelKind,
+    capacity: u64,
+    read_energy_pj: u64,
+    write_energy_pj: u64,
+    read_latency: u32,
+    write_latency: u32,
+    leakage_pj_per_kcycle: u64,
+}
+
+impl MemoryLevelBuilder {
+    /// Sets the usable capacity in bytes.
+    pub fn capacity(mut self, bytes: u64) -> Self {
+        self.capacity = bytes;
+        self
+    }
+
+    /// Sets the per-read energy in picojoules (must be non-zero).
+    pub fn read_energy_pj(mut self, pj: u64) -> Self {
+        self.read_energy_pj = pj;
+        self
+    }
+
+    /// Sets the per-write energy in picojoules (must be non-zero).
+    pub fn write_energy_pj(mut self, pj: u64) -> Self {
+        self.write_energy_pj = pj;
+        self
+    }
+
+    /// Sets the read latency in cycles (must be non-zero).
+    pub fn read_latency(mut self, cycles: u32) -> Self {
+        self.read_latency = cycles;
+        self
+    }
+
+    /// Sets the write latency in cycles (must be non-zero).
+    pub fn write_latency(mut self, cycles: u32) -> Self {
+        self.write_latency = cycles;
+        self
+    }
+
+    /// Sets the static (leakage/refresh) energy in picojoules per 1000
+    /// cycles. Defaults to 0 (leakage not modeled).
+    pub fn leakage_pj_per_kcycle(mut self, pj: u64) -> Self {
+        self.leakage_pj_per_kcycle = pj;
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any energy or latency figure is zero — a zero-cost memory
+    /// would make every placement trivially optimal and always indicates a
+    /// configuration bug.
+    pub fn build(self) -> MemoryLevel {
+        assert!(
+            self.read_energy_pj > 0 && self.write_energy_pj > 0,
+            "per-access energy must be non-zero for level `{}`",
+            self.name
+        );
+        assert!(
+            self.read_latency > 0 && self.write_latency > 0,
+            "access latency must be non-zero for level `{}`",
+            self.name
+        );
+        MemoryLevel {
+            name: self.name,
+            kind: self.kind,
+            capacity: self.capacity,
+            read_energy_pj: self.read_energy_pj,
+            write_energy_pj: self.write_energy_pj,
+            read_latency: self.read_latency,
+            write_latency: self.write_latency,
+            leakage_pj_per_kcycle: self.leakage_pj_per_kcycle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let l = MemoryLevel::builder("main", LevelKind::Dram)
+            .capacity(4 << 20)
+            .read_energy_pj(1500)
+            .write_energy_pj(1600)
+            .read_latency(20)
+            .write_latency(22)
+            .leakage_pj_per_kcycle(25)
+            .build();
+        assert_eq!(l.name(), "main");
+        assert_eq!(l.kind(), LevelKind::Dram);
+        assert_eq!(l.capacity(), 4 << 20);
+        assert_eq!(l.read_energy_pj(), 1500);
+        assert_eq!(l.write_energy_pj(), 1600);
+        assert_eq!(l.read_latency(), 20);
+        assert_eq!(l.write_latency(), 22);
+        assert_eq!(l.leakage_pj_per_kcycle(), 25);
+    }
+
+    #[test]
+    fn leakage_defaults_to_zero() {
+        let l = MemoryLevel::builder("x", LevelKind::Sram).capacity(1).build();
+        assert_eq!(l.leakage_pj_per_kcycle(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "energy must be non-zero")]
+    fn zero_energy_rejected() {
+        let _ = MemoryLevel::builder("bad", LevelKind::Sram)
+            .read_energy_pj(0)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be non-zero")]
+    fn zero_latency_rejected() {
+        let _ = MemoryLevel::builder("bad", LevelKind::Sram)
+            .read_latency(0)
+            .build();
+    }
+
+    #[test]
+    fn display_mentions_name_and_kind() {
+        let l = MemoryLevel::builder("L1", LevelKind::Scratchpad)
+            .capacity(1024)
+            .build();
+        let s = l.to_string();
+        assert!(s.contains("L1"));
+        assert!(s.contains("scratchpad"));
+    }
+
+    #[test]
+    fn kind_display_is_lowercase() {
+        assert_eq!(LevelKind::Dram.to_string(), "dram");
+        assert_eq!(LevelKind::Flash.to_string(), "flash");
+    }
+}

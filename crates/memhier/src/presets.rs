@@ -1,0 +1,115 @@
+//! Ready-made platform descriptions.
+//!
+//! Energy and latency figures are CACTI-style ballpark values for a
+//! 0.13–0.18 µm embedded platform (the technology generation of the DATE
+//! 2006 evaluation). Absolute numbers are not calibrated to any silicon;
+//! what the exploration results depend on is the *ratio* between levels —
+//! an on-chip scratchpad access is roughly an order of magnitude cheaper
+//! than a main-memory access in both energy and latency.
+
+use crate::hierarchy::MemoryHierarchy;
+use crate::level::{LevelKind, MemoryLevel};
+
+/// The paper's example platform: a 64 KB L1 scratchpad plus a 4 MB main
+/// memory ("a dedicated pool for 74-byte blocks must be placed onto the
+/// L1 64 KB scratchpad memory, while a general pool and a dedicated pool
+/// for 1500-byte blocks must use the 4 MB main memory").
+pub fn sp64k_dram4m() -> MemoryHierarchy {
+    MemoryHierarchy::new(vec![
+        MemoryLevel::builder("L1-scratchpad", LevelKind::Scratchpad)
+            .capacity(64 * 1024)
+            .read_energy_pj(52)
+            .write_energy_pj(58)
+            .read_latency(1)
+            .write_latency(1)
+            .leakage_pj_per_kcycle(2)
+            .build(),
+        MemoryLevel::builder("main-dram", LevelKind::Dram)
+            .capacity(4 * 1024 * 1024)
+            .read_energy_pj(1480)
+            .write_energy_pj(1620)
+            .read_latency(18)
+            .write_latency(20)
+            .leakage_pj_per_kcycle(24)
+            .build(),
+    ])
+    .expect("preset hierarchy is valid")
+}
+
+/// A three-level platform: 32 KB scratchpad, 256 KB on-chip SRAM, 8 MB DRAM.
+pub fn sp32k_sram256k_dram8m() -> MemoryHierarchy {
+    MemoryHierarchy::new(vec![
+        MemoryLevel::builder("L1-scratchpad", LevelKind::Scratchpad)
+            .capacity(32 * 1024)
+            .read_energy_pj(38)
+            .write_energy_pj(43)
+            .read_latency(1)
+            .write_latency(1)
+            .build(),
+        MemoryLevel::builder("L2-sram", LevelKind::Sram)
+            .capacity(256 * 1024)
+            .read_energy_pj(180)
+            .write_energy_pj(205)
+            .read_latency(4)
+            .write_latency(4)
+            .build(),
+        MemoryLevel::builder("main-dram", LevelKind::Dram)
+            .capacity(8 * 1024 * 1024)
+            .read_energy_pj(1480)
+            .write_energy_pj(1620)
+            .read_latency(18)
+            .write_latency(20)
+            .build(),
+    ])
+    .expect("preset hierarchy is valid")
+}
+
+/// A single-level platform (main memory only). Useful as the degenerate
+/// baseline: with one level, placement stops mattering and only the
+/// allocator-algorithm parameters differentiate configurations.
+pub fn dram_only_4m() -> MemoryHierarchy {
+    MemoryHierarchy::new(vec![MemoryLevel::builder("main-dram", LevelKind::Dram)
+        .capacity(4 * 1024 * 1024)
+        .read_energy_pj(1480)
+        .write_energy_pj(1620)
+        .read_latency(18)
+        .write_latency(20)
+        .build()])
+    .expect("preset hierarchy is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_platform_shape() {
+        let h = sp64k_dram4m();
+        assert_eq!(h.len(), 2);
+        let sp = h.level(h.fastest());
+        let dram = h.level(h.slowest());
+        assert_eq!(sp.capacity(), 64 * 1024);
+        assert_eq!(dram.capacity(), 4 * 1024 * 1024);
+        // The energy/latency ratios drive placement: DRAM must be much
+        // more expensive than the scratchpad.
+        assert!(dram.read_energy_pj() > 10 * sp.read_energy_pj());
+        assert!(dram.read_latency() >= 10 * sp.read_latency());
+    }
+
+    #[test]
+    fn three_level_is_monotone_in_cost() {
+        let h = sp32k_sram256k_dram8m();
+        assert_eq!(h.len(), 3);
+        let costs: Vec<u64> = h.iter().map(|(_, l)| l.read_energy_pj()).collect();
+        assert!(costs.windows(2).all(|w| w[0] < w[1]));
+        let caps: Vec<u64> = h.iter().map(|(_, l)| l.capacity()).collect();
+        assert!(caps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn dram_only_has_one_level() {
+        let h = dram_only_4m();
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.fastest(), h.slowest());
+    }
+}

@@ -1,0 +1,100 @@
+//! Aggregation helpers over parsed profile records.
+//!
+//! The exploration may run in shards (one profile file per worker or per
+//! parameter subset); these helpers merge shards, drop infeasible
+//! configurations and pick per-metric winners before Pareto filtering.
+
+use std::collections::HashMap;
+
+use crate::record::ProfileRecord;
+
+/// Merges record shards, keeping the *last* record for each label
+/// (re-runs supersede earlier runs). Order of first appearance is kept.
+pub fn merge_shards(shards: &[Vec<ProfileRecord>]) -> Vec<ProfileRecord> {
+    let mut index: HashMap<&str, usize> = HashMap::new();
+    let mut out: Vec<ProfileRecord> = Vec::new();
+    for shard in shards {
+        for rec in shard {
+            match index.get(rec.label.as_str()) {
+                Some(&i) => out[i] = rec.clone(),
+                None => {
+                    index.insert(&rec.label, out.len());
+                    out.push(rec.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Drops configurations that failed allocations (infeasible on the
+/// platform).
+pub fn feasible_only(records: &[ProfileRecord]) -> Vec<ProfileRecord> {
+    records.iter().filter(|r| r.feasible()).cloned().collect()
+}
+
+/// The record minimizing `key`, or `None` for an empty slice.
+/// Ties keep the earliest record (stable winner).
+pub fn best_by<K: Ord>(
+    records: &[ProfileRecord],
+    key: impl Fn(&ProfileRecord) -> K,
+) -> Option<&ProfileRecord> {
+    records.iter().min_by_key(|r| key(r))
+}
+
+/// Ratio of the worst to the best value of `key` over the records — the
+/// paper's "range of a factor N" statement for a metric. `None` if empty
+/// or the best value is zero.
+pub fn range_factor(records: &[ProfileRecord], key: impl Fn(&ProfileRecord) -> u64) -> Option<f64> {
+    let min = records.iter().map(&key).min()?;
+    let max = records.iter().map(&key).max()?;
+    (min > 0).then(|| max as f64 / min as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(label: &str, fp: u64, en: u64, fail: u64) -> ProfileRecord {
+        let mut r = ProfileRecord::new(label);
+        r.footprint = fp;
+        r.energy_pj = en;
+        r.failures = fail;
+        r
+    }
+
+    #[test]
+    fn merge_last_wins() {
+        let a = vec![rec("x", 1, 1, 0), rec("y", 2, 2, 0)];
+        let b = vec![rec("x", 10, 10, 0)];
+        let merged = merge_shards(&[a, b]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].footprint, 10, "re-run supersedes");
+        assert_eq!(merged[1].label, "y");
+    }
+
+    #[test]
+    fn feasible_filter() {
+        let recs = vec![rec("ok", 1, 1, 0), rec("bad", 1, 1, 5)];
+        let f = feasible_only(&recs);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].label, "ok");
+    }
+
+    #[test]
+    fn best_by_picks_minimum() {
+        let recs = vec![rec("a", 5, 9, 0), rec("b", 3, 11, 0), rec("c", 7, 2, 0)];
+        assert_eq!(best_by(&recs, |r| r.footprint).unwrap().label, "b");
+        assert_eq!(best_by(&recs, |r| r.energy_pj).unwrap().label, "c");
+        assert!(best_by(&[], |r: &ProfileRecord| r.footprint).is_none());
+    }
+
+    #[test]
+    fn range_factor_is_max_over_min() {
+        let recs = vec![rec("a", 100, 0, 0), rec("b", 1100, 0, 0)];
+        let f = range_factor(&recs, |r| r.footprint).unwrap();
+        assert!((f - 11.0).abs() < 1e-9);
+        assert!(range_factor(&recs, |r| r.energy_pj).is_none(), "zero best");
+        assert!(range_factor(&[], |r| r.footprint).is_none());
+    }
+}

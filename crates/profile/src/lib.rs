@@ -1,0 +1,41 @@
+//! # dmx-profile — profiling records and a fast parser
+//!
+//! The paper's tool chain writes one profiling record per simulated
+//! allocator configuration and parses the accumulated results ("which can
+//! reach Gigabytes for one single configuration") in under 20 seconds
+//! before Pareto filtering. This crate is that pipeline stage:
+//!
+//! * [`ProfileRecord`] — one configuration's measured metrics;
+//! * [`write_records`] / [`records_to_string`] — the line-oriented record
+//!   format;
+//! * [`parse_records`] — a hand-rolled byte-level parser (no regex, no
+//!   per-field allocation beyond the label) built to sustain hundreds of
+//!   MB/s — benchmarked in `tab4_parse_speed`;
+//! * [`aggregate`] — grouping and best-per-metric selection helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use dmx_profile::{parse_records, records_to_string, ProfileRecord};
+//!
+//! let mut rec = ProfileRecord::new("fix74@L0+gen(ff,lifo,co-no,sp-no,a8)@L1");
+//! rec.footprint = 81920;
+//! rec.energy_pj = 123_456;
+//! rec.accesses = vec![(1000, 500), (200, 100)];
+//! let text = records_to_string(&[rec.clone()]);
+//! let back = parse_records(&text)?;
+//! assert_eq!(back, vec![rec]);
+//! # Ok::<(), dmx_profile::ProfileParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+mod parser;
+mod record;
+mod stream;
+
+pub use parser::{parse_records, ProfileParseError};
+pub use record::{records_to_string, write_records, ProfileRecord, HEADER};
+pub use stream::{read_records, RecordStream, StreamError};

@@ -1,0 +1,186 @@
+//! Streaming record parsing for inputs too large to hold in memory.
+//!
+//! The in-memory parser ([`parse_records`](crate::parse_records)) needs the
+//! whole file as one string; profile shards of many gigabytes (the paper's
+//! regime) are better consumed line by line from any [`BufRead`] source
+//! with bounded memory.
+
+use std::io::BufRead;
+
+use crate::parser::{parse_record_line, ProfileParseError};
+use crate::record::{ProfileRecord, HEADER};
+
+/// Errors from streaming parsing: either I/O or record syntax.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StreamError {
+    /// Reading from the source failed.
+    Io(std::io::Error),
+    /// A record failed to parse.
+    Parse(ProfileParseError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Io(e) => write!(f, "read error: {e}"),
+            StreamError::Parse(e) => write!(f, "parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Io(e) => Some(e),
+            StreamError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for StreamError {
+    fn from(e: std::io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+impl From<ProfileParseError> for StreamError {
+    fn from(e: ProfileParseError) -> Self {
+        StreamError::Parse(e)
+    }
+}
+
+/// Iterator over records read incrementally from a [`BufRead`] source.
+///
+/// Construct with [`read_records`]. Memory use is bounded by the longest
+/// line, independent of file size.
+#[derive(Debug)]
+pub struct RecordStream<R> {
+    source: R,
+    line: String,
+    lineno: usize,
+    header_seen: bool,
+}
+
+impl<R: BufRead> Iterator for RecordStream<R> {
+    type Item = Result<ProfileRecord, StreamError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.line.clear();
+            match self.source.read_line(&mut self.line) {
+                Ok(0) => {
+                    return if self.header_seen {
+                        None
+                    } else {
+                        self.header_seen = true;
+                        Some(Err(ProfileParseError::BadHeader.into()))
+                    }
+                }
+                Ok(_) => {}
+                Err(e) => return Some(Err(e.into())),
+            }
+            self.lineno += 1;
+            let line = self.line.trim_end_matches('\n');
+            if !self.header_seen {
+                self.header_seen = true;
+                if line != HEADER {
+                    return Some(Err(ProfileParseError::BadHeader.into()));
+                }
+                continue;
+            }
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            return Some(
+                parse_record_line(line.as_bytes(), self.lineno).map_err(StreamError::from),
+            );
+        }
+    }
+}
+
+/// Streams records from `source`, validating the header first.
+///
+/// ```
+/// use dmx_profile::{read_records, records_to_string, ProfileRecord};
+///
+/// let text = records_to_string(&[ProfileRecord::new("cfg1")]);
+/// let records: Result<Vec<_>, _> = read_records(text.as_bytes()).collect();
+/// assert_eq!(records?.len(), 1);
+/// # Ok::<(), dmx_profile::StreamError>(())
+/// ```
+pub fn read_records<R: BufRead>(source: R) -> RecordStream<R> {
+    RecordStream {
+        source,
+        line: String::with_capacity(160),
+        lineno: 0,
+        header_seen: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_records;
+    use crate::record::records_to_string;
+
+    fn sample(n: usize) -> Vec<ProfileRecord> {
+        (0..n)
+            .map(|i| {
+                let mut r = ProfileRecord::new(format!("cfg{i}"));
+                r.footprint = 100 + i as u64;
+                r.accesses = vec![(i as u64, 2 * i as u64)];
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_matches_in_memory() {
+        let records = sample(50);
+        let text = records_to_string(&records);
+        let streamed: Result<Vec<_>, _> = read_records(text.as_bytes()).collect();
+        assert_eq!(streamed.unwrap(), parse_records(&text).unwrap());
+    }
+
+    #[test]
+    fn header_is_checked_first() {
+        let mut it = read_records("bogus\ncfg1 al=0".as_bytes());
+        assert!(matches!(
+            it.next(),
+            Some(Err(StreamError::Parse(ProfileParseError::BadHeader)))
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_a_header_error() {
+        let mut it = read_records("".as_bytes());
+        assert!(matches!(it.next(), Some(Err(StreamError::Parse(_)))));
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn bad_line_reports_position_and_stream_can_continue() {
+        let good = sample(1);
+        let text = format!(
+            "{}broken\n{}",
+            records_to_string(&good),
+            good[0].to_line()
+        );
+        let items: Vec<_> = read_records(text.as_bytes()).collect();
+        assert_eq!(items.len(), 3);
+        assert!(items[0].is_ok());
+        assert!(matches!(
+            &items[1],
+            Err(StreamError::Parse(ProfileParseError::Malformed { line: 3, .. }))
+        ));
+        assert!(items[2].is_ok(), "stream recovers after a bad line");
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = format!("{HEADER}\n# c\n\n{}\n", sample(1)[0].to_line());
+        let items: Vec<_> = read_records(text.as_bytes()).collect();
+        assert_eq!(items.len(), 1);
+    }
+}

@@ -1,0 +1,312 @@
+//! Compact binary serialization of traces.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic   b"DMXT\x01"
+//! name    varint length + UTF-8 bytes
+//! records tag u8 followed by LEB128-varint fields:
+//!         0x01 Alloc  { id, size }
+//!         0x02 Free   { id }
+//!         0x03 Access { id, reads, writes }
+//!         0x04 Tick   { cycles }
+//! ```
+//!
+//! All integers are unsigned LEB128 varints, so short ids and small counts
+//! cost one or two bytes — the binary form is typically 2–4× smaller than
+//! the text form and decodes without per-line scanning, which matters when
+//! sweeping thousands of configurations over multi-million-event traces.
+
+use crate::error::ParseError;
+use crate::event::{BlockId, TraceEvent};
+use crate::trace::Trace;
+
+const MAGIC: &[u8; 5] = b"DMXT\x01";
+
+const TAG_ALLOC: u8 = 0x01;
+const TAG_FREE: u8 = 0x02;
+const TAG_ACCESS: u8 = 0x03;
+const TAG_TICK: u8 = 0x04;
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Encodes `trace` to a byte vector.
+pub fn to_bytes(trace: &Trace) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + trace.len() * 6);
+    out.extend_from_slice(MAGIC);
+    let name = trace.name().as_bytes();
+    push_varint(&mut out, name.len() as u64);
+    out.extend_from_slice(name);
+    for ev in trace {
+        match *ev {
+            TraceEvent::Alloc { id, size } => {
+                out.push(TAG_ALLOC);
+                push_varint(&mut out, id.0);
+                push_varint(&mut out, u64::from(size));
+            }
+            TraceEvent::Free { id } => {
+                out.push(TAG_FREE);
+                push_varint(&mut out, id.0);
+            }
+            TraceEvent::Access { id, reads, writes } => {
+                out.push(TAG_ACCESS);
+                push_varint(&mut out, id.0);
+                push_varint(&mut out, u64::from(reads));
+                push_varint(&mut out, u64::from(writes));
+            }
+            TraceEvent::Tick { cycles } => {
+                out.push(TAG_TICK);
+                push_varint(&mut out, u64::from(cycles));
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a trace from bytes produced by [`to_bytes`].
+///
+/// # Errors
+///
+/// [`ParseError::BadHeader`] on a wrong magic, [`ParseError::Truncated`] if
+/// the input ends inside a record, [`ParseError::Malformed`] on an unknown
+/// record tag or an over-long varint (with the byte offset), and
+/// [`ParseError::Invalid`] if the decoded events violate trace
+/// well-formedness.
+pub fn from_bytes(input: &[u8]) -> Result<Trace, ParseError> {
+    let mut r = Reader { input, pos: 0 };
+    let magic = r.take(MAGIC.len())?;
+    if magic != MAGIC {
+        return Err(ParseError::BadHeader);
+    }
+    let name_len = r.varint()? as usize;
+    let name_bytes = r.take(name_len)?;
+    let name = std::str::from_utf8(name_bytes)
+        .map_err(|_| ParseError::BadHeader)?
+        .to_owned();
+
+    let mut trace = Trace::new(name);
+    while !r.done() {
+        let at = r.pos;
+        let tag = r.u8()?;
+        let event = match tag {
+            TAG_ALLOC => TraceEvent::Alloc {
+                id: BlockId(r.varint()?),
+                size: r.varint_u32()?,
+            },
+            TAG_FREE => TraceEvent::Free { id: BlockId(r.varint()?) },
+            TAG_ACCESS => TraceEvent::Access {
+                id: BlockId(r.varint()?),
+                reads: r.varint_u32()?,
+                writes: r.varint_u32()?,
+            },
+            TAG_TICK => TraceEvent::Tick { cycles: r.varint_u32()? },
+            other => {
+                return Err(ParseError::Malformed {
+                    at,
+                    what: format!("unknown record tag 0x{other:02x}"),
+                })
+            }
+        };
+        trace.push(event)?;
+    }
+    Ok(trace)
+}
+
+struct Reader<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn done(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ParseError> {
+        if self.pos + n > self.input.len() {
+            return Err(ParseError::Truncated);
+        }
+        let s = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ParseError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn varint(&mut self) -> Result<u64, ParseError> {
+        let start = self.pos;
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift >= 63 && byte > 1 {
+                return Err(ParseError::Malformed {
+                    at: start,
+                    what: "varint overflows u64".to_owned(),
+                });
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(ParseError::Malformed {
+                    at: start,
+                    what: "varint too long".to_owned(),
+                });
+            }
+        }
+    }
+
+    fn varint_u32(&mut self) -> Result<u32, ParseError> {
+        let start = self.pos;
+        let v = self.varint()?;
+        u32::try_from(v).map_err(|_| ParseError::Malformed {
+            at: start,
+            what: "field overflows u32".to_owned(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::from_events(
+            "bin-sample",
+            vec![
+                TraceEvent::Alloc { id: BlockId(10), size: 1500 },
+                TraceEvent::Access { id: BlockId(10), reads: 400, writes: 375 },
+                TraceEvent::Tick { cycles: 999 },
+                TraceEvent::Free { id: BlockId(10) },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let bytes = to_bytes(&t);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.name(), t.name());
+        assert_eq!(back.events(), t.events());
+    }
+
+    #[test]
+    fn roundtrip_extreme_values() {
+        let t = Trace::from_events(
+            "extremes",
+            vec![
+                TraceEvent::Alloc { id: BlockId(u64::MAX), size: u32::MAX },
+                TraceEvent::Access { id: BlockId(u64::MAX), reads: u32::MAX, writes: 0 },
+                TraceEvent::Tick { cycles: u32::MAX },
+                TraceEvent::Free { id: BlockId(u64::MAX) },
+                TraceEvent::Alloc { id: BlockId(0), size: 1 },
+                TraceEvent::Free { id: BlockId(0) },
+            ],
+        )
+        .unwrap();
+        let back = from_bytes(&to_bytes(&t)).unwrap();
+        assert_eq!(back.events(), t.events());
+    }
+
+    #[test]
+    fn magic_checked() {
+        assert_eq!(from_bytes(b"BOGUS"), Err(ParseError::BadHeader));
+        assert_eq!(from_bytes(b""), Err(ParseError::Truncated));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let t = sample();
+        let bytes = to_bytes(&t);
+        // chop the last byte of the final record
+        let err = from_bytes(&bytes[..bytes.len() - 1]).unwrap_err();
+        assert_eq!(err, ParseError::Truncated);
+    }
+
+    #[test]
+    fn unknown_tag_reports_offset() {
+        let t = Trace::new("x");
+        let mut bytes = to_bytes(&t);
+        let at = bytes.len();
+        bytes.push(0x7f);
+        let err = from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { at: a, .. } if a == at));
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        let t = Trace::new("x");
+        let mut bytes = to_bytes(&t);
+        bytes.push(TAG_FREE);
+        bytes.extend_from_slice(&[0xff; 10]);
+        bytes.push(0x01);
+        assert!(matches!(from_bytes(&bytes), Err(ParseError::Malformed { .. })));
+    }
+
+    #[test]
+    fn u32_field_overflow_rejected() {
+        // Tick with a 2^35 cycle count: valid varint, invalid u32 field.
+        let t = Trace::new("x");
+        let mut bytes = to_bytes(&t);
+        bytes.push(TAG_TICK);
+        let mut v = 1u64 << 35;
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                bytes.push(byte);
+                break;
+            }
+            bytes.push(byte | 0x80);
+        }
+        assert!(matches!(from_bytes(&bytes), Err(ParseError::Malformed { .. })));
+    }
+
+    #[test]
+    fn binary_is_smaller_than_text() {
+        let mut events = Vec::new();
+        for i in 0..1000u64 {
+            events.push(TraceEvent::Alloc { id: BlockId(i), size: 74 });
+            events.push(TraceEvent::Free { id: BlockId(i) });
+        }
+        let t = Trace::from_events("big", events).unwrap();
+        let bin = to_bytes(&t);
+        let txt = crate::textfmt::to_string(&t);
+        assert!(
+            bin.len() * 2 < txt.len(),
+            "binary {} vs text {}",
+            bin.len(),
+            txt.len()
+        );
+    }
+
+    #[test]
+    fn semantic_violation_surfaces() {
+        // Hand-craft: free of never-allocated block #7.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(1); // name length
+        bytes.push(b't');
+        bytes.push(TAG_FREE);
+        bytes.push(7);
+        let err = from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, ParseError::Invalid(_)));
+    }
+}

@@ -1,0 +1,126 @@
+//! Error types for trace construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::event::BlockId;
+
+/// A well-formedness violation while building a [`Trace`](crate::Trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// An `Alloc` event requested zero bytes.
+    ZeroSizeAlloc {
+        /// Index of the offending event.
+        at: usize,
+        /// The block id of the allocation.
+        id: BlockId,
+    },
+    /// An `Alloc` event reused an id that is still live.
+    DuplicateAlloc {
+        /// Index of the offending event.
+        at: usize,
+        /// The reused id.
+        id: BlockId,
+    },
+    /// A `Free` event named an id that is not live.
+    FreeOfDeadBlock {
+        /// Index of the offending event.
+        at: usize,
+        /// The dead id.
+        id: BlockId,
+    },
+    /// An `Access` event named an id that is not live.
+    AccessToDeadBlock {
+        /// Index of the offending event.
+        at: usize,
+        /// The dead id.
+        id: BlockId,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::ZeroSizeAlloc { at, id } => {
+                write!(f, "event {at}: zero-size allocation of block {id}")
+            }
+            TraceError::DuplicateAlloc { at, id } => {
+                write!(f, "event {at}: allocation of live block {id}")
+            }
+            TraceError::FreeOfDeadBlock { at, id } => {
+                write!(f, "event {at}: free of dead block {id}")
+            }
+            TraceError::AccessToDeadBlock { at, id } => {
+                write!(f, "event {at}: access to dead block {id}")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+/// A syntax or semantic error while parsing a serialized trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// The input did not start with the expected format header.
+    BadHeader,
+    /// A line (text format) or record (binary format) could not be decoded.
+    Malformed {
+        /// 1-based line number (text) or byte offset (binary).
+        at: usize,
+        /// What went wrong.
+        what: String,
+    },
+    /// The decoded events violate trace well-formedness.
+    Invalid(TraceError),
+    /// The binary input ended in the middle of a record.
+    Truncated,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadHeader => f.write_str("missing or unsupported trace header"),
+            ParseError::Malformed { at, what } => write!(f, "at {at}: {what}"),
+            ParseError::Invalid(e) => write!(f, "invalid trace: {e}"),
+            ParseError::Truncated => f.write_str("truncated trace input"),
+        }
+    }
+}
+
+impl Error for ParseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for ParseError {
+    fn from(e: TraceError) -> Self {
+        ParseError::Invalid(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_position() {
+        let e = TraceError::FreeOfDeadBlock { at: 17, id: BlockId(3) };
+        assert!(e.to_string().contains("17"));
+        let p = ParseError::Malformed { at: 4, what: "bad size".into() };
+        assert!(p.to_string().contains("bad size"));
+    }
+
+    #[test]
+    fn parse_error_wraps_trace_error() {
+        let e: ParseError = TraceError::ZeroSizeAlloc { at: 0, id: BlockId(1) }.into();
+        assert!(matches!(e, ParseError::Invalid(_)));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,120 @@
+//! Trace event model.
+
+use std::fmt;
+
+/// Identity of a dynamically allocated block within a trace.
+///
+/// Ids take the role of the pointer returned by `malloc`: an id is *live*
+/// between its `Alloc` and its `Free` event, and may be reused afterwards
+/// (as real applications reuse addresses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u64);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// One event of an allocation trace.
+///
+/// `Access` events aggregate the application's reads/writes to a block
+/// between allocator calls, so traces stay compact (the paper's raw profile
+/// data reaches gigabytes; aggregation is what keeps replay tractable).
+/// `Tick` events model application compute time in which no dynamic-memory
+/// activity happens; they contribute to execution time but not to memory
+/// metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceEvent {
+    /// The application allocates `size` bytes under identity `id`.
+    Alloc {
+        /// Block identity; must not currently be live.
+        id: BlockId,
+        /// Requested size in bytes (non-zero).
+        size: u32,
+    },
+    /// The application frees block `id`.
+    Free {
+        /// Block identity; must be live.
+        id: BlockId,
+    },
+    /// The application performs `reads`/`writes` word accesses to block `id`.
+    Access {
+        /// Block identity; must be live.
+        id: BlockId,
+        /// Number of read accesses.
+        reads: u32,
+        /// Number of write accesses.
+        writes: u32,
+    },
+    /// `cycles` of pure computation pass (no memory-allocator activity).
+    Tick {
+        /// CPU cycles of computation.
+        cycles: u32,
+    },
+}
+
+impl TraceEvent {
+    /// The block id this event refers to, if any.
+    pub fn block_id(&self) -> Option<BlockId> {
+        match self {
+            TraceEvent::Alloc { id, .. }
+            | TraceEvent::Free { id }
+            | TraceEvent::Access { id, .. } => Some(*id),
+            TraceEvent::Tick { .. } => None,
+        }
+    }
+
+    /// `true` for `Alloc` and `Free` events (allocator entries).
+    pub fn is_allocator_op(&self) -> bool {
+        matches!(self, TraceEvent::Alloc { .. } | TraceEvent::Free { .. })
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Alloc { id, size } => write!(f, "alloc {id} {size}B"),
+            TraceEvent::Free { id } => write!(f, "free {id}"),
+            TraceEvent::Access { id, reads, writes } => {
+                write!(f, "access {id} r{reads} w{writes}")
+            }
+            TraceEvent::Tick { cycles } => write!(f, "tick {cycles}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_id_extraction() {
+        assert_eq!(
+            TraceEvent::Alloc { id: BlockId(3), size: 8 }.block_id(),
+            Some(BlockId(3))
+        );
+        assert_eq!(TraceEvent::Free { id: BlockId(4) }.block_id(), Some(BlockId(4)));
+        assert_eq!(
+            TraceEvent::Access { id: BlockId(5), reads: 1, writes: 0 }.block_id(),
+            Some(BlockId(5))
+        );
+        assert_eq!(TraceEvent::Tick { cycles: 10 }.block_id(), None);
+    }
+
+    #[test]
+    fn allocator_op_classification() {
+        assert!(TraceEvent::Alloc { id: BlockId(0), size: 1 }.is_allocator_op());
+        assert!(TraceEvent::Free { id: BlockId(0) }.is_allocator_op());
+        assert!(!TraceEvent::Access { id: BlockId(0), reads: 0, writes: 0 }.is_allocator_op());
+        assert!(!TraceEvent::Tick { cycles: 1 }.is_allocator_op());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(
+            TraceEvent::Alloc { id: BlockId(7), size: 74 }.to_string(),
+            "alloc #7 74B"
+        );
+    }
+}

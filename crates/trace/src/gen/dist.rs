@@ -1,0 +1,212 @@
+//! Small sampling distributions used by the workload generators.
+//!
+//! Only `rand`'s uniform primitives are available offline, so the few
+//! non-uniform distributions needed (exponential, geometric, weighted
+//! choice) are implemented here via inverse-CDF sampling.
+
+use rand::Rng;
+
+/// Distribution of requested block sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SizeDist {
+    /// Always the same size.
+    Constant(u32),
+    /// Uniform over `min..=max`.
+    Uniform {
+        /// Smallest size (inclusive, non-zero).
+        min: u32,
+        /// Largest size (inclusive).
+        max: u32,
+    },
+    /// Exponential with the given mean, clamped to `min..=max`.
+    Exponential {
+        /// Mean of the unclamped exponential.
+        mean: f64,
+        /// Clamp floor (non-zero).
+        min: u32,
+        /// Clamp ceiling.
+        max: u32,
+    },
+    /// Weighted choice over explicit sizes; weights need not be normalized.
+    Choice(Vec<(u32, f64)>),
+}
+
+impl SizeDist {
+    /// Samples one size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution is malformed (empty choice list, zero or
+    /// negative total weight, `min > max`, or a zero size) — these are
+    /// construction bugs, not data-dependent conditions.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        match self {
+            SizeDist::Constant(s) => {
+                assert!(*s > 0, "constant size must be non-zero");
+                *s
+            }
+            SizeDist::Uniform { min, max } => {
+                assert!(*min > 0 && min <= max, "uniform bounds invalid");
+                rng.gen_range(*min..=*max)
+            }
+            SizeDist::Exponential { mean, min, max } => {
+                assert!(*min > 0 && min <= max, "exponential clamp invalid");
+                let x = exponential(rng, *mean);
+                (x.round() as u32).clamp(*min, *max)
+            }
+            SizeDist::Choice(items) => {
+                assert!(!items.is_empty(), "empty choice distribution");
+                let total: f64 = items.iter().map(|(_, w)| *w).sum();
+                assert!(total > 0.0, "choice weights must sum to > 0");
+                let mut x = rng.gen::<f64>() * total;
+                for (size, w) in items {
+                    x -= w;
+                    if x <= 0.0 {
+                        assert!(*size > 0, "choice size must be non-zero");
+                        return *size;
+                    }
+                }
+                items.last().expect("non-empty").0
+            }
+        }
+    }
+}
+
+/// Distribution of block lifetimes, in generator steps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LifetimeDist {
+    /// Exactly `n` steps.
+    Constant(u64),
+    /// Geometric with the given mean (at least 1 step).
+    Geometric {
+        /// Mean lifetime in steps (must be >= 1).
+        mean: f64,
+    },
+    /// Uniform over `min..=max` steps.
+    Uniform {
+        /// Shortest lifetime (inclusive).
+        min: u64,
+        /// Longest lifetime (inclusive).
+        max: u64,
+    },
+}
+
+impl LifetimeDist {
+    /// Samples one lifetime (always >= 1 step).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match self {
+            LifetimeDist::Constant(n) => (*n).max(1),
+            LifetimeDist::Geometric { mean } => {
+                assert!(*mean >= 1.0, "geometric mean must be >= 1");
+                (exponential(rng, *mean).round() as u64).max(1)
+            }
+            LifetimeDist::Uniform { min, max } => {
+                assert!(min <= max, "uniform lifetime bounds invalid");
+                rng.gen_range(*min..=*max).max(1)
+            }
+        }
+    }
+}
+
+/// Exponential sample with the given mean (inverse-CDF).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0, "exponential mean must be positive");
+    let u: f64 = rng.gen::<f64>();
+    // 1 - u in (0, 1]: ln never sees 0.
+    -mean * (1.0 - u).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut r = rng();
+        let d = SizeDist::Constant(74);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut r), 74);
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = rng();
+        let d = SizeDist::Uniform { min: 8, max: 64 };
+        for _ in 0..1000 {
+            let s = d.sample(&mut r);
+            assert!((8..=64).contains(&s));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, 100.0)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 5.0, "sampled mean {mean}");
+    }
+
+    #[test]
+    fn exponential_clamps() {
+        let mut r = rng();
+        let d = SizeDist::Exponential { mean: 10.0, min: 16, max: 32 };
+        for _ in 0..500 {
+            let s = d.sample(&mut r);
+            assert!((16..=32).contains(&s));
+        }
+    }
+
+    #[test]
+    fn choice_hits_all_and_respects_weights() {
+        let mut r = rng();
+        let d = SizeDist::Choice(vec![(74, 0.8), (1500, 0.2)]);
+        let n = 10_000;
+        let mut small = 0u32;
+        for _ in 0..n {
+            match d.sample(&mut r) {
+                74 => small += 1,
+                1500 => {}
+                other => panic!("unexpected size {other}"),
+            }
+        }
+        let frac = f64::from(small) / f64::from(n);
+        assert!((frac - 0.8).abs() < 0.03, "fraction {frac}");
+    }
+
+    #[test]
+    fn lifetimes_are_at_least_one() {
+        let mut r = rng();
+        for d in [
+            LifetimeDist::Constant(0),
+            LifetimeDist::Geometric { mean: 1.0 },
+            LifetimeDist::Uniform { min: 0, max: 2 },
+        ] {
+            for _ in 0..100 {
+                assert!(d.sample(&mut r) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_mean_is_close() {
+        let mut r = rng();
+        let d = LifetimeDist::Geometric { mean: 50.0 };
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 50.0).abs() < 3.0, "sampled mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty choice")]
+    fn empty_choice_panics() {
+        let mut r = rng();
+        let _ = SizeDist::Choice(vec![]).sample(&mut r);
+    }
+}

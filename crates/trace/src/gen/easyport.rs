@@ -1,0 +1,341 @@
+//! Easyport-like wireless-network workload.
+//!
+//! The Infineon Easyport is an integrated access device: it forwards
+//! packets between network interfaces, keeping per-packet descriptors and
+//! buffers plus a long-lived control plane (connection contexts, timers).
+//! Its dynamic-memory behaviour — the property the DATE 2006 evaluation
+//! depends on — is:
+//!
+//! * a **few dominant block sizes**: per-packet 28-byte descriptors and
+//!   74-byte header buffers (the 74-byte size is named in the paper), and
+//!   an IMIX-like payload mixture with 40-byte and 1500-byte modes;
+//! * **bursty arrivals**: packets arrive in bursts separated by idle
+//!   compute;
+//! * **short, pipelined lifetimes**: a packet's blocks die when it leaves
+//!   the processing pipeline, a bounded number of packets later, while a
+//!   fraction lingers in a retransmission queue;
+//! * a **small long-lived control plane** that interleaves odd-sized
+//!   allocations between the hot ones (this is what fragments naive
+//!   general-pool allocators).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::{BlockId, TraceEvent};
+use crate::gen::dist::{exponential, SizeDist};
+use crate::gen::TraceGenerator;
+use crate::trace::Trace;
+
+/// Configuration of the Easyport-like generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EasyportConfig {
+    /// Number of packets to process.
+    pub packets: usize,
+    /// Mean packets per arrival burst.
+    pub burst_mean: f64,
+    /// Pipeline depth: a packet's blocks are freed this many packets later.
+    pub pipeline_depth: usize,
+    /// Fraction of packets parked in the retransmission queue.
+    pub retransmit_fraction: f64,
+    /// How many packets a retransmitted packet stays parked.
+    pub retransmit_window: usize,
+    /// Payload size mixture (the discrete hot sizes).
+    pub payload_sizes: SizeDist,
+    /// Fraction of payloads drawn from a continuous 64–1400 byte range
+    /// instead of the discrete mixture (variable-length data frames; the
+    /// fragmentation driver for general pools).
+    pub continuous_fraction: f64,
+    /// Compute cycles per processed packet.
+    pub cycles_per_packet: u32,
+    /// Compute cycles of idle time between bursts.
+    pub idle_cycles: u32,
+    /// Number of live connection contexts (256 B each).
+    pub connections: usize,
+    /// Replace one connection context every this many packets (session
+    /// churn interleaves long-lived blocks between packet blocks;
+    /// 0 disables churn).
+    pub session_churn_every: usize,
+}
+
+impl EasyportConfig {
+    /// A small configuration for unit tests and doc examples (~2 k packets).
+    pub fn small() -> Self {
+        EasyportConfig {
+            packets: 2_000,
+            ..Self::paper()
+        }
+    }
+
+    /// The case-study configuration used by the experiment reproduction
+    /// (~8 k packets, IMIX-like payload mix).
+    pub fn paper() -> Self {
+        EasyportConfig {
+            packets: 8_000,
+            burst_mean: 12.0,
+            pipeline_depth: 24,
+            retransmit_fraction: 0.06,
+            retransmit_window: 400,
+            payload_sizes: SizeDist::Choice(vec![
+                (40, 0.45),   // TCP acks / VoIP
+                (576, 0.18),  // legacy MTU
+                (1500, 0.30), // full Ethernet frames
+                (296, 0.07),  // PPP fragments
+            ]),
+            continuous_fraction: 0.10,
+            cycles_per_packet: 4_000,
+            idle_cycles: 2_400,
+            connections: 64,
+            session_churn_every: 24,
+        }
+    }
+}
+
+/// Descriptor blocks are 28 bytes, header buffers 74 bytes (from the
+/// paper's pool example), connection contexts 256 bytes, timers 48 bytes.
+const DESCRIPTOR_SIZE: u32 = 28;
+const HEADER_SIZE: u32 = 74;
+const CONNECTION_SIZE: u32 = 256;
+const TIMER_SIZE: u32 = 48;
+
+#[derive(Debug)]
+struct PacketBlocks {
+    descriptor: BlockId,
+    header: BlockId,
+    payload: BlockId,
+    payload_size: u32,
+}
+
+impl TraceGenerator for EasyportConfig {
+    fn generate(&self, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xEA5E_B0B7);
+        let mut trace = Trace::new("easyport");
+        let mut next_id = 0u64;
+        let mut fresh = || {
+            next_id += 1;
+            BlockId(next_id)
+        };
+
+        let mut push = |t: &mut Trace, ev: TraceEvent| {
+            t.push(ev).expect("generator emits well-formed traces");
+        };
+
+        // Control plane: long-lived connection contexts, allocated up front,
+        // freed at shutdown.
+        let mut contexts = Vec::with_capacity(self.connections);
+        for _ in 0..self.connections {
+            let id = fresh();
+            push(&mut trace, TraceEvent::Alloc { id, size: CONNECTION_SIZE });
+            push(&mut trace, TraceEvent::Access { id, reads: 8, writes: 32 });
+            contexts.push(id);
+        }
+
+        // Pipeline of in-flight packets and the retransmission queue,
+        // both keyed by the packet index at which they are released.
+        let mut pipeline: Vec<(usize, PacketBlocks)> = Vec::new();
+        let mut timers: Vec<(usize, BlockId)> = Vec::new();
+
+        let mut produced = 0usize;
+        while produced < self.packets {
+            // One burst of packets, then idle.
+            let burst = (exponential(&mut rng, self.burst_mean).round() as usize)
+                .clamp(1, 4 * self.burst_mean as usize + 1)
+                .min(self.packets - produced);
+
+            for _ in 0..burst {
+                let pkt_index = produced;
+                produced += 1;
+
+                // Release everything whose time has come (in FIFO order —
+                // the pipeline drains head-first).
+                release_due(&mut trace, &mut pipeline, &mut timers, pkt_index, &mut push);
+
+                // Session churn: replace one long-lived context, leaving a
+                // hole between packet blocks in any shared pool.
+                if self.session_churn_every > 0
+                    && pkt_index.is_multiple_of(self.session_churn_every)
+                    && !contexts.is_empty()
+                {
+                    let slot = rng.gen_range(0..contexts.len());
+                    let old = contexts[slot];
+                    push(&mut trace, TraceEvent::Access { id: old, reads: 16, writes: 0 });
+                    push(&mut trace, TraceEvent::Free { id: old });
+                    let id = fresh();
+                    push(&mut trace, TraceEvent::Alloc { id, size: CONNECTION_SIZE });
+                    push(&mut trace, TraceEvent::Access { id, reads: 8, writes: 32 });
+                    contexts[slot] = id;
+                }
+
+                // RX: allocate descriptor + header + payload, write them.
+                let descriptor = fresh();
+                let header = fresh();
+                let payload = fresh();
+                let payload_size = if rng.gen::<f64>() < self.continuous_fraction {
+                    // Variable-length data frame, word-aligned.
+                    rng.gen_range(64..=1400u32) & !3
+                } else {
+                    self.payload_sizes.sample(&mut rng)
+                };
+                push(&mut trace, TraceEvent::Alloc { id: descriptor, size: DESCRIPTOR_SIZE });
+                push(&mut trace, TraceEvent::Alloc { id: header, size: HEADER_SIZE });
+                push(&mut trace, TraceEvent::Alloc { id: payload, size: payload_size });
+                // Payload moves DMA-style: the CPU only samples it (checksum
+                // windows), while headers/descriptors are walked repeatedly —
+                // the access profile of a network processor.
+                push(
+                    &mut trace,
+                    TraceEvent::Access { id: payload, reads: 0, writes: payload_size / 64 + 1 },
+                );
+                push(&mut trace, TraceEvent::Access { id: header, reads: 12, writes: 8 });
+                push(&mut trace, TraceEvent::Access { id: descriptor, reads: 6, writes: 4 });
+
+                // Protocol processing: classification, routing, rewriting.
+                let ctx = contexts[rng.gen_range(0..contexts.len())];
+                push(&mut trace, TraceEvent::Access { id: ctx, reads: 6, writes: 2 });
+                push(&mut trace, TraceEvent::Access { id: header, reads: 16, writes: 6 });
+                push(&mut trace, TraceEvent::Access { id: descriptor, reads: 8, writes: 4 });
+                push(
+                    &mut trace,
+                    TraceEvent::Access { id: payload, reads: payload_size / 32 + 1, writes: 0 },
+                );
+                push(&mut trace, TraceEvent::Tick { cycles: self.cycles_per_packet });
+
+                // A few packets arm a retransmission timer (small block with
+                // a medium lifetime) and park longer.
+                let parked = rng.gen::<f64>() < self.retransmit_fraction;
+                let release_at = if parked {
+                    let timer = fresh();
+                    push(&mut trace, TraceEvent::Alloc { id: timer, size: TIMER_SIZE });
+                    push(&mut trace, TraceEvent::Access { id: timer, reads: 2, writes: 6 });
+                    timers.push((pkt_index + self.retransmit_window, timer));
+                    pkt_index + self.retransmit_window
+                } else {
+                    pkt_index + self.pipeline_depth
+                };
+                pipeline.push((
+                    release_at,
+                    PacketBlocks { descriptor, header, payload, payload_size },
+                ));
+            }
+
+            push(&mut trace, TraceEvent::Tick { cycles: self.idle_cycles });
+        }
+
+        // Drain: release everything still in flight, then the control plane.
+        release_due(&mut trace, &mut pipeline, &mut timers, usize::MAX, &mut push);
+        for id in contexts {
+            push(&mut trace, TraceEvent::Free { id });
+        }
+        trace
+    }
+}
+
+fn release_due(
+    trace: &mut Trace,
+    pipeline: &mut Vec<(usize, PacketBlocks)>,
+    timers: &mut Vec<(usize, BlockId)>,
+    now: usize,
+    push: &mut impl FnMut(&mut Trace, TraceEvent),
+) {
+    let mut i = 0;
+    while i < pipeline.len() {
+        if pipeline[i].0 <= now {
+            let (_, blocks) = pipeline.remove(i);
+            // TX: descriptor handoff and a final payload sample, then free.
+            push(
+                trace,
+                TraceEvent::Access { id: blocks.descriptor, reads: 4, writes: 2 },
+            );
+            push(
+                trace,
+                TraceEvent::Access { id: blocks.header, reads: 4, writes: 2 },
+            );
+            push(
+                trace,
+                TraceEvent::Access {
+                    id: blocks.payload,
+                    reads: blocks.payload_size / 64 + 1,
+                    writes: 0,
+                },
+            );
+            push(trace, TraceEvent::Free { id: blocks.payload });
+            push(trace, TraceEvent::Free { id: blocks.header });
+            push(trace, TraceEvent::Free { id: blocks.descriptor });
+        } else {
+            i += 1;
+        }
+    }
+    let mut j = 0;
+    while j < timers.len() {
+        if timers[j].0 <= now {
+            let (_, id) = timers.remove(j);
+            push(trace, TraceEvent::Access { id, reads: 2, writes: 1 });
+            push(trace, TraceEvent::Free { id });
+        } else {
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn dominant_sizes_match_paper_profile() {
+        let t = EasyportConfig::small().generate(1);
+        let s = TraceStats::compute(&t);
+        let hot = s.dominant_sizes(3);
+        // Every packet allocates one 28 B descriptor and one 74 B header,
+        // so those two sizes must dominate.
+        assert!(hot.contains(&DESCRIPTOR_SIZE), "hot sizes: {hot:?}");
+        assert!(hot.contains(&HEADER_SIZE), "hot sizes: {hot:?}");
+    }
+
+    #[test]
+    fn everything_is_freed() {
+        let t = EasyportConfig::small().generate(2);
+        assert_eq!(t.final_live_bytes(), 0);
+        assert_eq!(t.live_blocks().count(), 0);
+    }
+
+    #[test]
+    fn packet_count_scales_allocations() {
+        let small = EasyportConfig { packets: 500, ..EasyportConfig::paper() };
+        let big = EasyportConfig { packets: 2_000, ..EasyportConfig::paper() };
+        let ss = TraceStats::compute(&small.generate(3));
+        let sb = TraceStats::compute(&big.generate(3));
+        // >= 3 allocations per packet.
+        assert!(ss.allocs >= 1_500);
+        assert!(sb.allocs >= 4.0 as u64 * ss.allocs / 2);
+    }
+
+    #[test]
+    fn live_set_is_bounded_by_pipeline() {
+        let cfg = EasyportConfig::small();
+        let t = cfg.generate(4);
+        let s = TraceStats::compute(&t);
+        // Peak live blocks: pipeline depth * 3 blocks + retransmit queue +
+        // contexts + timers; far below total allocations.
+        assert!(s.peak_live_blocks < s.allocs / 4);
+    }
+
+    #[test]
+    fn trace_has_bursty_ticks() {
+        let t = EasyportConfig::small().generate(5);
+        let idle = EasyportConfig::small().idle_cycles;
+        let idles = t
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Tick { cycles } if *cycles == idle))
+            .count();
+        assert!(idles > 10, "expected many bursts, got {idles}");
+    }
+
+    #[test]
+    fn payload_mixture_includes_full_frames() {
+        let t = EasyportConfig::small().generate(6);
+        let s = TraceStats::compute(&t);
+        assert!(s.size_stat(1500).is_some(), "1500 B frames must occur");
+        assert!(s.size_stat(40).is_some(), "40 B acks must occur");
+    }
+}

@@ -1,0 +1,220 @@
+//! Fully configurable synthetic workloads.
+//!
+//! Used for stress tests, property tests and ablation studies where the
+//! workload's size/lifetime mixture must be varied independently of any
+//! application structure.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::event::{BlockId, TraceEvent};
+use crate::gen::dist::{LifetimeDist, SizeDist};
+use crate::gen::TraceGenerator;
+use crate::trace::Trace;
+
+/// Configuration of the synthetic generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticConfig {
+    /// Trace name.
+    pub name: String,
+    /// Number of allocations to perform.
+    pub allocs: usize,
+    /// Requested-size distribution.
+    pub sizes: SizeDist,
+    /// Lifetime distribution, in allocation steps.
+    pub lifetimes: LifetimeDist,
+    /// Application accesses per allocated word (0.0 disables access events).
+    pub accesses_per_word: f64,
+    /// Emit a `Tick` of this many cycles every `tick_every` allocations
+    /// (0 disables ticks).
+    pub tick_cycles: u32,
+    /// Tick period in allocations.
+    pub tick_every: usize,
+}
+
+impl SyntheticConfig {
+    /// A uniform small-object churn workload.
+    pub fn uniform_churn(allocs: usize) -> Self {
+        SyntheticConfig {
+            name: "synthetic-uniform".to_owned(),
+            allocs,
+            sizes: SizeDist::Uniform { min: 8, max: 256 },
+            lifetimes: LifetimeDist::Geometric { mean: 32.0 },
+            accesses_per_word: 2.0,
+            tick_cycles: 50,
+            tick_every: 16,
+        }
+    }
+
+    /// A bimodal workload with two hot sizes, like a packet pipeline.
+    pub fn bimodal(allocs: usize) -> Self {
+        SyntheticConfig {
+            name: "synthetic-bimodal".to_owned(),
+            allocs,
+            sizes: SizeDist::Choice(vec![(64, 0.7), (1024, 0.3)]),
+            lifetimes: LifetimeDist::Geometric { mean: 16.0 },
+            accesses_per_word: 1.0,
+            tick_cycles: 20,
+            tick_every: 8,
+        }
+    }
+
+    /// A fragmentation-hostile workload: widely spread sizes with mixed
+    /// lifetimes, the classic worst case for non-coalescing general pools.
+    pub fn fragmenter(allocs: usize) -> Self {
+        SyntheticConfig {
+            name: "synthetic-fragmenter".to_owned(),
+            allocs,
+            sizes: SizeDist::Exponential { mean: 300.0, min: 8, max: 4096 },
+            lifetimes: LifetimeDist::Uniform { min: 1, max: 256 },
+            accesses_per_word: 0.5,
+            tick_cycles: 10,
+            tick_every: 32,
+        }
+    }
+}
+
+impl TraceGenerator for SyntheticConfig {
+    fn generate(&self, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5159_7E71);
+        let mut trace = Trace::new(self.name.clone());
+        let mut push = |t: &mut Trace, ev: TraceEvent| {
+            t.push(ev).expect("generator emits well-formed traces");
+        };
+        // Min-heap of (death_step, id, size).
+        let mut deaths: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+
+        for step in 0..self.allocs as u64 {
+            // Free everything scheduled to die by now.
+            while let Some(Reverse((when, id, size))) = deaths.peek().copied() {
+                if when > step {
+                    break;
+                }
+                deaths.pop();
+                self.emit_final_access(&mut trace, BlockId(id), size, &mut push);
+                push(&mut trace, TraceEvent::Free { id: BlockId(id) });
+            }
+
+            let id = BlockId(step + 1);
+            let size = self.sizes.sample(&mut rng);
+            push(&mut trace, TraceEvent::Alloc { id, size });
+            if self.accesses_per_word > 0.0 {
+                let words = u64::from(size / 4 + 1);
+                let writes = (words as f64 * self.accesses_per_word * 0.6) as u32;
+                let reads = (words as f64 * self.accesses_per_word * 0.4) as u32;
+                if reads + writes > 0 {
+                    push(&mut trace, TraceEvent::Access { id, reads, writes });
+                }
+            }
+            let life = self.lifetimes.sample(&mut rng);
+            deaths.push(Reverse((step + life, id.0, size)));
+
+            if self.tick_every > 0 && self.tick_cycles > 0 && step % self.tick_every as u64 == 0
+            {
+                push(&mut trace, TraceEvent::Tick { cycles: self.tick_cycles });
+            }
+        }
+
+        // Drain survivors in death order.
+        while let Some(Reverse((_, id, size))) = deaths.pop() {
+            self.emit_final_access(&mut trace, BlockId(id), size, &mut push);
+            push(&mut trace, TraceEvent::Free { id: BlockId(id) });
+        }
+        trace
+    }
+}
+
+impl SyntheticConfig {
+    fn emit_final_access(
+        &self,
+        trace: &mut Trace,
+        id: BlockId,
+        size: u32,
+        push: &mut impl FnMut(&mut Trace, TraceEvent),
+    ) {
+        if self.accesses_per_word > 0.0 {
+            let reads = (f64::from(size / 4 + 1) * self.accesses_per_word * 0.2) as u32;
+            if reads > 0 {
+                push(trace, TraceEvent::Access { id, reads, writes: 0 });
+            }
+        }
+    }
+}
+
+/// A minimal deterministic workload: allocate `n` blocks of `size` bytes,
+/// then free them in allocation order. Useful as a fixture in tests.
+pub fn ramp(n: usize, size: u32) -> Trace {
+    let mut events = Vec::with_capacity(2 * n);
+    for i in 0..n as u64 {
+        events.push(TraceEvent::Alloc { id: BlockId(i + 1), size });
+    }
+    for i in 0..n as u64 {
+        events.push(TraceEvent::Free { id: BlockId(i + 1) });
+    }
+    Trace::from_events("ramp", events).expect("ramp trace is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn generates_requested_alloc_count() {
+        let t = SyntheticConfig::uniform_churn(500).generate(1);
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.allocs, 500);
+        assert_eq!(s.frees, 500);
+    }
+
+    #[test]
+    fn bimodal_has_two_sizes() {
+        let t = SyntheticConfig::bimodal(1_000).generate(2);
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.per_size.len(), 2);
+        assert_eq!(s.dominant_sizes(1), vec![64]);
+    }
+
+    #[test]
+    fn lifetimes_bound_live_set() {
+        let cfg = SyntheticConfig {
+            lifetimes: LifetimeDist::Constant(4),
+            ..SyntheticConfig::uniform_churn(1_000)
+        };
+        let t = cfg.generate(3);
+        let s = TraceStats::compute(&t);
+        assert!(s.peak_live_blocks <= 6, "peak {}", s.peak_live_blocks);
+    }
+
+    #[test]
+    fn zero_access_rate_emits_no_access_events() {
+        let cfg = SyntheticConfig {
+            accesses_per_word: 0.0,
+            ..SyntheticConfig::uniform_churn(100)
+        };
+        let t = cfg.generate(4);
+        assert!(!t
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Access { .. })));
+    }
+
+    #[test]
+    fn ramp_shape() {
+        let t = ramp(10, 64);
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.allocs, 10);
+        assert_eq!(s.peak_live_blocks, 10);
+        assert_eq!(s.peak_live_bytes, 640);
+        assert_eq!(t.final_live_bytes(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SyntheticConfig::fragmenter(200).generate(9);
+        let b = SyntheticConfig::fragmenter(200).generate(9);
+        assert_eq!(a.events(), b.events());
+    }
+}

@@ -1,0 +1,257 @@
+//! MPEG-4 VTC-like still-texture decoding workload.
+//!
+//! The MPEG-4 Visual Texture deCoder decodes still textures with a wavelet
+//! transform + zerotree entropy coder. Its dynamic-memory behaviour is
+//! phase-structured and very different from the packet workload, which is
+//! exactly why the paper uses it as the second case study:
+//!
+//! * a burst of **many small zerotree-node allocations** (one hot small
+//!   size) that live until the image is done;
+//! * **large per-level coefficient buffers** (a handful of distinct large
+//!   sizes derived from the image pyramid) with nested lifetimes;
+//! * **compute-dominated phases** (bitplane decoding, inverse DWT) — most
+//!   of the execution time is spent in ticks, not allocator calls, so
+//!   allocator tuning moves execution time only a little (the paper reports
+//!   5.4 % for VTC vs. 27.9 % for Easyport) while energy still moves a lot
+//!   through pool placement.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::{BlockId, TraceEvent};
+use crate::gen::TraceGenerator;
+use crate::trace::Trace;
+
+/// Configuration of the VTC-like generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VtcConfig {
+    /// Number of still images decoded.
+    pub images: usize,
+    /// Image width in pixels (power of two recommended).
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+    /// Wavelet decomposition levels.
+    pub wavelet_levels: u32,
+    /// Bitplanes decoded per coefficient buffer.
+    pub bitplanes: u32,
+}
+
+impl VtcConfig {
+    /// A small configuration for unit tests (one 64×64 image).
+    pub fn small() -> Self {
+        VtcConfig {
+            images: 1,
+            width: 64,
+            height: 64,
+            wavelet_levels: 3,
+            bitplanes: 6,
+        }
+    }
+
+    /// The case-study configuration used by the experiment reproduction:
+    /// four 256×256 still textures, five-level wavelet pyramid.
+    pub fn paper() -> Self {
+        VtcConfig {
+            images: 4,
+            width: 256,
+            height: 256,
+            wavelet_levels: 5,
+            bitplanes: 8,
+        }
+    }
+}
+
+/// Zerotree nodes are small fixed-size records — VTC's hot small size.
+const NODE_SIZE: u32 = 32;
+/// Small header/state blocks allocated while parsing.
+const PARSE_SIZES: [u32; 4] = [24, 40, 64, 96];
+
+impl TraceGenerator for VtcConfig {
+    fn generate(&self, seed: u64) -> Trace {
+        assert!(self.wavelet_levels >= 1, "need at least one wavelet level");
+        assert!(
+            self.width >> self.wavelet_levels > 0 && self.height >> self.wavelet_levels > 0,
+            "image too small for the requested wavelet levels"
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x007C_0DEC_u64);
+        let mut trace = Trace::new("vtc");
+        let mut next_id = 0u64;
+        let mut fresh = || {
+            next_id += 1;
+            BlockId(next_id)
+        };
+        let push = |t: &mut Trace, ev: TraceEvent| {
+            t.push(ev).expect("generator emits well-formed traces");
+        };
+
+        for _image in 0..self.images {
+            // Phase 1: bitstream parsing — a few small short-lived blocks.
+            let mut parse_blocks = Vec::new();
+            for _ in 0..6 {
+                let id = fresh();
+                let size = PARSE_SIZES[rng.gen_range(0..PARSE_SIZES.len())];
+                push(&mut trace, TraceEvent::Alloc { id, size });
+                push(&mut trace, TraceEvent::Access { id, reads: 10, writes: 6 });
+                parse_blocks.push(id);
+            }
+            push(&mut trace, TraceEvent::Tick { cycles: 4_000 });
+
+            // Phase 2: decoded-texture output buffer, lives until image end.
+            let texture = fresh();
+            let texture_size = self.width * self.height; // 8bpp luminance
+            push(&mut trace, TraceEvent::Alloc { id: texture, size: texture_size });
+
+            // Phase 3: zerotree construction — many small nodes, one per
+            // coarse-level coefficient neighbourhood; all live to image end.
+            let coarse_w = self.width >> self.wavelet_levels;
+            let coarse_h = self.height >> self.wavelet_levels;
+            let node_count = (coarse_w * coarse_h * 4) as usize;
+            let mut nodes = Vec::with_capacity(node_count);
+            for _ in 0..node_count {
+                let id = fresh();
+                push(&mut trace, TraceEvent::Alloc { id, size: NODE_SIZE });
+                push(&mut trace, TraceEvent::Access { id, reads: 2, writes: 4 });
+                nodes.push(id);
+            }
+            push(&mut trace, TraceEvent::Tick { cycles: 20_000 });
+
+            // Phase 4: per wavelet level, coarse to fine: allocate the three
+            // detail subband buffers, decode bitplanes (heavy access +
+            // compute), run the inverse transform into the texture, free.
+            for level in (1..=self.wavelet_levels).rev() {
+                let sub_w = self.width >> level;
+                let sub_h = self.height >> level;
+                let sub_size = sub_w * sub_h * 2; // 16-bit coefficients
+                let mut subbands = Vec::with_capacity(3);
+                for _sb in 0..3 {
+                    let id = fresh();
+                    push(&mut trace, TraceEvent::Alloc { id, size: sub_size });
+                    subbands.push(id);
+                }
+
+                // Bitplane decoding: every coefficient decode consults its
+                // zerotree node, so node traffic scales with
+                // coefficients × bitplanes — the hot, small, dedicated-pool
+                // data of this workload. The node reads are spread over a
+                // sample of node ids to keep the trace compact.
+                let coeffs = sub_w * sub_h;
+                for _plane in 0..self.bitplanes {
+                    for &sb in &subbands {
+                        push(
+                            &mut trace,
+                            TraceEvent::Access { id: sb, reads: coeffs / 16, writes: coeffs / 16 },
+                        );
+                    }
+                    let samples = 16.min(nodes.len());
+                    // Every coefficient decode walks its zerotree ancestry:
+                    // ~2.5 node reads per coefficient across the 3 subbands.
+                    let node_reads_total = 3 * coeffs;
+                    let per_sample = (node_reads_total / samples as u32).max(1);
+                    for _ in 0..samples {
+                        let id = nodes[rng.gen_range(0..nodes.len())];
+                        push(
+                            &mut trace,
+                            TraceEvent::Access { id, reads: per_sample, writes: per_sample / 6 },
+                        );
+                    }
+                    push(&mut trace, TraceEvent::Tick { cycles: coeffs * 700 });
+                }
+
+                // Inverse DWT for this level: read subbands, write texture.
+                for &sb in &subbands {
+                    push(&mut trace, TraceEvent::Access { id: sb, reads: coeffs / 2, writes: 0 });
+                }
+                push(
+                    &mut trace,
+                    TraceEvent::Access { id: texture, reads: coeffs / 2, writes: coeffs },
+                );
+                push(&mut trace, TraceEvent::Tick { cycles: coeffs * 100 });
+
+                for sb in subbands {
+                    push(&mut trace, TraceEvent::Free { id: sb });
+                }
+            }
+
+            // Phase 5: image done — emit, then tear everything down.
+            push(
+                &mut trace,
+                TraceEvent::Access {
+                    id: texture,
+                    reads: texture_size / 8,
+                    writes: 0,
+                },
+            );
+            push(&mut trace, TraceEvent::Tick { cycles: 30_000 });
+            for id in nodes {
+                push(&mut trace, TraceEvent::Free { id });
+            }
+            for id in parse_blocks {
+                push(&mut trace, TraceEvent::Free { id });
+            }
+            push(&mut trace, TraceEvent::Free { id: texture });
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn node_size_dominates_allocations() {
+        let t = VtcConfig::small().generate(1);
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.dominant_sizes(1), vec![NODE_SIZE]);
+    }
+
+    #[test]
+    fn everything_is_freed() {
+        let t = VtcConfig::paper().generate(2);
+        assert_eq!(t.final_live_bytes(), 0);
+    }
+
+    #[test]
+    fn subband_sizes_follow_pyramid() {
+        let cfg = VtcConfig::small();
+        let t = cfg.generate(3);
+        let s = TraceStats::compute(&t);
+        for level in 1..=cfg.wavelet_levels {
+            let sub = (cfg.width >> level) * (cfg.height >> level) * 2;
+            assert!(
+                s.size_stat(sub).is_some(),
+                "expected subband buffers of {sub} bytes"
+            );
+        }
+        assert!(s.size_stat(cfg.width * cfg.height).is_some(), "texture buffer");
+    }
+
+    #[test]
+    fn compute_dominates_time() {
+        // VTC is compute-heavy: tick cycles must dwarf the number of
+        // allocator operations, which is what limits the achievable
+        // execution-time savings to a few percent (paper: 5.4 %).
+        let t = VtcConfig::small().generate(4);
+        let s = TraceStats::compute(&t);
+        assert!(s.tick_cycles > 50 * (s.allocs + s.frees));
+    }
+
+    #[test]
+    fn peak_live_is_image_scale() {
+        let cfg = VtcConfig::small();
+        let t = cfg.generate(5);
+        let s = TraceStats::compute(&t);
+        let texture = u64::from(cfg.width * cfg.height);
+        assert!(s.peak_live_bytes >= texture, "texture buffer is live");
+        assert!(s.peak_live_bytes < 16 * texture, "no unbounded growth");
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_over_deep_pyramid() {
+        let cfg = VtcConfig { width: 8, height: 8, wavelet_levels: 5, ..VtcConfig::small() };
+        let _ = cfg.generate(0);
+    }
+}

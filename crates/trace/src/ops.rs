@@ -1,0 +1,187 @@
+//! Trace transformations: composing and reshaping workloads.
+//!
+//! Embedded designs often run several dynamic applications on one platform
+//! (the paper's domain pairs a network stack with multimedia codecs);
+//! these helpers build such combined workloads from individual traces, and
+//! reshape traces for sensitivity studies.
+
+use std::collections::HashMap;
+
+use crate::error::TraceError;
+use crate::event::{BlockId, TraceEvent};
+use crate::trace::Trace;
+
+/// Interleaves several traces round-robin (one event from each in turn)
+/// into a single well-formed trace, remapping block ids so the inputs
+/// cannot collide.
+///
+/// The result models concurrent applications sharing one allocator. Input
+/// order is preserved within each trace.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] if a combined event sequence is ill-formed —
+/// impossible for well-formed inputs, since ids are remapped into disjoint
+/// ranges.
+pub fn merge_round_robin(name: impl Into<String>, traces: &[&Trace]) -> Result<Trace, TraceError> {
+    let mut merged = Trace::new(name);
+    let mut cursors = vec![0usize; traces.len()];
+    // Disjoint id spaces: trace i's ids are offset into its own window.
+    let mut remap: Vec<HashMap<BlockId, BlockId>> = vec![HashMap::new(); traces.len()];
+    let mut next_id = 1u64;
+
+    loop {
+        let mut progressed = false;
+        for (ti, trace) in traces.iter().enumerate() {
+            let Some(event) = trace.events().get(cursors[ti]) else {
+                continue;
+            };
+            cursors[ti] += 1;
+            progressed = true;
+            let mapped = match *event {
+                TraceEvent::Alloc { id, size } => {
+                    let new = BlockId(next_id);
+                    next_id += 1;
+                    remap[ti].insert(id, new);
+                    TraceEvent::Alloc { id: new, size }
+                }
+                TraceEvent::Free { id } => {
+                    let new = remap[ti].remove(&id).expect("input trace is well-formed");
+                    TraceEvent::Free { id: new }
+                }
+                TraceEvent::Access { id, reads, writes } => {
+                    let new = *remap[ti].get(&id).expect("input trace is well-formed");
+                    TraceEvent::Access { id: new, reads, writes }
+                }
+                tick @ TraceEvent::Tick { .. } => tick,
+            };
+            merged.push(mapped)?;
+        }
+        if !progressed {
+            return Ok(merged);
+        }
+    }
+}
+
+/// Scales every allocation size by `factor` (rounding up, minimum 1 byte).
+/// Useful for sensitivity studies ("what if all buffers were 2× bigger?").
+///
+/// # Panics
+///
+/// Panics if `factor` is not finite and positive.
+pub fn scale_sizes(trace: &Trace, factor: f64) -> Trace {
+    assert!(
+        factor.is_finite() && factor > 0.0,
+        "scale factor must be positive"
+    );
+    let mut out = Trace::new(format!("{}-x{factor}", trace.name()));
+    for ev in trace {
+        let mapped = match *ev {
+            TraceEvent::Alloc { id, size } => TraceEvent::Alloc {
+                id,
+                size: ((f64::from(size) * factor).ceil() as u32).max(1),
+            },
+            other => other,
+        };
+        out.push(mapped).expect("scaling preserves well-formedness");
+    }
+    out
+}
+
+/// Keeps only the first `n` events, then frees every block still live —
+/// a well-formed prefix of the workload.
+pub fn truncate(trace: &Trace, n: usize) -> Trace {
+    let mut out = Trace::new(format!("{}-head{n}", trace.name()));
+    for ev in trace.iter().take(n) {
+        out.push(*ev).expect("prefix of well-formed trace is well-formed");
+    }
+    let live: Vec<BlockId> = out.live_blocks().map(|(id, _)| id).collect();
+    for id in live {
+        out.push(TraceEvent::Free { id })
+            .expect("freeing live blocks is well-formed");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{ramp, EasyportConfig, TraceGenerator, VtcConfig};
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn merge_preserves_event_totals() {
+        let a = ramp(10, 64);
+        let b = ramp(5, 128);
+        let m = merge_round_robin("both", &[&a, &b]).unwrap();
+        assert_eq!(m.len(), a.len() + b.len());
+        let stats = TraceStats::compute(&m);
+        assert_eq!(stats.allocs, 15);
+        assert_eq!(stats.frees, 15);
+        assert_eq!(m.final_live_bytes(), 0);
+    }
+
+    #[test]
+    fn merge_remaps_colliding_ids() {
+        // Both ramps use ids 1..=10 — the merge must keep them apart.
+        let a = ramp(10, 64);
+        let b = ramp(10, 128);
+        let m = merge_round_robin("collide", &[&a, &b]).unwrap();
+        let stats = TraceStats::compute(&m);
+        assert_eq!(stats.peak_live_bytes, 10 * 64 + 10 * 128);
+    }
+
+    #[test]
+    fn merge_of_real_workloads_is_well_formed() {
+        let net = EasyportConfig { packets: 200, ..EasyportConfig::paper() }.generate(1);
+        let video = VtcConfig::small().generate(2);
+        let m = merge_round_robin("net+video", &[&net, &video]).unwrap();
+        assert_eq!(m.len(), net.len() + video.len());
+        // Hot sizes of both workloads coexist.
+        let stats = TraceStats::compute(&m);
+        assert!(stats.size_stat(74).is_some(), "network headers present");
+        assert!(stats.size_stat(32).is_some(), "zerotree nodes present");
+    }
+
+    #[test]
+    fn scale_multiplies_sizes() {
+        let t = ramp(4, 100);
+        let doubled = scale_sizes(&t, 2.0);
+        let stats = TraceStats::compute(&doubled);
+        assert_eq!(stats.max_size, 200);
+        let halved = scale_sizes(&t, 0.5);
+        let stats = TraceStats::compute(&halved);
+        assert_eq!(stats.max_size, 50);
+    }
+
+    #[test]
+    fn scale_never_produces_zero_sizes() {
+        let t = ramp(3, 1);
+        let tiny = scale_sizes(&t, 0.01);
+        let stats = TraceStats::compute(&tiny);
+        assert_eq!(stats.min_size, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn scale_rejects_nonpositive() {
+        let _ = scale_sizes(&ramp(1, 8), 0.0);
+    }
+
+    #[test]
+    fn truncate_frees_survivors() {
+        let t = ramp(10, 64); // 10 allocs then 10 frees
+        let head = truncate(&t, 10); // all allocs, no frees yet
+        assert_eq!(head.final_live_bytes(), 0, "survivors were freed");
+        let stats = TraceStats::compute(&head);
+        assert_eq!(stats.allocs, 10);
+        assert_eq!(stats.frees, 10);
+    }
+
+    #[test]
+    fn truncate_beyond_len_is_identity_plus_nothing() {
+        let t = ramp(3, 8);
+        let whole = truncate(&t, 1000);
+        assert_eq!(whole.len(), t.len());
+    }
+}

@@ -1,0 +1,207 @@
+//! Line-oriented text serialization of traces.
+//!
+//! The format mirrors the paper's tool flow: profiling output is written as
+//! plain text that downstream scripts (the paper used Perl/O'Caml) can parse
+//! quickly. One event per line:
+//!
+//! ```text
+//! dmxtrace v1 <name>
+//! # comment
+//! a <id> <size>        allocation
+//! f <id>               free
+//! r <id> <reads> <writes>   application accesses
+//! k <cycles>           compute tick
+//! ```
+
+use crate::error::ParseError;
+use crate::event::{BlockId, TraceEvent};
+use crate::trace::Trace;
+
+const HEADER: &str = "dmxtrace v1";
+
+/// Serializes `trace` to the text format.
+pub fn to_string(trace: &Trace) -> String {
+    let mut out = String::with_capacity(16 + trace.len() * 12);
+    out.push_str(HEADER);
+    out.push(' ');
+    out.push_str(trace.name());
+    out.push('\n');
+    for ev in trace {
+        match *ev {
+            TraceEvent::Alloc { id, size } => {
+                out.push_str(&format!("a {} {}\n", id.0, size));
+            }
+            TraceEvent::Free { id } => {
+                out.push_str(&format!("f {}\n", id.0));
+            }
+            TraceEvent::Access { id, reads, writes } => {
+                out.push_str(&format!("r {} {} {}\n", id.0, reads, writes));
+            }
+            TraceEvent::Tick { cycles } => {
+                out.push_str(&format!("k {cycles}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Parses a trace from the text format.
+///
+/// # Errors
+///
+/// [`ParseError::BadHeader`] if the first line is not a `dmxtrace v1`
+/// header; [`ParseError::Malformed`] (with a 1-based line number) for a
+/// syntactically bad line; [`ParseError::Invalid`] if the events violate
+/// trace well-formedness.
+pub fn from_str(input: &str) -> Result<Trace, ParseError> {
+    let mut lines = input.lines().enumerate();
+    let name = match lines.next() {
+        Some((_, first)) => {
+            let rest = first.strip_prefix(HEADER).ok_or(ParseError::BadHeader)?;
+            let name = rest.trim();
+            if name.is_empty() {
+                return Err(ParseError::BadHeader);
+            }
+            name.to_owned()
+        }
+        None => return Err(ParseError::BadHeader),
+    };
+
+    let mut trace = Trace::new(name);
+    for (lineno, line) in lines {
+        let at = lineno + 1; // 1-based
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_ascii_whitespace();
+        let tag = fields.next().expect("non-empty line has a first field");
+        let event = match tag {
+            "a" => TraceEvent::Alloc {
+                id: BlockId(parse_u64(fields.next(), at, "alloc id")?),
+                size: parse_u32(fields.next(), at, "alloc size")?,
+            },
+            "f" => TraceEvent::Free {
+                id: BlockId(parse_u64(fields.next(), at, "free id")?),
+            },
+            "r" => TraceEvent::Access {
+                id: BlockId(parse_u64(fields.next(), at, "access id")?),
+                reads: parse_u32(fields.next(), at, "access reads")?,
+                writes: parse_u32(fields.next(), at, "access writes")?,
+            },
+            "k" => TraceEvent::Tick {
+                cycles: parse_u32(fields.next(), at, "tick cycles")?,
+            },
+            other => {
+                return Err(ParseError::Malformed {
+                    at,
+                    what: format!("unknown event tag `{other}`"),
+                })
+            }
+        };
+        if fields.next().is_some() {
+            return Err(ParseError::Malformed {
+                at,
+                what: "trailing fields".to_owned(),
+            });
+        }
+        trace.push(event)?;
+    }
+    Ok(trace)
+}
+
+fn parse_u64(field: Option<&str>, at: usize, what: &str) -> Result<u64, ParseError> {
+    field
+        .and_then(|f| f.parse().ok())
+        .ok_or_else(|| ParseError::Malformed {
+            at,
+            what: format!("missing or invalid {what}"),
+        })
+}
+
+fn parse_u32(field: Option<&str>, at: usize, what: &str) -> Result<u32, ParseError> {
+    field
+        .and_then(|f| f.parse().ok())
+        .ok_or_else(|| ParseError::Malformed {
+            at,
+            what: format!("missing or invalid {what}"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::from_events(
+            "sample",
+            vec![
+                TraceEvent::Alloc { id: BlockId(1), size: 74 },
+                TraceEvent::Access { id: BlockId(1), reads: 3, writes: 1 },
+                TraceEvent::Tick { cycles: 42 },
+                TraceEvent::Free { id: BlockId(1) },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let s = to_string(&t);
+        let back = from_str(&s).unwrap();
+        assert_eq!(back.name(), "sample");
+        assert_eq!(back.events(), t.events());
+    }
+
+    #[test]
+    fn header_required() {
+        assert_eq!(from_str(""), Err(ParseError::BadHeader));
+        assert_eq!(from_str("not a header\n"), Err(ParseError::BadHeader));
+        assert_eq!(from_str("dmxtrace v1 \n"), Err(ParseError::BadHeader));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let t = from_str("dmxtrace v1 t\n# hi\n\na 1 8\nf 1\n").unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let err = from_str("dmxtrace v1 t\na 1 8\nx 2\n").unwrap_err();
+        match err {
+            ParseError::Malformed { at, what } => {
+                assert_eq!(at, 3);
+                assert!(what.contains('x'));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_field_reported() {
+        let err = from_str("dmxtrace v1 t\na 1\n").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { at: 2, .. }));
+    }
+
+    #[test]
+    fn trailing_fields_rejected() {
+        let err = from_str("dmxtrace v1 t\nf 1 9\n").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { .. }));
+    }
+
+    #[test]
+    fn semantic_violations_surface_as_invalid() {
+        let err = from_str("dmxtrace v1 t\nf 1\n").unwrap_err();
+        assert!(matches!(err, ParseError::Invalid(_)));
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::new("empty");
+        let back = from_str(&to_string(&t)).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.name(), "empty");
+    }
+}

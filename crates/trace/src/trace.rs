@@ -1,0 +1,250 @@
+//! The validated trace container.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::TraceError;
+use crate::event::{BlockId, TraceEvent};
+
+/// A named, ordered sequence of allocation events.
+///
+/// A `Trace` built through [`Trace::from_events`] or grown through
+/// [`Trace::push`] is always *well-formed*:
+///
+/// * every `Alloc` uses an id that is not currently live and a non-zero size;
+/// * every `Free`/`Access` refers to a live id;
+/// * ids may be reused after being freed (as real heap addresses are).
+///
+/// Blocks still live at the end of a trace are permitted: long-lived
+/// application state (e.g. a decoder context) legitimately outlives the
+/// profiled window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    name: String,
+    events: Vec<TraceEvent>,
+    /// Live map maintained incrementally: id -> size.
+    live: HashMap<BlockId, u32>,
+    peak_live_bytes: u64,
+    live_bytes: u64,
+}
+
+impl Trace {
+    /// An empty trace with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Trace {
+            name: name.into(),
+            events: Vec::new(),
+            live: HashMap::new(),
+            peak_live_bytes: 0,
+            live_bytes: 0,
+        }
+    }
+
+    /// Builds a trace from raw events, validating well-formedness.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TraceError`] encountered, with the offending
+    /// event index.
+    pub fn from_events(
+        name: impl Into<String>,
+        events: Vec<TraceEvent>,
+    ) -> Result<Self, TraceError> {
+        let mut t = Trace::new(name);
+        for ev in events {
+            t.push(ev)?;
+        }
+        Ok(t)
+    }
+
+    /// Appends one event, validating it against the current live set.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::ZeroSizeAlloc`], [`TraceError::DuplicateAlloc`],
+    /// [`TraceError::FreeOfDeadBlock`] or [`TraceError::AccessToDeadBlock`],
+    /// each carrying the event index at which the violation occurred.
+    pub fn push(&mut self, event: TraceEvent) -> Result<(), TraceError> {
+        let at = self.events.len();
+        match event {
+            TraceEvent::Alloc { id, size } => {
+                if size == 0 {
+                    return Err(TraceError::ZeroSizeAlloc { at, id });
+                }
+                if self.live.contains_key(&id) {
+                    return Err(TraceError::DuplicateAlloc { at, id });
+                }
+                self.live.insert(id, size);
+                self.live_bytes += u64::from(size);
+                self.peak_live_bytes = self.peak_live_bytes.max(self.live_bytes);
+            }
+            TraceEvent::Free { id } => match self.live.remove(&id) {
+                Some(size) => self.live_bytes -= u64::from(size),
+                None => return Err(TraceError::FreeOfDeadBlock { at, id }),
+            },
+            TraceEvent::Access { id, .. } => {
+                if !self.live.contains_key(&id) {
+                    return Err(TraceError::AccessToDeadBlock { at, id });
+                }
+            }
+            TraceEvent::Tick { .. } => {}
+        }
+        self.events.push(event);
+        Ok(())
+    }
+
+    /// The trace name (workload label used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over the events.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Ids (with sizes) of blocks still live at the end of the trace.
+    pub fn live_blocks(&self) -> impl Iterator<Item = (BlockId, u32)> + '_ {
+        self.live.iter().map(|(id, size)| (*id, *size))
+    }
+
+    /// Bytes live at the end of the trace.
+    pub fn final_live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Peak of the application's requested live bytes over the whole trace.
+    ///
+    /// This is the *lower bound* on any allocator's footprint: headers,
+    /// alignment and fragmentation only add to it.
+    pub fn peak_live_bytes(&self) -> u64 {
+        self.peak_live_bytes
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace `{}`: {} events, peak live {} B",
+            self.name,
+            self.events.len(),
+            self.peak_live_bytes
+        )
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceEvent;
+    type IntoIter = std::slice::Iter<'a, TraceEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc(id: u64, size: u32) -> TraceEvent {
+        TraceEvent::Alloc { id: BlockId(id), size }
+    }
+    fn free(id: u64) -> TraceEvent {
+        TraceEvent::Free { id: BlockId(id) }
+    }
+
+    #[test]
+    fn push_maintains_live_set_and_peak() {
+        let mut t = Trace::new("t");
+        t.push(alloc(1, 100)).unwrap();
+        t.push(alloc(2, 50)).unwrap();
+        t.push(free(1)).unwrap();
+        t.push(alloc(3, 10)).unwrap();
+        assert_eq!(t.peak_live_bytes(), 150);
+        assert_eq!(t.final_live_bytes(), 60);
+        let mut live: Vec<_> = t.live_blocks().collect();
+        live.sort();
+        assert_eq!(live, [(BlockId(2), 50), (BlockId(3), 10)]);
+    }
+
+    #[test]
+    fn id_reuse_after_free_is_allowed() {
+        let mut t = Trace::new("t");
+        t.push(alloc(1, 8)).unwrap();
+        t.push(free(1)).unwrap();
+        t.push(alloc(1, 16)).unwrap();
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_alloc_rejected() {
+        let mut t = Trace::new("t");
+        t.push(alloc(1, 8)).unwrap();
+        let err = t.push(alloc(1, 8)).unwrap_err();
+        assert_eq!(err, TraceError::DuplicateAlloc { at: 1, id: BlockId(1) });
+    }
+
+    #[test]
+    fn free_of_dead_block_rejected() {
+        let mut t = Trace::new("t");
+        let err = t.push(free(9)).unwrap_err();
+        assert_eq!(err, TraceError::FreeOfDeadBlock { at: 0, id: BlockId(9) });
+    }
+
+    #[test]
+    fn access_to_dead_block_rejected() {
+        let mut t = Trace::new("t");
+        let err = t
+            .push(TraceEvent::Access { id: BlockId(1), reads: 1, writes: 0 })
+            .unwrap_err();
+        assert_eq!(err, TraceError::AccessToDeadBlock { at: 0, id: BlockId(1) });
+    }
+
+    #[test]
+    fn zero_size_alloc_rejected() {
+        let mut t = Trace::new("t");
+        let err = t.push(alloc(1, 0)).unwrap_err();
+        assert_eq!(err, TraceError::ZeroSizeAlloc { at: 0, id: BlockId(1) });
+    }
+
+    #[test]
+    fn from_events_validates() {
+        let ok = Trace::from_events("ok", vec![alloc(1, 4), free(1)]);
+        assert!(ok.is_ok());
+        let bad = Trace::from_events("bad", vec![free(1)]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn ticks_do_not_affect_live_accounting() {
+        let mut t = Trace::new("t");
+        t.push(TraceEvent::Tick { cycles: 100 }).unwrap();
+        t.push(alloc(1, 8)).unwrap();
+        t.push(TraceEvent::Tick { cycles: 100 }).unwrap();
+        assert_eq!(t.peak_live_bytes(), 8);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn display_and_intoiter() {
+        let t = Trace::from_events("w", vec![alloc(1, 4)]).unwrap();
+        assert!(t.to_string().contains("`w`"));
+        assert_eq!((&t).into_iter().count(), 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Pool placement on the memory hierarchy: the energy lever.
+//!
+//! Runs the *same* allocator algorithm with the hot dedicated pool placed
+//! on different levels and shows how placement alone moves energy and
+//! execution time — the paper's motivation for exploring the mapping, not
+//! just the algorithm.
+//!
+//! ```sh
+//! cargo run --release --example pool_placement
+//! ```
+
+use dmx_alloc::{
+    AllocatorConfig, CoalescePolicy, FitPolicy, FreeOrder, PoolKind, PoolSpec, Route, Simulator,
+    SplitPolicy,
+};
+use dmx_memhier::{presets, LevelId};
+use dmx_trace::gen::{EasyportConfig, TraceGenerator};
+
+fn config_with_hot_pool_on(level: LevelId, main: LevelId) -> AllocatorConfig {
+    AllocatorConfig {
+        pools: vec![
+            PoolSpec {
+                route: Route::Exact(74),
+                kind: PoolKind::Fixed { block_size: 74, chunk_blocks: 32 },
+                level,
+            },
+            PoolSpec {
+                route: Route::Exact(28),
+                kind: PoolKind::Fixed { block_size: 28, chunk_blocks: 32 },
+                level,
+            },
+            PoolSpec::general(
+                main,
+                FitPolicy::FirstFit,
+                FreeOrder::AddressOrdered,
+                CoalescePolicy::Immediate,
+                SplitPolicy::MinRemainder(16),
+            ),
+        ],
+    }
+}
+
+fn main() {
+    let hier = presets::sp64k_dram4m();
+    let trace = EasyportConfig::small().generate(42);
+    let sim = Simulator::new(&hier);
+
+    println!(
+        "{:<24} {:>14} {:>12} {:>14} {:>12}",
+        "hot pools placed on", "accesses", "footprint", "energy (uJ)", "cycles"
+    );
+    for level in hier.ids() {
+        let cfg = config_with_hot_pool_on(level, hier.slowest());
+        let m = sim.run(&cfg, &trace).expect("valid configuration");
+        println!(
+            "{:<24} {:>14} {:>12} {:>14.3} {:>12}",
+            hier.level(level).name(),
+            m.total_accesses(),
+            m.footprint,
+            m.energy_pj as f64 / 1e6,
+            m.cycles
+        );
+    }
+
+    println!(
+        "\nsame algorithm, same workload: only the pool-to-level mapping \
+         changed.\nPlacing the hot 28/74-byte pools on the scratchpad cuts \
+         the energy of every\naccess to those blocks by the SP/DRAM \
+         per-access ratio — the paper's example\nmapping in Section 2."
+    );
+}

@@ -1,0 +1,88 @@
+//! Profile-pipeline integration: exploration results → profile records →
+//! serialized text → parsed back → aggregated — the paper's
+//! "simulate, write profiles, parse, Pareto-filter" loop.
+
+use dmx_core::study::{easyport_study, StudyScale};
+use dmx_profile::aggregate::{best_by, feasible_only, merge_shards, range_factor};
+use dmx_profile::{parse_records, records_to_string};
+
+#[test]
+fn records_roundtrip_from_real_exploration() {
+    let study = easyport_study(StudyScale::Quick, 42);
+    let records = study.exploration.to_records();
+    assert_eq!(records.len(), study.exploration.results.len());
+
+    let text = records_to_string(&records);
+    let parsed = parse_records(&text).expect("self-produced profiles parse");
+    assert_eq!(parsed, records);
+}
+
+#[test]
+fn record_metrics_match_sim_metrics() {
+    let study = easyport_study(StudyScale::Quick, 42);
+    let records = study.exploration.to_records();
+    for (rec, res) in records.iter().zip(&study.exploration.results) {
+        assert_eq!(rec.label, res.label);
+        assert_eq!(rec.footprint, res.metrics.footprint);
+        assert_eq!(rec.energy_pj, res.metrics.energy_pj);
+        assert_eq!(rec.cycles, res.metrics.cycles);
+        assert_eq!(rec.total_accesses(), res.metrics.total_accesses());
+        assert_eq!(rec.feasible(), res.metrics.feasible());
+    }
+}
+
+#[test]
+fn aggregation_matches_summary() {
+    let study = easyport_study(StudyScale::Quick, 42);
+    let records = study.exploration.to_records();
+    let feasible = feasible_only(&records);
+    assert_eq!(feasible.len(), study.summary.feasible_configs);
+
+    let factor = range_factor(&feasible, |r| r.footprint).expect("non-empty");
+    assert!((factor - study.summary.footprint_range_factor).abs() < 1e-9);
+
+    let best_fp = best_by(&feasible, |r| r.footprint).expect("non-empty");
+    let min_fp = study
+        .exploration
+        .feasible()
+        .iter()
+        .map(|r| r.metrics.footprint)
+        .min()
+        .unwrap();
+    assert_eq!(best_fp.footprint, min_fp);
+}
+
+#[test]
+fn sharded_runs_merge_like_one_run() {
+    let study = easyport_study(StudyScale::Quick, 42);
+    let records = study.exploration.to_records();
+    let mid = records.len() / 2;
+    let merged = merge_shards(&[records[..mid].to_vec(), records[mid..].to_vec()]);
+    assert_eq!(merged, records);
+
+    // A re-run shard supersedes the stale one.
+    let mut stale = records.clone();
+    stale[0].footprint = 1;
+    let merged = merge_shards(&[stale, vec![records[0].clone()]]);
+    assert_eq!(merged[0].footprint, records[0].footprint);
+}
+
+#[test]
+fn cli_objectives_can_be_recomputed_from_records() {
+    // The `dmx pareto` path: recompute the front purely from parsed
+    // records and check it matches the in-memory front.
+    let study = easyport_study(StudyScale::Quick, 42);
+    let records = study.exploration.to_records();
+    let text = records_to_string(&records);
+    let parsed = parse_records(&text).unwrap();
+
+    let feasible = feasible_only(&parsed);
+    let points: Vec<Vec<u64>> = feasible
+        .iter()
+        .map(|r| vec![r.footprint, r.total_accesses()])
+        .collect();
+    let front_from_records = dmx_core::pareto_front(&points);
+    let front_in_memory = study.exploration.pareto(&dmx_core::Objective::FIG1);
+    assert_eq!(front_from_records.len(), front_in_memory.len());
+    assert_eq!(front_from_records.points, front_in_memory.points);
+}

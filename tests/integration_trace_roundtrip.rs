@@ -1,0 +1,77 @@
+//! Serialization integration: every generator's output survives both the
+//! text and the binary format byte-for-byte, and profiled statistics are
+//! preserved.
+
+use dmx_trace::gen::{
+    ramp, EasyportConfig, SyntheticConfig, TraceGenerator, VtcConfig,
+};
+use dmx_trace::{binfmt, textfmt, Trace, TraceStats};
+
+fn all_sample_traces() -> Vec<Trace> {
+    vec![
+        ramp(50, 64),
+        EasyportConfig::small().generate(1),
+        VtcConfig::small().generate(2),
+        SyntheticConfig::uniform_churn(500).generate(3),
+        SyntheticConfig::bimodal(500).generate(4),
+        SyntheticConfig::fragmenter(500).generate(5),
+    ]
+}
+
+#[test]
+fn text_roundtrip_every_generator() {
+    for trace in all_sample_traces() {
+        let text = textfmt::to_string(&trace);
+        let back = textfmt::from_str(&text).expect("text parses");
+        assert_eq!(back.name(), trace.name());
+        assert_eq!(back.events(), trace.events(), "text roundtrip of `{}`", trace.name());
+    }
+}
+
+#[test]
+fn binary_roundtrip_every_generator() {
+    for trace in all_sample_traces() {
+        let bytes = binfmt::to_bytes(&trace);
+        let back = binfmt::from_bytes(&bytes).expect("binary parses");
+        assert_eq!(back.events(), trace.events(), "binary roundtrip of `{}`", trace.name());
+    }
+}
+
+#[test]
+fn formats_agree_with_each_other() {
+    for trace in all_sample_traces() {
+        let via_text = textfmt::from_str(&textfmt::to_string(&trace)).unwrap();
+        let via_bin = binfmt::from_bytes(&binfmt::to_bytes(&trace)).unwrap();
+        assert_eq!(via_text.events(), via_bin.events());
+    }
+}
+
+#[test]
+fn stats_survive_serialization() {
+    let trace = EasyportConfig::small().generate(9);
+    let before = TraceStats::compute(&trace);
+    let after = TraceStats::compute(&textfmt::from_str(&textfmt::to_string(&trace)).unwrap());
+    assert_eq!(before, after);
+}
+
+#[test]
+fn binary_is_denser_than_text() {
+    let trace = EasyportConfig::small().generate(10);
+    let text = textfmt::to_string(&trace).len();
+    let bin = binfmt::to_bytes(&trace).len();
+    assert!(
+        bin * 10 < text * 9,
+        "binary ({bin} B) should be >10% denser than text ({text} B)"
+    );
+}
+
+#[test]
+fn corrupted_inputs_fail_loudly_not_silently() {
+    let trace = ramp(10, 32);
+    // Text: flip an event tag.
+    let text = textfmt::to_string(&trace).replace("\na ", "\nz ");
+    assert!(textfmt::from_str(&text).is_err());
+    // Binary: truncate.
+    let bytes = binfmt::to_bytes(&trace);
+    assert!(binfmt::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+}
