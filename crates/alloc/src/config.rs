@@ -95,7 +95,10 @@ impl PoolSpec {
     pub fn fixed(size: u32, level: LevelId) -> Self {
         PoolSpec {
             route: Route::Exact(size),
-            kind: PoolKind::Fixed { block_size: size, chunk_blocks: 32 },
+            kind: PoolKind::Fixed {
+                block_size: size,
+                chunk_blocks: 32,
+            },
             level,
         }
     }
@@ -129,13 +132,27 @@ impl PoolSpec {
         };
         let body = match &self.kind {
             PoolKind::Fixed { block_size, .. } => format!("fix{block_size}"),
-            PoolKind::General { fit, order, coalesce, split, align, chunk_bytes } => {
+            PoolKind::General {
+                fit,
+                order,
+                coalesce,
+                split,
+                align,
+                chunk_bytes,
+            } => {
                 format!("gen({fit},{order},{coalesce},{split},a{align},c{chunk_bytes})")
             }
-            PoolKind::Segregated { min_class, max_class, .. } => {
+            PoolKind::Segregated {
+                min_class,
+                max_class,
+                ..
+            } => {
                 format!("seg({min_class}-{max_class})")
             }
-            PoolKind::Buddy { min_order, max_order } => {
+            PoolKind::Buddy {
+                min_order,
+                max_order,
+            } => {
                 format!("bud({min_order}-{max_order})")
             }
             PoolKind::Region { .. } => "arena".to_owned(),
@@ -235,7 +252,10 @@ impl AllocatorConfig {
     fn validate_kind(&self, i: usize, spec: &PoolSpec) -> Result<(), BuildError> {
         let bad = |what: String| BuildError::InvalidParameter { pool: i, what };
         match &spec.kind {
-            PoolKind::Fixed { block_size, chunk_blocks } => {
+            PoolKind::Fixed {
+                block_size,
+                chunk_blocks,
+            } => {
                 if *block_size == 0 || *chunk_blocks == 0 {
                     return Err(bad("fixed pool with zero size or chunk".to_owned()));
                 }
@@ -254,7 +274,12 @@ impl AllocatorConfig {
                     }
                 }
             }
-            PoolKind::General { align, chunk_bytes, coalesce, .. } => {
+            PoolKind::General {
+                align,
+                chunk_bytes,
+                coalesce,
+                ..
+            } => {
                 if !align.is_power_of_two() {
                     return Err(bad(format!("alignment {align} not a power of two")));
                 }
@@ -265,7 +290,11 @@ impl AllocatorConfig {
                     return Err(bad("deferred coalescing with period 0".to_owned()));
                 }
             }
-            PoolKind::Segregated { min_class, max_class, chunk_bytes } => {
+            PoolKind::Segregated {
+                min_class,
+                max_class,
+                chunk_bytes,
+            } => {
                 if !min_class.is_power_of_two()
                     || !max_class.is_power_of_two()
                     || *min_class < 8
@@ -277,7 +306,10 @@ impl AllocatorConfig {
                     )));
                 }
             }
-            PoolKind::Buddy { min_order, max_order } => {
+            PoolKind::Buddy {
+                min_order,
+                max_order,
+            } => {
                 if !(4..=31).contains(min_order) || min_order > max_order || *max_order > 31 {
                     return Err(bad(format!("bad buddy orders {min_order}..{max_order}")));
                 }
@@ -312,31 +344,40 @@ impl AllocatorConfig {
 
     fn instantiate(spec: &PoolSpec) -> BuiltPool {
         match &spec.kind {
-            PoolKind::Fixed { block_size, chunk_blocks } => {
-                BuiltPool::Fixed(FixedBlockPool::new(spec.level, *block_size, *chunk_blocks))
-            }
-            PoolKind::General { fit, order, coalesce, split, align, chunk_bytes } => {
-                BuiltPool::General(GeneralPool::new(
-                    spec.level,
-                    *fit,
-                    *order,
-                    *coalesce,
-                    *split,
-                    *align,
-                    *chunk_bytes,
-                ))
-            }
-            PoolKind::Segregated { min_class, max_class, chunk_bytes } => {
-                BuiltPool::Segregated(SegregatedPool::new(
-                    spec.level,
-                    *min_class,
-                    *max_class,
-                    *chunk_bytes,
-                ))
-            }
-            PoolKind::Buddy { min_order, max_order } => {
-                BuiltPool::Buddy(BuddyPool::new(spec.level, *min_order, *max_order))
-            }
+            PoolKind::Fixed {
+                block_size,
+                chunk_blocks,
+            } => BuiltPool::Fixed(FixedBlockPool::new(spec.level, *block_size, *chunk_blocks)),
+            PoolKind::General {
+                fit,
+                order,
+                coalesce,
+                split,
+                align,
+                chunk_bytes,
+            } => BuiltPool::General(GeneralPool::new(
+                spec.level,
+                *fit,
+                *order,
+                *coalesce,
+                *split,
+                *align,
+                *chunk_bytes,
+            )),
+            PoolKind::Segregated {
+                min_class,
+                max_class,
+                chunk_bytes,
+            } => BuiltPool::Segregated(SegregatedPool::new(
+                spec.level,
+                *min_class,
+                *max_class,
+                *chunk_bytes,
+            )),
+            PoolKind::Buddy {
+                min_order,
+                max_order,
+            } => BuiltPool::Buddy(BuddyPool::new(spec.level, *min_order, *max_order)),
             PoolKind::Region { chunk_bytes } => {
                 BuiltPool::Region(RegionPool::new(spec.level, *chunk_bytes))
             }
@@ -443,7 +484,10 @@ mod tests {
         let label = cfg.label();
         assert!(label.contains("fix74@L0"), "{label}");
         assert!(label.contains("fix1500@L1"), "{label}");
-        assert!(label.contains("gen(ff,addr,co-im,sp-16,a8,c8192)@L1"), "{label}");
+        assert!(
+            label.contains("gen(ff,addr,co-im,sp-16,a8,c8192)@L1"),
+            "{label}"
+        );
         assert_eq!(label, cfg.label());
         assert_eq!(cfg.to_string(), label);
     }
@@ -452,7 +496,9 @@ mod tests {
     fn validation_rejects_bad_configs() {
         let hier = presets::sp64k_dram4m();
         // No fallback.
-        let cfg = AllocatorConfig { pools: vec![PoolSpec::fixed(74, LevelId(0))] };
+        let cfg = AllocatorConfig {
+            pools: vec![PoolSpec::fixed(74, LevelId(0))],
+        };
         assert_eq!(cfg.validate(&hier), Err(BuildError::NoFallbackPool));
 
         // Duplicate exact route.
@@ -469,17 +515,25 @@ mod tests {
                 ),
             ],
         };
-        assert_eq!(cfg.validate(&hier), Err(BuildError::DuplicateExactRoute(74)));
+        assert_eq!(
+            cfg.validate(&hier),
+            Err(BuildError::DuplicateExactRoute(74))
+        );
 
         // Unknown level.
-        let cfg = AllocatorConfig { pools: vec![PoolSpec::general(
-            LevelId(7),
-            FitPolicy::FirstFit,
-            FreeOrder::Lifo,
-            CoalescePolicy::Never,
-            SplitPolicy::Never,
-        )] };
-        assert_eq!(cfg.validate(&hier), Err(BuildError::UnknownLevel(LevelId(7))));
+        let cfg = AllocatorConfig {
+            pools: vec![PoolSpec::general(
+                LevelId(7),
+                FitPolicy::FirstFit,
+                FreeOrder::Lifo,
+                CoalescePolicy::Never,
+                SplitPolicy::Never,
+            )],
+        };
+        assert_eq!(
+            cfg.validate(&hier),
+            Err(BuildError::UnknownLevel(LevelId(7)))
+        );
     }
 
     #[test]
@@ -510,16 +564,26 @@ mod tests {
                 PoolSpec::fixed(74, hier.fastest()),
                 PoolSpec {
                     route: Route::Range { min: 1, max: 64 },
-                    kind: PoolKind::Segregated { min_class: 8, max_class: 64, chunk_bytes: 2048 },
+                    kind: PoolKind::Segregated {
+                        min_class: 8,
+                        max_class: 64,
+                        chunk_bytes: 2048,
+                    },
                     level: main,
                 },
                 PoolSpec {
                     route: Route::Range { min: 65, max: 512 },
-                    kind: PoolKind::Buddy { min_order: 5, max_order: 12 },
+                    kind: PoolKind::Buddy {
+                        min_order: 5,
+                        max_order: 12,
+                    },
                     level: main,
                 },
                 PoolSpec {
-                    route: Route::Range { min: 513, max: 1024 },
+                    route: Route::Range {
+                        min: 513,
+                        max: 1024,
+                    },
                     kind: PoolKind::Region { chunk_bytes: 8192 },
                     level: main,
                 },

@@ -42,7 +42,9 @@ impl Error for AllocError {}
 impl From<RegionError> for AllocError {
     fn from(e: RegionError) -> Self {
         match e {
-            RegionError::OutOfLevel { level, requested, .. } => AllocError::OutOfMemory {
+            RegionError::OutOfLevel {
+                level, requested, ..
+            } => AllocError::OutOfMemory {
                 level,
                 requested: u32::try_from(requested).unwrap_or(u32::MAX),
             },
@@ -105,12 +107,21 @@ mod tests {
             available: 0,
         }
         .into();
-        assert_eq!(e, AllocError::OutOfMemory { level: LevelId(1), requested: 64 });
+        assert_eq!(
+            e,
+            AllocError::OutOfMemory {
+                level: LevelId(1),
+                requested: 64
+            }
+        );
     }
 
     #[test]
     fn displays_are_informative() {
-        let e = AllocError::OutOfMemory { level: LevelId(0), requested: 128 };
+        let e = AllocError::OutOfMemory {
+            level: LevelId(0),
+            requested: 128,
+        };
         assert!(e.to_string().contains("128"));
         let b = BuildError::DuplicateExactRoute(74);
         assert!(b.to_string().contains("74"));

@@ -56,8 +56,8 @@ mod config;
 mod ctx;
 mod error;
 mod freelist;
-pub mod pool;
 mod policy;
+pub mod pool;
 mod sim;
 
 pub use block::BlockInfo;

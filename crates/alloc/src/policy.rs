@@ -150,8 +150,7 @@ pub enum SplitPolicy {
 
 impl SplitPolicy {
     /// A representative set of split policies for space enumeration.
-    pub const COMMON: [SplitPolicy; 2] =
-        [SplitPolicy::Never, SplitPolicy::MinRemainder(16)];
+    pub const COMMON: [SplitPolicy; 2] = [SplitPolicy::Never, SplitPolicy::MinRemainder(16)];
 
     /// Short label used in configuration strings.
     pub fn tag(self) -> String {

@@ -41,7 +41,10 @@ impl BuddyPool {
     /// Panics unless `4 <= min_order <= max_order <= 31`.
     pub fn new(level: LevelId, min_order: u32, max_order: u32) -> Self {
         assert!((4..=31).contains(&min_order), "min order out of range");
-        assert!(min_order <= max_order && max_order <= 31, "max order out of range");
+        assert!(
+            min_order <= max_order && max_order <= 31,
+            "max order out of range"
+        );
         BuddyPool {
             level,
             min_order,
@@ -60,7 +63,10 @@ impl BuddyPool {
 
     fn order_for(&self, size: u32) -> Option<u32> {
         let total = size.checked_add(HEADER_BYTES)?;
-        let order = total.next_power_of_two().trailing_zeros().max(self.min_order);
+        let order = total
+            .next_power_of_two()
+            .trailing_zeros()
+            .max(self.min_order);
         (order <= self.max_order).then_some(order)
     }
 

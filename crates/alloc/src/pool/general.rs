@@ -77,7 +77,10 @@ impl GeneralPool {
     ) -> Self {
         assert!(align.is_power_of_two(), "alignment must be a power of two");
         assert!(chunk_bytes > 0, "chunk must be non-zero");
-        assert!(chunk_bytes <= u64::from(u32::MAX), "chunk exceeds block-size domain");
+        assert!(
+            chunk_bytes <= u64::from(u32::MAX),
+            "chunk exceeds block-size domain"
+        );
         if let CoalescePolicy::DeferredEvery(n) = coalesce {
             assert!(n > 0, "deferred coalescing period must be >= 1");
         }
@@ -177,8 +180,15 @@ impl GeneralPool {
             let b = self.blocks.get_mut(&addr).expect("free-list block exists");
             b.size = asize;
             b.free = false;
-            self.blocks.insert(rem_addr, GBlock { size: remainder, free: true });
-            self.free_list.replace(idx, rem_addr, remainder, self.level, ctx);
+            self.blocks.insert(
+                rem_addr,
+                GBlock {
+                    size: remainder,
+                    free: true,
+                },
+            );
+            self.free_list
+                .replace(idx, rem_addr, remainder, self.level, ctx);
             // Write allocated header (+footer) and the remainder header.
             ctx.meta_write(self.level, self.writes_per_header() + 1);
             BlockInfo {
@@ -219,17 +229,33 @@ impl GeneralPool {
         let remainder = chunk - u64::from(asize);
         let occupied = if remainder >= u64::from(self.min_block) {
             let rem_addr = region.base + u64::from(asize);
-            self.blocks.insert(region.base, GBlock { size: asize, free: false });
-            self.blocks
-                .insert(rem_addr, GBlock { size: remainder as u32, free: true });
+            self.blocks.insert(
+                region.base,
+                GBlock {
+                    size: asize,
+                    free: false,
+                },
+            );
+            self.blocks.insert(
+                rem_addr,
+                GBlock {
+                    size: remainder as u32,
+                    free: true,
+                },
+            );
             self.free_list
                 .insert(rem_addr, remainder as u32, self.level, ctx);
             ctx.meta_write(self.level, self.writes_per_header() + 1);
             asize
         } else {
             // Too small to split off: the whole chunk is the block.
-            self.blocks
-                .insert(region.base, GBlock { size: chunk as u32, free: false });
+            self.blocks.insert(
+                region.base,
+                GBlock {
+                    size: chunk as u32,
+                    free: false,
+                },
+            );
             ctx.meta_write(self.level, self.writes_per_header());
             chunk as u32
         };
@@ -256,7 +282,8 @@ impl GeneralPool {
                 self.blocks.remove(&addr);
                 self.blocks.get_mut(&paddr).expect("prev block exists").size = merged;
                 self.free_list.take(pos, self.level, ctx);
-                self.free_list.replace(pos - 1, paddr, merged, self.level, ctx);
+                self.free_list
+                    .replace(pos - 1, paddr, merged, self.level, ctx);
                 pos -= 1;
                 addr = paddr;
                 size = merged;
@@ -267,7 +294,10 @@ impl GeneralPool {
             if addr + u64::from(size) == naddr && !self.chunk_starts.contains(&naddr) {
                 let merged = size + nsize;
                 self.blocks.remove(&naddr);
-                self.blocks.get_mut(&addr).expect("merged block exists").size = merged;
+                self.blocks
+                    .get_mut(&addr)
+                    .expect("merged block exists")
+                    .size = merged;
                 self.free_list.take(pos + 1, self.level, ctx);
                 self.free_list.replace(pos, addr, merged, self.level, ctx);
             }
@@ -281,11 +311,7 @@ impl GeneralPool {
         let mut size = size;
         ctx.meta_read(self.level, 2);
         // Merge with the previous block if it is free and adjacent.
-        let prev = self
-            .blocks
-            .range(..addr)
-            .next_back()
-            .map(|(a, b)| (*a, *b));
+        let prev = self.blocks.range(..addr).next_back().map(|(a, b)| (*a, *b));
         if let Some((paddr, pblock)) = prev {
             if pblock.free
                 && paddr + u64::from(pblock.size) == addr
@@ -301,20 +327,17 @@ impl GeneralPool {
             }
         }
         // Merge with the next block if it is free and adjacent.
-        let next = self
-            .blocks
-            .range(addr + 1..)
-            .next()
-            .map(|(a, b)| (*a, *b));
+        let next = self.blocks.range(addr + 1..).next().map(|(a, b)| (*a, *b));
         if let Some((naddr, nblock)) = next {
-            if nblock.free
-                && addr + u64::from(size) == naddr
-                && !self.chunk_starts.contains(&naddr)
+            if nblock.free && addr + u64::from(size) == naddr && !self.chunk_starts.contains(&naddr)
             {
                 self.free_list.remove_addr_direct(naddr, self.level, ctx);
                 self.blocks.remove(&naddr);
                 size += nblock.size;
-                self.blocks.get_mut(&addr).expect("merged block exists").size = size;
+                self.blocks
+                    .get_mut(&addr)
+                    .expect("merged block exists")
+                    .size = size;
                 ctx.meta_write(self.level, 2);
             }
         }
@@ -766,9 +789,7 @@ mod tests {
                 for coalesce in CoalescePolicy::COMMON {
                     for split in SplitPolicy::COMMON {
                         let (mut regions, mut ctx) = setup();
-                        let mut p = GeneralPool::new(
-                            L1, fit, order, coalesce, split, 8, 2048,
-                        );
+                        let mut p = GeneralPool::new(L1, fit, order, coalesce, split, 8, 2048);
                         let mut live = Vec::new();
                         for i in 0..40u32 {
                             let size = 16 + (i * 37) % 300;

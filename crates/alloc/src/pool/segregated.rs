@@ -192,18 +192,22 @@ impl Pool for SegregatedPool {
             .iter()
             .flat_map(|st| st.chunks.iter().map(|c| c.size))
             .sum::<u64>()
-            + self
-                .large_live
-                .values()
-                .map(|&s| u64::from(s))
-                .sum::<u64>()
+            + self.large_live.values().map(|&s| u64::from(s)).sum::<u64>()
             + self
                 .large_free
                 .iter()
                 .map(|(&size, addrs)| u64::from(size) * addrs.len() as u64)
                 .sum::<u64>();
-        let free_blocks = self.class_state.iter().map(|st| st.free.len() as u64).sum::<u64>()
-            + self.large_free.values().map(|v| v.len() as u64).sum::<u64>();
+        let free_blocks = self
+            .class_state
+            .iter()
+            .map(|st| st.free.len() as u64)
+            .sum::<u64>()
+            + self
+                .large_free
+                .values()
+                .map(|v| v.len() as u64)
+                .sum::<u64>();
         PoolStats {
             reserved_bytes: reserved,
             live_bytes: class_live + large_live,

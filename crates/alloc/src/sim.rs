@@ -262,7 +262,10 @@ mod tests {
         let trace = VtcConfig::small().generate(3);
         let m = sim.run(&baseline(&hier), &trace).unwrap();
         let stats = dmx_trace::TraceStats::compute(&trace);
-        assert!(m.cycles > stats.tick_cycles, "cycles include ticks + stalls");
+        assert!(
+            m.cycles > stats.tick_cycles,
+            "cycles include ticks + stalls"
+        );
     }
 
     #[test]

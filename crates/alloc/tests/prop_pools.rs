@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 
-use dmx_alloc::pool::{
-    BuddyPool, FixedBlockPool, GeneralPool, Pool, RegionPool, SegregatedPool,
-};
+use dmx_alloc::pool::{BuddyPool, FixedBlockPool, GeneralPool, Pool, RegionPool, SegregatedPool};
 use dmx_alloc::{AllocCtx, CoalescePolicy, FitPolicy, FreeOrder, SplitPolicy};
 use dmx_memhier::{presets, LevelId, RegionTable};
 

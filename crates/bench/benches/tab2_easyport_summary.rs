@@ -31,7 +31,11 @@ fn print_table(summary: &dmx_core::StudySummary) {
             "54".into(),
             format!("{:.1}", summary.access_range_factor),
         ),
-        ("Pareto-optimal configurations", "15".into(), summary.pareto_count.to_string()),
+        (
+            "Pareto-optimal configurations",
+            "15".into(),
+            summary.pareto_count.to_string(),
+        ),
         (
             "within-Pareto footprint reduction (x)",
             "2.9".into(),
@@ -66,7 +70,12 @@ fn print_meta_front_note(study: &dmx_core::study::Study) {
     let feasible = study.exploration.feasible();
     let points: Vec<Vec<u64>> = feasible
         .iter()
-        .map(|r| vec![r.metrics.footprint, r.metrics.meta_counters.total_accesses()])
+        .map(|r| {
+            vec![
+                r.metrics.footprint,
+                r.metrics.meta_counters.total_accesses(),
+            ]
+        })
         .collect();
     let front = dmx_core::pareto_front(&points);
     let factor = front.range_factor(1).unwrap_or(0.0);

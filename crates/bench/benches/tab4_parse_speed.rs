@@ -55,7 +55,11 @@ fn bench_parse(c: &mut Criterion) {
     println!(
         "time for 1 GB: paper < 20 s, measured {:.1} s — {}",
         secs_per_gb,
-        if secs_per_gb < 20.0 { "claim holds" } else { "claim DOES NOT hold" }
+        if secs_per_gb < 20.0 {
+            "claim holds"
+        } else {
+            "claim DOES NOT hold"
+        }
     );
 
     let mut group = c.benchmark_group("tab4_parse");

@@ -9,9 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
-use dmx_alloc::pool::{
-    BuddyPool, FixedBlockPool, GeneralPool, Pool, RegionPool, SegregatedPool,
-};
+use dmx_alloc::pool::{BuddyPool, FixedBlockPool, GeneralPool, Pool, RegionPool, SegregatedPool};
 use dmx_alloc::{AllocCtx, CoalescePolicy, FitPolicy, FreeOrder, SplitPolicy};
 use dmx_memhier::{presets, LevelId, RegionTable};
 
@@ -93,7 +91,10 @@ fn print_cost_table() {
         ),
         (
             "general(bf,size-ordered)".into(),
-            churn_cost(&mut general(FitPolicy::BestFit, FreeOrder::SizeOrdered), &mixed),
+            churn_cost(
+                &mut general(FitPolicy::BestFit, FreeOrder::SizeOrdered),
+                &mixed,
+            ),
         ),
         (
             "general(ff,addr+coalesce)".into(),

@@ -46,7 +46,10 @@ fn bench_ablation(c: &mut Criterion) {
         ("full space", full_space.clone()),
         (
             "no dedicated pools",
-            ParamSpace { dedicated_size_sets: vec![vec![]], ..full_space.clone() },
+            ParamSpace {
+                dedicated_size_sets: vec![vec![]],
+                ..full_space.clone()
+            },
         ),
         (
             "no scratchpad placement",
@@ -57,11 +60,17 @@ fn bench_ablation(c: &mut Criterion) {
         ),
         (
             "no coalescing choice (never)",
-            ParamSpace { coalesces: vec![CoalescePolicy::Never], ..full_space.clone() },
+            ParamSpace {
+                coalesces: vec![CoalescePolicy::Never],
+                ..full_space.clone()
+            },
         ),
         (
             "first-fit only",
-            ParamSpace { fits: vec![FitPolicy::FirstFit], ..full_space.clone() },
+            ParamSpace {
+                fits: vec![FitPolicy::FirstFit],
+                ..full_space.clone()
+            },
         ),
         (
             "single naive config",
@@ -122,13 +131,34 @@ fn bench_ablation(c: &mut Criterion) {
             .map(|p| (p[0], p[1]))
             .collect();
         let reference = (
-            full_front.iter().chain(&front).map(|p| p.0).max().unwrap_or(1) + 1,
-            full_front.iter().chain(&front).map(|p| p.1).max().unwrap_or(1) + 1,
+            full_front
+                .iter()
+                .chain(&front)
+                .map(|p| p.0)
+                .max()
+                .unwrap_or(1)
+                + 1,
+            full_front
+                .iter()
+                .chain(&front)
+                .map(|p| p.1)
+                .max()
+                .unwrap_or(1)
+                + 1,
         );
         let vf = dmx_core::hypervolume_2d(&full_front, reference);
         let vs = dmx_core::hypervolume_2d(&front, reference);
-        let pct = if vf == 0 { 100.0 } else { vs as f64 / vf as f64 * 100.0 };
-        println!("{:<18} {:>8} {:>15.1}%", format!("1/{frac} of space"), n, pct);
+        let pct = if vf == 0 {
+            100.0
+        } else {
+            vs as f64 / vf as f64 * 100.0
+        };
+        println!(
+            "{:<18} {:>8} {:>15.1}%",
+            format!("1/{frac} of space"),
+            n,
+            pct
+        );
     }
     println!("(exhaustive = 100%; high recovery justifies sampling huge spaces)");
 

@@ -97,19 +97,31 @@ fn load_records(rest: &[&String]) -> Result<Vec<ProfileRecord>, String> {
 fn gen_trace(rest: &[&String]) -> Result<(), String> {
     let kind = rest.first().ok_or("missing generator kind")?;
     let out = opt(rest, "--out").ok_or("missing --out FILE")?;
-    let seed: u64 = opt(rest, "--seed").unwrap_or("42").parse().map_err(|_| "bad --seed")?;
+    let seed: u64 = opt(rest, "--seed")
+        .unwrap_or("42")
+        .parse()
+        .map_err(|_| "bad --seed")?;
     let paper = has_flag(rest, "--paper");
     let trace = match kind.as_str() {
         "easyport" => {
-            let cfg = if paper { EasyportConfig::paper() } else { EasyportConfig::small() };
+            let cfg = if paper {
+                EasyportConfig::paper()
+            } else {
+                EasyportConfig::small()
+            };
             cfg.generate(seed)
         }
         "vtc" => {
-            let cfg = if paper { VtcConfig::paper() } else { VtcConfig::small() };
+            let cfg = if paper {
+                VtcConfig::paper()
+            } else {
+                VtcConfig::small()
+            };
             cfg.generate(seed)
         }
-        "synthetic" => SyntheticConfig::uniform_churn(if paper { 50_000 } else { 5_000 })
-            .generate(seed),
+        "synthetic" => {
+            SyntheticConfig::uniform_churn(if paper { 50_000 } else { 5_000 }).generate(seed)
+        }
         other => return Err(format!("unknown generator `{other}`")),
     };
     fs::write(out, textfmt::to_string(&trace)).map_err(|e| format!("writing {out}: {e}"))?;
@@ -123,16 +135,34 @@ fn profile(rest: &[&String]) -> Result<(), String> {
     outln!("trace `{}`", trace.name());
     outln!("  events          : {}", stats.events);
     outln!("  allocs / frees  : {} / {}", stats.allocs, stats.frees);
-    outln!("  peak live       : {} B in {} blocks", stats.peak_live_bytes, stats.peak_live_blocks);
-    outln!("  sizes           : {}..{} B", stats.min_size, stats.max_size);
-    outln!("  mean lifetime   : {:.1} events", stats.mean_lifetime_events);
-    outln!("  app accesses    : {} r / {} w", stats.app_reads, stats.app_writes);
+    outln!(
+        "  peak live       : {} B in {} blocks",
+        stats.peak_live_bytes,
+        stats.peak_live_blocks
+    );
+    outln!(
+        "  sizes           : {}..{} B",
+        stats.min_size,
+        stats.max_size
+    );
+    outln!(
+        "  mean lifetime   : {:.1} events",
+        stats.mean_lifetime_events
+    );
+    outln!(
+        "  app accesses    : {} r / {} w",
+        stats.app_reads,
+        stats.app_writes
+    );
     outln!("  compute         : {} cycles", stats.tick_cycles);
     outln!("  hot sizes (top 8 by allocation count):");
     for s in stats.per_size.iter().take(8) {
         outln!(
             "    {:>7} B  x{:<8} peak live {:<6} accesses {}",
-            s.size, s.allocs, s.peak_live, s.accesses
+            s.size,
+            s.allocs,
+            s.peak_live,
+            s.accesses
         );
     }
     Ok(())
@@ -166,7 +196,11 @@ fn explore(rest: &[&String]) -> Result<(), String> {
         fs::write(path, script).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote Gnuplot script to {path}");
     }
-    let _ = write!(std::io::stdout(), "{}", StudySummary::compute(&exploration).render());
+    let _ = write!(
+        std::io::stdout(),
+        "{}",
+        StudySummary::compute(&exploration).render()
+    );
     Ok(())
 }
 
@@ -206,7 +240,11 @@ fn pareto(rest: &[&String]) -> Result<(), String> {
         records.len(),
         feasible.len(),
         front.len(),
-        objectives.iter().map(|o| o.name()).collect::<Vec<_>>().join(", ")
+        objectives
+            .iter()
+            .map(|o| o.name())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     for (k, &i) in front.indices.iter().enumerate() {
         let vals: Vec<String> = front.points[k].iter().map(|v| v.to_string()).collect();
@@ -218,8 +256,15 @@ fn pareto(rest: &[&String]) -> Result<(), String> {
 fn study(rest: &[&String]) -> Result<(), String> {
     use dmx_core::study::{easyport_study, vtc_study, StudyScale};
     let which = rest.first().ok_or("missing study name")?;
-    let seed: u64 = opt(rest, "--seed").unwrap_or("42").parse().map_err(|_| "bad --seed")?;
-    let scale = if has_flag(rest, "--paper") { StudyScale::Paper } else { StudyScale::Quick };
+    let seed: u64 = opt(rest, "--seed")
+        .unwrap_or("42")
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    let scale = if has_flag(rest, "--paper") {
+        StudyScale::Paper
+    } else {
+        StudyScale::Quick
+    };
     let study = match which.as_str() {
         "easyport" => easyport_study(scale, seed),
         "vtc" => vtc_study(scale, seed),
@@ -232,7 +277,11 @@ fn study(rest: &[&String]) -> Result<(), String> {
 fn report(rest: &[&String]) -> Result<(), String> {
     let records = load_records(rest)?;
     let feasible: Vec<&ProfileRecord> = records.iter().filter(|r| r.feasible()).collect();
-    outln!("records: {} total, {} feasible", records.len(), feasible.len());
+    outln!(
+        "records: {} total, {} feasible",
+        records.len(),
+        feasible.len()
+    );
     if feasible.is_empty() {
         return Ok(());
     }
@@ -245,9 +294,21 @@ fn report(rest: &[&String]) -> Result<(), String> {
     let (ac_min, ac_max) = by(|r| r.total_accesses());
     let (en_min, en_max) = by(|r| r.energy_pj);
     let (cy_min, cy_max) = by(|r| r.cycles);
-    outln!("footprint : {fp_min} .. {fp_max} B (x{:.1})", fp_max as f64 / fp_min as f64);
-    outln!("accesses  : {ac_min} .. {ac_max} (x{:.1})", ac_max as f64 / ac_min as f64);
-    outln!("energy    : {en_min} .. {en_max} pJ (x{:.1})", en_max as f64 / en_min as f64);
-    outln!("cycles    : {cy_min} .. {cy_max} (x{:.1})", cy_max as f64 / cy_min as f64);
+    outln!(
+        "footprint : {fp_min} .. {fp_max} B (x{:.1})",
+        fp_max as f64 / fp_min as f64
+    );
+    outln!(
+        "accesses  : {ac_min} .. {ac_max} (x{:.1})",
+        ac_max as f64 / ac_min as f64
+    );
+    outln!(
+        "energy    : {en_min} .. {en_max} pJ (x{:.1})",
+        en_max as f64 / en_min as f64
+    );
+    outln!(
+        "cycles    : {cy_min} .. {cy_max} (x{:.1})",
+        cy_max as f64 / cy_min as f64
+    );
     Ok(())
 }

@@ -34,9 +34,11 @@ fn gen_profile_explore_pareto_report_pipeline() {
     let gp = dir.join("t.gp");
 
     // gen-trace with a small synthetic workload (fast).
-    run_ok(dmx()
-        .args(["gen-trace", "synthetic", "--seed", "3", "--out"])
-        .arg(&trace));
+    run_ok(
+        dmx()
+            .args(["gen-trace", "synthetic", "--seed", "3", "--out"])
+            .arg(&trace),
+    );
     assert!(trace.exists());
 
     // profile
@@ -45,26 +47,30 @@ fn gen_profile_explore_pareto_report_pipeline() {
     assert!(text.contains("hot sizes"), "profile output: {text}");
 
     // explore (+ csv + gnuplot artifacts)
-    let out = run_ok(dmx()
-        .arg("explore")
-        .arg("--trace")
-        .arg(&trace)
-        .arg("--out-records")
-        .arg(&records)
-        .arg("--csv")
-        .arg(&csv)
-        .arg("--gnuplot")
-        .arg(&gp));
+    let out = run_ok(
+        dmx()
+            .arg("explore")
+            .arg("--trace")
+            .arg(&trace)
+            .arg("--out-records")
+            .arg(&records)
+            .arg("--csv")
+            .arg(&csv)
+            .arg("--gnuplot")
+            .arg(&gp),
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Pareto-optimal configurations"));
     assert!(records.exists() && csv.exists() && gp.exists());
 
     // pareto over the written records
-    let out = run_ok(dmx()
-        .arg("pareto")
-        .arg("--records")
-        .arg(&records)
-        .args(["--objectives", "footprint,accesses,energy"]));
+    let out = run_ok(
+        dmx()
+            .arg("pareto")
+            .arg("--records")
+            .arg(&records)
+            .args(["--objectives", "footprint,accesses,energy"]),
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Pareto-optimal on (footprint_bytes, accesses, energy_pj)"));
 
@@ -127,7 +133,11 @@ fn gen_trace_all_kinds() {
     let dir = tmpdir("kinds");
     for kind in ["easyport", "vtc", "synthetic"] {
         let path = dir.join(format!("{kind}.trace"));
-        run_ok(dmx().args(["gen-trace", kind, "--seed", "1", "--out"]).arg(&path));
+        run_ok(
+            dmx()
+                .args(["gen-trace", kind, "--seed", "1", "--out"])
+                .arg(&path),
+        );
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("dmxtrace v1"), "{kind} trace header");
     }

@@ -79,7 +79,12 @@ impl Comparison {
             .filter(|l| !seen.contains(l))
             .map(|l| (*l).to_owned())
             .collect();
-        Comparison { objective, rows, only_before, only_after }
+        Comparison {
+            objective,
+            rows,
+            only_before,
+            only_after,
+        }
     }
 
     /// Geometric-mean ratio over all joined rows (1.0 = unchanged).
@@ -136,8 +141,22 @@ mod tests {
         let hier = presets::sp64k_dram4m();
         let space = easyport_space(&hier, StudyScale::Quick);
         let explorer = Explorer::new(&hier);
-        let a = explorer.run(&space, &EasyportConfig { packets: 400, ..EasyportConfig::paper() }.generate(1));
-        let b = explorer.run(&space, &EasyportConfig { packets: 800, ..EasyportConfig::paper() }.generate(1));
+        let a = explorer.run(
+            &space,
+            &EasyportConfig {
+                packets: 400,
+                ..EasyportConfig::paper()
+            }
+            .generate(1),
+        );
+        let b = explorer.run(
+            &space,
+            &EasyportConfig {
+                packets: 800,
+                ..EasyportConfig::paper()
+            }
+            .generate(1),
+        );
         (a, b)
     }
 
@@ -187,11 +206,23 @@ mod tests {
 
     #[test]
     fn ratio_edge_cases() {
-        let row = ComparisonRow { label: "x".into(), before: 0, after: 0 };
+        let row = ComparisonRow {
+            label: "x".into(),
+            before: 0,
+            after: 0,
+        };
         assert_eq!(row.ratio(), 1.0);
-        let row = ComparisonRow { label: "x".into(), before: 0, after: 5 };
+        let row = ComparisonRow {
+            label: "x".into(),
+            before: 0,
+            after: 5,
+        };
         assert!(row.ratio().is_infinite());
-        let row = ComparisonRow { label: "x".into(), before: 4, after: 2 };
+        let row = ComparisonRow {
+            label: "x".into(),
+            before: 4,
+            after: 2,
+        };
         assert!((row.ratio() - 0.5).abs() < 1e-12);
     }
 }

@@ -154,13 +154,19 @@ mod tests {
     fn empty_set_accepts_everything() {
         let study = easyport_study(StudyScale::Quick, 7);
         let set = ConstraintSet::new();
-        assert_eq!(set.filter(&study.exploration).len(), study.exploration.results.len());
+        assert_eq!(
+            set.filter(&study.exploration).len(),
+            study.exploration.results.len()
+        );
     }
 
     #[test]
     fn unknown_level_rejects() {
         let study = easyport_study(StudyScale::Quick, 7);
         let set = ConstraintSet::new().and(Constraint::MaxLevelFootprint(LevelId(9), u64::MAX));
-        assert!(set.filter(&study.exploration).is_empty(), "out-of-range level never accepts");
+        assert!(
+            set.filter(&study.exploration).is_empty(),
+            "out-of-range level never accepts"
+        );
     }
 }

@@ -21,7 +21,11 @@ pub struct ConfigIter<'a> {
 impl<'a> ConfigIter<'a> {
     pub(crate) fn new(space: &'a ParamSpace, hierarchy: &'a MemoryHierarchy) -> Self {
         let index = (!space.is_empty()).then_some([0; 8]);
-        ConfigIter { space, hierarchy, index }
+        ConfigIter {
+            space,
+            hierarchy,
+            index,
+        }
     }
 
     fn axis_lens(&self) -> [usize; 8] {
@@ -51,7 +55,10 @@ impl<'a> ConfigIter<'a> {
             .iter()
             .map(|&size| PoolSpec {
                 route: Route::Exact(size),
-                kind: PoolKind::Fixed { block_size: size, chunk_blocks: 32 },
+                kind: PoolKind::Fixed {
+                    block_size: size,
+                    chunk_blocks: 32,
+                },
                 level: placement.level_for(size, self.hierarchy),
             })
             .collect();

@@ -137,7 +137,11 @@ mod tests {
 
     fn tiny_exploration() -> Exploration {
         let hier = presets::sp64k_dram4m();
-        let trace = EasyportConfig { packets: 120, ..EasyportConfig::paper() }.generate(1);
+        let trace = EasyportConfig {
+            packets: 120,
+            ..EasyportConfig::paper()
+        }
+        .generate(1);
         let space = ParamSpace {
             dedicated_size_sets: vec![vec![], vec![74]],
             placements: vec![PlacementStrategy::SmallOnFastest { max_size: 512 }],
@@ -165,7 +169,11 @@ mod tests {
         for row in &lines[1..] {
             assert!(row.starts_with('"'), "label must be quoted: {row}");
             let after_label = row.rsplit('"').next().expect("closing quote");
-            assert_eq!(after_label.matches(',').count(), commas, "ragged row: {row}");
+            assert_eq!(
+                after_label.matches(',').count(),
+                commas,
+                "ragged row: {row}"
+            );
         }
     }
 

@@ -91,7 +91,13 @@ impl ParamSpace {
         let placed_sets: usize = self
             .dedicated_size_sets
             .iter()
-            .map(|set| if set.is_empty() { 1 } else { self.placements.len() })
+            .map(|set| {
+                if set.is_empty() {
+                    1
+                } else {
+                    self.placements.len()
+                }
+            })
             .sum();
         placed_sets * general
     }
@@ -121,15 +127,14 @@ impl ParamSpace {
             set.sort_unstable();
             dedicated_size_sets.push(set);
         }
-        let scratchpad_cutoff = hierarchy
-            .level(hierarchy.fastest())
-            .capacity()
-            .min(512) as u32;
+        let scratchpad_cutoff = hierarchy.level(hierarchy.fastest()).capacity().min(512) as u32;
         ParamSpace {
             dedicated_size_sets,
             placements: vec![
                 PlacementStrategy::AllOn(hierarchy.slowest()),
-                PlacementStrategy::SmallOnFastest { max_size: scratchpad_cutoff },
+                PlacementStrategy::SmallOnFastest {
+                    max_size: scratchpad_cutoff,
+                },
             ],
             fits: FitPolicy::ALL.to_vec(),
             orders: FreeOrder::ALL.to_vec(),
@@ -179,7 +184,12 @@ mod tests {
         // First set is empty (the general-pool-only baseline).
         assert!(space.dedicated_size_sets[0].is_empty());
         // The hottest sizes (28-byte descriptors, 74-byte headers) appear.
-        let all: Vec<u32> = space.dedicated_size_sets.iter().flatten().copied().collect();
+        let all: Vec<u32> = space
+            .dedicated_size_sets
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
         assert!(all.contains(&28));
         assert!(all.contains(&74));
     }

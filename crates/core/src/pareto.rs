@@ -78,7 +78,10 @@ pub fn pareto_front(points: &[Vec<u64>]) -> ParetoSet {
     }
     indices.sort_by(|&i, &j| points[i].cmp(&points[j]));
     let pts = indices.iter().map(|&i| points[i].clone()).collect();
-    ParetoSet { indices, points: pts }
+    ParetoSet {
+        indices,
+        points: pts,
+    }
 }
 
 /// Fast path for two objectives: sort by the first, sweep the second.
@@ -101,8 +104,14 @@ pub fn pareto_front_2d(points: &[(u64, u64)]) -> ParetoSet {
             indices.push(i);
         }
     }
-    let pts = indices.iter().map(|&i| vec![points[i].0, points[i].1]).collect();
-    ParetoSet { indices, points: pts }
+    let pts = indices
+        .iter()
+        .map(|&i| vec![points[i].0, points[i].1])
+        .collect();
+    ParetoSet {
+        indices,
+        points: pts,
+    }
 }
 
 /// The knee of a 2-D front: the point with the largest distance to the

@@ -53,7 +53,10 @@ impl StudySummary {
     pub fn compute(exploration: &Exploration) -> StudySummary {
         let feasible = exploration.feasible();
         let footprints: Vec<u64> = feasible.iter().map(|r| r.metrics.footprint).collect();
-        let accesses: Vec<u64> = feasible.iter().map(|r| r.metrics.total_accesses()).collect();
+        let accesses: Vec<u64> = feasible
+            .iter()
+            .map(|r| r.metrics.total_accesses())
+            .collect();
 
         let front = exploration.pareto(&Objective::FIG1);
         let pareto_curve: Vec<(String, u64, u64, u64, u64)> = front
@@ -118,7 +121,10 @@ impl StudySummary {
         if let Some(knee) = &self.knee {
             let _ = writeln!(s, "knee point: {knee}");
         }
-        let _ = writeln!(s, "-- Pareto curve (footprint bytes, accesses, energy pJ, cycles) --");
+        let _ = writeln!(
+            s,
+            "-- Pareto curve (footprint bytes, accesses, energy pJ, cycles) --"
+        );
         for (label, fp, acc, en, cy) in &self.pareto_curve {
             let _ = writeln!(s, "{fp:>12} {acc:>14} {en:>16} {cy:>14}  {label}");
         }
@@ -141,8 +147,16 @@ impl StudySummary {
             "| full-space footprint range | x{:.1} |",
             self.footprint_range_factor
         );
-        let _ = writeln!(s, "| full-space access range | x{:.1} |", self.access_range_factor);
-        let _ = writeln!(s, "| Pareto-optimal configurations | {} |", self.pareto_count);
+        let _ = writeln!(
+            s,
+            "| full-space access range | x{:.1} |",
+            self.access_range_factor
+        );
+        let _ = writeln!(
+            s,
+            "| Pareto-optimal configurations | {} |",
+            self.pareto_count
+        );
         let _ = writeln!(
             s,
             "| within-Pareto footprint reduction | x{:.1} |",
@@ -154,8 +168,15 @@ impl StudySummary {
             self.pareto_access_factor
         );
         let _ = writeln!(s, "| energy saving | {:.2}% |", self.energy_saving_pct);
-        let _ = writeln!(s, "| exec-time saving | {:.2}% |", self.exec_time_saving_pct);
-        let _ = writeln!(s, "\n| configuration | footprint B | accesses | energy pJ | cycles |");
+        let _ = writeln!(
+            s,
+            "| exec-time saving | {:.2}% |",
+            self.exec_time_saving_pct
+        );
+        let _ = writeln!(
+            s,
+            "\n| configuration | footprint B | accesses | energy pJ | cycles |"
+        );
         let _ = writeln!(s, "|---|---:|---:|---:|---:|");
         for (label, fp, acc, en, cy) in &self.pareto_curve {
             let _ = writeln!(s, "| `{label}` | {fp} | {acc} | {en} | {cy} |");
@@ -189,7 +210,11 @@ mod tests {
 
     fn exploration() -> Exploration {
         let hier = presets::sp64k_dram4m();
-        let trace = EasyportConfig { packets: 250, ..EasyportConfig::paper() }.generate(5);
+        let trace = EasyportConfig {
+            packets: 250,
+            ..EasyportConfig::paper()
+        }
+        .generate(5);
         let space = ParamSpace {
             dedicated_size_sets: vec![vec![], vec![28, 74]],
             placements: vec![
@@ -266,7 +291,9 @@ mod tests {
         let exp = exploration();
         let s = StudySummary::compute(&exp);
         assert!(
-            s.pareto_curve.iter().any(|(label, ..)| label.contains("fix")),
+            s.pareto_curve
+                .iter()
+                .any(|(label, ..)| label.contains("fix")),
             "front: {:?}",
             s.pareto_curve.iter().map(|p| &p.0).collect::<Vec<_>>()
         );

@@ -36,7 +36,10 @@ pub struct Exploration {
 impl Exploration {
     /// Results whose configuration served every allocation.
     pub fn feasible(&self) -> Vec<&RunResult> {
-        self.results.iter().filter(|r| r.metrics.feasible()).collect()
+        self.results
+            .iter()
+            .filter(|r| r.metrics.feasible())
+            .collect()
     }
 
     /// Extracts `objectives` for every *feasible* result, with the indices
@@ -82,7 +85,11 @@ pub fn record_from_result(result: &RunResult) -> ProfileRecord {
     rec.footprint_per_level = m.footprint_per_level.clone();
     rec.energy_pj = m.energy_pj;
     rec.cycles = m.cycles;
-    rec.accesses = m.counters.iter().map(|(_, c)| (c.reads, c.writes)).collect();
+    rec.accesses = m
+        .counters
+        .iter()
+        .map(|(_, c)| (c.reads, c.writes))
+        .collect();
     rec.meta_accesses = m
         .meta_counters
         .iter()
@@ -154,7 +161,11 @@ impl<'h> Explorer<'h> {
                         .run(&config, trace)
                         .expect("explored configurations must be valid");
                     let label = config.label();
-                    let result = RunResult { config, label, metrics };
+                    let result = RunResult {
+                        config,
+                        label,
+                        metrics,
+                    };
                     results.lock().expect("no poisoned workers")[i] = Some(result);
                 });
             }
@@ -200,7 +211,11 @@ mod tests {
     #[test]
     fn exploration_covers_the_space() {
         let hier = presets::sp64k_dram4m();
-        let trace = EasyportConfig { packets: 400, ..EasyportConfig::paper() }.generate(1);
+        let trace = EasyportConfig {
+            packets: 400,
+            ..EasyportConfig::paper()
+        }
+        .generate(1);
         let space = small_space(&hier);
         let exp = Explorer::new(&hier).run(&space, &trace);
         assert_eq!(exp.results.len(), space.len());
@@ -215,7 +230,11 @@ mod tests {
     #[test]
     fn parallel_equals_sequential() {
         let hier = presets::sp64k_dram4m();
-        let trace = EasyportConfig { packets: 200, ..EasyportConfig::paper() }.generate(2);
+        let trace = EasyportConfig {
+            packets: 200,
+            ..EasyportConfig::paper()
+        }
+        .generate(2);
         let space = small_space(&hier);
         let seq = Explorer::new(&hier).with_threads(1).run(&space, &trace);
         let par = Explorer::new(&hier).with_threads(4).run(&space, &trace);
@@ -228,7 +247,11 @@ mod tests {
     #[test]
     fn pareto_set_is_nonempty_and_feasible() {
         let hier = presets::sp64k_dram4m();
-        let trace = EasyportConfig { packets: 300, ..EasyportConfig::paper() }.generate(3);
+        let trace = EasyportConfig {
+            packets: 300,
+            ..EasyportConfig::paper()
+        }
+        .generate(3);
         let exp = Explorer::new(&hier).run(&small_space(&hier), &trace);
         let front = exp.pareto(&Objective::FIG1);
         assert!(!front.is_empty());
@@ -250,7 +273,11 @@ mod tests {
     #[test]
     fn records_roundtrip_through_profile_format() {
         let hier = presets::sp64k_dram4m();
-        let trace = EasyportConfig { packets: 150, ..EasyportConfig::paper() }.generate(4);
+        let trace = EasyportConfig {
+            packets: 150,
+            ..EasyportConfig::paper()
+        }
+        .generate(4);
         let mut space = small_space(&hier);
         space.dedicated_size_sets.truncate(1);
         space.placements.truncate(1);

@@ -171,10 +171,7 @@ mod tests {
         let explorer = Explorer::new(&hier);
 
         let full = explorer.run(&space, &trace);
-        let half = explorer.run_configs(
-            sample_configs(&space, &hier, space.len() / 2, 9),
-            &trace,
-        );
+        let half = explorer.run_configs(sample_configs(&space, &hier, space.len() / 2, 9), &trace);
 
         let points = |e: &crate::runner::Exploration| -> Vec<(u64, u64)> {
             e.pareto(&Objective::FIG1)

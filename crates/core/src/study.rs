@@ -81,12 +81,7 @@ pub fn easyport_space(hierarchy: &MemoryHierarchy, scale: StudyScale) -> ParamSp
 pub fn vtc_space(hierarchy: &MemoryHierarchy, scale: StudyScale) -> ParamSpace {
     let main = hierarchy.slowest();
     let full = ParamSpace {
-        dedicated_size_sets: vec![
-            vec![],
-            vec![32],
-            vec![24, 32, 40],
-            vec![24, 32, 40, 64, 96],
-        ],
+        dedicated_size_sets: vec![vec![], vec![32], vec![24, 32, 40], vec![24, 32, 40, 64, 96]],
         placements: vec![
             PlacementStrategy::AllOn(main),
             PlacementStrategy::SmallOnFastest { max_size: 128 },
@@ -113,7 +108,10 @@ pub fn vtc_space(hierarchy: &MemoryHierarchy, scale: StudyScale) -> ParamSpace {
 /// The Easyport trace at a given scale.
 pub fn easyport_trace(scale: StudyScale, seed: u64) -> Trace {
     let cfg = match scale {
-        StudyScale::Quick => EasyportConfig { packets: 1_500, ..EasyportConfig::paper() },
+        StudyScale::Quick => EasyportConfig {
+            packets: 1_500,
+            ..EasyportConfig::paper()
+        },
         StudyScale::Paper => EasyportConfig::paper(),
     };
     cfg.generate(seed)
@@ -122,7 +120,10 @@ pub fn easyport_trace(scale: StudyScale, seed: u64) -> Trace {
 /// The VTC trace at a given scale.
 pub fn vtc_trace(scale: StudyScale, seed: u64) -> Trace {
     let cfg = match scale {
-        StudyScale::Quick => VtcConfig { images: 1, ..VtcConfig::paper() },
+        StudyScale::Quick => VtcConfig {
+            images: 1,
+            ..VtcConfig::paper()
+        },
         StudyScale::Paper => VtcConfig::paper(),
     };
     cfg.generate(seed)
@@ -135,7 +136,12 @@ pub fn easyport_study(scale: StudyScale, seed: u64) -> Study {
     let space = easyport_space(&hierarchy, scale);
     let exploration = Explorer::new(&hierarchy).run(&space, &trace);
     let summary = StudySummary::compute(&exploration);
-    Study { trace, hierarchy, exploration, summary }
+    Study {
+        trace,
+        hierarchy,
+        exploration,
+        summary,
+    }
 }
 
 /// Runs the MPEG-4 VTC (multimedia) case study.
@@ -145,7 +151,12 @@ pub fn vtc_study(scale: StudyScale, seed: u64) -> Study {
     let space = vtc_space(&hierarchy, scale);
     let exploration = Explorer::new(&hierarchy).run(&space, &trace);
     let summary = StudySummary::compute(&exploration);
-    Study { trace, hierarchy, exploration, summary }
+    Study {
+        trace,
+        hierarchy,
+        exploration,
+        summary,
+    }
 }
 
 #[cfg(test)]
@@ -160,8 +171,16 @@ mod tests {
         assert!(s.pareto_count >= 2, "a trade-off needs at least two points");
         // The paper's qualitative claims at reduced scale: a wide spread
         // across the space, and meaningful spread within the Pareto set.
-        assert!(s.access_range_factor > 2.0, "access range {:.2}", s.access_range_factor);
-        assert!(s.energy_saving_pct > 10.0, "energy saving {:.2}", s.energy_saving_pct);
+        assert!(
+            s.access_range_factor > 2.0,
+            "access range {:.2}",
+            s.access_range_factor
+        );
+        assert!(
+            s.energy_saving_pct > 10.0,
+            "energy saving {:.2}",
+            s.energy_saving_pct
+        );
     }
 
     #[test]
@@ -177,7 +196,10 @@ mod tests {
             s.energy_saving_pct,
             s.exec_time_saving_pct
         );
-        assert!(s.exec_time_saving_pct < 30.0, "VTC time saving must be modest");
+        assert!(
+            s.exec_time_saving_pct < 30.0,
+            "VTC time saving must be modest"
+        );
     }
 
     #[test]
@@ -187,7 +209,9 @@ mod tests {
             easyport_space(&hier, StudyScale::Paper).len()
                 > easyport_space(&hier, StudyScale::Quick).len()
         );
-        assert!(vtc_space(&hier, StudyScale::Paper).len() > vtc_space(&hier, StudyScale::Quick).len());
+        assert!(
+            vtc_space(&hier, StudyScale::Paper).len() > vtc_space(&hier, StudyScale::Quick).len()
+        );
         // The full Easyport space is in the "hundreds to thousands" regime.
         assert!(easyport_space(&hier, StudyScale::Paper).len() >= 800);
     }
@@ -201,8 +225,7 @@ mod tests {
             easyport_space(&hier, StudyScale::Paper),
             vtc_space(&hier, StudyScale::Paper),
         ] {
-            let mut labels: Vec<String> =
-                space.iter_configs(&hier).map(|c| c.label()).collect();
+            let mut labels: Vec<String> = space.iter_configs(&hier).map(|c| c.label()).collect();
             assert_eq!(labels.len(), space.len());
             labels.sort();
             let before = labels.len();

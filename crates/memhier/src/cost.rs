@@ -166,7 +166,12 @@ mod tests {
     #[test]
     fn total_cycles_adds_cpu_cost() {
         let h = two_level();
-        let cost = CostModel::with_params(&h, CostParams { cpu_cycles_per_op: 10 });
+        let cost = CostModel::with_params(
+            &h,
+            CostParams {
+                cpu_cycles_per_op: 10,
+            },
+        );
         let c = CounterSet::new(2);
         assert_eq!(cost.total_cycles(&c, 5), 50);
     }

@@ -157,7 +157,13 @@ mod tests {
         c.record_reads(LevelId(0), 3);
         c.record_writes(LevelId(0), 2);
         c.record_reads(LevelId(1), 10);
-        assert_eq!(c.level(LevelId(0)), AccessCounts { reads: 3, writes: 2 });
+        assert_eq!(
+            c.level(LevelId(0)),
+            AccessCounts {
+                reads: 3,
+                writes: 2
+            }
+        );
         assert_eq!(c.total_accesses(), 15);
         assert_eq!(c.total_reads(), 13);
         assert_eq!(c.total_writes(), 2);
@@ -193,9 +199,21 @@ mod tests {
 
     #[test]
     fn access_counts_add() {
-        let a = AccessCounts { reads: 1, writes: 2 };
-        let b = AccessCounts { reads: 3, writes: 4 };
-        assert_eq!(a + b, AccessCounts { reads: 4, writes: 6 });
+        let a = AccessCounts {
+            reads: 1,
+            writes: 2,
+        };
+        let b = AccessCounts {
+            reads: 3,
+            writes: 4,
+        };
+        assert_eq!(
+            a + b,
+            AccessCounts {
+                reads: 4,
+                writes: 6
+            }
+        );
         let mut c = a;
         c += b;
         assert_eq!(c.total(), 10);
@@ -213,7 +231,10 @@ mod tests {
 
     #[test]
     fn display_access_counts() {
-        let a = AccessCounts { reads: 1, writes: 2 };
+        let a = AccessCounts {
+            reads: 1,
+            writes: 2,
+        };
         assert_eq!(a.to_string(), "r=1 w=2");
     }
 }

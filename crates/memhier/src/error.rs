@@ -54,7 +54,11 @@ impl fmt::Display for RegionError {
             RegionError::UnknownLevel(level) => {
                 write!(f, "unknown memory level {level}")
             }
-            RegionError::OutOfLevel { level, requested, available } => write!(
+            RegionError::OutOfLevel {
+                level,
+                requested,
+                available,
+            } => write!(
                 f,
                 "level {level} cannot hold {requested} bytes ({available} available)"
             ),

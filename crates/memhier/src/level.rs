@@ -245,7 +245,9 @@ mod tests {
 
     #[test]
     fn leakage_defaults_to_zero() {
-        let l = MemoryLevel::builder("x", LevelKind::Sram).capacity(1).build();
+        let l = MemoryLevel::builder("x", LevelKind::Sram)
+            .capacity(1)
+            .build();
         assert_eq!(l.leakage_pj_per_kcycle(), 0);
     }
 

@@ -43,16 +43,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod counters;
 mod cost;
+mod counters;
 mod error;
 mod hierarchy;
 mod level;
 pub mod presets;
 mod region;
 
-pub use counters::{AccessCounts, CounterSet};
 pub use cost::{CostModel, CostParams};
+pub use counters::{AccessCounts, CounterSet};
 pub use error::{HierarchyError, RegionError};
 pub use hierarchy::{LevelId, MemoryHierarchy};
 pub use level::{LevelKind, MemoryLevel, MemoryLevelBuilder};

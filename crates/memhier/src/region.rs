@@ -184,7 +184,11 @@ mod tests {
         let mut t = RegionTable::new(&h);
         let err = t.reserve(LevelId(0), 2048).unwrap_err();
         match err {
-            RegionError::OutOfLevel { level, requested, available } => {
+            RegionError::OutOfLevel {
+                level,
+                requested,
+                available,
+            } => {
                 assert_eq!(level, LevelId(0));
                 assert_eq!(requested, 2048);
                 assert_eq!(available, 1024);
@@ -232,7 +236,11 @@ mod tests {
 
     #[test]
     fn region_contains() {
-        let r = Region { level: LevelId(0), base: 100, size: 10 };
+        let r = Region {
+            level: LevelId(0),
+            base: 100,
+            size: 10,
+        };
         assert!(r.contains(100));
         assert!(r.contains(109));
         assert!(!r.contains(110));

@@ -96,7 +96,10 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn err(&self, what: &'static str) -> ProfileParseError {
-        ProfileParseError::Malformed { line: self.lineno, what }
+        ProfileParseError::Malformed {
+            line: self.lineno,
+            what,
+        }
     }
 
     /// Consumes bytes until (excluding) the next space; skips the space.
@@ -172,7 +175,11 @@ pub(crate) fn parse_record_line(
 }
 
 fn parse_line(line: &[u8], lineno: usize) -> Result<ProfileRecord, ProfileParseError> {
-    let mut c = Cursor { line, pos: 0, lineno };
+    let mut c = Cursor {
+        line,
+        pos: 0,
+        lineno,
+    };
 
     let label = c.token();
     if label.is_empty() {
@@ -279,12 +286,20 @@ mod tests {
     fn malformed_reports_line_number() {
         let text = format!("{HEADER}\n{}\nbroken line here\n", sample(1).to_line());
         let err = parse_records(&text).unwrap_err();
-        assert_eq!(err, ProfileParseError::Malformed { line: 3, what: "bad al field" });
+        assert_eq!(
+            err,
+            ProfileParseError::Malformed {
+                line: 3,
+                what: "bad al field"
+            }
+        );
     }
 
     #[test]
     fn numeric_overflow_is_rejected() {
-        let text = format!("{HEADER}\nx al=99999999999999999999999 fr=0 fl=0 fp=0 fpl=- en=0 cy=0 ac=- me=-\n");
+        let text = format!(
+            "{HEADER}\nx al=99999999999999999999999 fr=0 fl=0 fp=0 fpl=- en=0 cy=0 ac=- me=-\n"
+        );
         assert!(matches!(
             parse_records(&text),
             Err(ProfileParseError::Malformed { .. })
@@ -302,7 +317,10 @@ mod tests {
         let text = format!("{HEADER}\n{} extra=1\n", sample(1).to_line());
         assert!(matches!(
             parse_records(&text),
-            Err(ProfileParseError::Malformed { what: "trailing fields", .. })
+            Err(ProfileParseError::Malformed {
+                what: "trailing fields",
+                ..
+            })
         ));
     }
 

@@ -162,17 +162,16 @@ mod tests {
     #[test]
     fn bad_line_reports_position_and_stream_can_continue() {
         let good = sample(1);
-        let text = format!(
-            "{}broken\n{}",
-            records_to_string(&good),
-            good[0].to_line()
-        );
+        let text = format!("{}broken\n{}", records_to_string(&good), good[0].to_line());
         let items: Vec<_> = read_records(text.as_bytes()).collect();
         assert_eq!(items.len(), 3);
         assert!(items[0].is_ok());
         assert!(matches!(
             &items[1],
-            Err(StreamError::Parse(ProfileParseError::Malformed { line: 3, .. }))
+            Err(StreamError::Parse(ProfileParseError::Malformed {
+                line: 3,
+                ..
+            }))
         ));
         assert!(items[2].is_ok(), "stream recovers after a bad line");
     }

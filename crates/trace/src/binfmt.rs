@@ -103,13 +103,17 @@ pub fn from_bytes(input: &[u8]) -> Result<Trace, ParseError> {
                 id: BlockId(r.varint()?),
                 size: r.varint_u32()?,
             },
-            TAG_FREE => TraceEvent::Free { id: BlockId(r.varint()?) },
+            TAG_FREE => TraceEvent::Free {
+                id: BlockId(r.varint()?),
+            },
             TAG_ACCESS => TraceEvent::Access {
                 id: BlockId(r.varint()?),
                 reads: r.varint_u32()?,
                 writes: r.varint_u32()?,
             },
-            TAG_TICK => TraceEvent::Tick { cycles: r.varint_u32()? },
+            TAG_TICK => TraceEvent::Tick {
+                cycles: r.varint_u32()?,
+            },
             other => {
                 return Err(ParseError::Malformed {
                     at,
@@ -189,8 +193,15 @@ mod tests {
         Trace::from_events(
             "bin-sample",
             vec![
-                TraceEvent::Alloc { id: BlockId(10), size: 1500 },
-                TraceEvent::Access { id: BlockId(10), reads: 400, writes: 375 },
+                TraceEvent::Alloc {
+                    id: BlockId(10),
+                    size: 1500,
+                },
+                TraceEvent::Access {
+                    id: BlockId(10),
+                    reads: 400,
+                    writes: 375,
+                },
                 TraceEvent::Tick { cycles: 999 },
                 TraceEvent::Free { id: BlockId(10) },
             ],
@@ -212,11 +223,23 @@ mod tests {
         let t = Trace::from_events(
             "extremes",
             vec![
-                TraceEvent::Alloc { id: BlockId(u64::MAX), size: u32::MAX },
-                TraceEvent::Access { id: BlockId(u64::MAX), reads: u32::MAX, writes: 0 },
+                TraceEvent::Alloc {
+                    id: BlockId(u64::MAX),
+                    size: u32::MAX,
+                },
+                TraceEvent::Access {
+                    id: BlockId(u64::MAX),
+                    reads: u32::MAX,
+                    writes: 0,
+                },
                 TraceEvent::Tick { cycles: u32::MAX },
-                TraceEvent::Free { id: BlockId(u64::MAX) },
-                TraceEvent::Alloc { id: BlockId(0), size: 1 },
+                TraceEvent::Free {
+                    id: BlockId(u64::MAX),
+                },
+                TraceEvent::Alloc {
+                    id: BlockId(0),
+                    size: 1,
+                },
                 TraceEvent::Free { id: BlockId(0) },
             ],
         )
@@ -257,7 +280,10 @@ mod tests {
         bytes.push(TAG_FREE);
         bytes.extend_from_slice(&[0xff; 10]);
         bytes.push(0x01);
-        assert!(matches!(from_bytes(&bytes), Err(ParseError::Malformed { .. })));
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(ParseError::Malformed { .. })
+        ));
     }
 
     #[test]
@@ -276,14 +302,20 @@ mod tests {
             }
             bytes.push(byte | 0x80);
         }
-        assert!(matches!(from_bytes(&bytes), Err(ParseError::Malformed { .. })));
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(ParseError::Malformed { .. })
+        ));
     }
 
     #[test]
     fn binary_is_smaller_than_text() {
         let mut events = Vec::new();
         for i in 0..1000u64 {
-            events.push(TraceEvent::Alloc { id: BlockId(i), size: 74 });
+            events.push(TraceEvent::Alloc {
+                id: BlockId(i),
+                size: 74,
+            });
             events.push(TraceEvent::Free { id: BlockId(i) });
         }
         let t = Trace::from_events("big", events).unwrap();

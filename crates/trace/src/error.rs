@@ -111,15 +111,25 @@ mod tests {
 
     #[test]
     fn display_carries_position() {
-        let e = TraceError::FreeOfDeadBlock { at: 17, id: BlockId(3) };
+        let e = TraceError::FreeOfDeadBlock {
+            at: 17,
+            id: BlockId(3),
+        };
         assert!(e.to_string().contains("17"));
-        let p = ParseError::Malformed { at: 4, what: "bad size".into() };
+        let p = ParseError::Malformed {
+            at: 4,
+            what: "bad size".into(),
+        };
         assert!(p.to_string().contains("bad size"));
     }
 
     #[test]
     fn parse_error_wraps_trace_error() {
-        let e: ParseError = TraceError::ZeroSizeAlloc { at: 0, id: BlockId(1) }.into();
+        let e: ParseError = TraceError::ZeroSizeAlloc {
+            at: 0,
+            id: BlockId(1),
+        }
+        .into();
         assert!(matches!(e, ParseError::Invalid(_)));
         assert!(Error::source(&e).is_some());
     }

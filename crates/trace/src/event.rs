@@ -91,12 +91,24 @@ mod tests {
     #[test]
     fn block_id_extraction() {
         assert_eq!(
-            TraceEvent::Alloc { id: BlockId(3), size: 8 }.block_id(),
+            TraceEvent::Alloc {
+                id: BlockId(3),
+                size: 8
+            }
+            .block_id(),
             Some(BlockId(3))
         );
-        assert_eq!(TraceEvent::Free { id: BlockId(4) }.block_id(), Some(BlockId(4)));
         assert_eq!(
-            TraceEvent::Access { id: BlockId(5), reads: 1, writes: 0 }.block_id(),
+            TraceEvent::Free { id: BlockId(4) }.block_id(),
+            Some(BlockId(4))
+        );
+        assert_eq!(
+            TraceEvent::Access {
+                id: BlockId(5),
+                reads: 1,
+                writes: 0
+            }
+            .block_id(),
             Some(BlockId(5))
         );
         assert_eq!(TraceEvent::Tick { cycles: 10 }.block_id(), None);
@@ -104,16 +116,29 @@ mod tests {
 
     #[test]
     fn allocator_op_classification() {
-        assert!(TraceEvent::Alloc { id: BlockId(0), size: 1 }.is_allocator_op());
+        assert!(TraceEvent::Alloc {
+            id: BlockId(0),
+            size: 1
+        }
+        .is_allocator_op());
         assert!(TraceEvent::Free { id: BlockId(0) }.is_allocator_op());
-        assert!(!TraceEvent::Access { id: BlockId(0), reads: 0, writes: 0 }.is_allocator_op());
+        assert!(!TraceEvent::Access {
+            id: BlockId(0),
+            reads: 0,
+            writes: 0
+        }
+        .is_allocator_op());
         assert!(!TraceEvent::Tick { cycles: 1 }.is_allocator_op());
     }
 
     #[test]
     fn display_is_compact() {
         assert_eq!(
-            TraceEvent::Alloc { id: BlockId(7), size: 74 }.to_string(),
+            TraceEvent::Alloc {
+                id: BlockId(7),
+                size: 74
+            }
+            .to_string(),
             "alloc #7 74B"
         );
     }

@@ -156,7 +156,11 @@ mod tests {
     #[test]
     fn exponential_clamps() {
         let mut r = rng();
-        let d = SizeDist::Exponential { mean: 10.0, min: 16, max: 32 };
+        let d = SizeDist::Exponential {
+            mean: 10.0,
+            min: 16,
+            max: 32,
+        };
         for _ in 0..500 {
             let s = d.sample(&mut r);
             assert!((16..=32).contains(&s));

@@ -124,8 +124,21 @@ impl TraceGenerator for EasyportConfig {
         let mut contexts = Vec::with_capacity(self.connections);
         for _ in 0..self.connections {
             let id = fresh();
-            push(&mut trace, TraceEvent::Alloc { id, size: CONNECTION_SIZE });
-            push(&mut trace, TraceEvent::Access { id, reads: 8, writes: 32 });
+            push(
+                &mut trace,
+                TraceEvent::Alloc {
+                    id,
+                    size: CONNECTION_SIZE,
+                },
+            );
+            push(
+                &mut trace,
+                TraceEvent::Access {
+                    id,
+                    reads: 8,
+                    writes: 32,
+                },
+            );
             contexts.push(id);
         }
 
@@ -157,11 +170,31 @@ impl TraceGenerator for EasyportConfig {
                 {
                     let slot = rng.gen_range(0..contexts.len());
                     let old = contexts[slot];
-                    push(&mut trace, TraceEvent::Access { id: old, reads: 16, writes: 0 });
+                    push(
+                        &mut trace,
+                        TraceEvent::Access {
+                            id: old,
+                            reads: 16,
+                            writes: 0,
+                        },
+                    );
                     push(&mut trace, TraceEvent::Free { id: old });
                     let id = fresh();
-                    push(&mut trace, TraceEvent::Alloc { id, size: CONNECTION_SIZE });
-                    push(&mut trace, TraceEvent::Access { id, reads: 8, writes: 32 });
+                    push(
+                        &mut trace,
+                        TraceEvent::Alloc {
+                            id,
+                            size: CONNECTION_SIZE,
+                        },
+                    );
+                    push(
+                        &mut trace,
+                        TraceEvent::Access {
+                            id,
+                            reads: 8,
+                            writes: 32,
+                        },
+                    );
                     contexts[slot] = id;
                 }
 
@@ -175,37 +208,116 @@ impl TraceGenerator for EasyportConfig {
                 } else {
                     self.payload_sizes.sample(&mut rng)
                 };
-                push(&mut trace, TraceEvent::Alloc { id: descriptor, size: DESCRIPTOR_SIZE });
-                push(&mut trace, TraceEvent::Alloc { id: header, size: HEADER_SIZE });
-                push(&mut trace, TraceEvent::Alloc { id: payload, size: payload_size });
+                push(
+                    &mut trace,
+                    TraceEvent::Alloc {
+                        id: descriptor,
+                        size: DESCRIPTOR_SIZE,
+                    },
+                );
+                push(
+                    &mut trace,
+                    TraceEvent::Alloc {
+                        id: header,
+                        size: HEADER_SIZE,
+                    },
+                );
+                push(
+                    &mut trace,
+                    TraceEvent::Alloc {
+                        id: payload,
+                        size: payload_size,
+                    },
+                );
                 // Payload moves DMA-style: the CPU only samples it (checksum
                 // windows), while headers/descriptors are walked repeatedly —
                 // the access profile of a network processor.
                 push(
                     &mut trace,
-                    TraceEvent::Access { id: payload, reads: 0, writes: payload_size / 64 + 1 },
+                    TraceEvent::Access {
+                        id: payload,
+                        reads: 0,
+                        writes: payload_size / 64 + 1,
+                    },
                 );
-                push(&mut trace, TraceEvent::Access { id: header, reads: 12, writes: 8 });
-                push(&mut trace, TraceEvent::Access { id: descriptor, reads: 6, writes: 4 });
+                push(
+                    &mut trace,
+                    TraceEvent::Access {
+                        id: header,
+                        reads: 12,
+                        writes: 8,
+                    },
+                );
+                push(
+                    &mut trace,
+                    TraceEvent::Access {
+                        id: descriptor,
+                        reads: 6,
+                        writes: 4,
+                    },
+                );
 
                 // Protocol processing: classification, routing, rewriting.
                 let ctx = contexts[rng.gen_range(0..contexts.len())];
-                push(&mut trace, TraceEvent::Access { id: ctx, reads: 6, writes: 2 });
-                push(&mut trace, TraceEvent::Access { id: header, reads: 16, writes: 6 });
-                push(&mut trace, TraceEvent::Access { id: descriptor, reads: 8, writes: 4 });
                 push(
                     &mut trace,
-                    TraceEvent::Access { id: payload, reads: payload_size / 32 + 1, writes: 0 },
+                    TraceEvent::Access {
+                        id: ctx,
+                        reads: 6,
+                        writes: 2,
+                    },
                 );
-                push(&mut trace, TraceEvent::Tick { cycles: self.cycles_per_packet });
+                push(
+                    &mut trace,
+                    TraceEvent::Access {
+                        id: header,
+                        reads: 16,
+                        writes: 6,
+                    },
+                );
+                push(
+                    &mut trace,
+                    TraceEvent::Access {
+                        id: descriptor,
+                        reads: 8,
+                        writes: 4,
+                    },
+                );
+                push(
+                    &mut trace,
+                    TraceEvent::Access {
+                        id: payload,
+                        reads: payload_size / 32 + 1,
+                        writes: 0,
+                    },
+                );
+                push(
+                    &mut trace,
+                    TraceEvent::Tick {
+                        cycles: self.cycles_per_packet,
+                    },
+                );
 
                 // A few packets arm a retransmission timer (small block with
                 // a medium lifetime) and park longer.
                 let parked = rng.gen::<f64>() < self.retransmit_fraction;
                 let release_at = if parked {
                     let timer = fresh();
-                    push(&mut trace, TraceEvent::Alloc { id: timer, size: TIMER_SIZE });
-                    push(&mut trace, TraceEvent::Access { id: timer, reads: 2, writes: 6 });
+                    push(
+                        &mut trace,
+                        TraceEvent::Alloc {
+                            id: timer,
+                            size: TIMER_SIZE,
+                        },
+                    );
+                    push(
+                        &mut trace,
+                        TraceEvent::Access {
+                            id: timer,
+                            reads: 2,
+                            writes: 6,
+                        },
+                    );
                     timers.push((pkt_index + self.retransmit_window, timer));
                     pkt_index + self.retransmit_window
                 } else {
@@ -213,15 +325,31 @@ impl TraceGenerator for EasyportConfig {
                 };
                 pipeline.push((
                     release_at,
-                    PacketBlocks { descriptor, header, payload, payload_size },
+                    PacketBlocks {
+                        descriptor,
+                        header,
+                        payload,
+                        payload_size,
+                    },
                 ));
             }
 
-            push(&mut trace, TraceEvent::Tick { cycles: self.idle_cycles });
+            push(
+                &mut trace,
+                TraceEvent::Tick {
+                    cycles: self.idle_cycles,
+                },
+            );
         }
 
         // Drain: release everything still in flight, then the control plane.
-        release_due(&mut trace, &mut pipeline, &mut timers, usize::MAX, &mut push);
+        release_due(
+            &mut trace,
+            &mut pipeline,
+            &mut timers,
+            usize::MAX,
+            &mut push,
+        );
         for id in contexts {
             push(&mut trace, TraceEvent::Free { id });
         }
@@ -243,11 +371,19 @@ fn release_due(
             // TX: descriptor handoff and a final payload sample, then free.
             push(
                 trace,
-                TraceEvent::Access { id: blocks.descriptor, reads: 4, writes: 2 },
+                TraceEvent::Access {
+                    id: blocks.descriptor,
+                    reads: 4,
+                    writes: 2,
+                },
             );
             push(
                 trace,
-                TraceEvent::Access { id: blocks.header, reads: 4, writes: 2 },
+                TraceEvent::Access {
+                    id: blocks.header,
+                    reads: 4,
+                    writes: 2,
+                },
             );
             push(
                 trace,
@@ -259,7 +395,12 @@ fn release_due(
             );
             push(trace, TraceEvent::Free { id: blocks.payload });
             push(trace, TraceEvent::Free { id: blocks.header });
-            push(trace, TraceEvent::Free { id: blocks.descriptor });
+            push(
+                trace,
+                TraceEvent::Free {
+                    id: blocks.descriptor,
+                },
+            );
         } else {
             i += 1;
         }
@@ -268,7 +409,14 @@ fn release_due(
     while j < timers.len() {
         if timers[j].0 <= now {
             let (_, id) = timers.remove(j);
-            push(trace, TraceEvent::Access { id, reads: 2, writes: 1 });
+            push(
+                trace,
+                TraceEvent::Access {
+                    id,
+                    reads: 2,
+                    writes: 1,
+                },
+            );
             push(trace, TraceEvent::Free { id });
         } else {
             j += 1;
@@ -301,8 +449,14 @@ mod tests {
 
     #[test]
     fn packet_count_scales_allocations() {
-        let small = EasyportConfig { packets: 500, ..EasyportConfig::paper() };
-        let big = EasyportConfig { packets: 2_000, ..EasyportConfig::paper() };
+        let small = EasyportConfig {
+            packets: 500,
+            ..EasyportConfig::paper()
+        };
+        let big = EasyportConfig {
+            packets: 2_000,
+            ..EasyportConfig::paper()
+        };
         let ss = TraceStats::compute(&small.generate(3));
         let sb = TraceStats::compute(&big.generate(3));
         // >= 3 allocations per packet.

@@ -97,7 +97,14 @@ impl TraceGenerator for MmppConfig {
                     let words = u64::from(size / 4 + 1);
                     let writes = (words as f64 * self.accesses_per_word * 0.5) as u32;
                     if writes > 0 {
-                        push(&mut trace, TraceEvent::Access { id, reads: writes, writes });
+                        push(
+                            &mut trace,
+                            TraceEvent::Access {
+                                id,
+                                reads: writes,
+                                writes,
+                            },
+                        );
                     }
                 }
                 let life = self.lifetimes.sample(&mut rng);
@@ -107,7 +114,12 @@ impl TraceGenerator for MmppConfig {
                     on = false;
                 }
             } else {
-                push(&mut trace, TraceEvent::Tick { cycles: self.off_tick_cycles });
+                push(
+                    &mut trace,
+                    TraceEvent::Tick {
+                        cycles: self.off_tick_cycles,
+                    },
+                );
                 if rng.gen::<f64>() < self.p_off_to_on {
                     on = true;
                 }
@@ -131,7 +143,14 @@ fn emit_final_access(
     if accesses_per_word > 0.0 {
         let reads = (f64::from(size / 4 + 1) * accesses_per_word * 0.25) as u32;
         if reads > 0 {
-            push(trace, TraceEvent::Access { id, reads, writes: 0 });
+            push(
+                trace,
+                TraceEvent::Access {
+                    id,
+                    reads,
+                    writes: 0,
+                },
+            );
         }
     }
 }
@@ -159,11 +178,15 @@ mod tests {
 
     #[test]
     fn burstier_configs_have_more_idle_ticks() {
-        let calm = MmppConfig { p_on_to_off: 0.01, ..MmppConfig::bursty(800) };
-        let bursty = MmppConfig { p_on_to_off: 0.2, ..MmppConfig::bursty(800) };
-        let ticks = |cfg: &MmppConfig| {
-            TraceStats::compute(&cfg.generate(3)).tick_cycles
+        let calm = MmppConfig {
+            p_on_to_off: 0.01,
+            ..MmppConfig::bursty(800)
         };
+        let bursty = MmppConfig {
+            p_on_to_off: 0.2,
+            ..MmppConfig::bursty(800)
+        };
+        let ticks = |cfg: &MmppConfig| TraceStats::compute(&cfg.generate(3)).tick_cycles;
         assert!(
             ticks(&bursty) > ticks(&calm),
             "more ON→OFF transitions must mean more idle time"
@@ -180,7 +203,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "leavable")]
     fn stuck_off_state_rejected() {
-        let cfg = MmppConfig { p_off_to_on: 0.0, ..MmppConfig::bursty(10) };
+        let cfg = MmppConfig {
+            p_off_to_on: 0.0,
+            ..MmppConfig::bursty(10)
+        };
         let _ = cfg.generate(0);
     }
 }

@@ -71,6 +71,9 @@ mod tests {
         assert!(t.len() > 100);
         let s = TraceStats::compute(&t);
         assert!(s.allocs > 0);
-        assert_eq!(s.allocs, s.frees, "generators free everything they allocate");
+        assert_eq!(
+            s.allocs, s.frees,
+            "generators free everything they allocate"
+        );
     }
 }

@@ -68,7 +68,11 @@ impl SyntheticConfig {
         SyntheticConfig {
             name: "synthetic-fragmenter".to_owned(),
             allocs,
-            sizes: SizeDist::Exponential { mean: 300.0, min: 8, max: 4096 },
+            sizes: SizeDist::Exponential {
+                mean: 300.0,
+                min: 8,
+                max: 4096,
+            },
             lifetimes: LifetimeDist::Uniform { min: 1, max: 256 },
             accesses_per_word: 0.5,
             tick_cycles: 10,
@@ -112,9 +116,13 @@ impl TraceGenerator for SyntheticConfig {
             let life = self.lifetimes.sample(&mut rng);
             deaths.push(Reverse((step + life, id.0, size)));
 
-            if self.tick_every > 0 && self.tick_cycles > 0 && step % self.tick_every as u64 == 0
-            {
-                push(&mut trace, TraceEvent::Tick { cycles: self.tick_cycles });
+            if self.tick_every > 0 && self.tick_cycles > 0 && step % self.tick_every as u64 == 0 {
+                push(
+                    &mut trace,
+                    TraceEvent::Tick {
+                        cycles: self.tick_cycles,
+                    },
+                );
             }
         }
 
@@ -138,7 +146,14 @@ impl SyntheticConfig {
         if self.accesses_per_word > 0.0 {
             let reads = (f64::from(size / 4 + 1) * self.accesses_per_word * 0.2) as u32;
             if reads > 0 {
-                push(trace, TraceEvent::Access { id, reads, writes: 0 });
+                push(
+                    trace,
+                    TraceEvent::Access {
+                        id,
+                        reads,
+                        writes: 0,
+                    },
+                );
             }
         }
     }
@@ -149,7 +164,10 @@ impl SyntheticConfig {
 pub fn ramp(n: usize, size: u32) -> Trace {
     let mut events = Vec::with_capacity(2 * n);
     for i in 0..n as u64 {
-        events.push(TraceEvent::Alloc { id: BlockId(i + 1), size });
+        events.push(TraceEvent::Alloc {
+            id: BlockId(i + 1),
+            size,
+        });
     }
     for i in 0..n as u64 {
         events.push(TraceEvent::Free { id: BlockId(i + 1) });
@@ -196,9 +214,7 @@ mod tests {
             ..SyntheticConfig::uniform_churn(100)
         };
         let t = cfg.generate(4);
-        assert!(!t
-            .iter()
-            .any(|e| matches!(e, TraceEvent::Access { .. })));
+        assert!(!t.iter().any(|e| matches!(e, TraceEvent::Access { .. })));
     }
 
     #[test]

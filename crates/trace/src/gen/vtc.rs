@@ -92,7 +92,14 @@ impl TraceGenerator for VtcConfig {
                 let id = fresh();
                 let size = PARSE_SIZES[rng.gen_range(0..PARSE_SIZES.len())];
                 push(&mut trace, TraceEvent::Alloc { id, size });
-                push(&mut trace, TraceEvent::Access { id, reads: 10, writes: 6 });
+                push(
+                    &mut trace,
+                    TraceEvent::Access {
+                        id,
+                        reads: 10,
+                        writes: 6,
+                    },
+                );
                 parse_blocks.push(id);
             }
             push(&mut trace, TraceEvent::Tick { cycles: 4_000 });
@@ -100,7 +107,13 @@ impl TraceGenerator for VtcConfig {
             // Phase 2: decoded-texture output buffer, lives until image end.
             let texture = fresh();
             let texture_size = self.width * self.height; // 8bpp luminance
-            push(&mut trace, TraceEvent::Alloc { id: texture, size: texture_size });
+            push(
+                &mut trace,
+                TraceEvent::Alloc {
+                    id: texture,
+                    size: texture_size,
+                },
+            );
 
             // Phase 3: zerotree construction — many small nodes, one per
             // coarse-level coefficient neighbourhood; all live to image end.
@@ -110,8 +123,21 @@ impl TraceGenerator for VtcConfig {
             let mut nodes = Vec::with_capacity(node_count);
             for _ in 0..node_count {
                 let id = fresh();
-                push(&mut trace, TraceEvent::Alloc { id, size: NODE_SIZE });
-                push(&mut trace, TraceEvent::Access { id, reads: 2, writes: 4 });
+                push(
+                    &mut trace,
+                    TraceEvent::Alloc {
+                        id,
+                        size: NODE_SIZE,
+                    },
+                );
+                push(
+                    &mut trace,
+                    TraceEvent::Access {
+                        id,
+                        reads: 2,
+                        writes: 4,
+                    },
+                );
                 nodes.push(id);
             }
             push(&mut trace, TraceEvent::Tick { cycles: 20_000 });
@@ -140,7 +166,11 @@ impl TraceGenerator for VtcConfig {
                     for &sb in &subbands {
                         push(
                             &mut trace,
-                            TraceEvent::Access { id: sb, reads: coeffs / 16, writes: coeffs / 16 },
+                            TraceEvent::Access {
+                                id: sb,
+                                reads: coeffs / 16,
+                                writes: coeffs / 16,
+                            },
                         );
                     }
                     let samples = 16.min(nodes.len());
@@ -152,21 +182,46 @@ impl TraceGenerator for VtcConfig {
                         let id = nodes[rng.gen_range(0..nodes.len())];
                         push(
                             &mut trace,
-                            TraceEvent::Access { id, reads: per_sample, writes: per_sample / 6 },
+                            TraceEvent::Access {
+                                id,
+                                reads: per_sample,
+                                writes: per_sample / 6,
+                            },
                         );
                     }
-                    push(&mut trace, TraceEvent::Tick { cycles: coeffs * 700 });
+                    push(
+                        &mut trace,
+                        TraceEvent::Tick {
+                            cycles: coeffs * 700,
+                        },
+                    );
                 }
 
                 // Inverse DWT for this level: read subbands, write texture.
                 for &sb in &subbands {
-                    push(&mut trace, TraceEvent::Access { id: sb, reads: coeffs / 2, writes: 0 });
+                    push(
+                        &mut trace,
+                        TraceEvent::Access {
+                            id: sb,
+                            reads: coeffs / 2,
+                            writes: 0,
+                        },
+                    );
                 }
                 push(
                     &mut trace,
-                    TraceEvent::Access { id: texture, reads: coeffs / 2, writes: coeffs },
+                    TraceEvent::Access {
+                        id: texture,
+                        reads: coeffs / 2,
+                        writes: coeffs,
+                    },
                 );
-                push(&mut trace, TraceEvent::Tick { cycles: coeffs * 100 });
+                push(
+                    &mut trace,
+                    TraceEvent::Tick {
+                        cycles: coeffs * 100,
+                    },
+                );
 
                 for sb in subbands {
                     push(&mut trace, TraceEvent::Free { id: sb });
@@ -225,7 +280,10 @@ mod tests {
                 "expected subband buffers of {sub} bytes"
             );
         }
-        assert!(s.size_stat(cfg.width * cfg.height).is_some(), "texture buffer");
+        assert!(
+            s.size_stat(cfg.width * cfg.height).is_some(),
+            "texture buffer"
+        );
     }
 
     #[test]
@@ -251,7 +309,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "too small")]
     fn rejects_over_deep_pyramid() {
-        let cfg = VtcConfig { width: 8, height: 8, wavelet_levels: 5, ..VtcConfig::small() };
+        let cfg = VtcConfig {
+            width: 8,
+            height: 8,
+            wavelet_levels: 5,
+            ..VtcConfig::small()
+        };
         let _ = cfg.generate(0);
     }
 }

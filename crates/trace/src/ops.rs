@@ -51,7 +51,11 @@ pub fn merge_round_robin(name: impl Into<String>, traces: &[&Trace]) -> Result<T
                 }
                 TraceEvent::Access { id, reads, writes } => {
                     let new = *remap[ti].get(&id).expect("input trace is well-formed");
-                    TraceEvent::Access { id: new, reads, writes }
+                    TraceEvent::Access {
+                        id: new,
+                        reads,
+                        writes,
+                    }
                 }
                 tick @ TraceEvent::Tick { .. } => tick,
             };
@@ -93,7 +97,8 @@ pub fn scale_sizes(trace: &Trace, factor: f64) -> Trace {
 pub fn truncate(trace: &Trace, n: usize) -> Trace {
     let mut out = Trace::new(format!("{}-head{n}", trace.name()));
     for ev in trace.iter().take(n) {
-        out.push(*ev).expect("prefix of well-formed trace is well-formed");
+        out.push(*ev)
+            .expect("prefix of well-formed trace is well-formed");
     }
     let live: Vec<BlockId> = out.live_blocks().map(|(id, _)| id).collect();
     for id in live {
@@ -133,7 +138,11 @@ mod tests {
 
     #[test]
     fn merge_of_real_workloads_is_well_formed() {
-        let net = EasyportConfig { packets: 200, ..EasyportConfig::paper() }.generate(1);
+        let net = EasyportConfig {
+            packets: 200,
+            ..EasyportConfig::paper()
+        }
+        .generate(1);
         let video = VtcConfig::small().generate(2);
         let m = merge_round_robin("net+video", &[&net, &video]).unwrap();
         assert_eq!(m.len(), net.len() + video.len());

@@ -218,14 +218,30 @@ mod tests {
         Trace::from_events(
             "t",
             vec![
-                TraceEvent::Alloc { id: BlockId(1), size: 74 },
-                TraceEvent::Alloc { id: BlockId(2), size: 74 },
-                TraceEvent::Access { id: BlockId(1), reads: 5, writes: 3 },
-                TraceEvent::Alloc { id: BlockId(3), size: 1500 },
+                TraceEvent::Alloc {
+                    id: BlockId(1),
+                    size: 74,
+                },
+                TraceEvent::Alloc {
+                    id: BlockId(2),
+                    size: 74,
+                },
+                TraceEvent::Access {
+                    id: BlockId(1),
+                    reads: 5,
+                    writes: 3,
+                },
+                TraceEvent::Alloc {
+                    id: BlockId(3),
+                    size: 1500,
+                },
                 TraceEvent::Tick { cycles: 100 },
                 TraceEvent::Free { id: BlockId(1) },
                 TraceEvent::Free { id: BlockId(2) },
-                TraceEvent::Alloc { id: BlockId(4), size: 74 },
+                TraceEvent::Alloc {
+                    id: BlockId(4),
+                    size: 74,
+                },
                 TraceEvent::Free { id: BlockId(3) },
                 TraceEvent::Free { id: BlockId(4) },
             ],
@@ -298,12 +314,21 @@ mod tests {
         let t = Trace::from_events(
             "h",
             vec![
-                E::Alloc { id: BlockId(1), size: 8 },
+                E::Alloc {
+                    id: BlockId(1),
+                    size: 8,
+                },
                 E::Free { id: BlockId(1) }, // d=1 → bucket 1
-                E::Alloc { id: BlockId(2), size: 8 },
+                E::Alloc {
+                    id: BlockId(2),
+                    size: 8,
+                },
                 E::Tick { cycles: 1 },
                 E::Free { id: BlockId(2) }, // d=2 → bucket 1
-                E::Alloc { id: BlockId(3), size: 8 },
+                E::Alloc {
+                    id: BlockId(3),
+                    size: 8,
+                },
                 E::Tick { cycles: 1 },
                 E::Tick { cycles: 1 },
                 E::Tick { cycles: 1 },

@@ -136,8 +136,15 @@ mod tests {
         Trace::from_events(
             "sample",
             vec![
-                TraceEvent::Alloc { id: BlockId(1), size: 74 },
-                TraceEvent::Access { id: BlockId(1), reads: 3, writes: 1 },
+                TraceEvent::Alloc {
+                    id: BlockId(1),
+                    size: 74,
+                },
+                TraceEvent::Access {
+                    id: BlockId(1),
+                    reads: 3,
+                    writes: 1,
+                },
                 TraceEvent::Tick { cycles: 42 },
                 TraceEvent::Free { id: BlockId(1) },
             ],

@@ -163,7 +163,10 @@ mod tests {
     use super::*;
 
     fn alloc(id: u64, size: u32) -> TraceEvent {
-        TraceEvent::Alloc { id: BlockId(id), size }
+        TraceEvent::Alloc {
+            id: BlockId(id),
+            size,
+        }
     }
     fn free(id: u64) -> TraceEvent {
         TraceEvent::Free { id: BlockId(id) }
@@ -197,30 +200,58 @@ mod tests {
         let mut t = Trace::new("t");
         t.push(alloc(1, 8)).unwrap();
         let err = t.push(alloc(1, 8)).unwrap_err();
-        assert_eq!(err, TraceError::DuplicateAlloc { at: 1, id: BlockId(1) });
+        assert_eq!(
+            err,
+            TraceError::DuplicateAlloc {
+                at: 1,
+                id: BlockId(1)
+            }
+        );
     }
 
     #[test]
     fn free_of_dead_block_rejected() {
         let mut t = Trace::new("t");
         let err = t.push(free(9)).unwrap_err();
-        assert_eq!(err, TraceError::FreeOfDeadBlock { at: 0, id: BlockId(9) });
+        assert_eq!(
+            err,
+            TraceError::FreeOfDeadBlock {
+                at: 0,
+                id: BlockId(9)
+            }
+        );
     }
 
     #[test]
     fn access_to_dead_block_rejected() {
         let mut t = Trace::new("t");
         let err = t
-            .push(TraceEvent::Access { id: BlockId(1), reads: 1, writes: 0 })
+            .push(TraceEvent::Access {
+                id: BlockId(1),
+                reads: 1,
+                writes: 0,
+            })
             .unwrap_err();
-        assert_eq!(err, TraceError::AccessToDeadBlock { at: 0, id: BlockId(1) });
+        assert_eq!(
+            err,
+            TraceError::AccessToDeadBlock {
+                at: 0,
+                id: BlockId(1)
+            }
+        );
     }
 
     #[test]
     fn zero_size_alloc_rejected() {
         let mut t = Trace::new("t");
         let err = t.push(alloc(1, 0)).unwrap_err();
-        assert_eq!(err, TraceError::ZeroSizeAlloc { at: 0, id: BlockId(1) });
+        assert_eq!(
+            err,
+            TraceError::ZeroSizeAlloc {
+                at: 0,
+                id: BlockId(1)
+            }
+        );
     }
 
     #[test]

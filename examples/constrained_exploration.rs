@@ -13,9 +13,7 @@
 //! ```
 
 use dmx_core::study::{easyport_space, StudyScale};
-use dmx_core::{
-    Comparison, Constraint, ConstraintSet, Explorer, Objective, StudySummary,
-};
+use dmx_core::{Comparison, Constraint, ConstraintSet, Explorer, Objective, StudySummary};
 use dmx_memhier::presets;
 use dmx_trace::gen::{EasyportConfig, TraceGenerator};
 
@@ -23,7 +21,11 @@ fn main() {
     let hier = presets::sp64k_dram4m();
     let space = easyport_space(&hier, StudyScale::Quick);
     let explorer = Explorer::new(&hier);
-    let trace = EasyportConfig { packets: 1_000, ..EasyportConfig::paper() }.generate(42);
+    let trace = EasyportConfig {
+        packets: 1_000,
+        ..EasyportConfig::paper()
+    }
+    .generate(42);
     let exploration = explorer.run(&space, &trace);
 
     // --- 1. Constraints ---------------------------------------------------
@@ -31,7 +33,10 @@ fn main() {
     let budget = ConstraintSet::new()
         .and(Constraint::Feasible)
         .and(Constraint::Max(Objective::Footprint, 192 * 1024))
-        .and(Constraint::MaxLevelFootprint(sp, hier.level(sp).capacity() / 2));
+        .and(Constraint::MaxLevelFootprint(
+            sp,
+            hier.level(sp).capacity() / 2,
+        ));
     let admissible = budget.restrict(&exploration);
     println!(
         "constraints: {} of {} configurations are admissible",
@@ -48,7 +53,11 @@ fn main() {
     }
 
     // --- 2. Comparison ----------------------------------------------------
-    let heavier = EasyportConfig { packets: 2_000, ..EasyportConfig::paper() }.generate(42);
+    let heavier = EasyportConfig {
+        packets: 2_000,
+        ..EasyportConfig::paper()
+    }
+    .generate(42);
     let exploration2 = explorer.run(&space, &heavier);
     let cmp = Comparison::between(&exploration, &exploration2, Objective::Accesses);
     if let Some(g) = cmp.geomean_ratio() {
@@ -56,5 +65,7 @@ fn main() {
     }
     let (survivors, total) =
         Comparison::pareto_survivors(&exploration, &exploration2, &Objective::FIG1);
-    println!("Pareto shortlist stability: {survivors}/{total} configurations survive the 2x workload");
+    println!(
+        "Pareto shortlist stability: {survivors}/{total} configurations survive the 2x workload"
+    );
 }

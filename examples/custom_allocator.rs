@@ -7,9 +7,7 @@
 //! ```
 
 use dmx_alloc::pool::{BuddyPool, FixedBlockPool, GeneralPool, SegregatedPool};
-use dmx_alloc::{
-    CoalescePolicy, CompositeAllocator, FitPolicy, FreeOrder, Simulator, SplitPolicy,
-};
+use dmx_alloc::{CoalescePolicy, CompositeAllocator, FitPolicy, FreeOrder, Simulator, SplitPolicy};
 use dmx_memhier::presets;
 use dmx_trace::gen::{SyntheticConfig, TraceGenerator};
 
@@ -49,7 +47,10 @@ fn main() {
     println!("  accesses : {}", metrics.total_accesses());
     println!("  footprint: {} B", metrics.footprint);
     for (i, fp) in metrics.footprint_per_level.iter().enumerate() {
-        println!("    {:<16} {fp:>8} B", hier.level(dmx_memhier::LevelId(i as u16)).name());
+        println!(
+            "    {:<16} {fp:>8} B",
+            hier.level(dmx_memhier::LevelId(i as u16)).name()
+        );
     }
     println!("  energy   : {:.3} uJ", metrics.energy_pj as f64 / 1e6);
     println!("  time     : {} cycles", metrics.cycles);

@@ -18,7 +18,11 @@ use dmx_core::Objective;
 
 fn main() {
     let paper = std::env::args().any(|a| a == "--paper");
-    let scale = if paper { StudyScale::Paper } else { StudyScale::Quick };
+    let scale = if paper {
+        StudyScale::Paper
+    } else {
+        StudyScale::Quick
+    };
     eprintln!("running easyport exploration ({scale:?} scale)...");
 
     let study = easyport_study(scale, 42);
@@ -36,7 +40,12 @@ fn main() {
     .expect("write pareto.csv");
     fs::write(
         out_dir.join("pareto.gp"),
-        gnuplot_script(&study.exploration, &front, Objective::FIG1, "Easyport DM exploration"),
+        gnuplot_script(
+            &study.exploration,
+            &front,
+            Objective::FIG1,
+            "Easyport DM exploration",
+        ),
     )
     .expect("write pareto.gp");
     eprintln!("\nartifacts written to {}", out_dir.display());

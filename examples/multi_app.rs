@@ -19,7 +19,11 @@ use dmx_trace::TraceStats;
 
 fn main() {
     let hier = presets::sp64k_dram4m();
-    let net = EasyportConfig { packets: 800, ..EasyportConfig::paper() }.generate(42);
+    let net = EasyportConfig {
+        packets: 800,
+        ..EasyportConfig::paper()
+    }
+    .generate(42);
     let video = VtcConfig {
         images: 2,
         width: 128,
@@ -28,8 +32,7 @@ fn main() {
         bitplanes: 6,
     }
     .generate(42);
-    let combined =
-        merge_round_robin("easyport+vtc", &[&net, &video]).expect("well-formed inputs");
+    let combined = merge_round_robin("easyport+vtc", &[&net, &video]).expect("well-formed inputs");
 
     let stats = TraceStats::compute(&combined);
     println!(

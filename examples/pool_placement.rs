@@ -21,12 +21,18 @@ fn config_with_hot_pool_on(level: LevelId, main: LevelId) -> AllocatorConfig {
         pools: vec![
             PoolSpec {
                 route: Route::Exact(74),
-                kind: PoolKind::Fixed { block_size: 74, chunk_blocks: 32 },
+                kind: PoolKind::Fixed {
+                    block_size: 74,
+                    chunk_blocks: 32,
+                },
                 level,
             },
             PoolSpec {
                 route: Route::Exact(28),
-                kind: PoolKind::Fixed { block_size: 28, chunk_blocks: 32 },
+                kind: PoolKind::Fixed {
+                    block_size: 28,
+                    chunk_blocks: 32,
+                },
                 level,
             },
             PoolSpec::general(

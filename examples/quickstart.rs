@@ -50,7 +50,10 @@ fn main() {
     println!("  footprint    : {} B (peak)", metrics.footprint);
     println!("  energy       : {:.3} uJ", metrics.energy_pj as f64 / 1e6);
     println!("  exec time    : {} cycles", metrics.cycles);
-    println!("  allocator ops: {} ({} failures)", metrics.ops, metrics.failures);
+    println!(
+        "  allocator ops: {} ({} failures)",
+        metrics.ops, metrics.failures
+    );
     println!(
         "  meta overhead: {:.1}% of all accesses",
         metrics.meta_overhead() * 100.0

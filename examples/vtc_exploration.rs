@@ -11,7 +11,11 @@ use dmx_trace::TraceStats;
 
 fn main() {
     let paper = std::env::args().any(|a| a == "--paper");
-    let scale = if paper { StudyScale::Paper } else { StudyScale::Quick };
+    let scale = if paper {
+        StudyScale::Paper
+    } else {
+        StudyScale::Quick
+    };
     eprintln!("running vtc exploration ({scale:?} scale)...");
 
     let study = vtc_study(scale, 42);

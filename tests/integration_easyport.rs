@@ -125,7 +125,11 @@ fn knee_point_is_on_the_front() {
     let study = easyport_study(StudyScale::Quick, 11);
     if let Some(knee) = &study.summary.knee {
         assert!(
-            study.summary.pareto_curve.iter().any(|(label, ..)| label == knee),
+            study
+                .summary
+                .pareto_curve
+                .iter()
+                .any(|(label, ..)| label == knee),
             "knee {knee} not on the Pareto curve"
         );
     }

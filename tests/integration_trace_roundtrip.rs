@@ -2,9 +2,7 @@
 //! text and the binary format byte-for-byte, and profiled statistics are
 //! preserved.
 
-use dmx_trace::gen::{
-    ramp, EasyportConfig, SyntheticConfig, TraceGenerator, VtcConfig,
-};
+use dmx_trace::gen::{ramp, EasyportConfig, SyntheticConfig, TraceGenerator, VtcConfig};
 use dmx_trace::{binfmt, textfmt, Trace, TraceStats};
 
 fn all_sample_traces() -> Vec<Trace> {
@@ -24,7 +22,12 @@ fn text_roundtrip_every_generator() {
         let text = textfmt::to_string(&trace);
         let back = textfmt::from_str(&text).expect("text parses");
         assert_eq!(back.name(), trace.name());
-        assert_eq!(back.events(), trace.events(), "text roundtrip of `{}`", trace.name());
+        assert_eq!(
+            back.events(),
+            trace.events(),
+            "text roundtrip of `{}`",
+            trace.name()
+        );
     }
 }
 
@@ -33,7 +36,12 @@ fn binary_roundtrip_every_generator() {
     for trace in all_sample_traces() {
         let bytes = binfmt::to_bytes(&trace);
         let back = binfmt::from_bytes(&bytes).expect("binary parses");
-        assert_eq!(back.events(), trace.events(), "binary roundtrip of `{}`", trace.name());
+        assert_eq!(
+            back.events(),
+            trace.events(),
+            "binary roundtrip of `{}`",
+            trace.name()
+        );
     }
 }
 

@@ -16,8 +16,16 @@ fn vtc_story_matches_paper_shape() {
     let study = vtc_study(StudyScale::Quick, 42);
     let s = &study.summary;
     // Large energy lever, small time lever (paper: 82.4% vs 5.4%).
-    assert!(s.energy_saving_pct > 30.0, "energy {:.1}%", s.energy_saving_pct);
-    assert!(s.exec_time_saving_pct < 20.0, "time {:.1}%", s.exec_time_saving_pct);
+    assert!(
+        s.energy_saving_pct > 30.0,
+        "energy {:.1}%",
+        s.energy_saving_pct
+    );
+    assert!(
+        s.exec_time_saving_pct < 20.0,
+        "time {:.1}%",
+        s.exec_time_saving_pct
+    );
     assert!(s.energy_saving_pct > 3.0 * s.exec_time_saving_pct);
 }
 
@@ -38,7 +46,11 @@ fn with_fallback(kind: PoolKind) -> AllocatorConfig {
     AllocatorConfig {
         pools: vec![
             PoolSpec::fixed(32, hier.fastest()),
-            PoolSpec { route: Route::Fallback, kind, level: hier.slowest() },
+            PoolSpec {
+                route: Route::Fallback,
+                kind,
+                level: hier.slowest(),
+            },
         ],
     }
 }
@@ -61,8 +73,21 @@ fn alternative_fallback_pools_all_serve_vtc() {
                 chunk_bytes: 16384,
             },
         ),
-        ("segregated", PoolKind::Segregated { min_class: 16, max_class: 8192, chunk_bytes: 16384 }),
-        ("buddy", PoolKind::Buddy { min_order: 5, max_order: 17 }),
+        (
+            "segregated",
+            PoolKind::Segregated {
+                min_class: 16,
+                max_class: 8192,
+                chunk_bytes: 16384,
+            },
+        ),
+        (
+            "buddy",
+            PoolKind::Buddy {
+                min_order: 5,
+                max_order: 17,
+            },
+        ),
         ("arena", PoolKind::Region { chunk_bytes: 32768 }),
     ];
     for (name, kind) in kinds {
@@ -81,7 +106,10 @@ fn arena_fallback_shines_on_phase_structured_lifetimes() {
     let sim = Simulator::new(&hier);
 
     let arena = sim
-        .run(&with_fallback(PoolKind::Region { chunk_bytes: 32768 }), &trace)
+        .run(
+            &with_fallback(PoolKind::Region { chunk_bytes: 32768 }),
+            &trace,
+        )
         .unwrap();
     let scanning = sim
         .run(

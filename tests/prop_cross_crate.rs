@@ -52,31 +52,37 @@ fn arb_config() -> impl Strategy<Value = AllocatorConfig> {
         arb_order(),
         arb_coalesce(),
         arb_split(),
-        prop::bool::ANY,        // dedicated pool for the hot size?
-        prop::bool::ANY,        // dedicated pool on the scratchpad?
-        1u64..4,                // chunk kilobytes
+        prop::bool::ANY, // dedicated pool for the hot size?
+        prop::bool::ANY, // dedicated pool on the scratchpad?
+        1u64..4,         // chunk kilobytes
     )
-        .prop_map(|(fit, order, coalesce, split, dedicated, on_sp, chunk_kb)| {
-            let hier = presets::sp64k_dram4m();
-            let mut pools = Vec::new();
-            if dedicated {
-                let level = if on_sp { hier.fastest() } else { hier.slowest() };
-                pools.push(PoolSpec::fixed(64, level));
-            }
-            pools.push(PoolSpec {
-                route: Route::Fallback,
-                kind: PoolKind::General {
-                    fit,
-                    order,
-                    coalesce,
-                    split,
-                    align: 8,
-                    chunk_bytes: chunk_kb * 1024,
-                },
-                level: hier.slowest(),
-            });
-            AllocatorConfig { pools }
-        })
+        .prop_map(
+            |(fit, order, coalesce, split, dedicated, on_sp, chunk_kb)| {
+                let hier = presets::sp64k_dram4m();
+                let mut pools = Vec::new();
+                if dedicated {
+                    let level = if on_sp {
+                        hier.fastest()
+                    } else {
+                        hier.slowest()
+                    };
+                    pools.push(PoolSpec::fixed(64, level));
+                }
+                pools.push(PoolSpec {
+                    route: Route::Fallback,
+                    kind: PoolKind::General {
+                        fit,
+                        order,
+                        coalesce,
+                        split,
+                        align: 8,
+                        chunk_bytes: chunk_kb * 1024,
+                    },
+                    level: hier.slowest(),
+                });
+                AllocatorConfig { pools }
+            },
+        )
 }
 
 fn arb_workload() -> impl Strategy<Value = SyntheticConfig> {
@@ -86,7 +92,11 @@ fn arb_workload() -> impl Strategy<Value = SyntheticConfig> {
             Just(SizeDist::Constant(64)),
             Just(SizeDist::Uniform { min: 8, max: 512 }),
             Just(SizeDist::Choice(vec![(64, 0.6), (256, 0.3), (1024, 0.1)])),
-            Just(SizeDist::Exponential { mean: 120.0, min: 8, max: 2048 }),
+            Just(SizeDist::Exponential {
+                mean: 120.0,
+                min: 8,
+                max: 2048
+            }),
         ],
         prop_oneof![
             Just(LifetimeDist::Constant(8)),

@@ -1,0 +1,380 @@
+//! Offline shim for the subset of the `criterion` API this workspace's
+//! benches use: `criterion_group!`/`criterion_main!`, `Criterion` with
+//! `bench_function`/`benchmark_group`, `Bencher::iter`, `BenchmarkId`,
+//! `Throughput`, and `black_box`.
+//!
+//! It is a real (if simple) wall-clock harness, not a no-op: each bench
+//! warms up, then runs timed samples and reports min/mean/median per
+//! iteration plus derived throughput. There are no plots, no statistical
+//! regression analysis, and no `target/criterion` reports. Passing
+//! `--test` (as `cargo test --benches` would) runs each bench exactly
+//! once to smoke it.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    BytesDecimal(u64),
+    Elements(u64),
+}
+
+/// Two-part benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+/// The benchmark manager, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+    /// Smoke mode (`--test`): one iteration per bench, no timing loop.
+    test_mode: bool,
+    /// Substring filter from the command line, as cargo-bench passes it.
+    filter: Option<String>,
+}
+
+impl Criterion {
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 10, "sample size must be at least 10");
+        self.settings.sample_size = n;
+        self
+    }
+
+    #[must_use]
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.settings.measurement_time = dur;
+        self
+    }
+
+    #[must_use]
+    pub fn warm_up_time(mut self, dur: Duration) -> Self {
+        self.settings.warm_up_time = dur;
+        self
+    }
+
+    /// Applies `cargo bench` command-line conventions: `--test` selects
+    /// smoke mode, the first free argument is a name filter. Unknown
+    /// flags are ignored.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        let mut peeked: Option<String> = None;
+        while let Some(arg) = peeked.take().or_else(|| args.next()) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // `--bench` is a cargo-injected marker with no value.
+                "--bench" => {}
+                flag if flag.starts_with('-') => {
+                    // Unknown flag (e.g. real-criterion options like
+                    // `--save-baseline main`): assume a following non-flag
+                    // token is its value, so it is not mistaken for the
+                    // bench-name filter. `--flag=value` needs no lookahead.
+                    if !flag.contains('=') {
+                        if let Some(next) = args.next() {
+                            if next.starts_with('-') {
+                                peeked = Some(next);
+                            }
+                        }
+                    }
+                }
+                free => {
+                    if self.filter.is_none() {
+                        self.filter = Some(free.to_owned());
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        run_bench(&id, self.settings, None, self.test_mode, &self.filter, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            settings: self.settings,
+            throughput: None,
+        }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// Mirror of `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 10, "sample size must be at least 10");
+        self.settings.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.settings.measurement_time = dur;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, dur: Duration) -> &mut Self {
+        self.settings.warm_up_time = dur;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_bench(
+            &id,
+            self.settings,
+            self.throughput,
+            self.criterion.test_mode,
+            &self.criterion.filter,
+            f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Per-bench timing handle, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    mode: BencherMode,
+    samples_ns: Vec<f64>,
+}
+
+enum BencherMode {
+    /// Run exactly one iteration, record nothing.
+    Smoke,
+    /// (warm_up, measurement, sample_size)
+    Measure(Duration, Duration, usize),
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            BencherMode::Smoke => {
+                black_box(routine());
+            }
+            BencherMode::Measure(warm_up, measurement, sample_size) => {
+                // Warm-up: also estimates iterations per sample so each
+                // sample runs a comparable batch.
+                let warm_start = Instant::now();
+                let mut warm_iters: u64 = 0;
+                while warm_start.elapsed() < warm_up {
+                    black_box(routine());
+                    warm_iters += 1;
+                }
+                let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+                let budget = measurement.as_secs_f64() / sample_size as f64;
+                let batch = ((budget / per_iter).round() as u64).max(1);
+
+                self.samples_ns.reserve(sample_size);
+                for _ in 0..sample_size {
+                    let start = Instant::now();
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    let ns = start.elapsed().as_secs_f64() * 1e9 / batch as f64;
+                    self.samples_ns.push(ns);
+                }
+            }
+        }
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn human_rate(per_second: f64, unit: &str) -> String {
+    if per_second >= 1e9 {
+        format!("{:.3} G{unit}/s", per_second / 1e9)
+    } else if per_second >= 1e6 {
+        format!("{:.3} M{unit}/s", per_second / 1e6)
+    } else if per_second >= 1e3 {
+        format!("{:.3} K{unit}/s", per_second / 1e3)
+    } else {
+        format!("{per_second:.1} {unit}/s")
+    }
+}
+
+fn run_bench<F>(
+    id: &str,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    filter: &Option<String>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+
+    if test_mode {
+        let mut b = Bencher {
+            mode: BencherMode::Smoke,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        println!("Testing {id} ... ok");
+        return;
+    }
+
+    println!("Benchmarking {id}");
+    let mut b = Bencher {
+        mode: BencherMode::Measure(
+            settings.warm_up_time,
+            settings.measurement_time,
+            settings.sample_size,
+        ),
+        samples_ns: Vec::new(),
+    };
+    f(&mut b);
+
+    let mut samples = b.samples_ns;
+    if samples.is_empty() {
+        println!("{id:<50} (no samples — bencher closure never called iter)");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    print!(
+        "{id:<50} time: [{} {} {}]",
+        human_time(min),
+        human_time(mean),
+        human_time(median)
+    );
+    match throughput {
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+            print!("  thrpt: {}", human_rate(n as f64 / (median / 1e9), "B"));
+        }
+        Some(Throughput::Elements(n)) => {
+            print!("  thrpt: {}", human_rate(n as f64 / (median / 1e9), "elem"));
+        }
+        None => {}
+    }
+    println!();
+}
+
+/// Mirror of `criterion_group!`: both the simple list form and the
+/// `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirror of `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

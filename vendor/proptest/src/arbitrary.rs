@@ -1,0 +1,55 @@
+//! `any::<T>()` — default strategies per type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngCore;
+
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Mirror of `proptest::arbitrary::any`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Full-range strategy for a primitive type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FullRange<T>(core::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty => $from:expr),* $(,)?) => {$(
+        impl Strategy for FullRange<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                #[allow(clippy::redundant_closure_call)]
+                ($from)(rng)
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = FullRange<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                FullRange(core::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int! {
+    u8 => |r: &mut TestRng| r.next_u64() as u8,
+    u16 => |r: &mut TestRng| r.next_u64() as u16,
+    u32 => |r: &mut TestRng| r.next_u32(),
+    u64 => |r: &mut TestRng| r.next_u64(),
+    usize => |r: &mut TestRng| r.next_u64() as usize,
+    i8 => |r: &mut TestRng| r.next_u64() as i8,
+    i16 => |r: &mut TestRng| r.next_u64() as i16,
+    i32 => |r: &mut TestRng| r.next_u32() as i32,
+    i64 => |r: &mut TestRng| r.next_u64() as i64,
+    isize => |r: &mut TestRng| r.next_u64() as isize,
+    bool => |r: &mut TestRng| r.next_u64() & 1 == 1,
+}

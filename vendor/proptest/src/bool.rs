@@ -1,0 +1,35 @@
+//! Mirror of `proptest::bool`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngCore;
+
+#[derive(Clone, Copy, Debug)]
+pub struct Any;
+
+/// Uniform `bool` strategy (`prop::bool::ANY`).
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Mirror of `proptest::bool::weighted`.
+pub fn weighted(probability_true: f64) -> Weighted {
+    Weighted(probability_true)
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct Weighted(f64);
+
+impl Strategy for Weighted {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rand::Rng::gen_bool(rng, self.0)
+    }
+}

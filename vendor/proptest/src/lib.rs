@@ -1,0 +1,128 @@
+//! Offline shim for the subset of the `proptest` API used by this
+//! workspace: the `proptest!` test macro, composable strategies
+//! (`prop_map`, `prop_oneof!`, tuples, ranges, collections, regex-lite
+//! string strategies, `Just`, `any::<T>()`), `ProptestConfig`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its case number and seed
+//!   (enough to replay deterministically) but is not minimized.
+//! * **Deterministic by default.** Each test's RNG stream is derived from
+//!   a fixed base seed plus the test's name, so `cargo test` is
+//!   reproducible run-to-run and machine-to-machine. Set `PROPTEST_SEED`
+//!   to explore a different stream, and `PROPTEST_CASES` to change the
+//!   default case
+//!   counts globally.
+//! * Only the regex constructs this repo's tests use are supported by the
+//!   string strategy (character classes, `\PC`, `\d`/`\w`/`\s`, and
+//!   `{m,n}` style repetition).
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+pub mod num;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirror of proptest's `prelude::prop` namespace module.
+    pub mod prop {
+        pub use crate::{bool, collection, num, strategy, string};
+    }
+}
+
+/// Entry point macro mirroring `proptest::proptest!`.
+///
+/// Supports the forms used in this repository: an optional inner
+/// `#![proptest_config(expr)]` attribute followed by any number of
+/// `#[test]` functions whose arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                $crate::test_runner::run_cases(&config, stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, __rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+/// Weighted arms (`weight => strategy`) are accepted and the weights are
+/// honored.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Real proptest rejects the case and draws a fresh one; without a
+/// rejection channel the shim simply skips the remainder of the case body,
+/// which preserves the semantics the tests rely on (assumption-violating
+/// inputs are never asserted on).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !$cond {
+            return;
+        }
+    };
+}

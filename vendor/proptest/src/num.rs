@@ -1,0 +1,28 @@
+//! Minimal mirror of `proptest::num`: range strategies for the integer
+//! primitives are implemented directly on `Range`/`RangeInclusive` in
+//! [`crate::strategy`], and full-range strategies come from
+//! [`crate::arbitrary::any`]. This module only hosts the `f64`/`f32`
+//! namespace constants that proptest users occasionally reach for.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+pub mod f64 {
+    use super::*;
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniform `f64` in `[0, 1)` — a pragmatic stand-in for proptest's
+    /// full-range float strategy, which the workspace does not rely on.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = core::primitive::f64;
+
+        fn generate(&self, rng: &mut TestRng) -> core::primitive::f64 {
+            rng.gen::<core::primitive::f64>()
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Regex-lite string generation backing the `&str`-as-strategy impl.
+//!
+//! Supported constructs (the subset this repository's tests use, plus a
+//! little slack): literal characters, escaped literals, `\d` `\w` `\s`
+//! `\n` `\t`, the Unicode-category escapes `\PC` / `\p{C}`-style
+//! "non-control", character classes `[a-z0-9_-]` (ranges + literals,
+//! leading `^` negation over printable ASCII), and the quantifiers
+//! `{n}` `{m,n}` `{m,}` `*` `+` `?` applied to the preceding atom.
+//! Alternation and groups are not supported and panic loudly.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    /// A fixed set of candidate characters.
+    Class(Vec<char>),
+    /// Any non-control character (printable ASCII, weighted, plus a few
+    /// multi-byte code points to stress UTF-8 handling downstream).
+    NonControl,
+}
+
+#[derive(Clone, Debug)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Characters a negated or `\PC` atom may draw from beyond ASCII: chosen
+/// to exercise 2-, 3-, and 4-byte UTF-8 sequences.
+const NON_ASCII_POOL: [char; 8] = ['é', 'ß', 'Ж', 'λ', '→', '漢', 'あ', '🦀'];
+
+fn unsupported(pattern: &str, what: &str) -> ! {
+    panic!("proptest shim: unsupported regex construct {what} in pattern {pattern:?}")
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut negated = false;
+                if chars.peek() == Some(&'^') {
+                    chars.next();
+                    negated = true;
+                }
+                let mut prev: Option<char> = None;
+                loop {
+                    let Some(c) = chars.next() else {
+                        unsupported(pattern, "unterminated character class");
+                    };
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                            let lo = prev.take().unwrap();
+                            let hi = chars.next().unwrap();
+                            // `prev` was already pushed as a literal; the
+                            // range fills in everything after it.
+                            for code in (lo as u32 + 1)..=(hi as u32) {
+                                if let Some(ch) = char::from_u32(code) {
+                                    set.push(ch);
+                                }
+                            }
+                        }
+                        '\\' => {
+                            let Some(esc) = chars.next() else {
+                                unsupported(pattern, "trailing backslash in class");
+                            };
+                            prev = Some(esc);
+                            set.push(esc);
+                        }
+                        other => {
+                            prev = Some(other);
+                            set.push(other);
+                        }
+                    }
+                }
+                if negated {
+                    let keep: Vec<char> = (' '..='~').filter(|c| !set.contains(c)).collect();
+                    if keep.is_empty() {
+                        unsupported(pattern, "negated class covering all of printable ASCII");
+                    }
+                    Atom::Class(keep)
+                } else {
+                    if set.is_empty() {
+                        unsupported(pattern, "empty character class");
+                    }
+                    Atom::Class(set)
+                }
+            }
+            '\\' => match chars.next() {
+                Some('P') | Some('p') => {
+                    // `\PC` (and `\pC`-style single-letter forms): treat as
+                    // "not control" — the only category the repo uses.
+                    match chars.next() {
+                        Some('C') => Atom::NonControl,
+                        Some('{') => {
+                            let mut name = String::new();
+                            for c in chars.by_ref() {
+                                if c == '}' {
+                                    break;
+                                }
+                                name.push(c);
+                            }
+                            if name == "C" || name == "Cc" {
+                                Atom::NonControl
+                            } else {
+                                unsupported(pattern, "unicode category other than C")
+                            }
+                        }
+                        _ => unsupported(pattern, "unicode category escape"),
+                    }
+                }
+                Some('d') => Atom::Class(('0'..='9').collect()),
+                Some('w') => Atom::Class(
+                    ('a'..='z')
+                        .chain('A'..='Z')
+                        .chain('0'..='9')
+                        .chain(['_'])
+                        .collect(),
+                ),
+                Some('s') => Atom::Class(vec![' ', '\t', '\n']),
+                Some('n') => Atom::Class(vec!['\n']),
+                Some('t') => Atom::Class(vec!['\t']),
+                Some(lit) => Atom::Class(vec![lit]),
+                None => unsupported(pattern, "trailing backslash"),
+            },
+            '(' | ')' | '|' => unsupported(pattern, "groups/alternation"),
+            '.' => Atom::NonControl,
+            lit => Atom::Class(vec![lit]),
+        };
+
+        // Optional quantifier.
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    body.push(c);
+                }
+                let parse_n = |s: &str| -> u32 {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| unsupported(pattern, "non-numeric repetition bound"))
+                };
+                match body.split_once(',') {
+                    None => {
+                        let n = parse_n(&body);
+                        (n, n)
+                    }
+                    Some((lo, "")) => (parse_n(lo), parse_n(lo).saturating_add(32)),
+                    Some((lo, hi)) => (parse_n(lo), parse_n(hi)),
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        assert!(
+            min <= max,
+            "bad repetition {{{min},{max}}} in pattern {pattern:?}"
+        );
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn gen_char(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Class(set) => set[rng.gen_range(0..set.len())],
+        Atom::NonControl => {
+            // Mostly printable ASCII; occasionally multi-byte.
+            if rng.gen_range(0u32..8) == 0 {
+                NON_ASCII_POOL[rng.gen_range(0..NON_ASCII_POOL.len())]
+            } else {
+                char::from_u32(rng.gen_range(0x20u32..0x7F)).unwrap()
+            }
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = rng.gen_range(piece.min..=piece.max);
+        for _ in 0..count {
+            out.push(gen_char(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(99)
+    }
+
+    #[test]
+    fn label_pattern_generates_matching_strings() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z0-9@+(),.=-]{1,64}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 64);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "@+(),.=-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn non_control_pattern_has_no_control_chars() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("\\PC{0,300}", &mut rng);
+            assert!(s.chars().count() <= 300);
+            assert!(s.chars().all(|c| !c.is_control()), "control char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_and_open_repetitions() {
+        let mut rng = rng();
+        let s = generate_from_pattern("a{3}", &mut rng);
+        assert_eq!(s, "aaa");
+        for _ in 0..50 {
+            let s = generate_from_pattern("[01]{2,}", &mut rng);
+            assert!(s.len() >= 2);
+            let s = generate_from_pattern("x?y+", &mut rng);
+            assert!(s.contains('y'));
+        }
+    }
+}

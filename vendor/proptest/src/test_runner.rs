@@ -1,0 +1,107 @@
+//! Deterministic case runner: the engine behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Mirror of `proptest::test_runner::Config` (exposed in the prelude as
+/// `ProptestConfig`). Only the fields this workspace touches are present.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Base RNG seed. The effective per-test seed also hashes in the test
+    /// name so distinct tests draw distinct streams. Overridden by the
+    /// `PROPTEST_SEED` environment variable when set.
+    pub rng_seed: u64,
+    /// Unused; kept so `..Config::default()` spreads keep working if real
+    /// proptest is swapped back in.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // As in real proptest, PROPTEST_CASES feeds the *default*; a test
+        // that sets `cases:` explicitly in its ProptestConfig wins over
+        // the environment.
+        let cases =
+            env_u64("PROPTEST_CASES").map_or(256, |c| c.clamp(1, u64::from(u32::MAX)) as u32);
+        Self {
+            cases,
+            rng_seed: 0xD47E_2006_0000_0000,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// The RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        Self(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Runs `config.cases` generated cases of `body`. On panic, a note naming
+/// the failing case index and replay seed is printed before the panic
+/// propagates to the test harness.
+pub fn run_cases(config: &Config, test_name: &str, mut body: impl FnMut(&mut TestRng)) {
+    let base_seed = env_u64("PROPTEST_SEED").unwrap_or(config.rng_seed);
+    let cases = config.cases.max(1);
+    let test_seed = base_seed ^ fnv1a(test_name.as_bytes());
+
+    for case in 0..cases {
+        let case_seed =
+            test_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(case) + 1));
+        let guard = FailureNote {
+            test_name,
+            case,
+            case_seed,
+            cases,
+        };
+        let mut rng = TestRng::from_seed(case_seed);
+        body(&mut rng);
+        std::mem::forget(guard);
+    }
+}
+
+struct FailureNote<'a> {
+    test_name: &'a str,
+    case: u32,
+    case_seed: u64,
+    cases: u32,
+}
+
+impl Drop for FailureNote<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest: {} failed at case {}/{} (replay seed {:#018x}; set PROPTEST_SEED to vary streams)",
+                self.test_name, self.case, self.cases, self.case_seed
+            );
+        }
+    }
+}
