@@ -28,6 +28,12 @@
 //!   produces [`SimMetrics`]: per-level accesses, peak footprint, energy
 //!   and execution time.
 //!
+//!
+//! **Paper mapping:** the parameterized pool/policy library of §2 (the
+//! "more than 50 modules"); per-op access costs are quantified by the
+//! `tab5_allocator_ops` bench, and the simulator's metrics feed every
+//! figure and table downstream.
+//!
 //! # Example
 //!
 //! ```

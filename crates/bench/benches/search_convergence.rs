@@ -1,0 +1,169 @@
+//! Guided-search convergence: evaluations-to-front-coverage versus the
+//! exhaustive baseline.
+//!
+//! The paper sweeps its spaces exhaustively; the `dmx_core::search`
+//! strategies claim to recover the Pareto front at a fraction of the
+//! simulations. This bench quantifies that on a ≥5k-configuration
+//! Easyport-derived space: it runs the exhaustive sweep once, then each
+//! guided strategy, and reports
+//!
+//! * **evals** — distinct configurations simulated (the real cost),
+//! * **hv%** — 2-D hypervolume of the strategy's front relative to the
+//!   exhaustive front (front coverage),
+//! * **member%** — exact front points recovered.
+//!
+//! The acceptance bar (genetic: ≥90 % hypervolume at ≤20 % of the
+//! evaluations, deterministic in the seed) is asserted, so a regression
+//! fails the CI bench smoke run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use dmx_core::search::{GeneticSearch, HillClimbSearch, SubsampleSearch};
+use dmx_core::study::{easyport_space, StudyScale};
+use dmx_core::{front_coverage_pct, Explorer, Objective, ParamSpace, SearchOutcome};
+use dmx_memhier::presets;
+use dmx_trace::gen::{EasyportConfig, TraceGenerator};
+
+/// The convergence space: the paper-scale Easyport space widened along the
+/// general-pool axes (placement levels × growth chunks) to 6912 distinct
+/// configurations — the paper's "tens of thousands" regime, scaled to keep
+/// the exhaustive reference affordable in CI.
+fn large_space(hierarchy: &dmx_memhier::MemoryHierarchy) -> ParamSpace {
+    let base = easyport_space(hierarchy, StudyScale::Paper);
+    ParamSpace {
+        general_levels: vec![hierarchy.fastest(), hierarchy.slowest()],
+        general_chunks: vec![1024, 2048, 4096, 8192],
+        ..base
+    }
+}
+
+fn front_2d(outcome_points: &[Vec<u64>]) -> Vec<(u64, u64)> {
+    outcome_points.iter().map(|p| (p[0], p[1])).collect()
+}
+
+fn report_row(name: &str, outcome: &SearchOutcome, space_len: usize, full: &[(u64, u64)]) -> f64 {
+    let front = front_2d(&outcome.front.points);
+    let hv = front_coverage_pct(&front, full);
+    let members = full.iter().filter(|p| front.contains(p)).count();
+    println!(
+        "{:<12} {:>7} {:>7.1}% {:>7.1}% {:>8.1}% {:>9}/{}",
+        name,
+        outcome.evaluations,
+        outcome.evaluations as f64 / space_len as f64 * 100.0,
+        hv,
+        members as f64 / full.len().max(1) as f64 * 100.0,
+        members,
+        full.len(),
+    );
+    hv
+}
+
+fn bench_search_convergence(c: &mut Criterion) {
+    let hierarchy = presets::sp64k_dram4m();
+    let space = large_space(&hierarchy);
+    assert!(
+        space.len() >= 5_000,
+        "convergence space must exercise the ≥5k regime, got {}",
+        space.len()
+    );
+    // A reduced-length Easyport trace keeps the 6912-config exhaustive
+    // reference tractable; the space (not the trace) is what's under test.
+    let trace = EasyportConfig {
+        packets: 300,
+        ..EasyportConfig::paper()
+    }
+    .generate(42);
+    let explorer = Explorer::new(&hierarchy);
+
+    let exhaustive = explorer.run(&space, &trace);
+    let full = front_2d(&exhaustive.pareto(&Objective::FIG1).points);
+
+    println!(
+        "\n==== search convergence: {} configurations ====",
+        space.len()
+    );
+    println!(
+        "{:<12} {:>7} {:>8} {:>8} {:>9} {:>11}",
+        "strategy", "evals", "of space", "hv", "members", "front pts"
+    );
+    println!(
+        "{:<12} {:>7} {:>7.1}% {:>7.1}% {:>8.1}% {:>9}/{}",
+        "exhaustive",
+        space.len(),
+        100.0,
+        100.0,
+        100.0,
+        full.len(),
+        full.len()
+    );
+
+    let ga = GeneticSearch {
+        population: 64,
+        generations: 20,
+        seed: 42,
+        ..GeneticSearch::default()
+    };
+    let ga_outcome = explorer.search(&ga, &space, &trace, &Objective::FIG1);
+    let ga_hv = report_row("genetic", &ga_outcome, space.len(), &full);
+
+    let hc = HillClimbSearch {
+        restarts: 24,
+        seed: 42,
+        ..HillClimbSearch::default()
+    };
+    let hc_outcome = explorer.search(&hc, &space, &trace, &Objective::FIG1);
+    report_row("hillclimb", &hc_outcome, space.len(), &full);
+
+    // A uniform sample with the same budget as the GA, for contrast.
+    let sample = SubsampleSearch {
+        n: ga_outcome.evaluations,
+        seed: 42,
+    };
+    let sample_outcome = explorer.search(&sample, &space, &trace, &Objective::FIG1);
+    report_row("sample", &sample_outcome, space.len(), &full);
+
+    // The acceptance bar: ≥90 % front coverage at ≤20 % of the
+    // evaluations, reproducible for the fixed seed.
+    assert!(
+        ga_outcome.evaluations * 5 <= space.len(),
+        "genetic search used {} of {} evaluations (> 20%)",
+        ga_outcome.evaluations,
+        space.len()
+    );
+    assert!(
+        ga_hv >= 90.0,
+        "genetic search covered only {ga_hv:.1}% of the exhaustive front"
+    );
+    let again = explorer.search(&ga, &space, &trace, &Objective::FIG1);
+    assert_eq!(
+        again.front.points, ga_outcome.front.points,
+        "genetic search must be deterministic in its seed"
+    );
+
+    // Measured unit: one full GA run on the quick-scale space.
+    let quick = easyport_space(&hierarchy, StudyScale::Quick);
+    let quick_ga = GeneticSearch {
+        population: 16,
+        generations: 6,
+        seed: 42,
+        ..GeneticSearch::default()
+    };
+    c.bench_function("search_convergence/quick_genetic_run", |b| {
+        b.iter(|| {
+            explorer.search(
+                std::hint::black_box(&quick_ga),
+                std::hint::black_box(&quick),
+                std::hint::black_box(&trace),
+                &Objective::FIG1,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(5)).warm_up_time(Duration::from_secs(1));
+    targets = bench_search_convergence
+}
+criterion_main!(benches);

@@ -1,2 +1,21 @@
-//! Shared helpers for the dmx benchmark harness live in the bench targets
-//! themselves; this crate exists to host the Criterion benches.
+//! # dmx-bench — the paper's figures and tables as Criterion benches
+//!
+//! Each bench target under `benches/` reproduces one artifact of the
+//! DATE 2006 paper (or measures the machinery behind it) and doubles as a
+//! regression gate: CI compiles every bench and runs each body once in
+//! smoke mode (`cargo bench --workspace -- --test`), so a bench that rots
+//! or an acceptance assertion that regresses fails the build.
+//!
+//! | Bench | Paper artifact | What it reports |
+//! | --- | --- | --- |
+//! | `fig1_easyport_pareto` | Figure 1 | the Easyport footprint/accesses Pareto curve |
+//! | `tab2_easyport_summary` | Table 2 | Easyport range + improvement factors |
+//! | `tab3_vtc_summary` | Table 3 | VTC range + improvement factors |
+//! | `tab4_parse_speed` | §2 "under 20 s" claim | profile-record parse throughput |
+//! | `tab5_allocator_ops` | §2 allocator library | per-pool alloc/free op costs |
+//! | `tab6_ablation` | §§2–3 design choices | what each parameter axis contributes |
+//! | `search_convergence` | beyond the paper | guided-search evaluations vs. front coverage (genetic ≥90 % hypervolume at ≤20 % of the evaluations) |
+//!
+//! The crate itself is intentionally empty: shared setup lives in
+//! [`dmx_core::study`] so examples, tests and benches report on the same
+//! pipeline.

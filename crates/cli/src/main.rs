@@ -6,16 +6,29 @@
 //! dmx gen-trace <easyport|vtc|synthetic> --out FILE [--seed N] [--paper]
 //! dmx profile   --trace FILE
 //! dmx explore   --trace FILE --out-records FILE [--csv FILE] [--gnuplot FILE]
+//!               [--json FILE]
+//!               [--strategy exhaustive|sample|genetic|hillclimb]
+//!               [--generations N] [--population N] [--restarts N]
+//!               [--sample-n N] [--seed N]
 //! dmx pareto    --records FILE [--objectives footprint,accesses]
 //! dmx report    --records FILE
 //! ```
+//!
+//! `explore` defaults to the exhaustive sweep; `--strategy
+//! genetic|hillclimb|sample` switches to guided search (see
+//! `dmx_core::search`), which recovers the Pareto front at a fraction of
+//! the simulations on large spaces. All strategies are deterministic in
+//! `--seed`.
 
 use std::fs;
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use dmx_core::export::{gnuplot_script, to_csv};
-use dmx_core::{Explorer, Objective, ParamSpace, StudySummary};
+use dmx_core::export::{gnuplot_script, pareto_to_json, to_csv};
+use dmx_core::{
+    ExhaustiveSearch, Explorer, GeneticSearch, HillClimbSearch, Objective, ParamSpace,
+    SearchStrategy, StudySummary, SubsampleSearch,
+};
 use dmx_memhier::presets;
 use dmx_profile::{parse_records, records_to_string, ProfileRecord};
 use dmx_trace::gen::{EasyportConfig, SyntheticConfig, TraceGenerator, VtcConfig};
@@ -51,6 +64,10 @@ const USAGE: &str = "usage:
   dmx gen-trace <easyport|vtc|synthetic> --out FILE [--seed N] [--paper]
   dmx profile   --trace FILE
   dmx explore   --trace FILE --out-records FILE [--csv FILE] [--gnuplot FILE]
+                [--json FILE]
+                [--strategy exhaustive|sample|genetic|hillclimb]
+                [--generations N] [--population N] [--restarts N]
+                [--sample-n N] [--seed N]
   dmx pareto    --records FILE [--objectives footprint,accesses,energy,cycles]
   dmx report    --records FILE
   dmx study     <easyport|vtc> [--seed N] [--paper]";
@@ -168,19 +185,63 @@ fn profile(rest: &[&String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses an integer flag with a default.
+fn num_opt(rest: &[&String], flag: &str, default: usize) -> Result<usize, String> {
+    match opt(rest, flag) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad {flag}")),
+    }
+}
+
 fn explore(rest: &[&String]) -> Result<(), String> {
     let trace = load_trace(rest)?;
     let out_records = opt(rest, "--out-records").ok_or("missing --out-records FILE")?;
     let hier = presets::sp64k_dram4m();
     let stats = TraceStats::compute(&trace);
     let space = ParamSpace::suggest(&stats, &hier);
+
+    let seed: u64 = opt(rest, "--seed")
+        .unwrap_or("42")
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    let strategy_name = opt(rest, "--strategy").unwrap_or("exhaustive");
+    let strategy: Box<dyn SearchStrategy> = match strategy_name {
+        "exhaustive" => Box::new(ExhaustiveSearch),
+        "sample" => Box::new(SubsampleSearch {
+            n: num_opt(rest, "--sample-n", space.len().div_ceil(4))?,
+            seed,
+        }),
+        "genetic" => Box::new(GeneticSearch {
+            population: num_opt(rest, "--population", 32)?,
+            generations: num_opt(rest, "--generations", 16)?,
+            seed,
+            ..GeneticSearch::default()
+        }),
+        "hillclimb" => Box::new(HillClimbSearch {
+            restarts: num_opt(rest, "--restarts", 8)?,
+            seed,
+            ..HillClimbSearch::default()
+        }),
+        other => return Err(format!("unknown strategy `{other}`")),
+    };
+
     eprintln!(
-        "exploring {} configurations over trace `{}` ({} events)...",
+        "exploring {} configurations over trace `{}` ({} events) with strategy `{}`...",
         space.len(),
         trace.name(),
-        trace.len()
+        trace.len(),
+        strategy.name(),
     );
-    let exploration = Explorer::new(&hier).run(&space, &trace);
+    let outcome = Explorer::new(&hier).search(strategy.as_ref(), &space, &trace, &Objective::FIG1);
+    eprintln!(
+        "strategy `{}`: {} simulations for a space of {} ({} cache hits), {} Pareto points",
+        outcome.strategy,
+        outcome.evaluations,
+        space.len(),
+        outcome.cache_hits,
+        outcome.front.len(),
+    );
+    let exploration = outcome.exploration;
     let records = exploration.to_records();
     fs::write(out_records, records_to_string(&records))
         .map_err(|e| format!("writing {out_records}: {e}"))?;
@@ -195,6 +256,11 @@ fn explore(rest: &[&String]) -> Result<(), String> {
         let script = gnuplot_script(&exploration, &front, Objective::FIG1, trace.name());
         fs::write(path, script).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote Gnuplot script to {path}");
+    }
+    if let Some(path) = opt(rest, "--json") {
+        let json = pareto_to_json(&exploration, &outcome.front, &Objective::FIG1);
+        fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote Pareto front JSON to {path}");
     }
     let _ = write!(
         std::io::stdout(),

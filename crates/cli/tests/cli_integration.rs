@@ -84,6 +84,100 @@ fn gen_profile_explore_pareto_report_pipeline() {
 }
 
 #[test]
+fn explore_guided_strategies() {
+    let dir = tmpdir("guided");
+    let trace = dir.join("t.trace");
+    run_ok(
+        dmx()
+            .args(["gen-trace", "synthetic", "--seed", "3", "--out"])
+            .arg(&trace),
+    );
+
+    for (strategy, extra) in [
+        ("genetic", vec!["--generations", "3", "--population", "16"]),
+        ("hillclimb", vec!["--restarts", "3"]),
+        ("sample", vec!["--sample-n", "24"]),
+    ] {
+        let records = dir.join(format!("{strategy}.prof"));
+        let json = dir.join(format!("{strategy}.json"));
+        let out = run_ok(
+            dmx()
+                .arg("explore")
+                .arg("--trace")
+                .arg(&trace)
+                .arg("--out-records")
+                .arg(&records)
+                .arg("--json")
+                .arg(&json)
+                .args(["--strategy", strategy, "--seed", "7"])
+                .args(&extra),
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains(&format!("strategy `{strategy}`:")),
+            "{strategy} stderr: {err}"
+        );
+        assert!(records.exists());
+
+        // The exported front is non-empty JSON of the expected shape.
+        let front = std::fs::read_to_string(&json).unwrap();
+        assert!(front.trim_start().starts_with('['), "{strategy}: {front}");
+        assert!(front.trim_end().ends_with(']'), "{strategy}: {front}");
+        assert!(
+            front.contains("\"label\"") && front.contains("\"footprint_bytes\""),
+            "{strategy} front must be non-empty: {front}"
+        );
+
+        // Guided runs write valid record files the rest of the pipeline
+        // consumes (and must have simulated less than the whole space).
+        let out = run_ok(dmx().arg("pareto").arg("--records").arg(&records));
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("Pareto-optimal on"), "{strategy}: {text}");
+    }
+
+    // Same seed twice ⇒ byte-identical records (determinism end to end).
+    let a = dir.join("det-a.prof");
+    let b = dir.join("det-b.prof");
+    for path in [&a, &b] {
+        run_ok(
+            dmx()
+                .arg("explore")
+                .arg("--trace")
+                .arg(&trace)
+                .arg("--out-records")
+                .arg(path)
+                .args([
+                    "--strategy",
+                    "genetic",
+                    "--generations",
+                    "2",
+                    "--seed",
+                    "11",
+                ]),
+        );
+    }
+    assert_eq!(
+        std::fs::read(&a).unwrap(),
+        std::fs::read(&b).unwrap(),
+        "same seed must reproduce identical records"
+    );
+
+    let out = dmx()
+        .arg("explore")
+        .arg("--trace")
+        .arg(&trace)
+        .arg("--out-records")
+        .arg(dir.join("x.prof"))
+        .args(["--strategy", "simulated-annealing"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown strategy"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn study_subcommand_prints_summary() {
     let out = run_ok(dmx().args(["study", "vtc", "--seed", "5"]));
     let text = String::from_utf8_lossy(&out.stdout);

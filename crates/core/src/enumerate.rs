@@ -1,7 +1,7 @@
 //! Enumeration of the configuration space: an odometer over the parameter
 //! axes that yields fully-formed [`AllocatorConfig`]s.
 
-use dmx_alloc::{AllocatorConfig, PoolKind, PoolSpec, Route};
+use dmx_alloc::AllocatorConfig;
 use dmx_memhier::MemoryHierarchy;
 
 use crate::param::ParamSpace;
@@ -27,55 +27,6 @@ impl<'a> ConfigIter<'a> {
             index,
         }
     }
-
-    fn axis_lens(&self) -> [usize; 8] {
-        [
-            self.space.dedicated_size_sets.len(),
-            self.space.placements.len(),
-            self.space.fits.len(),
-            self.space.orders.len(),
-            self.space.coalesces.len(),
-            self.space.splits.len(),
-            self.space.general_levels.len(),
-            self.space.general_chunks.len(),
-        ]
-    }
-
-    fn materialize(&self, idx: &[usize; 8]) -> AllocatorConfig {
-        let sizes = &self.space.dedicated_size_sets[idx[0]];
-        let placement = self.space.placements[idx[1]];
-        let fit = self.space.fits[idx[2]];
-        let order = self.space.orders[idx[3]];
-        let coalesce = self.space.coalesces[idx[4]];
-        let split = self.space.splits[idx[5]];
-        let general_level = self.space.general_levels[idx[6]];
-        let chunk = self.space.general_chunks[idx[7]];
-
-        let mut pools: Vec<PoolSpec> = sizes
-            .iter()
-            .map(|&size| PoolSpec {
-                route: Route::Exact(size),
-                kind: PoolKind::Fixed {
-                    block_size: size,
-                    chunk_blocks: 32,
-                },
-                level: placement.level_for(size, self.hierarchy),
-            })
-            .collect();
-        pools.push(PoolSpec {
-            route: Route::Fallback,
-            kind: PoolKind::General {
-                fit,
-                order,
-                coalesce,
-                split,
-                align: 8,
-                chunk_bytes: chunk,
-            },
-            level: general_level,
-        });
-        AllocatorConfig { pools }
-    }
 }
 
 impl Iterator for ConfigIter<'_> {
@@ -88,9 +39,9 @@ impl Iterator for ConfigIter<'_> {
             // emitting it for every placement would duplicate the baseline
             // configuration. Skip all but placement 0.
             let skip = self.space.dedicated_size_sets[idx[0]].is_empty() && idx[1] > 0;
-            let config = (!skip).then(|| self.materialize(&idx));
+            let config = (!skip).then(|| self.space.config_at(self.hierarchy, &idx));
             // Advance the odometer (last axis fastest).
-            let lens = self.axis_lens();
+            let lens = self.space.axis_lens();
             let mut next = idx;
             let mut carry = true;
             for d in (0..8).rev() {
@@ -122,7 +73,7 @@ impl Iterator for ConfigIter<'_> {
 mod tests {
     use super::*;
     use crate::param::PlacementStrategy;
-    use dmx_alloc::{CoalescePolicy, FitPolicy, FreeOrder, SplitPolicy};
+    use dmx_alloc::{CoalescePolicy, FitPolicy, FreeOrder, Route, SplitPolicy};
     use dmx_memhier::presets;
 
     fn tiny_space(hier: &MemoryHierarchy) -> ParamSpace {

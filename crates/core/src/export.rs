@@ -101,6 +101,64 @@ pub fn gnuplot_script(
     s
 }
 
+/// Escapes a string for a JSON string literal (quotes, backslashes,
+/// control characters — the only things configuration labels can need).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes a Pareto front as a JSON array of objects, one per front
+/// configuration with its label and one field per objective — the
+/// machine-readable export for downstream tooling (no serde; the format
+/// is simple enough to emit by hand).
+///
+/// ```
+/// # use dmx_core::export::pareto_to_json;
+/// # use dmx_core::{Exploration, Objective};
+/// # let exploration = Exploration { workload: "w".into(), results: vec![] };
+/// # let front = exploration.pareto(&Objective::FIG1);
+/// let json = pareto_to_json(&exploration, &front, &Objective::FIG1);
+/// assert_eq!(json.trim(), "[]");
+/// ```
+pub fn pareto_to_json(
+    exploration: &Exploration,
+    front: &ParetoSet,
+    objectives: &[Objective],
+) -> String {
+    let mut s = String::from("[");
+    for (k, &i) in front.indices.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        s.push_str("\n  {");
+        let _ = write!(
+            s,
+            "\"label\": \"{}\"",
+            json_escape(&exploration.results[i].label)
+        );
+        for (o, v) in objectives.iter().zip(&front.points[k]) {
+            let _ = write!(s, ", \"{}\": {v}", o.name());
+        }
+        s.push('}');
+    }
+    if !front.indices.is_empty() {
+        s.push('\n');
+    }
+    s.push_str("]\n");
+    s
+}
+
 /// Renders the Pareto front as a Markdown table.
 pub fn pareto_to_markdown(
     exploration: &Exploration,
@@ -199,6 +257,27 @@ mod tests {
         assert!(script.contains("$pareto << EOD"));
         assert!(script.contains("set xlabel \"footprint_bytes\""));
         assert!(script.contains("plot $all"));
+    }
+
+    #[test]
+    fn json_front_is_well_formed() {
+        let exp = tiny_exploration();
+        let front = exp.pareto(&Objective::FIG1);
+        let json = pareto_to_json(&exp, &front, &Objective::FIG1);
+        assert!(json.starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert_eq!(json.matches("\"label\"").count(), front.len());
+        assert_eq!(json.matches("\"footprint_bytes\"").count(), front.len());
+        // Balanced braces, one object per front point.
+        assert_eq!(json.matches('{').count(), front.len());
+        assert_eq!(json.matches('}').count(), front.len());
+    }
+
+    #[test]
+    fn json_escaping_covers_specials() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\tend"), "tab\\u0009end");
+        assert_eq!(json_escape("plain<=74@L1"), "plain<=74@L1");
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //!    ([`ParamSpace`], [`ConfigIter`]);
 //! 2. **simulates** the workload against each configuration in parallel,
 //!    collecting memory accesses, footprint, energy and execution time per
-//!    memory level ([`Explorer`], [`Exploration`]);
+//!    memory level ([`Explorer`], [`Exploration`]) — either exhaustively
+//!    or through a guided [`search`] strategy (genetic, hill-climbing,
+//!    subsampling) that recovers the front at a fraction of the
+//!    evaluations;
 //! 3. **selects the Pareto-optimal configurations** over any choice of
 //!    metrics ([`pareto_front`], [`ParetoSet`]);
 //! 4. **reports** the trade-off space the way the paper does: range
@@ -56,14 +59,19 @@ mod pareto;
 mod report;
 mod runner;
 mod sample;
+pub mod search;
 pub mod study;
 
 pub use compare::{Comparison, ComparisonRow};
 pub use constraint::{Constraint, ConstraintSet};
 pub use enumerate::ConfigIter;
 pub use objective::Objective;
-pub use param::{ParamSpace, PlacementStrategy};
+pub use param::{Genome, ParamSpace, PlacementStrategy};
 pub use pareto::{dominates, knee_point, pareto_front, pareto_front_2d, ParetoSet};
 pub use report::StudySummary;
 pub use runner::{Exploration, Explorer, RunResult};
-pub use sample::{hypervolume_2d, sample_configs};
+pub use sample::{front_coverage_pct, hypervolume_2d, sample_configs};
+pub use search::{
+    EvalCache, ExhaustiveSearch, GeneticSearch, HillClimbSearch, SearchOutcome, SearchStrategy,
+    SubsampleSearch,
+};

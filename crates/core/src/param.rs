@@ -1,11 +1,21 @@
 //! The exploration parameter space — "the list of arrays with the
 //! parameter values to be explored" that is the tool's only required input.
 
-use dmx_alloc::{CoalescePolicy, FitPolicy, FreeOrder, SplitPolicy};
+use dmx_alloc::{AllocatorConfig, CoalescePolicy, FitPolicy, FreeOrder, SplitPolicy};
+use dmx_alloc::{PoolKind, PoolSpec, Route};
 use dmx_memhier::{LevelId, MemoryHierarchy};
 use dmx_trace::TraceStats;
 
 use crate::enumerate::ConfigIter;
+
+/// One point of a [`ParamSpace`], encoded as the 8-axis odometer index
+/// `[dedicated_set, placement, fit, order, coalesce, split, level, chunk]`.
+///
+/// This is the genotype the guided search strategies (see
+/// [`crate::search`]) operate on: crossover and mutation are plain index
+/// arithmetic on the eight coordinates, and [`ParamSpace::config_at`]
+/// materializes a genome back into an [`AllocatorConfig`].
+pub type Genome = [usize; 8];
 
 /// How the dedicated pools of a configuration are mapped onto the memory
 /// hierarchy.
@@ -53,6 +63,28 @@ impl PlacementStrategy {
 /// the cartesian product of all of them. One point denotes: a set of
 /// dedicated fixed-block pools (possibly empty), their placement, and a
 /// fully parameterized general fallback pool.
+///
+/// # Example
+///
+/// Derive a space from a profiled workload, then address configurations
+/// both by iteration and by random access:
+///
+/// ```
+/// use dmx_core::ParamSpace;
+/// use dmx_memhier::presets;
+/// use dmx_trace::gen::{EasyportConfig, TraceGenerator};
+/// use dmx_trace::TraceStats;
+///
+/// let hier = presets::sp64k_dram4m();
+/// let stats = TraceStats::compute(&EasyportConfig::small().generate(1));
+/// let space = ParamSpace::suggest(&stats, &hier);
+///
+/// // Sequential enumeration and random access agree point for point.
+/// let third = space.iter_configs(&hier).nth(3).unwrap();
+/// let genome = space.genome_at(3);
+/// assert_eq!(space.config_at(&hier, &genome).label(), third.label());
+/// assert_eq!(space.iter_configs(&hier).count(), space.len());
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParamSpace {
     /// Candidate sets of dedicated-pool block sizes (e.g. `[]`, `[74]`,
@@ -105,6 +137,119 @@ impl ParamSpace {
     /// `true` if any axis is empty (no configurations).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The lengths of the eight parameter axes, in odometer order
+    /// (dedicated sets, placements, fits, orders, coalesces, splits,
+    /// general levels, general chunks).
+    pub fn axis_lens(&self) -> [usize; 8] {
+        [
+            self.dedicated_size_sets.len(),
+            self.placements.len(),
+            self.fits.len(),
+            self.orders.len(),
+            self.coalesces.len(),
+            self.splits.len(),
+            self.general_levels.len(),
+            self.general_chunks.len(),
+        ]
+    }
+
+    /// Folds a genome into its canonical representative: with an empty
+    /// dedicated-size set the placement axis is meaningless (there is no
+    /// pool to place), so all placements collapse onto index 0. Two
+    /// genomes denote the same configuration iff their canonical forms are
+    /// equal — the search layer's [`crate::search::EvalCache`] keys on
+    /// this.
+    pub fn canonicalize(&self, mut genome: Genome) -> Genome {
+        if self.dedicated_size_sets[genome[0]].is_empty() {
+            genome[1] = 0;
+        }
+        genome
+    }
+
+    /// Decodes a distinct-configuration index (`0..self.len()`) into its
+    /// canonical [`Genome`], in enumeration order: the `i`-th genome
+    /// materializes the `i`-th configuration yielded by [`Self::iter_configs`].
+    ///
+    /// This is the random-access counterpart of the [`ConfigIter`]
+    /// odometer; [`crate::sample_configs`] and the guided search
+    /// strategies use it to draw uniform configurations from huge spaces
+    /// without enumerating them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn genome_at(&self, index: usize) -> Genome {
+        assert!(
+            index < self.len(),
+            "index {index} out of bounds for space of {}",
+            self.len()
+        );
+        let lens = self.axis_lens();
+        // Number of general-pool combinations (the six inner axes).
+        let general: usize = lens[2..].iter().product();
+        let mut rest = index;
+        let mut genome = [0usize; 8];
+        for (set_idx, set) in self.dedicated_size_sets.iter().enumerate() {
+            let placements = if set.is_empty() { 1 } else { lens[1] };
+            let block = placements * general;
+            if rest < block {
+                genome[0] = set_idx;
+                genome[1] = rest / general;
+                let mut inner = rest % general;
+                for d in (2..8).rev() {
+                    genome[d] = inner % lens[d];
+                    inner /= lens[d];
+                }
+                return genome;
+            }
+            rest -= block;
+        }
+        unreachable!("index checked against len()");
+    }
+
+    /// Materializes one genome into its [`AllocatorConfig`] (dedicated
+    /// fixed-block pools per the placement strategy, plus the general
+    /// fallback pool).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of bounds for its axis.
+    pub fn config_at(&self, hierarchy: &MemoryHierarchy, genome: &Genome) -> AllocatorConfig {
+        let sizes = &self.dedicated_size_sets[genome[0]];
+        let placement = self.placements[genome[1]];
+        let fit = self.fits[genome[2]];
+        let order = self.orders[genome[3]];
+        let coalesce = self.coalesces[genome[4]];
+        let split = self.splits[genome[5]];
+        let general_level = self.general_levels[genome[6]];
+        let chunk = self.general_chunks[genome[7]];
+
+        let mut pools: Vec<PoolSpec> = sizes
+            .iter()
+            .map(|&size| PoolSpec {
+                route: Route::Exact(size),
+                kind: PoolKind::Fixed {
+                    block_size: size,
+                    chunk_blocks: 32,
+                },
+                level: placement.level_for(size, hierarchy),
+            })
+            .collect();
+        pools.push(PoolSpec {
+            route: Route::Fallback,
+            kind: PoolKind::General {
+                fit,
+                order,
+                coalesce,
+                split,
+                align: 8,
+                chunk_bytes: chunk,
+            },
+            level: general_level,
+        });
+        AllocatorConfig { pools }
     }
 
     /// Iterates over every configuration in the space.
@@ -203,6 +348,47 @@ mod tests {
         space.fits.clear();
         assert!(space.is_empty());
         assert_eq!(space.iter_configs(&hier).count(), 0);
+    }
+
+    #[test]
+    fn genome_at_matches_enumeration_order() {
+        let hier = presets::sp64k_dram4m();
+        let trace = EasyportConfig::small().generate(5);
+        let stats = dmx_trace::TraceStats::compute(&trace);
+        let space = ParamSpace::suggest(&stats, &hier);
+        let enumerated: Vec<String> = space.iter_configs(&hier).map(|c| c.label()).collect();
+        assert_eq!(enumerated.len(), space.len());
+        for (i, label) in enumerated.iter().enumerate() {
+            let genome = space.genome_at(i);
+            assert_eq!(genome, space.canonicalize(genome), "genomes are canonical");
+            assert_eq!(
+                &space.config_at(&hier, &genome).label(),
+                label,
+                "genome_at({i}) must materialize the {i}-th enumerated config"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn genome_at_rejects_out_of_bounds() {
+        let hier = presets::sp64k_dram4m();
+        let trace = EasyportConfig::small().generate(5);
+        let stats = dmx_trace::TraceStats::compute(&trace);
+        let space = ParamSpace::suggest(&stats, &hier);
+        let _ = space.genome_at(space.len());
+    }
+
+    #[test]
+    fn canonicalize_collapses_empty_set_placement() {
+        let hier = presets::sp64k_dram4m();
+        let trace = EasyportConfig::small().generate(6);
+        let stats = dmx_trace::TraceStats::compute(&trace);
+        let space = ParamSpace::suggest(&stats, &hier);
+        // Axis 0 index 0 is the empty dedicated set in `suggest` spaces.
+        assert_eq!(space.canonicalize([0, 1, 0, 0, 0, 0, 0, 0])[1], 0);
+        // Non-empty sets keep their placement.
+        assert_eq!(space.canonicalize([1, 1, 0, 0, 0, 0, 0, 0])[1], 1);
     }
 
     #[test]

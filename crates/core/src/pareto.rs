@@ -66,6 +66,19 @@ impl ParetoSet {
 /// Duplicated points are all kept (they dominate each other in neither
 /// direction). Complexity O(n²·k); the exploration result sets (10²–10⁴
 /// points) are far below where that matters.
+///
+/// # Example
+///
+/// ```
+/// use dmx_core::pareto_front;
+///
+/// // (footprint, accesses) of four configurations: two trade-offs, one
+/// // dominated, one duplicate of a front point.
+/// let points = vec![vec![100, 900], vec![300, 300], vec![350, 400], vec![100, 900]];
+/// let front = pareto_front(&points);
+/// assert_eq!(front.indices, vec![0, 3, 1]); // sorted by footprint, dup kept
+/// assert!(front.range_factor(0).unwrap() > 2.9); // paper-style spread factor
+/// ```
 pub fn pareto_front(points: &[Vec<u64>]) -> ParetoSet {
     let mut indices: Vec<usize> = Vec::new();
     'outer: for (i, p) in points.iter().enumerate() {

@@ -106,7 +106,7 @@ impl StudySummary {
         );
         let _ = writeln!(
             s,
-            "full-space ranges: footprint x{:.1}, accesses x{:.1}",
+            "explored-space ranges: footprint x{:.1}, accesses x{:.1}",
             self.footprint_range_factor, self.access_range_factor
         );
         let _ = writeln!(s, "Pareto-optimal configurations: {}", self.pareto_count);
@@ -144,12 +144,12 @@ impl StudySummary {
         let _ = writeln!(s, "| feasible | {} |", self.feasible_configs);
         let _ = writeln!(
             s,
-            "| full-space footprint range | x{:.1} |",
+            "| explored-space footprint range | x{:.1} |",
             self.footprint_range_factor
         );
         let _ = writeln!(
             s,
-            "| full-space access range | x{:.1} |",
+            "| explored-space access range | x{:.1} |",
             self.access_range_factor
         );
         let _ = writeln!(

@@ -12,6 +12,7 @@ use dmx_trace::Trace;
 use crate::objective::Objective;
 use crate::param::ParamSpace;
 use crate::pareto::{pareto_front, ParetoSet};
+use crate::search::{SearchContext, SearchOutcome, SearchStrategy};
 
 /// One explored configuration with its measured metrics.
 #[derive(Debug, Clone)]
@@ -130,6 +131,27 @@ impl<'h> Explorer<'h> {
     pub fn run(&self, space: &ParamSpace, trace: &Trace) -> Exploration {
         let configs: Vec<AllocatorConfig> = space.iter_configs(self.hierarchy).collect();
         self.run_configs(configs, trace)
+    }
+
+    /// Explores `space` with a guided [`SearchStrategy`] (genetic,
+    /// hill-climbing, subsampled, or the exhaustive baseline), minimizing
+    /// `objectives`. The strategy evaluates through a memoized cache and
+    /// this explorer's worker-thread budget; see [`crate::search`].
+    pub fn search(
+        &self,
+        strategy: &dyn SearchStrategy,
+        space: &ParamSpace,
+        trace: &Trace,
+        objectives: &[Objective],
+    ) -> SearchOutcome {
+        let ctx = SearchContext {
+            space,
+            hierarchy: self.hierarchy,
+            trace,
+            objectives,
+            threads: self.threads,
+        };
+        strategy.search(&ctx)
     }
 
     /// Simulates an explicit list of configurations against `trace`.

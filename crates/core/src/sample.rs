@@ -6,46 +6,54 @@
 //! Sampling is deterministic in the seed, so subsampled studies stay
 //! reproducible.
 
+use std::collections::HashSet;
+
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use dmx_alloc::AllocatorConfig;
 use dmx_memhier::MemoryHierarchy;
 
 use crate::param::ParamSpace;
 
+/// Draws `n` distinct indices uniformly from `0..total` by rejection
+/// sampling (all of them, in order, if `n >= total`), returned sorted
+/// ascending. Deterministic in `seed`. Memory is O(n) — independent of
+/// `total`, so huge spaces can be subsampled cheaply.
+pub(crate) fn sample_indices(total: usize, n: usize, seed: u64) -> Vec<usize> {
+    if n >= total {
+        return (0..total).collect();
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5A3D_17E1);
+    let mut seen: HashSet<usize> = HashSet::with_capacity(n);
+    let mut picks: Vec<usize> = Vec::with_capacity(n);
+    while picks.len() < n {
+        let i = rng.gen_range(0..total);
+        if seen.insert(i) {
+            picks.push(i);
+        }
+    }
+    picks.sort_unstable();
+    picks
+}
+
 /// Draws `n` distinct configurations uniformly from `space`
 /// (all of them if `n >= space.len()`). Deterministic in `seed`.
+///
+/// Indices are drawn by rejection sampling and materialized by random
+/// access ([`ParamSpace::genome_at`]), so neither time nor memory is
+/// proportional to the full space size when `n` is small — the paper's
+/// "tens of thousands of configurations" subsample in microseconds.
 pub fn sample_configs(
     space: &ParamSpace,
     hierarchy: &MemoryHierarchy,
     n: usize,
     seed: u64,
 ) -> Vec<AllocatorConfig> {
-    let total = space.len();
-    if n >= total {
-        return space.iter_configs(hierarchy).collect();
-    }
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5A3D_17E1);
-    let mut picks: Vec<usize> = (0..total).collect();
-    picks.shuffle(&mut rng);
-    picks.truncate(n);
-    picks.sort_unstable();
-
-    let mut out = Vec::with_capacity(n);
-    let mut want = picks.iter().copied().peekable();
-    for (i, config) in space.iter_configs(hierarchy).enumerate() {
-        match want.peek() {
-            Some(&next) if next == i => {
-                out.push(config);
-                want.next();
-            }
-            Some(_) => {}
-            None => break,
-        }
-    }
-    out
+    sample_indices(space.len(), n, seed)
+        .into_iter()
+        .map(|i| space.config_at(hierarchy, &space.genome_at(i)))
+        .collect()
 }
 
 /// The 2-D hypervolume indicator of a point set (all objectives
@@ -81,11 +89,43 @@ pub fn hypervolume_2d(points: &[(u64, u64)], reference: (u64, u64)) -> u128 {
     volume
 }
 
+/// How much of the reference front's dominated area a candidate front
+/// recovers, in percent: `hypervolume(front) / hypervolume(full) × 100`,
+/// both measured against the same reference point (component-wise max
+/// over both sets, plus one). This is the "front coverage" number the
+/// `search_convergence` bench and the guided-search example report.
+///
+/// Returns 100.0 when the reference front has zero volume (e.g. a single
+/// point — nothing to recover).
+pub fn front_coverage_pct(front: &[(u64, u64)], full: &[(u64, u64)]) -> f64 {
+    let reference = (
+        full.iter().chain(front).map(|p| p.0).max().unwrap_or(0) + 1,
+        full.iter().chain(front).map(|p| p.1).max().unwrap_or(0) + 1,
+    );
+    let vf = hypervolume_2d(full, reference);
+    if vf == 0 {
+        return 100.0;
+    }
+    hypervolume_2d(front, reference) as f64 / vf as f64 * 100.0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::study::{easyport_space, StudyScale};
     use dmx_memhier::presets;
+
+    #[test]
+    fn coverage_pct_bounds() {
+        let full = vec![(2, 8), (6, 3)];
+        assert!((front_coverage_pct(&full, &full) - 100.0).abs() < 1e-9);
+        // A subset covers less; the empty front covers nothing.
+        let part = front_coverage_pct(&full[..1], &full);
+        assert!(part > 0.0 && part < 100.0, "{part}");
+        assert_eq!(front_coverage_pct(&[], &full), 0.0);
+        // Degenerate reference front: nothing to recover.
+        assert_eq!(front_coverage_pct(&[], &[]), 100.0);
+    }
 
     #[test]
     fn sample_is_deterministic_and_distinct() {
@@ -116,6 +156,16 @@ mod tests {
             .map(|c| c.label())
             .collect();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tiny_sample_from_huge_index_space_is_cheap() {
+        // Rejection sampling touches O(n) memory, so a space far too large
+        // to materialize samples instantly.
+        let picks = sample_indices(1 << 40, 5, 11);
+        assert_eq!(picks.len(), 5);
+        assert!(picks.windows(2).all(|w| w[0] < w[1]), "sorted + distinct");
+        assert_eq!(picks, sample_indices(1 << 40, 5, 11), "deterministic");
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! Sharded, memoized evaluation cache for guided search.
+//!
+//! Population-based strategies revisit configurations constantly — an
+//! elitist GA carries its front from generation to generation, and
+//! hill-climbing re-examines the neighborhood around every accepted move.
+//! The cache makes every revisit free: each *distinct* configuration is
+//! simulated exactly once per search run, keyed on its canonical
+//! [`Genome`]. Entries are `Arc`-shared so strategies can hold results
+//! without cloning metrics.
+//!
+//! The map is sharded (hash of the genome picks a shard, each behind its
+//! own mutex) so the parallel evaluation workers in
+//! [`crate::search::Evaluator`] do not serialize on one lock.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::param::Genome;
+use crate::runner::RunResult;
+
+/// Default shard count: enough to keep a machine's worth of evaluation
+/// workers from contending, cheap enough for tiny searches.
+const DEFAULT_SHARDS: usize = 16;
+
+/// A sharded genome → [`RunResult`] memo table.
+///
+/// Keys must be canonical genomes (see
+/// [`ParamSpace::canonicalize`](crate::ParamSpace::canonicalize)); the
+/// [`crate::search::Evaluator`] canonicalizes before every lookup so two
+/// genotypes denoting the same configuration share one entry.
+#[derive(Debug)]
+pub struct EvalCache {
+    shards: Vec<Mutex<HashMap<Genome, Arc<RunResult>>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EvalCache {
+    /// An empty cache with the default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// An empty cache with `shards` independent lock domains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        EvalCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard(&self, key: &Genome) -> &Mutex<HashMap<Genome, Arc<RunResult>>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks up a (canonical) genome, counting the hit or miss.
+    pub fn get(&self, key: &Genome) -> Option<Arc<RunResult>> {
+        let found = self.peek(key);
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Looks up a (canonical) genome without touching the hit/miss
+    /// counters — for collection passes over entries that were already
+    /// counted once.
+    pub fn peek(&self, key: &Genome) -> Option<Arc<RunResult>> {
+        self.shard(key)
+            .lock()
+            .expect("shard poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Counts an externally-detected hit: the evaluator calls this for a
+    /// duplicate inside one batch, which is served by the single
+    /// simulation its first occurrence scheduled.
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stores the evaluation of a (canonical) genome. Returns the stored
+    /// result — the existing one if another worker got there first, so all
+    /// callers agree on one `Arc` per configuration.
+    pub fn insert(&self, key: Genome, result: Arc<RunResult>) -> Arc<RunResult> {
+        self.shard(&key)
+            .lock()
+            .expect("shard poisoned")
+            .entry(key)
+            .or_insert(result)
+            .clone()
+    }
+
+    /// Number of distinct configurations evaluated so far.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").len())
+            .sum()
+    }
+
+    /// `true` if nothing has been evaluated yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from memory so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that required a simulation so far.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Every cached entry, sorted by genome so the order is deterministic
+    /// regardless of evaluation interleaving.
+    pub fn entries(&self) -> Vec<(Genome, Arc<RunResult>)> {
+        let mut all: Vec<(Genome, Arc<RunResult>)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("shard poisoned")
+                    .iter()
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_unstable_by_key(|(k, _)| *k);
+        all
+    }
+
+    /// Consumes the cache into its entries, sorted by genome. Unlike
+    /// [`Self::entries`] this drains the shards, so a caller holding the
+    /// only other reference can take results out of the `Arc`s without
+    /// cloning — the exhaustive sweep's result set is large enough that a
+    /// transient second copy would matter.
+    pub fn into_entries(self) -> Vec<(Genome, Arc<RunResult>)> {
+        let mut all: Vec<(Genome, Arc<RunResult>)> = self
+            .shards
+            .into_iter()
+            .flat_map(|s| s.into_inner().expect("shard poisoned"))
+            .collect();
+        all.sort_unstable_by_key(|(k, _)| *k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmx_alloc::{AllocatorConfig, SimMetrics};
+    use dmx_memhier::CounterSet;
+
+    fn dummy_result(label: &str) -> Arc<RunResult> {
+        Arc::new(RunResult {
+            config: AllocatorConfig { pools: vec![] },
+            label: label.to_owned(),
+            metrics: SimMetrics {
+                counters: CounterSet::new(1),
+                meta_counters: CounterSet::new(1),
+                footprint: 0,
+                footprint_per_level: vec![0],
+                energy_pj: 0,
+                cycles: 0,
+                allocs: 0,
+                frees: 0,
+                failures: 0,
+                peak_internal_frag: 0,
+                ops: 0,
+            },
+        })
+    }
+
+    #[test]
+    fn get_insert_roundtrip_and_counters() {
+        let cache = EvalCache::new();
+        let key = [1, 2, 3, 4, 5, 6, 7, 8];
+        assert!(cache.get(&key).is_none());
+        assert_eq!(cache.misses(), 1);
+        cache.insert(key, dummy_result("a"));
+        let hit = cache.get(&key).expect("cached");
+        assert_eq!(hit.label, "a");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn insert_keeps_first_entry() {
+        let cache = EvalCache::with_shards(2);
+        let key = [0; 8];
+        let first = cache.insert(key, dummy_result("first"));
+        let second = cache.insert(key, dummy_result("second"));
+        assert_eq!(first.label, "first");
+        assert_eq!(
+            second.label, "first",
+            "duplicate insert returns the original"
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn entries_are_sorted_by_genome() {
+        let cache = EvalCache::with_shards(4);
+        cache.insert([9, 0, 0, 0, 0, 0, 0, 0], dummy_result("z"));
+        cache.insert([1, 0, 0, 0, 0, 0, 0, 0], dummy_result("a"));
+        cache.insert([5, 0, 0, 0, 0, 0, 0, 0], dummy_result("m"));
+        let keys: Vec<usize> = cache.entries().iter().map(|(k, _)| k[0]).collect();
+        assert_eq!(keys, vec![1, 5, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = EvalCache::with_shards(0);
+    }
+}

@@ -1,0 +1,423 @@
+//! Guided exploration of the configuration space.
+//!
+//! The paper's spaces reach tens of thousands of configurations; an
+//! exhaustive sweep ([`crate::Explorer::run`]) scales linearly with the
+//! space while the Pareto front it is after stays tiny. This module adds
+//! *guided* search: strategies that decide which configurations to
+//! simulate next based on what they have already seen, unified behind one
+//! [`SearchStrategy`] trait so exhaustive, subsampled, genetic and
+//! hill-climbing exploration are interchangeable at every call site (CLI,
+//! studies, benches).
+//!
+//! The genotype is the existing 8-axis odometer index of the space
+//! ([`Genome`]): crossover and mutation are plain index arithmetic, and
+//! [`ParamSpace::genome_at`] / [`ParamSpace::config_at`] convert between
+//! index and configuration. All evaluations go through a shared, sharded
+//! [`EvalCache`], so revisits — the common case in GA populations — cost a
+//! hash lookup instead of a simulation, and each batch evaluates in
+//! parallel with the same worker pattern as the exhaustive runner.
+//!
+//! Every strategy is deterministic in its seed: same seed, same space,
+//! same trace → byte-identical results.
+//!
+//! # Example
+//!
+//! ```
+//! use dmx_core::search::{GeneticSearch, SearchStrategy};
+//! use dmx_core::{Explorer, Objective, ParamSpace};
+//! use dmx_memhier::presets;
+//! use dmx_trace::gen::{EasyportConfig, TraceGenerator};
+//! use dmx_trace::TraceStats;
+//!
+//! let hier = presets::sp64k_dram4m();
+//! let trace = EasyportConfig::small().generate(7);
+//! let stats = TraceStats::compute(&trace);
+//! let space = ParamSpace::suggest(&stats, &hier);
+//!
+//! let ga = GeneticSearch {
+//!     population: 16,
+//!     generations: 4,
+//!     ..GeneticSearch::default()
+//! };
+//! let outcome = Explorer::new(&hier).search(&ga, &space, &trace, &Objective::FIG1);
+//! assert!(!outcome.front.is_empty());
+//! // The GA simulated only a fraction of the space…
+//! assert!(outcome.evaluations <= space.len());
+//! // …and every result it reports really is a configuration of the space.
+//! assert_eq!(outcome.exploration.results.len(), outcome.evaluations);
+//! ```
+
+mod cache;
+mod genetic;
+mod hillclimb;
+
+pub use cache::EvalCache;
+pub use genetic::GeneticSearch;
+pub use hillclimb::HillClimbSearch;
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use dmx_alloc::Simulator;
+use dmx_memhier::MemoryHierarchy;
+use dmx_trace::Trace;
+
+use crate::objective::Objective;
+use crate::param::{Genome, ParamSpace};
+use crate::pareto::ParetoSet;
+use crate::runner::{Exploration, RunResult};
+use crate::sample::sample_indices;
+
+/// Everything a strategy needs to explore: the space, the platform, the
+/// workload, the objectives to optimize, and how many evaluation workers
+/// it may use.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchContext<'a> {
+    /// The parameter space under exploration.
+    pub space: &'a ParamSpace,
+    /// The platform the configurations are simulated on.
+    pub hierarchy: &'a MemoryHierarchy,
+    /// The workload trace every configuration replays.
+    pub trace: &'a Trace,
+    /// The objectives the search minimizes (also used for the outcome's
+    /// Pareto front).
+    pub objectives: &'a [Objective],
+    /// Worker threads for batch evaluation (≥ 1).
+    pub threads: usize,
+}
+
+/// What a search run produces.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Strategy name (for reports).
+    pub strategy: String,
+    /// Every *distinct* configuration the search simulated, in
+    /// deterministic (genome) order — a drop-in [`Exploration`] for the
+    /// existing reporting/export pipeline.
+    pub exploration: Exploration,
+    /// Distinct configurations simulated (the search's real cost).
+    pub evaluations: usize,
+    /// Evaluation requests served from the memo cache instead of the
+    /// simulator.
+    pub cache_hits: usize,
+    /// The Pareto front over everything evaluated, on the context's
+    /// objectives. Indices refer to `exploration.results`.
+    pub front: ParetoSet,
+}
+
+/// A pluggable exploration strategy over a [`ParamSpace`].
+///
+/// Implementations decide *which* configurations to simulate;
+/// [`Evaluator`] decides *how* (parallel, memoized). All four built-in
+/// strategies — [`ExhaustiveSearch`], [`SubsampleSearch`],
+/// [`GeneticSearch`], [`HillClimbSearch`] — are deterministic in their
+/// seed.
+///
+/// # Example
+///
+/// A trivial custom strategy that only looks at the first `n`
+/// configurations of the space:
+///
+/// ```
+/// use dmx_core::search::{SearchContext, SearchOutcome, SearchStrategy, Evaluator};
+/// use dmx_core::{Explorer, Objective, ParamSpace};
+/// use dmx_memhier::presets;
+/// use dmx_trace::gen::{EasyportConfig, TraceGenerator};
+/// use dmx_trace::TraceStats;
+///
+/// struct FirstN(usize);
+///
+/// impl SearchStrategy for FirstN {
+///     fn name(&self) -> &'static str {
+///         "first-n"
+///     }
+///     fn search(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+///         let evaluator = Evaluator::new(ctx);
+///         let genomes: Vec<_> = (0..self.0.min(ctx.space.len()))
+///             .map(|i| ctx.space.genome_at(i))
+///             .collect();
+///         evaluator.eval_batch(&genomes);
+///         evaluator.into_outcome(self.name(), ctx)
+///     }
+/// }
+///
+/// let hier = presets::sp64k_dram4m();
+/// let trace = EasyportConfig::small().generate(1);
+/// let stats = TraceStats::compute(&trace);
+/// let space = ParamSpace::suggest(&stats, &hier);
+/// let outcome = Explorer::new(&hier).search(&FirstN(5), &space, &trace, &Objective::FIG1);
+/// assert_eq!(outcome.evaluations, 5);
+/// ```
+pub trait SearchStrategy {
+    /// Short strategy name for reports ("exhaustive", "genetic", …).
+    fn name(&self) -> &'static str;
+
+    /// Runs the search over `ctx` and returns everything it evaluated
+    /// plus the resulting front.
+    fn search(&self, ctx: &SearchContext<'_>) -> SearchOutcome;
+}
+
+/// Memoized, parallel batch evaluator — the engine under every strategy.
+///
+/// Each [`Self::eval_batch`] call canonicalizes the genomes, simulates the
+/// not-yet-seen ones in parallel (the same scoped-worker pattern as
+/// [`crate::Explorer::run_configs`]), stores them in the shared
+/// [`EvalCache`], and returns one result per input genome in input order.
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    space: &'a ParamSpace,
+    hierarchy: &'a MemoryHierarchy,
+    trace: &'a Trace,
+    threads: usize,
+    cache: EvalCache,
+}
+
+impl<'a> Evaluator<'a> {
+    /// A fresh evaluator (empty cache) over the context's space, platform
+    /// and trace.
+    pub fn new(ctx: &SearchContext<'a>) -> Self {
+        Evaluator {
+            space: ctx.space,
+            hierarchy: ctx.hierarchy,
+            trace: ctx.trace,
+            threads: ctx.threads.max(1),
+            cache: EvalCache::new(),
+        }
+    }
+
+    /// Evaluates a batch of genomes, returning one shared result per
+    /// genome in input order. Already-seen configurations come out of the
+    /// cache; new ones are simulated in parallel.
+    pub fn eval_batch(&self, genomes: &[Genome]) -> Vec<Arc<RunResult>> {
+        let canonical: Vec<Genome> = genomes
+            .iter()
+            .map(|g| self.space.canonicalize(*g))
+            .collect();
+
+        // Collect the distinct genomes this batch sees for the first time.
+        // A duplicate of a genome already scheduled in this batch counts as
+        // a cache hit: one simulation serves both requests.
+        let mut fresh: Vec<Genome> = Vec::new();
+        let mut seen: HashSet<Genome> = HashSet::new();
+        for g in &canonical {
+            if seen.contains(g) {
+                self.cache.record_hit();
+            } else if self.cache.get(g).is_none() {
+                seen.insert(*g);
+                fresh.push(*g);
+            }
+        }
+
+        // Simulate the fresh ones with the shared worker pattern.
+        let n = fresh.len();
+        if n > 0 {
+            let next = AtomicUsize::new(0);
+            let sim = Simulator::new(self.hierarchy);
+            std::thread::scope(|scope| {
+                for _ in 0..self.threads.min(n) {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let genome = fresh[i];
+                        let config = self.space.config_at(self.hierarchy, &genome);
+                        let metrics = sim
+                            .run(&config, self.trace)
+                            .expect("space genomes materialize to valid configurations");
+                        let label = config.label();
+                        debug_assert_eq!(
+                            label,
+                            self.space.config_at(self.hierarchy, &genome).label(),
+                            "cache key must match the configuration it stores"
+                        );
+                        self.cache.insert(
+                            genome,
+                            Arc::new(RunResult {
+                                config,
+                                label,
+                                metrics,
+                            }),
+                        );
+                    });
+                }
+            });
+        }
+
+        canonical
+            .iter()
+            .map(|g| self.cache.peek(g).expect("batch member was just evaluated"))
+            .collect()
+    }
+
+    /// Distinct configurations simulated so far.
+    pub fn evaluations(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Read access to the memo cache (hit/miss counters, entries).
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
+    }
+
+    /// Consumes the evaluator into a [`SearchOutcome`]: every distinct
+    /// evaluated configuration in deterministic genome order, plus the
+    /// Pareto front on the context's objectives.
+    pub fn into_outcome(self, strategy: &str, ctx: &SearchContext<'_>) -> SearchOutcome {
+        let cache_hits = self.cache.hits();
+        let workload = self.trace.name().to_owned();
+        // Drain the cache; the strategies have dropped their batch results
+        // by now, so the `Arc`s are usually unique and the results move out
+        // without cloning.
+        let results: Vec<RunResult> = self
+            .cache
+            .into_entries()
+            .into_iter()
+            .map(|(_, r)| Arc::try_unwrap(r).unwrap_or_else(|shared| (*shared).clone()))
+            .collect();
+        let evaluations = results.len();
+        let exploration = Exploration { workload, results };
+        let front = exploration.pareto(ctx.objectives);
+        SearchOutcome {
+            strategy: strategy.to_owned(),
+            evaluations,
+            cache_hits,
+            exploration,
+            front,
+        }
+    }
+}
+
+/// The exhaustive baseline behind the [`SearchStrategy`] interface: every
+/// configuration of the space, evaluated once. Equivalent to
+/// [`crate::Explorer::run`] plus a Pareto pass, and useful as the
+/// reference when measuring how much of the front a guided strategy
+/// recovers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExhaustiveSearch;
+
+impl SearchStrategy for ExhaustiveSearch {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn search(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+        let evaluator = Evaluator::new(ctx);
+        let genomes: Vec<Genome> = (0..ctx.space.len())
+            .map(|i| ctx.space.genome_at(i))
+            .collect();
+        evaluator.eval_batch(&genomes);
+        evaluator.into_outcome(self.name(), ctx)
+    }
+}
+
+/// Uniform random subsampling behind the [`SearchStrategy`] interface:
+/// `n` distinct configurations drawn by rejection sampling (the same
+/// index stream as [`crate::sample_configs`]). Deterministic in `seed`.
+#[derive(Debug, Clone, Copy)]
+pub struct SubsampleSearch {
+    /// Number of distinct configurations to draw (clamped to the space).
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SearchStrategy for SubsampleSearch {
+    fn name(&self) -> &'static str {
+        "sample"
+    }
+
+    fn search(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+        let evaluator = Evaluator::new(ctx);
+        let genomes: Vec<Genome> = sample_indices(ctx.space.len(), self.n, self.seed)
+            .into_iter()
+            .map(|i| ctx.space.genome_at(i))
+            .collect();
+        evaluator.eval_batch(&genomes);
+        evaluator.into_outcome(self.name(), ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{easyport_space, easyport_trace, StudyScale};
+    use crate::Explorer;
+    use dmx_memhier::presets;
+
+    fn quick_ctx<'a>(
+        space: &'a ParamSpace,
+        hierarchy: &'a MemoryHierarchy,
+        trace: &'a Trace,
+    ) -> SearchContext<'a> {
+        SearchContext {
+            space,
+            hierarchy,
+            trace,
+            objectives: &Objective::FIG1,
+            threads: 4,
+        }
+    }
+
+    #[test]
+    fn exhaustive_search_matches_explorer_run() {
+        let hier = presets::sp64k_dram4m();
+        let space = easyport_space(&hier, StudyScale::Quick);
+        let trace = easyport_trace(StudyScale::Quick, 42);
+        let ctx = quick_ctx(&space, &hier, &trace);
+        let outcome = ExhaustiveSearch.search(&ctx);
+        assert_eq!(outcome.evaluations, space.len());
+        assert_eq!(outcome.exploration.results.len(), space.len());
+
+        // Same front as the classic exhaustive runner (indices may differ,
+        // the point sets must not).
+        let classic = Explorer::new(&hier).run(&space, &trace);
+        assert_eq!(
+            outcome.front.points,
+            classic.pareto(&Objective::FIG1).points
+        );
+    }
+
+    #[test]
+    fn evaluator_memoizes_repeats() {
+        let hier = presets::sp64k_dram4m();
+        let space = easyport_space(&hier, StudyScale::Quick);
+        let trace = easyport_trace(StudyScale::Quick, 42);
+        let ctx = quick_ctx(&space, &hier, &trace);
+        let evaluator = Evaluator::new(&ctx);
+        let g = space.genome_at(3);
+        let first = evaluator.eval_batch(&[g, g, g]);
+        assert_eq!(evaluator.evaluations(), 1, "one distinct genome, one sim");
+        let again = evaluator.eval_batch(&[g]);
+        assert_eq!(evaluator.evaluations(), 1);
+        assert!(Arc::ptr_eq(&first[0], &again[0]), "same shared entry");
+        assert_eq!(evaluator.cache().hits(), 3, "two in-batch + one re-request");
+    }
+
+    #[test]
+    fn subsample_search_is_deterministic() {
+        let hier = presets::sp64k_dram4m();
+        let space = easyport_space(&hier, StudyScale::Quick);
+        let trace = easyport_trace(StudyScale::Quick, 42);
+        let ctx = quick_ctx(&space, &hier, &trace);
+        let s = SubsampleSearch { n: 13, seed: 5 };
+        let a = s.search(&ctx);
+        let b = s.search(&ctx);
+        assert_eq!(a.evaluations, 13);
+        let la: Vec<&str> = a
+            .exploration
+            .results
+            .iter()
+            .map(|r| r.label.as_str())
+            .collect();
+        let lb: Vec<&str> = b
+            .exploration
+            .results
+            .iter()
+            .map(|r| r.label.as_str())
+            .collect();
+        assert_eq!(la, lb);
+        assert_eq!(a.front.points, b.front.points);
+    }
+}

@@ -17,6 +17,11 @@
 //! * [`RegionTable`] — carves each level's address space into disjoint
 //!   regions so every pool owns a placed, bounded address range.
 //!
+//!
+//! **Paper mapping:** the §2 platform model (64 KB scratchpad + 4 MB
+//! DRAM preset) whose per-level access counts become the energy and
+//! execution-time columns of Tables 2–3.
+//!
 //! # Example
 //!
 //! ```

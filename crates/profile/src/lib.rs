@@ -13,6 +13,10 @@
 //!   MB/s — benchmarked in `tab4_parse_speed`;
 //! * [`aggregate`] — grouping and best-per-metric selection helpers.
 //!
+//!
+//! **Paper mapping:** the §2 profiling step; the parse-throughput claim
+//! ("under 20 seconds") is reproduced by the `tab4_parse_speed` bench.
+//!
 //! # Example
 //!
 //! ```

@@ -17,6 +17,11 @@
 //!   proprietary; the generators reproduce the distributional properties
 //!   the paper reports (see `DESIGN.md` §2).
 //!
+//!
+//! **Paper mapping:** the §2 workloads — the Easyport generator behind
+//! Figure 1 / Table 2 and the MPEG-4 VTC generator behind Table 3 — plus
+//! the synthetic mixtures the ablation (`tab6_ablation`) sweeps.
+//!
 //! # Example
 //!
 //! ```

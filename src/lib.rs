@@ -11,8 +11,13 @@
 //! * [`memhier`] — the embedded memory-hierarchy (platform) model;
 //! * [`trace`] — allocation traces and workload generators;
 //! * [`profile`] — profiling-record format and its fast parser;
-//! * [`core`] — parameter-space enumeration, exploration, Pareto filtering
-//!   and reporting.
+//! * [`core`] — parameter-space enumeration, exhaustive and guided
+//!   exploration (genetic / hill-climbing search with a memoized
+//!   evaluation cache), Pareto filtering and reporting.
+//!
+//! For the end-to-end picture — how a trace flows through profiling,
+//! exploration, simulation and reporting, and where to extend the system —
+//! see `docs/ARCHITECTURE.md` at the repository root.
 
 pub use dmx_alloc as alloc;
 pub use dmx_core as core;

@@ -1,0 +1,152 @@
+//! Property tests for the guided-search layer: whatever a strategy does,
+//! its results must stay inside the space, be byte-identical across
+//! same-seed runs, and never get mismatched metrics out of the memoized
+//! evaluation cache.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use dmx_core::search::{
+    Evaluator, GeneticSearch, HillClimbSearch, SearchContext, SearchStrategy, SubsampleSearch,
+};
+use dmx_core::study::{easyport_space, easyport_trace, StudyScale};
+use dmx_core::{Explorer, Objective, ParamSpace};
+use dmx_memhier::MemoryHierarchy;
+use dmx_profile::records_to_string;
+use dmx_trace::Trace;
+
+/// One shared quick-scale fixture: an 80-configuration Easyport space.
+fn fixture() -> (MemoryHierarchy, ParamSpace, Trace) {
+    let hierarchy = dmx_memhier::presets::sp64k_dram4m();
+    let space = easyport_space(&hierarchy, StudyScale::Quick);
+    let trace = easyport_trace(StudyScale::Quick, 42);
+    (hierarchy, space, trace)
+}
+
+/// The label set of the whole space — membership oracle for "is a real
+/// configuration of this space".
+fn space_labels(space: &ParamSpace, hierarchy: &MemoryHierarchy) -> HashSet<String> {
+    space.iter_configs(hierarchy).map(|c| c.label()).collect()
+}
+
+fn strategies(seed: u64) -> Vec<Box<dyn SearchStrategy>> {
+    vec![
+        Box::new(GeneticSearch {
+            population: 8,
+            generations: 3,
+            seed,
+            ..GeneticSearch::default()
+        }),
+        Box::new(HillClimbSearch {
+            restarts: 3,
+            max_steps: 16,
+            seed,
+        }),
+        Box::new(SubsampleSearch { n: 11, seed }),
+    ]
+}
+
+proptest! {
+    // 4 cases keeps this suite from dominating the tier-1 wall clock; the
+    // only thing the cases vary is the seed, and 4 seeds × 3 strategies
+    // already exercise every code path.
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// Every configuration a guided strategy evaluates — front or not —
+    /// is a genuine member of the space it searched.
+    #[test]
+    fn search_results_are_a_subset_of_the_space(seed in 0u64..1000) {
+        let (hierarchy, space, trace) = fixture();
+        let labels = space_labels(&space, &hierarchy);
+        let explorer = Explorer::new(&hierarchy);
+        for strategy in strategies(seed) {
+            let outcome = explorer.search(strategy.as_ref(), &space, &trace, &Objective::FIG1);
+            prop_assert!(outcome.evaluations <= space.len());
+            prop_assert_eq!(outcome.exploration.results.len(), outcome.evaluations);
+            for r in &outcome.exploration.results {
+                prop_assert!(
+                    labels.contains(&r.label),
+                    "strategy {} evaluated `{}` which is not in the space",
+                    strategy.name(),
+                    r.label
+                );
+            }
+            // The front refers back into the evaluated set.
+            for &i in &outcome.front.indices {
+                prop_assert!(i < outcome.exploration.results.len());
+            }
+        }
+    }
+
+    /// Same seed, same strategy ⇒ byte-identical results, down to the
+    /// serialized profile records.
+    #[test]
+    fn search_is_byte_identical_across_runs(seed in 0u64..1000) {
+        let (hierarchy, space, trace) = fixture();
+        let explorer = Explorer::new(&hierarchy);
+        for strategy in strategies(seed) {
+            let a = explorer.search(strategy.as_ref(), &space, &trace, &Objective::FIG1);
+            let b = explorer.search(strategy.as_ref(), &space, &trace, &Objective::FIG1);
+            prop_assert_eq!(
+                records_to_string(&a.exploration.to_records()),
+                records_to_string(&b.exploration.to_records()),
+                "strategy {} is not reproducible for seed {}",
+                strategy.name(),
+                seed
+            );
+            prop_assert_eq!(a.front.points, b.front.points);
+            prop_assert_eq!(a.evaluations, b.evaluations);
+        }
+    }
+
+    /// The evaluation cache always hands back the metrics of exactly the
+    /// configuration that was asked for: for every cached genome, the
+    /// stored label equals the label of the config the genome
+    /// materializes to, and repeated requests return the same entry.
+    #[test]
+    fn eval_cache_never_mismatches_configs(
+        seed in 0u64..1000,
+        picks in prop::collection::vec(0usize..80, 1..24),
+    ) {
+        let (hierarchy, space, trace) = fixture();
+        let ctx = SearchContext {
+            space: &space,
+            hierarchy: &hierarchy,
+            trace: &trace,
+            objectives: &Objective::FIG1,
+            threads: 4,
+        };
+        let evaluator = Evaluator::new(&ctx);
+
+        // Random batch (with repeats) drawn from the space, plus a guided
+        // run's worth of traffic through the same evaluator.
+        let genomes: Vec<_> = picks.iter().map(|&i| space.genome_at(i % space.len())).collect();
+        let results = evaluator.eval_batch(&genomes);
+        for (genome, result) in genomes.iter().zip(&results) {
+            prop_assert_eq!(
+                &result.label,
+                &space.config_at(&hierarchy, genome).label(),
+                "cache returned metrics for a mismatched config"
+            );
+        }
+
+        // Second pass: everything is a hit, and the entries agree.
+        let before = evaluator.evaluations();
+        let again = evaluator.eval_batch(&genomes);
+        prop_assert_eq!(evaluator.evaluations(), before, "second pass must be all hits");
+        for (a, b) in results.iter().zip(&again) {
+            prop_assert!(std::sync::Arc::ptr_eq(a, b));
+        }
+
+        // And every entry in the cache keys back to its own config.
+        for (genome, result) in evaluator.cache().entries() {
+            prop_assert_eq!(
+                &result.label,
+                &space.config_at(&hierarchy, &genome).label(),
+                "cached entry mismatches its genome (seed {})",
+                seed
+            );
+        }
+    }
+}
