@@ -32,7 +32,7 @@ use dmx_trace::gen::{EasyportConfig, TraceGenerator};
 fn large_space(hierarchy: &dmx_memhier::MemoryHierarchy) -> ParamSpace {
     let base = easyport_space(hierarchy, StudyScale::Paper);
     ParamSpace {
-        general_levels: vec![hierarchy.fastest(), hierarchy.slowest()],
+        general_levels: vec![hierarchy.fastest().into(), hierarchy.slowest().into()],
         general_chunks: vec![1024, 2048, 4096, 8192],
         ..base
     }

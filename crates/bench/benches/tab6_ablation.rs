@@ -54,7 +54,7 @@ fn bench_ablation(c: &mut Criterion) {
         (
             "no scratchpad placement",
             ParamSpace {
-                placements: vec![PlacementStrategy::AllOn(hierarchy.slowest())],
+                placements: vec![PlacementStrategy::AllOn(hierarchy.slowest().into())],
                 ..full_space.clone()
             },
         ),
@@ -76,7 +76,7 @@ fn bench_ablation(c: &mut Criterion) {
             "single naive config",
             ParamSpace {
                 dedicated_size_sets: vec![vec![]],
-                placements: vec![PlacementStrategy::AllOn(hierarchy.slowest())],
+                placements: vec![PlacementStrategy::AllOn(hierarchy.slowest().into())],
                 fits: vec![FitPolicy::FirstFit],
                 orders: vec![FreeOrder::Lifo],
                 coalesces: vec![CoalescePolicy::Never],

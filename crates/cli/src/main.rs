@@ -6,10 +6,13 @@
 //! dmx gen-trace <easyport|vtc|synthetic> --out FILE [--seed N] [--paper]
 //! dmx profile   --trace FILE
 //! dmx explore   --trace FILE --out-records FILE [--csv FILE] [--gnuplot FILE]
-//!               [--json FILE]
+//!               [--json FILE] [--objectives footprint,accesses]
 //!               [--strategy exhaustive|sample|genetic|hillclimb]
 //!               [--generations N] [--population N] [--restarts N]
 //!               [--sample-n N] [--seed N]
+//! dmx explore   --suite NAME [--aggregate worst|mean|weighted] [--json FILE]
+//!               [--out-records FILE] [--objectives ...] [--strategy ...]
+//! dmx scenarios list [SUITE]
 //! dmx pareto    --records FILE [--objectives footprint,accesses]
 //! dmx report    --records FILE
 //! ```
@@ -17,17 +20,20 @@
 //! `explore` defaults to the exhaustive sweep; `--strategy
 //! genetic|hillclimb|sample` switches to guided search (see
 //! `dmx_core::search`), which recovers the Pareto front at a fraction of
-//! the simulations on large spaces. All strategies are deterministic in
-//! `--seed`.
+//! the simulations on large spaces. `--suite` switches to *robust*
+//! exploration: every configuration is evaluated across a whole scenario
+//! suite (see `dmx_core::scenario`) and the chosen strategy optimizes
+//! worst-case / mean / weighted aggregated objectives. All modes are
+//! deterministic in `--seed`.
 
 use std::fs;
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use dmx_core::export::{gnuplot_script, pareto_to_json, to_csv};
+use dmx_core::export::{gnuplot_script, pareto_to_json, robust_to_json, to_csv};
 use dmx_core::{
-    ExhaustiveSearch, Explorer, GeneticSearch, HillClimbSearch, Objective, ParamSpace,
-    SearchStrategy, StudySummary, SubsampleSearch,
+    Aggregate, ExhaustiveSearch, Explorer, GeneticSearch, HillClimbSearch, MultiScenarioEvaluator,
+    Objective, ParamSpace, ScenarioSuite, SearchStrategy, StudySummary, SubsampleSearch,
 };
 use dmx_memhier::presets;
 use dmx_profile::{parse_records, records_to_string, ProfileRecord};
@@ -64,10 +70,13 @@ const USAGE: &str = "usage:
   dmx gen-trace <easyport|vtc|synthetic> --out FILE [--seed N] [--paper]
   dmx profile   --trace FILE
   dmx explore   --trace FILE --out-records FILE [--csv FILE] [--gnuplot FILE]
-                [--json FILE]
+                [--json FILE] [--objectives footprint,accesses]
                 [--strategy exhaustive|sample|genetic|hillclimb]
                 [--generations N] [--population N] [--restarts N]
                 [--sample-n N] [--seed N]
+  dmx explore   --suite NAME [--aggregate worst|mean|weighted] [--json FILE]
+                [--out-records FILE] [--objectives ...] [--strategy ...] [--seed N]
+  dmx scenarios list [SUITE]
   dmx pareto    --records FILE [--objectives footprint,accesses,energy,cycles]
   dmx report    --records FILE
   dmx study     <easyport|vtc> [--seed N] [--paper]";
@@ -80,6 +89,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "gen-trace" => gen_trace(&rest),
         "profile" => profile(&rest),
         "explore" => explore(&rest),
+        "scenarios" => scenarios(&rest),
         "pareto" => pareto(&rest),
         "report" => report(&rest),
         "study" => study(&rest),
@@ -193,22 +203,18 @@ fn num_opt(rest: &[&String], flag: &str, default: usize) -> Result<usize, String
     }
 }
 
-fn explore(rest: &[&String]) -> Result<(), String> {
-    let trace = load_trace(rest)?;
-    let out_records = opt(rest, "--out-records").ok_or("missing --out-records FILE")?;
-    let hier = presets::sp64k_dram4m();
-    let stats = TraceStats::compute(&trace);
-    let space = ParamSpace::suggest(&stats, &hier);
-
-    let seed: u64 = opt(rest, "--seed")
-        .unwrap_or("42")
-        .parse()
-        .map_err(|_| "bad --seed")?;
+/// Builds the guided-search strategy from the common flags.
+/// `space_len` sizes the default subsample.
+fn build_strategy(
+    rest: &[&String],
+    seed: u64,
+    space_len: usize,
+) -> Result<Box<dyn SearchStrategy>, String> {
     let strategy_name = opt(rest, "--strategy").unwrap_or("exhaustive");
-    let strategy: Box<dyn SearchStrategy> = match strategy_name {
+    Ok(match strategy_name {
         "exhaustive" => Box::new(ExhaustiveSearch),
         "sample" => Box::new(SubsampleSearch {
-            n: num_opt(rest, "--sample-n", space.len().div_ceil(4))?,
+            n: num_opt(rest, "--sample-n", space_len.div_ceil(4))?,
             seed,
         }),
         "genetic" => Box::new(GeneticSearch {
@@ -223,7 +229,53 @@ fn explore(rest: &[&String]) -> Result<(), String> {
             ..HillClimbSearch::default()
         }),
         other => return Err(format!("unknown strategy `{other}`")),
-    };
+    })
+}
+
+/// The `--objectives` list (default: the paper's Figure-1 pair).
+fn objectives_opt(rest: &[&String]) -> Result<Vec<Objective>, String> {
+    match opt(rest, "--objectives") {
+        None => Ok(Objective::FIG1.to_vec()),
+        Some(spec) => parse_objectives(spec),
+    }
+}
+
+/// Gnuplot wants exactly two axes: the first two requested objectives, or
+/// the Figure-1 pair when fewer were given.
+fn objective_pair(objectives: &[Objective]) -> [Objective; 2] {
+    if objectives.len() >= 2 {
+        [objectives[0], objectives[1]]
+    } else {
+        Objective::FIG1
+    }
+}
+
+/// Looks a built-in suite up by name, listing the registry on failure.
+fn lookup_suite(name: &str) -> Result<ScenarioSuite, String> {
+    ScenarioSuite::builtin(name).ok_or_else(|| {
+        format!(
+            "unknown suite `{name}` (built-ins: {})",
+            dmx_core::scenario::suite::BUILTIN_SUITES.join(", ")
+        )
+    })
+}
+
+fn explore(rest: &[&String]) -> Result<(), String> {
+    if let Some(suite_name) = opt(rest, "--suite") {
+        return explore_suite(rest, suite_name);
+    }
+    let trace = load_trace(rest)?;
+    let out_records = opt(rest, "--out-records").ok_or("missing --out-records FILE")?;
+    let hier = presets::sp64k_dram4m();
+    let stats = TraceStats::compute(&trace);
+    let space = ParamSpace::suggest(&stats, &hier);
+    let objectives = objectives_opt(rest)?;
+
+    let seed: u64 = opt(rest, "--seed")
+        .unwrap_or("42")
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    let strategy = build_strategy(rest, seed, space.len())?;
 
     eprintln!(
         "exploring {} configurations over trace `{}` ({} events) with strategy `{}`...",
@@ -232,7 +284,7 @@ fn explore(rest: &[&String]) -> Result<(), String> {
         trace.len(),
         strategy.name(),
     );
-    let outcome = Explorer::new(&hier).search(strategy.as_ref(), &space, &trace, &Objective::FIG1);
+    let outcome = Explorer::new(&hier).search(strategy.as_ref(), &space, &trace, &objectives);
     eprintln!(
         "strategy `{}`: {} simulations for a space of {} ({} cache hits), {} Pareto points",
         outcome.strategy,
@@ -252,13 +304,14 @@ fn explore(rest: &[&String]) -> Result<(), String> {
         eprintln!("wrote CSV to {path}");
     }
     if let Some(path) = opt(rest, "--gnuplot") {
-        let front = exploration.pareto(&Objective::FIG1);
-        let script = gnuplot_script(&exploration, &front, Objective::FIG1, trace.name());
+        let pair = objective_pair(&objectives);
+        let front = exploration.pareto(&pair);
+        let script = gnuplot_script(&exploration, &front, pair, trace.name());
         fs::write(path, script).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote Gnuplot script to {path}");
     }
     if let Some(path) = opt(rest, "--json") {
-        let json = pareto_to_json(&exploration, &outcome.front, &Objective::FIG1);
+        let json = pareto_to_json(&exploration, &outcome.front, &objectives);
         fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote Pareto front JSON to {path}");
     }
@@ -270,16 +323,103 @@ fn explore(rest: &[&String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Robust exploration across a scenario suite (`dmx explore --suite`).
+fn explore_suite(rest: &[&String], suite_name: &str) -> Result<(), String> {
+    let suite = lookup_suite(suite_name)?;
+    let aggregate: Aggregate = opt(rest, "--aggregate").unwrap_or("worst").parse()?;
+    let objectives = objectives_opt(rest)?;
+    let seed: u64 = opt(rest, "--seed")
+        .unwrap_or("42")
+        .parse()
+        .map_err(|_| "bad --seed")?;
+
+    let evaluator = MultiScenarioEvaluator::new(&suite)
+        .with_aggregate(aggregate)
+        .with_objectives(&objectives)
+        .with_seed(seed);
+    // The shared space sizes strategy defaults; the evaluator memoizes
+    // the materialization, so this costs one trace-generation pass total,
+    // and handing the space back avoids deriving it a second time in run.
+    let space = evaluator.space();
+    let space_len = space.len();
+    let strategy = build_strategy(rest, seed, space_len)?;
+
+    eprintln!(
+        "robust exploration: suite `{}` ({} scenarios), {} configurations, strategy `{}`, aggregate `{}`...",
+        suite.name,
+        suite.scenarios.len(),
+        space_len,
+        strategy.name(),
+        aggregate,
+    );
+    let robust = evaluator.with_space(space).run(strategy.as_ref());
+    eprintln!(
+        "strategy `{}`: {} configurations evaluated ({} simulations, {} cache hits), robust front {}",
+        robust.outcome.strategy,
+        robust.outcome.evaluations,
+        robust.outcome.simulations,
+        robust.outcome.cache_hits,
+        robust.outcome.front.len(),
+    );
+
+    if let Some(path) = opt(rest, "--out-records") {
+        let records = robust.outcome.exploration.to_records();
+        fs::write(path, records_to_string(&records)).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {} robust records to {path}", records.len());
+    }
+    if let Some(path) = opt(rest, "--csv") {
+        fs::write(path, to_csv(&robust.outcome.exploration))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote robust CSV to {path}");
+    }
+    if let Some(path) = opt(rest, "--gnuplot") {
+        let pair = objective_pair(&objectives);
+        let front = robust.outcome.exploration.pareto(&pair);
+        let title = format!("robust[{}] {}", robust.aggregate, robust.suite);
+        let script = gnuplot_script(&robust.outcome.exploration, &front, pair, &title);
+        fs::write(path, script).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote robust Gnuplot script to {path}");
+    }
+    if let Some(path) = opt(rest, "--json") {
+        fs::write(path, robust_to_json(&robust)).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote robust + per-scenario fronts JSON to {path}");
+    }
+    let _ = write!(std::io::stdout(), "{}", robust.render());
+    Ok(())
+}
+
+/// `dmx scenarios list [SUITE]` — the built-in suite registry.
+fn scenarios(rest: &[&String]) -> Result<(), String> {
+    let action = rest.first().map(|s| s.as_str()).unwrap_or("list");
+    if action != "list" {
+        return Err(format!("unknown scenarios action `{action}` (try `list`)"));
+    }
+    let filter = rest.get(1).map(|s| s.as_str());
+    let suites: Vec<ScenarioSuite> = match filter {
+        None => ScenarioSuite::builtins(),
+        Some(name) => vec![lookup_suite(name)?],
+    };
+    for suite in &suites {
+        outln!("suite `{}` — {}", suite.name, suite.description);
+        for s in &suite.scenarios {
+            outln!(
+                "  {:<18} workload={:<11} platform={:<22} weight={:<4} constraints={}",
+                s.name,
+                s.workload.kind(),
+                s.platform.name(),
+                s.weight,
+                s.constraints.constraints().len()
+            );
+        }
+        outln!();
+    }
+    Ok(())
+}
+
 fn parse_objectives(spec: &str) -> Result<Vec<Objective>, String> {
-    spec.split(',')
-        .map(|name| match name.trim() {
-            "footprint" => Ok(Objective::Footprint),
-            "accesses" => Ok(Objective::Accesses),
-            "energy" => Ok(Objective::EnergyPj),
-            "cycles" | "time" => Ok(Objective::Cycles),
-            other => Err(format!("unknown objective `{other}`")),
-        })
-        .collect()
+    // `split(',')` yields at least one item, so an empty spec fails in
+    // `Objective::from_str` — the result is always non-empty.
+    spec.split(',').map(str::parse).collect()
 }
 
 fn extract(record: &ProfileRecord, objective: Objective) -> u64 {

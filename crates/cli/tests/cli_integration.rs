@@ -178,6 +178,158 @@ fn explore_guided_strategies() {
 }
 
 #[test]
+fn scenarios_list_shows_builtin_suites() {
+    let out = run_ok(dmx().args(["scenarios", "list"]));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for suite in ["embedded-mix", "network", "quick"] {
+        assert!(
+            text.contains(&format!("suite `{suite}`")),
+            "missing {suite}: {text}"
+        );
+    }
+    assert!(text.contains("easyport-bursty"));
+    assert!(text.contains("dram4m-only"));
+
+    // Filtered listing.
+    let out = run_ok(dmx().args(["scenarios", "list", "quick"]));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("suite `quick`"));
+    assert!(!text.contains("suite `network`"));
+
+    let out = dmx()
+        .args(["scenarios", "list", "nope"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown suite"));
+}
+
+#[test]
+fn explore_suite_exports_robust_and_per_scenario_fronts() {
+    let dir = tmpdir("suite");
+    let json = dir.join("robust.json");
+    let records = dir.join("robust.prof");
+    let out = run_ok(dmx().args([
+        "explore",
+        "--suite",
+        "quick",
+        "--strategy",
+        "genetic",
+        "--generations",
+        "2",
+        "--population",
+        "12",
+        "--aggregate",
+        "worst",
+        "--seed",
+        "7",
+        "--json",
+        json.to_str().unwrap(),
+        "--out-records",
+        records.to_str().unwrap(),
+    ]));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("robust front"), "{text}");
+    assert!(text.contains("per-scenario fronts"), "{text}");
+
+    // The JSON carries the robust front AND one front per scenario.
+    let exported = std::fs::read_to_string(&json).unwrap();
+    assert!(exported.contains("\"robust_front\""));
+    assert!(exported.contains("\"commonality\""));
+    assert_eq!(
+        exported.matches("\"name\":").count(),
+        4,
+        "quick suite has four scenario fronts: {exported}"
+    );
+
+    // Robust records feed the classic downstream tooling.
+    let out = run_ok(dmx().arg("pareto").arg("--records").arg(&records));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Pareto-optimal on"));
+
+    // Determinism: same seed, byte-identical export.
+    let json2 = dir.join("robust2.json");
+    run_ok(dmx().args([
+        "explore",
+        "--suite",
+        "quick",
+        "--strategy",
+        "genetic",
+        "--generations",
+        "2",
+        "--population",
+        "12",
+        "--aggregate",
+        "worst",
+        "--seed",
+        "7",
+        "--json",
+        json2.to_str().unwrap(),
+    ]));
+    assert_eq!(
+        std::fs::read(&json).unwrap(),
+        std::fs::read(&json2).unwrap(),
+        "same seed must reproduce identical robust JSON"
+    );
+
+    let out = dmx()
+        .args(["explore", "--suite", "quick", "--aggregate", "median"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown aggregate"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn explore_accepts_objective_lists() {
+    let dir = tmpdir("objectives");
+    let trace = dir.join("t.trace");
+    run_ok(
+        dmx()
+            .args(["gen-trace", "synthetic", "--seed", "3", "--out"])
+            .arg(&trace),
+    );
+    let records = dir.join("t.prof");
+    let json = dir.join("t.json");
+    run_ok(
+        dmx()
+            .arg("explore")
+            .arg("--trace")
+            .arg(&trace)
+            .arg("--out-records")
+            .arg(&records)
+            .arg("--json")
+            .arg(&json)
+            .args([
+                "--objectives",
+                "footprint,energy_pj",
+                "--strategy",
+                "sample",
+                "--sample-n",
+                "16",
+            ]),
+    );
+    let exported = std::fs::read_to_string(&json).unwrap();
+    assert!(exported.contains("\"energy_pj\""), "{exported}");
+    assert!(!exported.contains("\"accesses\""), "{exported}");
+
+    let out = dmx()
+        .arg("explore")
+        .arg("--trace")
+        .arg(&trace)
+        .arg("--out-records")
+        .arg(dir.join("x.prof"))
+        .args(["--objectives", "footprint,bogus"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown objective"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn study_subcommand_prints_summary() {
     let out = run_ok(dmx().args(["study", "vtc", "--seed", "5"]));
     let text = String::from_utf8_lossy(&out.stdout);

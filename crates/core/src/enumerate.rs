@@ -84,7 +84,7 @@ mod tests {
             orders: vec![FreeOrder::Lifo],
             coalesces: vec![CoalescePolicy::Never, CoalescePolicy::Immediate],
             splits: vec![SplitPolicy::Never],
-            general_levels: vec![hier.slowest()],
+            general_levels: vec![hier.slowest().into()],
             general_chunks: vec![4096],
         }
     }

@@ -159,6 +159,122 @@ pub fn pareto_to_json(
     s
 }
 
+/// Serializes one front as a JSON array (shared helper for the robust
+/// export): one object per point with the label, genome, and one field
+/// per objective.
+fn front_to_json(
+    exploration: &Exploration,
+    genomes: &[crate::Genome],
+    front: &ParetoSet,
+    objectives: &[Objective],
+    indent: &str,
+) -> String {
+    let mut s = String::from("[");
+    for (k, &i) in front.indices.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n{indent}  {{\"label\": \"{}\", \"genome\": {:?}",
+            json_escape(&exploration.results[i].label),
+            genomes[i].to_vec()
+        );
+        for (o, v) in objectives.iter().zip(&front.points[k]) {
+            let _ = write!(s, ", \"{}\": {v}", o.name());
+        }
+        s.push('}');
+    }
+    if !front.indices.is_empty() {
+        let _ = write!(s, "\n{indent}");
+    }
+    s.push(']');
+    s
+}
+
+/// Serializes a robust exploration as one JSON object: the robust front,
+/// every per-scenario front, cache/evaluation statistics, and the
+/// commonality report. Genomes identify configurations across scenarios
+/// (labels are per-platform). Hand-emitted like [`pareto_to_json`] — no
+/// serde.
+pub fn robust_to_json(robust: &crate::scenario::RobustOutcome) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"suite\": \"{}\",", json_escape(&robust.suite));
+    let _ = writeln!(s, "  \"aggregate\": \"{}\",", robust.aggregate);
+    let _ = writeln!(
+        s,
+        "  \"strategy\": \"{}\",",
+        json_escape(&robust.outcome.strategy)
+    );
+    let names: Vec<String> = robust
+        .objectives
+        .iter()
+        .map(|o| format!("\"{}\"", o.name()))
+        .collect();
+    let _ = writeln!(s, "  \"objectives\": [{}],", names.join(", "));
+    let _ = writeln!(s, "  \"space_size\": {},", robust.space.len());
+    let _ = writeln!(s, "  \"evaluations\": {},", robust.outcome.evaluations);
+    let _ = writeln!(s, "  \"simulations\": {},", robust.outcome.simulations);
+    let _ = writeln!(s, "  \"cache_hits\": {},", robust.outcome.cache_hits);
+    let _ = writeln!(
+        s,
+        "  \"robust_front\": {},",
+        front_to_json(
+            &robust.outcome.exploration,
+            &robust.outcome.genomes,
+            &robust.outcome.front,
+            &robust.objectives,
+            "  ",
+        )
+    );
+    s.push_str("  \"scenarios\": [");
+    for (k, sc) in robust.scenarios.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n    {{\"name\": \"{}\", \"front\": {}}}",
+            json_escape(&sc.name),
+            front_to_json(
+                &sc.exploration,
+                &robust.outcome.genomes,
+                &sc.front,
+                &robust.objectives,
+                "    ",
+            )
+        );
+    }
+    s.push_str("\n  ],\n");
+    s.push_str("  \"commonality\": {\"common\": [");
+    for (k, label) in robust.commonality.common.iter().enumerate() {
+        if k > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "\"{}\"", json_escape(label));
+    }
+    s.push_str("], \"rows\": [");
+    for (k, row) in robust.commonality.rows.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n    {{\"label\": \"{}\", \"genome\": {:?}, \"scenario_fronts\": {}, \"on_robust_front\": {}}}",
+            json_escape(&row.label),
+            row.genome.to_vec(),
+            row.scenario_front_count,
+            row.on_robust_front
+        );
+    }
+    if !robust.commonality.rows.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]}\n");
+    s.push_str("}\n");
+    s
+}
+
 /// Renders the Pareto front as a Markdown table.
 pub fn pareto_to_markdown(
     exploration: &Exploration,
@@ -207,7 +323,7 @@ mod tests {
             orders: vec![FreeOrder::Lifo],
             coalesces: vec![CoalescePolicy::Never],
             splits: vec![SplitPolicy::Never],
-            general_levels: vec![hier.slowest()],
+            general_levels: vec![hier.slowest().into()],
             general_chunks: vec![8192],
         };
         Explorer::new(&hier).with_threads(1).run(&space, &trace)
@@ -271,6 +387,28 @@ mod tests {
         // Balanced braces, one object per front point.
         assert_eq!(json.matches('{').count(), front.len());
         assert_eq!(json.matches('}').count(), front.len());
+    }
+
+    #[test]
+    fn robust_json_has_all_sections() {
+        let suite = crate::ScenarioSuite::builtin("quick").unwrap();
+        let robust = crate::MultiScenarioEvaluator::new(&suite)
+            .with_threads(4)
+            .run(&crate::SubsampleSearch { n: 10, seed: 2 });
+        let json = robust_to_json(&robust);
+        assert!(json.contains("\"suite\": \"quick\""));
+        assert!(json.contains("\"aggregate\": \"worst\""));
+        assert!(json.contains("\"robust_front\": ["));
+        assert_eq!(
+            json.matches("\"name\":").count(),
+            suite.scenarios.len(),
+            "one front per scenario"
+        );
+        assert!(json.contains("\"commonality\""));
+        assert!(json.contains("\"genome\": ["));
+        // Structural sanity: brackets and braces balance.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

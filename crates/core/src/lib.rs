@@ -17,7 +17,11 @@
 //! 4. **reports** the trade-off space the way the paper does: range
 //!    factors over the full space, the Pareto curve, and within-Pareto
 //!    improvement factors ([`StudySummary`]), plus CSV / Gnuplot exports
-//!    ([`export`]).
+//!    ([`export`]);
+//! 5. **checks robustness** across whole [`scenario`] suites — many
+//!    workloads × platforms at once, folded through worst-case / mean /
+//!    weighted aggregation into robust fronts plus per-scenario fronts
+//!    and a commonality report ([`MultiScenarioEvaluator`]).
 //!
 //! The two case studies of the paper are packaged in [`study`]:
 //! [`study::easyport_study`] (wireless network) and [`study::vtc_study`]
@@ -59,6 +63,7 @@ mod pareto;
 mod report;
 mod runner;
 mod sample;
+pub mod scenario;
 pub mod search;
 pub mod study;
 
@@ -71,6 +76,9 @@ pub use pareto::{dominates, knee_point, pareto_front, pareto_front_2d, ParetoSet
 pub use report::StudySummary;
 pub use runner::{Exploration, Explorer, RunResult};
 pub use sample::{front_coverage_pct, hypervolume_2d, sample_configs};
+pub use scenario::{
+    Aggregate, CommonalityReport, MultiScenarioEvaluator, RobustOutcome, Scenario, ScenarioSuite,
+};
 pub use search::{
     EvalCache, ExhaustiveSearch, GeneticSearch, HillClimbSearch, SearchOutcome, SearchStrategy,
     SubsampleSearch,

@@ -49,6 +49,25 @@ impl fmt::Display for Objective {
     }
 }
 
+impl std::str::FromStr for Objective {
+    type Err = String;
+
+    /// Parses an objective from its canonical [`Objective::name`] or the
+    /// short CLI aliases (`footprint`, `energy`, `time`). Round-trips with
+    /// [`fmt::Display`]: `o.to_string().parse() == Ok(o)`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "accesses" => Ok(Objective::Accesses),
+            "footprint" | "footprint_bytes" => Ok(Objective::Footprint),
+            "energy" | "energy_pj" => Ok(Objective::EnergyPj),
+            "cycles" | "time" => Ok(Objective::Cycles),
+            other => Err(format!(
+                "unknown objective `{other}` (expected footprint, accesses, energy, cycles)"
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +105,25 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(Objective::Footprint.to_string(), "footprint_bytes");
         assert_eq!(Objective::FIG1[1].name(), "accesses");
+    }
+
+    #[test]
+    fn display_from_str_round_trip() {
+        for o in [
+            Objective::Accesses,
+            Objective::Footprint,
+            Objective::EnergyPj,
+            Objective::Cycles,
+        ] {
+            assert_eq!(o.to_string().parse::<Objective>(), Ok(o));
+        }
+    }
+
+    #[test]
+    fn from_str_accepts_aliases_and_whitespace() {
+        assert_eq!("footprint".parse::<Objective>(), Ok(Objective::Footprint));
+        assert_eq!(" energy ".parse::<Objective>(), Ok(Objective::EnergyPj));
+        assert_eq!("time".parse::<Objective>(), Ok(Objective::Cycles));
+        assert!("frobs".parse::<Objective>().is_err());
     }
 }

@@ -3,7 +3,7 @@
 
 use dmx_alloc::{AllocatorConfig, CoalescePolicy, FitPolicy, FreeOrder, SplitPolicy};
 use dmx_alloc::{PoolKind, PoolSpec, Route};
-use dmx_memhier::{LevelId, MemoryHierarchy};
+use dmx_memhier::{LevelChoice, LevelId, MemoryHierarchy};
 use dmx_trace::TraceStats;
 
 use crate::enumerate::ConfigIter;
@@ -21,8 +21,11 @@ pub type Genome = [usize; 8];
 /// hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlacementStrategy {
-    /// Every dedicated pool on one fixed level.
-    AllOn(LevelId),
+    /// Every dedicated pool on one chosen level. [`LevelChoice::Fastest`]
+    /// and [`LevelChoice::Slowest`] resolve per hierarchy, so the same
+    /// space can be evaluated across platforms with different depths (the
+    /// scenario suites do exactly that).
+    AllOn(LevelChoice),
     /// Dedicated pools for blocks up to `max_size` bytes go on the fastest
     /// level (the scratchpad); larger ones on the slowest. This is the
     /// paper's example mapping: 74-byte pool on L1, 1500-byte pool on main
@@ -37,7 +40,7 @@ impl PlacementStrategy {
     /// The level a dedicated pool for `size`-byte blocks is placed on.
     pub fn level_for(&self, size: u32, hierarchy: &MemoryHierarchy) -> LevelId {
         match *self {
-            PlacementStrategy::AllOn(level) => level,
+            PlacementStrategy::AllOn(level) => level.resolve(hierarchy),
             PlacementStrategy::SmallOnFastest { max_size } => {
                 if size <= max_size {
                     hierarchy.fastest()
@@ -51,7 +54,7 @@ impl PlacementStrategy {
     /// Short label for configuration strings.
     pub fn tag(&self) -> String {
         match *self {
-            PlacementStrategy::AllOn(level) => format!("all@{level}"),
+            PlacementStrategy::AllOn(level) => format!("all@{}", level.tag()),
             PlacementStrategy::SmallOnFastest { max_size } => format!("sp<={max_size}"),
         }
     }
@@ -100,8 +103,10 @@ pub struct ParamSpace {
     pub coalesces: Vec<CoalescePolicy>,
     /// Split policies for the general pool.
     pub splits: Vec<SplitPolicy>,
-    /// Levels the general pool may be placed on.
-    pub general_levels: Vec<LevelId>,
+    /// Levels the general pool may be placed on (resolved per hierarchy,
+    /// so relative choices like [`LevelChoice::Slowest`] work across
+    /// platforms).
+    pub general_levels: Vec<LevelChoice>,
     /// Growth-chunk sizes (bytes) for the general pool.
     pub general_chunks: Vec<u64>,
 }
@@ -223,7 +228,7 @@ impl ParamSpace {
         let order = self.orders[genome[3]];
         let coalesce = self.coalesces[genome[4]];
         let split = self.splits[genome[5]];
-        let general_level = self.general_levels[genome[6]];
+        let general_level = self.general_levels[genome[6]].resolve(hierarchy);
         let chunk = self.general_chunks[genome[7]];
 
         let mut pools: Vec<PoolSpec> = sizes
@@ -276,7 +281,7 @@ impl ParamSpace {
         ParamSpace {
             dedicated_size_sets,
             placements: vec![
-                PlacementStrategy::AllOn(hierarchy.slowest()),
+                PlacementStrategy::AllOn(LevelChoice::Slowest),
                 PlacementStrategy::SmallOnFastest {
                     max_size: scratchpad_cutoff,
                 },
@@ -285,7 +290,7 @@ impl ParamSpace {
             orders: FreeOrder::ALL.to_vec(),
             coalesces: CoalescePolicy::COMMON.to_vec(),
             splits: SplitPolicy::COMMON.to_vec(),
-            general_levels: vec![hierarchy.slowest()],
+            general_levels: vec![LevelChoice::Slowest],
             general_chunks: vec![8192],
         }
     }
@@ -300,7 +305,7 @@ mod tests {
     #[test]
     fn placement_strategies_map_sizes() {
         let hier = presets::sp64k_dram4m();
-        let all_main = PlacementStrategy::AllOn(hier.slowest());
+        let all_main = PlacementStrategy::AllOn(LevelChoice::Fixed(hier.slowest()));
         assert_eq!(all_main.level_for(74, &hier), hier.slowest());
         let smart = PlacementStrategy::SmallOnFastest { max_size: 512 };
         assert_eq!(smart.level_for(74, &hier), hier.fastest());
@@ -393,10 +398,35 @@ mod tests {
 
     #[test]
     fn placement_tags() {
-        assert_eq!(PlacementStrategy::AllOn(LevelId(1)).tag(), "all@L1");
+        assert_eq!(
+            PlacementStrategy::AllOn(LevelChoice::Fixed(LevelId(1))).tag(),
+            "all@L1"
+        );
+        assert_eq!(
+            PlacementStrategy::AllOn(LevelChoice::Slowest).tag(),
+            "all@slowest"
+        );
         assert_eq!(
             PlacementStrategy::SmallOnFastest { max_size: 512 }.tag(),
             "sp<=512"
         );
+    }
+
+    #[test]
+    fn relative_levels_materialize_on_any_depth() {
+        // The same space must be valid on a 1-level and a 2-level platform:
+        // relative choices resolve per hierarchy.
+        let two = presets::sp64k_dram4m();
+        let one = presets::dram_only_4m();
+        let trace = EasyportConfig::small().generate(9);
+        let stats = dmx_trace::TraceStats::compute(&trace);
+        let space = ParamSpace::suggest(&stats, &two);
+        for hier in [&two, &one] {
+            let g = space.genome_at(space.len() - 1);
+            let config = space.config_at(hier, &g);
+            // The general pool landed on the platform's own slowest level.
+            let general = config.pools.last().expect("general pool present");
+            assert_eq!(general.level, hier.slowest());
+        }
     }
 }

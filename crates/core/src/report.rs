@@ -218,14 +218,14 @@ mod tests {
         let space = ParamSpace {
             dedicated_size_sets: vec![vec![], vec![28, 74]],
             placements: vec![
-                PlacementStrategy::AllOn(hier.slowest()),
+                PlacementStrategy::AllOn(hier.slowest().into()),
                 PlacementStrategy::SmallOnFastest { max_size: 512 },
             ],
             fits: vec![FitPolicy::FirstFit, FitPolicy::BestFit],
             orders: vec![FreeOrder::Lifo, FreeOrder::Fifo],
             coalesces: vec![CoalescePolicy::Never, CoalescePolicy::Immediate],
             splits: vec![SplitPolicy::MinRemainder(16)],
-            general_levels: vec![hier.slowest()],
+            general_levels: vec![hier.slowest().into()],
             general_chunks: vec![8192],
         };
         Explorer::new(&hier).run(&space, &trace)

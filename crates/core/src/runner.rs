@@ -12,7 +12,7 @@ use dmx_trace::Trace;
 use crate::objective::Objective;
 use crate::param::ParamSpace;
 use crate::pareto::{pareto_front, ParetoSet};
-use crate::search::{SearchContext, SearchOutcome, SearchStrategy};
+use crate::search::{EvalInstance, SearchContext, SearchOutcome, SearchStrategy};
 
 /// One explored configuration with its measured metrics.
 #[derive(Debug, Clone)]
@@ -144,10 +144,11 @@ impl<'h> Explorer<'h> {
         trace: &Trace,
         objectives: &[Objective],
     ) -> SearchOutcome {
+        let instance = EvalInstance::single(self.hierarchy, trace);
         let ctx = SearchContext {
             space,
-            hierarchy: self.hierarchy,
-            trace,
+            instances: std::slice::from_ref(&instance),
+            aggregate: None,
             objectives,
             threads: self.threads,
         };
@@ -218,14 +219,14 @@ mod tests {
         ParamSpace {
             dedicated_size_sets: vec![vec![], vec![28, 74]],
             placements: vec![
-                PlacementStrategy::AllOn(hier.slowest()),
+                PlacementStrategy::AllOn(hier.slowest().into()),
                 PlacementStrategy::SmallOnFastest { max_size: 512 },
             ],
             fits: vec![FitPolicy::FirstFit, FitPolicy::BestFit],
             orders: vec![FreeOrder::Lifo],
             coalesces: vec![CoalescePolicy::Never, CoalescePolicy::Immediate],
             splits: vec![SplitPolicy::MinRemainder(16)],
-            general_levels: vec![hier.slowest()],
+            general_levels: vec![hier.slowest().into()],
             general_chunks: vec![8192],
         }
     }

@@ -1,0 +1,271 @@
+//! Folding per-scenario metrics into one robust objective vector.
+//!
+//! Robust exploration asks "how good is this configuration across *all*
+//! scenarios", so every objective must be reduced from one value per
+//! scenario to a single number. The three classical policies are provided:
+//! worst case (minimax — the embedded-systems default, since the device
+//! must survive its hardest workload), mean, and weighted mean (when the
+//! deployment mix is known). All three are monotone per component, which
+//! is what makes robust Pareto filtering sound: a configuration dominated
+//! in every scenario can never enter the robust front.
+
+use std::fmt;
+
+use dmx_alloc::SimMetrics;
+use dmx_memhier::{CounterSet, LevelId};
+
+/// How per-scenario objective values fold into one robust value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum Aggregate {
+    /// The maximum over scenarios (minimax robustness). The default.
+    #[default]
+    WorstCase,
+    /// The arithmetic mean over scenarios (rounded to nearest).
+    Mean,
+    /// The scenario-weight-weighted mean (weights from the suite, rounded
+    /// to nearest).
+    Weighted,
+}
+
+impl Aggregate {
+    /// Folds one value per scenario into the robust value. `weights` must
+    /// be parallel to `values` and strictly positive; only [`Weighted`]
+    /// reads them.
+    ///
+    /// [`Weighted`]: Aggregate::Weighted
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or the lengths differ.
+    pub fn fold(self, values: &[u64], weights: &[f64]) -> u64 {
+        assert!(!values.is_empty(), "nothing to aggregate");
+        assert_eq!(values.len(), weights.len(), "one weight per scenario");
+        match self {
+            Aggregate::WorstCase => *values.iter().max().expect("non-empty"),
+            Aggregate::Mean => {
+                let n = values.len() as u128;
+                let sum: u128 = values.iter().map(|&v| u128::from(v)).sum();
+                ((sum + n / 2) / n) as u64
+            }
+            Aggregate::Weighted => {
+                let total: f64 = weights.iter().sum();
+                assert!(total > 0.0, "weights must sum to a positive value");
+                let blended: f64 = values
+                    .iter()
+                    .zip(weights)
+                    .map(|(&v, &w)| v as f64 * w)
+                    .sum::<f64>()
+                    / total;
+                blended.round() as u64
+            }
+        }
+    }
+
+    /// Canonical name (round-trips through [`std::str::FromStr`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Aggregate::WorstCase => "worst",
+            Aggregate::Mean => "mean",
+            Aggregate::Weighted => "weighted",
+        }
+    }
+}
+
+impl fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Aggregate {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "worst" | "worst-case" | "worstcase" | "max" => Ok(Aggregate::WorstCase),
+            "mean" | "avg" | "average" => Ok(Aggregate::Mean),
+            "weighted" => Ok(Aggregate::Weighted),
+            other => Err(format!(
+                "unknown aggregate `{other}` (expected worst, mean, weighted)"
+            )),
+        }
+    }
+}
+
+/// One scenario's contribution to a robust evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioMetrics<'a> {
+    /// The metrics the configuration measured on this scenario.
+    pub metrics: &'a SimMetrics,
+    /// The scenario's weight in [`Aggregate::Weighted`] folds.
+    pub weight: f64,
+    /// `false` if the scenario's constraints reject this configuration —
+    /// it is then treated like an allocation failure (robust-infeasible).
+    pub admissible: bool,
+}
+
+/// Folds per-scenario metrics into one *robust* [`SimMetrics`].
+///
+/// The objective-bearing scalars (footprint, energy, cycles, and the
+/// access totals) are folded **exactly** — `Objective::extract` on the
+/// result equals the fold of `Objective::extract` over the scenarios —
+/// which is what the monotonicity guarantee rests on. The per-level
+/// breakdown of a robust result is intentionally degenerate (one
+/// synthetic level): levels are not comparable across platforms, so a
+/// robust record carries totals only. `failures` is the *sum* over
+/// scenarios plus one per inadmissible scenario, so a robust result is
+/// feasible iff the configuration is feasible and admissible everywhere.
+///
+/// # Panics
+///
+/// Panics if `parts` is empty.
+pub fn aggregate_metrics(aggregate: Aggregate, parts: &[ScenarioMetrics<'_>]) -> SimMetrics {
+    assert!(!parts.is_empty(), "nothing to aggregate");
+    let weights: Vec<f64> = parts.iter().map(|p| p.weight).collect();
+    let fold = |pick: fn(&SimMetrics) -> u64| -> u64 {
+        let values: Vec<u64> = parts.iter().map(|p| pick(p.metrics)).collect();
+        aggregate.fold(&values, &weights)
+    };
+
+    let accesses = fold(|m| m.counters.total_accesses());
+    let meta_accesses = fold(|m| m.meta_counters.total_accesses());
+    let mut counters = CounterSet::new(1);
+    counters.record_reads(LevelId(0), accesses);
+    let mut meta_counters = CounterSet::new(1);
+    meta_counters.record_reads(LevelId(0), meta_accesses);
+
+    let footprint = fold(|m| m.footprint);
+    let failures = parts
+        .iter()
+        .map(|p| p.metrics.failures + u64::from(!p.admissible))
+        .sum();
+
+    SimMetrics {
+        counters,
+        meta_counters,
+        footprint,
+        footprint_per_level: vec![footprint],
+        energy_pj: fold(|m| m.energy_pj),
+        cycles: fold(|m| m.cycles),
+        allocs: fold(|m| m.allocs),
+        frees: fold(|m| m.frees),
+        failures,
+        peak_internal_frag: fold(|m| m.peak_internal_frag),
+        ops: fold(|m| m.ops),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::Objective;
+
+    fn metrics(footprint: u64, accesses: u64, energy: u64, cycles: u64) -> SimMetrics {
+        let mut counters = CounterSet::new(2);
+        counters.record_reads(LevelId(0), accesses / 2);
+        counters.record_writes(LevelId(1), accesses - accesses / 2);
+        SimMetrics {
+            counters,
+            meta_counters: CounterSet::new(2),
+            footprint,
+            footprint_per_level: vec![footprint, 0],
+            energy_pj: energy,
+            cycles,
+            allocs: 10,
+            frees: 10,
+            failures: 0,
+            peak_internal_frag: 3,
+            ops: 20,
+        }
+    }
+
+    #[test]
+    fn folds_match_their_definitions() {
+        let values = [10, 30, 20];
+        let weights = [1.0, 1.0, 2.0];
+        assert_eq!(Aggregate::WorstCase.fold(&values, &weights), 30);
+        assert_eq!(Aggregate::Mean.fold(&values, &weights), 20);
+        // (10 + 30 + 2*20) / 4 = 20
+        assert_eq!(Aggregate::Weighted.fold(&values, &weights), 20);
+    }
+
+    #[test]
+    fn name_from_str_round_trip() {
+        for a in [Aggregate::WorstCase, Aggregate::Mean, Aggregate::Weighted] {
+            assert_eq!(a.to_string().parse::<Aggregate>(), Ok(a));
+        }
+        assert_eq!("worst-case".parse::<Aggregate>(), Ok(Aggregate::WorstCase));
+        assert!("median".parse::<Aggregate>().is_err());
+    }
+
+    #[test]
+    fn worst_case_is_exact_on_every_objective() {
+        let a = metrics(100, 1000, 50, 70);
+        let b = metrics(300, 400, 90, 10);
+        let parts = [
+            ScenarioMetrics {
+                metrics: &a,
+                weight: 1.0,
+                admissible: true,
+            },
+            ScenarioMetrics {
+                metrics: &b,
+                weight: 1.0,
+                admissible: true,
+            },
+        ];
+        let robust = aggregate_metrics(Aggregate::WorstCase, &parts);
+        assert_eq!(Objective::Footprint.extract(&robust), 300);
+        assert_eq!(Objective::Accesses.extract(&robust), 1000);
+        assert_eq!(Objective::EnergyPj.extract(&robust), 90);
+        assert_eq!(Objective::Cycles.extract(&robust), 70);
+        assert!(robust.feasible());
+    }
+
+    #[test]
+    fn mean_rounds_to_nearest() {
+        let a = metrics(1, 1, 1, 1);
+        let b = metrics(2, 2, 2, 2);
+        let parts = [
+            ScenarioMetrics {
+                metrics: &a,
+                weight: 1.0,
+                admissible: true,
+            },
+            ScenarioMetrics {
+                metrics: &b,
+                weight: 1.0,
+                admissible: true,
+            },
+        ];
+        let robust = aggregate_metrics(Aggregate::Mean, &parts);
+        // (1 + 2 + 1) / 2 = 2 with round-half-up integer arithmetic.
+        assert_eq!(robust.footprint, 2);
+    }
+
+    #[test]
+    fn inadmissible_scenario_makes_the_robust_result_infeasible() {
+        let a = metrics(1, 1, 1, 1);
+        let parts = [
+            ScenarioMetrics {
+                metrics: &a,
+                weight: 1.0,
+                admissible: true,
+            },
+            ScenarioMetrics {
+                metrics: &a,
+                weight: 1.0,
+                admissible: false,
+            },
+        ];
+        let robust = aggregate_metrics(Aggregate::WorstCase, &parts);
+        assert!(!robust.feasible());
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to aggregate")]
+    fn empty_parts_rejected() {
+        let _ = aggregate_metrics(Aggregate::Mean, &[]);
+    }
+}

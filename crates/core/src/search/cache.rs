@@ -4,12 +4,16 @@
 //! elitist GA carries its front from generation to generation, and
 //! hill-climbing re-examines the neighborhood around every accepted move.
 //! The cache makes every revisit free: each *distinct* configuration is
-//! simulated exactly once per search run, keyed on its canonical
-//! [`Genome`]. Entries are `Arc`-shared so strategies can hold results
+//! simulated exactly once per workload, keyed on the **(workload id,
+//! canonical [`Genome`])** pair. The workload half of the key matters: a
+//! genome measures completely different metrics on different traces or
+//! platforms, so a cache shared across scenarios (the multi-scenario
+//! evaluator does exactly that) must never serve one scenario's result to
+//! another. Entries are `Arc`-shared so strategies can hold results
 //! without cloning metrics.
 //!
-//! The map is sharded (hash of the genome picks a shard, each behind its
-//! own mutex) so the parallel evaluation workers in
+//! The map is sharded (hash of the key picks a shard, each behind its own
+//! mutex) so the parallel evaluation workers in
 //! [`crate::search::Evaluator`] do not serialize on one lock.
 
 use std::collections::HashMap;
@@ -20,19 +24,25 @@ use std::sync::{Arc, Mutex};
 use crate::param::Genome;
 use crate::runner::RunResult;
 
+/// A cache key: which workload/scenario the evaluation ran on, and which
+/// configuration it measured.
+pub type EvalKey = (u64, Genome);
+
 /// Default shard count: enough to keep a machine's worth of evaluation
 /// workers from contending, cheap enough for tiny searches.
 const DEFAULT_SHARDS: usize = 16;
 
-/// A sharded genome → [`RunResult`] memo table.
+/// A sharded (workload id, genome) → [`RunResult`] memo table.
 ///
-/// Keys must be canonical genomes (see
+/// Genomes must be canonical (see
 /// [`ParamSpace::canonicalize`](crate::ParamSpace::canonicalize)); the
 /// [`crate::search::Evaluator`] canonicalizes before every lookup so two
-/// genotypes denoting the same configuration share one entry.
+/// genotypes denoting the same configuration share one entry. Workload
+/// ids come from [`crate::search::workload_key`] (or a scenario's id) so
+/// two different traces/hierarchies can never collide on one entry.
 #[derive(Debug)]
 pub struct EvalCache {
-    shards: Vec<Mutex<HashMap<Genome, Arc<RunResult>>>>,
+    shards: Vec<Mutex<HashMap<EvalKey, Arc<RunResult>>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -63,15 +73,16 @@ impl EvalCache {
         }
     }
 
-    fn shard(&self, key: &Genome) -> &Mutex<HashMap<Genome, Arc<RunResult>>> {
+    fn shard(&self, key: &EvalKey) -> &Mutex<HashMap<EvalKey, Arc<RunResult>>> {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut hasher);
         &self.shards[(hasher.finish() as usize) % self.shards.len()]
     }
 
-    /// Looks up a (canonical) genome, counting the hit or miss.
-    pub fn get(&self, key: &Genome) -> Option<Arc<RunResult>> {
-        let found = self.peek(key);
+    /// Looks up a (canonical) genome evaluated on workload `id`, counting
+    /// the hit or miss.
+    pub fn get(&self, id: u64, genome: &Genome) -> Option<Arc<RunResult>> {
+        let found = self.peek(id, genome);
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -79,14 +90,15 @@ impl EvalCache {
         found
     }
 
-    /// Looks up a (canonical) genome without touching the hit/miss
-    /// counters — for collection passes over entries that were already
-    /// counted once.
-    pub fn peek(&self, key: &Genome) -> Option<Arc<RunResult>> {
-        self.shard(key)
+    /// Looks up a (canonical) genome on workload `id` without touching the
+    /// hit/miss counters — for collection passes over entries that were
+    /// already counted once.
+    pub fn peek(&self, id: u64, genome: &Genome) -> Option<Arc<RunResult>> {
+        let key = (id, *genome);
+        self.shard(&key)
             .lock()
             .expect("shard poisoned")
-            .get(key)
+            .get(&key)
             .cloned()
     }
 
@@ -97,10 +109,17 @@ impl EvalCache {
         self.hits.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Stores the evaluation of a (canonical) genome. Returns the stored
-    /// result — the existing one if another worker got there first, so all
-    /// callers agree on one `Arc` per configuration.
-    pub fn insert(&self, key: Genome, result: Arc<RunResult>) -> Arc<RunResult> {
+    /// Counts an externally-detected miss — the evaluator's batch planner
+    /// looks entries up via [`Self::peek`] and reports the verdict here.
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stores the evaluation of a (canonical) genome on workload `id`.
+    /// Returns the stored result — the existing one if another worker got
+    /// there first, so all callers agree on one `Arc` per configuration.
+    pub fn insert(&self, id: u64, genome: Genome, result: Arc<RunResult>) -> Arc<RunResult> {
+        let key = (id, genome);
         self.shard(&key)
             .lock()
             .expect("shard poisoned")
@@ -109,7 +128,7 @@ impl EvalCache {
             .clone()
     }
 
-    /// Number of distinct configurations evaluated so far.
+    /// Number of distinct (workload, configuration) evaluations so far.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
@@ -132,10 +151,10 @@ impl EvalCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Every cached entry, sorted by genome so the order is deterministic
-    /// regardless of evaluation interleaving.
-    pub fn entries(&self) -> Vec<(Genome, Arc<RunResult>)> {
-        let mut all: Vec<(Genome, Arc<RunResult>)> = self
+    /// Every cached entry, sorted by (workload id, genome) so the order is
+    /// deterministic regardless of evaluation interleaving.
+    pub fn entries(&self) -> Vec<(EvalKey, Arc<RunResult>)> {
+        let mut all: Vec<(EvalKey, Arc<RunResult>)> = self
             .shards
             .iter()
             .flat_map(|s| {
@@ -150,13 +169,13 @@ impl EvalCache {
         all
     }
 
-    /// Consumes the cache into its entries, sorted by genome. Unlike
-    /// [`Self::entries`] this drains the shards, so a caller holding the
-    /// only other reference can take results out of the `Arc`s without
-    /// cloning — the exhaustive sweep's result set is large enough that a
-    /// transient second copy would matter.
-    pub fn into_entries(self) -> Vec<(Genome, Arc<RunResult>)> {
-        let mut all: Vec<(Genome, Arc<RunResult>)> = self
+    /// Consumes the cache into its entries, sorted by (workload id,
+    /// genome). Unlike [`Self::entries`] this drains the shards, so a
+    /// caller holding the only other reference can take results out of the
+    /// `Arc`s without cloning — the exhaustive sweep's result set is large
+    /// enough that a transient second copy would matter.
+    pub fn into_entries(self) -> Vec<(EvalKey, Arc<RunResult>)> {
+        let mut all: Vec<(EvalKey, Arc<RunResult>)> = self
             .shards
             .into_iter()
             .flat_map(|s| s.into_inner().expect("shard poisoned"))
@@ -172,15 +191,15 @@ mod tests {
     use dmx_alloc::{AllocatorConfig, SimMetrics};
     use dmx_memhier::CounterSet;
 
-    fn dummy_result(label: &str) -> Arc<RunResult> {
+    fn dummy_result(label: &str, footprint: u64) -> Arc<RunResult> {
         Arc::new(RunResult {
             config: AllocatorConfig { pools: vec![] },
             label: label.to_owned(),
             metrics: SimMetrics {
                 counters: CounterSet::new(1),
                 meta_counters: CounterSet::new(1),
-                footprint: 0,
-                footprint_per_level: vec![0],
+                footprint,
+                footprint_per_level: vec![footprint],
                 energy_pj: 0,
                 cycles: 0,
                 allocs: 0,
@@ -196,21 +215,40 @@ mod tests {
     fn get_insert_roundtrip_and_counters() {
         let cache = EvalCache::new();
         let key = [1, 2, 3, 4, 5, 6, 7, 8];
-        assert!(cache.get(&key).is_none());
+        assert!(cache.get(7, &key).is_none());
         assert_eq!(cache.misses(), 1);
-        cache.insert(key, dummy_result("a"));
-        let hit = cache.get(&key).expect("cached");
+        cache.insert(7, key, dummy_result("a", 0));
+        let hit = cache.get(7, &key).expect("cached");
         assert_eq!(hit.label, "a");
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.len(), 1);
+    }
+
+    /// Regression test for the stale-result bug: a cache shared across two
+    /// workloads must keep one entry *per workload* for the same genome —
+    /// keying on the genome alone silently returned workload A's metrics
+    /// for workload B.
+    #[test]
+    fn same_genome_different_workloads_never_collide() {
+        let cache = EvalCache::new();
+        let genome = [1, 0, 2, 0, 1, 0, 0, 0];
+        cache.insert(111, genome, dummy_result("on-easyport", 1_000));
+        cache.insert(222, genome, dummy_result("on-vtc", 9_999));
+        assert_eq!(cache.len(), 2, "one entry per workload");
+        assert_eq!(cache.get(111, &genome).unwrap().metrics.footprint, 1_000);
+        assert_eq!(cache.get(222, &genome).unwrap().metrics.footprint, 9_999);
+        assert!(
+            cache.get(333, &genome).is_none(),
+            "an unseen workload id must miss, not inherit another workload's result"
+        );
     }
 
     #[test]
     fn insert_keeps_first_entry() {
         let cache = EvalCache::with_shards(2);
         let key = [0; 8];
-        let first = cache.insert(key, dummy_result("first"));
-        let second = cache.insert(key, dummy_result("second"));
+        let first = cache.insert(1, key, dummy_result("first", 0));
+        let second = cache.insert(1, key, dummy_result("second", 0));
         assert_eq!(first.label, "first");
         assert_eq!(
             second.label, "first",
@@ -220,13 +258,17 @@ mod tests {
     }
 
     #[test]
-    fn entries_are_sorted_by_genome() {
+    fn entries_are_sorted_by_workload_then_genome() {
         let cache = EvalCache::with_shards(4);
-        cache.insert([9, 0, 0, 0, 0, 0, 0, 0], dummy_result("z"));
-        cache.insert([1, 0, 0, 0, 0, 0, 0, 0], dummy_result("a"));
-        cache.insert([5, 0, 0, 0, 0, 0, 0, 0], dummy_result("m"));
-        let keys: Vec<usize> = cache.entries().iter().map(|(k, _)| k[0]).collect();
-        assert_eq!(keys, vec![1, 5, 9]);
+        cache.insert(2, [9, 0, 0, 0, 0, 0, 0, 0], dummy_result("z", 0));
+        cache.insert(1, [5, 0, 0, 0, 0, 0, 0, 0], dummy_result("m", 0));
+        cache.insert(2, [1, 0, 0, 0, 0, 0, 0, 0], dummy_result("a", 0));
+        let keys: Vec<(u64, usize)> = cache
+            .entries()
+            .iter()
+            .map(|((w, g), _)| (*w, g[0]))
+            .collect();
+        assert_eq!(keys, vec![(1, 5), (2, 1), (2, 9)]);
     }
 
     #[test]

@@ -157,10 +157,11 @@ mod tests {
         let hier = presets::sp64k_dram4m();
         let space = easyport_space(&hier, StudyScale::Quick);
         let trace = easyport_trace(StudyScale::Quick, 42);
+        let inst = crate::search::EvalInstance::single(&hier, &trace);
         let ctx = SearchContext {
             space: &space,
-            hierarchy: &hier,
-            trace: &trace,
+            instances: std::slice::from_ref(&inst),
+            aggregate: None,
             objectives: &Objective::FIG1,
             threads: 1,
         };

@@ -13,12 +13,22 @@
 //! ([`Genome`]): crossover and mutation are plain index arithmetic, and
 //! [`ParamSpace::genome_at`] / [`ParamSpace::config_at`] convert between
 //! index and configuration. All evaluations go through a shared, sharded
-//! [`EvalCache`], so revisits — the common case in GA populations — cost a
-//! hash lookup instead of a simulation, and each batch evaluates in
-//! parallel with the same worker pattern as the exhaustive runner.
+//! [`EvalCache`] keyed on (workload id, genome), so revisits — the common
+//! case in GA populations — cost a hash lookup instead of a simulation,
+//! and each batch evaluates in parallel with the same worker pattern as
+//! the exhaustive runner.
+//!
+//! A [`SearchContext`] carries one *or several* [`EvalInstance`]s.
+//! Without an [`Aggregate`] policy this is the classic single-workload
+//! exploration. With one (set by the [`crate::scenario`] layer from a
+//! scenario suite — whatever the suite's size) every genome is simulated
+//! on **every** instance, instance constraints apply, and the
+//! per-scenario metrics fold through the policy into one robust result —
+//! the strategies optimize robust objectives without knowing scenarios
+//! exist.
 //!
 //! Every strategy is deterministic in its seed: same seed, same space,
-//! same trace → byte-identical results.
+//! same workloads → byte-identical results.
 //!
 //! # Example
 //!
@@ -51,35 +61,103 @@ mod cache;
 mod genetic;
 mod hillclimb;
 
-pub use cache::EvalCache;
+pub use cache::{EvalCache, EvalKey};
 pub use genetic::GeneticSearch;
 pub use hillclimb::HillClimbSearch;
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use dmx_alloc::Simulator;
 use dmx_memhier::MemoryHierarchy;
 use dmx_trace::Trace;
 
+use crate::constraint::ConstraintSet;
 use crate::objective::Objective;
 use crate::param::{Genome, ParamSpace};
 use crate::pareto::ParetoSet;
 use crate::runner::{Exploration, RunResult};
 use crate::sample::sample_indices;
+use crate::scenario::{aggregate_metrics, Aggregate, ScenarioMetrics};
 
-/// Everything a strategy needs to explore: the space, the platform, the
-/// workload, the objectives to optimize, and how many evaluation workers
-/// it may use.
+/// A stable identity for a (platform, trace) pair, used as the workload
+/// half of the [`EvalCache`] key. The trace's full event stream is
+/// fingerprinted (not just its name and length — two same-name traces
+/// from different seeds must not collide), so two different workloads —
+/// or the same trace on a different platform — get different keys and a
+/// cache shared across workloads can never serve stale results. One
+/// O(events) pass, paid once per search, is noise next to a single
+/// simulation.
+pub fn workload_key(hierarchy: &MemoryHierarchy, trace: &Trace) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    trace.name().hash(&mut hasher);
+    trace.events().hash(&mut hasher);
+    hierarchy.len().hash(&mut hasher);
+    for (_, level) in hierarchy.iter() {
+        level.capacity().hash(&mut hasher);
+        level.read_energy_pj().hash(&mut hasher);
+        level.write_energy_pj().hash(&mut hasher);
+        level.read_latency().hash(&mut hasher);
+        level.write_latency().hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+/// One (platform, workload) pair a configuration is evaluated on.
+///
+/// Single-workload search uses exactly one instance
+/// ([`EvalInstance::single`]); the scenario layer builds one per scenario
+/// of a suite, with the scenario's weight and optional admissibility
+/// constraints.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalInstance<'a> {
+    /// Display name (the trace name, or the scenario name in suites).
+    pub name: &'a str,
+    /// Cache key namespace — must be distinct per instance in a context.
+    pub id: u64,
+    /// The platform configurations are simulated on.
+    pub hierarchy: &'a MemoryHierarchy,
+    /// The workload trace every configuration replays.
+    pub trace: &'a Trace,
+    /// Weight under [`Aggregate::Weighted`] folding (> 0).
+    pub weight: f64,
+    /// Scenario admissibility constraints; a configuration rejected here
+    /// counts as infeasible *in this instance* when folding.
+    pub constraints: Option<&'a ConstraintSet>,
+}
+
+impl<'a> EvalInstance<'a> {
+    /// The classic single-workload instance: named after the trace, keyed
+    /// by [`workload_key`], weight 1, no constraints.
+    pub fn single(hierarchy: &'a MemoryHierarchy, trace: &'a Trace) -> Self {
+        EvalInstance {
+            name: trace.name(),
+            id: workload_key(hierarchy, trace),
+            hierarchy,
+            trace,
+            weight: 1.0,
+            constraints: None,
+        }
+    }
+}
+
+/// Everything a strategy needs to explore: the space, the workload
+/// instance(s) to evaluate on, how per-instance metrics fold, the
+/// objectives to optimize, and how many evaluation workers it may use.
 #[derive(Debug, Clone, Copy)]
 pub struct SearchContext<'a> {
     /// The parameter space under exploration.
     pub space: &'a ParamSpace,
-    /// The platform the configurations are simulated on.
-    pub hierarchy: &'a MemoryHierarchy,
-    /// The workload trace every configuration replays.
-    pub trace: &'a Trace,
+    /// The workload instances every configuration is evaluated on
+    /// (non-empty; one for classic search, one per scenario for suites).
+    pub instances: &'a [EvalInstance<'a>],
+    /// `Some` switches on robust (scenario) mode: per-instance metrics
+    /// fold through the policy — applying instance constraints — and the
+    /// outcome carries per-instance explorations. `None` is the classic
+    /// single-workload mode (exactly one instance, raw results).
+    pub aggregate: Option<Aggregate>,
     /// The objectives the search minimizes (also used for the outcome's
     /// Pareto front).
     pub objectives: &'a [Objective],
@@ -92,25 +170,39 @@ pub struct SearchContext<'a> {
 pub struct SearchOutcome {
     /// Strategy name (for reports).
     pub strategy: String,
-    /// Every *distinct* configuration the search simulated, in
+    /// Every *distinct* configuration the search evaluated, in
     /// deterministic (genome) order — a drop-in [`Exploration`] for the
-    /// existing reporting/export pipeline.
+    /// existing reporting/export pipeline. In multi-instance contexts the
+    /// metrics are the *robust* (aggregated) ones.
     pub exploration: Exploration,
-    /// Distinct configurations simulated (the search's real cost).
+    /// The canonical genome behind each `exploration.results` entry, in
+    /// the same order — the cross-scenario identity of a configuration
+    /// (labels are per-platform and may differ between scenarios).
+    pub genomes: Vec<Genome>,
+    /// Distinct configurations evaluated (the search's real cost unit).
     pub evaluations: usize,
+    /// Total simulator runs (= `evaluations` × instances in
+    /// multi-instance contexts).
+    pub simulations: usize,
     /// Evaluation requests served from the memo cache instead of the
     /// simulator.
     pub cache_hits: usize,
     /// The Pareto front over everything evaluated, on the context's
-    /// objectives. Indices refer to `exploration.results`.
+    /// objectives (robust objectives in multi-instance contexts). Indices
+    /// refer to `exploration.results`.
     pub front: ParetoSet,
+    /// Per-instance result sets for multi-instance contexts, parallel to
+    /// the context's instances; each exploration's results are in the same
+    /// genome order as the robust `exploration`. Empty for single-instance
+    /// search.
+    pub scenario_explorations: Vec<Exploration>,
 }
 
 /// A pluggable exploration strategy over a [`ParamSpace`].
 ///
 /// Implementations decide *which* configurations to simulate;
-/// [`Evaluator`] decides *how* (parallel, memoized). All four built-in
-/// strategies — [`ExhaustiveSearch`], [`SubsampleSearch`],
+/// [`Evaluator`] decides *how* (parallel, memoized, robust-folded). All
+/// four built-in strategies — [`ExhaustiveSearch`], [`SubsampleSearch`],
 /// [`GeneticSearch`], [`HillClimbSearch`] — are deterministic in their
 /// seed.
 ///
@@ -161,34 +253,75 @@ pub trait SearchStrategy {
 /// Memoized, parallel batch evaluator — the engine under every strategy.
 ///
 /// Each [`Self::eval_batch`] call canonicalizes the genomes, simulates the
-/// not-yet-seen ones in parallel (the same scoped-worker pattern as
-/// [`crate::Explorer::run_configs`]), stores them in the shared
-/// [`EvalCache`], and returns one result per input genome in input order.
+/// not-yet-seen ones on every instance in parallel (the same scoped-worker
+/// pattern as [`crate::Explorer::run_configs`]), stores the per-instance
+/// results in the shared scenario-keyed [`EvalCache`], folds them through
+/// the context's [`Aggregate`] in robust (scenario) mode, and returns
+/// one result per input genome in input order.
 #[derive(Debug)]
 pub struct Evaluator<'a> {
     space: &'a ParamSpace,
-    hierarchy: &'a MemoryHierarchy,
-    trace: &'a Trace,
+    instances: &'a [EvalInstance<'a>],
+    /// `Some` = robust (scenario) mode, whatever the instance count.
+    aggregate: Option<Aggregate>,
     threads: usize,
     cache: EvalCache,
+    /// Folded results per genome; only populated in robust mode (classic
+    /// single-workload search serves straight from the cache).
+    robust: Mutex<HashMap<Genome, Arc<RunResult>>>,
 }
 
 impl<'a> Evaluator<'a> {
-    /// A fresh evaluator (empty cache) over the context's space, platform
-    /// and trace.
+    /// A fresh evaluator (empty cache) over the context's space and
+    /// workload instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context has no instances, two instances share an id,
+    /// or several instances were given without an [`Aggregate`] to fold
+    /// them.
     pub fn new(ctx: &SearchContext<'a>) -> Self {
+        assert!(!ctx.instances.is_empty(), "need at least one instance");
+        assert!(
+            ctx.aggregate.is_some() || ctx.instances.len() == 1,
+            "multiple instances need an aggregate policy to fold them"
+        );
+        let mut ids: Vec<u64> = ctx.instances.iter().map(|i| i.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(
+            ids.len(),
+            ctx.instances.len(),
+            "instance ids must be distinct (they namespace the cache)"
+        );
         Evaluator {
             space: ctx.space,
-            hierarchy: ctx.hierarchy,
-            trace: ctx.trace,
+            instances: ctx.instances,
+            aggregate: ctx.aggregate,
             threads: ctx.threads.max(1),
             cache: EvalCache::new(),
+            robust: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The folded (or, in classic mode, plain) result for a canonical
+    /// genome, if it has been evaluated.
+    fn lookup(&self, genome: &Genome) -> Option<Arc<RunResult>> {
+        if self.aggregate.is_none() {
+            self.cache.peek(self.instances[0].id, genome)
+        } else {
+            self.robust
+                .lock()
+                .expect("robust map poisoned")
+                .get(genome)
+                .cloned()
         }
     }
 
     /// Evaluates a batch of genomes, returning one shared result per
     /// genome in input order. Already-seen configurations come out of the
-    /// cache; new ones are simulated in parallel.
+    /// cache; new ones are simulated in parallel — on every workload
+    /// instance — and folded into robust results.
     pub fn eval_batch(&self, genomes: &[Genome]) -> Vec<Arc<RunResult>> {
         let canonical: Vec<Genome> = genomes
             .iter()
@@ -201,38 +334,48 @@ impl<'a> Evaluator<'a> {
         let mut fresh: Vec<Genome> = Vec::new();
         let mut seen: HashSet<Genome> = HashSet::new();
         for g in &canonical {
-            if seen.contains(g) {
+            if seen.contains(g) || self.lookup(g).is_some() {
                 self.cache.record_hit();
-            } else if self.cache.get(g).is_none() {
+            } else {
+                self.cache.record_miss();
                 seen.insert(*g);
                 fresh.push(*g);
             }
         }
 
-        // Simulate the fresh ones with the shared worker pattern.
-        let n = fresh.len();
-        if n > 0 {
+        // Simulate genome × instance jobs with the shared worker pattern.
+        let jobs: Vec<(usize, Genome)> = fresh
+            .iter()
+            .flat_map(|g| (0..self.instances.len()).map(move |k| (k, *g)))
+            .collect();
+        if !jobs.is_empty() {
+            let sims: Vec<Simulator> = self
+                .instances
+                .iter()
+                .map(|inst| Simulator::new(inst.hierarchy))
+                .collect();
             let next = AtomicUsize::new(0);
-            let sim = Simulator::new(self.hierarchy);
             std::thread::scope(|scope| {
-                for _ in 0..self.threads.min(n) {
+                for _ in 0..self.threads.min(jobs.len()) {
                     scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        let j = next.fetch_add(1, Ordering::Relaxed);
+                        if j >= jobs.len() {
                             break;
                         }
-                        let genome = fresh[i];
-                        let config = self.space.config_at(self.hierarchy, &genome);
-                        let metrics = sim
-                            .run(&config, self.trace)
+                        let (k, genome) = jobs[j];
+                        let inst = &self.instances[k];
+                        let config = self.space.config_at(inst.hierarchy, &genome);
+                        let metrics = sims[k]
+                            .run(&config, inst.trace)
                             .expect("space genomes materialize to valid configurations");
                         let label = config.label();
                         debug_assert_eq!(
                             label,
-                            self.space.config_at(self.hierarchy, &genome).label(),
+                            self.space.config_at(inst.hierarchy, &genome).label(),
                             "cache key must match the configuration it stores"
                         );
                         self.cache.insert(
+                            inst.id,
                             genome,
                             Arc::new(RunResult {
                                 config,
@@ -243,48 +386,136 @@ impl<'a> Evaluator<'a> {
                     });
                 }
             });
+
+            // Fold the fresh genomes into robust results (robust mode
+            // only; classic search serves raw results). The fold runs
+            // even for a one-scenario suite so that scenario constraints
+            // apply and the per-scenario views get populated.
+            if let Some(aggregate) = self.aggregate {
+                let mut robust = self.robust.lock().expect("robust map poisoned");
+                for g in &fresh {
+                    let parts: Vec<Arc<RunResult>> = self
+                        .instances
+                        .iter()
+                        .map(|inst| self.cache.peek(inst.id, g).expect("just simulated"))
+                        .collect();
+                    let folded: Vec<ScenarioMetrics<'_>> = self
+                        .instances
+                        .iter()
+                        .zip(&parts)
+                        .map(|(inst, r)| ScenarioMetrics {
+                            metrics: &r.metrics,
+                            weight: inst.weight,
+                            admissible: inst.constraints.is_none_or(|c| c.accepts(&r.metrics)),
+                        })
+                        .collect();
+                    let metrics = aggregate_metrics(aggregate, &folded);
+                    // The representative config/label come from the first
+                    // instance; the genome (see `SearchOutcome::genomes`)
+                    // is the cross-platform identity.
+                    robust.insert(
+                        *g,
+                        Arc::new(RunResult {
+                            config: parts[0].config.clone(),
+                            label: parts[0].label.clone(),
+                            metrics,
+                        }),
+                    );
+                }
+            }
         }
 
         canonical
             .iter()
-            .map(|g| self.cache.peek(g).expect("batch member was just evaluated"))
+            .map(|g| self.lookup(g).expect("batch member was just evaluated"))
             .collect()
     }
 
-    /// Distinct configurations simulated so far.
+    /// Distinct configurations evaluated so far.
     pub fn evaluations(&self) -> usize {
-        self.cache.len()
+        if self.aggregate.is_none() {
+            self.cache.len()
+        } else {
+            self.robust.lock().expect("robust map poisoned").len()
+        }
     }
 
-    /// Read access to the memo cache (hit/miss counters, entries).
+    /// Read access to the memo cache (hit/miss counters, per-instance
+    /// entries).
     pub fn cache(&self) -> &EvalCache {
         &self.cache
     }
 
     /// Consumes the evaluator into a [`SearchOutcome`]: every distinct
     /// evaluated configuration in deterministic genome order, plus the
-    /// Pareto front on the context's objectives.
+    /// Pareto front on the context's objectives. Robust (scenario) mode
+    /// additionally gets one per-instance [`Exploration`] each, in the
+    /// same genome order as the robust one.
     pub fn into_outcome(self, strategy: &str, ctx: &SearchContext<'_>) -> SearchOutcome {
         let cache_hits = self.cache.hits();
-        let workload = self.trace.name().to_owned();
-        // Drain the cache; the strategies have dropped their batch results
-        // by now, so the `Arc`s are usually unique and the results move out
-        // without cloning.
-        let results: Vec<RunResult> = self
-            .cache
-            .into_entries()
-            .into_iter()
-            .map(|(_, r)| Arc::try_unwrap(r).unwrap_or_else(|shared| (*shared).clone()))
-            .collect();
+        let simulations = self.cache.len();
+        let (workload, genomes, results, scenario_explorations) = match ctx.aggregate {
+            None => {
+                // Drain the cache; the strategies have dropped their batch
+                // results by now, so the `Arc`s are usually unique and the
+                // results move out without cloning.
+                let entries = self.cache.into_entries();
+                let genomes: Vec<Genome> = entries.iter().map(|((_, g), _)| *g).collect();
+                let results: Vec<RunResult> = entries
+                    .into_iter()
+                    .map(|(_, r)| Arc::try_unwrap(r).unwrap_or_else(|shared| (*shared).clone()))
+                    .collect();
+                (
+                    ctx.instances[0].name.to_owned(),
+                    genomes,
+                    results,
+                    Vec::new(),
+                )
+            }
+            Some(aggregate) => {
+                let robust = self.robust.into_inner().expect("robust map poisoned");
+                let mut entries: Vec<(Genome, Arc<RunResult>)> = robust.into_iter().collect();
+                entries.sort_unstable_by_key(|(g, _)| *g);
+                let genomes: Vec<Genome> = entries.iter().map(|(g, _)| *g).collect();
+                let scenario_explorations: Vec<Exploration> = ctx
+                    .instances
+                    .iter()
+                    .map(|inst| Exploration {
+                        workload: inst.name.to_owned(),
+                        results: genomes
+                            .iter()
+                            .map(|g| {
+                                (*self.cache.peek(inst.id, g).expect("genome was evaluated"))
+                                    .clone()
+                            })
+                            .collect(),
+                    })
+                    .collect();
+                let results: Vec<RunResult> = entries
+                    .into_iter()
+                    .map(|(_, r)| Arc::try_unwrap(r).unwrap_or_else(|shared| (*shared).clone()))
+                    .collect();
+                let names: Vec<&str> = ctx.instances.iter().map(|i| i.name).collect();
+                (
+                    format!("robust[{aggregate}]({})", names.join("+")),
+                    genomes,
+                    results,
+                    scenario_explorations,
+                )
+            }
+        };
         let evaluations = results.len();
         let exploration = Exploration { workload, results };
         let front = exploration.pareto(ctx.objectives);
         SearchOutcome {
             strategy: strategy.to_owned(),
             evaluations,
+            simulations,
             cache_hits,
             exploration,
+            genomes,
             front,
+            scenario_explorations,
         }
     }
 }
@@ -345,16 +576,13 @@ mod tests {
     use crate::study::{easyport_space, easyport_trace, StudyScale};
     use crate::Explorer;
     use dmx_memhier::presets;
+    use dmx_trace::gen::{SyntheticConfig, TraceGenerator};
 
-    fn quick_ctx<'a>(
-        space: &'a ParamSpace,
-        hierarchy: &'a MemoryHierarchy,
-        trace: &'a Trace,
-    ) -> SearchContext<'a> {
+    fn quick_ctx<'a>(space: &'a ParamSpace, inst: &'a EvalInstance<'a>) -> SearchContext<'a> {
         SearchContext {
             space,
-            hierarchy,
-            trace,
+            instances: std::slice::from_ref(inst),
+            aggregate: None,
             objectives: &Objective::FIG1,
             threads: 4,
         }
@@ -365,10 +593,14 @@ mod tests {
         let hier = presets::sp64k_dram4m();
         let space = easyport_space(&hier, StudyScale::Quick);
         let trace = easyport_trace(StudyScale::Quick, 42);
-        let ctx = quick_ctx(&space, &hier, &trace);
+        let inst = EvalInstance::single(&hier, &trace);
+        let ctx = quick_ctx(&space, &inst);
         let outcome = ExhaustiveSearch.search(&ctx);
         assert_eq!(outcome.evaluations, space.len());
+        assert_eq!(outcome.simulations, space.len());
         assert_eq!(outcome.exploration.results.len(), space.len());
+        assert_eq!(outcome.genomes.len(), space.len());
+        assert!(outcome.scenario_explorations.is_empty());
 
         // Same front as the classic exhaustive runner (indices may differ,
         // the point sets must not).
@@ -384,7 +616,8 @@ mod tests {
         let hier = presets::sp64k_dram4m();
         let space = easyport_space(&hier, StudyScale::Quick);
         let trace = easyport_trace(StudyScale::Quick, 42);
-        let ctx = quick_ctx(&space, &hier, &trace);
+        let inst = EvalInstance::single(&hier, &trace);
+        let ctx = quick_ctx(&space, &inst);
         let evaluator = Evaluator::new(&ctx);
         let g = space.genome_at(3);
         let first = evaluator.eval_batch(&[g, g, g]);
@@ -400,7 +633,8 @@ mod tests {
         let hier = presets::sp64k_dram4m();
         let space = easyport_space(&hier, StudyScale::Quick);
         let trace = easyport_trace(StudyScale::Quick, 42);
-        let ctx = quick_ctx(&space, &hier, &trace);
+        let inst = EvalInstance::single(&hier, &trace);
+        let ctx = quick_ctx(&space, &inst);
         let s = SubsampleSearch { n: 13, seed: 5 };
         let a = s.search(&ctx);
         let b = s.search(&ctx);
@@ -419,5 +653,123 @@ mod tests {
             .collect();
         assert_eq!(la, lb);
         assert_eq!(a.front.points, b.front.points);
+    }
+
+    /// Regression test for the stale-cache bug: one evaluator shared by
+    /// two workloads must keep the workloads' results apart — keyed on the
+    /// genome alone, the second workload inherited the first one's
+    /// metrics.
+    #[test]
+    fn multi_instance_evaluator_never_mixes_workloads() {
+        let hier = presets::sp64k_dram4m();
+        let space = easyport_space(&hier, StudyScale::Quick);
+        let trace_a = easyport_trace(StudyScale::Quick, 42);
+        let trace_b = SyntheticConfig::uniform_churn(400).generate(7);
+        let instances = [
+            EvalInstance {
+                name: "a",
+                id: 1,
+                hierarchy: &hier,
+                trace: &trace_a,
+                weight: 1.0,
+                constraints: None,
+            },
+            EvalInstance {
+                name: "b",
+                id: 2,
+                hierarchy: &hier,
+                trace: &trace_b,
+                weight: 1.0,
+                constraints: None,
+            },
+        ];
+        let ctx = SearchContext {
+            space: &space,
+            instances: &instances,
+            aggregate: Some(Aggregate::WorstCase),
+            objectives: &Objective::FIG1,
+            threads: 4,
+        };
+        let evaluator = Evaluator::new(&ctx);
+        let g = space.genome_at(5);
+        let robust = evaluator.eval_batch(&[g]);
+
+        // Per-workload entries must match fresh, independent simulations.
+        let sim = Simulator::new(&hier);
+        let config = space.config_at(&hier, &g);
+        let on_a = sim.run(&config, &trace_a).unwrap();
+        let on_b = sim.run(&config, &trace_b).unwrap();
+        assert_ne!(
+            on_a, on_b,
+            "fixture traces must measure differently for the test to bite"
+        );
+        assert_eq!(evaluator.cache().peek(1, &g).unwrap().metrics, on_a);
+        assert_eq!(evaluator.cache().peek(2, &g).unwrap().metrics, on_b);
+
+        // And the folded result is the worst case of the two, exactly.
+        assert_eq!(
+            robust[0].metrics.footprint,
+            on_a.footprint.max(on_b.footprint)
+        );
+        assert_eq!(
+            robust[0].metrics.total_accesses(),
+            on_a.total_accesses().max(on_b.total_accesses())
+        );
+    }
+
+    #[test]
+    fn duplicate_instance_ids_rejected() {
+        let hier = presets::sp64k_dram4m();
+        let space = easyport_space(&hier, StudyScale::Quick);
+        let trace = easyport_trace(StudyScale::Quick, 42);
+        let mut a = EvalInstance::single(&hier, &trace);
+        a.id = 9;
+        let instances = [a, a];
+        let ctx = SearchContext {
+            space: &space,
+            instances: &instances,
+            aggregate: Some(Aggregate::WorstCase),
+            objectives: &Objective::FIG1,
+            threads: 1,
+        };
+        let result = std::panic::catch_unwind(|| Evaluator::new(&ctx));
+        assert!(result.is_err(), "duplicate ids must be rejected");
+    }
+
+    #[test]
+    fn robust_mode_with_one_instance_still_folds_and_constrains() {
+        // A one-scenario suite is robust mode, not classic mode: scenario
+        // constraints must apply and the per-scenario view must exist.
+        let hier = presets::sp64k_dram4m();
+        let space = easyport_space(&hier, StudyScale::Quick);
+        let trace = easyport_trace(StudyScale::Quick, 42);
+        // A constraint nothing satisfies: zero bytes of footprint.
+        let constraints =
+            crate::ConstraintSet::new().and(crate::Constraint::Max(Objective::Footprint, 0));
+        let mut inst = EvalInstance::single(&hier, &trace);
+        inst.constraints = Some(&constraints);
+        let ctx = SearchContext {
+            space: &space,
+            instances: std::slice::from_ref(&inst),
+            aggregate: Some(Aggregate::WorstCase),
+            objectives: &Objective::FIG1,
+            threads: 2,
+        };
+        let outcome = SubsampleSearch { n: 6, seed: 1 }.search(&ctx);
+        assert_eq!(outcome.scenario_explorations.len(), 1, "per-scenario view");
+        assert!(
+            outcome
+                .exploration
+                .results
+                .iter()
+                .all(|r| !r.metrics.feasible()),
+            "constraint-rejected configs must be robust-infeasible"
+        );
+        assert!(outcome.front.is_empty(), "nothing admissible, empty front");
+        // The raw per-scenario view keeps the unconstrained metrics.
+        assert!(outcome.scenario_explorations[0]
+            .results
+            .iter()
+            .any(|r| r.metrics.feasible()));
     }
 }

@@ -52,14 +52,14 @@ pub fn easyport_space(hierarchy: &MemoryHierarchy, scale: StudyScale) -> ParamSp
             vec![28, 40, 74, 1500],
         ],
         placements: vec![
-            PlacementStrategy::AllOn(main),
+            PlacementStrategy::AllOn(main.into()),
             PlacementStrategy::SmallOnFastest { max_size: 512 },
         ],
         fits: FitPolicy::ALL.to_vec(),
         orders: FreeOrder::ALL.to_vec(),
         coalesces: CoalescePolicy::COMMON.to_vec(),
         splits: SplitPolicy::COMMON.to_vec(),
-        general_levels: vec![main],
+        general_levels: vec![main.into()],
         general_chunks: vec![2048, 8192],
     };
     match scale {
@@ -83,14 +83,14 @@ pub fn vtc_space(hierarchy: &MemoryHierarchy, scale: StudyScale) -> ParamSpace {
     let full = ParamSpace {
         dedicated_size_sets: vec![vec![], vec![32], vec![24, 32, 40], vec![24, 32, 40, 64, 96]],
         placements: vec![
-            PlacementStrategy::AllOn(main),
+            PlacementStrategy::AllOn(main.into()),
             PlacementStrategy::SmallOnFastest { max_size: 128 },
         ],
         fits: FitPolicy::ALL.to_vec(),
         orders: FreeOrder::ALL.to_vec(),
         coalesces: CoalescePolicy::COMMON.to_vec(),
         splits: SplitPolicy::COMMON.to_vec(),
-        general_levels: vec![main],
+        general_levels: vec![main.into()],
         general_chunks: vec![16384],
     };
     match scale {

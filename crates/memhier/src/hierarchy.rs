@@ -25,6 +25,57 @@ impl fmt::Display for LevelId {
     }
 }
 
+/// A level selector that can be resolved against any hierarchy.
+///
+/// Absolute [`LevelId`]s only make sense for one concrete platform; a
+/// parameter space that is evaluated across *several* platforms (the
+/// scenario suites in `dmx-core`) needs to say "the scratchpad" or "main
+/// memory" without committing to an index. `Fixed` keeps the old absolute
+/// behaviour; `Fastest`/`Slowest` resolve per hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LevelChoice {
+    /// A concrete level index (must exist on every hierarchy used).
+    Fixed(LevelId),
+    /// The fastest (closest, index 0) level of whatever hierarchy the
+    /// configuration is materialized on.
+    Fastest,
+    /// The slowest (furthest, highest-index) level — conventionally main
+    /// memory.
+    Slowest,
+}
+
+impl LevelChoice {
+    /// Resolves the choice to a concrete level of `hierarchy`.
+    pub fn resolve(self, hierarchy: &MemoryHierarchy) -> LevelId {
+        match self {
+            LevelChoice::Fixed(id) => id,
+            LevelChoice::Fastest => hierarchy.fastest(),
+            LevelChoice::Slowest => hierarchy.slowest(),
+        }
+    }
+
+    /// Short tag for configuration labels ("L1", "fastest", "slowest").
+    pub fn tag(self) -> String {
+        match self {
+            LevelChoice::Fixed(id) => id.to_string(),
+            LevelChoice::Fastest => "fastest".to_owned(),
+            LevelChoice::Slowest => "slowest".to_owned(),
+        }
+    }
+}
+
+impl From<LevelId> for LevelChoice {
+    fn from(id: LevelId) -> Self {
+        LevelChoice::Fixed(id)
+    }
+}
+
+impl fmt::Display for LevelChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.tag())
+    }
+}
+
 /// An ordered, validated set of [`MemoryLevel`]s.
 ///
 /// Levels are ordered fastest-first. The hierarchy is immutable once built:
@@ -168,6 +219,22 @@ mod tests {
         assert_eq!(h.slowest(), LevelId(2));
         assert_eq!(h.len(), 3);
         assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn level_choice_resolves_per_hierarchy() {
+        let two = MemoryHierarchy::new(vec![mk("l1", 64), mk("main", 4096)]).unwrap();
+        let one = MemoryHierarchy::new(vec![mk("main", 4096)]).unwrap();
+        assert_eq!(LevelChoice::Slowest.resolve(&two), LevelId(1));
+        assert_eq!(LevelChoice::Slowest.resolve(&one), LevelId(0));
+        assert_eq!(LevelChoice::Fastest.resolve(&two), LevelId(0));
+        assert_eq!(LevelChoice::Fixed(LevelId(1)).resolve(&two), LevelId(1));
+        assert_eq!(
+            LevelChoice::from(LevelId(1)),
+            LevelChoice::Fixed(LevelId(1))
+        );
+        assert_eq!(LevelChoice::Fixed(LevelId(1)).tag(), "L1");
+        assert_eq!(LevelChoice::Slowest.to_string(), "slowest");
     }
 
     #[test]

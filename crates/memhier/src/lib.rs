@@ -59,6 +59,6 @@ mod region;
 pub use cost::{CostModel, CostParams};
 pub use counters::{AccessCounts, CounterSet};
 pub use error::{HierarchyError, RegionError};
-pub use hierarchy::{LevelId, MemoryHierarchy};
+pub use hierarchy::{LevelChoice, LevelId, MemoryHierarchy};
 pub use level::{LevelKind, MemoryLevel, MemoryLevelBuilder};
 pub use region::{PlacementPolicy, Region, RegionTable};

@@ -64,6 +64,32 @@ pub fn sp32k_sram256k_dram8m() -> MemoryHierarchy {
     .expect("preset hierarchy is valid")
 }
 
+/// A scratchpad-rich platform: a generous 256 KB L1 scratchpad over a
+/// 4 MB main memory. On this platform far more of the hot pools fit
+/// on-chip, so placement-heavy configurations pay off — the counterweight
+/// to [`dram_only_4m`] in cross-platform robustness studies.
+pub fn sp256k_dram4m() -> MemoryHierarchy {
+    MemoryHierarchy::new(vec![
+        MemoryLevel::builder("L1-scratchpad", LevelKind::Scratchpad)
+            .capacity(256 * 1024)
+            .read_energy_pj(118)
+            .write_energy_pj(131)
+            .read_latency(2)
+            .write_latency(2)
+            .leakage_pj_per_kcycle(7)
+            .build(),
+        MemoryLevel::builder("main-dram", LevelKind::Dram)
+            .capacity(4 * 1024 * 1024)
+            .read_energy_pj(1480)
+            .write_energy_pj(1620)
+            .read_latency(18)
+            .write_latency(20)
+            .leakage_pj_per_kcycle(24)
+            .build(),
+    ])
+    .expect("preset hierarchy is valid")
+}
+
 /// A single-level platform (main memory only). Useful as the degenerate
 /// baseline: with one level, placement stops mattering and only the
 /// allocator-algorithm parameters differentiate configurations.
@@ -104,6 +130,20 @@ mod tests {
         assert!(costs.windows(2).all(|w| w[0] < w[1]));
         let caps: Vec<u64> = h.iter().map(|(_, l)| l.capacity()).collect();
         assert!(caps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn scratchpad_rich_keeps_the_cost_ratio() {
+        let h = sp256k_dram4m();
+        assert_eq!(h.len(), 2);
+        let sp = h.level(h.fastest());
+        let dram = h.level(h.slowest());
+        assert_eq!(sp.capacity(), 256 * 1024);
+        // Bigger scratchpads cost more per access than the 64 KB one, but
+        // DRAM must stay an order of magnitude more expensive.
+        let small = sp64k_dram4m();
+        assert!(sp.read_energy_pj() > small.level(small.fastest()).read_energy_pj());
+        assert!(dram.read_energy_pj() > 10 * sp.read_energy_pj());
     }
 
     #[test]

@@ -14,19 +14,25 @@
 //!   zerotree nodes, large per-level coefficient buffers, compute-heavy
 //!   phases;
 //! * [`SyntheticConfig`] — fully configurable size/lifetime mixtures for
-//!   stress tests and ablations.
+//!   stress tests and ablations;
+//! * [`MmppConfig`] — Markov-modulated burstiness sweeps;
+//! * [`PhaseShiftConfig`] — synthetic phases concatenated so the
+//!   allocation mixture shifts mid-run (the robustness stressor behind
+//!   the scenario suites).
 //!
 //! All generators are deterministic in their seed.
 
 mod dist;
 mod easyport;
 mod mmpp;
+mod phase;
 mod synthetic;
 mod vtc;
 
 pub use dist::{LifetimeDist, SizeDist};
 pub use easyport::EasyportConfig;
 pub use mmpp::MmppConfig;
+pub use phase::PhaseShiftConfig;
 pub use synthetic::{ramp, SyntheticConfig};
 pub use vtc::VtcConfig;
 

@@ -1,0 +1,142 @@
+//! Phase-shift workloads: the allocation mixture changes mid-run.
+//!
+//! Real embedded applications rarely keep one steady-state allocation
+//! profile: a codec switches from parsing to decoding, a router from slow
+//! start to saturation. A configuration tuned on the first phase's mixture
+//! can fall off a cliff when the size/lifetime distribution shifts — the
+//! classic robustness trap the scenario suites in `dmx-core` are built to
+//! expose. This generator concatenates independent [`SyntheticConfig`]
+//! phases into one well-formed trace, renumbering block identities so the
+//! phases cannot collide.
+
+use crate::event::{BlockId, TraceEvent};
+use crate::gen::synthetic::SyntheticConfig;
+use crate::gen::TraceGenerator;
+use crate::trace::Trace;
+
+/// Configuration of the phase-shift generator: an ordered list of
+/// synthetic phases replayed back to back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseShiftConfig {
+    /// Trace name.
+    pub name: String,
+    /// The phases, in playback order. Each phase frees everything it
+    /// allocates before the next phase begins (the `SyntheticConfig`
+    /// generator drains survivors), so the shift point is a clean break in
+    /// the distribution, not in liveness.
+    pub phases: Vec<SyntheticConfig>,
+    /// Idle compute between phases (cycles; 0 disables the separator).
+    pub inter_phase_cycles: u32,
+}
+
+impl PhaseShiftConfig {
+    /// The canonical two-phase stress: steady small-object churn that
+    /// abruptly turns into the fragmentation-hostile wide-size mixture.
+    /// `allocs` is the total across both phases.
+    pub fn churn_to_frag(allocs: usize) -> Self {
+        PhaseShiftConfig {
+            name: "phase-shift".to_owned(),
+            phases: vec![
+                SyntheticConfig::uniform_churn(allocs / 2),
+                SyntheticConfig::fragmenter(allocs - allocs / 2),
+            ],
+            inter_phase_cycles: 2_000,
+        }
+    }
+}
+
+impl TraceGenerator for PhaseShiftConfig {
+    fn generate(&self, seed: u64) -> Trace {
+        assert!(!self.phases.is_empty(), "need at least one phase");
+        let mut events: Vec<TraceEvent> = Vec::new();
+        let mut id_offset = 0u64;
+        for (k, phase) in self.phases.iter().enumerate() {
+            // Each phase gets its own derived seed so reordering phases
+            // changes the trace, and a max-id scan so renumbered identities
+            // never collide across phases.
+            let part = phase.generate(seed ^ ((k as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            let mut max_id = 0u64;
+            for ev in part.events() {
+                events.push(match *ev {
+                    TraceEvent::Alloc { id, size } => {
+                        max_id = max_id.max(id.0);
+                        TraceEvent::Alloc {
+                            id: BlockId(id.0 + id_offset),
+                            size,
+                        }
+                    }
+                    TraceEvent::Free { id } => TraceEvent::Free {
+                        id: BlockId(id.0 + id_offset),
+                    },
+                    TraceEvent::Access { id, reads, writes } => TraceEvent::Access {
+                        id: BlockId(id.0 + id_offset),
+                        reads,
+                        writes,
+                    },
+                    TraceEvent::Tick { cycles } => TraceEvent::Tick { cycles },
+                });
+            }
+            id_offset += max_id;
+            if self.inter_phase_cycles > 0 && k + 1 < self.phases.len() {
+                events.push(TraceEvent::Tick {
+                    cycles: self.inter_phase_cycles,
+                });
+            }
+        }
+        Trace::from_events(self.name.clone(), events)
+            .expect("well-formed phases stay well-formed after renumbering")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn phases_concatenate_and_free_everything() {
+        let t = PhaseShiftConfig::churn_to_frag(600).generate(1);
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.allocs, 600);
+        assert_eq!(s.frees, 600);
+        assert_eq!(t.final_live_bytes(), 0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = PhaseShiftConfig::churn_to_frag(200).generate(9);
+        let b = PhaseShiftConfig::churn_to_frag(200).generate(9);
+        assert_eq!(a.events(), b.events());
+        let c = PhaseShiftConfig::churn_to_frag(200).generate(10);
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn the_shift_widens_the_size_mixture() {
+        // Phase 1 sizes stay ≤ 256 (uniform churn); the fragmenter phase
+        // reaches far beyond — the shift must be visible in the stats.
+        let t = PhaseShiftConfig::churn_to_frag(800).generate(3);
+        let s = TraceStats::compute(&t);
+        assert!(s.max_size > 256, "max size {}", s.max_size);
+        assert!(s.min_size <= 256);
+    }
+
+    #[test]
+    fn phase_order_matters() {
+        let fwd = PhaseShiftConfig::churn_to_frag(200);
+        let mut rev = fwd.clone();
+        rev.phases.reverse();
+        assert_ne!(fwd.generate(5).events(), rev.generate(5).events());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phase_list_rejected() {
+        let cfg = PhaseShiftConfig {
+            name: "empty".into(),
+            phases: vec![],
+            inter_phase_cycles: 0,
+        };
+        let _ = cfg.generate(0);
+    }
+}

@@ -8,7 +8,8 @@ use std::collections::HashSet;
 use proptest::prelude::*;
 
 use dmx_core::search::{
-    Evaluator, GeneticSearch, HillClimbSearch, SearchContext, SearchStrategy, SubsampleSearch,
+    EvalInstance, Evaluator, GeneticSearch, HillClimbSearch, SearchContext, SearchStrategy,
+    SubsampleSearch,
 };
 use dmx_core::study::{easyport_space, easyport_trace, StudyScale};
 use dmx_core::{Explorer, Objective, ParamSpace};
@@ -110,10 +111,11 @@ proptest! {
         picks in prop::collection::vec(0usize..80, 1..24),
     ) {
         let (hierarchy, space, trace) = fixture();
+        let instance = EvalInstance::single(&hierarchy, &trace);
         let ctx = SearchContext {
             space: &space,
-            hierarchy: &hierarchy,
-            trace: &trace,
+            instances: std::slice::from_ref(&instance),
+            aggregate: None,
             objectives: &Objective::FIG1,
             threads: 4,
         };
@@ -140,7 +142,7 @@ proptest! {
         }
 
         // And every entry in the cache keys back to its own config.
-        for (genome, result) in evaluator.cache().entries() {
+        for ((_, genome), result) in evaluator.cache().entries() {
             prop_assert_eq!(
                 &result.label,
                 &space.config_at(&hierarchy, &genome).label(),
