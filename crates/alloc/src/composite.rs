@@ -16,13 +16,22 @@ use crate::ctx::AllocCtx;
 use crate::error::{AllocError, BuildError};
 use crate::pool::Pool;
 
+/// Identifies the pool that served an allocation, for hash-free routing
+/// of the matching free (see [`CompositeAllocator::alloc_traced`]).
+pub type PoolId = u32;
+
 /// A size-routed set of pools acting as one allocator.
 pub struct CompositeAllocator {
     pools: Vec<Box<dyn Pool>>,
-    exact: HashMap<u32, usize>,
+    /// Exact routes, sorted by size for binary search (few entries).
+    exact: Vec<(u32, usize)>,
     ranges: Vec<(u32, u32, usize)>,
     fallback: usize,
+    /// addr → serving pool, maintained only by the untraced
+    /// [`Self::alloc`]/[`Self::free`] pair; the traced pair hands the
+    /// [`PoolId`] back to the caller instead.
     owner: HashMap<u64, usize>,
+    live: u64,
     regions: RegionTable,
 }
 
@@ -32,7 +41,7 @@ impl std::fmt::Debug for CompositeAllocator {
             .field("pools", &self.pools.len())
             .field("exact_routes", &self.exact.len())
             .field("range_routes", &self.ranges.len())
-            .field("live", &self.owner.len())
+            .field("live", &self.live)
             .finish()
     }
 }
@@ -43,7 +52,7 @@ impl CompositeAllocator {
         CompositeBuilder {
             regions: RegionTable::new(hierarchy),
             pools: Vec::new(),
-            exact: HashMap::new(),
+            exact: Vec::new(),
             ranges: Vec::new(),
             fallback: None,
         }
@@ -60,6 +69,25 @@ impl CompositeAllocator {
     /// Returns the fallback pool's error when even the fallback cannot
     /// serve.
     pub fn alloc(&mut self, size: u32, ctx: &mut AllocCtx) -> Result<BlockInfo, AllocError> {
+        let (info, served_by) = self.alloc_traced(size, ctx)?;
+        let prev = self.owner.insert(info.addr, served_by as usize);
+        debug_assert!(prev.is_none(), "two live blocks at one address");
+        Ok(info)
+    }
+
+    /// Serves an allocation and returns the serving pool's [`PoolId`]
+    /// alongside the placement — the hash-free entry point: the caller
+    /// keeps the id with its own block record and hands it back to
+    /// [`Self::free_traced`], so no addr → pool map is maintained.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::alloc`].
+    pub fn alloc_traced(
+        &mut self,
+        size: u32,
+        ctx: &mut AllocCtx,
+    ) -> Result<(BlockInfo, PoolId), AllocError> {
         ctx.count_op();
         let primary = self.route(size);
         let attempt = self.pools[primary].alloc(size, &mut self.regions, ctx);
@@ -71,23 +99,36 @@ impl CompositeAllocator {
             }
             Err(e) => return Err(e),
         };
-        let prev = self.owner.insert(info.addr, served_by);
-        debug_assert!(prev.is_none(), "two live blocks at one address");
-        Ok(info)
+        self.live += 1;
+        Ok((info, served_by as PoolId))
     }
 
     /// Frees the block starting at `addr`.
     ///
     /// # Panics
     ///
-    /// Panics if `addr` is not a live block of this allocator.
+    /// Panics if `addr` is not a live block of this allocator (only
+    /// blocks served by [`Self::alloc`] are tracked here; traced blocks
+    /// must go through [`Self::free_traced`]).
     pub fn free(&mut self, addr: u64, ctx: &mut AllocCtx) {
-        ctx.count_op();
         let idx = self
             .owner
             .remove(&addr)
             .unwrap_or_else(|| panic!("free of unknown address {addr:#x}"));
-        self.pools[idx].free(addr, ctx);
+        self.free_traced(addr, idx as PoolId, ctx);
+    }
+
+    /// Frees a block served by [`Self::alloc_traced`], routing straight
+    /// to the pool identified at allocation time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool` is out of range or does not own `addr`.
+    pub fn free_traced(&mut self, addr: u64, pool: PoolId, ctx: &mut AllocCtx) {
+        ctx.count_op();
+        self.pools[pool as usize].free(addr, ctx);
+        debug_assert!(self.live > 0, "free with no live blocks");
+        self.live -= 1;
     }
 
     /// Number of pools composed.
@@ -97,7 +138,7 @@ impl CompositeAllocator {
 
     /// Number of currently live blocks across all pools.
     pub fn live_blocks(&self) -> u64 {
-        self.owner.len() as u64
+        self.live
     }
 
     /// Read access to the shared region table (placement accounting).
@@ -112,8 +153,8 @@ impl CompositeAllocator {
 
     /// The pool index a request of `size` bytes routes to first.
     fn route(&self, size: u32) -> usize {
-        if let Some(&idx) = self.exact.get(&size) {
-            return idx;
+        if let Ok(i) = self.exact.binary_search_by_key(&size, |&(s, _)| s) {
+            return self.exact[i].1;
         }
         for &(min, max, idx) in &self.ranges {
             if (min..=max).contains(&size) {
@@ -123,7 +164,9 @@ impl CompositeAllocator {
         self.fallback
     }
 
-    /// Validates every pool's internal invariants plus the ownership map.
+    /// Validates every pool's internal invariants plus the live-block
+    /// accounting (and, when the untraced API is in use, the ownership
+    /// map).
     ///
     /// # Panics
     ///
@@ -134,10 +177,16 @@ impl CompositeAllocator {
         }
         let live_in_pools: u64 = self.pools.iter().map(|p| p.live_blocks()).sum();
         assert_eq!(
-            live_in_pools,
-            self.owner.len() as u64,
-            "ownership map disagrees with pool live counts"
+            live_in_pools, self.live,
+            "live counter disagrees with pool live counts"
         );
+        if !self.owner.is_empty() {
+            assert_eq!(
+                self.owner.len() as u64,
+                self.live,
+                "ownership map disagrees with pool live counts"
+            );
+        }
     }
 }
 
@@ -146,7 +195,7 @@ impl CompositeAllocator {
 pub struct CompositeBuilder {
     regions: RegionTable,
     pools: Vec<Box<dyn Pool>>,
-    exact: HashMap<u32, usize>,
+    exact: Vec<(u32, usize)>,
     ranges: Vec<(u32, u32, usize)>,
     fallback: Option<usize>,
 }
@@ -164,7 +213,7 @@ impl CompositeBuilder {
     pub fn dedicated(mut self, size: u32, pool: impl Pool + 'static) -> Self {
         let idx = self.pools.len();
         self.pools.push(Box::new(pool));
-        self.exact.insert(size, idx);
+        self.exact.push((size, idx));
         self
     }
 
@@ -192,7 +241,7 @@ impl CompositeBuilder {
     /// [`BuildError::MultipleFallbackPools`] if not exactly one fallback
     /// was added, [`BuildError::DuplicateExactRoute`] if two dedicated
     /// pools claim the same size.
-    pub fn build(self) -> Result<CompositeAllocator, BuildError> {
+    pub fn build(mut self) -> Result<CompositeAllocator, BuildError> {
         // `fallback` is a single Option: calling fallback() twice keeps the
         // later pool but leaks the earlier one into the pool list unrouted —
         // detect that instead of silently accepting it.
@@ -201,12 +250,17 @@ impl CompositeBuilder {
         if routed != self.pools.len() {
             return Err(BuildError::MultipleFallbackPools);
         }
+        self.exact.sort_unstable_by_key(|&(size, _)| size);
+        if let Some(w) = self.exact.windows(2).find(|w| w[0].0 == w[1].0) {
+            return Err(BuildError::DuplicateExactRoute(w[0].0));
+        }
         Ok(CompositeAllocator {
             pools: self.pools,
             exact: self.exact,
             ranges: self.ranges,
             fallback,
             owner: HashMap::new(),
+            live: 0,
             regions: self.regions,
         })
     }

@@ -24,9 +24,10 @@
 //!   pool placed on its own memory level;
 //! * **Configuration** — [`AllocatorConfig`] / [`PoolSpec`]: the flat
 //!   parameter vector that one point of the exploration space denotes;
-//! * **Simulation** — [`Simulator`] replays a [`dmx_trace::Trace`] and
-//!   produces [`SimMetrics`]: per-level accesses, peak footprint, energy
-//!   and execution time.
+//! * **Simulation** — [`Simulator`] replays a [`dmx_trace::Trace`] (or,
+//!   on the hot path, a pre-lowered [`dmx_trace::CompiledTrace`] through a
+//!   reusable [`SimArena`]) and produces [`SimMetrics`]: per-level
+//!   accesses, peak footprint, energy and execution time.
 //!
 //!
 //! **Paper mapping:** the parameterized pool/policy library of §2 (the
@@ -67,11 +68,11 @@ pub mod pool;
 mod sim;
 
 pub use block::BlockInfo;
-pub use composite::CompositeAllocator;
+pub use composite::{CompositeAllocator, PoolId};
 pub use config::{AllocatorConfig, PoolKind, PoolSpec, Route};
 pub use ctx::{AllocCtx, FootprintTracker};
 pub use error::{AllocError, BuildError};
 pub use freelist::FreeList;
 pub use policy::{CoalescePolicy, FitPolicy, FreeOrder, SplitPolicy};
 pub use pool::PoolStats;
-pub use sim::{SimMetrics, Simulator};
+pub use sim::{SimArena, SimMetrics, Simulator};

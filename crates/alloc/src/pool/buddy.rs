@@ -1,7 +1,5 @@
 //! Binary-buddy pool: power-of-two blocks, O(log n) split and merge.
 
-use std::collections::{BTreeMap, HashMap};
-
 use dmx_memhier::{LevelId, RegionTable};
 
 use crate::block::BlockInfo;
@@ -11,6 +9,16 @@ use crate::pool::{Pool, PoolStats};
 
 /// Simulated per-block header holding the order and status.
 const HEADER_BYTES: u32 = 8;
+
+/// One chunk-sized arena with its order map: one byte per minimum-order
+/// unit across the chunk span, `0` = no allocated block starts here,
+/// `k` = a live block of order `min_order + k - 1` starts here. This is
+/// the hash-free replacement for the old `order_of: HashMap<u64, u32>`.
+#[derive(Debug, Clone)]
+struct BuddyChunk {
+    base: u64,
+    orders: Vec<u8>,
+}
 
 /// A binary-buddy allocator over chunk-sized arenas.
 ///
@@ -25,11 +33,11 @@ pub struct BuddyPool {
     max_order: u32,
     /// Free lists per order, `min_order..=max_order`.
     free: Vec<Vec<u64>>,
-    /// Allocated block orders.
-    order_of: HashMap<u64, u32>,
-    /// Chunk bases (for buddy arithmetic relative to the chunk).
-    chunks: BTreeMap<u64, u64>,
+    /// Chunk arenas with their order maps, sorted by base (per-level
+    /// regions are carved in ascending address order).
+    chunks: Vec<BuddyChunk>,
     live: u64,
+    live_bytes: u64,
 }
 
 impl BuddyPool {
@@ -50,9 +58,9 @@ impl BuddyPool {
             min_order,
             max_order,
             free: vec![Vec::new(); (max_order - min_order + 1) as usize],
-            order_of: HashMap::new(),
-            chunks: BTreeMap::new(),
+            chunks: Vec::new(),
             live: 0,
+            live_bytes: 0,
         }
     }
 
@@ -74,13 +82,19 @@ impl BuddyPool {
         (order - self.min_order) as usize
     }
 
-    fn chunk_base(&self, addr: u64) -> u64 {
-        *self
-            .chunks
-            .range(..=addr)
-            .next_back()
-            .expect("address belongs to a chunk")
-            .0
+    /// Index of the chunk owning `addr`.
+    fn chunk_index(&self, addr: u64) -> usize {
+        let i = self.chunks.partition_point(|c| c.base <= addr);
+        i.checked_sub(1).expect("address belongs to a chunk")
+    }
+
+    /// Records a live block of `order` starting at `addr`.
+    fn mark_live(&mut self, addr: u64, order: u32) {
+        let ci = self.chunk_index(addr);
+        let unit = ((addr - self.chunks[ci].base) >> self.min_order) as usize;
+        self.chunks[ci].orders[unit] = (order - self.min_order + 1) as u8;
+        self.live += 1;
+        self.live_bytes += 1u64 << order;
     }
 }
 
@@ -112,7 +126,12 @@ impl Pool for BuddyPool {
                 let region = regions.reserve(self.level, chunk)?;
                 ctx.footprint.grow(self.level, chunk);
                 ctx.meta_write(self.level, 2);
-                self.chunks.insert(region.base, chunk);
+                let units = 1usize << (self.max_order - self.min_order);
+                // Ascending reserve order keeps `chunks` base-sorted.
+                self.chunks.push(BuddyChunk {
+                    base: region.base,
+                    orders: vec![0; units],
+                });
                 let top = self.slot(self.max_order);
                 self.free[top].push(region.base);
                 self.max_order
@@ -134,8 +153,7 @@ impl Pool for BuddyPool {
             ctx.meta_write(self.level, 2);
         }
         ctx.meta_write(self.level, 1); // allocated header
-        self.order_of.insert(addr, order);
-        self.live += 1;
+        self.mark_live(addr, order);
         Ok(BlockInfo {
             addr,
             level: self.level,
@@ -145,15 +163,24 @@ impl Pool for BuddyPool {
     }
 
     fn free(&mut self, addr: u64, ctx: &mut AllocCtx) {
-        let mut order = self
-            .order_of
-            .remove(&addr)
+        let ci = self
+            .chunks
+            .partition_point(|c| c.base <= addr)
+            .checked_sub(1)
             .unwrap_or_else(|| panic!("free of address {addr:#x} not owned by this buddy pool"));
+        let base = self.chunks[ci].base;
+        let unit = ((addr - base) >> self.min_order) as usize;
+        let tag = self.chunks[ci].orders.get(unit).copied().unwrap_or(0);
+        if tag == 0 {
+            panic!("free of address {addr:#x} not owned by this buddy pool");
+        }
+        let mut order = self.min_order + u32::from(tag) - 1;
+        self.chunks[ci].orders[unit] = 0;
         assert!(self.live > 0, "free with no live blocks");
         self.live -= 1;
+        self.live_bytes -= 1u64 << order;
         ctx.meta_read(self.level, 1); // own header
 
-        let base = self.chunk_base(addr);
         let mut addr = addr;
         while order < self.max_order {
             let buddy = base + ((addr - base) ^ (1u64 << order));
@@ -185,8 +212,8 @@ impl Pool for BuddyPool {
 
     fn stats(&self) -> PoolStats {
         PoolStats {
-            reserved_bytes: self.chunks.values().sum(),
-            live_bytes: self.order_of.values().map(|&o| 1u64 << o).sum(),
+            reserved_bytes: self.chunks.len() as u64 * (1u64 << self.max_order),
+            live_bytes: self.live_bytes,
             live_blocks: self.live,
             free_blocks: self.free.iter().map(|l| l.len() as u64).sum(),
         }
@@ -199,7 +226,9 @@ impl Pool for BuddyPool {
             let order = self.min_order + i as u32;
             for addr in list {
                 assert!(
-                    self.chunks.range(..=*addr).next_back().is_some(),
+                    self.chunks
+                        .iter()
+                        .any(|c| *addr >= c.base && *addr < c.base + (1u64 << self.max_order)),
                     "free block outside chunks"
                 );
                 seen.push((*addr, order));
@@ -212,14 +241,26 @@ impl Pool for BuddyPool {
                 "free buddy blocks overlap"
             );
         }
-        // Live blocks must not appear free.
-        for (addr, order) in &self.order_of {
-            assert!(
-                !self.free[(order - self.min_order) as usize].contains(addr),
-                "block both live and free"
-            );
+        // Live blocks must not appear free, and must account for `live`.
+        let mut live_found = 0u64;
+        let mut live_bytes = 0u64;
+        for chunk in &self.chunks {
+            for (unit, &tag) in chunk.orders.iter().enumerate() {
+                if tag == 0 {
+                    continue;
+                }
+                let order = self.min_order + u32::from(tag) - 1;
+                let addr = chunk.base + ((unit as u64) << self.min_order);
+                assert!(
+                    !self.free[(order - self.min_order) as usize].contains(&addr),
+                    "block both live and free"
+                );
+                live_found += 1;
+                live_bytes += 1u64 << order;
+            }
         }
-        assert_eq!(self.order_of.len() as u64, self.live, "live count mismatch");
+        assert_eq!(live_found, self.live, "live count mismatch");
+        assert_eq!(live_bytes, self.live_bytes, "live bytes mismatch");
     }
 }
 
@@ -322,5 +363,15 @@ mod tests {
         let (_regions, mut ctx) = setup();
         let mut p = BuddyPool::new(L1, 5, 12);
         p.free(0x1000, &mut ctx);
+    }
+
+    #[test]
+    #[should_panic(expected = "not owned")]
+    fn double_free_panics() {
+        let (mut regions, mut ctx) = setup();
+        let mut p = BuddyPool::new(L1, 5, 12);
+        let a = p.alloc(100, &mut regions, &mut ctx).unwrap();
+        p.free(a.addr, &mut ctx);
+        p.free(a.addr, &mut ctx);
     }
 }

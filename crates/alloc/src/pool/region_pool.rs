@@ -24,9 +24,12 @@ pub struct RegionPool {
     offset: u64,
     live: u64,
     live_bytes: u64,
-    /// Host-side size table so stats can report live bytes (the simulated
-    /// arena stores no per-block metadata).
-    sizes: std::collections::HashMap<u64, u32>,
+    /// Host-side size tables so stats can report live bytes (the simulated
+    /// arena stores no per-block metadata). One table per chunk, indexed
+    /// at 8-byte granularity — every bump offset is 8-aligned, so
+    /// `(addr - base) / 8` is a perfect slot index; 0 means "no live block
+    /// starts here".
+    sizes: Vec<Vec<u32>>,
 }
 
 impl RegionPool {
@@ -45,13 +48,21 @@ impl RegionPool {
             offset: 0,
             live: 0,
             live_bytes: 0,
-            sizes: std::collections::HashMap::new(),
+            sizes: Vec::new(),
         }
     }
 
     /// Bytes of region space this arena has reserved.
     pub fn reserved_bytes(&self) -> u64 {
         self.chunks.iter().map(|c| c.size).sum()
+    }
+
+    /// The chunk index containing `addr` (chunks are address-sorted —
+    /// per-level regions are carved ascending).
+    fn chunk_of(&self, addr: u64) -> Option<usize> {
+        let i = self.chunks.partition_point(|c| c.base <= addr);
+        let ci = i.checked_sub(1)?;
+        self.chunks[ci].contains(addr).then_some(ci)
     }
 }
 
@@ -69,11 +80,11 @@ impl Pool for RegionPool {
             if let Some(chunk) = self.chunks.get(self.current) {
                 if self.offset + asize <= chunk.size {
                     let addr = chunk.base + self.offset;
+                    self.sizes[self.current][(self.offset / 8) as usize] = asize as u32;
                     self.offset += asize;
                     ctx.meta_write(self.level, 1); // bump update
                     self.live += 1;
                     self.live_bytes += asize;
-                    self.sizes.insert(addr, asize as u32);
                     return Ok(BlockInfo {
                         addr,
                         level: self.level,
@@ -95,18 +106,21 @@ impl Pool for RegionPool {
             ctx.footprint.grow(self.level, bytes);
             ctx.meta_write(self.level, 2);
             self.chunks.push(region);
+            self.sizes.push(vec![0; bytes.div_ceil(8) as usize]);
             self.current = self.chunks.len() - 1;
             self.offset = 0;
         }
     }
 
-    fn free(&mut self, _addr: u64, ctx: &mut AllocCtx) {
+    fn free(&mut self, addr: u64, ctx: &mut AllocCtx) {
         assert!(self.live > 0, "free on an empty arena");
         // Decrement the arena's live counter.
         ctx.meta_read(self.level, 1);
         ctx.meta_write(self.level, 1);
         self.live -= 1;
-        if let Some(size) = self.sizes.remove(&_addr) {
+        if let Some(ci) = self.chunk_of(addr) {
+            let slot = ((addr - self.chunks[ci].base) / 8) as usize;
+            let size = std::mem::replace(&mut self.sizes[ci][slot], 0);
             self.live_bytes -= u64::from(size);
         }
         if self.live == 0 {
@@ -145,6 +159,13 @@ impl Pool for RegionPool {
             self.current == 0 || self.current < self.chunks.len(),
             "current chunk out of range"
         );
+        assert_eq!(self.sizes.len(), self.chunks.len(), "size table per chunk");
+        let table_bytes: u64 = self
+            .sizes
+            .iter()
+            .flat_map(|t| t.iter().map(|&s| u64::from(s)))
+            .sum();
+        assert_eq!(table_bytes, self.live_bytes, "size tables vs live bytes");
     }
 }
 
@@ -211,6 +232,20 @@ mod tests {
         let mut p = RegionPool::new(L1, 512);
         let big = p.alloc(2000, &mut regions, &mut ctx).unwrap();
         assert_eq!(big.occupied, 2000);
+        p.validate();
+    }
+
+    #[test]
+    fn live_bytes_track_frees_across_chunks() {
+        let (mut regions, mut ctx) = setup();
+        let mut p = RegionPool::new(L1, 1024);
+        let a = p.alloc(800, &mut regions, &mut ctx).unwrap();
+        let b = p.alloc(800, &mut regions, &mut ctx).unwrap(); // 2nd chunk
+        assert_eq!(p.stats().live_bytes, 1600);
+        p.free(a.addr, &mut ctx);
+        assert_eq!(p.stats().live_bytes, 800);
+        p.free(b.addr, &mut ctx);
+        assert_eq!(p.stats().live_bytes, 0);
         p.validate();
     }
 

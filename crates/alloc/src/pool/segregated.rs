@@ -1,7 +1,5 @@
 //! Segregated-storage pool: power-of-two size classes, exact-fit O(1).
 
-use std::collections::HashMap;
-
 use dmx_memhier::{LevelId, Region, RegionTable};
 
 use crate::block::{align_up, BlockInfo};
@@ -9,12 +7,34 @@ use crate::ctx::AllocCtx;
 use crate::error::AllocError;
 use crate::pool::{Pool, PoolStats};
 
-/// Per-class state: an embedded free list plus a bump chunk.
+/// Per-class state: a slot-indexed free list plus a bump chunk.
+///
+/// Slots are numbered globally within the class: slot `g` lives in chunk
+/// `g / per_chunk` at offset `(g % per_chunk) * slot_size`, so the free
+/// list and the liveness bitmap index by integer — no address hashing.
 #[derive(Debug, Clone, Default)]
 struct Class {
-    free: Vec<u64>,
+    /// Free slot indices (LIFO — the embedded free list's order).
+    free: Vec<u32>,
     chunks: Vec<Region>,
     bump_used: u32,
+    /// Liveness per slot, `chunks.len() * per_chunk` entries.
+    live_slots: Vec<bool>,
+    live_count: u64,
+    /// Slots per chunk (constant per class).
+    per_chunk: u32,
+}
+
+/// Directory entry mapping an address range to its class chunk; kept
+/// sorted by base (the region table carves per-level addresses in
+/// ascending order) so frees resolve their class by binary search.
+#[derive(Debug, Clone, Copy)]
+struct ChunkRef {
+    base: u64,
+    end: u64,
+    class: u32,
+    /// Ordinal of this chunk within its class (for slot numbering).
+    ordinal: u32,
 }
 
 /// A segregated-storage pool: one embedded free list per power-of-two size
@@ -23,19 +43,22 @@ struct Class {
 ///
 /// Requests larger than the largest class are served as *large objects*:
 /// each gets its own exactly-sized region, recycled by exact size.
+///
+/// All host-side bookkeeping is hash-free: class membership resolves via
+/// a sorted chunk directory, slot state via slot-indexed vectors, and
+/// large objects via sorted address/size lists.
 #[derive(Debug, Clone)]
 pub struct SegregatedPool {
     level: LevelId,
     /// Class slot sizes, ascending powers of two.
     classes: Vec<u32>,
     class_state: Vec<Class>,
-    chunk_bytes: u64,
-    /// Class index of every handed-out slot (simulated: per-chunk
-    /// descriptor, charged as one read on free).
-    slot_class: HashMap<u64, usize>,
-    /// Large-object recycling by exact occupied size.
-    large_free: HashMap<u32, Vec<u64>>,
-    large_live: HashMap<u64, u32>,
+    /// Sorted (by base) address-range directory of all class chunks.
+    chunk_dir: Vec<ChunkRef>,
+    /// Large-object recycling by exact occupied size, sorted by size.
+    large_free: Vec<(u32, Vec<u64>)>,
+    /// Live large objects, sorted by address.
+    large_live: Vec<(u64, u32)>,
     live: u64,
 }
 
@@ -57,15 +80,20 @@ impl SegregatedPool {
             classes.push(c);
             c *= 2;
         }
-        let class_state = vec![Class::default(); classes.len()];
+        let class_state = classes
+            .iter()
+            .map(|&slot| Class {
+                per_chunk: (chunk_bytes / u64::from(slot)).max(1) as u32,
+                ..Class::default()
+            })
+            .collect();
         SegregatedPool {
             level,
             classes,
             class_state,
-            chunk_bytes,
-            slot_class: HashMap::new(),
-            large_free: HashMap::new(),
-            large_live: HashMap::new(),
+            chunk_dir: Vec::new(),
+            large_free: Vec::new(),
+            large_live: Vec::new(),
             live: 0,
         }
     }
@@ -77,6 +105,20 @@ impl SegregatedPool {
 
     fn class_of(&self, size: u32) -> Option<usize> {
         self.classes.iter().position(|c| *c >= size)
+    }
+
+    /// The address of global slot `g` of class `ci`.
+    fn slot_addr(&self, ci: usize, g: u32) -> u64 {
+        let state = &self.class_state[ci];
+        let chunk = &state.chunks[(g / state.per_chunk) as usize];
+        chunk.base + u64::from(g % state.per_chunk) * u64::from(self.classes[ci])
+    }
+
+    /// The class chunk containing `addr`, if any.
+    fn chunk_of(&self, addr: u64) -> Option<ChunkRef> {
+        let i = self.chunk_dir.partition_point(|c| c.base <= addr);
+        let c = *self.chunk_dir.get(i.checked_sub(1)?)?;
+        (addr < c.end).then_some(c)
     }
 }
 
@@ -92,15 +134,14 @@ impl Pool for SegregatedPool {
                 let slot = self.classes[ci];
                 // Read the class head pointer (class index is arithmetic).
                 ctx.meta_read(self.level, 1);
-                let addr = if let Some(addr) = self.class_state[ci].free.pop() {
+                let gslot = if let Some(g) = self.class_state[ci].free.pop() {
                     ctx.meta_read(self.level, 1); // embedded next pointer
                     ctx.meta_write(self.level, 1); // head update
-                    addr
+                    g
                 } else {
-                    let state = &mut self.class_state[ci];
-                    let per_chunk = (self.chunk_bytes / u64::from(slot)).max(1) as u32;
-                    let need_grow = match state.chunks.last() {
-                        Some(_) => state.bump_used >= per_chunk,
+                    let per_chunk = self.class_state[ci].per_chunk;
+                    let need_grow = match self.class_state[ci].chunks.last() {
+                        Some(_) => self.class_state[ci].bump_used >= per_chunk,
                         None => true,
                     };
                     if need_grow {
@@ -108,17 +149,33 @@ impl Pool for SegregatedPool {
                         let region = regions.reserve(self.level, bytes)?;
                         ctx.footprint.grow(self.level, bytes);
                         ctx.meta_write(self.level, 2);
+                        let state = &mut self.class_state[ci];
+                        let ordinal = state.chunks.len() as u32;
+                        // Per-level regions are carved in ascending address
+                        // order, so appending keeps the directory sorted.
+                        self.chunk_dir.push(ChunkRef {
+                            base: region.base,
+                            end: region.end(),
+                            class: ci as u32,
+                            ordinal,
+                        });
                         state.chunks.push(region);
                         state.bump_used = 0;
+                        state
+                            .live_slots
+                            .resize(state.chunks.len() * per_chunk as usize, false);
                     }
-                    let chunk = state.chunks.last().expect("chunk exists");
-                    let addr = chunk.base + u64::from(state.bump_used) * u64::from(slot);
+                    let state = &mut self.class_state[ci];
+                    let g = (state.chunks.len() as u32 - 1) * per_chunk + state.bump_used;
                     state.bump_used += 1;
                     ctx.meta_read(self.level, 1);
                     ctx.meta_write(self.level, 1);
-                    addr
+                    g
                 };
-                self.slot_class.insert(addr, ci);
+                let addr = self.slot_addr(ci, gslot);
+                let state = &mut self.class_state[ci];
+                state.live_slots[gslot as usize] = true;
+                state.live_count += 1;
                 self.live += 1;
                 Ok(BlockInfo {
                     addr,
@@ -131,7 +188,12 @@ impl Pool for SegregatedPool {
                 // Large object: exactly-sized dedicated region.
                 let occupied = align_up(size, 8);
                 ctx.meta_read(self.level, 1); // large-object table probe
-                let addr = match self.large_free.get_mut(&occupied).and_then(Vec::pop) {
+                let recycled = self
+                    .large_free
+                    .binary_search_by_key(&occupied, |&(s, _)| s)
+                    .ok()
+                    .and_then(|i| self.large_free[i].1.pop());
+                let addr = match recycled {
                     Some(addr) => {
                         ctx.meta_write(self.level, 1);
                         addr
@@ -143,7 +205,11 @@ impl Pool for SegregatedPool {
                         region.base
                     }
                 };
-                self.large_live.insert(addr, occupied);
+                let at = self
+                    .large_live
+                    .binary_search_by_key(&addr, |&(a, _)| a)
+                    .unwrap_err();
+                self.large_live.insert(at, (addr, occupied));
                 self.live += 1;
                 Ok(BlockInfo {
                     addr,
@@ -156,15 +222,29 @@ impl Pool for SegregatedPool {
     }
 
     fn free(&mut self, addr: u64, ctx: &mut AllocCtx) {
-        if let Some(ci) = self.slot_class.remove(&addr) {
+        if let Some(chunk) = self.chunk_of(addr) {
+            let ci = chunk.class as usize;
+            let state = &mut self.class_state[ci];
+            let slot_in_chunk = ((addr - chunk.base) / u64::from(self.classes[ci])) as u32;
+            let gslot = chunk.ordinal * state.per_chunk + slot_in_chunk;
+            assert!(
+                state.live_slots[gslot as usize],
+                "free of address {addr:#x} not owned by this segregated pool"
+            );
             // Read the chunk descriptor to find the class, push on the list.
             ctx.meta_read(self.level, 1);
             ctx.meta_write(self.level, 2);
-            self.class_state[ci].free.push(addr);
-        } else if let Some(occupied) = self.large_live.remove(&addr) {
+            state.live_slots[gslot as usize] = false;
+            state.live_count -= 1;
+            state.free.push(gslot);
+        } else if let Ok(i) = self.large_live.binary_search_by_key(&addr, |&(a, _)| a) {
+            let (_, occupied) = self.large_live.remove(i);
             ctx.meta_read(self.level, 1);
             ctx.meta_write(self.level, 2);
-            self.large_free.entry(occupied).or_default().push(addr);
+            match self.large_free.binary_search_by_key(&occupied, |&(s, _)| s) {
+                Ok(b) => self.large_free[b].1.push(addr),
+                Err(b) => self.large_free.insert(b, (occupied, vec![addr])),
+            }
         } else {
             panic!("free of address {addr:#x} not owned by this segregated pool");
         }
@@ -182,21 +262,22 @@ impl Pool for SegregatedPool {
 
     fn stats(&self) -> PoolStats {
         let class_live: u64 = self
-            .slot_class
-            .values()
-            .map(|&ci| u64::from(self.classes[ci]))
+            .class_state
+            .iter()
+            .zip(&self.classes)
+            .map(|(st, &slot)| st.live_count * u64::from(slot))
             .sum();
-        let large_live: u64 = self.large_live.values().map(|&s| u64::from(s)).sum();
+        let large_live: u64 = self.large_live.iter().map(|&(_, s)| u64::from(s)).sum();
         let reserved: u64 = self
             .class_state
             .iter()
             .flat_map(|st| st.chunks.iter().map(|c| c.size))
             .sum::<u64>()
-            + self.large_live.values().map(|&s| u64::from(s)).sum::<u64>()
+            + large_live
             + self
                 .large_free
                 .iter()
-                .map(|(&size, addrs)| u64::from(size) * addrs.len() as u64)
+                .map(|(size, addrs)| u64::from(*size) * addrs.len() as u64)
                 .sum::<u64>();
         let free_blocks = self
             .class_state
@@ -205,8 +286,8 @@ impl Pool for SegregatedPool {
             .sum::<u64>()
             + self
                 .large_free
-                .values()
-                .map(|v| v.len() as u64)
+                .iter()
+                .map(|(_, v)| v.len() as u64)
                 .sum::<u64>();
         PoolStats {
             reserved_bytes: reserved,
@@ -218,18 +299,18 @@ impl Pool for SegregatedPool {
 
     fn validate(&self) {
         for (ci, state) in self.class_state.iter().enumerate() {
-            for addr in &state.free {
-                assert!(
-                    state.chunks.iter().any(|c| c.contains(*addr)),
-                    "class {ci} free slot outside its chunks"
-                );
-                assert!(
-                    !self.slot_class.contains_key(addr),
-                    "slot both free and live"
-                );
+            let total_slots = state.chunks.len() as u32 * state.per_chunk;
+            for &g in &state.free {
+                assert!(g < total_slots, "class {ci} free slot outside its chunks");
+                assert!(!state.live_slots[g as usize], "slot both free and live");
             }
+            let live_bits = state.live_slots.iter().filter(|&&b| b).count() as u64;
+            assert_eq!(live_bits, state.live_count, "class {ci} live-bit mismatch");
         }
-        let class_live = self.slot_class.len() as u64;
+        for w in self.chunk_dir.windows(2) {
+            assert!(w[0].end <= w[1].base, "chunk directory overlaps");
+        }
+        let class_live: u64 = self.class_state.iter().map(|st| st.live_count).sum();
         let large_live = self.large_live.len() as u64;
         assert_eq!(class_live + large_live, self.live, "live count mismatch");
     }
@@ -308,6 +389,16 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "not owned")]
+    fn double_free_of_class_slot_panics() {
+        let (mut regions, mut ctx) = setup();
+        let mut p = SegregatedPool::new(L1, 16, 256, 4096);
+        let a = p.alloc(32, &mut regions, &mut ctx).unwrap();
+        p.free(a.addr, &mut ctx);
+        p.free(a.addr, &mut ctx);
+    }
+
+    #[test]
     fn live_counting() {
         let (mut regions, mut ctx) = setup();
         let mut p = SegregatedPool::new(L1, 16, 64, 1024);
@@ -317,6 +408,28 @@ mod tests {
         p.free(a.addr, &mut ctx);
         p.free(b.addr, &mut ctx);
         assert_eq!(p.live_blocks(), 0);
+        p.validate();
+    }
+
+    #[test]
+    fn interleaved_class_and_large_frees_resolve_correctly() {
+        let (mut regions, mut ctx) = setup();
+        let mut p = SegregatedPool::new(L1, 16, 64, 256);
+        // Interleave class chunks and large regions in address space.
+        let a = p.alloc(16, &mut regions, &mut ctx).unwrap();
+        let big1 = p.alloc(1000, &mut regions, &mut ctx).unwrap();
+        let b = p.alloc(64, &mut regions, &mut ctx).unwrap();
+        let big2 = p.alloc(2000, &mut regions, &mut ctx).unwrap();
+        p.validate();
+        p.free(big1.addr, &mut ctx);
+        p.free(a.addr, &mut ctx);
+        p.free(big2.addr, &mut ctx);
+        p.free(b.addr, &mut ctx);
+        assert_eq!(p.live_blocks(), 0);
+        p.validate();
+        // Both large sizes recycle by exact size.
+        let again = p.alloc(1000, &mut regions, &mut ctx).unwrap();
+        assert_eq!(again.addr, big1.addr);
         p.validate();
     }
 }

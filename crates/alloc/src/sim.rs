@@ -1,13 +1,30 @@
 //! Trace-driven simulation: replay a workload against a configuration and
 //! collect the paper's four metrics.
+//!
+//! # The slab kernel
+//!
+//! Replay is the hot path of every exploration: each objective the search
+//! strategies optimize comes from a full trace replay, and robust
+//! (scenario-suite) evaluation multiplies replay volume by the suite
+//! size. The kernel therefore runs on a [`CompiledTrace`] — block ids
+//! pre-renamed to dense recycled slots — so per-event bookkeeping is a
+//! flat slab index instead of a hash lookup, and on a reusable
+//! [`SimArena`] so the slab is allocated once per worker, not once per
+//! genome.
+//!
+//! [`Simulator::run_reference`] keeps the original hash-map interpreter
+//! (over the uncompiled [`Trace`]) as a correctness oracle and throughput
+//! baseline: the golden-metrics tests and proptests pin the two paths to
+//! byte-identical [`SimMetrics`], and the `sim_throughput` bench reports
+//! the slab kernel's speedup over it.
 
 use std::collections::HashMap;
 
 use dmx_memhier::{CostModel, CostParams, CounterSet, MemoryHierarchy};
-use dmx_trace::{BlockId, Trace, TraceEvent};
+use dmx_trace::{BlockId, CompiledEvent, CompiledTrace, Trace, TraceEvent};
 
 use crate::block::BlockInfo;
-use crate::composite::CompositeAllocator;
+use crate::composite::{CompositeAllocator, PoolId};
 use crate::config::AllocatorConfig;
 use crate::ctx::AllocCtx;
 use crate::error::BuildError;
@@ -64,6 +81,64 @@ impl SimMetrics {
     }
 }
 
+/// A live-block slab entry: where the block landed and which pool served
+/// it (so the free routes back without an address map).
+type SlabEntry = Option<(BlockInfo, PoolId)>;
+
+/// Reusable per-worker simulation scratch state.
+///
+/// The only allocation the slab kernel needs that scales with the
+/// workload is the live-block slab (`max_live_slots` entries). A worker
+/// keeps one arena across all the genomes it evaluates; each run resets
+/// the slab in place instead of reallocating, and the arena counts runs,
+/// reuses and events for the `--sim-stats` report.
+#[derive(Debug, Default)]
+pub struct SimArena {
+    slab: Vec<SlabEntry>,
+    runs: u64,
+    reuses: u64,
+    events: u64,
+}
+
+impl SimArena {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        SimArena::default()
+    }
+
+    /// Runs replayed through this arena.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Runs that reused the existing slab allocation instead of growing
+    /// it — the arena's whole point; the first run is never a reuse.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Total events replayed through this arena.
+    pub fn events_replayed(&self) -> u64 {
+        self.events
+    }
+
+    /// Readies the slab for a run needing `slots` entries, reusing the
+    /// existing allocation when it is big enough.
+    fn prepare(&mut self, slots: usize) -> &mut [SlabEntry] {
+        if self.slab.len() >= slots {
+            if self.runs > 0 {
+                self.reuses += 1;
+            }
+            self.slab[..slots].fill(None);
+        } else {
+            self.slab.clear();
+            self.slab.resize(slots, None);
+        }
+        self.runs += 1;
+        &mut self.slab[..slots]
+    }
+}
+
 /// Replays traces against allocator configurations over a fixed platform.
 #[derive(Debug, Clone, Copy)]
 pub struct Simulator<'h> {
@@ -93,6 +168,11 @@ impl<'h> Simulator<'h> {
 
     /// Builds `config` and replays `trace` against it.
     ///
+    /// Compiles the trace first; callers replaying one workload against
+    /// many configurations should compile once and use
+    /// [`Self::run_compiled`] (or [`Self::replay`] with a shared arena)
+    /// instead.
+    ///
     /// # Errors
     ///
     /// Returns [`BuildError`] if the configuration is invalid; runtime
@@ -100,13 +180,133 @@ impl<'h> Simulator<'h> {
     /// [`SimMetrics::failures`] (the configuration is infeasible, which is
     /// itself an exploration result).
     pub fn run(&self, config: &AllocatorConfig, trace: &Trace) -> Result<SimMetrics, BuildError> {
+        self.run_compiled(config, &CompiledTrace::compile(trace))
+    }
+
+    /// Builds `config` and replays the compiled `trace` against it with a
+    /// private arena.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`].
+    pub fn run_compiled(
+        &self,
+        config: &AllocatorConfig,
+        trace: &CompiledTrace,
+    ) -> Result<SimMetrics, BuildError> {
         let mut allocator = config.build(self.hierarchy)?;
-        Ok(self.run_built(&mut allocator, trace))
+        let mut arena = SimArena::new();
+        Ok(self.replay(&mut allocator, trace, &mut arena))
+    }
+
+    /// Builds `config` and replays the compiled `trace` through a
+    /// caller-owned [`SimArena`] — the evaluator hot path: one arena per
+    /// worker, reused across genomes.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`].
+    pub fn run_in_arena(
+        &self,
+        config: &AllocatorConfig,
+        trace: &CompiledTrace,
+        arena: &mut SimArena,
+    ) -> Result<SimMetrics, BuildError> {
+        let mut allocator = config.build(self.hierarchy)?;
+        Ok(self.replay(&mut allocator, trace, arena))
     }
 
     /// Replays `trace` against an already-built allocator (useful for
     /// hand-composed allocators; see the `custom_allocator` example).
     pub fn run_built(&self, allocator: &mut CompositeAllocator, trace: &Trace) -> SimMetrics {
+        let mut arena = SimArena::new();
+        self.replay(allocator, &CompiledTrace::compile(trace), &mut arena)
+    }
+
+    /// The slab replay kernel: every event costs a slab index, never a
+    /// hash lookup. Blocks whose allocation failed leave their slot empty,
+    /// so their later frees/accesses fall through exactly as in the
+    /// reference interpreter.
+    pub fn replay(
+        &self,
+        allocator: &mut CompositeAllocator,
+        trace: &CompiledTrace,
+        arena: &mut SimArena,
+    ) -> SimMetrics {
+        let mut ctx = AllocCtx::new(self.hierarchy.len());
+        let mut allocs = 0u64;
+        let mut frees = 0u64;
+        let mut failures = 0u64;
+        let mut tick_cycles = 0u64;
+        let mut live_internal_frag = 0u64;
+        let mut peak_internal_frag = 0u64;
+        let slab = arena.prepare(trace.max_live_slots() as usize);
+
+        for event in trace.events() {
+            match *event {
+                CompiledEvent::Alloc { slot, size } => {
+                    match allocator.alloc_traced(size, &mut ctx) {
+                        Ok((info, pool)) => {
+                            allocs += 1;
+                            live_internal_frag += u64::from(info.internal_fragmentation());
+                            peak_internal_frag = peak_internal_frag.max(live_internal_frag);
+                            debug_assert!(slab[slot as usize].is_none(), "slot already live");
+                            slab[slot as usize] = Some((info, pool));
+                        }
+                        Err(_) => {
+                            // The block never materializes; later events on
+                            // this slot are dropped below.
+                            failures += 1;
+                        }
+                    }
+                }
+                CompiledEvent::Free { slot } => {
+                    if let Some((info, pool)) = slab[slot as usize].take() {
+                        live_internal_frag -= u64::from(info.internal_fragmentation());
+                        allocator.free_traced(info.addr, pool, &mut ctx);
+                        frees += 1;
+                    }
+                }
+                CompiledEvent::Access {
+                    slot,
+                    reads,
+                    writes,
+                } => {
+                    if let Some((info, _)) = slab[slot as usize] {
+                        ctx.app_access(info.level, u64::from(reads), u64::from(writes));
+                    }
+                }
+                CompiledEvent::Tick { cycles } => {
+                    tick_cycles += u64::from(cycles);
+                }
+            }
+        }
+        arena.events += trace.len() as u64;
+
+        self.finish(
+            ctx,
+            allocs,
+            frees,
+            failures,
+            tick_cycles,
+            peak_internal_frag,
+        )
+    }
+
+    /// The original hash-map interpreter over the uncompiled trace, kept
+    /// as the correctness oracle (golden tests and proptests pin it
+    /// byte-identical to [`Self::replay`]) and as the `sim_throughput`
+    /// bench baseline.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`].
+    pub fn run_reference(
+        &self,
+        config: &AllocatorConfig,
+        trace: &Trace,
+    ) -> Result<SimMetrics, BuildError> {
+        let mut allocator = config.build(self.hierarchy)?;
         let mut ctx = AllocCtx::new(self.hierarchy.len());
         let mut placed: HashMap<BlockId, BlockInfo> = HashMap::new();
         let mut allocs = 0u64;
@@ -126,8 +326,6 @@ impl<'h> Simulator<'h> {
                         placed.insert(id, info);
                     }
                     Err(_) => {
-                        // The block never materializes; later events on this
-                        // id are dropped below.
                         failures += 1;
                     }
                 },
@@ -149,6 +347,27 @@ impl<'h> Simulator<'h> {
             }
         }
 
+        Ok(self.finish(
+            ctx,
+            allocs,
+            frees,
+            failures,
+            tick_cycles,
+            peak_internal_frag,
+        ))
+    }
+
+    /// Folds the accounting context into the final metrics (shared by the
+    /// kernel and the reference interpreter).
+    fn finish(
+        &self,
+        ctx: AllocCtx,
+        allocs: u64,
+        frees: u64,
+        failures: u64,
+        tick_cycles: u64,
+        peak_internal_frag: u64,
+    ) -> SimMetrics {
         let cost = CostModel::with_params(self.hierarchy, self.cost_params);
         let cycles = cost.total_cycles(&ctx.counters, ctx.ops) + tick_cycles;
         let energy_pj = cost.total_energy_pj(&ctx.counters, cycles);
@@ -313,5 +532,78 @@ mod tests {
         let a = sim.run(&cfg, &trace).unwrap();
         let b = sim.run(&cfg, &trace).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kernel_matches_reference_interpreter() {
+        let hier = presets::sp64k_dram4m();
+        let sim = Simulator::new(&hier);
+        for seed in [1, 7, 23] {
+            let trace = EasyportConfig::small().generate(seed);
+            for cfg in [baseline(&hier), AllocatorConfig::paper_example(&hier)] {
+                let reference = sim.run_reference(&cfg, &trace).unwrap();
+                let compiled = sim.run(&cfg, &trace).unwrap();
+                assert_eq!(reference, compiled, "seed {seed} cfg {}", cfg.label());
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_matches_reference_on_infeasible_configs() {
+        // Failed allocations leave their slot empty; later frees/accesses
+        // on that block must be dropped in both interpreters.
+        let hier = presets::sp64k_dram4m();
+        let sim = Simulator::new(&hier);
+        let cfg = AllocatorConfig::general_only(
+            hier.fastest(),
+            FitPolicy::FirstFit,
+            FreeOrder::Lifo,
+            CoalescePolicy::Never,
+            SplitPolicy::Never,
+        );
+        let trace = VtcConfig::small().generate(4);
+        let reference = sim.run_reference(&cfg, &trace).unwrap();
+        let compiled = sim.run(&cfg, &trace).unwrap();
+        assert!(!reference.feasible(), "fixture must exercise failures");
+        assert_eq!(reference, compiled);
+    }
+
+    #[test]
+    fn arena_reuse_preserves_metrics_and_counts() {
+        let hier = presets::sp64k_dram4m();
+        let sim = Simulator::new(&hier);
+        let trace = EasyportConfig::small().generate(9);
+        let compiled = CompiledTrace::compile(&trace);
+        let cfg = AllocatorConfig::paper_example(&hier);
+        let fresh = sim.run_compiled(&cfg, &compiled).unwrap();
+
+        let mut arena = SimArena::new();
+        let a = sim.run_in_arena(&cfg, &compiled, &mut arena).unwrap();
+        let b = sim.run_in_arena(&cfg, &compiled, &mut arena).unwrap();
+        let c = sim.run_in_arena(&cfg, &compiled, &mut arena).unwrap();
+        assert_eq!(a, fresh);
+        assert_eq!(b, fresh, "slab reuse must not leak state between runs");
+        assert_eq!(c, fresh);
+        assert_eq!(arena.runs(), 3);
+        assert_eq!(arena.reuses(), 2, "every run after the first reuses");
+        assert_eq!(arena.events_replayed(), 3 * compiled.len() as u64);
+    }
+
+    #[test]
+    fn arena_shrinking_and_growing_workloads() {
+        // A big trace then a small one then the big one again: the slab
+        // must shrink/grow transparently with identical metrics.
+        let hier = presets::sp64k_dram4m();
+        let sim = Simulator::new(&hier);
+        let big = CompiledTrace::compile(&EasyportConfig::small().generate(3));
+        let small = CompiledTrace::compile(&ramp(5, 32));
+        let cfg = baseline(&hier);
+        let mut arena = SimArena::new();
+        let b1 = sim.run_in_arena(&cfg, &big, &mut arena).unwrap();
+        let s1 = sim.run_in_arena(&cfg, &small, &mut arena).unwrap();
+        let b2 = sim.run_in_arena(&cfg, &big, &mut arena).unwrap();
+        assert_eq!(b1, b2);
+        assert_eq!(s1, sim.run(&cfg, &ramp(5, 32)).unwrap());
+        assert_eq!(arena.reuses(), 2, "small + repeat big reuse the slab");
     }
 }

@@ -1,0 +1,244 @@
+//! Property tests for the hash-free bookkeeping refactor.
+//!
+//! Two families:
+//!
+//! 1. **Pool model equivalence** — every pool's slab/sorted-list
+//!    bookkeeping is driven side by side with a plain `HashMap`
+//!    reference model (addr → occupied bytes); live accounting, stats
+//!    and address reuse must agree at every step.
+//! 2. **Kernel equivalence** — random well-formed traces replayed with
+//!    the compiled slab kernel produce byte-identical [`SimMetrics`] to
+//!    the retained hash-map reference interpreter
+//!    ([`Simulator::run_reference`]), across pool kinds and including
+//!    infeasible (allocation-failing) runs.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use dmx_alloc::pool::{BuddyPool, Pool, RegionPool, SegregatedPool};
+use dmx_alloc::{
+    AllocCtx, AllocatorConfig, CoalescePolicy, FitPolicy, FreeOrder, PoolKind, PoolSpec, Route,
+    SimArena, Simulator, SplitPolicy,
+};
+use dmx_memhier::{presets, LevelId, RegionTable};
+use dmx_trace::{BlockId, CompiledTrace, Trace, TraceEvent};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u32),
+    FreeNth(usize),
+}
+
+fn arb_ops(max_size: u32, len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u32..max_size).prop_map(Op::Alloc),
+            (0usize..64).prop_map(Op::FreeNth),
+        ],
+        1..len,
+    )
+}
+
+/// Drives `pool` and a `HashMap` reference model in lockstep: the model
+/// records every live block by address; the pool's slot-indexed /
+/// sorted-list bookkeeping must agree with it on liveness, bytes, and
+/// non-overlap at every step.
+fn check_against_hashmap_model(pool: &mut dyn Pool, ops: &[Op], occupied_counts: bool) {
+    let hier = presets::sp64k_dram4m();
+    let mut regions = RegionTable::new(&hier);
+    let mut ctx = AllocCtx::new(hier.len());
+    let mut model: HashMap<u64, u32> = HashMap::new();
+    let mut order: Vec<u64> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Alloc(size) => {
+                if let Ok(b) = pool.alloc(*size, &mut regions, &mut ctx) {
+                    assert!(
+                        !model.contains_key(&b.addr),
+                        "pool handed out a live address twice: {:#x}",
+                        b.addr
+                    );
+                    model.insert(b.addr, b.occupied);
+                    order.push(b.addr);
+                }
+            }
+            Op::FreeNth(n) => {
+                if !order.is_empty() {
+                    let addr = order.remove(n % order.len());
+                    model.remove(&addr).expect("model tracks every live block");
+                    pool.free(addr, &mut ctx);
+                }
+            }
+        }
+        pool.validate();
+        let stats = pool.stats();
+        assert_eq!(
+            stats.live_blocks,
+            model.len() as u64,
+            "live blocks diverge from the hash-map model"
+        );
+        if occupied_counts {
+            let model_bytes: u64 = model.values().map(|&s| u64::from(s)).sum();
+            assert_eq!(
+                stats.live_bytes, model_bytes,
+                "live bytes diverge from the hash-map model"
+            );
+        }
+    }
+    for addr in order.drain(..) {
+        pool.free(addr, &mut ctx);
+    }
+    pool.validate();
+    assert_eq!(pool.live_blocks(), 0);
+}
+
+/// Lowers a random op script into a well-formed trace (every block gets
+/// accesses and ticks sprinkled in; a tail of frees is appended so the
+/// trace exercises both freed and leaked blocks).
+fn trace_from_ops(ops: &[Op]) -> Trace {
+    let mut t = Trace::new("prop");
+    let mut next_id = 0u64;
+    let mut live: Vec<u64> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Alloc(size) => {
+                let id = next_id;
+                next_id += 1;
+                t.push(TraceEvent::Alloc {
+                    id: BlockId(id),
+                    size: *size,
+                })
+                .unwrap();
+                live.push(id);
+                if i % 3 == 0 {
+                    t.push(TraceEvent::Access {
+                        id: BlockId(id),
+                        reads: (*size % 7) + 1,
+                        writes: *size % 5,
+                    })
+                    .unwrap();
+                }
+            }
+            Op::FreeNth(n) => {
+                if !live.is_empty() {
+                    let id = live.remove(n % live.len());
+                    t.push(TraceEvent::Free { id: BlockId(id) }).unwrap();
+                } else {
+                    t.push(TraceEvent::Tick { cycles: 17 }).unwrap();
+                }
+            }
+        }
+    }
+    // Free half of what is left so the trace ends with some leaked blocks.
+    for id in live.iter().step_by(2) {
+        t.push(TraceEvent::Free { id: BlockId(*id) }).unwrap();
+    }
+    t
+}
+
+fn kernel_configs(hier: &dmx_memhier::MemoryHierarchy) -> Vec<AllocatorConfig> {
+    let main = hier.slowest();
+    vec![
+        AllocatorConfig::general_only(
+            main,
+            FitPolicy::BestFit,
+            FreeOrder::AddressOrdered,
+            CoalescePolicy::Immediate,
+            SplitPolicy::MinRemainder(16),
+        ),
+        AllocatorConfig::paper_example(hier),
+        AllocatorConfig {
+            pools: vec![
+                PoolSpec {
+                    route: Route::Range { min: 1, max: 256 },
+                    kind: PoolKind::Segregated {
+                        min_class: 16,
+                        max_class: 256,
+                        chunk_bytes: 2048,
+                    },
+                    level: main,
+                },
+                PoolSpec {
+                    route: Route::Range {
+                        min: 257,
+                        max: 2048,
+                    },
+                    kind: PoolKind::Buddy {
+                        min_order: 5,
+                        max_order: 13,
+                    },
+                    level: main,
+                },
+                PoolSpec {
+                    route: Route::Fallback,
+                    kind: PoolKind::Region { chunk_bytes: 4096 },
+                    level: main,
+                },
+            ],
+        },
+        // Everything forced onto the tiny scratchpad: exercises the
+        // allocation-failure path (failed blocks leave empty slots).
+        AllocatorConfig::general_only(
+            hier.fastest(),
+            FitPolicy::FirstFit,
+            FreeOrder::Lifo,
+            CoalescePolicy::Never,
+            SplitPolicy::Never,
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Segregated slot-indexed vectors vs the hash-map model.
+    #[test]
+    fn segregated_slab_matches_hashmap_model(ops in arb_ops(3000, 120)) {
+        let mut pool = SegregatedPool::new(LevelId(1), 16, 512, 2048);
+        check_against_hashmap_model(&mut pool, &ops, true);
+    }
+
+    /// Buddy order-map vs the hash-map model.
+    #[test]
+    fn buddy_order_map_matches_hashmap_model(ops in arb_ops(4000, 120)) {
+        let mut pool = BuddyPool::new(LevelId(1), 5, 13);
+        check_against_hashmap_model(&mut pool, &ops, true);
+    }
+
+    /// Region size tables vs the hash-map model.
+    #[test]
+    fn region_size_table_matches_hashmap_model(ops in arb_ops(1500, 120)) {
+        let mut pool = RegionPool::new(LevelId(1), 4096);
+        check_against_hashmap_model(&mut pool, &ops, true);
+    }
+
+    /// The compiled slab kernel and the hash-map reference interpreter
+    /// agree byte-for-byte on arbitrary well-formed traces, across pool
+    /// kinds, with and without arena reuse — including infeasible runs.
+    #[test]
+    fn slab_kernel_matches_reference_interpreter(ops in arb_ops(2500, 200)) {
+        let hier = presets::sp64k_dram4m();
+        let sim = Simulator::new(&hier);
+        let trace = trace_from_ops(&ops);
+        let compiled = CompiledTrace::compile(&trace);
+        let mut arena = SimArena::new();
+        for config in kernel_configs(&hier) {
+            let reference = sim.run_reference(&config, &trace).unwrap();
+            let kernel = sim.run_in_arena(&config, &compiled, &mut arena).unwrap();
+            prop_assert_eq!(&reference, &kernel, "kernel diverges for {}", config.label());
+        }
+    }
+
+    /// Compiling is structurally sound on arbitrary scripts: dense slots,
+    /// exact peak-concurrency slab bound, lifetimes for every alloc.
+    #[test]
+    fn compiled_trace_slots_are_dense_and_bounded(ops in arb_ops(500, 150)) {
+        let trace = trace_from_ops(&ops);
+        let compiled = CompiledTrace::compile(&trace);
+        prop_assert_eq!(compiled.len(), trace.len());
+        prop_assert_eq!(compiled.lifetimes().len() as u64, compiled.allocs());
+        let stats = dmx_trace::TraceStats::compute(&trace);
+        prop_assert_eq!(u64::from(compiled.max_live_slots()), stats.peak_live_blocks);
+    }
+}

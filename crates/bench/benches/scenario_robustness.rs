@@ -86,6 +86,28 @@ fn bench_scenario_robustness(c: &mut Criterion) {
     );
     assert_eq!(again.outcome.genomes, robust.outcome.genomes);
 
+    // Record the headline numbers so the perf trajectory is tracked
+    // across PRs.
+    dmx_bench::write_bench_json(
+        "scenario_robustness",
+        &[
+            ("bench", dmx_bench::json_str("scenario_robustness")),
+            ("suite", dmx_bench::json_str(&robust.suite)),
+            ("evaluations", robust.outcome.evaluations.to_string()),
+            ("simulations", robust.outcome.simulations.to_string()),
+            ("cache_hits", robust.outcome.cache_hits.to_string()),
+            ("robust_front", robust.outcome.front.len().to_string()),
+            (
+                "events_per_sec",
+                dmx_bench::json_num(robust.outcome.sim_stats.events_per_sec()),
+            ),
+            (
+                "arena_reuses",
+                robust.outcome.sim_stats.arena_reuses.to_string(),
+            ),
+        ],
+    );
+
     // Measured unit: one robust GA run on the reduced `quick` suite.
     let quick = ScenarioSuite::builtin("quick").expect("built-in suite");
     let quick_eval = MultiScenarioEvaluator::new(&quick)

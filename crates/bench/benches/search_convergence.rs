@@ -141,6 +141,26 @@ fn bench_search_convergence(c: &mut Criterion) {
         "genetic search must be deterministic in its seed"
     );
 
+    // Record the headline numbers so the perf trajectory is tracked
+    // across PRs.
+    dmx_bench::write_bench_json(
+        "search_convergence",
+        &[
+            ("bench", dmx_bench::json_str("search_convergence")),
+            ("space", space.len().to_string()),
+            ("genetic_evaluations", ga_outcome.evaluations.to_string()),
+            ("genetic_hypervolume_pct", dmx_bench::json_num(ga_hv)),
+            (
+                "genetic_events_per_sec",
+                dmx_bench::json_num(ga_outcome.sim_stats.events_per_sec()),
+            ),
+            (
+                "genetic_arena_reuses",
+                ga_outcome.sim_stats.arena_reuses.to_string(),
+            ),
+        ],
+    );
+
     // Measured unit: one full GA run on the quick-scale space.
     let quick = easyport_space(&hierarchy, StudyScale::Quick);
     let quick_ga = GeneticSearch {

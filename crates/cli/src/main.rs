@@ -73,9 +73,10 @@ const USAGE: &str = "usage:
                 [--json FILE] [--objectives footprint,accesses]
                 [--strategy exhaustive|sample|genetic|hillclimb]
                 [--generations N] [--population N] [--restarts N]
-                [--sample-n N] [--seed N]
+                [--sample-n N] [--seed N] [--sim-stats]
   dmx explore   --suite NAME [--aggregate worst|mean|weighted] [--json FILE]
                 [--out-records FILE] [--objectives ...] [--strategy ...] [--seed N]
+                [--sim-stats]
   dmx scenarios list [SUITE]
   dmx pareto    --records FILE [--objectives footprint,accesses,energy,cycles]
   dmx report    --records FILE
@@ -250,6 +251,18 @@ fn objective_pair(objectives: &[Objective]) -> [Objective; 2] {
     }
 }
 
+/// Renders the simulation-kernel statistics line for `--sim-stats`.
+fn render_sim_stats(stats: &dmx_core::SimStats) -> String {
+    format!(
+        "sim stats: {} events replayed in {} simulator runs, {:.0} events/sec, \
+         {} arena reuses",
+        stats.events,
+        stats.runs,
+        stats.events_per_sec(),
+        stats.arena_reuses,
+    )
+}
+
 /// Looks a built-in suite up by name, listing the registry on failure.
 fn lookup_suite(name: &str) -> Result<ScenarioSuite, String> {
     ScenarioSuite::builtin(name).ok_or_else(|| {
@@ -293,6 +306,9 @@ fn explore(rest: &[&String]) -> Result<(), String> {
         outcome.cache_hits,
         outcome.front.len(),
     );
+    if has_flag(rest, "--sim-stats") {
+        outln!("{}", render_sim_stats(&outcome.sim_stats));
+    }
     let exploration = outcome.exploration;
     let records = exploration.to_records();
     fs::write(out_records, records_to_string(&records))
@@ -361,6 +377,9 @@ fn explore_suite(rest: &[&String], suite_name: &str) -> Result<(), String> {
         robust.outcome.cache_hits,
         robust.outcome.front.len(),
     );
+    if has_flag(rest, "--sim-stats") {
+        outln!("{}", render_sim_stats(&robust.outcome.sim_stats));
+    }
 
     if let Some(path) = opt(rest, "--out-records") {
         let records = robust.outcome.exploration.to_records();

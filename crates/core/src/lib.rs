@@ -81,5 +81,5 @@ pub use scenario::{
 };
 pub use search::{
     EvalCache, ExhaustiveSearch, GeneticSearch, HillClimbSearch, SearchOutcome, SearchStrategy,
-    SubsampleSearch,
+    SimStats, SubsampleSearch,
 };

@@ -4,10 +4,10 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use dmx_alloc::{AllocatorConfig, SimMetrics, Simulator};
+use dmx_alloc::{AllocatorConfig, SimArena, SimMetrics, Simulator};
 use dmx_memhier::MemoryHierarchy;
 use dmx_profile::ProfileRecord;
-use dmx_trace::Trace;
+use dmx_trace::{CompiledTrace, Trace};
 
 use crate::objective::Objective;
 use crate::param::ParamSpace;
@@ -171,25 +171,31 @@ impl<'h> Explorer<'h> {
         let results: Mutex<Vec<Option<RunResult>>> = Mutex::new((0..n).map(|_| None).collect());
         let next = AtomicUsize::new(0);
         let sim = Simulator::new(self.hierarchy);
+        // Compile once; every worker replays the same lowered stream
+        // through its own reusable arena.
+        let compiled = CompiledTrace::compile(trace);
 
         std::thread::scope(|scope| {
             for _ in 0..self.threads.min(n.max(1)) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                scope.spawn(|| {
+                    let mut arena = SimArena::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let config = configs[i].clone();
+                        let metrics = sim
+                            .run_in_arena(&config, &compiled, &mut arena)
+                            .expect("explored configurations must be valid");
+                        let label = config.label();
+                        let result = RunResult {
+                            config,
+                            label,
+                            metrics,
+                        };
+                        results.lock().expect("no poisoned workers")[i] = Some(result);
                     }
-                    let config = configs[i].clone();
-                    let metrics = sim
-                        .run(&config, trace)
-                        .expect("explored configurations must be valid");
-                    let label = config.label();
-                    let result = RunResult {
-                        config,
-                        label,
-                        metrics,
-                    };
-                    results.lock().expect("no poisoned workers")[i] = Some(result);
                 });
             }
         });

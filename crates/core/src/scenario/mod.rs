@@ -47,12 +47,13 @@ pub use robust::{CommonalityReport, CommonalityRow, MultiScenarioEvaluator, Robu
 pub use suite::ScenarioSuite;
 
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use dmx_memhier::MemoryHierarchy;
 use dmx_trace::gen::{
     EasyportConfig, MmppConfig, PhaseShiftConfig, SyntheticConfig, TraceGenerator, VtcConfig,
 };
-use dmx_trace::Trace;
+use dmx_trace::{CompiledTrace, Trace};
 
 use crate::constraint::ConstraintSet;
 
@@ -182,10 +183,12 @@ impl Scenario {
     pub fn materialize(&self, run_seed: u64) -> MaterializedScenario<'_> {
         let hierarchy = self.platform.build();
         let trace = self.workload.generate(self.seed ^ run_seed);
+        let compiled = CompiledTrace::compile_shared(&trace);
         MaterializedScenario {
             scenario: self,
             hierarchy,
             trace,
+            compiled,
         }
     }
 }
@@ -198,8 +201,14 @@ pub struct MaterializedScenario<'a> {
     pub scenario: &'a Scenario,
     /// The built platform.
     pub hierarchy: MemoryHierarchy,
-    /// The generated workload trace.
+    /// The generated workload trace (kept for profiling — space
+    /// suggestion reads [`dmx_trace::TraceStats`] off it).
     pub trace: Trace,
+    /// The compiled lowering the evaluation workers replay, shared with
+    /// every worker behind the `Arc` (cloning a materialized scenario or
+    /// building per-scenario [`EvalInstance`](crate::search::EvalInstance)s
+    /// never copies the event stream).
+    pub compiled: Arc<CompiledTrace>,
 }
 
 #[cfg(test)]

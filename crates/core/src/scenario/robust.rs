@@ -17,6 +17,7 @@
 //!    without knowing the deployment mix.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use crate::objective::Objective;
 use crate::param::{Genome, ParamSpace};
@@ -129,7 +130,9 @@ impl<'a> MultiScenarioEvaluator<'a> {
                 name: m.scenario.name.as_str(),
                 id: m.scenario.id(),
                 hierarchy: &m.hierarchy,
-                trace: &m.trace,
+                // An `Arc` handle onto the memoized compiled trace — the
+                // only per-run copy cost is the pointer.
+                trace: Arc::clone(&m.compiled),
                 weight: m.scenario.weight,
                 constraints: Some(&m.scenario.constraints),
             })

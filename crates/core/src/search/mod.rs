@@ -67,12 +67,12 @@ pub use hillclimb::HillClimbSearch;
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use dmx_alloc::Simulator;
+use dmx_alloc::{SimArena, Simulator};
 use dmx_memhier::MemoryHierarchy;
-use dmx_trace::Trace;
+use dmx_trace::{CompiledTrace, Trace};
 
 use crate::constraint::ConstraintSet;
 use crate::objective::Objective;
@@ -111,7 +111,11 @@ pub fn workload_key(hierarchy: &MemoryHierarchy, trace: &Trace) -> u64 {
 /// ([`EvalInstance::single`]); the scenario layer builds one per scenario
 /// of a suite, with the scenario's weight and optional admissibility
 /// constraints.
-#[derive(Debug, Clone, Copy)]
+///
+/// The workload is carried as an [`Arc<CompiledTrace>`]: compiled once
+/// (per workload, per run) and shared by reference with every evaluation
+/// worker — cloning an instance clones a pointer, never the event stream.
+#[derive(Debug, Clone)]
 pub struct EvalInstance<'a> {
     /// Display name (the trace name, or the scenario name in suites).
     pub name: &'a str,
@@ -119,8 +123,9 @@ pub struct EvalInstance<'a> {
     pub id: u64,
     /// The platform configurations are simulated on.
     pub hierarchy: &'a MemoryHierarchy,
-    /// The workload trace every configuration replays.
-    pub trace: &'a Trace,
+    /// The compiled workload every configuration replays, shared across
+    /// workers.
+    pub trace: Arc<CompiledTrace>,
     /// Weight under [`Aggregate::Weighted`] folding (> 0).
     pub weight: f64,
     /// Scenario admissibility constraints; a configuration rejected here
@@ -130,15 +135,42 @@ pub struct EvalInstance<'a> {
 
 impl<'a> EvalInstance<'a> {
     /// The classic single-workload instance: named after the trace, keyed
-    /// by [`workload_key`], weight 1, no constraints.
+    /// by [`workload_key`], weight 1, no constraints. Compiles the trace
+    /// (one O(events) pass).
     pub fn single(hierarchy: &'a MemoryHierarchy, trace: &'a Trace) -> Self {
         EvalInstance {
             name: trace.name(),
             id: workload_key(hierarchy, trace),
             hierarchy,
-            trace,
+            trace: CompiledTrace::compile_shared(trace),
             weight: 1.0,
             constraints: None,
+        }
+    }
+}
+
+/// Aggregate simulation-kernel statistics for one search run, reported by
+/// `dmx explore --sim-stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Trace events replayed across all simulator runs.
+    pub events: u64,
+    /// Simulator runs (one per genome × instance actually simulated).
+    pub runs: u64,
+    /// Runs that reused a worker's existing [`SimArena`] slab instead of
+    /// allocating a fresh one.
+    pub arena_reuses: u64,
+    /// Wall-clock nanoseconds spent inside simulation batches.
+    pub nanos: u64,
+}
+
+impl SimStats {
+    /// Replay throughput in events per second (0 when nothing ran).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.nanos == 0 {
+            0.0
+        } else {
+            self.events as f64 * 1e9 / self.nanos as f64
         }
     }
 }
@@ -196,6 +228,9 @@ pub struct SearchOutcome {
     /// genome order as the robust `exploration`. Empty for single-instance
     /// search.
     pub scenario_explorations: Vec<Exploration>,
+    /// Simulation-kernel statistics (events replayed, throughput, arena
+    /// reuse) accumulated over every batch of the search.
+    pub sim_stats: SimStats,
 }
 
 /// A pluggable exploration strategy over a [`ParamSpace`].
@@ -269,6 +304,11 @@ pub struct Evaluator<'a> {
     /// Folded results per genome; only populated in robust mode (classic
     /// single-workload search serves straight from the cache).
     robust: Mutex<HashMap<Genome, Arc<RunResult>>>,
+    /// Kernel statistics, accumulated from every worker's [`SimArena`].
+    sim_events: AtomicU64,
+    sim_runs: AtomicU64,
+    arena_reuses: AtomicU64,
+    sim_nanos: AtomicU64,
 }
 
 impl<'a> Evaluator<'a> {
@@ -301,6 +341,20 @@ impl<'a> Evaluator<'a> {
             threads: ctx.threads.max(1),
             cache: EvalCache::new(),
             robust: Mutex::new(HashMap::new()),
+            sim_events: AtomicU64::new(0),
+            sim_runs: AtomicU64::new(0),
+            arena_reuses: AtomicU64::new(0),
+            sim_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Aggregate simulation-kernel statistics so far.
+    pub fn sim_stats(&self) -> SimStats {
+        SimStats {
+            events: self.sim_events.load(Ordering::Relaxed),
+            runs: self.sim_runs.load(Ordering::Relaxed),
+            arena_reuses: self.arena_reuses.load(Ordering::Relaxed),
+            nanos: self.sim_nanos.load(Ordering::Relaxed),
         }
     }
 
@@ -355,37 +409,53 @@ impl<'a> Evaluator<'a> {
                 .map(|inst| Simulator::new(inst.hierarchy))
                 .collect();
             let next = AtomicUsize::new(0);
+            let batch_start = std::time::Instant::now();
             std::thread::scope(|scope| {
                 for _ in 0..self.threads.min(jobs.len()) {
-                    scope.spawn(|| loop {
-                        let j = next.fetch_add(1, Ordering::Relaxed);
-                        if j >= jobs.len() {
-                            break;
-                        }
-                        let (k, genome) = jobs[j];
-                        let inst = &self.instances[k];
-                        let config = self.space.config_at(inst.hierarchy, &genome);
-                        let metrics = sims[k]
-                            .run(&config, inst.trace)
-                            .expect("space genomes materialize to valid configurations");
-                        let label = config.label();
-                        debug_assert_eq!(
-                            label,
-                            self.space.config_at(inst.hierarchy, &genome).label(),
-                            "cache key must match the configuration it stores"
-                        );
-                        self.cache.insert(
-                            inst.id,
-                            genome,
-                            Arc::new(RunResult {
-                                config,
+                    scope.spawn(|| {
+                        // One arena per worker, reused across every genome
+                        // the worker simulates: the live-block slab is
+                        // reset in place, not reallocated. The compiled
+                        // traces are shared behind `Arc`s — no worker ever
+                        // clones an event stream.
+                        let mut arena = SimArena::new();
+                        loop {
+                            let j = next.fetch_add(1, Ordering::Relaxed);
+                            if j >= jobs.len() {
+                                break;
+                            }
+                            let (k, genome) = jobs[j];
+                            let inst = &self.instances[k];
+                            let config = self.space.config_at(inst.hierarchy, &genome);
+                            let metrics = sims[k]
+                                .run_in_arena(&config, &inst.trace, &mut arena)
+                                .expect("space genomes materialize to valid configurations");
+                            let label = config.label();
+                            debug_assert_eq!(
                                 label,
-                                metrics,
-                            }),
-                        );
+                                self.space.config_at(inst.hierarchy, &genome).label(),
+                                "cache key must match the configuration it stores"
+                            );
+                            self.cache.insert(
+                                inst.id,
+                                genome,
+                                Arc::new(RunResult {
+                                    config,
+                                    label,
+                                    metrics,
+                                }),
+                            );
+                        }
+                        self.sim_events
+                            .fetch_add(arena.events_replayed(), Ordering::Relaxed);
+                        self.sim_runs.fetch_add(arena.runs(), Ordering::Relaxed);
+                        self.arena_reuses
+                            .fetch_add(arena.reuses(), Ordering::Relaxed);
                     });
                 }
             });
+            self.sim_nanos
+                .fetch_add(batch_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
 
             // Fold the fresh genomes into robust results (robust mode
             // only; classic search serves raw results). The fold runs
@@ -454,6 +524,7 @@ impl<'a> Evaluator<'a> {
     pub fn into_outcome(self, strategy: &str, ctx: &SearchContext<'_>) -> SearchOutcome {
         let cache_hits = self.cache.hits();
         let simulations = self.cache.len();
+        let sim_stats = self.sim_stats();
         let (workload, genomes, results, scenario_explorations) = match ctx.aggregate {
             None => {
                 // Drain the cache; the strategies have dropped their batch
@@ -516,6 +587,7 @@ impl<'a> Evaluator<'a> {
             genomes,
             front,
             scenario_explorations,
+            sim_stats,
         }
     }
 }
@@ -670,7 +742,7 @@ mod tests {
                 name: "a",
                 id: 1,
                 hierarchy: &hier,
-                trace: &trace_a,
+                trace: CompiledTrace::compile_shared(&trace_a),
                 weight: 1.0,
                 constraints: None,
             },
@@ -678,7 +750,7 @@ mod tests {
                 name: "b",
                 id: 2,
                 hierarchy: &hier,
-                trace: &trace_b,
+                trace: CompiledTrace::compile_shared(&trace_b),
                 weight: 1.0,
                 constraints: None,
             },
@@ -717,6 +789,94 @@ mod tests {
         );
     }
 
+    /// The trace-duplication regression guard: workloads are shared with
+    /// evaluation workers behind `Arc`s, so running batches must never
+    /// clone a compiled trace — the `Arc` strong count is identical
+    /// before and after every batch.
+    #[test]
+    fn eval_batches_never_clone_traces() {
+        let hier = presets::sp64k_dram4m();
+        let space = easyport_space(&hier, StudyScale::Quick);
+        let trace = easyport_trace(StudyScale::Quick, 42);
+        let inst = EvalInstance::single(&hier, &trace);
+        let handle = Arc::clone(&inst.trace);
+        let baseline = Arc::strong_count(&handle);
+        let ctx = quick_ctx(&space, &inst);
+        let evaluator = Evaluator::new(&ctx);
+        for start in [0usize, 4, 8] {
+            let genomes: Vec<Genome> = (start..start + 4).map(|i| space.genome_at(i)).collect();
+            evaluator.eval_batch(&genomes);
+            assert_eq!(
+                Arc::strong_count(&handle),
+                baseline,
+                "a batch cloned the compiled trace"
+            );
+        }
+        // The kernel statistics account for exactly those batches.
+        let stats = evaluator.sim_stats();
+        assert_eq!(stats.runs, 12, "one simulator run per fresh genome");
+        assert_eq!(
+            stats.events,
+            12 * handle.len() as u64,
+            "every run replays the whole compiled trace"
+        );
+        assert!(stats.nanos > 0, "batch time must be recorded");
+        let outcome = evaluator.into_outcome("test", &ctx);
+        assert_eq!(outcome.sim_stats, stats, "stats carried into the outcome");
+    }
+
+    /// Multi-instance (robust) evaluation shares per-scenario compiled
+    /// traces the same way: `Arc` handles all the way down, zero
+    /// per-batch clones.
+    #[test]
+    fn robust_batches_never_clone_scenario_traces() {
+        let suite = crate::scenario::ScenarioSuite::builtin("quick").expect("built-in");
+        let mats = suite.materialize(42);
+        let space = suite.suggest_space(&mats);
+        let instances: Vec<EvalInstance<'_>> = mats
+            .iter()
+            .map(|m| EvalInstance {
+                name: m.scenario.name.as_str(),
+                id: m.scenario.id(),
+                hierarchy: &m.hierarchy,
+                trace: Arc::clone(&m.compiled),
+                weight: m.scenario.weight,
+                constraints: Some(&m.scenario.constraints),
+            })
+            .collect();
+        let baseline: Vec<usize> = mats
+            .iter()
+            .map(|m| Arc::strong_count(&m.compiled))
+            .collect();
+        let ctx = SearchContext {
+            space: &space,
+            instances: &instances,
+            aggregate: Some(Aggregate::WorstCase),
+            objectives: &Objective::FIG1,
+            threads: 4,
+        };
+        let evaluator = Evaluator::new(&ctx);
+        for start in [0usize, 3] {
+            let genomes: Vec<Genome> = (start..start + 3).map(|i| space.genome_at(i)).collect();
+            evaluator.eval_batch(&genomes);
+            let counts: Vec<usize> = mats
+                .iter()
+                .map(|m| Arc::strong_count(&m.compiled))
+                .collect();
+            assert_eq!(counts, baseline, "a robust batch cloned a scenario trace");
+        }
+        let stats = evaluator.sim_stats();
+        assert_eq!(
+            stats.runs,
+            6 * mats.len() as u64,
+            "genomes × scenarios runs"
+        );
+        assert!(
+            stats.arena_reuses > 0,
+            "worker arenas must be reused across jobs"
+        );
+    }
+
     #[test]
     fn duplicate_instance_ids_rejected() {
         let hier = presets::sp64k_dram4m();
@@ -724,7 +884,7 @@ mod tests {
         let trace = easyport_trace(StudyScale::Quick, 42);
         let mut a = EvalInstance::single(&hier, &trace);
         a.id = 9;
-        let instances = [a, a];
+        let instances = [a.clone(), a];
         let ctx = SearchContext {
             space: &space,
             instances: &instances,

@@ -1,0 +1,339 @@
+//! The compiled, replay-optimized trace representation.
+//!
+//! A [`Trace`](crate::Trace) is the *validated* event stream: block ids
+//! are arbitrary `u64`s (real applications reuse pointer values), so a
+//! replayer must keep an id → block map — a hash lookup on every event.
+//! A [`CompiledTrace`] is the same stream lowered into the form the
+//! simulation kernel actually wants:
+//!
+//! * every block id is renamed to a **dense slot index** assigned by a
+//!   free-slot stack, so the peak slot count equals the trace's maximum
+//!   number of concurrently live blocks ([`Self::max_live_slots`]) and a
+//!   replayer can use a flat slab instead of a hash map;
+//! * events are fixed-width [`CompiledEvent`]s with the allocation size
+//!   baked in — no side lookups during replay;
+//! * per-allocation **lifetimes** (events between alloc and free) are
+//!   precomputed for placement heuristics and diagnostics;
+//! * the compile is one O(events) pass, done **once per workload** and
+//!   shared between workers behind an `Arc` — workers never clone the
+//!   event vector.
+//!
+//! Compiling is lossless for replay purposes: replaying a compiled trace
+//! visits the same operations, in the same order, with the same sizes and
+//! access counts as replaying the original trace.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::event::TraceEvent;
+use crate::trace::Trace;
+
+/// One lowered trace event. Slots are dense indices in
+/// `0..max_live_slots`, recycled after the block's `Free` event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompiledEvent {
+    /// Allocate `size` bytes into `slot` (the slot is not live).
+    Alloc {
+        /// Dense slot index the block occupies while live.
+        slot: u32,
+        /// Requested size in bytes (non-zero).
+        size: u32,
+    },
+    /// Free the block in `slot`.
+    Free {
+        /// Slot of the block being freed.
+        slot: u32,
+    },
+    /// `reads`/`writes` application accesses to the block in `slot`.
+    Access {
+        /// Slot of the accessed block.
+        slot: u32,
+        /// Read accesses.
+        reads: u32,
+        /// Write accesses.
+        writes: u32,
+    },
+    /// `cycles` of pure computation (no allocator activity).
+    Tick {
+        /// CPU cycles of computation.
+        cycles: u32,
+    },
+}
+
+/// A flat, replay-ready lowering of one workload trace.
+///
+/// Built once per workload with [`CompiledTrace::compile`] (or emitted
+/// directly by a generator via
+/// [`TraceGenerator::generate_compiled`](crate::gen::TraceGenerator::generate_compiled))
+/// and shared across simulation workers as an [`Arc<CompiledTrace>`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledTrace {
+    name: String,
+    events: Vec<CompiledEvent>,
+    max_live_slots: u32,
+    /// Lifetime (in events, alloc → free) of each allocation, in
+    /// allocation order; blocks live at trace end run to the last event.
+    lifetimes: Vec<u32>,
+    allocs: u64,
+    frees: u64,
+    peak_live_bytes: u64,
+}
+
+impl CompiledTrace {
+    /// Lowers `trace` into the compiled form: one O(events) pass that
+    /// renames ids to dense recycled slots and precomputes sizes,
+    /// lifetimes and the peak live-slot count.
+    pub fn compile(trace: &Trace) -> CompiledTrace {
+        let mut events = Vec::with_capacity(trace.len());
+        // id → (slot, alloc event index, alloc ordinal) for live blocks.
+        let mut live: HashMap<u64, (u32, usize, usize)> = HashMap::new();
+        let mut free_slots: Vec<u32> = Vec::new();
+        let mut next_slot: u32 = 0;
+        let mut lifetimes: Vec<u32> = Vec::new();
+        let mut allocs = 0u64;
+        let mut frees = 0u64;
+
+        for (at, event) in trace.iter().enumerate() {
+            match *event {
+                TraceEvent::Alloc { id, size } => {
+                    let slot = free_slots.pop().unwrap_or_else(|| {
+                        let s = next_slot;
+                        next_slot += 1;
+                        s
+                    });
+                    live.insert(id.0, (slot, at, lifetimes.len()));
+                    lifetimes.push(0);
+                    allocs += 1;
+                    events.push(CompiledEvent::Alloc { slot, size });
+                }
+                TraceEvent::Free { id } => {
+                    let (slot, born, ordinal) =
+                        live.remove(&id.0).expect("validated trace frees live ids");
+                    lifetimes[ordinal] = (at - born) as u32;
+                    free_slots.push(slot);
+                    frees += 1;
+                    events.push(CompiledEvent::Free { slot });
+                }
+                TraceEvent::Access { id, reads, writes } => {
+                    let (slot, _, _) = live[&id.0];
+                    events.push(CompiledEvent::Access {
+                        slot,
+                        reads,
+                        writes,
+                    });
+                }
+                TraceEvent::Tick { cycles } => {
+                    events.push(CompiledEvent::Tick { cycles });
+                }
+            }
+        }
+        // Blocks alive at trace end: lifetime runs to the last event.
+        let end = trace.len();
+        for (_, (_, born, ordinal)) in live {
+            lifetimes[ordinal] = (end - born) as u32;
+        }
+
+        CompiledTrace {
+            name: trace.name().to_owned(),
+            events,
+            max_live_slots: next_slot,
+            lifetimes,
+            allocs,
+            frees,
+            peak_live_bytes: trace.peak_live_bytes(),
+        }
+    }
+
+    /// Compiles and wraps in an [`Arc`] in one step (the shape every
+    /// multi-worker consumer wants).
+    pub fn compile_shared(trace: &Trace) -> Arc<CompiledTrace> {
+        Arc::new(CompiledTrace::compile(trace))
+    }
+
+    /// The workload name, carried over from the source trace.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The lowered events in replay order.
+    pub fn events(&self) -> &[CompiledEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The maximum number of concurrently live blocks — the exact slab
+    /// size a replayer needs.
+    pub fn max_live_slots(&self) -> u32 {
+        self.max_live_slots
+    }
+
+    /// Per-allocation lifetimes in events (alloc → free, or alloc → end
+    /// of trace for blocks never freed), in allocation order.
+    pub fn lifetimes(&self) -> &[u32] {
+        &self.lifetimes
+    }
+
+    /// Total allocations in the trace.
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Total frees in the trace.
+    pub fn frees(&self) -> u64 {
+        self.frees
+    }
+
+    /// Peak of the application's requested live bytes (carried over from
+    /// the source trace — the lower bound on any allocator's footprint).
+    pub fn peak_live_bytes(&self) -> u64 {
+        self.peak_live_bytes
+    }
+}
+
+impl fmt::Display for CompiledTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "compiled trace `{}`: {} events, {} slots",
+            self.name,
+            self.events.len(),
+            self.max_live_slots
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::BlockId;
+    use crate::gen::{ramp, EasyportConfig, TraceGenerator};
+
+    fn alloc(id: u64, size: u32) -> TraceEvent {
+        TraceEvent::Alloc {
+            id: BlockId(id),
+            size,
+        }
+    }
+    fn free(id: u64) -> TraceEvent {
+        TraceEvent::Free { id: BlockId(id) }
+    }
+
+    #[test]
+    fn slots_are_dense_and_recycled() {
+        // 1 and 2 overlap; 3 starts after 1 dies and reuses its slot.
+        let t = Trace::from_events(
+            "t",
+            vec![alloc(10, 8), alloc(20, 8), free(10), alloc(30, 8)],
+        )
+        .unwrap();
+        let c = CompiledTrace::compile(&t);
+        assert_eq!(c.max_live_slots(), 2, "peak concurrency is 2");
+        assert_eq!(
+            c.events(),
+            [
+                CompiledEvent::Alloc { slot: 0, size: 8 },
+                CompiledEvent::Alloc { slot: 1, size: 8 },
+                CompiledEvent::Free { slot: 0 },
+                CompiledEvent::Alloc { slot: 0, size: 8 },
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_cover_freed_and_leaked_blocks() {
+        let t = Trace::from_events(
+            "t",
+            vec![
+                alloc(1, 8),
+                TraceEvent::Tick { cycles: 5 },
+                free(1),
+                alloc(2, 8),
+            ],
+        )
+        .unwrap();
+        let c = CompiledTrace::compile(&t);
+        assert_eq!(c.lifetimes(), [2, 1], "freed at +2; leaked runs to end");
+        assert_eq!(c.allocs(), 2);
+        assert_eq!(c.frees(), 1);
+    }
+
+    #[test]
+    fn compile_preserves_event_semantics() {
+        let t = Trace::from_events(
+            "t",
+            vec![
+                alloc(7, 100),
+                TraceEvent::Access {
+                    id: BlockId(7),
+                    reads: 3,
+                    writes: 2,
+                },
+                TraceEvent::Tick { cycles: 11 },
+                free(7),
+            ],
+        )
+        .unwrap();
+        let c = CompiledTrace::compile(&t);
+        assert_eq!(c.len(), t.len());
+        assert_eq!(
+            c.events()[1],
+            CompiledEvent::Access {
+                slot: 0,
+                reads: 3,
+                writes: 2
+            }
+        );
+        assert_eq!(c.events()[2], CompiledEvent::Tick { cycles: 11 });
+        assert_eq!(c.peak_live_bytes(), t.peak_live_bytes());
+        assert_eq!(c.name(), "t");
+    }
+
+    #[test]
+    fn generated_traces_compile_consistently() {
+        let t = EasyportConfig::small().generate(5);
+        let c = CompiledTrace::compile(&t);
+        assert_eq!(c.len(), t.len());
+        let stats = crate::TraceStats::compute(&t);
+        assert_eq!(u64::from(c.max_live_slots()), stats.peak_live_blocks);
+        assert_eq!(c.allocs(), stats.allocs);
+        assert_eq!(c.frees(), stats.frees);
+        assert_eq!(c.lifetimes().len() as u64, c.allocs());
+        // Replaying the compiled events with a slab must mirror the live
+        // set of the original trace: no slot is double-occupied.
+        let mut occupied = vec![false; c.max_live_slots() as usize];
+        for e in c.events() {
+            match *e {
+                CompiledEvent::Alloc { slot, .. } => {
+                    assert!(!occupied[slot as usize], "slot reused while live");
+                    occupied[slot as usize] = true;
+                }
+                CompiledEvent::Free { slot } => {
+                    assert!(occupied[slot as usize], "free of an empty slot");
+                    occupied[slot as usize] = false;
+                }
+                CompiledEvent::Access { slot, .. } => {
+                    assert!(occupied[slot as usize], "access to an empty slot");
+                }
+                CompiledEvent::Tick { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn compile_shared_and_display() {
+        let c = CompiledTrace::compile_shared(&ramp(10, 16));
+        assert_eq!(Arc::strong_count(&c), 1);
+        assert!(c.to_string().contains("compiled trace"));
+        assert!(!c.is_empty());
+    }
+}

@@ -7,6 +7,9 @@
 //!
 //! * [`TraceEvent`] / [`Trace`] — a validated sequence of
 //!   allocate / free / access / compute-tick events;
+//! * [`CompiledTrace`] — the replay-optimized lowering (dense recycled
+//!   block slots, baked-in sizes, precomputed lifetimes) the simulation
+//!   kernel consumes; built once per workload and `Arc`-shared;
 //! * [`TraceStats`] — profiled statistics (dominant block sizes, peak live
 //!   footprint, lifetimes) that seed the exploration's parameter space;
 //! * [`textfmt`] / [`binfmt`] — line-oriented and compact binary
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod binfmt;
+mod compiled;
 mod error;
 mod event;
 pub mod gen;
@@ -48,6 +52,7 @@ mod stats;
 pub mod textfmt;
 mod trace;
 
+pub use compiled::{CompiledEvent, CompiledTrace};
 pub use error::{ParseError, TraceError};
 pub use event::{BlockId, TraceEvent};
 pub use stats::{SizeStat, TraceStats};

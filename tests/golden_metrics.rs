@@ -1,0 +1,474 @@
+//! Golden-metrics suite: pins [`SimMetrics`] byte-for-byte across the
+//! slab-kernel refactor.
+//!
+//! The expected values below were captured by running the **pre-refactor**
+//! hash-map simulator (the implementation now preserved as
+//! [`Simulator::run_reference`]) on three fixed-seed workloads against one
+//! configuration per pool kind — fixed, segregated, buddy, region,
+//! general, and a five-pool composite. Every replay path must keep
+//! reproducing them exactly: the compiled-trace slab kernel is a pure
+//! performance refactor, not a modeling change.
+
+use dmx_alloc::{
+    AllocatorConfig, CoalescePolicy, FitPolicy, FreeOrder, PoolKind, PoolSpec, Route, SimArena,
+    SimMetrics, Simulator, SplitPolicy,
+};
+use dmx_memhier::MemoryHierarchy;
+use dmx_trace::gen::{EasyportConfig, SyntheticConfig, TraceGenerator, VtcConfig};
+use dmx_trace::{CompiledTrace, Trace};
+
+/// The pinned digest of one (workload, configuration) simulation.
+struct Golden {
+    case: &'static str,
+    allocs: u64,
+    frees: u64,
+    failures: u64,
+    ops: u64,
+    footprint: u64,
+    footprint_per_level: [u64; 2],
+    energy_pj: u64,
+    cycles: u64,
+    peak_internal_frag: u64,
+    counters: [(u64, u64); 2],
+    meta_counters: [(u64, u64); 2],
+}
+
+impl Golden {
+    fn assert_matches(&self, m: &SimMetrics, path: &str) {
+        let ctx = format!("{} via {path}", self.case);
+        assert_eq!(m.allocs, self.allocs, "{ctx}: allocs");
+        assert_eq!(m.frees, self.frees, "{ctx}: frees");
+        assert_eq!(m.failures, self.failures, "{ctx}: failures");
+        assert_eq!(m.ops, self.ops, "{ctx}: ops");
+        assert_eq!(m.footprint, self.footprint, "{ctx}: footprint");
+        assert_eq!(
+            m.footprint_per_level, self.footprint_per_level,
+            "{ctx}: footprint per level"
+        );
+        assert_eq!(m.energy_pj, self.energy_pj, "{ctx}: energy");
+        assert_eq!(m.cycles, self.cycles, "{ctx}: cycles");
+        assert_eq!(
+            m.peak_internal_frag, self.peak_internal_frag,
+            "{ctx}: internal fragmentation"
+        );
+        let counters: Vec<(u64, u64)> = m
+            .counters
+            .iter()
+            .map(|(_, c)| (c.reads, c.writes))
+            .collect();
+        assert_eq!(counters, self.counters, "{ctx}: per-level accesses");
+        let meta: Vec<(u64, u64)> = m
+            .meta_counters
+            .iter()
+            .map(|(_, c)| (c.reads, c.writes))
+            .collect();
+        assert_eq!(meta, self.meta_counters, "{ctx}: per-level meta accesses");
+    }
+}
+
+/// Captured from the pre-refactor simulator; see the module docs.
+const GOLDENS: &[Golden] = &[
+    Golden {
+        case: "easyport/general",
+        allocs: 6259,
+        frees: 6259,
+        failures: 0,
+        ops: 12518,
+        footprint: 1040384,
+        footprint_per_level: [0, 1040384],
+        energy_pj: 473908236,
+        cycles: 14334482,
+        peak_internal_frag: 991018,
+        counters: [(0, 0), (195327, 113859)],
+        meta_counters: [(0, 0), (19709, 31803)],
+    },
+    Golden {
+        case: "easyport/fixed+general",
+        allocs: 6259,
+        frees: 6259,
+        failures: 0,
+        ops: 12518,
+        footprint: 93824,
+        footprint_per_level: [4864, 88960],
+        energy_pj: 387394857,
+        cycles: 13308656,
+        peak_internal_frag: 1872,
+        counters: [(70000, 38004), (173022, 77242)],
+        meta_counters: [(6000, 6004), (61404, 27186)],
+    },
+    Golden {
+        case: "easyport/segregated",
+        allocs: 6259,
+        frees: 6259,
+        failures: 0,
+        ops: 12518,
+        footprint: 131208,
+        footprint_per_level: [0, 131208],
+        energy_pj: 450628617,
+        cycles: 14047594,
+        peak_internal_frag: 10082,
+        counters: [(0, 0), (193771, 100915)],
+        meta_counters: [(0, 0), (18153, 18859)],
+    },
+    Golden {
+        case: "easyport/buddy",
+        allocs: 6259,
+        frees: 6259,
+        failures: 0,
+        ops: 12518,
+        footprint: 262144,
+        footprint_per_level: [0, 262144],
+        energy_pj: 476837891,
+        cycles: 14368898,
+        peak_internal_frag: 37826,
+        counters: [(0, 0), (201739, 109809)],
+        meta_counters: [(0, 0), (26121, 27753)],
+    },
+    Golden {
+        case: "easyport/region",
+        allocs: 6259,
+        frees: 6259,
+        failures: 0,
+        ops: 12518,
+        footprint: 1630208,
+        footprint_per_level: [0, 1630208],
+        energy_pj: 432657050,
+        cycles: 13827324,
+        peak_internal_frag: 566,
+        counters: [(0, 0), (188136, 94973)],
+        meta_counters: [(0, 0), (12518, 12917)],
+    },
+    Golden {
+        case: "easyport/composite",
+        allocs: 6259,
+        frees: 6259,
+        failures: 0,
+        ops: 12518,
+        footprint: 338688,
+        footprint_per_level: [4864, 333824],
+        energy_pj: 325467671,
+        cycles: 12552284,
+        peak_internal_frag: 19282,
+        counters: [(70000, 38004), (143868, 65662)],
+        meta_counters: [(6000, 6004), (32250, 15606)],
+    },
+    Golden {
+        case: "vtc/general",
+        allocs: 272,
+        frees: 272,
+        failures: 0,
+        ops: 544,
+        footprint: 1097728,
+        footprint_per_level: [0, 1097728],
+        energy_pj: 60765509,
+        cycles: 6579614,
+        peak_internal_frag: 1078200,
+        counters: [(0, 0), (30167, 9844)],
+        meta_counters: [(0, 0), (691, 1896)],
+    },
+    Golden {
+        case: "vtc/fixed+general",
+        allocs: 272,
+        frees: 272,
+        failures: 0,
+        ops: 544,
+        footprint: 24576,
+        footprint_per_level: [0, 24576],
+        energy_pj: 64389762,
+        cycles: 6623924,
+        peak_internal_frag: 2128,
+        counters: [(0, 0), (31712, 10669)],
+        meta_counters: [(0, 0), (2236, 2721)],
+    },
+    Golden {
+        case: "vtc/segregated",
+        allocs: 272,
+        frees: 272,
+        failures: 0,
+        ops: 544,
+        footprint: 34816,
+        footprint_per_level: [0, 34816],
+        energy_pj: 59220413,
+        cycles: 6560512,
+        peak_internal_frag: 104,
+        counters: [(0, 0), (30288, 8780)],
+        meta_counters: [(0, 0), (812, 832)],
+    },
+    Golden {
+        case: "vtc/buddy",
+        allocs: 272,
+        frees: 272,
+        failures: 0,
+        ops: 544,
+        footprint: 262144,
+        footprint_per_level: [0, 262144],
+        energy_pj: 63110235,
+        cycles: 6608294,
+        peak_internal_frag: 18664,
+        counters: [(0, 0), (31117, 10423)],
+        meta_counters: [(0, 0), (1641, 2475)],
+    },
+    Golden {
+        case: "vtc/region",
+        allocs: 272,
+        frees: 272,
+        failures: 0,
+        ops: 544,
+        footprint: 24576,
+        footprint_per_level: [0, 24576],
+        energy_pj: 58368281,
+        cycles: 6550068,
+        peak_internal_frag: 0,
+        counters: [(0, 0), (30020, 8499)],
+        meta_counters: [(0, 0), (544, 551)],
+    },
+    Golden {
+        case: "vtc/composite",
+        allocs: 272,
+        frees: 272,
+        failures: 0,
+        ops: 544,
+        footprint: 32768,
+        footprint_per_level: [0, 32768],
+        energy_pj: 59429860,
+        cycles: 6563082,
+        peak_internal_frag: 1648,
+        counters: [(0, 0), (30343, 8859)],
+        meta_counters: [(0, 0), (867, 911)],
+    },
+    Golden {
+        case: "churn/general",
+        allocs: 800,
+        frees: 800,
+        failures: 0,
+        ops: 1600,
+        footprint: 204800,
+        footprint_per_level: [0, 204800],
+        energy_pj: 111329420,
+        cycles: 1386184,
+        peak_internal_frag: 189827,
+        counters: [(0, 0), (35008, 36717)],
+        meta_counters: [(0, 0), (2706, 4100)],
+    },
+    Golden {
+        case: "churn/fixed+general",
+        allocs: 800,
+        frees: 800,
+        failures: 0,
+        ops: 1600,
+        footprint: 10624,
+        footprint_per_level: [2432, 8192],
+        energy_pj: 138866074,
+        cycles: 1721852,
+        peak_internal_frag: 519,
+        counters: [(25, 27), (50470, 39582)],
+        meta_counters: [(3, 5), (18190, 6987)],
+    },
+    Golden {
+        case: "churn/segregated",
+        allocs: 800,
+        frees: 800,
+        failures: 0,
+        ops: 1600,
+        footprint: 24576,
+        footprint_per_level: [0, 24576],
+        energy_pj: 108140959,
+        cycles: 1346916,
+        peak_internal_frag: 2003,
+        counters: [(0, 0), (34702, 35029)],
+        meta_counters: [(0, 0), (2400, 2412)],
+    },
+    Golden {
+        case: "churn/buddy",
+        allocs: 800,
+        frees: 800,
+        failures: 0,
+        ops: 1600,
+        footprint: 262144,
+        footprint_per_level: [0, 262144],
+        energy_pj: 112540183,
+        cycles: 1400898,
+        peak_internal_frag: 2920,
+        counters: [(0, 0), (35851, 36694)],
+        meta_counters: [(0, 0), (3549, 4077)],
+    },
+    Golden {
+        case: "churn/region",
+        allocs: 800,
+        frees: 800,
+        failures: 0,
+        ops: 1600,
+        footprint: 114688,
+        footprint_per_level: [0, 114688],
+        energy_pj: 105687718,
+        cycles: 1316856,
+        peak_internal_frag: 139,
+        counters: [(0, 0), (33902, 34246)],
+        meta_counters: [(0, 0), (1600, 1629)],
+    },
+    Golden {
+        case: "churn/composite",
+        allocs: 800,
+        frees: 800,
+        failures: 0,
+        ops: 1600,
+        footprint: 18816,
+        footprint_per_level: [2432, 16384],
+        energy_pj: 111150726,
+        cycles: 1383860,
+        peak_internal_frag: 2882,
+        counters: [(25, 27), (35506, 36150)],
+        meta_counters: [(3, 5), (3226, 3555)],
+    },
+];
+
+fn fixture_trace(name: &str) -> Trace {
+    match name {
+        "easyport" => EasyportConfig::small().generate(11),
+        "vtc" => VtcConfig::small().generate(3),
+        "churn" => SyntheticConfig::uniform_churn(800).generate(9),
+        other => panic!("unknown fixture trace `{other}`"),
+    }
+}
+
+fn fixture_config(name: &str, hier: &MemoryHierarchy) -> AllocatorConfig {
+    let main = hier.slowest();
+    match name {
+        "general" => AllocatorConfig::general_only(
+            main,
+            FitPolicy::FirstFit,
+            FreeOrder::Lifo,
+            CoalescePolicy::Never,
+            SplitPolicy::Never,
+        ),
+        "fixed+general" => AllocatorConfig::paper_example(hier),
+        "segregated" => AllocatorConfig {
+            pools: vec![PoolSpec {
+                route: Route::Fallback,
+                kind: PoolKind::Segregated {
+                    min_class: 16,
+                    max_class: 1024,
+                    chunk_bytes: 4096,
+                },
+                level: main,
+            }],
+        },
+        "buddy" => AllocatorConfig {
+            pools: vec![PoolSpec {
+                route: Route::Fallback,
+                kind: PoolKind::Buddy {
+                    min_order: 5,
+                    max_order: 18,
+                },
+                level: main,
+            }],
+        },
+        "region" => AllocatorConfig {
+            pools: vec![PoolSpec {
+                route: Route::Fallback,
+                kind: PoolKind::Region { chunk_bytes: 8192 },
+                level: main,
+            }],
+        },
+        "composite" => AllocatorConfig {
+            pools: vec![
+                PoolSpec::fixed(74, hier.fastest()),
+                PoolSpec {
+                    route: Route::Range { min: 1, max: 64 },
+                    kind: PoolKind::Segregated {
+                        min_class: 8,
+                        max_class: 64,
+                        chunk_bytes: 2048,
+                    },
+                    level: main,
+                },
+                PoolSpec {
+                    route: Route::Range { min: 65, max: 512 },
+                    kind: PoolKind::Buddy {
+                        min_order: 5,
+                        max_order: 12,
+                    },
+                    level: main,
+                },
+                PoolSpec {
+                    route: Route::Range {
+                        min: 513,
+                        max: 1024,
+                    },
+                    kind: PoolKind::Region { chunk_bytes: 8192 },
+                    level: main,
+                },
+                PoolSpec::general(
+                    main,
+                    FitPolicy::BestFit,
+                    FreeOrder::SizeOrdered,
+                    CoalescePolicy::DeferredEvery(32),
+                    SplitPolicy::MinRemainder(16),
+                ),
+            ],
+        },
+        other => panic!("unknown fixture config `{other}`"),
+    }
+}
+
+/// Every golden case, via every replay path: the compiled slab kernel
+/// (fresh arena and reused arena) and the retained hash-map reference
+/// interpreter all reproduce the pre-refactor numbers exactly.
+#[test]
+fn all_pool_kinds_reproduce_pre_refactor_metrics_on_every_path() {
+    let hier = dmx_memhier::presets::sp64k_dram4m();
+    let sim = Simulator::new(&hier);
+    let mut arena = SimArena::new();
+    for golden in GOLDENS {
+        let (trace_name, config_name) = golden.case.split_once('/').expect("case format");
+        let trace = fixture_trace(trace_name);
+        let config = fixture_config(config_name, &hier);
+        let compiled = CompiledTrace::compile(&trace);
+
+        let reference = sim.run_reference(&config, &trace).unwrap();
+        golden.assert_matches(&reference, "run_reference (hash-map oracle)");
+
+        let kernel = sim.run_compiled(&config, &compiled).unwrap();
+        golden.assert_matches(&kernel, "run_compiled (slab kernel)");
+
+        let arena_run = sim.run_in_arena(&config, &compiled, &mut arena).unwrap();
+        golden.assert_matches(&arena_run, "run_in_arena (shared worker arena)");
+
+        let convenience = sim.run(&config, &trace).unwrap();
+        golden.assert_matches(&convenience, "run (compile-and-replay)");
+    }
+    assert_eq!(
+        arena.runs(),
+        GOLDENS.len() as u64,
+        "every golden case replayed through the shared arena"
+    );
+    assert!(
+        arena.reuses() > 0,
+        "the shared arena must actually reuse its slab"
+    );
+}
+
+/// The golden table must cover every pool kind — a regression guard so a
+/// future pool addition extends this suite.
+#[test]
+fn golden_suite_covers_every_pool_kind() {
+    for kind in [
+        "general",
+        "fixed+general",
+        "segregated",
+        "buddy",
+        "region",
+        "composite",
+    ] {
+        assert!(
+            GOLDENS.iter().any(|g| g.case.ends_with(kind)),
+            "no golden case for pool kind `{kind}`"
+        );
+    }
+    for workload in ["easyport", "vtc", "churn"] {
+        assert!(
+            GOLDENS.iter().any(|g| g.case.starts_with(workload)),
+            "no golden case for workload `{workload}`"
+        );
+    }
+}
