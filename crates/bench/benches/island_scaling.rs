@@ -1,0 +1,238 @@
+//! Island-model scaling: front quality at equal budget, and wall-clock
+//! speedup from parallel evaluation.
+//!
+//! On the 6912-configuration convergence space this bench runs
+//!
+//! * one **single-island** GA (population 64), and
+//! * one **4-island** ring search (population 16 per island) with the
+//!   same requested evaluation budget (64 × generations individuals),
+//!
+//! then enforces the island-model acceptance bar:
+//!
+//! * **front quality** — the 4-island front recovers ≥ 99 % of the
+//!   single-GA front's 2-D hypervolume (migration + cache sharing must
+//!   not cost quality at equal budget);
+//! * **determinism** — the island run is byte-identical at 1 and
+//!   `max(4, cpus)` evaluation workers (merge by island id, never by
+//!   completion order);
+//! * **speedup** — wall clock of the threaded run over the 1-worker run,
+//!   ≥ 1.5× when the machine actually has ≥ 4 CPUs (on smaller machines
+//!   the number is recorded but cannot be a gate: there is no parallelism
+//!   to buy).
+//!
+//! The headline numbers land in `BENCH_island_scaling.json`; CI validates
+//! them against `crates/bench/floors/island_scaling.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+use dmx_core::search::{GeneticSearch, IslandSearch, Migration};
+use dmx_core::study::{convergence_space, easyport_space, StudyScale};
+use dmx_core::{front_coverage_pct, Explorer, Objective, SearchOutcome};
+use dmx_memhier::presets;
+use dmx_trace::gen::{EasyportConfig, TraceGenerator};
+
+fn front_2d(outcome: &SearchOutcome) -> Vec<(u64, u64)> {
+    outcome.front.points.iter().map(|p| (p[0], p[1])).collect()
+}
+
+/// Labels of the evaluated set, the byte-comparison proxy for "identical
+/// output" (the genome order fixes the result order).
+fn fingerprint(outcome: &SearchOutcome) -> Vec<String> {
+    outcome
+        .exploration
+        .results
+        .iter()
+        .map(|r| r.label.clone())
+        .collect()
+}
+
+fn bench_island_scaling(c: &mut Criterion) {
+    let hierarchy = presets::sp64k_dram4m();
+    // The shared 6912-configuration space (`dmx_core::study`), same as
+    // `search_convergence` and the differential-test oracle.
+    let space = convergence_space(&hierarchy);
+    // A longer trace than `search_convergence` uses: the wall-clock
+    // comparison below needs the timed runs to be simulation-bound, not
+    // dominated by per-generation scheduling noise.
+    let trace = EasyportConfig {
+        packets: 600,
+        ..EasyportConfig::paper()
+    }
+    .generate(42);
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads_hi = cpus.clamp(4, 8);
+
+    let generations = 20;
+    let single = GeneticSearch {
+        population: 64,
+        generations,
+        seed: 42,
+        ..GeneticSearch::default()
+    };
+    let island = IslandSearch {
+        islands: 4,
+        migration: Migration::Ring,
+        migrate_every: 4,
+        migrants: 2,
+        population: 16, // 4 × 16 = the single GA's 64 per generation
+        generations,
+        seed: 42,
+        ..IslandSearch::default()
+    };
+
+    let single_outcome = Explorer::new(&hierarchy).with_threads(threads_hi).search(
+        &single,
+        &space,
+        &trace,
+        &Objective::FIG1,
+    );
+
+    // Wall-clock: the same island search at 1 worker and at the threaded
+    // worker count. Both runs must produce byte-identical output, so the
+    // comparison times exactly the same work. Each configuration is timed
+    // twice and the best run kept — one stall on a noisy shared CI runner
+    // must not decide a pass/fail gate.
+    let time_run = |threads: usize| -> (Duration, SearchOutcome) {
+        let mut best: Option<(Duration, SearchOutcome)> = None;
+        for _ in 0..2 {
+            let start = Instant::now();
+            let outcome = Explorer::new(&hierarchy).with_threads(threads).search(
+                &island,
+                &space,
+                &trace,
+                &Objective::FIG1,
+            );
+            let elapsed = start.elapsed();
+            if best.as_ref().is_none_or(|(t, _)| elapsed < *t) {
+                best = Some((elapsed, outcome));
+            }
+        }
+        best.expect("two timed runs")
+    };
+    let (t1, island_seq) = time_run(1);
+    let (tn, island_par) = time_run(threads_hi);
+
+    assert_eq!(
+        fingerprint(&island_seq),
+        fingerprint(&island_par),
+        "island output must be byte-identical across worker counts"
+    );
+    assert_eq!(island_seq.front.points, island_par.front.points);
+    assert_eq!(island_seq.islands, island_par.islands);
+    assert_eq!(
+        island_seq.simulations, island_seq.evaluations,
+        "cache sharing: one simulation per distinct genome across all islands"
+    );
+
+    let coverage = front_coverage_pct(&front_2d(&island_par), &front_2d(&single_outcome));
+    let speedup = t1.as_secs_f64() / tn.as_secs_f64().max(1e-9);
+
+    println!("\n==== island scaling: {} configurations ====", space.len());
+    println!(
+        "single GA : {:>5} evaluations, {:>2} front points",
+        single_outcome.evaluations,
+        single_outcome.front.len()
+    );
+    println!(
+        "4 islands : {:>5} evaluations, {:>2} front points, {:.1}% of the single-GA front hypervolume",
+        island_par.evaluations,
+        island_par.front.len(),
+        coverage
+    );
+    for s in &island_par.islands {
+        println!(
+            "  island {} ({}): {} genomes, {} front points, {} migrants in, last improved gen {}",
+            s.island,
+            s.kind,
+            s.genomes,
+            s.front.len(),
+            s.migrants_received,
+            s.last_improved_generation
+        );
+    }
+    println!(
+        "wall clock: {:.2}s at 1 worker, {:.2}s at {} workers -> {speedup:.2}x ({cpus} cpus)",
+        t1.as_secs_f64(),
+        tn.as_secs_f64(),
+        threads_hi
+    );
+
+    // Acceptance bars. Quality and budget parity always hold; the
+    // parallel-speedup bar needs parallel hardware to be meaningful.
+    assert!(
+        island_par.evaluations <= single_outcome.evaluations * 11 / 10,
+        "island budget ({}) must stay within 10% of the single GA ({})",
+        island_par.evaluations,
+        single_outcome.evaluations
+    );
+    assert!(
+        coverage >= 99.0,
+        "4-island front covers only {coverage:.1}% of the single-GA front"
+    );
+    if cpus >= 4 {
+        assert!(
+            speedup >= 1.5,
+            "4 islands on {cpus} cpus reached only {speedup:.2}x over 1 worker"
+        );
+    }
+
+    dmx_bench::write_bench_json(
+        "island_scaling",
+        &[
+            ("bench", dmx_bench::json_str("island_scaling")),
+            ("space", space.len().to_string()),
+            ("islands", "4".to_owned()),
+            ("cpus", cpus.to_string()),
+            ("workers", threads_hi.to_string()),
+            (
+                "single_ga_evaluations",
+                single_outcome.evaluations.to_string(),
+            ),
+            ("island_evaluations", island_par.evaluations.to_string()),
+            (
+                "front_coverage_vs_single_pct",
+                dmx_bench::json_num(coverage),
+            ),
+            (
+                "wallclock_1_worker_sec",
+                dmx_bench::json_num(t1.as_secs_f64()),
+            ),
+            (
+                "wallclock_threaded_sec",
+                dmx_bench::json_num(tn.as_secs_f64()),
+            ),
+            ("speedup", dmx_bench::json_num(speedup)),
+            ("deterministic_across_workers", "true".to_owned()),
+        ],
+    );
+
+    // Measured unit: one 2-island run on the quick-scale space.
+    let quick = easyport_space(&hierarchy, StudyScale::Quick);
+    let quick_trace = EasyportConfig::small().generate(42);
+    let quick_island = IslandSearch {
+        islands: 2,
+        population: 8,
+        generations: 4,
+        seed: 42,
+        ..IslandSearch::default()
+    };
+    let explorer = Explorer::new(&hierarchy);
+    c.bench_function("island_scaling/quick_2_island_run", |b| {
+        b.iter(|| {
+            explorer.search(
+                std::hint::black_box(&quick_island),
+                std::hint::black_box(&quick),
+                std::hint::black_box(&quick_trace),
+                &Objective::FIG1,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(5)).warm_up_time(Duration::from_secs(1));
+    targets = bench_island_scaling
+}
+criterion_main!(benches);

@@ -20,23 +20,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
 use dmx_core::search::{GeneticSearch, HillClimbSearch, SubsampleSearch};
-use dmx_core::study::{easyport_space, StudyScale};
-use dmx_core::{front_coverage_pct, Explorer, Objective, ParamSpace, SearchOutcome};
+use dmx_core::study::{convergence_space, easyport_space, StudyScale};
+use dmx_core::{front_coverage_pct, Explorer, Objective, SearchOutcome};
 use dmx_memhier::presets;
 use dmx_trace::gen::{EasyportConfig, TraceGenerator};
-
-/// The convergence space: the paper-scale Easyport space widened along the
-/// general-pool axes (placement levels × growth chunks) to 6912 distinct
-/// configurations — the paper's "tens of thousands" regime, scaled to keep
-/// the exhaustive reference affordable in CI.
-fn large_space(hierarchy: &dmx_memhier::MemoryHierarchy) -> ParamSpace {
-    let base = easyport_space(hierarchy, StudyScale::Paper);
-    ParamSpace {
-        general_levels: vec![hierarchy.fastest().into(), hierarchy.slowest().into()],
-        general_chunks: vec![1024, 2048, 4096, 8192],
-        ..base
-    }
-}
 
 fn front_2d(outcome_points: &[Vec<u64>]) -> Vec<(u64, u64)> {
     outcome_points.iter().map(|p| (p[0], p[1])).collect()
@@ -61,12 +48,10 @@ fn report_row(name: &str, outcome: &SearchOutcome, space_len: usize, full: &[(u6
 
 fn bench_search_convergence(c: &mut Criterion) {
     let hierarchy = presets::sp64k_dram4m();
-    let space = large_space(&hierarchy);
-    assert!(
-        space.len() >= 5_000,
-        "convergence space must exercise the ≥5k regime, got {}",
-        space.len()
-    );
+    // The shared 6912-configuration space (`dmx_core::study`) — the
+    // paper's "tens of thousands" regime, scaled to keep the exhaustive
+    // reference affordable in CI.
+    let space = convergence_space(&hierarchy);
     // A reduced-length Easyport trace keeps the 6912-config exhaustive
     // reference tractable; the space (not the trace) is what's under test.
     let trace = EasyportConfig {

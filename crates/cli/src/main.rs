@@ -7,8 +7,9 @@
 //! dmx profile   --trace FILE
 //! dmx explore   --trace FILE --out-records FILE [--csv FILE] [--gnuplot FILE]
 //!               [--json FILE] [--objectives footprint,accesses]
-//!               [--strategy exhaustive|sample|genetic|hillclimb]
+//!               [--strategy exhaustive|sample|genetic|hillclimb|island]
 //!               [--generations N] [--population N] [--restarts N]
+//!               [--islands N] [--migration ring|full|star] [--migrate-every K]
 //!               [--sample-n N] [--seed N]
 //! dmx explore   --suite NAME [--aggregate worst|mean|weighted] [--json FILE]
 //!               [--out-records FILE] [--objectives ...] [--strategy ...]
@@ -20,7 +21,10 @@
 //! `explore` defaults to the exhaustive sweep; `--strategy
 //! genetic|hillclimb|sample` switches to guided search (see
 //! `dmx_core::search`), which recovers the Pareto front at a fraction of
-//! the simulations on large spaces. `--suite` switches to *robust*
+//! the simulations on large spaces, and `--strategy island` runs the
+//! island-model parallel search (N independent islands exchanging elites
+//! over `--migration ring|full|star` every `--migrate-every`
+//! generations, merged deterministically). `--suite` switches to *robust*
 //! exploration: every configuration is evaluated across a whole scenario
 //! suite (see `dmx_core::scenario`) and the chosen strategy optimizes
 //! worst-case / mean / weighted aggregated objectives. All modes are
@@ -32,8 +36,9 @@ use std::process::ExitCode;
 
 use dmx_core::export::{gnuplot_script, pareto_to_json, robust_to_json, to_csv};
 use dmx_core::{
-    Aggregate, ExhaustiveSearch, Explorer, GeneticSearch, HillClimbSearch, MultiScenarioEvaluator,
-    Objective, ParamSpace, ScenarioSuite, SearchStrategy, StudySummary, SubsampleSearch,
+    Aggregate, ExhaustiveSearch, Explorer, GeneticSearch, HillClimbSearch, IslandSearch, Migration,
+    MultiScenarioEvaluator, Objective, ParamSpace, ScenarioSuite, SearchStrategy, StudySummary,
+    SubsampleSearch,
 };
 use dmx_memhier::presets;
 use dmx_profile::{parse_records, records_to_string, ProfileRecord};
@@ -71,9 +76,10 @@ const USAGE: &str = "usage:
   dmx profile   --trace FILE
   dmx explore   --trace FILE --out-records FILE [--csv FILE] [--gnuplot FILE]
                 [--json FILE] [--objectives footprint,accesses]
-                [--strategy exhaustive|sample|genetic|hillclimb]
+                [--strategy exhaustive|sample|genetic|hillclimb|island]
                 [--generations N] [--population N] [--restarts N]
-                [--sample-n N] [--seed N] [--sim-stats]
+                [--islands N] [--migration ring|full|star] [--migrate-every K]
+                [--migrants M] [--sample-n N] [--seed N] [--sim-stats]
   dmx explore   --suite NAME [--aggregate worst|mean|weighted] [--json FILE]
                 [--out-records FILE] [--objectives ...] [--strategy ...] [--seed N]
                 [--sim-stats]
@@ -229,8 +235,48 @@ fn build_strategy(
             seed,
             ..HillClimbSearch::default()
         }),
+        "island" => {
+            let islands = num_opt(rest, "--islands", 4)?;
+            if islands == 0 {
+                return Err("--islands must be at least 1".to_owned());
+            }
+            let migration: Migration = opt(rest, "--migration").unwrap_or("ring").parse()?;
+            let migrate_every = num_opt(rest, "--migrate-every", 4)?;
+            if migrate_every == 0 {
+                return Err("--migrate-every must be at least 1".to_owned());
+            }
+            Box::new(IslandSearch {
+                islands,
+                migration,
+                migrate_every,
+                migrants: num_opt(rest, "--migrants", 2)?,
+                population: num_opt(rest, "--population", 16)?,
+                generations: num_opt(rest, "--generations", 16)?,
+                seed,
+                ..IslandSearch::default()
+            })
+        }
         other => return Err(format!("unknown strategy `{other}`")),
     })
+}
+
+/// Renders the per-island statistics lines for island-model runs.
+fn render_island_stats(islands: &[dmx_core::IslandStats]) -> String {
+    let mut out = String::new();
+    for s in islands {
+        out.push_str(&format!(
+            "island {}: {:<9} {} genomes, {} front points, sent {} / installed {} migrants, last improved gen {}/{}\n",
+            s.island,
+            s.kind,
+            s.genomes,
+            s.front.len(),
+            s.migrants_sent,
+            s.migrants_received,
+            s.last_improved_generation,
+            s.generations,
+        ));
+    }
+    out
 }
 
 /// The `--objectives` list (default: the paper's Figure-1 pair).
@@ -306,6 +352,9 @@ fn explore(rest: &[&String]) -> Result<(), String> {
         outcome.cache_hits,
         outcome.front.len(),
     );
+    if !outcome.islands.is_empty() {
+        eprint!("{}", render_island_stats(&outcome.islands));
+    }
     if has_flag(rest, "--sim-stats") {
         outln!("{}", render_sim_stats(&outcome.sim_stats));
     }
@@ -377,6 +426,9 @@ fn explore_suite(rest: &[&String], suite_name: &str) -> Result<(), String> {
         robust.outcome.cache_hits,
         robust.outcome.front.len(),
     );
+    if !robust.outcome.islands.is_empty() {
+        eprint!("{}", render_island_stats(&robust.outcome.islands));
+    }
     if has_flag(rest, "--sim-stats") {
         outln!("{}", render_sim_stats(&robust.outcome.sim_stats));
     }

@@ -80,6 +80,6 @@ pub use scenario::{
     Aggregate, CommonalityReport, MultiScenarioEvaluator, RobustOutcome, Scenario, ScenarioSuite,
 };
 pub use search::{
-    EvalCache, ExhaustiveSearch, GeneticSearch, HillClimbSearch, SearchOutcome, SearchStrategy,
-    SimStats, SubsampleSearch,
+    thread_budget, EvalCache, ExhaustiveSearch, GeneticSearch, HillClimbSearch, IslandKind,
+    IslandSearch, IslandStats, Migration, SearchOutcome, SearchStrategy, SimStats, SubsampleSearch,
 };

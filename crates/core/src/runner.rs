@@ -107,12 +107,14 @@ pub struct Explorer<'h> {
 }
 
 impl<'h> Explorer<'h> {
-    /// An explorer over `hierarchy` using all available CPUs.
+    /// An explorer over `hierarchy` using the process thread budget: all
+    /// available CPUs, or the `DMX_THREADS` override (see
+    /// [`crate::thread_budget`]).
     pub fn new(hierarchy: &'h MemoryHierarchy) -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        Explorer { hierarchy, threads }
+        Explorer {
+            hierarchy,
+            threads: crate::search::thread_budget(),
+        }
     }
 
     /// Overrides the worker-thread count (1 = fully sequential).

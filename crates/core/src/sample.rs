@@ -16,15 +16,37 @@ use dmx_memhier::MemoryHierarchy;
 
 use crate::param::ParamSpace;
 
-/// Draws `n` distinct indices uniformly from `0..total` by rejection
-/// sampling (all of them, in order, if `n >= total`), returned sorted
-/// ascending. Deterministic in `seed`. Memory is O(n) — independent of
-/// `total`, so huge spaces can be subsampled cheaply.
+/// Draws `n` distinct indices uniformly from `0..total` (all of them, in
+/// order, if `n >= total`), returned sorted ascending. Deterministic in
+/// `seed`. Memory is O(n) — independent of `total`, so huge spaces can be
+/// subsampled cheaply.
+///
+/// Two regimes share the work: sparse requests (`n` under half the space)
+/// use rejection sampling, whose expected draw count stays below `2n`;
+/// dense requests switch to a partial Fisher–Yates shuffle over the full
+/// index range, because rejection sampling degenerates as `n` approaches
+/// `total` — the last few picks each reject almost the whole range, and
+/// the loop's *expected* time goes coupon-collector (`total·ln total`)
+/// with no upper bound on the unlucky tail. A dense request already pays
+/// O(n) ≥ O(total/2) memory, so materializing the range costs nothing
+/// extra.
 pub(crate) fn sample_indices(total: usize, n: usize, seed: u64) -> Vec<usize> {
     if n >= total {
         return (0..total).collect();
     }
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5A3D_17E1);
+    if n * 2 >= total {
+        // Dense fallback: shuffle the first `n` positions of the full
+        // index range (classic partial Fisher–Yates), keep them.
+        let mut all: Vec<usize> = (0..total).collect();
+        for i in 0..n {
+            let j = rng.gen_range(i..total);
+            all.swap(i, j);
+        }
+        all.truncate(n);
+        all.sort_unstable();
+        return all;
+    }
     let mut seen: HashSet<usize> = HashSet::with_capacity(n);
     let mut picks: Vec<usize> = Vec::with_capacity(n);
     while picks.len() < n {
@@ -174,6 +196,50 @@ mod tests {
         let space = easyport_space(&hier, StudyScale::Quick);
         let all = sample_configs(&space, &hier, usize::MAX, 3);
         assert_eq!(all.len(), space.len());
+    }
+
+    /// Regression: near-total requests must take the dense path. With the
+    /// pure rejection sampler these sizes re-drew almost the full range
+    /// for every one of the last picks (coupon-collector tail) — on big
+    /// spaces `sample_n == total - 1` could spin effectively unboundedly.
+    #[test]
+    fn near_total_requests_use_the_dense_path_and_stay_uniform() {
+        for total in [10usize, 1_000, 50_000] {
+            for n in [total - 1, total * 3 / 4, total / 2] {
+                let picks = sample_indices(total, n, 7);
+                assert_eq!(picks.len(), n, "total={total} n={n}");
+                assert!(
+                    picks.windows(2).all(|w| w[0] < w[1]),
+                    "sorted + distinct (total={total} n={n})"
+                );
+                assert!(picks.iter().all(|&i| i < total));
+                assert_eq!(
+                    picks,
+                    sample_indices(total, n, 7),
+                    "deterministic (total={total} n={n})"
+                );
+            }
+        }
+        // Exactly the full space: the identity path, in order.
+        assert_eq!(sample_indices(9, 9, 1), (0..9).collect::<Vec<_>>());
+        // And the strategy-level entry point at `sample_n == total`.
+        let hier = presets::sp64k_dram4m();
+        let space = easyport_space(&hier, StudyScale::Quick);
+        let trace = crate::study::easyport_trace(StudyScale::Quick, 42);
+        let outcome = crate::Explorer::new(&hier).search(
+            &crate::SubsampleSearch {
+                n: space.len(),
+                seed: 5,
+            },
+            &space,
+            &trace,
+            &crate::Objective::FIG1,
+        );
+        assert_eq!(
+            outcome.evaluations,
+            space.len(),
+            "degenerates to exhaustive"
+        );
     }
 
     #[test]

@@ -47,15 +47,15 @@ pub struct MultiScenarioEvaluator<'a> {
 
 impl<'a> MultiScenarioEvaluator<'a> {
     /// An evaluator over `suite` with worst-case folding, the Figure-1
-    /// objective pair, all CPUs, seed 42, and the suite-derived space.
+    /// objective pair, the process thread budget (all CPUs, or the
+    /// `DMX_THREADS` override — see [`crate::thread_budget`]), seed 42,
+    /// and the suite-derived space.
     pub fn new(suite: &'a ScenarioSuite) -> Self {
         MultiScenarioEvaluator {
             suite,
             aggregate: Aggregate::WorstCase,
             objectives: Objective::FIG1.to_vec(),
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads: crate::search::thread_budget(),
             seed: 42,
             space: None,
             materialized: std::cell::OnceCell::new(),
@@ -449,6 +449,42 @@ mod tests {
             a.outcome.genomes, c.outcome.genomes,
             "a different run seed regenerates traces and shifts the search"
         );
+    }
+
+    /// The island model plugs into robust (suite) mode unchanged: every
+    /// genome any island asks about is simulated on every scenario, the
+    /// shared cache still guarantees one simulation per (scenario,
+    /// genome), and the run stays deterministic.
+    #[test]
+    fn island_strategy_runs_robustly_and_deterministically() {
+        use crate::search::{IslandSearch, Migration};
+        let suite = ScenarioSuite::builtin("quick").expect("built-in");
+        let island = IslandSearch {
+            islands: 2,
+            migration: Migration::Ring,
+            migrate_every: 1,
+            population: 6,
+            generations: 3,
+            seed: 5,
+            ..IslandSearch::default()
+        };
+        let a = MultiScenarioEvaluator::new(&suite)
+            .with_seed(5)
+            .run(&island);
+        let b = MultiScenarioEvaluator::new(&suite)
+            .with_seed(5)
+            .run(&island);
+        assert_eq!(a.outcome.genomes, b.outcome.genomes);
+        assert_eq!(a.outcome.front.points, b.outcome.front.points);
+        assert_eq!(a.outcome.islands, b.outcome.islands);
+        assert_eq!(a.outcome.islands.len(), 2);
+        assert_eq!(
+            a.outcome.simulations,
+            a.outcome.evaluations * suite.scenarios.len(),
+            "one simulation per (scenario, genome), islands notwithstanding"
+        );
+        assert!(!a.outcome.front.is_empty());
+        assert_eq!(a.scenarios.len(), suite.scenarios.len());
     }
 
     #[test]

@@ -42,8 +42,9 @@ impl Default for GeneticSearch {
 
 /// Peels Pareto fronts off the point set: rank 0 is the non-dominated
 /// front, rank 1 the front after removing rank 0, and so on. Infeasible
-/// individuals (`None`) get `usize::MAX`.
-fn non_dominated_ranks(points: &[Option<Vec<u64>>]) -> Vec<usize> {
+/// individuals (`None`) get `usize::MAX`. Shared with the island-model
+/// steppers in [`super::island`].
+pub(crate) fn non_dominated_ranks(points: &[Option<Vec<u64>>]) -> Vec<usize> {
     let mut ranks = vec![usize::MAX; points.len()];
     let mut assigned = points.iter().filter(|p| p.is_none()).count();
     let mut rank = 0;
@@ -74,7 +75,7 @@ fn non_dominated_ranks(points: &[Option<Vec<u64>>]) -> Vec<usize> {
 /// Crowding distance per individual, computed within each rank: boundary
 /// points of a front get `f64::INFINITY`, interior points the sum of
 /// normalized neighbor gaps per objective. Infeasible individuals get 0.
-fn crowding_distances(points: &[Option<Vec<u64>>], ranks: &[usize]) -> Vec<f64> {
+pub(crate) fn crowding_distances(points: &[Option<Vec<u64>>], ranks: &[usize]) -> Vec<f64> {
     let mut crowding = vec![0.0f64; points.len()];
     let max_rank = ranks
         .iter()
@@ -129,9 +130,114 @@ fn tournament(rng: &mut StdRng, ranks: &[usize], crowding: &[f64]) -> usize {
     a.min(b)
 }
 
+/// One generation's breeding output: the next population to evaluate and
+/// the current non-dominated individuals (deduplicated, ordered by
+/// crowding distance descending — the "elites" the island model migrates).
+pub(crate) struct BreedOutcome {
+    /// The next generation's population, canonical.
+    pub next: Vec<Genome>,
+    /// The current generation's rank-0 genomes, best-spread first.
+    pub elites: Vec<Genome>,
+}
+
 impl GeneticSearch {
-    fn random_genome(rng: &mut StdRng, ctx: &SearchContext<'_>) -> Genome {
+    pub(crate) fn random_genome(rng: &mut StdRng, ctx: &SearchContext<'_>) -> Genome {
         ctx.space.genome_at(rng.gen_range(0..ctx.space.len()))
+    }
+
+    /// The strategy's seeded RNG stream — one deterministic stream per
+    /// seed, shared between [`Self::search`] and the island-model stepper
+    /// so a 1-island run replays this strategy exactly.
+    pub(crate) fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ 0x6E55_4741_5F64_6D78)
+    }
+
+    /// Draws the initial population (uniform over the space, clamped to
+    /// the space size).
+    pub(crate) fn initial_population(
+        &self,
+        rng: &mut StdRng,
+        ctx: &SearchContext<'_>,
+    ) -> Vec<Genome> {
+        let pop_size = self.population.min(ctx.space.len());
+        (0..pop_size)
+            .map(|_| Self::random_genome(rng, ctx))
+            .collect()
+    }
+
+    /// One generation of elitist NSGA-lite breeding over an evaluated
+    /// population: rank + crowd, carry the non-dominated individuals,
+    /// inject immigrants, fill with tournament-selected offspring. This is
+    /// the exact loop body of [`Self::search`], extracted so the island
+    /// model steps islands with byte-identical arithmetic.
+    pub(crate) fn breed(
+        &self,
+        rng: &mut StdRng,
+        ctx: &SearchContext<'_>,
+        lens: &[usize; 8],
+        population: &[Genome],
+        results: &[std::sync::Arc<crate::runner::RunResult>],
+    ) -> BreedOutcome {
+        let pop_size = population.len();
+        let points: Vec<Option<Vec<u64>>> = results
+            .iter()
+            .map(|r| {
+                r.metrics.feasible().then(|| {
+                    ctx.objectives
+                        .iter()
+                        .map(|o| o.extract(&r.metrics))
+                        .collect()
+                })
+            })
+            .collect();
+        let ranks = non_dominated_ranks(&points);
+        let crowding = crowding_distances(&points, &ranks);
+
+        // Elites: the current non-dominated individuals (deduplicated),
+        // capped at half the population to keep exploring.
+        let mut next: Vec<Genome> = Vec::with_capacity(pop_size);
+        for i in 0..population.len() {
+            if ranks[i] == 0 && !next.contains(&population[i]) && next.len() < pop_size / 2 {
+                next.push(population[i]);
+            }
+        }
+
+        // The full elite list for migration: every distinct rank-0 genome,
+        // widest-spread first (deterministic tie-break on the genome).
+        let mut elite_idx: Vec<usize> = (0..population.len()).filter(|&i| ranks[i] == 0).collect();
+        elite_idx.sort_by(|&a, &b| {
+            crowding[b]
+                .partial_cmp(&crowding[a])
+                .expect("crowding distances are never NaN")
+                .then(population[a].cmp(&population[b]))
+        });
+        let mut elites: Vec<Genome> = Vec::new();
+        for i in elite_idx {
+            if !elites.contains(&population[i]) {
+                elites.push(population[i]);
+            }
+        }
+
+        // Immigrants: a few uniform random genomes per generation keep
+        // the gene pool from collapsing around one front region.
+        let immigrants = (pop_size / 8).max(1).min(pop_size - next.len());
+        for _ in 0..immigrants {
+            next.push(Self::random_genome(rng, ctx));
+        }
+
+        // Offspring: tournament-selected parents, uniform crossover,
+        // mutation, canonicalization.
+        while next.len() < pop_size {
+            let pa = population[tournament(rng, &ranks, &crowding)];
+            let pb = population[tournament(rng, &ranks, &crowding)];
+            let mut child: Genome = [0; 8];
+            for d in 0..8 {
+                child[d] = if rng.gen_bool(0.5) { pa[d] } else { pb[d] };
+            }
+            self.mutate(rng, &mut child, lens);
+            next.push(ctx.space.canonicalize(child));
+        }
+        BreedOutcome { next, elites }
     }
 
     /// Mutates one genome in place: each axis independently, with
@@ -167,63 +273,17 @@ impl SearchStrategy for GeneticSearch {
         );
         assert!(!ctx.space.is_empty(), "cannot search an empty space");
 
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x6E55_4741_5F64_6D78);
+        let mut rng = self.rng();
         let evaluator = Evaluator::new(ctx);
         let lens = ctx.space.axis_lens();
-        let pop_size = self.population.min(ctx.space.len());
+        let mut population = self.initial_population(&mut rng, ctx);
 
-        let mut population: Vec<Genome> = (0..pop_size)
-            .map(|_| Self::random_genome(&mut rng, ctx))
-            .collect();
-
-        for _generation in 0..=self.generations {
+        for generation in 0..=self.generations {
             let results = evaluator.eval_batch(&population);
-            if _generation == self.generations {
+            if generation == self.generations {
                 break; // final population evaluated; no more breeding
             }
-            let points: Vec<Option<Vec<u64>>> = results
-                .iter()
-                .map(|r| {
-                    r.metrics.feasible().then(|| {
-                        ctx.objectives
-                            .iter()
-                            .map(|o| o.extract(&r.metrics))
-                            .collect()
-                    })
-                })
-                .collect();
-            let ranks = non_dominated_ranks(&points);
-            let crowding = crowding_distances(&points, &ranks);
-
-            // Elites: the current non-dominated individuals (deduplicated),
-            // capped at half the population to keep exploring.
-            let mut next: Vec<Genome> = Vec::with_capacity(pop_size);
-            for i in 0..population.len() {
-                if ranks[i] == 0 && !next.contains(&population[i]) && next.len() < pop_size / 2 {
-                    next.push(population[i]);
-                }
-            }
-
-            // Immigrants: a few uniform random genomes per generation keep
-            // the gene pool from collapsing around one front region.
-            let immigrants = (pop_size / 8).max(1).min(pop_size - next.len());
-            for _ in 0..immigrants {
-                next.push(Self::random_genome(&mut rng, ctx));
-            }
-
-            // Offspring: tournament-selected parents, uniform crossover,
-            // mutation, canonicalization.
-            while next.len() < pop_size {
-                let pa = population[tournament(&mut rng, &ranks, &crowding)];
-                let pb = population[tournament(&mut rng, &ranks, &crowding)];
-                let mut child: Genome = [0; 8];
-                for d in 0..8 {
-                    child[d] = if rng.gen_bool(0.5) { pa[d] } else { pb[d] };
-                }
-                self.mutate(&mut rng, &mut child, &lens);
-                next.push(ctx.space.canonicalize(child));
-            }
-            population = next;
+            population = self.breed(&mut rng, ctx, &lens, &population, &results).next;
         }
 
         evaluator.into_outcome(self.name(), ctx)

@@ -40,8 +40,13 @@ impl Default for HillClimbSearch {
 
 impl HillClimbSearch {
     /// All genomes one ±1 axis step away from `genome` (canonical,
-    /// deduplicated, excluding `genome` itself).
-    fn neighbors(genome: &Genome, lens: &[usize; 8], ctx: &SearchContext<'_>) -> Vec<Genome> {
+    /// deduplicated, excluding `genome` itself). Shared with the
+    /// hill-climbing island stepper in [`super::island`].
+    pub(crate) fn neighbors(
+        genome: &Genome,
+        lens: &[usize; 8],
+        ctx: &SearchContext<'_>,
+    ) -> Vec<Genome> {
         let mut out = Vec::with_capacity(16);
         for d in 0..8 {
             for delta in [-1isize, 1] {
@@ -63,7 +68,12 @@ impl HillClimbSearch {
     /// Weighted sum of the objectives, each normalized by the restart's
     /// starting value so no objective's magnitude dominates the blend.
     /// Infeasible configurations score `+inf` and are never moved to.
-    fn score(result: &RunResult, ctx: &SearchContext<'_>, weights: &[f64], scales: &[f64]) -> f64 {
+    pub(crate) fn score(
+        result: &RunResult,
+        ctx: &SearchContext<'_>,
+        weights: &[f64],
+        scales: &[f64],
+    ) -> f64 {
         if !result.metrics.feasible() {
             return f64::INFINITY;
         }

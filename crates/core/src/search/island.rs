@@ -1,0 +1,859 @@
+//! Island-model parallel search with elite migration.
+//!
+//! The exploration problem is embarrassingly parallel at the *population*
+//! level: N islands each run an independent guided search over the same
+//! space, and every K generations the islands exchange their best
+//! individuals over a migration topology (ring / fully-connected / star),
+//! so a front region discovered on one island seeds the neighbors without
+//! collapsing the populations into one gene pool. All islands evaluate
+//! through one shared [`Evaluator`] — its sharded
+//! [`EvalCache`](super::EvalCache) is the cross-island sharing medium: a
+//! genome simulated on *any* island is a cache hit everywhere, so the
+//! model never pays twice for convergent evolution.
+//!
+//! # Determinism
+//!
+//! Same seed + same island count ⇒ byte-identical output, regardless of
+//! worker-thread count or interleaving. Three rules make that hold:
+//!
+//! 1. **Lockstep generations.** Every generation, all island populations
+//!    are concatenated — in island-id order — into *one* evaluation batch.
+//!    The batch planner (dedup, hit/miss accounting) is sequential; only
+//!    the simulations fan out to worker threads, and those write into
+//!    keyed cache slots, so scheduling cannot change any result.
+//! 2. **Barrier migration.** Migration happens between generations, after
+//!    all islands have advanced, and edges are walked in a fixed order —
+//!    merge by island id, never by completion order.
+//! 3. **Private RNG streams.** Island `i` derives its seed as
+//!    `seed + i · φ` (golden-ratio stride), so island 0 of a 1-island run
+//!    replays a plain [`GeneticSearch`] with the same seed byte for byte —
+//!    the differential tests pin exactly that equivalence.
+//!
+//! Islands advance (selection, breeding, climbing — the cheap, CPU-only
+//! part) on real scoped threads between evaluation barriers; the
+//! expensive part, simulation, fans out through the work-stealing queue
+//! under [`Evaluator::eval_batch`].
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::param::Genome;
+use crate::pareto::dominates;
+use crate::runner::RunResult;
+
+use super::genetic::{crowding_distances, non_dominated_ranks, GeneticSearch};
+use super::hillclimb::HillClimbSearch;
+use super::{Evaluator, SearchContext, SearchOutcome, SearchStrategy};
+
+/// How migrating elites travel between islands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Migration {
+    /// Island `i` sends to island `i+1 (mod N)` — the slowest, most
+    /// diversity-preserving topology.
+    #[default]
+    Ring,
+    /// Every island sends to every other island — fastest convergence,
+    /// least diversity.
+    Full,
+    /// Island 0 is the hub: spokes send to the hub, the hub to every
+    /// spoke.
+    Star,
+}
+
+impl Migration {
+    /// The directed migration edges `(source, destination)` for `n`
+    /// islands, in deterministic order. Empty for a single island.
+    pub fn edges(&self, n: usize) -> Vec<(usize, usize)> {
+        if n < 2 {
+            return Vec::new();
+        }
+        match self {
+            Migration::Ring => (0..n).map(|i| (i, (i + 1) % n)).collect(),
+            Migration::Full => (0..n)
+                .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
+                .collect(),
+            Migration::Star => (1..n).flat_map(|i| [(i, 0), (0, i)]).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Migration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Migration::Ring => "ring",
+            Migration::Full => "full",
+            Migration::Star => "star",
+        })
+    }
+}
+
+impl FromStr for Migration {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ring" => Ok(Migration::Ring),
+            "full" | "fully-connected" => Ok(Migration::Full),
+            "star" => Ok(Migration::Star),
+            other => Err(format!(
+                "unknown migration topology `{other}` (expected ring, full or star)"
+            )),
+        }
+    }
+}
+
+/// What kind of search one island runs. Islands may be heterogeneous —
+/// Risco-Martín et al. seed parallel DMM exploration with differently
+/// tuned islands so at least one matches the landscape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IslandKind {
+    /// An elitist NSGA-lite island (the [`GeneticSearch`] breeding step)
+    /// with its own mutation rate.
+    Genetic {
+        /// Per-axis mutation probability in `[0, 1]`.
+        mutation: f64,
+    },
+    /// A population of weighted-scalarization hill climbers: each climber
+    /// evaluates its ±1 neighborhood every generation and moves to the
+    /// best neighbor, restarting (new weights, new start) on convergence.
+    HillClimb {
+        /// Concurrent climbers on this island (≥ 1).
+        climbers: usize,
+    },
+}
+
+/// Per-island convergence and migration statistics, reported on
+/// [`SearchOutcome::islands`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IslandStats {
+    /// Island id (0-based; also its position in every merge order).
+    pub island: usize,
+    /// The island's search kind ("genetic" / "hillclimb").
+    pub kind: String,
+    /// Distinct genomes this island requested (its share of the search;
+    /// islands overlap, so these sum to ≥ the outcome's `evaluations`).
+    pub genomes: usize,
+    /// The island-local Pareto front over everything *this island*
+    /// evaluated, as objective points in sorted order. The outcome's
+    /// merged front dominates-or-equals every point here.
+    pub front: Vec<Vec<u64>>,
+    /// Elites this island offered along outgoing migration edges.
+    pub migrants_sent: usize,
+    /// Migrants this island actually installed (duplicates of residents
+    /// are not re-installed and do not count).
+    pub migrants_received: usize,
+    /// The last generation at which this island's local front improved —
+    /// a plateau long before the end means the island had converged.
+    pub last_improved_generation: usize,
+    /// Generations this island ran (same for all islands of a run).
+    pub generations: usize,
+}
+
+/// Island-model parallel search. Deterministic in `seed` for a fixed
+/// island count — worker threads and interleaving never change the
+/// output.
+///
+/// With `islands: 1` (and therefore no migration edges) this is exactly
+/// [`GeneticSearch`] with the same seed, population and mutation — the
+/// differential test suite pins the equivalence byte for byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IslandSearch {
+    /// Number of islands (≥ 1).
+    pub islands: usize,
+    /// Migration topology.
+    pub migration: Migration,
+    /// Exchange elites every this many generations (≥ 1).
+    pub migrate_every: usize,
+    /// Elites offered per migration edge (0 disables migration).
+    pub migrants: usize,
+    /// Individuals per island generation (≥ 2).
+    pub population: usize,
+    /// Breeding cycles; every island evaluates `generations + 1` batches.
+    pub generations: usize,
+    /// Mutation probability for homogeneous genetic islands.
+    pub mutation: f64,
+    /// RNG seed; island `i` runs the stream `seed + i·φ`.
+    pub seed: u64,
+    /// Per-island search kinds, cycled over the islands. Empty means
+    /// every island is `Genetic { mutation: self.mutation }`.
+    pub kinds: Vec<IslandKind>,
+}
+
+impl Default for IslandSearch {
+    fn default() -> Self {
+        IslandSearch {
+            islands: 4,
+            migration: Migration::Ring,
+            migrate_every: 4,
+            migrants: 2,
+            population: 16,
+            generations: 16,
+            mutation: 0.2,
+            seed: 42,
+            kinds: Vec::new(),
+        }
+    }
+}
+
+/// Golden-ratio seed stride: island 0 keeps the base seed (the 1-island
+/// equivalence depends on it), every further island gets a decorrelated
+/// stream.
+fn island_seed(seed: u64, island: usize) -> u64 {
+    seed.wrapping_add((island as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+impl IslandSearch {
+    /// A heterogeneous N-island setup: genetic islands with mutation rates
+    /// spread over `[0.1, 0.4]`, plus a hill-climbing island (when `n ≥
+    /// 3`) for local refinement — one of the islands usually matches the
+    /// landscape.
+    pub fn heterogeneous(n: usize) -> Self {
+        let mut kinds = Vec::with_capacity(n);
+        for i in 0..n {
+            if n >= 3 && i == n - 1 {
+                kinds.push(IslandKind::HillClimb { climbers: 3 });
+            } else {
+                let spread = if n > 1 {
+                    i as f64 / (n - 1) as f64
+                } else {
+                    0.0
+                };
+                kinds.push(IslandKind::Genetic {
+                    mutation: 0.1 + 0.3 * spread,
+                });
+            }
+        }
+        IslandSearch {
+            islands: n,
+            kinds,
+            ..IslandSearch::default()
+        }
+    }
+
+    /// The kind island `i` runs.
+    fn kind_of(&self, i: usize) -> IslandKind {
+        if self.kinds.is_empty() {
+            IslandKind::Genetic {
+                mutation: self.mutation,
+            }
+        } else {
+            self.kinds[i % self.kinds.len()]
+        }
+    }
+}
+
+/// One island's internal state: the population it wants evaluated this
+/// generation, and how it advances once the results are in. Implementors
+/// own their RNG stream, so islands advance concurrently without
+/// affecting each other.
+trait IslandState: Send {
+    /// Stable kind tag for the stats.
+    fn kind(&self) -> &'static str;
+
+    /// The genomes to evaluate this generation.
+    fn population(&self) -> &[Genome];
+
+    /// Consumes this generation's results (aligned with
+    /// [`Self::population`]) and prepares the next population and the
+    /// current elite list.
+    fn advance(&mut self, ctx: &SearchContext<'_>, results: &[Arc<RunResult>]);
+
+    /// The current non-dominated individuals, best-spread first (valid
+    /// after [`Self::advance`]).
+    fn elites(&self) -> &[Genome];
+
+    /// Installs migrants into the next population, skipping genomes the
+    /// island already carries. Returns how many were actually installed.
+    fn receive(&mut self, ctx: &SearchContext<'_>, migrants: &[Genome]) -> usize;
+}
+
+/// A genetic island: the exact [`GeneticSearch`] breeding step with a
+/// private RNG stream.
+struct GeneticIsland {
+    params: GeneticSearch,
+    rng: StdRng,
+    lens: [usize; 8],
+    population: Vec<Genome>,
+    elites: Vec<Genome>,
+    /// Next tail slot migrants overwrite (resets each generation;
+    /// migrants only ever replace offspring, never carried elites).
+    recv_cursor: usize,
+}
+
+impl GeneticIsland {
+    fn new(params: GeneticSearch, ctx: &SearchContext<'_>) -> Self {
+        let mut rng = params.rng();
+        let population = params.initial_population(&mut rng, ctx);
+        let recv_cursor = population.len();
+        GeneticIsland {
+            params,
+            rng,
+            lens: ctx.space.axis_lens(),
+            population,
+            elites: Vec::new(),
+            recv_cursor,
+        }
+    }
+}
+
+impl IslandState for GeneticIsland {
+    fn kind(&self) -> &'static str {
+        "genetic"
+    }
+
+    fn population(&self) -> &[Genome] {
+        &self.population
+    }
+
+    fn advance(&mut self, ctx: &SearchContext<'_>, results: &[Arc<RunResult>]) {
+        let bred = self
+            .params
+            .breed(&mut self.rng, ctx, &self.lens, &self.population, results);
+        self.population = bred.next;
+        self.elites = bred.elites;
+        self.recv_cursor = self.population.len();
+    }
+
+    fn elites(&self) -> &[Genome] {
+        &self.elites
+    }
+
+    fn receive(&mut self, _ctx: &SearchContext<'_>, migrants: &[Genome]) -> usize {
+        let protected = self.population.len() / 2;
+        let mut installed = 0;
+        for m in migrants {
+            if self.recv_cursor <= protected {
+                break; // keep at least half the population home-grown
+            }
+            if self.population.contains(m) {
+                continue;
+            }
+            self.recv_cursor -= 1;
+            self.population[self.recv_cursor] = *m;
+            installed += 1;
+        }
+        installed
+    }
+}
+
+/// One weighted-scalarization climber on a hill-climb island.
+struct Climber {
+    /// Objective weights of the current climb (redrawn on restart).
+    weights: Vec<f64>,
+    /// Per-objective normalization from the climb's starting point.
+    scales: Vec<f64>,
+    current: Genome,
+    score: f64,
+    /// `true` until `current` has been evaluated once (fresh start or
+    /// fresh migrant): the first evaluation sets the scales.
+    fresh: bool,
+}
+
+/// A hill-climb island: `climbers` independent weighted climbers; each
+/// generation every climber's ±1 neighborhood is evaluated and the
+/// climber moves to its best neighbor, restarting with fresh weights when
+/// no neighbor improves.
+struct HillClimbIsland {
+    rng: StdRng,
+    lens: [usize; 8],
+    climbers: Vec<Climber>,
+    population: Vec<Genome>,
+    elites: Vec<Genome>,
+    /// Per-climber objective points of the evaluated currents (`None`
+    /// while fresh or infeasible); feeds the elite ranking.
+    points: Vec<Option<Vec<u64>>>,
+    /// Climbers already replaced by a migrant this round (reset each
+    /// generation).
+    replaced: Vec<bool>,
+}
+
+impl HillClimbIsland {
+    fn new(seed: u64, climbers_n: usize, ctx: &SearchContext<'_>) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6863_5F64_6D78_2B31);
+        let climbers: Vec<Climber> = (0..climbers_n.max(1))
+            .map(|_| Self::fresh_climber(&mut rng, ctx))
+            .collect();
+        let n = climbers.len();
+        let mut island = HillClimbIsland {
+            rng,
+            lens: ctx.space.axis_lens(),
+            climbers,
+            population: Vec::new(),
+            elites: Vec::new(),
+            points: vec![None; n],
+            replaced: vec![false; n],
+        };
+        island.rebuild_population(ctx);
+        island
+    }
+
+    fn fresh_climber(rng: &mut StdRng, ctx: &SearchContext<'_>) -> Climber {
+        let weights = ctx
+            .objectives
+            .iter()
+            .map(|_| rng.gen_range(0.1..1.0))
+            .collect();
+        Climber {
+            weights,
+            scales: vec![1.0; ctx.objectives.len()],
+            current: GeneticSearch::random_genome(rng, ctx),
+            score: f64::INFINITY,
+            fresh: true,
+        }
+    }
+
+    /// The population is every climber's current genome plus — once the
+    /// climber's scales are set — its full ±1 neighborhood.
+    fn rebuild_population(&mut self, ctx: &SearchContext<'_>) {
+        self.population.clear();
+        for c in &self.climbers {
+            self.population.push(c.current);
+            if !c.fresh {
+                self.population
+                    .extend(HillClimbSearch::neighbors(&c.current, &self.lens, ctx));
+            }
+        }
+    }
+}
+
+impl IslandState for HillClimbIsland {
+    fn kind(&self) -> &'static str {
+        "hillclimb"
+    }
+
+    fn population(&self) -> &[Genome] {
+        &self.population
+    }
+
+    fn advance(&mut self, ctx: &SearchContext<'_>, results: &[Arc<RunResult>]) {
+        // The result of any genome this island asked about this
+        // generation. Canonical keys: currents come from `genome_at` /
+        // prior canonicalization, neighborhoods canonicalize themselves.
+        let by_genome: std::collections::HashMap<&Genome, &Arc<RunResult>> =
+            self.population.iter().zip(results).collect();
+        for (i, climber) in self.climbers.iter_mut().enumerate() {
+            let res = by_genome[&climber.current];
+            if climber.fresh {
+                climber.scales = if res.metrics.feasible() {
+                    ctx.objectives
+                        .iter()
+                        .map(|o| (o.extract(&res.metrics) as f64).max(1.0))
+                        .collect()
+                } else {
+                    vec![1.0; ctx.objectives.len()]
+                };
+                climber.score = HillClimbSearch::score(res, ctx, &climber.weights, &climber.scales);
+                climber.fresh = false;
+            } else {
+                // Best neighbor; ties go to the lexicographically smallest
+                // genome, exactly like the sequential climber.
+                let mut best: Option<(f64, Genome)> = None;
+                for n in HillClimbSearch::neighbors(&climber.current, &self.lens, ctx) {
+                    let s = HillClimbSearch::score(
+                        by_genome[&n],
+                        ctx,
+                        &climber.weights,
+                        &climber.scales,
+                    );
+                    let better = match &best {
+                        None => true,
+                        Some((bs, bg)) => s < *bs || (s == *bs && n < *bg),
+                    };
+                    if better {
+                        best = Some((s, n));
+                    }
+                }
+                match best {
+                    Some((s, g)) if s < climber.score => {
+                        climber.current = g;
+                        climber.score = s;
+                    }
+                    _ => {
+                        // Local optimum under this weight vector: restart.
+                        *climber = Self::fresh_climber(&mut self.rng, ctx);
+                    }
+                }
+            }
+            let settled = by_genome.get(&climber.current);
+            self.points[i] = settled.and_then(|r| {
+                r.metrics.feasible().then(|| {
+                    ctx.objectives
+                        .iter()
+                        .map(|o| o.extract(&r.metrics))
+                        .collect()
+                })
+            });
+        }
+
+        // Elites: the non-dominated climber positions, widest spread
+        // first (same ordering as the genetic islands).
+        let ranks = non_dominated_ranks(&self.points);
+        let crowding = crowding_distances(&self.points, &ranks);
+        let mut elite_idx: Vec<usize> = (0..self.climbers.len())
+            .filter(|&i| ranks[i] == 0)
+            .collect();
+        elite_idx.sort_by(|&a, &b| {
+            crowding[b]
+                .partial_cmp(&crowding[a])
+                .expect("crowding distances are never NaN")
+                .then(self.climbers[a].current.cmp(&self.climbers[b].current))
+        });
+        self.elites.clear();
+        for i in elite_idx {
+            if !self.elites.contains(&self.climbers[i].current) {
+                self.elites.push(self.climbers[i].current);
+            }
+        }
+
+        self.replaced.iter_mut().for_each(|r| *r = false);
+        self.rebuild_population(ctx);
+    }
+
+    fn elites(&self) -> &[Genome] {
+        &self.elites
+    }
+
+    fn receive(&mut self, ctx: &SearchContext<'_>, migrants: &[Genome]) -> usize {
+        let mut installed = 0;
+        for m in migrants {
+            if self.climbers.iter().any(|c| c.current == *m) {
+                continue;
+            }
+            // Replace the worst not-yet-replaced climber (ties: the later
+            // one), keeping its weights: the migrant becomes a fresh climb
+            // start in a proven region.
+            let worst = (0..self.climbers.len())
+                .filter(|&i| !self.replaced[i])
+                .max_by(|&a, &b| {
+                    self.climbers[a]
+                        .score
+                        .partial_cmp(&self.climbers[b].score)
+                        .expect("scores are never NaN")
+                        .then(a.cmp(&b))
+                });
+            let Some(w) = worst else { break };
+            self.replaced[w] = true;
+            let climber = &mut self.climbers[w];
+            climber.current = *m;
+            climber.score = f64::INFINITY;
+            climber.fresh = true;
+            installed += 1;
+        }
+        if installed > 0 {
+            // The next batch must evaluate the new currents (their fresh
+            // flags keep neighborhoods out until the scales are known).
+            self.rebuild_population(ctx);
+        }
+        installed
+    }
+}
+
+/// Per-island bookkeeping the driver maintains outside the steppers.
+struct IslandTrack {
+    evaluated: BTreeSet<Genome>,
+    front: Vec<Vec<u64>>,
+    last_improved: usize,
+    sent: usize,
+    received: usize,
+}
+
+/// Inserts a point into a running non-dominated set. Returns `true` iff
+/// the set changed (the point was new and not dominated).
+fn front_insert(front: &mut Vec<Vec<u64>>, p: &[u64]) -> bool {
+    if front.iter().any(|q| q == p || dominates(q, p)) {
+        return false;
+    }
+    front.retain(|q| !dominates(p, q));
+    front.push(p.to_vec());
+    true
+}
+
+impl SearchStrategy for IslandSearch {
+    fn name(&self) -> &'static str {
+        "island"
+    }
+
+    fn search(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+        assert!(self.islands >= 1, "need at least one island");
+        assert!(self.migrate_every >= 1, "migration interval must be ≥ 1");
+        assert!(self.population >= 2, "population must be at least 2");
+        assert!(
+            (0.0..=1.0).contains(&self.mutation),
+            "mutation probability must be in [0, 1]"
+        );
+        // Per-island parameters fail here, at the input barrier, not deep
+        // inside a breeding generation.
+        for i in 0..self.islands {
+            match self.kind_of(i) {
+                IslandKind::Genetic { mutation } => assert!(
+                    (0.0..=1.0).contains(&mutation),
+                    "island {i}: mutation probability must be in [0, 1]"
+                ),
+                IslandKind::HillClimb { climbers } => {
+                    assert!(climbers >= 1, "island {i}: need at least one climber")
+                }
+            }
+        }
+        assert!(!ctx.space.is_empty(), "cannot search an empty space");
+
+        let evaluator = Evaluator::new(ctx);
+        let mut states: Vec<Box<dyn IslandState>> = (0..self.islands)
+            .map(|i| -> Box<dyn IslandState> {
+                let seed = island_seed(self.seed, i);
+                match self.kind_of(i) {
+                    IslandKind::Genetic { mutation } => Box::new(GeneticIsland::new(
+                        GeneticSearch {
+                            population: self.population,
+                            generations: self.generations,
+                            mutation,
+                            seed,
+                        },
+                        ctx,
+                    )),
+                    IslandKind::HillClimb { climbers } => {
+                        Box::new(HillClimbIsland::new(seed, climbers, ctx))
+                    }
+                }
+            })
+            .collect();
+        let mut tracks: Vec<IslandTrack> = (0..self.islands)
+            .map(|_| IslandTrack {
+                evaluated: BTreeSet::new(),
+                front: Vec::new(),
+                last_improved: 0,
+                sent: 0,
+                received: 0,
+            })
+            .collect();
+        let edges = self.migration.edges(self.islands);
+
+        for generation in 0..=self.generations {
+            // One lockstep batch: all island populations, in island order.
+            let mut spans: Vec<(usize, usize)> = Vec::with_capacity(self.islands);
+            let mut batch: Vec<Genome> = Vec::new();
+            for s in &states {
+                let pop = s.population();
+                spans.push((batch.len(), pop.len()));
+                batch.extend_from_slice(pop);
+            }
+            let results = evaluator.eval_batch(&batch);
+
+            // Sequential per-island tracking (deterministic).
+            for (i, &(start, len)) in spans.iter().enumerate() {
+                let track = &mut tracks[i];
+                for k in start..start + len {
+                    let canonical = ctx.space.canonicalize(batch[k]);
+                    if !track.evaluated.insert(canonical) {
+                        continue;
+                    }
+                    let m = &results[k].metrics;
+                    if m.feasible() {
+                        let p: Vec<u64> = ctx.objectives.iter().map(|o| o.extract(m)).collect();
+                        if front_insert(&mut track.front, &p) {
+                            track.last_improved = generation;
+                        }
+                    }
+                }
+            }
+
+            if generation == self.generations {
+                break; // final populations evaluated; no more breeding
+            }
+
+            // Advance every island on its own thread: breeding/climbing is
+            // pure index arithmetic on a private RNG, so islands are
+            // independent and the merge below is by id, not completion
+            // order.
+            std::thread::scope(|scope| {
+                for (state, &(start, len)) in states.iter_mut().zip(&spans) {
+                    let slice = &results[start..start + len];
+                    scope.spawn(move || state.advance(ctx, slice));
+                }
+            });
+
+            // Barrier migration on the configured cadence.
+            if self.migrants > 0 && (generation + 1) % self.migrate_every == 0 {
+                let offers: Vec<Vec<Genome>> = states
+                    .iter()
+                    .map(|s| s.elites().iter().take(self.migrants).copied().collect())
+                    .collect();
+                for &(src, dst) in &edges {
+                    let installed = states[dst].receive(ctx, &offers[src]);
+                    tracks[src].sent += offers[src].len();
+                    tracks[dst].received += installed;
+                }
+            }
+        }
+
+        let mut outcome = evaluator.into_outcome(self.name(), ctx);
+        outcome.islands = states
+            .iter()
+            .zip(tracks)
+            .enumerate()
+            .map(|(i, (state, mut track))| {
+                track.front.sort_unstable();
+                IslandStats {
+                    island: i,
+                    kind: state.kind().to_owned(),
+                    genomes: track.evaluated.len(),
+                    front: track.front,
+                    migrants_sent: track.sent,
+                    migrants_received: track.received,
+                    last_improved_generation: track.last_improved,
+                    generations: self.generations,
+                }
+            })
+            .collect();
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::Objective;
+    use crate::study::{easyport_space, easyport_trace, StudyScale};
+    use crate::Explorer;
+    use dmx_memhier::presets;
+
+    #[test]
+    fn topologies_enumerate_expected_edges() {
+        assert!(Migration::Ring.edges(1).is_empty());
+        assert_eq!(Migration::Ring.edges(3), vec![(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(Migration::Ring.edges(2), vec![(0, 1), (1, 0)]);
+        let full = Migration::Full.edges(3);
+        assert_eq!(full.len(), 6);
+        assert!(full.contains(&(2, 0)) && full.contains(&(0, 2)));
+        assert_eq!(
+            Migration::Star.edges(3),
+            vec![(1, 0), (0, 1), (2, 0), (0, 2)]
+        );
+    }
+
+    #[test]
+    fn migration_parses_and_displays() {
+        for m in [Migration::Ring, Migration::Full, Migration::Star] {
+            assert_eq!(m.to_string().parse::<Migration>().unwrap(), m);
+        }
+        assert!("mesh".parse::<Migration>().is_err());
+    }
+
+    #[test]
+    fn island_seeds_decorrelate_but_keep_island_zero() {
+        assert_eq!(island_seed(42, 0), 42);
+        assert_ne!(island_seed(42, 1), island_seed(42, 2));
+    }
+
+    #[test]
+    fn front_insert_keeps_a_minimal_non_dominated_set() {
+        let mut front = Vec::new();
+        assert!(front_insert(&mut front, &[5, 5]));
+        assert!(!front_insert(&mut front, &[5, 5]), "duplicate is no change");
+        assert!(!front_insert(&mut front, &[6, 6]), "dominated is no change");
+        assert!(front_insert(&mut front, &[1, 9]));
+        assert!(front_insert(&mut front, &[4, 4]), "dominator replaces");
+        assert!(!front.iter().any(|p| p == &vec![5, 5]));
+        assert_eq!(front.len(), 2);
+    }
+
+    #[test]
+    fn single_island_matches_plain_genetic_search() {
+        let hier = presets::sp64k_dram4m();
+        let space = easyport_space(&hier, StudyScale::Quick);
+        let trace = easyport_trace(StudyScale::Quick, 42);
+        let explorer = Explorer::new(&hier);
+        let ga = GeneticSearch {
+            population: 12,
+            generations: 5,
+            mutation: 0.2,
+            seed: 9,
+        };
+        let island = IslandSearch {
+            islands: 1,
+            population: 12,
+            generations: 5,
+            mutation: 0.2,
+            seed: 9,
+            ..IslandSearch::default()
+        };
+        let a = explorer.search(&ga, &space, &trace, &Objective::FIG1);
+        let b = explorer.search(&island, &space, &trace, &Objective::FIG1);
+        assert_eq!(a.genomes, b.genomes, "identical evaluated sets");
+        assert_eq!(a.front.points, b.front.points);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.cache_hits, b.cache_hits, "even the planner accounting");
+        assert_eq!(b.islands.len(), 1);
+        assert_eq!(b.islands[0].migrants_sent, 0, "one island, no edges");
+    }
+
+    #[test]
+    fn islands_migrate_and_report_stats() {
+        let hier = presets::sp64k_dram4m();
+        let space = easyport_space(&hier, StudyScale::Quick);
+        let trace = easyport_trace(StudyScale::Quick, 42);
+        let explorer = Explorer::new(&hier);
+        let island = IslandSearch {
+            islands: 3,
+            migration: Migration::Ring,
+            migrate_every: 1,
+            migrants: 2,
+            population: 8,
+            generations: 6,
+            seed: 3,
+            ..IslandSearch::default()
+        };
+        let outcome = explorer.search(&island, &space, &trace, &Objective::FIG1);
+        assert_eq!(outcome.islands.len(), 3);
+        assert!(
+            outcome.islands.iter().any(|s| s.migrants_sent > 0),
+            "ring edges with 6 migration rounds must offer elites"
+        );
+        let union: usize = outcome.islands.iter().map(|s| s.genomes).sum();
+        assert!(
+            union >= outcome.evaluations,
+            "island genome counts cover the evaluated set"
+        );
+        for s in &outcome.islands {
+            assert!(s.genomes > 0);
+            assert!(s.last_improved_generation <= s.generations);
+            assert!(!s.front.is_empty(), "island {} found nothing", s.island);
+        }
+    }
+
+    #[test]
+    fn out_of_range_island_parameters_fail_at_the_input_barrier() {
+        let hier = presets::sp64k_dram4m();
+        let space = easyport_space(&hier, StudyScale::Quick);
+        let trace = easyport_trace(StudyScale::Quick, 42);
+        let explorer = Explorer::new(&hier);
+        let bad = IslandSearch {
+            islands: 2,
+            kinds: vec![IslandKind::Genetic { mutation: 1.5 }],
+            ..IslandSearch::default()
+        };
+        let result =
+            std::panic::catch_unwind(|| explorer.search(&bad, &space, &trace, &Objective::FIG1));
+        assert!(result.is_err(), "per-island mutation must be validated");
+    }
+
+    #[test]
+    fn heterogeneous_islands_include_a_hillclimber() {
+        let hier = presets::sp64k_dram4m();
+        let space = easyport_space(&hier, StudyScale::Quick);
+        let trace = easyport_trace(StudyScale::Quick, 42);
+        let explorer = Explorer::new(&hier);
+        let island = IslandSearch {
+            generations: 4,
+            ..IslandSearch::heterogeneous(3)
+        };
+        let outcome = explorer.search(&island, &space, &trace, &Objective::FIG1);
+        let kinds: Vec<&str> = outcome.islands.iter().map(|s| s.kind.as_str()).collect();
+        assert!(kinds.contains(&"genetic") && kinds.contains(&"hillclimb"));
+        assert!(!outcome.front.is_empty());
+    }
+}

@@ -60,14 +60,19 @@
 mod cache;
 mod genetic;
 mod hillclimb;
+mod island;
+mod queue;
 
 pub use cache::{EvalCache, EvalKey};
 pub use genetic::GeneticSearch;
 pub use hillclimb::HillClimbSearch;
+pub use island::{IslandKind, IslandSearch, IslandStats, Migration};
+
+use queue::StealQueue;
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use dmx_alloc::{SimArena, Simulator};
@@ -81,6 +86,25 @@ use crate::pareto::ParetoSet;
 use crate::runner::{Exploration, RunResult};
 use crate::sample::sample_indices;
 use crate::scenario::{aggregate_metrics, Aggregate, ScenarioMetrics};
+
+/// The evaluation worker-thread budget for this process: the
+/// `DMX_THREADS` environment variable when set to a positive integer,
+/// otherwise the machine's available parallelism. [`crate::Explorer::new`]
+/// and [`crate::MultiScenarioEvaluator::new`] size their
+/// [`SearchContext::threads`] with this, so one variable pins the whole
+/// pipeline to a thread count — CI runs the suite at 1 and 8 workers to
+/// prove results never depend on it.
+pub fn thread_budget() -> usize {
+    std::env::var("DMX_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
 
 /// A stable identity for a (platform, trace) pair, used as the workload
 /// half of the [`EvalCache`] key. The trace's full event stream is
@@ -231,6 +255,9 @@ pub struct SearchOutcome {
     /// Simulation-kernel statistics (events replayed, throughput, arena
     /// reuse) accumulated over every batch of the search.
     pub sim_stats: SimStats,
+    /// Per-island convergence and migration statistics, in island-id
+    /// order. Empty for every strategy except [`IslandSearch`].
+    pub islands: Vec<IslandStats>,
 }
 
 /// A pluggable exploration strategy over a [`ParamSpace`].
@@ -408,22 +435,27 @@ impl<'a> Evaluator<'a> {
                 .iter()
                 .map(|inst| Simulator::new(inst.hierarchy))
                 .collect();
-            let next = AtomicUsize::new(0);
+            // Jobs are chunked per worker with stealing: workers drain
+            // their own contiguous chunk uncontended and only touch other
+            // chunks when theirs is empty, so mixed-cost jobs (scenario
+            // suites mix traces of very different lengths) even out
+            // without serializing every pop on one counter.
+            let workers = self.threads.min(jobs.len());
+            let queue = StealQueue::new(jobs.len(), workers);
             let batch_start = std::time::Instant::now();
             std::thread::scope(|scope| {
-                for _ in 0..self.threads.min(jobs.len()) {
-                    scope.spawn(|| {
+                for w in 0..workers {
+                    let queue = &queue;
+                    let jobs = &jobs;
+                    let sims = &sims;
+                    scope.spawn(move || {
                         // One arena per worker, reused across every genome
                         // the worker simulates: the live-block slab is
                         // reset in place, not reallocated. The compiled
                         // traces are shared behind `Arc`s — no worker ever
                         // clones an event stream.
                         let mut arena = SimArena::new();
-                        loop {
-                            let j = next.fetch_add(1, Ordering::Relaxed);
-                            if j >= jobs.len() {
-                                break;
-                            }
+                        while let Some(j) = queue.pop(w) {
                             let (k, genome) = jobs[j];
                             let inst = &self.instances[k];
                             let config = self.space.config_at(inst.hierarchy, &genome);
@@ -588,6 +620,7 @@ impl<'a> Evaluator<'a> {
             front,
             scenario_explorations,
             sim_stats,
+            islands: Vec::new(),
         }
     }
 }

@@ -75,6 +75,24 @@ pub fn easyport_space(hierarchy: &MemoryHierarchy, scale: StudyScale) -> ParamSp
     }
 }
 
+/// The 6912-configuration convergence space: the paper-scale Easyport
+/// space widened along the general-pool axes (two placement levels × four
+/// growth chunks) — the paper's "tens of thousands" regime, scaled to
+/// keep an exhaustive reference affordable. One definition shared by the
+/// `search_convergence` and `island_scaling` benches and the
+/// differential-test oracle (`tests/diff_search.rs`), so the space those
+/// three compare against can never silently drift apart.
+pub fn convergence_space(hierarchy: &MemoryHierarchy) -> ParamSpace {
+    let base = easyport_space(hierarchy, StudyScale::Paper);
+    let space = ParamSpace {
+        general_levels: vec![hierarchy.fastest().into(), hierarchy.slowest().into()],
+        general_chunks: vec![1024, 2048, 4096, 8192],
+        ..base
+    };
+    assert_eq!(space.len(), 6912, "the convergence space must stay pinned");
+    space
+}
+
 /// The VTC parameter space: dedicated-pool candidates around the zerotree
 /// node size (32 bytes) and the small parser blocks; otherwise analogous
 /// to [`easyport_space`].

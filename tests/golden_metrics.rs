@@ -472,3 +472,111 @@ fn golden_suite_covers_every_pool_kind() {
         );
     }
 }
+
+/// Golden island-model run: a pinned-seed 2-island ring search must keep
+/// reproducing this exact merged front — labels, points, order and
+/// accounting. The island scheduler is free to change *how* it overlaps
+/// work (worker counts, stealing, breeding threads), but any change that
+/// reorders results, perturbs an RNG stream or double-counts a shared
+/// cache entry lands here. Captured from the initial island-model
+/// implementation (2 islands, ring topology, migrate every generation,
+/// population 10, 3 generations, seed 2006, quick Easyport fixture).
+#[test]
+fn island_run_reproduces_the_pinned_merged_front() {
+    use dmx_core::search::{IslandSearch, Migration};
+    use dmx_core::study::{easyport_space, easyport_trace, StudyScale};
+    use dmx_core::{Explorer, Objective};
+
+    const EXPECTED_FRONT: &[(&str, [u64; 2])] = &[
+        (
+            "fix28@L1+fix74@L1+gen(bf,lifo,co-im,sp-16,a8,c8192)@L1",
+            [80384, 269215],
+        ),
+        (
+            "fix28@L0+fix74@L0+gen(bf,lifo,co-im,sp-16,a8,c8192)@L1",
+            [80384, 269215],
+        ),
+        (
+            "fix28@L0+fix74@L0+gen(ff,lifo,co-im,sp-16,a8,c8192)@L1",
+            [88576, 241645],
+        ),
+        (
+            "fix28@L1+fix74@L1+fix1500@L1+gen(bf,lifo,co-no,sp-no,a8,c8192)@L1",
+            [603520, 236891],
+        ),
+        (
+            "fix28@L0+fix74@L0+fix1500@L1+gen(bf,lifo,co-no,sp-no,a8,c8192)@L1",
+            [603520, 236891],
+        ),
+        (
+            "fix28@L1+fix74@L1+fix1500@L1+gen(ff,addr,co-no,sp-no,a8,c8192)@L1",
+            [611712, 235223],
+        ),
+        (
+            "fix28@L0+fix74@L0+fix1500@L1+gen(ff,lifo,co-no,sp-no,a8,c8192)@L1",
+            [628096, 225291],
+        ),
+    ];
+
+    let hierarchy = dmx_memhier::presets::sp64k_dram4m();
+    let space = easyport_space(&hierarchy, StudyScale::Quick);
+    let trace = easyport_trace(StudyScale::Quick, 42);
+    let island = IslandSearch {
+        islands: 2,
+        migration: Migration::Ring,
+        migrate_every: 1,
+        migrants: 2,
+        population: 10,
+        generations: 3,
+        mutation: 0.2,
+        seed: 2006,
+        kinds: Vec::new(),
+    };
+    // Both extreme worker counts must reproduce the pinned run exactly.
+    for threads in [1usize, 8] {
+        let outcome = Explorer::new(&hierarchy).with_threads(threads).search(
+            &island,
+            &space,
+            &trace,
+            &Objective::FIG1,
+        );
+        let front: Vec<(&str, [u64; 2])> = outcome
+            .front
+            .indices
+            .iter()
+            .zip(&outcome.front.points)
+            .map(|(&i, p)| (outcome.exploration.results[i].label.as_str(), [p[0], p[1]]))
+            .collect();
+        assert_eq!(
+            front, EXPECTED_FRONT,
+            "threads={threads}: merged front drifted"
+        );
+        assert_eq!(outcome.evaluations, 33, "threads={threads}: evaluated set");
+        assert_eq!(
+            outcome.simulations, 33,
+            "threads={threads}: shared-cache sims"
+        );
+        assert_eq!(
+            outcome.cache_hits, 47,
+            "threads={threads}: planner accounting"
+        );
+        let stats: Vec<(usize, usize, usize, usize, usize)> = outcome
+            .islands
+            .iter()
+            .map(|s| {
+                (
+                    s.genomes,
+                    s.front.len(),
+                    s.migrants_sent,
+                    s.migrants_received,
+                    s.last_improved_generation,
+                )
+            })
+            .collect();
+        assert_eq!(
+            stats,
+            vec![(19, 4, 6, 1, 0), (22, 5, 6, 3, 1)],
+            "threads={threads}: per-island statistics drifted"
+        );
+    }
+}

@@ -8,8 +8,8 @@ use std::collections::HashSet;
 use proptest::prelude::*;
 
 use dmx_core::search::{
-    EvalInstance, Evaluator, GeneticSearch, HillClimbSearch, SearchContext, SearchStrategy,
-    SubsampleSearch,
+    EvalInstance, Evaluator, GeneticSearch, HillClimbSearch, IslandSearch, SearchContext,
+    SearchStrategy, SubsampleSearch,
 };
 use dmx_core::study::{easyport_space, easyport_trace, StudyScale};
 use dmx_core::{Explorer, Objective, ParamSpace};
@@ -45,6 +45,14 @@ fn strategies(seed: u64) -> Vec<Box<dyn SearchStrategy>> {
             seed,
         }),
         Box::new(SubsampleSearch { n: 11, seed }),
+        Box::new(IslandSearch {
+            islands: 2,
+            population: 6,
+            generations: 3,
+            migrate_every: 1,
+            seed,
+            ..IslandSearch::default()
+        }),
     ]
 }
 
