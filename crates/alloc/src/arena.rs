@@ -1,0 +1,301 @@
+//! A lock-free pool of [`SimArena`]s shared by concurrent replay
+//! workers.
+//!
+//! One `SimArena` per worker thread works, but couples arena lifetime to
+//! thread lifetime: counters must be flushed per worker, and short-lived
+//! worker scopes (one per evaluation batch) re-warm their slabs from
+//! scratch. A [`SharedSimArena`] instead owns a fixed set of arena
+//! blocks and hands them out through a **lock-free atomic freelist**:
+//! checkout pops a block *index* from a Treiber stack packed into one
+//! `AtomicU64` (a generation tag in the high half makes the CAS
+//! ABA-safe), and returning a lease pushes the index back. The arena
+//! blocks themselves sit behind per-block `Mutex`es — but a block's
+//! index is owned by exactly one lease at a time, so those locks are
+//! uncontended by construction; the freelist is the only cross-thread
+//! synchronization point. No `unsafe` anywhere (the crate forbids it).
+//!
+//! When more threads check out than there are blocks, the pool overflows
+//! gracefully: the extra lease gets a fresh unpooled arena whose
+//! counters are folded into the shared totals on drop, so statistics
+//! never go missing.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::sim::SimArena;
+
+/// End-of-list marker for the index freelist.
+const NIL: u32 = u32::MAX;
+
+/// Packs `(generation, index)` into the freelist head word.
+fn pack(generation: u32, index: u32) -> u64 {
+    (u64::from(generation) << 32) | u64::from(index)
+}
+
+/// A fixed pool of reusable [`SimArena`] blocks with lock-free checkout.
+#[derive(Debug)]
+pub struct SharedSimArena {
+    /// The arena blocks. Each mutex is uncontended: a block is only
+    /// touched by the lease that popped its index.
+    blocks: Vec<Mutex<SimArena>>,
+    /// Per-block next-free link (index into `blocks`, or [`NIL`]).
+    next: Vec<AtomicU64>,
+    /// Freelist head: `(generation << 32) | index`. The generation
+    /// increments on every successful push/pop so a stale head value
+    /// never CAS-matches (the classic ABA hazard of index freelists).
+    head: AtomicU64,
+    /// Counters of leases that overflowed the pool, folded in on drop.
+    overflow: Mutex<SimArena>,
+    /// Checkouts that found the pool empty and ran unpooled.
+    overflow_leases: AtomicU64,
+}
+
+impl SharedSimArena {
+    /// A pool of `n` (≥ 1) fresh arena blocks, all free.
+    pub fn with_blocks(n: usize) -> Self {
+        let n = n.max(1);
+        let blocks = (0..n).map(|_| Mutex::new(SimArena::new())).collect();
+        // Initial freelist: 0 → 1 → … → n-1 → NIL.
+        let next = (0..n)
+            .map(|i| AtomicU64::new(u64::from(if i + 1 < n { i as u32 + 1 } else { NIL })))
+            .collect();
+        SharedSimArena {
+            blocks,
+            next,
+            head: AtomicU64::new(pack(0, 0)),
+            overflow: Mutex::new(SimArena::new()),
+            overflow_leases: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of arena blocks in the pool.
+    pub fn blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Checkouts that found the freelist empty and ran on a fresh
+    /// unpooled arena.
+    pub fn overflow_leases(&self) -> u64 {
+        self.overflow_leases.load(Ordering::Relaxed)
+    }
+
+    /// Checks out an arena. Lock-free on the pool freelist; if every
+    /// block is leased, returns an unpooled lease (fresh arena, counters
+    /// still folded into this pool on drop).
+    pub fn checkout(&self) -> ArenaLease<'_> {
+        match self.pop_index() {
+            Some(index) => {
+                let arena = std::mem::take(
+                    &mut *self.blocks[index as usize]
+                        .lock()
+                        .expect("arena block poisoned"),
+                );
+                ArenaLease {
+                    pool: self,
+                    slot: Some(index),
+                    arena,
+                }
+            }
+            None => {
+                self.overflow_leases.fetch_add(1, Ordering::Relaxed);
+                ArenaLease {
+                    pool: self,
+                    slot: None,
+                    arena: SimArena::new(),
+                }
+            }
+        }
+    }
+
+    /// Aggregate counters over every block (and past overflow leases).
+    /// Consistent once all leases are dropped; a live lease's in-flight
+    /// counts appear when it returns.
+    pub fn stats(&self) -> SimArena {
+        let mut total = SimArena::new();
+        for block in &self.blocks {
+            total.absorb_counts(&block.lock().expect("arena block poisoned"));
+        }
+        total.absorb_counts(&self.overflow.lock().expect("overflow counters poisoned"));
+        total
+    }
+
+    /// Pops a free block index off the Treiber stack, or `None` if
+    /// empty.
+    fn pop_index(&self) -> Option<u32> {
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            let index = (head & u64::from(u32::MAX)) as u32;
+            if index == NIL {
+                return None;
+            }
+            let next = self.next[index as usize].load(Ordering::Acquire) as u32;
+            let generation = (head >> 32) as u32;
+            let new = pack(generation.wrapping_add(1), next);
+            match self
+                .head
+                .compare_exchange_weak(head, new, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return Some(index),
+                Err(current) => head = current,
+            }
+        }
+    }
+
+    /// Pushes a block index back onto the stack.
+    fn push_index(&self, index: u32) {
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            let old_index = head & u64::from(u32::MAX);
+            self.next[index as usize].store(old_index, Ordering::Release);
+            let generation = (head >> 32) as u32;
+            let new = pack(generation.wrapping_add(1), index);
+            match self
+                .head
+                .compare_exchange_weak(head, new, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(current) => head = current,
+            }
+        }
+    }
+}
+
+/// An exclusively-owned arena checked out of a [`SharedSimArena`].
+///
+/// Dereferences to [`SimArena`] for the duration of the lease; dropping
+/// it returns the arena (slab, counters and all) to the pool, or — for
+/// an overflow lease — folds its counters into the pool totals.
+#[derive(Debug)]
+pub struct ArenaLease<'a> {
+    pool: &'a SharedSimArena,
+    /// The pooled block index, or `None` for an overflow lease.
+    slot: Option<u32>,
+    arena: SimArena,
+}
+
+impl ArenaLease<'_> {
+    /// `true` if this lease overflowed the pool (fresh unpooled arena).
+    pub fn is_overflow(&self) -> bool {
+        self.slot.is_none()
+    }
+}
+
+impl Deref for ArenaLease<'_> {
+    type Target = SimArena;
+    fn deref(&self) -> &SimArena {
+        &self.arena
+    }
+}
+
+impl DerefMut for ArenaLease<'_> {
+    fn deref_mut(&mut self) -> &mut SimArena {
+        &mut self.arena
+    }
+}
+
+impl Drop for ArenaLease<'_> {
+    fn drop(&mut self) {
+        let arena = std::mem::take(&mut self.arena);
+        match self.slot {
+            Some(index) => {
+                *self.pool.blocks[index as usize]
+                    .lock()
+                    .expect("arena block poisoned") = arena;
+                self.pool.push_index(index);
+            }
+            None => {
+                self.pool
+                    .overflow
+                    .lock()
+                    .expect("overflow counters poisoned")
+                    .absorb_counts(&arena);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_return_recycles_blocks() {
+        let pool = SharedSimArena::with_blocks(2);
+        {
+            let a = pool.checkout();
+            let b = pool.checkout();
+            assert!(!a.is_overflow() && !b.is_overflow());
+            let c = pool.checkout();
+            assert!(c.is_overflow(), "third lease overflows a 2-block pool");
+        }
+        // All returned: the next two checkouts are pooled again.
+        let a = pool.checkout();
+        let b = pool.checkout();
+        assert!(!a.is_overflow() && !b.is_overflow());
+        assert_eq!(pool.overflow_leases(), 1);
+    }
+
+    #[test]
+    fn counters_survive_checkout_cycles_and_overflow() {
+        use crate::config::AllocatorConfig;
+        use crate::sim::Simulator;
+        use dmx_memhier::presets;
+        use dmx_trace::gen::ramp;
+        use dmx_trace::CompiledTrace;
+
+        let hier = presets::sp64k_dram4m();
+        let sim = Simulator::new(&hier);
+        let trace = CompiledTrace::compile(&ramp(20, 32));
+        let cfg = AllocatorConfig::paper_example(&hier);
+
+        let pool = SharedSimArena::with_blocks(1);
+        {
+            let mut lease = pool.checkout();
+            sim.run_in_arena(&cfg, &trace, &mut lease).unwrap();
+            sim.run_in_arena(&cfg, &trace, &mut lease).unwrap();
+            // Overflow lease runs concurrently in spirit.
+            let mut over = pool.checkout();
+            assert!(over.is_overflow());
+            sim.run_in_arena(&cfg, &trace, &mut over).unwrap();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.runs(), 3);
+        assert_eq!(stats.events_replayed(), 3 * trace.len() as u64);
+        assert_eq!(stats.reuses(), 1, "second pooled run reused the slab");
+        // A fresh lease continues on the returned block's warm slab.
+        {
+            let mut lease = pool.checkout();
+            sim.run_in_arena(&cfg, &trace, &mut lease).unwrap();
+        }
+        assert_eq!(pool.stats().reuses(), 2, "slab stays warm across leases");
+    }
+
+    #[test]
+    fn concurrent_checkout_is_exclusive() {
+        // Hammer the freelist from many threads; every pooled lease must
+        // hold a distinct block index at any instant. The generation tag
+        // keeps the index stack ABA-safe under this interleaving.
+        use std::sync::atomic::AtomicU32;
+        let pool = SharedSimArena::with_blocks(4);
+        let in_use: Vec<AtomicU32> = (0..4).map(|_| AtomicU32::new(0)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..500 {
+                        let lease = pool.checkout();
+                        if let Some(slot) = lease.slot {
+                            let claimed = in_use[slot as usize].fetch_add(1, Ordering::SeqCst);
+                            assert_eq!(claimed, 0, "block {slot} double-leased");
+                            std::hint::spin_loop();
+                            in_use[slot as usize].fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        // Everything returned: four pooled checkouts succeed.
+        let leases: Vec<_> = (0..4).map(|_| pool.checkout()).collect();
+        assert!(leases.iter().all(|l| !l.is_overflow()));
+    }
+}

@@ -111,6 +111,12 @@ impl FreeList {
 
     /// Searches for a block of at least `need` bytes under `fit`, charging
     /// the walk. Returns the index of the chosen block.
+    ///
+    /// The walk cost is accumulated host-side and charged in one call per
+    /// search (same totals as charging every probe individually): the
+    /// per-probe `meta_read` call was the hottest line of the whole replay
+    /// path, and hoisting it lets the scan run branch-tight over the
+    /// deque's contiguous slices.
     pub fn find(
         &mut self,
         fit: FitPolicy,
@@ -124,80 +130,86 @@ impl FreeList {
             ctx.meta_read(level, 1);
             return None;
         }
-        match fit {
-            FitPolicy::FirstFit => {
-                for (k, (_, size)) in self.items.iter().enumerate() {
-                    ctx.meta_read(level, READS_PER_PROBE);
-                    if *size >= need {
-                        return Some(k);
-                    }
-                }
-                None
-            }
+        let (probes, found) = match fit {
+            FitPolicy::FirstFit => match self.scan_first_fit(0, need) {
+                Some(k) => (k + 1, Some(k)),
+                None => (n, None),
+            },
             FitPolicy::NextFit => {
                 let start = self.rover.min(n - 1);
-                for step in 0..n {
-                    let k = (start + step) % n;
-                    ctx.meta_read(level, READS_PER_PROBE);
-                    if self.items[k].1 >= need {
+                // One wrapped scan: rover→end, then head→rover.
+                let hit = match self.scan_first_fit(start, need) {
+                    Some(k) => Some((k - start + 1, k)),
+                    None => self
+                        .scan_first_fit(0, need)
+                        .filter(|&k| k < start)
+                        .map(|k| ((n - start) + k + 1, k)),
+                };
+                match hit {
+                    Some((probes, k)) => {
                         self.rover = k;
-                        return Some(k);
+                        (probes, Some(k))
                     }
+                    None => (n, None),
                 }
-                None
             }
             FitPolicy::BestFit => {
                 if self.order == FreeOrder::SizeOrdered {
                     // Sorted by size: the first fitting block is the best.
-                    for (k, (_, size)) in self.items.iter().enumerate() {
-                        ctx.meta_read(level, READS_PER_PROBE);
-                        if *size >= need {
-                            return Some(k);
-                        }
+                    match self.scan_first_fit(0, need) {
+                        Some(k) => (k + 1, Some(k)),
+                        None => (n, None),
                     }
-                    return None;
-                }
-                let mut best: Option<(usize, u32)> = None;
-                for (k, (_, size)) in self.items.iter().enumerate() {
-                    ctx.meta_read(level, READS_PER_PROBE);
-                    if *size >= need {
-                        let better = match best {
-                            None => true,
-                            Some((_, bs)) => *size < bs,
-                        };
-                        if better {
-                            best = Some((k, *size));
-                            if *size == need {
+                } else {
+                    let mut best: Option<(usize, u32)> = None;
+                    let mut probes = n;
+                    for (k, &(_, size)) in self.items.iter().enumerate() {
+                        if size >= need && best.is_none_or(|(_, bs)| size < bs) {
+                            best = Some((k, size));
+                            if size == need {
                                 // Exact fit: searches stop early.
+                                probes = k + 1;
                                 break;
                             }
                         }
                     }
+                    (probes, best.map(|(k, _)| k))
                 }
-                best.map(|(k, _)| k)
             }
             FitPolicy::WorstFit => {
                 if self.order == FreeOrder::SizeOrdered {
                     // Sorted ascending: the tail is the largest block.
-                    ctx.meta_read(level, READS_PER_PROBE);
                     let k = n - 1;
-                    return (self.items[k].1 >= need).then_some(k);
-                }
-                let mut worst: Option<(usize, u32)> = None;
-                for (k, (_, size)) in self.items.iter().enumerate() {
-                    ctx.meta_read(level, READS_PER_PROBE);
-                    if *size >= need {
-                        let better = match worst {
-                            None => true,
-                            Some((_, ws)) => *size > ws,
-                        };
-                        if better {
-                            worst = Some((k, *size));
+                    (1, (self.items[k].1 >= need).then_some(k))
+                } else {
+                    let mut worst: Option<(usize, u32)> = None;
+                    for (k, &(_, size)) in self.items.iter().enumerate() {
+                        if size >= need && worst.is_none_or(|(_, ws)| size > ws) {
+                            worst = Some((k, size));
                         }
                     }
+                    (n, worst.map(|(k, _)| k))
                 }
-                worst.map(|(k, _)| k)
             }
+        };
+        ctx.meta_read(level, READS_PER_PROBE * probes as u64);
+        found
+    }
+
+    /// Index of the first entry at or after `start` whose size fits `need`
+    /// (list order, no wrap, no charging — callers account the walk).
+    fn scan_first_fit(&self, start: usize, need: u32) -> Option<usize> {
+        let (a, b) = self.items.as_slices();
+        if start < a.len() {
+            if let Some(k) = a[start..].iter().position(|&(_, s)| s >= need) {
+                return Some(start + k);
+            }
+            b.iter().position(|&(_, s)| s >= need).map(|k| a.len() + k)
+        } else {
+            b[start - a.len()..]
+                .iter()
+                .position(|&(_, s)| s >= need)
+                .map(|k| start + k)
         }
     }
 

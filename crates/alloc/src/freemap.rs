@@ -1,0 +1,180 @@
+//! Bitset free-map: the host-side free-slot index for slot-addressed
+//! pools.
+//!
+//! A segregated class used to keep its free slots as a `Vec<u32>` stack
+//! plus a parallel `Vec<bool>` liveness map. The free-map replaces both
+//! with one `u64`-word bitset: a set bit means *free*, the lowest free
+//! slot is found with a trailing-zeros scan from a cached word hint, and
+//! membership is a shift-and-mask. This is purely host-side bookkeeping —
+//! the *charged* cost model (the simulated embedded free list) is
+//! untouched; only the simulator does less work per operation.
+
+/// A fixed-universe bitset over slot indices, with O(words) lowest-set
+/// search accelerated by a first-maybe-set word hint.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FreeMap {
+    words: Vec<u64>,
+    /// Free slots currently set.
+    count: u64,
+    /// Lowest word index that may contain a set bit; words below it are
+    /// known clear.
+    hint: usize,
+}
+
+impl FreeMap {
+    /// An empty map over an empty universe.
+    pub fn new() -> Self {
+        FreeMap::default()
+    }
+
+    /// Grows the universe to at least `slots` indices (new slots start
+    /// not-free). Never shrinks.
+    pub fn ensure_slots(&mut self, slots: usize) {
+        let words = slots.div_ceil(64);
+        if words > self.words.len() {
+            self.words.resize(words, 0);
+        }
+    }
+
+    /// Free slots currently in the map.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` if no slot is free.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// `true` if slot `g` is marked free.
+    pub fn contains(&self, g: u32) -> bool {
+        let w = (g / 64) as usize;
+        self.words
+            .get(w)
+            .is_some_and(|word| word >> (g % 64) & 1 == 1)
+    }
+
+    /// Marks slot `g` free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is outside the universe or already free (a double
+    /// free of the host-side index).
+    pub fn set(&mut self, g: u32) {
+        let (w, bit) = ((g / 64) as usize, g % 64);
+        let word = &mut self.words[w];
+        assert!(*word >> bit & 1 == 0, "slot {g} already free");
+        *word |= 1 << bit;
+        self.count += 1;
+        self.hint = self.hint.min(w);
+    }
+
+    /// Clears slot `g` (marks it not-free); a no-op if it wasn't set.
+    pub fn clear(&mut self, g: u32) {
+        let (w, bit) = ((g / 64) as usize, g % 64);
+        if let Some(word) = self.words.get_mut(w) {
+            if *word >> bit & 1 == 1 {
+                *word &= !(1 << bit);
+                self.count -= 1;
+            }
+        }
+    }
+
+    /// Takes the lowest free slot out of the map, scanning words from the
+    /// hint and counting trailing zeros in the first non-empty one.
+    pub fn take_first(&mut self) -> Option<u32> {
+        if self.count == 0 {
+            self.hint = self.words.len();
+            return None;
+        }
+        while self.hint < self.words.len() {
+            let word = self.words[self.hint];
+            if word != 0 {
+                let bit = word.trailing_zeros();
+                self.words[self.hint] = word & (word - 1);
+                self.count -= 1;
+                return Some(self.hint as u32 * 64 + bit);
+            }
+            self.hint += 1;
+        }
+        unreachable!("count > 0 but no set word");
+    }
+
+    /// Iterates the free slots in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let mut rest = word;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros();
+                rest &= rest - 1;
+                Some(w as u32 * 64 + bit)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_take_roundtrip_is_lowest_first() {
+        let mut m = FreeMap::new();
+        m.ensure_slots(200);
+        for g in [130, 3, 64, 65] {
+            m.set(g);
+        }
+        assert_eq!(m.count(), 4);
+        assert!(m.contains(64) && !m.contains(63));
+        assert_eq!(m.take_first(), Some(3));
+        assert_eq!(m.take_first(), Some(64));
+        assert_eq!(m.take_first(), Some(65));
+        assert_eq!(m.take_first(), Some(130));
+        assert_eq!(m.take_first(), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn hint_recovers_after_lower_slot_freed() {
+        let mut m = FreeMap::new();
+        m.ensure_slots(512);
+        m.set(400);
+        assert_eq!(m.take_first(), Some(400), "hint advanced past word 0");
+        m.set(2);
+        assert_eq!(m.take_first(), Some(2), "set must rewind the hint");
+    }
+
+    #[test]
+    fn clear_and_iter() {
+        let mut m = FreeMap::new();
+        m.ensure_slots(128);
+        for g in [5, 70, 90] {
+            m.set(g);
+        }
+        m.clear(70);
+        m.clear(70); // idempotent
+        assert_eq!(m.iter().collect::<Vec<_>>(), [5, 90]);
+        assert_eq!(m.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already free")]
+    fn double_set_panics() {
+        let mut m = FreeMap::new();
+        m.ensure_slots(64);
+        m.set(7);
+        m.set(7);
+    }
+
+    #[test]
+    fn ensure_slots_never_shrinks() {
+        let mut m = FreeMap::new();
+        m.ensure_slots(200);
+        m.set(199);
+        m.ensure_slots(10);
+        assert!(m.contains(199));
+    }
+}

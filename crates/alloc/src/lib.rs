@@ -57,22 +57,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod block;
 mod composite;
 mod config;
 mod ctx;
 mod error;
 mod freelist;
+mod freemap;
 mod policy;
 pub mod pool;
 mod sim;
 
+pub use arena::{ArenaLease, SharedSimArena};
 pub use block::BlockInfo;
 pub use composite::{CompositeAllocator, PoolId};
 pub use config::{AllocatorConfig, PoolKind, PoolSpec, Route};
 pub use ctx::{AllocCtx, FootprintTracker};
 pub use error::{AllocError, BuildError};
 pub use freelist::FreeList;
+pub use freemap::FreeMap;
 pub use policy::{CoalescePolicy, FitPolicy, FreeOrder, SplitPolicy};
 pub use pool::PoolStats;
 pub use sim::{SimArena, SimMetrics, Simulator};

@@ -11,8 +11,15 @@
 //! front of every block, plus a 4-byte boundary-tag footer when immediate
 //! coalescing runs on a non-address-ordered list (the tags are what make
 //! O(1) neighbour lookup possible there).
-
-use std::collections::BTreeMap;
+//!
+//! Host-side, the carved blocks live in a [`BlockStore`]: an index-linked
+//! record slab mirroring the simulated block layout. Each chunk's blocks
+//! tile it contiguously, so address-adjacent neighbours are maintained as
+//! direct links, and every split, merge and grow is O(1) — replay mutates
+//! blocks on almost every pool op, and a sorted map would pay a node
+//! allocation or a memmove each time. The *charged* costs are unchanged:
+//! they follow the simulated header/footer/link structure, not the host
+//! containers.
 
 use dmx_memhier::{LevelId, RegionTable};
 
@@ -28,11 +35,194 @@ pub const HEADER_BYTES: u32 = 8;
 /// Simulated boundary-tag footer (only when the configuration needs it).
 pub const FOOTER_BYTES: u32 = 4;
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct GBlock {
+/// Sentinel record index: no neighbour (block starts or ends its chunk).
+const NONE_IDX: u32 = u32::MAX;
+/// Sentinel key for empty index slots (no block lives at `u64::MAX`).
+const EMPTY_KEY: u64 = u64::MAX;
+
+/// One carved block: its placement plus the address-adjacency links
+/// within its chunk.
+#[derive(Debug, Clone, Copy)]
+struct BlockRec {
+    addr: u64,
     /// Total size including header/footer.
     size: u32,
     free: bool,
+    /// Record index of the address-adjacent predecessor in the same
+    /// chunk (`NONE_IDX` at a chunk start).
+    prev: u32,
+    /// Record index of the address-adjacent successor in the same chunk
+    /// (`NONE_IDX` at a chunk end).
+    next: u32,
+}
+
+/// The pool's carved blocks: a record slab linked in address order per
+/// chunk, with an open-addressed address→record index.
+///
+/// Every operation the replay hot path performs is O(1): lookup is one
+/// multiplicative-hash probe chain, neighbour queries follow a link, and
+/// split/merge/grow rewrite a couple of records. Record slots freed by
+/// merges are recycled, so a steady-state replay allocates nothing.
+#[derive(Debug, Clone, Default)]
+struct BlockStore {
+    recs: Vec<BlockRec>,
+    /// Recycled record slots.
+    spare: Vec<u32>,
+    /// Open-addressed `(addr, record index)` pairs; linear probing with
+    /// backward-shift deletion; capacity is a power of two, load ≤ 1/2.
+    index: Vec<(u64, u32)>,
+    items: usize,
+}
+
+impl BlockStore {
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    /// Fibonacci hashing: block addresses are aligned multiples within a
+    /// few chunks, and the multiplicative mix spreads that low entropy.
+    fn home_slot(&self, addr: u64) -> usize {
+        (addr.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & (self.index.len() - 1)
+    }
+
+    /// The index slot holding `addr`, if present.
+    fn find_slot(&self, addr: u64) -> Option<usize> {
+        if self.index.is_empty() {
+            return None;
+        }
+        let mask = self.index.len() - 1;
+        let mut i = self.home_slot(addr);
+        loop {
+            let (key, _) = self.index[i];
+            if key == addr {
+                return Some(i);
+            }
+            if key == EMPTY_KEY {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn idx_of(&self, addr: u64) -> Option<u32> {
+        self.find_slot(addr).map(|s| self.index[s].1)
+    }
+
+    fn rec(&self, idx: u32) -> &BlockRec {
+        &self.recs[idx as usize]
+    }
+
+    fn rec_mut(&mut self, idx: u32) -> &mut BlockRec {
+        &mut self.recs[idx as usize]
+    }
+
+    /// Adds a record (recycling a spare slot) and indexes its address.
+    fn insert(&mut self, rec: BlockRec) -> u32 {
+        let addr = rec.addr;
+        let idx = match self.spare.pop() {
+            Some(i) => {
+                self.recs[i as usize] = rec;
+                i
+            }
+            None => {
+                self.recs.push(rec);
+                u32::try_from(self.recs.len() - 1).expect("block count fits u32")
+            }
+        };
+        self.index_insert(addr, idx);
+        self.items += 1;
+        idx
+    }
+
+    /// Drops a record: unindexes the address and recycles the slot.
+    fn remove(&mut self, idx: u32) {
+        let addr = self.recs[idx as usize].addr;
+        let slot = self.find_slot(addr).expect("record is indexed");
+        self.index_delete(slot);
+        self.recs[idx as usize].addr = EMPTY_KEY;
+        self.spare.push(idx);
+        self.items -= 1;
+    }
+
+    fn index_insert(&mut self, addr: u64, idx: u32) {
+        if self.index.len() < 2 * (self.items + 1) {
+            self.grow_index();
+        }
+        let mask = self.index.len() - 1;
+        let mut i = self.home_slot(addr);
+        while self.index[i].0 != EMPTY_KEY {
+            debug_assert_ne!(self.index[i].0, addr, "duplicate block address");
+            i = (i + 1) & mask;
+        }
+        self.index[i] = (addr, idx);
+    }
+
+    fn grow_index(&mut self) {
+        let cap = (self.index.len() * 2).max(64);
+        let old = std::mem::replace(&mut self.index, vec![(EMPTY_KEY, 0); cap]);
+        let mask = cap - 1;
+        for (key, idx) in old {
+            if key != EMPTY_KEY {
+                let mut i = self.home_slot(key);
+                while self.index[i].0 != EMPTY_KEY {
+                    i = (i + 1) & mask;
+                }
+                self.index[i] = (key, idx);
+            }
+        }
+    }
+
+    /// Backward-shift deletion: keeps every probe chain contiguous so
+    /// lookups never need tombstones.
+    fn index_delete(&mut self, mut i: usize) {
+        let mask = self.index.len() - 1;
+        let mut j = i;
+        loop {
+            j = (j + 1) & mask;
+            let (key, idx) = self.index[j];
+            if key == EMPTY_KEY {
+                break;
+            }
+            let home = self.home_slot(key);
+            // The entry at `j` may fill the hole at `i` unless its home
+            // slot lies cyclically within (i, j] — moving it would then
+            // place it before its probe chain starts.
+            let home_in_gap = if i <= j {
+                home > i && home <= j
+            } else {
+                home > i || home <= j
+            };
+            if !home_in_gap {
+                self.index[i] = (key, idx);
+                i = j;
+            }
+        }
+        self.index[i] = (EMPTY_KEY, 0);
+    }
+}
+
+/// Chunk base addresses, kept as a small sorted vector (the chain heads
+/// for address-ordered block walks; pools grow a handful of chunks per
+/// run).
+#[derive(Debug, Clone, Default)]
+struct ChunkStarts {
+    starts: Vec<u64>,
+}
+
+impl ChunkStarts {
+    fn insert(&mut self, addr: u64) {
+        if let Err(i) = self.starts.binary_search(&addr) {
+            self.starts.insert(i, addr);
+        }
+    }
+
+    fn contains(&self, addr: u64) -> bool {
+        self.starts.binary_search(&addr).is_ok()
+    }
+
+    fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.starts.iter().copied()
+    }
 }
 
 /// A general-purpose pool with parameterized policies.
@@ -46,11 +236,11 @@ pub struct GeneralPool {
     chunk_bytes: u64,
     footer: u32,
     min_block: u32,
-    blocks: BTreeMap<u64, GBlock>,
+    blocks: BlockStore,
     free_list: FreeList,
     /// First address of every chunk: blocks never merge across chunk
     /// boundaries (chunks are independent platform reservations).
-    chunk_starts: std::collections::HashSet<u64>,
+    chunk_starts: ChunkStarts,
     frees_since_sweep: u32,
     live: u64,
     reserved_bytes: u64,
@@ -100,9 +290,9 @@ impl GeneralPool {
             chunk_bytes,
             footer,
             min_block,
-            blocks: BTreeMap::new(),
+            blocks: BlockStore::default(),
             free_list: FreeList::new(order),
-            chunk_starts: std::collections::HashSet::new(),
+            chunk_starts: ChunkStarts::default(),
             frees_since_sweep: 0,
             live: 0,
             reserved_bytes: 0,
@@ -129,19 +319,36 @@ impl GeneralPool {
         self.free_list.len()
     }
 
+    /// Calls `f` for every carved block in ascending address order
+    /// (chunks ascend, and each chunk's chain tiles it in order).
+    fn each_block(&self, mut f: impl FnMut(&BlockRec)) {
+        for base in self.chunk_starts.iter() {
+            let mut idx = self.blocks.idx_of(base).expect("chunk head exists");
+            loop {
+                let rec = self.blocks.rec(idx);
+                f(rec);
+                if rec.next == NONE_IDX {
+                    break;
+                }
+                idx = rec.next;
+            }
+        }
+    }
+
     /// External fragmentation: free bytes that exist but sit in blocks, as
     /// a fraction of all carved bytes. 0.0 for an empty pool.
     pub fn external_fragmentation(&self) -> f64 {
-        let total: u64 = self.blocks.values().map(|b| u64::from(b.size)).sum();
+        let mut total = 0u64;
+        let mut free = 0u64;
+        self.each_block(|b| {
+            total += u64::from(b.size);
+            if b.free {
+                free += u64::from(b.size);
+            }
+        });
         if total == 0 {
             return 0.0;
         }
-        let free: u64 = self
-            .blocks
-            .values()
-            .filter(|b| b.free)
-            .map(|b| u64::from(b.size))
-            .sum();
         free as f64 / total as f64
     }
 
@@ -167,6 +374,7 @@ impl GeneralPool {
     ) -> BlockInfo {
         let (addr, bsize) = self.free_list.get(idx);
         debug_assert!(bsize >= asize);
+        let bidx = self.blocks.idx_of(addr).expect("free-list block exists");
         let do_split = match self.split {
             SplitPolicy::Never => false,
             SplitPolicy::MinRemainder(m) => {
@@ -177,16 +385,23 @@ impl GeneralPool {
         if do_split {
             let remainder = bsize - asize;
             let rem_addr = addr + u64::from(asize);
-            let b = self.blocks.get_mut(&addr).expect("free-list block exists");
-            b.size = asize;
-            b.free = false;
-            self.blocks.insert(
-                rem_addr,
-                GBlock {
-                    size: remainder,
-                    free: true,
-                },
-            );
+            let next = self.blocks.rec(bidx).next;
+            {
+                let b = self.blocks.rec_mut(bidx);
+                b.size = asize;
+                b.free = false;
+            }
+            let rem_idx = self.blocks.insert(BlockRec {
+                addr: rem_addr,
+                size: remainder,
+                free: true,
+                prev: bidx,
+                next,
+            });
+            self.blocks.rec_mut(bidx).next = rem_idx;
+            if next != NONE_IDX {
+                self.blocks.rec_mut(next).prev = rem_idx;
+            }
             self.free_list
                 .replace(idx, rem_addr, remainder, self.level, ctx);
             // Write allocated header (+footer) and the remainder header.
@@ -199,8 +414,7 @@ impl GeneralPool {
             }
         } else {
             self.free_list.take(idx, self.level, ctx);
-            let b = self.blocks.get_mut(&addr).expect("free-list block exists");
-            b.free = false;
+            self.blocks.rec_mut(bidx).free = false;
             ctx.meta_write(self.level, self.writes_per_header());
             BlockInfo {
                 addr,
@@ -229,33 +443,34 @@ impl GeneralPool {
         let remainder = chunk - u64::from(asize);
         let occupied = if remainder >= u64::from(self.min_block) {
             let rem_addr = region.base + u64::from(asize);
-            self.blocks.insert(
-                region.base,
-                GBlock {
-                    size: asize,
-                    free: false,
-                },
-            );
-            self.blocks.insert(
-                rem_addr,
-                GBlock {
-                    size: remainder as u32,
-                    free: true,
-                },
-            );
+            let bidx = self.blocks.insert(BlockRec {
+                addr: region.base,
+                size: asize,
+                free: false,
+                prev: NONE_IDX,
+                next: NONE_IDX,
+            });
+            let rem_idx = self.blocks.insert(BlockRec {
+                addr: rem_addr,
+                size: remainder as u32,
+                free: true,
+                prev: bidx,
+                next: NONE_IDX,
+            });
+            self.blocks.rec_mut(bidx).next = rem_idx;
             self.free_list
                 .insert(rem_addr, remainder as u32, self.level, ctx);
             ctx.meta_write(self.level, self.writes_per_header() + 1);
             asize
         } else {
             // Too small to split off: the whole chunk is the block.
-            self.blocks.insert(
-                region.base,
-                GBlock {
-                    size: chunk as u32,
-                    free: false,
-                },
-            );
+            self.blocks.insert(BlockRec {
+                addr: region.base,
+                size: chunk as u32,
+                free: false,
+                prev: NONE_IDX,
+                next: NONE_IDX,
+            });
             ctx.meta_write(self.level, self.writes_per_header());
             chunk as u32
         };
@@ -265,6 +480,24 @@ impl GeneralPool {
             requested,
             occupied,
         })
+    }
+
+    /// Merges the block at `cidx` into its linked predecessor `pidx`
+    /// (both records already adjacent by chain construction).
+    fn merge_into_prev(&mut self, pidx: u32, cidx: u32) {
+        let (csize, cnext) = {
+            let c = self.blocks.rec(cidx);
+            (c.size, c.next)
+        };
+        {
+            let p = self.blocks.rec_mut(pidx);
+            p.size += csize;
+            p.next = cnext;
+        }
+        if cnext != NONE_IDX {
+            self.blocks.rec_mut(cnext).prev = pidx;
+        }
+        self.blocks.remove(cidx);
     }
 
     /// Immediate coalescing on an address-ordered list: the insertion walk
@@ -277,10 +510,14 @@ impl GeneralPool {
         ctx.meta_read(self.level, 2);
         if pos > 0 {
             let (paddr, psize) = self.free_list.get(pos - 1);
-            if paddr + u64::from(psize) == addr && !self.chunk_starts.contains(&addr) {
+            let cidx = self.blocks.idx_of(addr).expect("freed block exists");
+            // Adjacent on the list AND linked in the same chunk (a chunk
+            // start has no predecessor link even when the previous chunk
+            // ends exactly at `addr`).
+            if paddr + u64::from(psize) == addr && self.blocks.rec(cidx).prev != NONE_IDX {
+                let pidx = self.blocks.rec(cidx).prev;
                 let merged = psize + size;
-                self.blocks.remove(&addr);
-                self.blocks.get_mut(&paddr).expect("prev block exists").size = merged;
+                self.merge_into_prev(pidx, cidx);
                 self.free_list.take(pos, self.level, ctx);
                 self.free_list
                     .replace(pos - 1, paddr, merged, self.level, ctx);
@@ -291,13 +528,12 @@ impl GeneralPool {
         }
         if pos + 1 < self.free_list.len() {
             let (naddr, nsize) = self.free_list.get(pos + 1);
-            if addr + u64::from(size) == naddr && !self.chunk_starts.contains(&naddr) {
+            let cidx = self.blocks.idx_of(addr).expect("merged block exists");
+            if addr + u64::from(size) == naddr && self.blocks.rec(cidx).next != NONE_IDX {
+                let nidx = self.blocks.rec(cidx).next;
                 let merged = size + nsize;
-                self.blocks.remove(&naddr);
-                self.blocks
-                    .get_mut(&addr)
-                    .expect("merged block exists")
-                    .size = merged;
+                self.merge_into_prev(cidx, nidx);
+                self.blocks.rec_mut(cidx).size = merged;
                 self.free_list.take(pos + 1, self.level, ctx);
                 self.free_list.replace(pos, addr, merged, self.level, ctx);
             }
@@ -305,71 +541,61 @@ impl GeneralPool {
     }
 
     /// Immediate coalescing with boundary tags: O(1) neighbour lookup via
-    /// the previous block's footer and the next block's header.
-    fn coalesce_tagged(&mut self, addr: u64, size: u32, ctx: &mut AllocCtx) {
-        let mut addr = addr;
-        let mut size = size;
+    /// the previous block's footer and the next block's header (host-side,
+    /// the chunk chain links are those tags).
+    fn coalesce_tagged(&mut self, cidx: u32, ctx: &mut AllocCtx) {
         ctx.meta_read(self.level, 2);
-        // Merge with the previous block if it is free and adjacent.
-        let prev = self.blocks.range(..addr).next_back().map(|(a, b)| (*a, *b));
-        if let Some((paddr, pblock)) = prev {
-            if pblock.free
-                && paddr + u64::from(pblock.size) == addr
-                && !self.chunk_starts.contains(&addr)
-            {
-                self.free_list.remove_addr_direct(paddr, self.level, ctx);
-                self.blocks.remove(&addr);
-                let merged = pblock.size + size;
-                self.blocks.get_mut(&paddr).expect("prev block exists").size = merged;
-                ctx.meta_write(self.level, 2); // rewritten header + footer
-                addr = paddr;
-                size = merged;
-            }
+        let mut cidx = cidx;
+        // Merge with the previous block if it is free (links only exist
+        // within a chunk, so adjacency and the chunk guard are built in).
+        let pidx = self.blocks.rec(cidx).prev;
+        if pidx != NONE_IDX && self.blocks.rec(pidx).free {
+            let paddr = self.blocks.rec(pidx).addr;
+            self.free_list.remove_addr_direct(paddr, self.level, ctx);
+            self.merge_into_prev(pidx, cidx);
+            ctx.meta_write(self.level, 2); // rewritten header + footer
+            cidx = pidx;
         }
-        // Merge with the next block if it is free and adjacent.
-        let next = self.blocks.range(addr + 1..).next().map(|(a, b)| (*a, *b));
-        if let Some((naddr, nblock)) = next {
-            if nblock.free && addr + u64::from(size) == naddr && !self.chunk_starts.contains(&naddr)
-            {
-                self.free_list.remove_addr_direct(naddr, self.level, ctx);
-                self.blocks.remove(&naddr);
-                size += nblock.size;
-                self.blocks
-                    .get_mut(&addr)
-                    .expect("merged block exists")
-                    .size = size;
-                ctx.meta_write(self.level, 2);
-            }
+        // Merge with the next block if it is free.
+        let nidx = self.blocks.rec(cidx).next;
+        if nidx != NONE_IDX && self.blocks.rec(nidx).free {
+            let naddr = self.blocks.rec(nidx).addr;
+            self.free_list.remove_addr_direct(naddr, self.level, ctx);
+            self.merge_into_prev(cidx, nidx);
+            ctx.meta_write(self.level, 2);
         }
-        self.free_list.insert(addr, size, self.level, ctx);
+        let rec = self.blocks.rec(cidx);
+        self.free_list.insert(rec.addr, rec.size, self.level, ctx);
     }
 
-    /// Deferred sweep: walk every block, merge adjacent free runs, relink
-    /// the free list.
+    /// Deferred sweep: walk every block in address order, merge adjacent
+    /// free runs, relink the free list.
     fn sweep(&mut self, ctx: &mut AllocCtx) {
         // Examination cost: header of every block.
         ctx.meta_read(self.level, 2 * self.blocks.len() as u64);
-        let mut rebuilt: Vec<(u64, GBlock)> = Vec::with_capacity(self.blocks.len());
-        for (&addr, &block) in self.blocks.iter() {
-            if let Some(last) = rebuilt.last_mut() {
-                if last.1.free
-                    && block.free
-                    && last.0 + u64::from(last.1.size) == addr
-                    && !self.chunk_starts.contains(&addr)
-                {
-                    last.1.size += block.size;
+        let mut free_entries: Vec<(u64, u32)> = Vec::with_capacity(self.free_list.len());
+        for base in self.chunk_starts.iter().collect::<Vec<_>>() {
+            let mut idx = self.blocks.idx_of(base).expect("chunk head exists");
+            loop {
+                // Merge the run of free blocks starting here, if any.
+                while self.blocks.rec(idx).free {
+                    let next = self.blocks.rec(idx).next;
+                    if next == NONE_IDX || !self.blocks.rec(next).free {
+                        break;
+                    }
+                    self.merge_into_prev(idx, next);
                     ctx.meta_write(self.level, 2); // merged header rewrite
-                    continue;
                 }
+                let rec = self.blocks.rec(idx);
+                if rec.free {
+                    free_entries.push((rec.addr, rec.size));
+                }
+                if rec.next == NONE_IDX {
+                    break;
+                }
+                idx = rec.next;
             }
-            rebuilt.push((addr, block));
         }
-        self.blocks = rebuilt.iter().copied().collect();
-        let free_entries: Vec<(u64, u32)> = rebuilt
-            .iter()
-            .filter(|(_, b)| b.free)
-            .map(|(a, b)| (*a, b.size))
-            .collect();
         // Relink cost: one write per surviving free block.
         ctx.meta_write(self.level, free_entries.len() as u64);
         self.free_list.rebuild(free_entries);
@@ -394,15 +620,16 @@ impl Pool for GeneralPool {
     }
 
     fn free(&mut self, addr: u64, ctx: &mut AllocCtx) {
-        let block = *self
+        let cidx = self
             .blocks
-            .get(&addr)
+            .idx_of(addr)
             .unwrap_or_else(|| panic!("free of address {addr:#x} not owned by this pool"));
+        let block = *self.blocks.rec(cidx);
         assert!(!block.free, "double free of {addr:#x}");
         // Read the header, mark the block free.
         ctx.meta_read(self.level, 1);
         ctx.meta_write(self.level, 1);
-        self.blocks.get_mut(&addr).expect("checked above").free = true;
+        self.blocks.rec_mut(cidx).free = true;
         self.live -= 1;
 
         match self.coalesce {
@@ -413,7 +640,7 @@ impl Pool for GeneralPool {
                 if self.free_list.order() == FreeOrder::AddressOrdered {
                     self.coalesce_addr_ordered(addr, block.size, ctx);
                 } else {
-                    self.coalesce_tagged(addr, block.size, ctx);
+                    self.coalesce_tagged(cidx, ctx);
                 }
             }
             CoalescePolicy::DeferredEvery(n) => {
@@ -436,12 +663,12 @@ impl Pool for GeneralPool {
     }
 
     fn stats(&self) -> PoolStats {
-        let live_bytes: u64 = self
-            .blocks
-            .values()
-            .filter(|b| !b.free)
-            .map(|b| u64::from(b.size))
-            .sum();
+        let mut live_bytes = 0u64;
+        self.each_block(|b| {
+            if !b.free {
+                live_bytes += u64::from(b.size);
+            }
+        });
         PoolStats {
             reserved_bytes: self.reserved_bytes,
             live_bytes,
@@ -451,41 +678,70 @@ impl Pool for GeneralPool {
     }
 
     fn validate(&self) {
-        // Blocks are disjoint and sorted (BTreeMap is sorted by address);
-        // adjacency may not overlap.
-        let mut prev: Option<(u64, GBlock)> = None;
-        for (&addr, &block) in self.blocks.iter() {
-            assert!(block.size > 0, "zero-size block at {addr:#x}");
-            if let Some((paddr, pblock)) = prev {
-                assert!(
-                    paddr + u64::from(pblock.size) <= addr,
-                    "blocks overlap at {addr:#x}"
+        // Each chunk's chain tiles it: blocks are adjacent, non-zero, and
+        // the chain starts at the chunk base with no predecessor.
+        let mut seen = 0usize;
+        let mut live = 0u64;
+        for base in self.chunk_starts.iter() {
+            let head = self
+                .blocks
+                .idx_of(base)
+                .unwrap_or_else(|| panic!("chunk at {base:#x} has no head block"));
+            assert_eq!(
+                self.blocks.rec(head).prev,
+                NONE_IDX,
+                "chunk head has a predecessor"
+            );
+            let mut idx = head;
+            loop {
+                let rec = self.blocks.rec(idx);
+                assert!(rec.size > 0, "zero-size block at {:#x}", rec.addr);
+                seen += 1;
+                if !rec.free {
+                    live += 1;
+                }
+                if rec.next == NONE_IDX {
+                    break;
+                }
+                let next = self.blocks.rec(rec.next);
+                assert_eq!(
+                    rec.addr + u64::from(rec.size),
+                    next.addr,
+                    "blocks are not adjacent at {:#x}",
+                    next.addr
                 );
+                assert_eq!(next.prev, idx, "broken back-link at {:#x}", next.addr);
+                assert!(
+                    !self.chunk_starts.contains(next.addr),
+                    "chunk start {:#x} linked into a chain",
+                    next.addr
+                );
+                idx = rec.next;
             }
-            prev = Some((addr, block));
         }
-        // The free list and the block map agree exactly.
-        let map_free: Vec<(u64, u32)> = self
-            .blocks
-            .iter()
-            .filter(|(_, b)| b.free)
-            .map(|(a, b)| (*a, b.size))
-            .collect();
+        assert_eq!(seen, self.blocks.len(), "chain walk missed blocks");
+        // The free list and the block store agree exactly.
+        let mut map_free = 0usize;
+        self.each_block(|b| {
+            if b.free {
+                map_free += 1;
+            }
+        });
         assert_eq!(
-            map_free.len(),
+            map_free,
             self.free_list.len(),
             "free-list length disagrees with free blocks"
         );
         for (addr, size) in self.free_list.iter() {
-            let b = self
+            let idx = self
                 .blocks
-                .get(&addr)
+                .idx_of(addr)
                 .unwrap_or_else(|| panic!("free-list entry {addr:#x} has no block"));
+            let b = self.blocks.rec(idx);
             assert!(b.free, "free-list entry {addr:#x} is not free");
             assert_eq!(b.size, size, "free-list size mismatch at {addr:#x}");
         }
         // Live accounting.
-        let live = self.blocks.values().filter(|b| !b.free).count() as u64;
         assert_eq!(live, self.live, "live-block count mismatch");
     }
 }

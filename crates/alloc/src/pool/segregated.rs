@@ -5,24 +5,45 @@ use dmx_memhier::{LevelId, Region, RegionTable};
 use crate::block::{align_up, BlockInfo};
 use crate::ctx::AllocCtx;
 use crate::error::AllocError;
+use crate::freemap::FreeMap;
 use crate::pool::{Pool, PoolStats};
 
-/// Per-class state: a slot-indexed free list plus a bump chunk.
+/// Per-class state: a bitset free-map plus a bump chunk.
 ///
 /// Slots are numbered globally within the class: slot `g` lives in chunk
-/// `g / per_chunk` at offset `(g % per_chunk) * slot_size`, so the free
-/// list and the liveness bitmap index by integer — no address hashing.
+/// `g / per_chunk` at offset `(g % per_chunk) * slot_size`, so free and
+/// live state index by integer — no address hashing. The free-map is one
+/// bitset serving both roles: a handed-out slot (below the bump
+/// watermark) is live exactly when its free bit is clear.
 #[derive(Debug, Clone, Default)]
 struct Class {
-    /// Free slot indices (LIFO — the embedded free list's order).
-    free: Vec<u32>,
+    /// Free slots as a bitset; allocation takes the lowest free slot
+    /// (trailing-zeros search). Which same-class slot serves a request
+    /// never affects the charged cost model, so this is metric-identical
+    /// to the old LIFO stack.
+    free_map: FreeMap,
     chunks: Vec<Region>,
     bump_used: u32,
-    /// Liveness per slot, `chunks.len() * per_chunk` entries.
-    live_slots: Vec<bool>,
     live_count: u64,
     /// Slots per chunk (constant per class).
     per_chunk: u32,
+}
+
+impl Class {
+    /// Slots handed out so far: all slots of full chunks plus the bump
+    /// watermark of the newest chunk. Slots at or above this are neither
+    /// free nor live.
+    fn handed_out(&self) -> u32 {
+        match self.chunks.len() {
+            0 => 0,
+            n => (n as u32 - 1) * self.per_chunk + self.bump_used,
+        }
+    }
+
+    /// `true` if handed-out slot `g` is live (not on the free-map).
+    fn is_live(&self, g: u32) -> bool {
+        g < self.handed_out() && !self.free_map.contains(g)
+    }
 }
 
 /// Directory entry mapping an address range to its class chunk; kept
@@ -52,6 +73,8 @@ pub struct SegregatedPool {
     level: LevelId,
     /// Class slot sizes, ascending powers of two.
     classes: Vec<u32>,
+    /// `log2` of the smallest class — the branchless `class_of` base.
+    min_shift: u32,
     class_state: Vec<Class>,
     /// Sorted (by base) address-range directory of all class chunks.
     chunk_dir: Vec<ChunkRef>,
@@ -89,6 +112,7 @@ impl SegregatedPool {
             .collect();
         SegregatedPool {
             level,
+            min_shift: classes[0].trailing_zeros(),
             classes,
             class_state,
             chunk_dir: Vec::new(),
@@ -103,8 +127,17 @@ impl SegregatedPool {
         &self.classes
     }
 
+    /// The index of the smallest class ≥ `size`, or `None` for large
+    /// objects. Branchless: the class index is the ceil-log2 bit width
+    /// of the (min-clamped) request, offset by the smallest class's
+    /// log2 — no scan over the class table.
     fn class_of(&self, size: u32) -> Option<usize> {
-        self.classes.iter().position(|c| *c >= size)
+        if size > *self.classes.last().expect("classes are non-empty") {
+            return None;
+        }
+        let need = size.max(self.classes[0]);
+        let ceil_log2 = 32 - (need - 1).leading_zeros();
+        Some((ceil_log2 - self.min_shift) as usize)
     }
 
     /// The address of global slot `g` of class `ci`.
@@ -134,7 +167,7 @@ impl Pool for SegregatedPool {
                 let slot = self.classes[ci];
                 // Read the class head pointer (class index is arithmetic).
                 ctx.meta_read(self.level, 1);
-                let gslot = if let Some(g) = self.class_state[ci].free.pop() {
+                let gslot = if let Some(g) = self.class_state[ci].free_map.take_first() {
                     ctx.meta_read(self.level, 1); // embedded next pointer
                     ctx.meta_write(self.level, 1); // head update
                     g
@@ -162,8 +195,8 @@ impl Pool for SegregatedPool {
                         state.chunks.push(region);
                         state.bump_used = 0;
                         state
-                            .live_slots
-                            .resize(state.chunks.len() * per_chunk as usize, false);
+                            .free_map
+                            .ensure_slots(state.chunks.len() * per_chunk as usize);
                     }
                     let state = &mut self.class_state[ci];
                     let g = (state.chunks.len() as u32 - 1) * per_chunk + state.bump_used;
@@ -173,9 +206,7 @@ impl Pool for SegregatedPool {
                     g
                 };
                 let addr = self.slot_addr(ci, gslot);
-                let state = &mut self.class_state[ci];
-                state.live_slots[gslot as usize] = true;
-                state.live_count += 1;
+                self.class_state[ci].live_count += 1;
                 self.live += 1;
                 Ok(BlockInfo {
                     addr,
@@ -228,15 +259,14 @@ impl Pool for SegregatedPool {
             let slot_in_chunk = ((addr - chunk.base) / u64::from(self.classes[ci])) as u32;
             let gslot = chunk.ordinal * state.per_chunk + slot_in_chunk;
             assert!(
-                state.live_slots[gslot as usize],
+                state.is_live(gslot),
                 "free of address {addr:#x} not owned by this segregated pool"
             );
             // Read the chunk descriptor to find the class, push on the list.
             ctx.meta_read(self.level, 1);
             ctx.meta_write(self.level, 2);
-            state.live_slots[gslot as usize] = false;
             state.live_count -= 1;
-            state.free.push(gslot);
+            state.free_map.set(gslot);
         } else if let Ok(i) = self.large_live.binary_search_by_key(&addr, |&(a, _)| a) {
             let (_, occupied) = self.large_live.remove(i);
             ctx.meta_read(self.level, 1);
@@ -282,7 +312,7 @@ impl Pool for SegregatedPool {
         let free_blocks = self
             .class_state
             .iter()
-            .map(|st| st.free.len() as u64)
+            .map(|st| st.free_map.count())
             .sum::<u64>()
             + self
                 .large_free
@@ -299,13 +329,15 @@ impl Pool for SegregatedPool {
 
     fn validate(&self) {
         for (ci, state) in self.class_state.iter().enumerate() {
-            let total_slots = state.chunks.len() as u32 * state.per_chunk;
-            for &g in &state.free {
-                assert!(g < total_slots, "class {ci} free slot outside its chunks");
-                assert!(!state.live_slots[g as usize], "slot both free and live");
+            let handed_out = state.handed_out();
+            for g in state.free_map.iter() {
+                assert!(g < handed_out, "class {ci} free slot never handed out");
             }
-            let live_bits = state.live_slots.iter().filter(|&&b| b).count() as u64;
-            assert_eq!(live_bits, state.live_count, "class {ci} live-bit mismatch");
+            assert_eq!(
+                u64::from(handed_out),
+                state.live_count + state.free_map.count(),
+                "class {ci} handed-out slots must split into live + free"
+            );
         }
         for w in self.chunk_dir.windows(2) {
             assert!(w[0].end <= w[1].base, "chunk directory overlaps");
@@ -332,6 +364,22 @@ mod tests {
     fn classes_are_powers_of_two() {
         let p = SegregatedPool::new(L1, 16, 256, 4096);
         assert_eq!(p.classes(), [16, 32, 64, 128, 256]);
+    }
+
+    #[test]
+    fn branchless_class_lookup_matches_linear_scan() {
+        for (min, max) in [(8u32, 8u32), (16, 256), (8, 1024), (64, 64)] {
+            let p = SegregatedPool::new(L1, min, max, 4096);
+            for size in 1..=(max + 10) {
+                let scan = p.classes.iter().position(|c| *c >= size);
+                assert_eq!(
+                    p.class_of(size),
+                    scan,
+                    "size {size} in classes {:?}",
+                    p.classes()
+                );
+            }
+        }
     }
 
     #[test]

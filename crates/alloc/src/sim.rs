@@ -98,6 +98,8 @@ pub struct SimArena {
     runs: u64,
     reuses: u64,
     events: u64,
+    batches: u64,
+    batch_runs: u64,
 }
 
 impl SimArena {
@@ -106,7 +108,8 @@ impl SimArena {
         SimArena::default()
     }
 
-    /// Runs replayed through this arena.
+    /// Runs replayed through this arena (each batch lane counts as one
+    /// run).
     pub fn runs(&self) -> u64 {
         self.runs
     }
@@ -117,9 +120,33 @@ impl SimArena {
         self.reuses
     }
 
-    /// Total events replayed through this arena.
+    /// Total events replayed through this arena (batch replays count
+    /// every lane's logical events).
     pub fn events_replayed(&self) -> u64 {
         self.events
+    }
+
+    /// Batch-kernel invocations ([`Simulator::replay_batch`]) through
+    /// this arena.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Genome runs executed inside batch invocations — the amortization
+    /// numerator: `batch_runs / batches` is the mean batch width.
+    pub fn batch_runs(&self) -> u64 {
+        self.batch_runs
+    }
+
+    /// Folds another arena's counters into this one (used when a shared
+    /// arena aggregates the counters of a lease that overflowed the
+    /// pool).
+    pub(crate) fn absorb_counts(&mut self, other: &SimArena) {
+        self.runs += other.runs;
+        self.reuses += other.reuses;
+        self.events += other.events;
+        self.batches += other.batches;
+        self.batch_runs += other.batch_runs;
     }
 
     /// Readies the slab for a run needing `slots` entries, reusing the
@@ -137,6 +164,36 @@ impl SimArena {
         self.runs += 1;
         &mut self.slab[..slots]
     }
+
+    /// Readies the slab for a `k`-lane batch over `slots` slots. The
+    /// layout is slot-major (`slot * k + lane`): one pool op touches its
+    /// `k` lane entries contiguously.
+    fn prepare_batch(&mut self, k: usize, slots: usize) -> &mut [SlabEntry] {
+        let need = k * slots;
+        if self.slab.len() >= need {
+            if self.runs > 0 {
+                self.reuses += 1;
+            }
+            self.slab[..need].fill(None);
+        } else {
+            self.slab.clear();
+            self.slab.resize(need, None);
+        }
+        self.runs += k as u64;
+        self.batches += 1;
+        self.batch_runs += k as u64;
+        &mut self.slab[..need]
+    }
+}
+
+/// Per-genome accumulator state of one batch lane.
+struct BatchLane {
+    ctx: AllocCtx,
+    allocs: u64,
+    frees: u64,
+    failures: u64,
+    live_frag: u64,
+    peak_frag: u64,
 }
 
 /// Replays traces against allocator configurations over a fixed platform.
@@ -242,8 +299,8 @@ impl<'h> Simulator<'h> {
         let mut peak_internal_frag = 0u64;
         let slab = arena.prepare(trace.max_live_slots() as usize);
 
-        for event in trace.events() {
-            match *event {
+        for event in trace.iter_events() {
+            match event {
                 CompiledEvent::Alloc { slot, size } => {
                     match allocator.alloc_traced(size, &mut ctx) {
                         Ok((info, pool)) => {
@@ -291,6 +348,127 @@ impl<'h> Simulator<'h> {
             tick_cycles,
             peak_internal_frag,
         )
+    }
+
+    /// Builds every configuration and replays them as one batch through a
+    /// caller-owned arena (see [`Self::replay_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`] — the first invalid configuration aborts the
+    /// whole batch.
+    pub fn run_batch_in_arena(
+        &self,
+        configs: &[AllocatorConfig],
+        trace: &CompiledTrace,
+        arena: &mut SimArena,
+    ) -> Result<Vec<SimMetrics>, BuildError> {
+        let mut allocators = configs
+            .iter()
+            .map(|c| c.build(self.hierarchy))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(self.replay_batch(&mut allocators, trace, arena))
+    }
+
+    /// The batch replay kernel: drives `allocators.len()` genomes' pool
+    /// states through **one** sequential pass over the trace's
+    /// allocator-op stream, returning one [`SimMetrics`] per allocator
+    /// (byte-identical to replaying each alone).
+    ///
+    /// Two amortizations make this faster than `k` single replays:
+    ///
+    /// * event decode is shared — the op stream is walked once, and only
+    ///   allocator-visible ops are walked at all: application accesses
+    ///   are charged from per-allocation lifetime totals at placement
+    ///   time and compute ticks from one per-trace total
+    ///   ([`CompiledTrace::alloc_reads`] /
+    ///   [`CompiledTrace::total_tick_cycles`]), which is
+    ///   metric-identical because both are pure additive sums;
+    /// * the live-block slab is slot-major (`slot * k + lane`), so the
+    ///   `k` lane entries an op touches share cache lines.
+    ///
+    /// Failed allocations leave their lane's slot empty exactly as in
+    /// [`Self::replay`], so their hoisted access totals are dropped the
+    /// same way the reference interpreter drops per-event accesses to
+    /// unplaced blocks.
+    pub fn replay_batch(
+        &self,
+        allocators: &mut [CompositeAllocator],
+        trace: &CompiledTrace,
+        arena: &mut SimArena,
+    ) -> Vec<SimMetrics> {
+        let k = allocators.len();
+        assert!(k > 0, "a batch needs at least one allocator");
+        let mut lanes: Vec<BatchLane> = (0..k)
+            .map(|_| BatchLane {
+                ctx: AllocCtx::new(self.hierarchy.len()),
+                allocs: 0,
+                frees: 0,
+                failures: 0,
+                live_frag: 0,
+                peak_frag: 0,
+            })
+            .collect();
+        let sizes = trace.alloc_sizes();
+        let reads = trace.alloc_reads();
+        let writes = trace.alloc_writes();
+        {
+            let slab = arena.prepare_batch(k, trace.max_live_slots() as usize);
+            let mut ordinal = 0usize;
+            for &op in trace.pool_ops() {
+                let base = op.slot() as usize * k;
+                if op.is_free() {
+                    for (j, (lane, allocator)) in
+                        lanes.iter_mut().zip(allocators.iter_mut()).enumerate()
+                    {
+                        if let Some((info, pool)) = slab[base + j].take() {
+                            lane.live_frag -= u64::from(info.internal_fragmentation());
+                            allocator.free_traced(info.addr, pool, &mut lane.ctx);
+                            lane.frees += 1;
+                        }
+                    }
+                } else {
+                    let size = sizes[ordinal];
+                    let (block_reads, block_writes) = (reads[ordinal], writes[ordinal]);
+                    ordinal += 1;
+                    for (j, (lane, allocator)) in
+                        lanes.iter_mut().zip(allocators.iter_mut()).enumerate()
+                    {
+                        match allocator.alloc_traced(size, &mut lane.ctx) {
+                            Ok((info, pool)) => {
+                                lane.allocs += 1;
+                                lane.live_frag += u64::from(info.internal_fragmentation());
+                                lane.peak_frag = lane.peak_frag.max(lane.live_frag);
+                                // The block's whole-lifetime application
+                                // accesses, charged at placement.
+                                lane.ctx.app_access(info.level, block_reads, block_writes);
+                                debug_assert!(slab[base + j].is_none(), "slot already live");
+                                slab[base + j] = Some((info, pool));
+                            }
+                            Err(_) => {
+                                lane.failures += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        arena.events += k as u64 * trace.len() as u64;
+
+        let ticks = trace.total_tick_cycles();
+        lanes
+            .into_iter()
+            .map(|lane| {
+                self.finish(
+                    lane.ctx,
+                    lane.allocs,
+                    lane.frees,
+                    lane.failures,
+                    ticks,
+                    lane.peak_frag,
+                )
+            })
+            .collect()
     }
 
     /// The original hash-map interpreter over the uncompiled trace, kept
@@ -587,6 +765,83 @@ mod tests {
         assert_eq!(arena.runs(), 3);
         assert_eq!(arena.reuses(), 2, "every run after the first reuses");
         assert_eq!(arena.events_replayed(), 3 * compiled.len() as u64);
+    }
+
+    #[test]
+    fn batch_replay_matches_singles_byte_for_byte() {
+        let hier = presets::sp64k_dram4m();
+        let sim = Simulator::new(&hier);
+        let trace = EasyportConfig::small().generate(9);
+        let compiled = CompiledTrace::compile(&trace);
+        let configs = vec![
+            baseline(&hier),
+            AllocatorConfig::paper_example(&hier),
+            AllocatorConfig::general_only(
+                hier.slowest(),
+                FitPolicy::BestFit,
+                FreeOrder::SizeOrdered,
+                CoalescePolicy::Never,
+                SplitPolicy::Never,
+            ),
+        ];
+        let mut arena = SimArena::new();
+        let batch = sim
+            .run_batch_in_arena(&configs, &compiled, &mut arena)
+            .unwrap();
+        assert_eq!(batch.len(), configs.len());
+        for (cfg, got) in configs.iter().zip(&batch) {
+            let single = sim.run_reference(cfg, &trace).unwrap();
+            assert_eq!(*got, single, "batch lane diverges on {}", cfg.label());
+        }
+        assert_eq!(arena.batches(), 1);
+        assert_eq!(arena.batch_runs(), 3);
+        assert_eq!(arena.runs(), 3, "each lane counts as a run");
+        assert_eq!(arena.events_replayed(), 3 * compiled.len() as u64);
+    }
+
+    #[test]
+    fn batch_replay_handles_failing_lanes() {
+        // One lane is infeasible (everything forced onto the scratchpad);
+        // its failures must not leak into the other lanes' metrics.
+        let hier = presets::sp64k_dram4m();
+        let sim = Simulator::new(&hier);
+        let trace = VtcConfig::small().generate(4);
+        let compiled = CompiledTrace::compile(&trace);
+        let tight = AllocatorConfig::general_only(
+            hier.fastest(),
+            FitPolicy::FirstFit,
+            FreeOrder::Lifo,
+            CoalescePolicy::Never,
+            SplitPolicy::Never,
+        );
+        let configs = vec![tight.clone(), baseline(&hier)];
+        let mut arena = SimArena::new();
+        let batch = sim
+            .run_batch_in_arena(&configs, &compiled, &mut arena)
+            .unwrap();
+        assert!(!batch[0].feasible(), "fixture must exercise failures");
+        assert_eq!(batch[0], sim.run_reference(&tight, &trace).unwrap());
+        assert_eq!(
+            batch[1],
+            sim.run_reference(&baseline(&hier), &trace).unwrap()
+        );
+    }
+
+    #[test]
+    fn batch_of_one_matches_single_kernel_and_reuses_arena() {
+        let hier = presets::sp64k_dram4m();
+        let sim = Simulator::new(&hier);
+        let compiled = CompiledTrace::compile(&EasyportConfig::small().generate(2));
+        let cfg = vec![AllocatorConfig::paper_example(&hier)];
+        let mut arena = SimArena::new();
+        let a = sim.run_batch_in_arena(&cfg, &compiled, &mut arena).unwrap();
+        let b = sim.run_in_arena(&cfg[0], &compiled, &mut arena).unwrap();
+        let c = sim.run_batch_in_arena(&cfg, &compiled, &mut arena).unwrap();
+        assert_eq!(a[0], b);
+        assert_eq!(c[0], b, "slab reuse must not leak state across modes");
+        assert_eq!(arena.runs(), 3);
+        assert_eq!(arena.reuses(), 2);
+        assert_eq!(arena.batches(), 2);
     }
 
     #[test]

@@ -117,6 +117,49 @@ proptest! {
         drive(&mut pool, &ops);
     }
 
+    /// The segregated pool's bitset free-map against a plain
+    /// `Vec<bool>` + linear-scan reference model: set/clear/take-first
+    /// agree on membership, count, and — the part the bitset
+    /// accelerates with trailing-zero scans — *which* slot is lowest.
+    #[test]
+    fn freemap_matches_vector_scan_model(
+        ops in prop::collection::vec((0u32..600, prop::bool::ANY), 1..400),
+        takes in prop::collection::vec(prop::bool::ANY, 1..400),
+    ) {
+        let mut map = dmx_alloc::FreeMap::new();
+        let mut model: Vec<bool> = vec![false; 600];
+        map.ensure_slots(model.len());
+        let mut take_iter = takes.iter();
+        for &(slot, set) in &ops {
+            if set {
+                if !model[slot as usize] {
+                    map.set(slot);
+                    model[slot as usize] = true;
+                }
+            } else if model[slot as usize] {
+                map.clear(slot);
+                model[slot as usize] = false;
+            }
+            if *take_iter.next().unwrap_or(&false) {
+                let expected = model.iter().position(|&b| b);
+                let got = map.take_first();
+                prop_assert_eq!(got, expected.map(|i| i as u32));
+                if let Some(i) = expected {
+                    model[i] = false;
+                }
+            }
+            let count = model.iter().filter(|&&b| b).count() as u64;
+            prop_assert_eq!(map.count(), count);
+            prop_assert_eq!(map.is_empty(), count == 0);
+            prop_assert_eq!(map.contains(slot), model[slot as usize]);
+        }
+        // Iteration order is ascending and complete.
+        let from_map: Vec<u32> = map.iter().collect();
+        let from_model: Vec<u32> =
+            (0..model.len() as u32).filter(|&i| model[i as usize]).collect();
+        prop_assert_eq!(from_map, from_model);
+    }
+
     /// Address uniqueness: live blocks from any pool never overlap.
     #[test]
     fn general_pool_blocks_never_overlap(ops in arb_ops(1500), order_idx in 0usize..4) {

@@ -1,0 +1,231 @@
+//! Batch-replay throughput: K genomes through one pass over the SoA
+//! pool-op stream, measured against both replay paths on the
+//! `embedded-mix` scenario suite.
+//!
+//! The batch kernel ([`Simulator::run_batch_in_arena`]) amortizes the
+//! event-stream walk across a lane of allocators: the trace is decoded
+//! once per *batch* instead of once per *genome*, and the hoisted
+//! per-allocation access totals replace per-event charging. Pool
+//! mutation (the allocator itself) dominates replay time, so the
+//! amortization shows up against the single-genome **reference
+//! interpreter** (`run_reference`, which re-decodes the raw trace and
+//! charges every access event per genome); against the already-compiled
+//! single-genome slab kernel the batch path buys lane-shared arena reuse
+//! rather than raw speed, and the gate there is no-regression.
+//!
+//! This bench is the regression gate for that kernel:
+//!
+//! * every batch lane must produce metrics **byte-identical** to
+//!   `run_reference` (checked before anything is timed);
+//! * the batch kernel must sustain **≥ 2× the reference interpreter's
+//!   events/sec** at K = 8 lanes (asserted — a regression fails the CI
+//!   bench smoke run);
+//! * the batch kernel must not regress below **0.75× the single-genome
+//!   slab kernel** (asserted — batching must never make the search hot
+//!   path slower than running lanes sequentially);
+//! * the headline numbers are recorded to `BENCH_batch_replay.json` at
+//!   the workspace root, validated by `crates/bench/validate_floors.py`
+//!   against the checked-in floor in `crates/bench/floors/batch_replay.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+use dmx_alloc::{AllocatorConfig, SimArena, Simulator};
+use dmx_bench::{json_num, json_str, write_bench_json};
+use dmx_core::scenario::ScenarioSuite;
+
+/// Per-(path, scenario) measurement window. Large enough to damp
+/// scheduler noise, small enough for the CI smoke run.
+const WINDOW: Duration = Duration::from_millis(120);
+
+/// Lanes per batch — matches the evaluator's batching factor, so the
+/// bench measures the shape the search hot path actually runs.
+const BATCH_K: usize = 8;
+
+fn bench_batch_replay(c: &mut Criterion) {
+    let suite = ScenarioSuite::builtin("embedded-mix").expect("built-in suite");
+    let mats = suite.materialize(42);
+    assert!(mats.len() >= 6, "embedded-mix must stay broad");
+    let space = suite.suggest_space(&mats);
+    assert!(space.len() >= BATCH_K, "suite space must fill a batch");
+
+    // K genomes spread evenly across the suite space; each scenario
+    // instantiates them against its own hierarchy and drops the ones its
+    // platform cannot host (the batch kernel requires every lane valid).
+    let genomes: Vec<_> = (0..BATCH_K)
+        .map(|i| space.genome_at(i * (space.len() - 1) / (BATCH_K - 1)))
+        .collect();
+    let lanes_for = |m: &dmx_core::scenario::MaterializedScenario<'_>| -> Vec<AllocatorConfig> {
+        genomes
+            .iter()
+            .map(|g| space.config_at(&m.hierarchy, g))
+            .filter(|cfg| cfg.validate(&m.hierarchy).is_ok())
+            .collect()
+    };
+
+    let mut reference_events = 0u64;
+    let mut reference_nanos = 0u64;
+    let mut kernel_events = 0u64;
+    let mut kernel_nanos = 0u64;
+    let mut batch_events = 0u64;
+    let mut batch_nanos = 0u64;
+    let mut arena = SimArena::new();
+    let mut scenarios_used = 0usize;
+
+    for m in &mats {
+        let configs = lanes_for(m);
+        if configs.len() < 2 {
+            // A batch of one measures nothing; the suite space keeps
+            // most lanes valid on every built-in platform.
+            continue;
+        }
+        scenarios_used += 1;
+        let k = configs.len() as u64;
+        let sim = Simulator::new(&m.hierarchy);
+
+        // Warm-up doubles as the equivalence gate: every batch lane must
+        // agree byte-for-byte with the reference interpreter before
+        // anything is timed.
+        let batch = sim
+            .run_batch_in_arena(&configs, &m.compiled, &mut arena)
+            .expect("valid configs");
+        for (config, got) in configs.iter().zip(&batch) {
+            let reference = sim.run_reference(config, &m.trace).expect("valid config");
+            assert_eq!(
+                &reference,
+                got,
+                "batch lane diverges from the reference on `{}` × {}",
+                m.scenario.name,
+                config.label()
+            );
+        }
+
+        // Reference interpreter: the same K genomes, one raw-trace
+        // interpretation each. This is the path every replay kernel is
+        // byte-checked against, and the baseline the batch kernel must
+        // at least double.
+        let t0 = Instant::now();
+        while t0.elapsed() < WINDOW {
+            for config in &configs {
+                std::hint::black_box(sim.run_reference(config, &m.trace).expect("valid"));
+            }
+            reference_events += k * m.compiled.len() as u64;
+        }
+        reference_nanos += t0.elapsed().as_nanos() as u64;
+
+        // Single-genome slab kernel: the same K genomes through the
+        // compiled trace, one full event-stream walk each.
+        let t1 = Instant::now();
+        while t1.elapsed() < WINDOW {
+            for config in &configs {
+                std::hint::black_box(
+                    sim.run_in_arena(config, &m.compiled, &mut arena)
+                        .expect("valid"),
+                );
+            }
+            kernel_events += k * m.compiled.len() as u64;
+        }
+        kernel_nanos += t1.elapsed().as_nanos() as u64;
+
+        // Batch: one pool-ops pass drives all K lanes. All three paths
+        // count the same K × trace-length logical events per pass.
+        let t2 = Instant::now();
+        while t2.elapsed() < WINDOW {
+            std::hint::black_box(
+                sim.run_batch_in_arena(&configs, &m.compiled, &mut arena)
+                    .expect("valid"),
+            );
+            batch_events += k * m.compiled.len() as u64;
+        }
+        batch_nanos += t2.elapsed().as_nanos() as u64;
+    }
+    assert!(scenarios_used >= 6, "too few scenarios hosted a full batch");
+
+    let reference_eps = reference_events as f64 * 1e9 / reference_nanos as f64;
+    let kernel_eps = kernel_events as f64 * 1e9 / kernel_nanos as f64;
+    let batch_eps = batch_events as f64 * 1e9 / batch_nanos as f64;
+    let speedup_vs_reference = batch_eps / reference_eps;
+    let speedup_vs_kernel = batch_eps / kernel_eps;
+    let total_secs = (reference_nanos + kernel_nanos + batch_nanos) as f64 / 1e9;
+    println!(
+        "\n==== batch replay: suite `{}`, {} scenarios × {} lanes ====",
+        suite.name, scenarios_used, BATCH_K
+    );
+    println!(
+        "reference interpreter: {:>10.0} events/sec ({} events)",
+        reference_eps, reference_events
+    );
+    println!(
+        "single-genome kernel : {:>10.0} events/sec ({} events)",
+        kernel_eps, kernel_events
+    );
+    println!(
+        "batch kernel (K={BATCH_K})   : {:>10.0} events/sec ({} events, {} batch passes)",
+        batch_eps,
+        batch_events,
+        arena.batches()
+    );
+    println!(
+        "speedup vs reference : {speedup_vs_reference:.2}x  (target ≥ 2.0x)\n\
+         speedup vs kernel    : {speedup_vs_kernel:.2}x  (floor ≥ 0.75x)"
+    );
+
+    let path = write_bench_json(
+        "batch_replay",
+        &[
+            ("bench", json_str("batch_replay")),
+            ("suite", json_str(&suite.name)),
+            ("scenarios", scenarios_used.to_string()),
+            ("batch_k", BATCH_K.to_string()),
+            (
+                "events_replayed",
+                (reference_events + kernel_events + batch_events).to_string(),
+            ),
+            ("reference_events_per_sec", json_num(reference_eps)),
+            ("kernel_events_per_sec", json_num(kernel_eps)),
+            ("events_per_sec", json_num(batch_eps)),
+            ("speedup_vs_reference", json_num(speedup_vs_reference)),
+            ("speedup_vs_kernel", json_num(speedup_vs_kernel)),
+            ("total_sim_seconds", json_num(total_secs)),
+            ("batch_passes", arena.batches().to_string()),
+            ("arena_reuses", arena.reuses().to_string()),
+        ],
+    );
+    println!("recorded {}", path.display());
+
+    // Acceptance bars: batching must at least double replay throughput
+    // over the single-genome reference interpreter, and must never make
+    // the hot path slower than the sequential slab kernel.
+    assert!(
+        speedup_vs_reference >= 2.0,
+        "batch kernel speedup {speedup_vs_reference:.2}x vs the reference fell below the \
+         2.0x floor ({batch_eps:.0} vs {reference_eps:.0} events/sec)"
+    );
+    assert!(
+        speedup_vs_kernel >= 0.75,
+        "batch kernel regressed to {speedup_vs_kernel:.2}x of the single-genome kernel \
+         ({batch_eps:.0} vs {kernel_eps:.0} events/sec)"
+    );
+
+    // Measured unit for the harness: one full batch pass over the first
+    // scenario that hosts a full lane set.
+    let m = mats
+        .iter()
+        .find(|m| lanes_for(m).len() >= 2)
+        .expect("at least one scenario hosts a batch");
+    let configs = lanes_for(m);
+    let sim = Simulator::new(&m.hierarchy);
+    c.bench_function("batch_replay/one_batch_pass", |b| {
+        b.iter(|| {
+            sim.run_batch_in_arena(std::hint::black_box(&configs), &m.compiled, &mut arena)
+                .expect("valid")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(5)).warm_up_time(Duration::from_secs(1));
+    targets = bench_batch_replay
+}
+criterion_main!(benches);

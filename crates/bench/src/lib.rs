@@ -66,11 +66,26 @@ pub fn json_num(v: f64) -> String {
 /// Writes `BENCH_<name>.json` at the workspace root from pre-encoded
 /// `(key, json-value)` pairs, in order. Returns the path written.
 ///
+/// Every record automatically carries the machine context a floor check
+/// needs to interpret it: `cpus` (the runner's available parallelism)
+/// and `dmx_threads` (the effective `DMX_THREADS` worker budget,
+/// [`dmx_core::search::thread_budget`]). Callers may override either by
+/// passing the key themselves.
+///
 /// # Panics
 ///
 /// Panics if the file cannot be written — a bench that cannot record its
 /// result should fail loudly, not silently skip the record.
 pub fn write_bench_json(name: &str, fields: &[(&str, String)]) -> PathBuf {
+    let mut fields: Vec<(&str, String)> = fields.to_vec();
+    if !fields.iter().any(|(k, _)| *k == "cpus") {
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        fields.push(("cpus", cpus.to_string()));
+    }
+    if !fields.iter().any(|(k, _)| *k == "dmx_threads") {
+        let threads = dmx_core::search::thread_budget();
+        fields.push(("dmx_threads", threads.to_string()));
+    }
     let body = fields
         .iter()
         .map(|(k, v)| format!("  \"{k}\": {v}"))

@@ -298,14 +298,18 @@ fn objective_pair(objectives: &[Objective]) -> [Objective; 2] {
 }
 
 /// Renders the simulation-kernel statistics line for `--sim-stats`.
-fn render_sim_stats(stats: &dmx_core::SimStats) -> String {
+/// Cache hits ride along from the search outcome — both explore modes
+/// print them (the robust path used to drop them silently).
+fn render_sim_stats(stats: &dmx_core::SimStats, cache_hits: usize) -> String {
     format!(
-        "sim stats: {} events replayed in {} simulator runs, {:.0} events/sec, \
-         {} arena reuses",
+        "sim stats: {} events replayed in {} simulator runs ({} batch passes), \
+         {:.0} events/sec, {} arena reuses, {} cache hits",
         stats.events,
         stats.runs,
+        stats.batches,
         stats.events_per_sec(),
         stats.arena_reuses,
+        cache_hits,
     )
 }
 
@@ -356,7 +360,10 @@ fn explore(rest: &[&String]) -> Result<(), String> {
         eprint!("{}", render_island_stats(&outcome.islands));
     }
     if has_flag(rest, "--sim-stats") {
-        outln!("{}", render_sim_stats(&outcome.sim_stats));
+        outln!(
+            "{}",
+            render_sim_stats(&outcome.sim_stats, outcome.cache_hits)
+        );
     }
     let exploration = outcome.exploration;
     let records = exploration.to_records();
@@ -430,7 +437,10 @@ fn explore_suite(rest: &[&String], suite_name: &str) -> Result<(), String> {
         eprint!("{}", render_island_stats(&robust.outcome.islands));
     }
     if has_flag(rest, "--sim-stats") {
-        outln!("{}", render_sim_stats(&robust.outcome.sim_stats));
+        outln!(
+            "{}",
+            render_sim_stats(&robust.outcome.sim_stats, robust.outcome.cache_hits)
+        );
     }
 
     if let Some(path) = opt(rest, "--out-records") {

@@ -75,7 +75,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use dmx_alloc::{SimArena, Simulator};
+use dmx_alloc::{SharedSimArena, Simulator};
 use dmx_memhier::MemoryHierarchy;
 use dmx_trace::{CompiledTrace, Trace};
 
@@ -179,11 +179,18 @@ impl<'a> EvalInstance<'a> {
 pub struct SimStats {
     /// Trace events replayed across all simulator runs.
     pub events: u64,
-    /// Simulator runs (one per genome × instance actually simulated).
+    /// Simulator runs (one per genome × instance actually simulated;
+    /// every batch lane counts as one run).
     pub runs: u64,
-    /// Runs that reused a worker's existing [`SimArena`] slab instead of
+    /// Runs that reused an existing [`dmx_alloc::SimArena`] slab instead of
     /// allocating a fresh one.
     pub arena_reuses: u64,
+    /// Batch-kernel invocations (one pass over a trace's event arrays
+    /// serving a whole group of genomes).
+    pub batches: u64,
+    /// Genome runs executed inside those batch invocations;
+    /// `batch_runs / batches` is the mean amortization width.
+    pub batch_runs: u64,
     /// Wall-clock nanoseconds spent inside simulation batches.
     pub nanos: u64,
 }
@@ -331,12 +338,19 @@ pub struct Evaluator<'a> {
     /// Folded results per genome; only populated in robust mode (classic
     /// single-workload search serves straight from the cache).
     robust: Mutex<HashMap<Genome, Arc<RunResult>>>,
-    /// Kernel statistics, accumulated from every worker's [`SimArena`].
-    sim_events: AtomicU64,
-    sim_runs: AtomicU64,
-    arena_reuses: AtomicU64,
+    /// One shared pool of simulation arenas for all evaluation workers:
+    /// workers check arena blocks out through its lock-free freelist, so
+    /// slabs stay warm across batches (and across worker scopes) and the
+    /// kernel counters aggregate in one place.
+    shared_arena: SharedSimArena,
     sim_nanos: AtomicU64,
 }
+
+/// How many genomes one batch-kernel job replays per trace pass. Wide
+/// enough to amortize event decode across the batch, small enough that a
+/// typical GA generation still splits into several jobs for the workers
+/// to steal.
+const BATCH_K: usize = 8;
 
 impl<'a> Evaluator<'a> {
     /// A fresh evaluator (empty cache) over the context's space and
@@ -361,26 +375,28 @@ impl<'a> Evaluator<'a> {
             ctx.instances.len(),
             "instance ids must be distinct (they namespace the cache)"
         );
+        let threads = ctx.threads.max(1);
         Evaluator {
             space: ctx.space,
             instances: ctx.instances,
             aggregate: ctx.aggregate,
-            threads: ctx.threads.max(1),
+            threads,
             cache: EvalCache::new(),
             robust: Mutex::new(HashMap::new()),
-            sim_events: AtomicU64::new(0),
-            sim_runs: AtomicU64::new(0),
-            arena_reuses: AtomicU64::new(0),
+            shared_arena: SharedSimArena::with_blocks(threads),
             sim_nanos: AtomicU64::new(0),
         }
     }
 
     /// Aggregate simulation-kernel statistics so far.
     pub fn sim_stats(&self) -> SimStats {
+        let arena = self.shared_arena.stats();
         SimStats {
-            events: self.sim_events.load(Ordering::Relaxed),
-            runs: self.sim_runs.load(Ordering::Relaxed),
-            arena_reuses: self.arena_reuses.load(Ordering::Relaxed),
+            events: arena.events_replayed(),
+            runs: arena.runs(),
+            arena_reuses: arena.reuses(),
+            batches: arena.batches(),
+            batch_runs: arena.batch_runs(),
             nanos: self.sim_nanos.load(Ordering::Relaxed),
         }
     }
@@ -424,10 +440,18 @@ impl<'a> Evaluator<'a> {
             }
         }
 
-        // Simulate genome × instance jobs with the shared worker pattern.
-        let jobs: Vec<(usize, Genome)> = fresh
-            .iter()
-            .flat_map(|g| (0..self.instances.len()).map(move |k| (k, *g)))
+        // One job = one instance × one chunk of up to [`BATCH_K`] fresh
+        // genomes, replayed through the batch kernel in a single pass
+        // over the instance's event arrays. Per-genome results are
+        // independent, so chunking cannot change any result — only how
+        // decode work is amortized.
+        let fresh_len = fresh.len();
+        let jobs: Vec<(usize, std::ops::Range<usize>)> = (0..self.instances.len())
+            .flat_map(|k| {
+                (0..fresh_len)
+                    .step_by(BATCH_K)
+                    .map(move |lo| (k, lo..(lo + BATCH_K).min(fresh_len)))
+            })
             .collect();
         if !jobs.is_empty() {
             let sims: Vec<Simulator> = self
@@ -448,41 +472,47 @@ impl<'a> Evaluator<'a> {
                     let queue = &queue;
                     let jobs = &jobs;
                     let sims = &sims;
+                    let fresh = &fresh;
                     scope.spawn(move || {
-                        // One arena per worker, reused across every genome
-                        // the worker simulates: the live-block slab is
-                        // reset in place, not reallocated. The compiled
-                        // traces are shared behind `Arc`s — no worker ever
-                        // clones an event stream.
-                        let mut arena = SimArena::new();
+                        // Each worker leases an arena block from the
+                        // shared pool: the live-block slab is reset in
+                        // place across jobs and stays warm across worker
+                        // scopes; the lock-free checkout is the only
+                        // cross-thread synchronization. The compiled
+                        // traces are shared behind `Arc`s — no worker
+                        // ever clones an event stream.
+                        let mut lease = self.shared_arena.checkout();
                         while let Some(j) = queue.pop(w) {
-                            let (k, genome) = jobs[j];
-                            let inst = &self.instances[k];
-                            let config = self.space.config_at(inst.hierarchy, &genome);
-                            let metrics = sims[k]
-                                .run_in_arena(&config, &inst.trace, &mut arena)
+                            let (k, range) = &jobs[j];
+                            let inst = &self.instances[*k];
+                            let genomes = &fresh[range.clone()];
+                            let configs: Vec<_> = genomes
+                                .iter()
+                                .map(|g| self.space.config_at(inst.hierarchy, g))
+                                .collect();
+                            let batch = sims[*k]
+                                .run_batch_in_arena(&configs, &inst.trace, &mut lease)
                                 .expect("space genomes materialize to valid configurations");
-                            let label = config.label();
-                            debug_assert_eq!(
-                                label,
-                                self.space.config_at(inst.hierarchy, &genome).label(),
-                                "cache key must match the configuration it stores"
-                            );
-                            self.cache.insert(
-                                inst.id,
-                                genome,
-                                Arc::new(RunResult {
-                                    config,
+                            for ((genome, config), metrics) in
+                                genomes.iter().zip(configs).zip(batch)
+                            {
+                                let label = config.label();
+                                debug_assert_eq!(
                                     label,
-                                    metrics,
-                                }),
-                            );
+                                    self.space.config_at(inst.hierarchy, genome).label(),
+                                    "cache key must match the configuration it stores"
+                                );
+                                self.cache.insert(
+                                    inst.id,
+                                    *genome,
+                                    Arc::new(RunResult {
+                                        config,
+                                        label,
+                                        metrics,
+                                    }),
+                                );
+                            }
                         }
-                        self.sim_events
-                            .fetch_add(arena.events_replayed(), Ordering::Relaxed);
-                        self.sim_runs.fetch_add(arena.runs(), Ordering::Relaxed);
-                        self.arena_reuses
-                            .fetch_add(arena.reuses(), Ordering::Relaxed);
                     });
                 }
             });

@@ -1,0 +1,86 @@
+//! Property tests for the batched evaluator over the shared lock-free
+//! arena.
+//!
+//! The evaluator replays fresh genomes through the batch kernel in
+//! [`BATCH_K`]-wide jobs stolen by worker threads from one
+//! `SharedSimArena`. Two invariants pin that design down:
+//!
+//! 1. **Thread invariance** — a genetic search produces byte-identical
+//!    results (genomes, fronts, labels, cache accounting) and identical
+//!    *logical* kernel counters (events, runs, batch passes) at 1 and 8
+//!    evaluation workers. Jobs are chunked before workers are spawned,
+//!    so scheduling can only change who runs a batch, never what it
+//!    computes.
+//! 2. **Batching engages** — fresh genomes actually flow through the
+//!    batch kernel (every simulator run is part of a batch pass, and
+//!    passes are wider than one lane on average once a generation has
+//!    enough distinct genomes).
+
+use proptest::prelude::*;
+
+use dmx_core::search::GeneticSearch;
+use dmx_core::study::{easyport_space, easyport_trace, StudyScale};
+use dmx_core::{Explorer, Objective, SearchOutcome};
+
+fn run_with_threads(seed: u64, threads: usize) -> SearchOutcome {
+    let hierarchy = dmx_memhier::presets::sp64k_dram4m();
+    let space = easyport_space(&hierarchy, StudyScale::Quick);
+    let trace = easyport_trace(StudyScale::Quick, 42);
+    let strategy = GeneticSearch {
+        population: 16,
+        generations: 4,
+        seed,
+        ..GeneticSearch::default()
+    };
+    Explorer::new(&hierarchy).with_threads(threads).search(
+        &strategy,
+        &space,
+        &trace,
+        &Objective::FIG1,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// Same seed ⇒ identical search output and identical logical kernel
+    /// counters at 1 and 8 workers. Only the physical counters (arena
+    /// reuse pattern, wall clock) may depend on the worker count.
+    #[test]
+    fn batched_evaluation_is_thread_invariant(seed in 0u64..1000) {
+        let a = run_with_threads(seed, 1);
+        let b = run_with_threads(seed, 8);
+        prop_assert_eq!(&a.genomes, &b.genomes);
+        prop_assert_eq!(&a.front.points, &b.front.points);
+        prop_assert_eq!(a.evaluations, b.evaluations);
+        prop_assert_eq!(a.simulations, b.simulations);
+        prop_assert_eq!(a.cache_hits, b.cache_hits);
+        let la: Vec<&str> = a.exploration.results.iter().map(|r| r.label.as_str()).collect();
+        let lb: Vec<&str> = b.exploration.results.iter().map(|r| r.label.as_str()).collect();
+        prop_assert_eq!(la, lb);
+        // Logical kernel counters: what was replayed, not who replayed it.
+        prop_assert_eq!(a.sim_stats.events, b.sim_stats.events);
+        prop_assert_eq!(a.sim_stats.runs, b.sim_stats.runs);
+        prop_assert_eq!(a.sim_stats.batches, b.sim_stats.batches);
+        prop_assert_eq!(a.sim_stats.batch_runs, b.sim_stats.batch_runs);
+    }
+
+    /// Every simulation goes through the batch kernel, the run count
+    /// matches the exploration's simulation count, and batch passes
+    /// amortize more than one lane on average.
+    #[test]
+    fn fresh_genomes_flow_through_the_batch_kernel(seed in 0u64..1000) {
+        let outcome = run_with_threads(seed, 4);
+        let stats = &outcome.sim_stats;
+        prop_assert_eq!(stats.runs, outcome.simulations as u64);
+        prop_assert_eq!(stats.batch_runs, stats.runs, "all runs are batched");
+        prop_assert!(stats.batches > 0);
+        prop_assert!(
+            stats.batch_runs > stats.batches,
+            "mean batch width must exceed one lane ({} runs in {} passes)",
+            stats.batch_runs,
+            stats.batches
+        );
+        prop_assert!(stats.events > 0);
+    }
+}

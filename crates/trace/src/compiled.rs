@@ -4,23 +4,39 @@
 //! are arbitrary `u64`s (real applications reuse pointer values), so a
 //! replayer must keep an id → block map — a hash lookup on every event.
 //! A [`CompiledTrace`] is the same stream lowered into the form the
-//! simulation kernel actually wants:
+//! simulation kernel actually wants, as **structure-of-arrays** event
+//! streams:
 //!
 //! * every block id is renamed to a **dense slot index** assigned by a
 //!   free-slot stack, so the peak slot count equals the trace's maximum
 //!   number of concurrently live blocks ([`Self::max_live_slots`]) and a
 //!   replayer can use a flat slab instead of a hash map;
-//! * events are fixed-width [`CompiledEvent`]s with the allocation size
-//!   baked in — no side lookups during replay;
+//! * events are stored as parallel dense arrays — opcodes, slots and
+//!   arguments — instead of an array of enum structs, so a replay pass
+//!   streams each component sequentially ([`Self::iter_events`] zips
+//!   them back into [`CompiledEvent`]s for the single-genome kernel);
+//! * a second, shorter stream carries **only the allocator-visible
+//!   operations** ([`Self::pool_ops`]: allocs and frees) with the work
+//!   that does not depend on allocator state hoisted out of replay
+//!   entirely: per-allocation sizes ([`Self::alloc_sizes`]), lifetime
+//!   application-access totals ([`Self::alloc_reads`] /
+//!   [`Self::alloc_writes`] — applied once at placement time, since
+//!   access charging is a pure per-level sum) and the trace's total
+//!   compute ticks ([`Self::total_tick_cycles`]). This is what the
+//!   batch kernel replays: K genomes advance through one sequential
+//!   pass over these arrays;
 //! * per-allocation **lifetimes** (events between alloc and free) are
 //!   precomputed for placement heuristics and diagnostics;
 //! * the compile is one O(events) pass, done **once per workload** and
 //!   shared between workers behind an `Arc` — workers never clone the
-//!   event vector.
+//!   event streams.
 //!
 //! Compiling is lossless for replay purposes: replaying a compiled trace
 //! visits the same operations, in the same order, with the same sizes and
-//! access counts as replaying the original trace.
+//! access counts as replaying the original trace — and replaying only the
+//! pool-op stream produces byte-identical metrics, because access and
+//! tick charges are additive (order never affects the totals the cost
+//! model consumes).
 
 use std::collections::HashMap;
 use std::fmt;
@@ -61,7 +77,54 @@ pub enum CompiledEvent {
     },
 }
 
-/// A flat, replay-ready lowering of one workload trace.
+/// Opcode stream entry of the full SoA lowering (one per source event).
+#[repr(u8)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpCode {
+    /// Allocate into the event's slot; the argument is the size.
+    Alloc = 0,
+    /// Free the event's slot.
+    Free = 1,
+    /// Application accesses; arguments are reads and writes.
+    Access = 2,
+    /// Pure computation; the argument is the cycle count.
+    Tick = 3,
+}
+
+/// One entry of the allocator-op stream: a slot index with the free bit
+/// in the top bit. Allocs appear in allocation order, so the n-th alloc
+/// op indexes [`CompiledTrace::alloc_sizes`] (and the hoisted access
+/// totals) with a running counter — no per-op side lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolOp(u32);
+
+impl PoolOp {
+    const FREE_BIT: u32 = 1 << 31;
+
+    /// An allocation into `slot`.
+    fn alloc(slot: u32) -> Self {
+        PoolOp(slot)
+    }
+
+    /// A free of `slot`.
+    fn free(slot: u32) -> Self {
+        PoolOp(slot | Self::FREE_BIT)
+    }
+
+    /// `true` for a free, `false` for an alloc.
+    #[inline]
+    pub fn is_free(self) -> bool {
+        self.0 & Self::FREE_BIT != 0
+    }
+
+    /// The slot the op targets.
+    #[inline]
+    pub fn slot(self) -> u32 {
+        self.0 & !Self::FREE_BIT
+    }
+}
+
+/// A flat, replay-ready SoA lowering of one workload trace.
 ///
 /// Built once per workload with [`CompiledTrace::compile`] (or emitted
 /// directly by a generator via
@@ -70,7 +133,25 @@ pub enum CompiledEvent {
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledTrace {
     name: String,
-    events: Vec<CompiledEvent>,
+    /// Full event stream, SoA: opcode per event…
+    kinds: Vec<OpCode>,
+    /// …slot per event (0 for ticks)…
+    slots: Vec<u32>,
+    /// …first argument (alloc size / access reads / tick cycles)…
+    args: Vec<u32>,
+    /// …second argument (access writes; 0 otherwise).
+    args2: Vec<u32>,
+    /// Allocator-op stream: allocs and frees only, in event order.
+    pool_ops: Vec<PoolOp>,
+    /// Requested size of each allocation, in allocation order.
+    alloc_sizes: Vec<u32>,
+    /// Lifetime application reads of each allocation, in allocation
+    /// order (hoisted out of the event stream for the batch kernel).
+    alloc_reads: Vec<u64>,
+    /// Lifetime application writes, in allocation order.
+    alloc_writes: Vec<u64>,
+    /// Sum of all `Tick` cycles (allocator-independent, charged once).
+    total_tick_cycles: u64,
     max_live_slots: u32,
     /// Lifetime (in events, alloc → free) of each allocation, in
     /// allocation order; blocks live at trace end run to the last event.
@@ -82,10 +163,20 @@ pub struct CompiledTrace {
 
 impl CompiledTrace {
     /// Lowers `trace` into the compiled form: one O(events) pass that
-    /// renames ids to dense recycled slots and precomputes sizes,
-    /// lifetimes and the peak live-slot count.
+    /// renames ids to dense recycled slots, splits the stream into SoA
+    /// arrays, and precomputes sizes, lifetimes, per-allocation access
+    /// totals, total tick cycles and the peak live-slot count.
     pub fn compile(trace: &Trace) -> CompiledTrace {
-        let mut events = Vec::with_capacity(trace.len());
+        let len = trace.len();
+        let mut kinds = Vec::with_capacity(len);
+        let mut slots = Vec::with_capacity(len);
+        let mut args = Vec::with_capacity(len);
+        let mut args2 = Vec::with_capacity(len);
+        let mut pool_ops = Vec::new();
+        let mut alloc_sizes = Vec::new();
+        let mut alloc_reads: Vec<u64> = Vec::new();
+        let mut alloc_writes: Vec<u64> = Vec::new();
+        let mut total_tick_cycles = 0u64;
         // id → (slot, alloc event index, alloc ordinal) for live blocks.
         let mut live: HashMap<u64, (u32, usize, usize)> = HashMap::new();
         let mut free_slots: Vec<u32> = Vec::new();
@@ -100,12 +191,20 @@ impl CompiledTrace {
                     let slot = free_slots.pop().unwrap_or_else(|| {
                         let s = next_slot;
                         next_slot += 1;
+                        assert!(s < PoolOp::FREE_BIT, "slot index overflows the op encoding");
                         s
                     });
                     live.insert(id.0, (slot, at, lifetimes.len()));
                     lifetimes.push(0);
+                    alloc_sizes.push(size);
+                    alloc_reads.push(0);
+                    alloc_writes.push(0);
                     allocs += 1;
-                    events.push(CompiledEvent::Alloc { slot, size });
+                    kinds.push(OpCode::Alloc);
+                    slots.push(slot);
+                    args.push(size);
+                    args2.push(0);
+                    pool_ops.push(PoolOp::alloc(slot));
                 }
                 TraceEvent::Free { id } => {
                     let (slot, born, ordinal) =
@@ -113,18 +212,27 @@ impl CompiledTrace {
                     lifetimes[ordinal] = (at - born) as u32;
                     free_slots.push(slot);
                     frees += 1;
-                    events.push(CompiledEvent::Free { slot });
+                    kinds.push(OpCode::Free);
+                    slots.push(slot);
+                    args.push(0);
+                    args2.push(0);
+                    pool_ops.push(PoolOp::free(slot));
                 }
                 TraceEvent::Access { id, reads, writes } => {
-                    let (slot, _, _) = live[&id.0];
-                    events.push(CompiledEvent::Access {
-                        slot,
-                        reads,
-                        writes,
-                    });
+                    let (slot, _, ordinal) = live[&id.0];
+                    alloc_reads[ordinal] += u64::from(reads);
+                    alloc_writes[ordinal] += u64::from(writes);
+                    kinds.push(OpCode::Access);
+                    slots.push(slot);
+                    args.push(reads);
+                    args2.push(writes);
                 }
                 TraceEvent::Tick { cycles } => {
-                    events.push(CompiledEvent::Tick { cycles });
+                    total_tick_cycles += u64::from(cycles);
+                    kinds.push(OpCode::Tick);
+                    slots.push(0);
+                    args.push(cycles);
+                    args2.push(0);
                 }
             }
         }
@@ -136,7 +244,15 @@ impl CompiledTrace {
 
         CompiledTrace {
             name: trace.name().to_owned(),
-            events,
+            kinds,
+            slots,
+            args,
+            args2,
+            pool_ops,
+            alloc_sizes,
+            alloc_reads,
+            alloc_writes,
+            total_tick_cycles,
             max_live_slots: next_slot,
             lifetimes,
             allocs,
@@ -156,19 +272,91 @@ impl CompiledTrace {
         &self.name
     }
 
-    /// The lowered events in replay order.
-    pub fn events(&self) -> &[CompiledEvent] {
-        &self.events
+    /// The lowered events in replay order, zipped back out of the SoA
+    /// streams (the view the single-genome kernel and the tests consume).
+    pub fn iter_events(&self) -> impl Iterator<Item = CompiledEvent> + '_ {
+        self.kinds
+            .iter()
+            .zip(&self.slots)
+            .zip(&self.args)
+            .zip(&self.args2)
+            .map(|(((&kind, &slot), &arg), &arg2)| match kind {
+                OpCode::Alloc => CompiledEvent::Alloc { slot, size: arg },
+                OpCode::Free => CompiledEvent::Free { slot },
+                OpCode::Access => CompiledEvent::Access {
+                    slot,
+                    reads: arg,
+                    writes: arg2,
+                },
+                OpCode::Tick => CompiledEvent::Tick { cycles: arg },
+            })
+    }
+
+    /// The event at stream position `i` (see [`Self::iter_events`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn event_at(&self, i: usize) -> CompiledEvent {
+        match self.kinds[i] {
+            OpCode::Alloc => CompiledEvent::Alloc {
+                slot: self.slots[i],
+                size: self.args[i],
+            },
+            OpCode::Free => CompiledEvent::Free {
+                slot: self.slots[i],
+            },
+            OpCode::Access => CompiledEvent::Access {
+                slot: self.slots[i],
+                reads: self.args[i],
+                writes: self.args2[i],
+            },
+            OpCode::Tick => CompiledEvent::Tick {
+                cycles: self.args[i],
+            },
+        }
+    }
+
+    /// The allocator-op stream (allocs and frees only, in event order) —
+    /// what the batch kernel replays. Access and tick work is hoisted
+    /// into [`Self::alloc_reads`] / [`Self::alloc_writes`] /
+    /// [`Self::total_tick_cycles`].
+    pub fn pool_ops(&self) -> &[PoolOp] {
+        &self.pool_ops
+    }
+
+    /// Requested size of the n-th allocation (allocation order, aligned
+    /// with the alloc entries of [`Self::pool_ops`]).
+    pub fn alloc_sizes(&self) -> &[u32] {
+        &self.alloc_sizes
+    }
+
+    /// Lifetime application reads of the n-th allocation. Charging these
+    /// once at placement time is metric-identical to charging each
+    /// `Access` event: access counts are pure per-level sums.
+    pub fn alloc_reads(&self) -> &[u64] {
+        &self.alloc_reads
+    }
+
+    /// Lifetime application writes of the n-th allocation.
+    pub fn alloc_writes(&self) -> &[u64] {
+        &self.alloc_writes
+    }
+
+    /// Total `Tick` cycles in the trace — allocator-independent, so the
+    /// batch kernel charges them once per run instead of per event.
+    pub fn total_tick_cycles(&self) -> u64 {
+        self.total_tick_cycles
     }
 
     /// Number of events.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.kinds.len()
     }
 
     /// `true` if the trace holds no events.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.kinds.is_empty()
     }
 
     /// The maximum number of concurrently live blocks — the exact slab
@@ -204,9 +392,10 @@ impl fmt::Display for CompiledTrace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "compiled trace `{}`: {} events, {} slots",
+            "compiled trace `{}`: {} events ({} pool ops), {} slots",
             self.name,
-            self.events.len(),
+            self.kinds.len(),
+            self.pool_ops.len(),
             self.max_live_slots
         )
     }
@@ -239,7 +428,7 @@ mod tests {
         let c = CompiledTrace::compile(&t);
         assert_eq!(c.max_live_slots(), 2, "peak concurrency is 2");
         assert_eq!(
-            c.events(),
+            c.iter_events().collect::<Vec<_>>(),
             [
                 CompiledEvent::Alloc { slot: 0, size: 8 },
                 CompiledEvent::Alloc { slot: 1, size: 8 },
@@ -265,6 +454,7 @@ mod tests {
         assert_eq!(c.lifetimes(), [2, 1], "freed at +2; leaked runs to end");
         assert_eq!(c.allocs(), 2);
         assert_eq!(c.frees(), 1);
+        assert_eq!(c.total_tick_cycles(), 5);
     }
 
     #[test]
@@ -286,16 +476,58 @@ mod tests {
         let c = CompiledTrace::compile(&t);
         assert_eq!(c.len(), t.len());
         assert_eq!(
-            c.events()[1],
+            c.event_at(1),
             CompiledEvent::Access {
                 slot: 0,
                 reads: 3,
                 writes: 2
             }
         );
-        assert_eq!(c.events()[2], CompiledEvent::Tick { cycles: 11 });
+        assert_eq!(c.event_at(2), CompiledEvent::Tick { cycles: 11 });
         assert_eq!(c.peak_live_bytes(), t.peak_live_bytes());
         assert_eq!(c.name(), "t");
+    }
+
+    #[test]
+    fn pool_op_stream_hoists_accesses_and_ticks() {
+        let t = Trace::from_events(
+            "t",
+            vec![
+                alloc(1, 64),
+                TraceEvent::Access {
+                    id: BlockId(1),
+                    reads: 3,
+                    writes: 2,
+                },
+                alloc(2, 128),
+                TraceEvent::Tick { cycles: 9 },
+                TraceEvent::Access {
+                    id: BlockId(1),
+                    reads: 4,
+                    writes: 0,
+                },
+                free(1),
+                TraceEvent::Access {
+                    id: BlockId(2),
+                    reads: 1,
+                    writes: 1,
+                },
+                TraceEvent::Tick { cycles: 2 },
+            ],
+        )
+        .unwrap();
+        let c = CompiledTrace::compile(&t);
+        // The op stream carries only the three allocator-visible events.
+        let ops = c.pool_ops();
+        assert_eq!(ops.len(), 3);
+        assert!(!ops[0].is_free() && ops[0].slot() == 0);
+        assert!(!ops[1].is_free() && ops[1].slot() == 1);
+        assert!(ops[2].is_free() && ops[2].slot() == 0);
+        // Sizes in allocation order; access totals folded per allocation.
+        assert_eq!(c.alloc_sizes(), [64, 128]);
+        assert_eq!(c.alloc_reads(), [7, 1], "3+4 reads on #1, 1 on leaked #2");
+        assert_eq!(c.alloc_writes(), [2, 1]);
+        assert_eq!(c.total_tick_cycles(), 11);
     }
 
     #[test]
@@ -308,11 +540,35 @@ mod tests {
         assert_eq!(c.allocs(), stats.allocs);
         assert_eq!(c.frees(), stats.frees);
         assert_eq!(c.lifetimes().len() as u64, c.allocs());
+        assert_eq!(c.alloc_sizes().len() as u64, c.allocs());
+        assert_eq!(c.pool_ops().len() as u64, c.allocs() + c.frees());
+        // The hoisted totals must cover exactly the stream's accesses
+        // and ticks.
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        let mut ticks = 0u64;
+        for e in c.iter_events() {
+            match e {
+                CompiledEvent::Access {
+                    reads: r,
+                    writes: w,
+                    ..
+                } => {
+                    reads += u64::from(r);
+                    writes += u64::from(w);
+                }
+                CompiledEvent::Tick { cycles } => ticks += u64::from(cycles),
+                _ => {}
+            }
+        }
+        assert_eq!(c.alloc_reads().iter().sum::<u64>(), reads);
+        assert_eq!(c.alloc_writes().iter().sum::<u64>(), writes);
+        assert_eq!(c.total_tick_cycles(), ticks);
         // Replaying the compiled events with a slab must mirror the live
         // set of the original trace: no slot is double-occupied.
         let mut occupied = vec![false; c.max_live_slots() as usize];
-        for e in c.events() {
-            match *e {
+        for e in c.iter_events() {
+            match e {
                 CompiledEvent::Alloc { slot, .. } => {
                     assert!(!occupied[slot as usize], "slot reused while live");
                     occupied[slot as usize] = true;
@@ -327,6 +583,17 @@ mod tests {
                 CompiledEvent::Tick { .. } => {}
             }
         }
+        // The pool-op stream is the same sequence with accesses/ticks
+        // dropped.
+        let pool_view: Vec<PoolOp> = c
+            .iter_events()
+            .filter_map(|e| match e {
+                CompiledEvent::Alloc { slot, .. } => Some(PoolOp::alloc(slot)),
+                CompiledEvent::Free { slot } => Some(PoolOp::free(slot)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(c.pool_ops(), pool_view);
     }
 
     #[test]

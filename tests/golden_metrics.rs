@@ -412,8 +412,9 @@ fn fixture_config(name: &str, hier: &MemoryHierarchy) -> AllocatorConfig {
 }
 
 /// Every golden case, via every replay path: the compiled slab kernel
-/// (fresh arena and reused arena) and the retained hash-map reference
-/// interpreter all reproduce the pre-refactor numbers exactly.
+/// (fresh arena and reused arena), the K-lane batch kernel, and the
+/// retained hash-map reference interpreter all reproduce the
+/// pre-refactor numbers exactly.
 #[test]
 fn all_pool_kinds_reproduce_pre_refactor_metrics_on_every_path() {
     let hier = dmx_memhier::presets::sp64k_dram4m();
@@ -436,11 +437,26 @@ fn all_pool_kinds_reproduce_pre_refactor_metrics_on_every_path() {
 
         let convenience = sim.run(&config, &trace).unwrap();
         golden.assert_matches(&convenience, "run (compile-and-replay)");
+
+        // Batch kernel, with the golden config twice in the lane: both
+        // lanes must reproduce the golden numbers independently.
+        let lanes = [config.clone(), config];
+        let batch = sim
+            .run_batch_in_arena(&lanes, &compiled, &mut arena)
+            .unwrap();
+        for metrics in &batch {
+            golden.assert_matches(metrics, "run_batch_in_arena (batch kernel)");
+        }
     }
     assert_eq!(
         arena.runs(),
+        3 * GOLDENS.len() as u64,
+        "every golden case replayed through the shared arena (one single run, one 2-lane batch)"
+    );
+    assert_eq!(
+        arena.batches(),
         GOLDENS.len() as u64,
-        "every golden case replayed through the shared arena"
+        "every golden case ran one batch pass"
     );
     assert!(
         arena.reuses() > 0,
