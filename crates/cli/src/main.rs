@@ -7,12 +7,14 @@
 //! dmx profile   --trace FILE
 //! dmx explore   --trace FILE --out-records FILE [--csv FILE] [--gnuplot FILE]
 //!               [--json FILE] [--objectives footprint,accesses]
+//!               [--space odometer|grammar]
 //!               [--strategy exhaustive|sample|genetic|hillclimb|island]
 //!               [--generations N] [--population N] [--restarts N]
 //!               [--islands N] [--migration ring|full|star] [--migrate-every K]
 //!               [--sample-n N] [--seed N]
 //! dmx explore   --suite NAME [--aggregate worst|mean|weighted] [--json FILE]
-//!               [--out-records FILE] [--objectives ...] [--strategy ...]
+//!               [--out-records FILE] [--objectives ...] [--space ...]
+//!               [--strategy ...]
 //! dmx scenarios list [SUITE]
 //! dmx pareto    --records FILE [--objectives footprint,accesses]
 //! dmx report    --records FILE
@@ -24,7 +26,10 @@
 //! the simulations on large spaces, and `--strategy island` runs the
 //! island-model parallel search (N independent islands exchanging elites
 //! over `--migration ring|full|star` every `--migrate-every`
-//! generations, merged deterministically). `--suite` switches to *robust*
+//! generations, merged deterministically). `--space grammar` searches
+//! the grammar-derivation space (codon vectors deriving allocator pool
+//! trees from a small BNF-style grammar — see `dmx_core::space`) instead
+//! of the default odometer index space. `--suite` switches to *robust*
 //! exploration: every configuration is evaluated across a whole scenario
 //! suite (see `dmx_core::scenario`) and the chosen strategy optimizes
 //! worst-case / mean / weighted aggregated objectives. All modes are
@@ -34,11 +39,13 @@ use std::fs;
 use std::io::Write as _;
 use std::process::ExitCode;
 
+use std::sync::Arc;
+
 use dmx_core::export::{gnuplot_script, pareto_to_json, robust_to_json, to_csv};
 use dmx_core::{
-    Aggregate, ExhaustiveSearch, Explorer, GeneticSearch, HillClimbSearch, IslandSearch, Migration,
-    MultiScenarioEvaluator, Objective, ParamSpace, ScenarioSuite, SearchStrategy, StudySummary,
-    SubsampleSearch,
+    Aggregate, ExhaustiveSearch, Explorer, GeneticSearch, GenomeSpace, GrammarSpace,
+    HillClimbSearch, IslandSearch, Migration, MultiScenarioEvaluator, Objective, ParamSpace,
+    ScenarioSuite, SearchStrategy, StudySummary, SubsampleSearch,
 };
 use dmx_memhier::presets;
 use dmx_profile::{parse_records, records_to_string, ProfileRecord};
@@ -76,13 +83,14 @@ const USAGE: &str = "usage:
   dmx profile   --trace FILE
   dmx explore   --trace FILE --out-records FILE [--csv FILE] [--gnuplot FILE]
                 [--json FILE] [--objectives footprint,accesses]
+                [--space odometer|grammar]
                 [--strategy exhaustive|sample|genetic|hillclimb|island]
                 [--generations N] [--population N] [--restarts N]
                 [--islands N] [--migration ring|full|star] [--migrate-every K]
                 [--migrants M] [--sample-n N] [--seed N] [--sim-stats]
   dmx explore   --suite NAME [--aggregate worst|mean|weighted] [--json FILE]
-                [--out-records FILE] [--objectives ...] [--strategy ...] [--seed N]
-                [--sim-stats]
+                [--out-records FILE] [--objectives ...] [--space ...]
+                [--strategy ...] [--seed N] [--sim-stats]
   dmx scenarios list [SUITE]
   dmx pareto    --records FILE [--objectives footprint,accesses,energy,cycles]
   dmx report    --records FILE
@@ -313,6 +321,20 @@ fn render_sim_stats(stats: &dmx_core::SimStats, cache_hits: usize) -> String {
     )
 }
 
+/// Resolves `--space odometer|grammar` against the derived odometer
+/// space: `odometer` searches the paper's 8-axis index space itself,
+/// `grammar` the grammar-derivation space covering it (codon vectors
+/// deriving allocator pool trees; see `dmx_core::space`).
+fn build_space(rest: &[&String], odometer: ParamSpace) -> Result<Arc<dyn GenomeSpace>, String> {
+    match opt(rest, "--space").unwrap_or("odometer") {
+        "odometer" => Ok(Arc::new(odometer)),
+        "grammar" => Ok(Arc::new(GrammarSpace::covering(&odometer))),
+        other => Err(format!(
+            "unknown space `{other}` (expected odometer or grammar)"
+        )),
+    }
+}
+
 /// Looks a built-in suite up by name, listing the registry on failure.
 fn lookup_suite(name: &str) -> Result<ScenarioSuite, String> {
     ScenarioSuite::builtin(name).ok_or_else(|| {
@@ -331,7 +353,7 @@ fn explore(rest: &[&String]) -> Result<(), String> {
     let out_records = opt(rest, "--out-records").ok_or("missing --out-records FILE")?;
     let hier = presets::sp64k_dram4m();
     let stats = TraceStats::compute(&trace);
-    let space = ParamSpace::suggest(&stats, &hier);
+    let space = build_space(rest, ParamSpace::suggest(&stats, &hier))?;
     let objectives = objectives_opt(rest)?;
 
     let seed: u64 = opt(rest, "--seed")
@@ -341,13 +363,14 @@ fn explore(rest: &[&String]) -> Result<(), String> {
     let strategy = build_strategy(rest, seed, space.len())?;
 
     eprintln!(
-        "exploring {} configurations over trace `{}` ({} events) with strategy `{}`...",
+        "exploring {} configurations of the `{}` space over trace `{}` ({} events) with strategy `{}`...",
         space.len(),
+        space.name(),
         trace.name(),
         trace.len(),
         strategy.name(),
     );
-    let outcome = Explorer::new(&hier).search(strategy.as_ref(), &space, &trace, &objectives);
+    let outcome = Explorer::new(&hier).search(strategy.as_ref(), &*space, &trace, &objectives);
     eprintln!(
         "strategy `{}`: {} simulations for a space of {} ({} cache hits), {} Pareto points",
         outcome.strategy,
@@ -412,19 +435,20 @@ fn explore_suite(rest: &[&String], suite_name: &str) -> Result<(), String> {
     // The shared space sizes strategy defaults; the evaluator memoizes
     // the materialization, so this costs one trace-generation pass total,
     // and handing the space back avoids deriving it a second time in run.
-    let space = evaluator.space();
+    let space = build_space(rest, evaluator.odometer_space())?;
     let space_len = space.len();
     let strategy = build_strategy(rest, seed, space_len)?;
 
     eprintln!(
-        "robust exploration: suite `{}` ({} scenarios), {} configurations, strategy `{}`, aggregate `{}`...",
+        "robust exploration: suite `{}` ({} scenarios), {} configurations of the `{}` space, strategy `{}`, aggregate `{}`...",
         suite.name,
         suite.scenarios.len(),
         space_len,
+        space.name(),
         strategy.name(),
         aggregate,
     );
-    let robust = evaluator.with_space(space).run(strategy.as_ref());
+    let robust = evaluator.with_space_arc(space).run(strategy.as_ref());
     eprintln!(
         "strategy `{}`: {} configurations evaluated ({} simulations, {} cache hits), robust front {}",
         robust.outcome.strategy,

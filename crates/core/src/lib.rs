@@ -65,6 +65,7 @@ mod runner;
 mod sample;
 pub mod scenario;
 pub mod search;
+pub mod space;
 pub mod study;
 
 pub use compare::{Comparison, ComparisonRow};
@@ -83,3 +84,4 @@ pub use search::{
     thread_budget, EvalCache, ExhaustiveSearch, GeneticSearch, HillClimbSearch, IslandKind,
     IslandSearch, IslandStats, Migration, SearchOutcome, SearchStrategy, SimStats, SubsampleSearch,
 };
+pub use space::{GenomeSpace, GrammarSpace};

@@ -8,14 +8,19 @@ use dmx_trace::TraceStats;
 
 use crate::enumerate::ConfigIter;
 
-/// One point of a [`ParamSpace`], encoded as the 8-axis odometer index
-/// `[dedicated_set, placement, fit, order, coalesce, split, level, chunk]`.
+/// One point of a genome space, encoded as a vector of axis coordinates.
 ///
-/// This is the genotype the guided search strategies (see
-/// [`crate::search`]) operate on: crossover and mutation are plain index
-/// arithmetic on the eight coordinates, and [`ParamSpace::config_at`]
-/// materializes a genome back into an [`AllocatorConfig`].
-pub type Genome = [usize; 8];
+/// For the odometer [`ParamSpace`] this is the 8-axis index
+/// `[dedicated_set, placement, fit, order, coalesce, split, level, chunk]`;
+/// for the grammar space ([`crate::space::GrammarSpace`]) it is a codon
+/// vector whose entries pick grammar rules. This is the genotype the
+/// guided search strategies (see [`crate::search`]) operate on: crossover
+/// and mutation are plain index arithmetic on the coordinates, and
+/// [`crate::space::GenomeSpace::config_at`] materializes a genome back
+/// into an [`AllocatorConfig`]. Different spaces use different lengths —
+/// strategies size their operators from
+/// [`crate::space::GenomeSpace::axis_lens`].
+pub type Genome = Vec<usize>;
 
 /// How the dedicated pools of a configuration are mapped onto the memory
 /// hierarchy.
@@ -195,7 +200,7 @@ impl ParamSpace {
         // Number of general-pool combinations (the six inner axes).
         let general: usize = lens[2..].iter().product();
         let mut rest = index;
-        let mut genome = [0usize; 8];
+        let mut genome = vec![0usize; 8];
         for (set_idx, set) in self.dedicated_size_sets.iter().enumerate() {
             let placements = if set.is_empty() { 1 } else { lens[1] };
             let block = placements * general;
@@ -221,7 +226,7 @@ impl ParamSpace {
     /// # Panics
     ///
     /// Panics if any coordinate is out of bounds for its axis.
-    pub fn config_at(&self, hierarchy: &MemoryHierarchy, genome: &Genome) -> AllocatorConfig {
+    pub fn config_at(&self, hierarchy: &MemoryHierarchy, genome: &[usize]) -> AllocatorConfig {
         let sizes = &self.dedicated_size_sets[genome[0]];
         let placement = self.placements[genome[1]];
         let fit = self.fits[genome[2]];
@@ -365,7 +370,11 @@ mod tests {
         assert_eq!(enumerated.len(), space.len());
         for (i, label) in enumerated.iter().enumerate() {
             let genome = space.genome_at(i);
-            assert_eq!(genome, space.canonicalize(genome), "genomes are canonical");
+            assert_eq!(
+                genome,
+                space.canonicalize(genome.clone()),
+                "genomes are canonical"
+            );
             assert_eq!(
                 &space.config_at(&hier, &genome).label(),
                 label,
@@ -391,9 +400,9 @@ mod tests {
         let stats = dmx_trace::TraceStats::compute(&trace);
         let space = ParamSpace::suggest(&stats, &hier);
         // Axis 0 index 0 is the empty dedicated set in `suggest` spaces.
-        assert_eq!(space.canonicalize([0, 1, 0, 0, 0, 0, 0, 0])[1], 0);
+        assert_eq!(space.canonicalize(vec![0, 1, 0, 0, 0, 0, 0, 0])[1], 0);
         // Non-empty sets keep their placement.
-        assert_eq!(space.canonicalize([1, 1, 0, 0, 0, 0, 0, 0])[1], 1);
+        assert_eq!(space.canonicalize(vec![1, 1, 0, 0, 0, 0, 0, 0])[1], 1);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::objective::Objective;
 use crate::param::ParamSpace;
 use crate::pareto::{pareto_front, ParetoSet};
 use crate::search::{EvalInstance, SearchContext, SearchOutcome, SearchStrategy};
+use crate::space::GenomeSpace;
 
 /// One explored configuration with its measured metrics.
 #[derive(Debug, Clone)]
@@ -135,14 +136,16 @@ impl<'h> Explorer<'h> {
         self.run_configs(configs, trace)
     }
 
-    /// Explores `space` with a guided [`SearchStrategy`] (genetic,
-    /// hill-climbing, subsampled, or the exhaustive baseline), minimizing
-    /// `objectives`. The strategy evaluates through a memoized cache and
-    /// this explorer's worker-thread budget; see [`crate::search`].
+    /// Explores `space` — any [`GenomeSpace`]: the odometer
+    /// [`ParamSpace`], the [`crate::GrammarSpace`], … — with a guided
+    /// [`SearchStrategy`] (genetic, hill-climbing, subsampled, or the
+    /// exhaustive baseline), minimizing `objectives`. The strategy
+    /// evaluates through a memoized cache and this explorer's
+    /// worker-thread budget; see [`crate::search`].
     pub fn search(
         &self,
         strategy: &dyn SearchStrategy,
-        space: &ParamSpace,
+        space: &dyn GenomeSpace,
         trace: &Trace,
         objectives: &[Objective],
     ) -> SearchOutcome {

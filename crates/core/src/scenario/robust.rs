@@ -25,6 +25,7 @@ use crate::pareto::ParetoSet;
 use crate::runner::Exploration;
 use crate::scenario::{Aggregate, ScenarioSuite};
 use crate::search::{EvalInstance, SearchContext, SearchOutcome, SearchStrategy};
+use crate::space::GenomeSpace;
 
 /// Runs search strategies against a whole scenario suite.
 ///
@@ -38,7 +39,7 @@ pub struct MultiScenarioEvaluator<'a> {
     objectives: Vec<Objective>,
     threads: usize,
     seed: u64,
-    space: Option<ParamSpace>,
+    space: Option<Arc<dyn GenomeSpace>>,
     /// Memoized materialization for the current seed, so callers that
     /// need the space before running (e.g. to size a strategy) do not pay
     /// for trace generation twice. Reset whenever the seed changes.
@@ -69,12 +70,13 @@ impl<'a> MultiScenarioEvaluator<'a> {
             .get_or_init(|| self.suite.materialize(self.seed))
     }
 
-    /// The parameter space this evaluator will search: the explicit
-    /// override if one was set, the suite-derived one otherwise.
-    pub fn space(&self) -> ParamSpace {
+    /// The genome space this evaluator will search: the explicit
+    /// override if one was set, the suite-derived odometer space
+    /// otherwise.
+    pub fn space(&self) -> Arc<dyn GenomeSpace> {
         self.space
             .clone()
-            .unwrap_or_else(|| self.suite.suggest_space(self.materialized()))
+            .unwrap_or_else(|| Arc::new(self.suite.suggest_space(self.materialized())))
     }
 
     /// Sets the fold policy.
@@ -110,11 +112,26 @@ impl<'a> MultiScenarioEvaluator<'a> {
         self
     }
 
-    /// Overrides the suite-derived parameter space.
+    /// Overrides the suite-derived space with any [`GenomeSpace`] (the
+    /// odometer [`crate::ParamSpace`], the [`crate::GrammarSpace`], …).
     #[must_use]
-    pub fn with_space(mut self, space: ParamSpace) -> Self {
+    pub fn with_space(self, space: impl GenomeSpace + 'static) -> Self {
+        self.with_space_arc(Arc::new(space))
+    }
+
+    /// [`Self::with_space`] for an already-shared space handle (e.g. the
+    /// one [`Self::space`] returned).
+    #[must_use]
+    pub fn with_space_arc(mut self, space: Arc<dyn GenomeSpace>) -> Self {
         self.space = Some(space);
         self
+    }
+
+    /// The suite-derived odometer [`ParamSpace`], ignoring any
+    /// [`Self::with_space`] override — the base other spaces (e.g.
+    /// [`crate::GrammarSpace::covering`]) are built from.
+    pub fn odometer_space(&self) -> ParamSpace {
+        self.suite.suggest_space(self.materialized())
     }
 
     /// Materializes the suite (reusing the memoized materialization if
@@ -138,7 +155,7 @@ impl<'a> MultiScenarioEvaluator<'a> {
             })
             .collect();
         let ctx = SearchContext {
-            space: &space,
+            space: &*space,
             instances: &instances,
             aggregate: Some(self.aggregate),
             objectives: &self.objectives,
@@ -195,8 +212,8 @@ pub struct RobustOutcome {
     pub aggregate: Aggregate,
     /// The objectives optimized.
     pub objectives: Vec<Objective>,
-    /// The shared parameter space that was searched.
-    pub space: ParamSpace,
+    /// The shared genome space that was searched.
+    pub space: Arc<dyn GenomeSpace>,
     /// The strategy outcome on robust objectives: evaluated set (robust
     /// metrics), genomes, robust front, cache statistics. Its
     /// `scenario_explorations` are drained into [`Self::scenarios`].
@@ -324,7 +341,7 @@ impl CommonalityReport {
             .filter(|&i| counts[i] > 0)
             .map(|i| CommonalityRow {
                 label: outcome.exploration.results[i].label.clone(),
-                genome: outcome.genomes[i],
+                genome: outcome.genomes[i].clone(),
                 scenario_front_count: counts[i],
                 on_robust_front: outcome.front.indices.contains(&i),
             })

@@ -4,13 +4,17 @@
 //! elitist GA carries its front from generation to generation, and
 //! hill-climbing re-examines the neighborhood around every accepted move.
 //! The cache makes every revisit free: each *distinct* configuration is
-//! simulated exactly once per workload, keyed on the **(workload id,
-//! canonical [`Genome`])** pair. The workload half of the key matters: a
-//! genome measures completely different metrics on different traces or
-//! platforms, so a cache shared across scenarios (the multi-scenario
-//! evaluator does exactly that) must never serve one scenario's result to
-//! another. Entries are `Arc`-shared so strategies can hold results
-//! without cloning metrics.
+//! simulated exactly once per workload, keyed on the **(space id,
+//! workload id, canonical [`Genome`])** triple. The workload half of the
+//! key matters: a genome measures completely different metrics on
+//! different traces or platforms, so a cache shared across scenarios (the
+//! multi-scenario evaluator does exactly that) must never serve one
+//! scenario's result to another. The space half matters just as much: the
+//! same coordinate vector denotes *different configurations* in different
+//! [`GenomeSpace`](crate::GenomeSpace)s (an odometer index vs. a grammar
+//! codon vector), so a cache shared across spaces must never alias them.
+//! Entries are `Arc`-shared so strategies can hold results without
+//! cloning metrics.
 //!
 //! The map is sharded (hash of the key picks a shard, each behind its own
 //! mutex) so the parallel evaluation workers in
@@ -24,22 +28,25 @@ use std::sync::{Arc, Mutex};
 use crate::param::Genome;
 use crate::runner::RunResult;
 
-/// A cache key: which workload/scenario the evaluation ran on, and which
-/// configuration it measured.
-pub type EvalKey = (u64, Genome);
+/// A cache key: which genome space the genome belongs to, which
+/// workload/scenario the evaluation ran on, and which configuration it
+/// measured.
+pub type EvalKey = (u64, u64, Genome);
 
 /// Default shard count: enough to keep a machine's worth of evaluation
 /// workers from contending, cheap enough for tiny searches.
 const DEFAULT_SHARDS: usize = 16;
 
-/// A sharded (workload id, genome) → [`RunResult`] memo table.
+/// A sharded (space id, workload id, genome) → [`RunResult`] memo table.
 ///
 /// Genomes must be canonical (see
-/// [`ParamSpace::canonicalize`](crate::ParamSpace::canonicalize)); the
+/// [`GenomeSpace::canonicalize`](crate::GenomeSpace::canonicalize)); the
 /// [`crate::search::Evaluator`] canonicalizes before every lookup so two
-/// genotypes denoting the same configuration share one entry. Workload
-/// ids come from [`crate::search::workload_key`] (or a scenario's id) so
-/// two different traces/hierarchies can never collide on one entry.
+/// genotypes denoting the same configuration share one entry. Space ids
+/// come from [`GenomeSpace::space_id`](crate::GenomeSpace::space_id) and
+/// workload ids from [`crate::search::workload_key`] (or a scenario's id),
+/// so neither two different traces/hierarchies nor two different genome
+/// spaces can ever collide on one entry.
 #[derive(Debug)]
 pub struct EvalCache {
     shards: Vec<Mutex<HashMap<EvalKey, Arc<RunResult>>>>,
@@ -79,10 +86,10 @@ impl EvalCache {
         &self.shards[(hasher.finish() as usize) % self.shards.len()]
     }
 
-    /// Looks up a (canonical) genome evaluated on workload `id`, counting
-    /// the hit or miss.
-    pub fn get(&self, id: u64, genome: &Genome) -> Option<Arc<RunResult>> {
-        let found = self.peek(id, genome);
+    /// Looks up a (canonical) genome of space `space` evaluated on
+    /// workload `workload`, counting the hit or miss.
+    pub fn get(&self, space: u64, workload: u64, genome: &Genome) -> Option<Arc<RunResult>> {
+        let found = self.peek(space, workload, genome);
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -90,11 +97,11 @@ impl EvalCache {
         found
     }
 
-    /// Looks up a (canonical) genome on workload `id` without touching the
-    /// hit/miss counters — for collection passes over entries that were
-    /// already counted once.
-    pub fn peek(&self, id: u64, genome: &Genome) -> Option<Arc<RunResult>> {
-        let key = (id, *genome);
+    /// Looks up a (canonical) genome of space `space` on workload
+    /// `workload` without touching the hit/miss counters — for collection
+    /// passes over entries that were already counted once.
+    pub fn peek(&self, space: u64, workload: u64, genome: &Genome) -> Option<Arc<RunResult>> {
+        let key = (space, workload, genome.clone());
         self.shard(&key)
             .lock()
             .expect("shard poisoned")
@@ -115,11 +122,18 @@ impl EvalCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Stores the evaluation of a (canonical) genome on workload `id`.
-    /// Returns the stored result — the existing one if another worker got
-    /// there first, so all callers agree on one `Arc` per configuration.
-    pub fn insert(&self, id: u64, genome: Genome, result: Arc<RunResult>) -> Arc<RunResult> {
-        let key = (id, genome);
+    /// Stores the evaluation of a (canonical) genome of space `space` on
+    /// workload `workload`. Returns the stored result — the existing one
+    /// if another worker got there first, so all callers agree on one
+    /// `Arc` per configuration.
+    pub fn insert(
+        &self,
+        space: u64,
+        workload: u64,
+        genome: Genome,
+        result: Arc<RunResult>,
+    ) -> Arc<RunResult> {
+        let key = (space, workload, genome);
         self.shard(&key)
             .lock()
             .expect("shard poisoned")
@@ -151,8 +165,8 @@ impl EvalCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Every cached entry, sorted by (workload id, genome) so the order is
-    /// deterministic regardless of evaluation interleaving.
+    /// Every cached entry, sorted by (space id, workload id, genome) so
+    /// the order is deterministic regardless of evaluation interleaving.
     pub fn entries(&self) -> Vec<(EvalKey, Arc<RunResult>)> {
         let mut all: Vec<(EvalKey, Arc<RunResult>)> = self
             .shards
@@ -161,16 +175,16 @@ impl EvalCache {
                 s.lock()
                     .expect("shard poisoned")
                     .iter()
-                    .map(|(k, v)| (*k, v.clone()))
+                    .map(|(k, v)| (k.clone(), v.clone()))
                     .collect::<Vec<_>>()
             })
             .collect();
-        all.sort_unstable_by_key(|(k, _)| *k);
+        all.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
         all
     }
 
-    /// Consumes the cache into its entries, sorted by (workload id,
-    /// genome). Unlike [`Self::entries`] this drains the shards, so a
+    /// Consumes the cache into its entries, sorted by (space id, workload
+    /// id, genome). Unlike [`Self::entries`] this drains the shards, so a
     /// caller holding the only other reference can take results out of the
     /// `Arc`s without cloning — the exhaustive sweep's result set is large
     /// enough that a transient second copy would matter.
@@ -180,7 +194,7 @@ impl EvalCache {
             .into_iter()
             .flat_map(|s| s.into_inner().expect("shard poisoned"))
             .collect();
-        all.sort_unstable_by_key(|(k, _)| *k);
+        all.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
         all
     }
 }
@@ -214,11 +228,11 @@ mod tests {
     #[test]
     fn get_insert_roundtrip_and_counters() {
         let cache = EvalCache::new();
-        let key = [1, 2, 3, 4, 5, 6, 7, 8];
-        assert!(cache.get(7, &key).is_none());
+        let key = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        assert!(cache.get(1, 7, &key).is_none());
         assert_eq!(cache.misses(), 1);
-        cache.insert(7, key, dummy_result("a", 0));
-        let hit = cache.get(7, &key).expect("cached");
+        cache.insert(1, 7, key.clone(), dummy_result("a", 0));
+        let hit = cache.get(1, 7, &key).expect("cached");
         assert_eq!(hit.label, "a");
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.len(), 1);
@@ -231,24 +245,45 @@ mod tests {
     #[test]
     fn same_genome_different_workloads_never_collide() {
         let cache = EvalCache::new();
-        let genome = [1, 0, 2, 0, 1, 0, 0, 0];
-        cache.insert(111, genome, dummy_result("on-easyport", 1_000));
-        cache.insert(222, genome, dummy_result("on-vtc", 9_999));
+        let genome = vec![1, 0, 2, 0, 1, 0, 0, 0];
+        cache.insert(1, 111, genome.clone(), dummy_result("on-easyport", 1_000));
+        cache.insert(1, 222, genome.clone(), dummy_result("on-vtc", 9_999));
         assert_eq!(cache.len(), 2, "one entry per workload");
-        assert_eq!(cache.get(111, &genome).unwrap().metrics.footprint, 1_000);
-        assert_eq!(cache.get(222, &genome).unwrap().metrics.footprint, 9_999);
+        assert_eq!(cache.get(1, 111, &genome).unwrap().metrics.footprint, 1_000);
+        assert_eq!(cache.get(1, 222, &genome).unwrap().metrics.footprint, 9_999);
         assert!(
-            cache.get(333, &genome).is_none(),
+            cache.get(1, 333, &genome).is_none(),
             "an unseen workload id must miss, not inherit another workload's result"
+        );
+    }
+
+    /// Regression test for cross-space aliasing: the same coordinate
+    /// vector denotes *different configurations* in different genome
+    /// spaces (an odometer index vs. a grammar codon vector), so a cache
+    /// shared across spaces must keep one entry per space — keying on
+    /// (workload, genome) alone would silently serve the odometer space's
+    /// metrics for the grammar space's genome.
+    #[test]
+    fn same_genome_different_spaces_never_collide() {
+        let cache = EvalCache::new();
+        let genome = vec![1, 0, 2, 0, 1, 0, 0, 0];
+        cache.insert(10, 7, genome.clone(), dummy_result("odometer-decode", 111));
+        cache.insert(20, 7, genome.clone(), dummy_result("grammar-decode", 999));
+        assert_eq!(cache.len(), 2, "one entry per space");
+        assert_eq!(cache.get(10, 7, &genome).unwrap().metrics.footprint, 111);
+        assert_eq!(cache.get(20, 7, &genome).unwrap().metrics.footprint, 999);
+        assert!(
+            cache.get(30, 7, &genome).is_none(),
+            "an unseen space id must miss, not inherit another space's result"
         );
     }
 
     #[test]
     fn insert_keeps_first_entry() {
         let cache = EvalCache::with_shards(2);
-        let key = [0; 8];
-        let first = cache.insert(1, key, dummy_result("first", 0));
-        let second = cache.insert(1, key, dummy_result("second", 0));
+        let key = vec![0; 8];
+        let first = cache.insert(1, 1, key.clone(), dummy_result("first", 0));
+        let second = cache.insert(1, 1, key, dummy_result("second", 0));
         assert_eq!(first.label, "first");
         assert_eq!(
             second.label, "first",
@@ -258,17 +293,18 @@ mod tests {
     }
 
     #[test]
-    fn entries_are_sorted_by_workload_then_genome() {
+    fn entries_are_sorted_by_space_then_workload_then_genome() {
         let cache = EvalCache::with_shards(4);
-        cache.insert(2, [9, 0, 0, 0, 0, 0, 0, 0], dummy_result("z", 0));
-        cache.insert(1, [5, 0, 0, 0, 0, 0, 0, 0], dummy_result("m", 0));
-        cache.insert(2, [1, 0, 0, 0, 0, 0, 0, 0], dummy_result("a", 0));
-        let keys: Vec<(u64, usize)> = cache
+        cache.insert(1, 2, vec![9, 0, 0, 0, 0, 0, 0, 0], dummy_result("z", 0));
+        cache.insert(1, 1, vec![5, 0, 0, 0, 0, 0, 0, 0], dummy_result("m", 0));
+        cache.insert(1, 2, vec![1, 0, 0, 0, 0, 0, 0, 0], dummy_result("a", 0));
+        cache.insert(0, 9, vec![7, 0, 0, 0, 0, 0, 0, 0], dummy_result("s", 0));
+        let keys: Vec<(u64, u64, usize)> = cache
             .entries()
             .iter()
-            .map(|((w, g), _)| (*w, g[0]))
+            .map(|((s, w, g), _)| (*s, *w, g[0]))
             .collect();
-        assert_eq!(keys, vec![(1, 5), (2, 1), (2, 9)]);
+        assert_eq!(keys, vec![(0, 9, 7), (1, 1, 5), (1, 2, 1), (1, 2, 9)]);
     }
 
     #[test]

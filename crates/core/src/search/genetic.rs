@@ -1,10 +1,11 @@
-//! Elitist multi-objective genetic search over the odometer-index space.
+//! Elitist multi-objective genetic search over a genome space.
 //!
 //! An NSGA-style loop stripped to what the allocator-exploration problem
 //! needs: non-dominated sorting plus crowding distance for selection
 //! pressure, uniform per-axis crossover and ±1-step / uniform-redraw
 //! mutation as the variation operators (all plain index arithmetic on the
-//! [`Genome`]), and elitism by carrying the current non-dominated
+//! [`Genome`], whatever its length — odometer indices and grammar codons
+//! breed identically), and elitism by carrying the current non-dominated
 //! individuals into the next generation unchanged. The memoized
 //! [`super::EvalCache`] makes the elitist revisits free.
 
@@ -174,7 +175,7 @@ impl GeneticSearch {
         &self,
         rng: &mut StdRng,
         ctx: &SearchContext<'_>,
-        lens: &[usize; 8],
+        lens: &[usize],
         population: &[Genome],
         results: &[std::sync::Arc<crate::runner::RunResult>],
     ) -> BreedOutcome {
@@ -198,7 +199,7 @@ impl GeneticSearch {
         let mut next: Vec<Genome> = Vec::with_capacity(pop_size);
         for i in 0..population.len() {
             if ranks[i] == 0 && !next.contains(&population[i]) && next.len() < pop_size / 2 {
-                next.push(population[i]);
+                next.push(population[i].clone());
             }
         }
 
@@ -214,7 +215,7 @@ impl GeneticSearch {
         let mut elites: Vec<Genome> = Vec::new();
         for i in elite_idx {
             if !elites.contains(&population[i]) {
-                elites.push(population[i]);
+                elites.push(population[i].clone());
             }
         }
 
@@ -228,10 +229,10 @@ impl GeneticSearch {
         // Offspring: tournament-selected parents, uniform crossover,
         // mutation, canonicalization.
         while next.len() < pop_size {
-            let pa = population[tournament(rng, &ranks, &crowding)];
-            let pb = population[tournament(rng, &ranks, &crowding)];
-            let mut child: Genome = [0; 8];
-            for d in 0..8 {
+            let pa = &population[tournament(rng, &ranks, &crowding)];
+            let pb = &population[tournament(rng, &ranks, &crowding)];
+            let mut child: Genome = vec![0; lens.len()];
+            for d in 0..lens.len() {
                 child[d] = if rng.gen_bool(0.5) { pa[d] } else { pb[d] };
             }
             self.mutate(rng, &mut child, lens);
@@ -243,7 +244,7 @@ impl GeneticSearch {
     /// Mutates one genome in place: each axis independently, with
     /// probability `self.mutation`, either steps ±1 (wrapping) along its
     /// axis or redraws uniformly — index arithmetic only.
-    fn mutate(&self, rng: &mut StdRng, genome: &mut Genome, lens: &[usize; 8]) {
+    fn mutate(&self, rng: &mut StdRng, genome: &mut Genome, lens: &[usize]) {
         for (d, len) in lens.iter().enumerate() {
             if *len <= 1 || !rng.gen_bool(self.mutation) {
                 continue;

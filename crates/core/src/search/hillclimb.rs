@@ -1,12 +1,14 @@
-//! Multi-restart hill-climbing over the odometer-index space.
+//! Multi-restart hill-climbing over a genome space.
 //!
 //! Each restart draws a random weight vector over the objectives (so
 //! different restarts walk toward different regions of the front), starts
 //! from a random genome, and repeatedly moves to the best-scoring
-//! neighbor. A neighbor differs in exactly one axis coordinate by ±1 —
-//! pure index arithmetic — so each step examines at most 16 candidates,
-//! all evaluated as one parallel, memoized batch. The outcome's front is
-//! computed over *everything* any restart evaluated.
+//! neighbor. The neighborhood comes from the space itself
+//! ([`GenomeSpace::neighbors`](crate::GenomeSpace::neighbors) — by
+//! default every genome one ±1 axis step away, pure index arithmetic), so
+//! each step examines at most `2 × axes` candidates, all evaluated as one
+//! parallel, memoized batch. The outcome's front is computed over
+//! *everything* any restart evaluated.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -39,32 +41,6 @@ impl Default for HillClimbSearch {
 }
 
 impl HillClimbSearch {
-    /// All genomes one ±1 axis step away from `genome` (canonical,
-    /// deduplicated, excluding `genome` itself). Shared with the
-    /// hill-climbing island stepper in [`super::island`].
-    pub(crate) fn neighbors(
-        genome: &Genome,
-        lens: &[usize; 8],
-        ctx: &SearchContext<'_>,
-    ) -> Vec<Genome> {
-        let mut out = Vec::with_capacity(16);
-        for d in 0..8 {
-            for delta in [-1isize, 1] {
-                let v = genome[d] as isize + delta;
-                if v < 0 || v as usize >= lens[d] {
-                    continue;
-                }
-                let mut n = *genome;
-                n[d] = v as usize;
-                let n = ctx.space.canonicalize(n);
-                if n != *genome && !out.contains(&n) {
-                    out.push(n);
-                }
-            }
-        }
-        out
-    }
-
     /// Weighted sum of the objectives, each normalized by the restart's
     /// starting value so no objective's magnitude dominates the blend.
     /// Infeasible configurations score `+inf` and are never moved to.
@@ -97,7 +73,6 @@ impl SearchStrategy for HillClimbSearch {
 
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x6863_5F64_6D78_2B31);
         let evaluator = Evaluator::new(ctx);
-        let lens = ctx.space.axis_lens();
 
         for _restart in 0..self.restarts {
             // A fresh direction: random positive weights per objective.
@@ -108,7 +83,7 @@ impl SearchStrategy for HillClimbSearch {
                 .collect();
 
             let mut current = ctx.space.genome_at(rng.gen_range(0..ctx.space.len()));
-            let start = &evaluator.eval_batch(&[current])[0];
+            let start = &evaluator.eval_batch(std::slice::from_ref(&current))[0];
             // Normalize by the starting point so objectives with larger raw
             // magnitudes (accesses vs. footprint) do not drown the rest.
             let scales: Vec<f64> = if start.metrics.feasible() {
@@ -122,7 +97,7 @@ impl SearchStrategy for HillClimbSearch {
             let mut current_score = Self::score(start, ctx, &weights, &scales);
 
             for _step in 0..self.max_steps {
-                let neighborhood = Self::neighbors(&current, &lens, ctx);
+                let neighborhood = ctx.space.neighbors(&current);
                 if neighborhood.is_empty() {
                     break;
                 }
@@ -137,7 +112,7 @@ impl SearchStrategy for HillClimbSearch {
                         Some((bs, bg)) => s < *bs || (s == *bs && g < bg),
                     };
                     if better {
-                        best = Some((s, *g));
+                        best = Some((s, g.clone()));
                     }
                 }
                 let (best_score, best_genome) = best.expect("non-empty neighborhood");
@@ -175,9 +150,8 @@ mod tests {
             objectives: &Objective::FIG1,
             threads: 1,
         };
-        let lens = space.axis_lens();
         let g = space.genome_at(space.len() / 2);
-        for n in HillClimbSearch::neighbors(&g, &lens, &ctx) {
+        for n in ctx.space.neighbors(&g) {
             let diff: usize = g.iter().zip(&n).filter(|(a, b)| a != b).count();
             // Canonicalization may fold the placement axis along with the
             // stepped axis, so a neighbor differs in one or two coordinates.

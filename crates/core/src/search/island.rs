@@ -277,7 +277,7 @@ trait IslandState: Send {
 struct GeneticIsland {
     params: GeneticSearch,
     rng: StdRng,
-    lens: [usize; 8],
+    lens: Vec<usize>,
     population: Vec<Genome>,
     elites: Vec<Genome>,
     /// Next tail slot migrants overwrite (resets each generation;
@@ -334,7 +334,7 @@ impl IslandState for GeneticIsland {
                 continue;
             }
             self.recv_cursor -= 1;
-            self.population[self.recv_cursor] = *m;
+            self.population[self.recv_cursor] = m.clone();
             installed += 1;
         }
         installed
@@ -360,7 +360,6 @@ struct Climber {
 /// no neighbor improves.
 struct HillClimbIsland {
     rng: StdRng,
-    lens: [usize; 8],
     climbers: Vec<Climber>,
     population: Vec<Genome>,
     elites: Vec<Genome>,
@@ -381,7 +380,6 @@ impl HillClimbIsland {
         let n = climbers.len();
         let mut island = HillClimbIsland {
             rng,
-            lens: ctx.space.axis_lens(),
             climbers,
             population: Vec::new(),
             elites: Vec::new(),
@@ -412,10 +410,9 @@ impl HillClimbIsland {
     fn rebuild_population(&mut self, ctx: &SearchContext<'_>) {
         self.population.clear();
         for c in &self.climbers {
-            self.population.push(c.current);
+            self.population.push(c.current.clone());
             if !c.fresh {
-                self.population
-                    .extend(HillClimbSearch::neighbors(&c.current, &self.lens, ctx));
+                self.population.extend(ctx.space.neighbors(&c.current));
             }
         }
     }
@@ -453,7 +450,7 @@ impl IslandState for HillClimbIsland {
                 // Best neighbor; ties go to the lexicographically smallest
                 // genome, exactly like the sequential climber.
                 let mut best: Option<(f64, Genome)> = None;
-                for n in HillClimbSearch::neighbors(&climber.current, &self.lens, ctx) {
+                for n in ctx.space.neighbors(&climber.current) {
                     let s = HillClimbSearch::score(
                         by_genome[&n],
                         ctx,
@@ -506,7 +503,7 @@ impl IslandState for HillClimbIsland {
         self.elites.clear();
         for i in elite_idx {
             if !self.elites.contains(&self.climbers[i].current) {
-                self.elites.push(self.climbers[i].current);
+                self.elites.push(self.climbers[i].current.clone());
             }
         }
 
@@ -539,7 +536,7 @@ impl IslandState for HillClimbIsland {
             let Some(w) = worst else { break };
             self.replaced[w] = true;
             let climber = &mut self.climbers[w];
-            climber.current = *m;
+            climber.current = m.clone();
             climber.score = f64::INFINITY;
             climber.fresh = true;
             installed += 1;
@@ -647,7 +644,7 @@ impl SearchStrategy for IslandSearch {
             for (i, &(start, len)) in spans.iter().enumerate() {
                 let track = &mut tracks[i];
                 for k in start..start + len {
-                    let canonical = ctx.space.canonicalize(batch[k]);
+                    let canonical = ctx.space.canonicalize(batch[k].clone());
                     if !track.evaluated.insert(canonical) {
                         continue;
                     }
@@ -680,7 +677,7 @@ impl SearchStrategy for IslandSearch {
             if self.migrants > 0 && (generation + 1) % self.migrate_every == 0 {
                 let offers: Vec<Vec<Genome>> = states
                     .iter()
-                    .map(|s| s.elites().iter().take(self.migrants).copied().collect())
+                    .map(|s| s.elites().iter().take(self.migrants).cloned().collect())
                     .collect();
                 for &(src, dst) in &edges {
                     let installed = states[dst].receive(ctx, &offers[src]);

@@ -9,14 +9,19 @@
 //! hill-climbing exploration are interchangeable at every call site (CLI,
 //! studies, benches).
 //!
-//! The genotype is the existing 8-axis odometer index of the space
-//! ([`Genome`]): crossover and mutation are plain index arithmetic, and
-//! [`ParamSpace::genome_at`] / [`ParamSpace::config_at`] convert between
-//! index and configuration. All evaluations go through a shared, sharded
-//! [`EvalCache`] keyed on (workload id, genome), so revisits — the common
-//! case in GA populations — cost a hash lookup instead of a simulation,
-//! and each batch evaluates in parallel with the same worker pattern as
-//! the exhaustive runner.
+//! The genotype is a plain coordinate vector ([`Genome`]) addressed
+//! through a [`crate::GenomeSpace`]: crossover and mutation
+//! are plain index arithmetic, and
+//! [`crate::GenomeSpace::genome_at`] /
+//! [`crate::GenomeSpace::config_at`] convert
+//! between index and configuration — the paper's 8-axis odometer space
+//! ([`crate::ParamSpace`]) and the grammar-derivation space
+//! ([`crate::GrammarSpace`]) run through identical strategy code. All
+//! evaluations go through a shared, sharded [`EvalCache`] keyed on
+//! (space id, workload id, genome), so revisits — the common case in GA
+//! populations — cost a hash lookup instead of a simulation, and each
+//! batch evaluates in parallel with the same worker pattern as the
+//! exhaustive runner.
 //!
 //! A [`SearchContext`] carries one *or several* [`EvalInstance`]s.
 //! Without an [`Aggregate`] policy this is the classic single-workload
@@ -81,11 +86,12 @@ use dmx_trace::{CompiledTrace, Trace};
 
 use crate::constraint::ConstraintSet;
 use crate::objective::Objective;
-use crate::param::{Genome, ParamSpace};
+use crate::param::Genome;
 use crate::pareto::ParetoSet;
 use crate::runner::{Exploration, RunResult};
 use crate::sample::sample_indices;
 use crate::scenario::{aggregate_metrics, Aggregate, ScenarioMetrics};
+use crate::space::GenomeSpace;
 
 /// The evaluation worker-thread budget for this process: the
 /// `DMX_THREADS` environment variable when set to a positive integer,
@@ -211,8 +217,9 @@ impl SimStats {
 /// objectives to optimize, and how many evaluation workers it may use.
 #[derive(Debug, Clone, Copy)]
 pub struct SearchContext<'a> {
-    /// The parameter space under exploration.
-    pub space: &'a ParamSpace,
+    /// The genome space under exploration (the odometer [`crate::ParamSpace`],
+    /// the [`crate::GrammarSpace`], or any other [`GenomeSpace`]).
+    pub space: &'a dyn GenomeSpace,
     /// The workload instances every configuration is evaluated on
     /// (non-empty; one for classic search, one per scenario for suites).
     pub instances: &'a [EvalInstance<'a>],
@@ -267,7 +274,7 @@ pub struct SearchOutcome {
     pub islands: Vec<IslandStats>,
 }
 
-/// A pluggable exploration strategy over a [`ParamSpace`].
+/// A pluggable exploration strategy over a [`GenomeSpace`].
 ///
 /// Implementations decide *which* configurations to simulate;
 /// [`Evaluator`] decides *how* (parallel, memoized, robust-folded). All
@@ -329,7 +336,9 @@ pub trait SearchStrategy {
 /// one result per input genome in input order.
 #[derive(Debug)]
 pub struct Evaluator<'a> {
-    space: &'a ParamSpace,
+    space: &'a dyn GenomeSpace,
+    /// The space's cache-key half, computed once per evaluator.
+    space_id: u64,
     instances: &'a [EvalInstance<'a>],
     /// `Some` = robust (scenario) mode, whatever the instance count.
     aggregate: Option<Aggregate>,
@@ -378,6 +387,7 @@ impl<'a> Evaluator<'a> {
         let threads = ctx.threads.max(1);
         Evaluator {
             space: ctx.space,
+            space_id: ctx.space.space_id(),
             instances: ctx.instances,
             aggregate: ctx.aggregate,
             threads,
@@ -405,7 +415,7 @@ impl<'a> Evaluator<'a> {
     /// genome, if it has been evaluated.
     fn lookup(&self, genome: &Genome) -> Option<Arc<RunResult>> {
         if self.aggregate.is_none() {
-            self.cache.peek(self.instances[0].id, genome)
+            self.cache.peek(self.space_id, self.instances[0].id, genome)
         } else {
             self.robust
                 .lock()
@@ -422,7 +432,7 @@ impl<'a> Evaluator<'a> {
     pub fn eval_batch(&self, genomes: &[Genome]) -> Vec<Arc<RunResult>> {
         let canonical: Vec<Genome> = genomes
             .iter()
-            .map(|g| self.space.canonicalize(*g))
+            .map(|g| self.space.canonicalize(g.clone()))
             .collect();
 
         // Collect the distinct genomes this batch sees for the first time.
@@ -435,8 +445,8 @@ impl<'a> Evaluator<'a> {
                 self.cache.record_hit();
             } else {
                 self.cache.record_miss();
-                seen.insert(*g);
-                fresh.push(*g);
+                seen.insert(g.clone());
+                fresh.push(g.clone());
             }
         }
 
@@ -503,8 +513,9 @@ impl<'a> Evaluator<'a> {
                                     "cache key must match the configuration it stores"
                                 );
                                 self.cache.insert(
+                                    self.space_id,
                                     inst.id,
-                                    *genome,
+                                    genome.clone(),
                                     Arc::new(RunResult {
                                         config,
                                         label,
@@ -529,7 +540,11 @@ impl<'a> Evaluator<'a> {
                     let parts: Vec<Arc<RunResult>> = self
                         .instances
                         .iter()
-                        .map(|inst| self.cache.peek(inst.id, g).expect("just simulated"))
+                        .map(|inst| {
+                            self.cache
+                                .peek(self.space_id, inst.id, g)
+                                .expect("just simulated")
+                        })
                         .collect();
                     let folded: Vec<ScenarioMetrics<'_>> = self
                         .instances
@@ -546,7 +561,7 @@ impl<'a> Evaluator<'a> {
                     // instance; the genome (see `SearchOutcome::genomes`)
                     // is the cross-platform identity.
                     robust.insert(
-                        *g,
+                        g.clone(),
                         Arc::new(RunResult {
                             config: parts[0].config.clone(),
                             label: parts[0].label.clone(),
@@ -593,7 +608,7 @@ impl<'a> Evaluator<'a> {
                 // results by now, so the `Arc`s are usually unique and the
                 // results move out without cloning.
                 let entries = self.cache.into_entries();
-                let genomes: Vec<Genome> = entries.iter().map(|((_, g), _)| *g).collect();
+                let genomes: Vec<Genome> = entries.iter().map(|((_, _, g), _)| g.clone()).collect();
                 let results: Vec<RunResult> = entries
                     .into_iter()
                     .map(|(_, r)| Arc::try_unwrap(r).unwrap_or_else(|shared| (*shared).clone()))
@@ -608,8 +623,8 @@ impl<'a> Evaluator<'a> {
             Some(aggregate) => {
                 let robust = self.robust.into_inner().expect("robust map poisoned");
                 let mut entries: Vec<(Genome, Arc<RunResult>)> = robust.into_iter().collect();
-                entries.sort_unstable_by_key(|(g, _)| *g);
-                let genomes: Vec<Genome> = entries.iter().map(|(g, _)| *g).collect();
+                entries.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+                let genomes: Vec<Genome> = entries.iter().map(|(g, _)| g.clone()).collect();
                 let scenario_explorations: Vec<Exploration> = ctx
                     .instances
                     .iter()
@@ -618,8 +633,11 @@ impl<'a> Evaluator<'a> {
                         results: genomes
                             .iter()
                             .map(|g| {
-                                (*self.cache.peek(inst.id, g).expect("genome was evaluated"))
-                                    .clone()
+                                (*self
+                                    .cache
+                                    .peek(self.space_id, inst.id, g)
+                                    .expect("genome was evaluated"))
+                                .clone()
                             })
                             .collect(),
                     })
@@ -708,6 +726,7 @@ impl SearchStrategy for SubsampleSearch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::param::ParamSpace;
     use crate::study::{easyport_space, easyport_trace, StudyScale};
     use crate::Explorer;
     use dmx_memhier::presets;
@@ -755,7 +774,7 @@ mod tests {
         let ctx = quick_ctx(&space, &inst);
         let evaluator = Evaluator::new(&ctx);
         let g = space.genome_at(3);
-        let first = evaluator.eval_batch(&[g, g, g]);
+        let first = evaluator.eval_batch(&[g.clone(), g.clone(), g.clone()]);
         assert_eq!(evaluator.evaluations(), 1, "one distinct genome, one sim");
         let again = evaluator.eval_batch(&[g]);
         assert_eq!(evaluator.evaluations(), 1);
@@ -827,7 +846,7 @@ mod tests {
         };
         let evaluator = Evaluator::new(&ctx);
         let g = space.genome_at(5);
-        let robust = evaluator.eval_batch(&[g]);
+        let robust = evaluator.eval_batch(std::slice::from_ref(&g));
 
         // Per-workload entries must match fresh, independent simulations.
         let sim = Simulator::new(&hier);
@@ -838,8 +857,9 @@ mod tests {
             on_a, on_b,
             "fixture traces must measure differently for the test to bite"
         );
-        assert_eq!(evaluator.cache().peek(1, &g).unwrap().metrics, on_a);
-        assert_eq!(evaluator.cache().peek(2, &g).unwrap().metrics, on_b);
+        let sid = space.space_id();
+        assert_eq!(evaluator.cache().peek(sid, 1, &g).unwrap().metrics, on_a);
+        assert_eq!(evaluator.cache().peek(sid, 2, &g).unwrap().metrics, on_b);
 
         // And the folded result is the worst case of the two, exactly.
         assert_eq!(
@@ -955,7 +975,8 @@ mod tests {
             objectives: &Objective::FIG1,
             threads: 1,
         };
-        let result = std::panic::catch_unwind(|| Evaluator::new(&ctx));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| Evaluator::new(&ctx)));
         assert!(result.is_err(), "duplicate ids must be rejected");
     }
 

@@ -1,0 +1,825 @@
+//! A grammar-derivation genome space: codon vectors derive allocator
+//! pool trees from a small BNF-style grammar (grammatical evolution).
+//!
+//! Where the odometer [`ParamSpace`](crate::ParamSpace) fixes the shape
+//! of every configuration (dedicated fixed pools + one general
+//! fallback), the grammar derives the *structure* too:
+//!
+//! ```text
+//! <dmm>      ::= <dedicated> <mid-tier> <fallback>
+//! <dedicated>::= one of the size sets, exact-routed fixed pools,
+//!                placed by one of the placement strategies
+//! <mid-tier> ::= ε | <seg-node> | <buddy-node> | <region-node>
+//!                (range-routed: serves one size band before the fallback)
+//! <fallback> ::= <general-node> | <seg-node> | <buddy-node> | <region-node>
+//! <general-node> ::= fit order coalesce split level chunk
+//! ```
+//!
+//! Each decision consumes one codon, interpreted modulo the number of
+//! alternatives at that point — the classic grammatical-evolution
+//! decode. Unconsumed codons are "introns": [`GrammarSpace`]'s
+//! canonicalize folds every consumed codon into range and zeroes the
+//! introns, so two codon vectors denote the same derivation iff their
+//! canonical forms are equal.
+//!
+//! A grammar built with [`GrammarSpace::covering`] embeds an odometer
+//! space's terminals, so every odometer configuration has a derivation
+//! ([`GrammarSpace::odometer_derivation`]) that decodes to a
+//! byte-identical [`AllocatorConfig`] — `tests/diff_space.rs` pins this
+//! for the full convergence space.
+
+use dmx_alloc::{
+    AllocatorConfig, CoalescePolicy, FitPolicy, FreeOrder, PoolKind, PoolSpec, Route, SplitPolicy,
+};
+use dmx_memhier::{LevelChoice, MemoryHierarchy};
+
+use super::GenomeSpace;
+use crate::param::{Genome, ParamSpace, PlacementStrategy};
+
+/// Fixed codon-vector length of every grammar genome. The deepest
+/// derivation (general fallback) consumes all 12 codons; shallower ones
+/// leave trailing introns that canonicalize to zero.
+pub const GENOME_LEN: usize = 12;
+
+/// Codon positions, for readability: set, placement, mid kind, mid
+/// range, mid param, fallback kind, then up to six fallback params.
+const POS_SET: usize = 0;
+const POS_PLACEMENT: usize = 1;
+const POS_MID_KIND: usize = 2;
+const POS_MID_RANGE: usize = 3;
+const POS_MID_PARAM: usize = 4;
+const POS_FB_KIND: usize = 5;
+const POS_FB: usize = 6;
+
+/// Typed rejection for codon vectors the grammar cannot decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrammarError {
+    /// The codon vector does not have [`GENOME_LEN`] entries.
+    WrongGenomeLength {
+        /// Required length.
+        expected: usize,
+        /// Length of the rejected vector.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for GrammarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GrammarError::WrongGenomeLength { expected, got } => {
+                write!(f, "grammar genome must have {expected} codons, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GrammarError {}
+
+/// The optional mid-tier node of a derivation: a range-routed pool that
+/// serves one size band before the fallback. All fields are indices
+/// into the grammar's terminal lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MidTierRule {
+    /// Segregated-fit node over `mid_ranges[range]`.
+    Segregated {
+        /// Index into the mid-tier size bands.
+        range: usize,
+        /// Index into the segregated class bounds.
+        classes: usize,
+    },
+    /// Buddy node over `mid_ranges[range]`.
+    Buddy {
+        /// Index into the mid-tier size bands.
+        range: usize,
+        /// Index into the buddy order bounds.
+        orders: usize,
+    },
+    /// Region (arena) node over `mid_ranges[range]`.
+    Region {
+        /// Index into the mid-tier size bands.
+        range: usize,
+        /// Index into the growth-chunk sizes.
+        chunk: usize,
+    },
+}
+
+/// The fallback node of a derivation — the pool that serves everything
+/// no other route matched. All fields are indices into the grammar's
+/// terminal lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackRule {
+    /// Fully parameterized general free-list pool (the odometer shape).
+    General {
+        /// Fit policy index.
+        fit: usize,
+        /// Free-order index.
+        order: usize,
+        /// Coalescing policy index.
+        coalesce: usize,
+        /// Split policy index.
+        split: usize,
+        /// Level index.
+        level: usize,
+        /// Growth-chunk index.
+        chunk: usize,
+    },
+    /// Segregated-fit fallback.
+    Segregated {
+        /// Index into the segregated class bounds.
+        classes: usize,
+        /// Level index.
+        level: usize,
+        /// Growth-chunk index.
+        chunk: usize,
+    },
+    /// Buddy fallback.
+    Buddy {
+        /// Index into the buddy order bounds.
+        orders: usize,
+        /// Level index.
+        level: usize,
+    },
+    /// Region (arena) fallback.
+    Region {
+        /// Level index.
+        level: usize,
+        /// Growth-chunk index.
+        chunk: usize,
+    },
+}
+
+/// One decoded derivation: the phenotype skeleton a codon vector
+/// denotes. [`GrammarSpace::decode`] and [`GrammarSpace::encode`] are
+/// exact inverses over canonical genomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Derivation {
+    /// Index of the dedicated-pool size set.
+    pub set: usize,
+    /// Index of the placement strategy (0 when the set is empty).
+    pub placement: usize,
+    /// The optional range-routed mid-tier node.
+    pub mid: Option<MidTierRule>,
+    /// The fallback node.
+    pub fallback: FallbackRule,
+}
+
+/// A BNF-style grammar over allocator pool trees, usable as a
+/// [`GenomeSpace`].
+///
+/// Built with [`GrammarSpace::covering`], it embeds all terminals of an
+/// odometer [`ParamSpace`] (size sets, placements, the general-pool
+/// policy axes) and adds structural alternatives the odometer cannot
+/// express: segregated / buddy / region nodes as mid-tier or fallback
+/// pools.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrammarSpace {
+    /// Candidate dedicated-pool size sets (terminal list).
+    size_sets: Vec<Vec<u32>>,
+    /// Candidate placements for the dedicated pools.
+    placements: Vec<PlacementStrategy>,
+    /// Fit policies for general nodes.
+    fits: Vec<FitPolicy>,
+    /// Free orders for general nodes.
+    orders: Vec<FreeOrder>,
+    /// Coalescing policies for general nodes.
+    coalesces: Vec<CoalescePolicy>,
+    /// Split policies for general nodes.
+    splits: Vec<SplitPolicy>,
+    /// Levels a non-dedicated node may be placed on.
+    levels: Vec<LevelChoice>,
+    /// Growth-chunk sizes for general / segregated / region nodes.
+    chunks: Vec<u64>,
+    /// `(min_class, max_class)` bounds for segregated nodes.
+    seg_classes: Vec<(u32, u32)>,
+    /// `(min_order, max_order)` bounds for buddy nodes.
+    buddy_orders: Vec<(u32, u32)>,
+    /// `(min, max)` request-size bands a mid-tier node may serve.
+    mid_ranges: Vec<(u32, u32)>,
+}
+
+impl GrammarSpace {
+    /// Builds the grammar whose terminals cover `space`: every odometer
+    /// configuration of `space` is expressible as a derivation
+    /// ([`Self::odometer_derivation`]) that decodes to a byte-identical
+    /// config. The structural terminals (segregated classes, buddy
+    /// orders, mid-tier bands) are fixed curated lists valid on every
+    /// hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space` is empty (some axis has no values).
+    pub fn covering(space: &ParamSpace) -> GrammarSpace {
+        assert!(
+            !ParamSpace::is_empty(space),
+            "cannot build a grammar over an empty odometer space"
+        );
+        GrammarSpace {
+            size_sets: space.dedicated_size_sets.clone(),
+            placements: space.placements.clone(),
+            fits: space.fits.clone(),
+            orders: space.orders.clone(),
+            coalesces: space.coalesces.clone(),
+            splits: space.splits.clone(),
+            levels: space.general_levels.clone(),
+            chunks: space.general_chunks.clone(),
+            // Power-of-two class bounds (min >= 8), per the segregated
+            // pool's validation rules.
+            seg_classes: vec![(8, 256), (16, 1024), (8, 2048)],
+            // Orders within the buddy pool's 4..=31 window.
+            buddy_orders: vec![(4, 16), (5, 18), (6, 20)],
+            // Size bands for range-routed mid-tier nodes (min > 0).
+            mid_ranges: vec![(1, 64), (1, 256), (65, 512)],
+        }
+    }
+
+    // Alternative counts at each decision point.
+
+    fn n_sets(&self) -> usize {
+        self.size_sets.len()
+    }
+
+    fn n_placements_for(&self, set: usize) -> usize {
+        if self.size_sets[set].is_empty() {
+            1
+        } else {
+            self.placements.len()
+        }
+    }
+
+    /// Derivations of the mid-tier decision: ε plus each node kind ×
+    /// band × parameter choice.
+    fn mid_total(&self) -> usize {
+        let r = self.mid_ranges.len();
+        1 + r * (self.seg_classes.len() + self.buddy_orders.len() + self.chunks.len())
+    }
+
+    fn fb_general(&self) -> usize {
+        self.fits.len()
+            * self.orders.len()
+            * self.coalesces.len()
+            * self.splits.len()
+            * self.levels.len()
+            * self.chunks.len()
+    }
+
+    fn fb_seg(&self) -> usize {
+        self.seg_classes.len() * self.levels.len() * self.chunks.len()
+    }
+
+    fn fb_buddy(&self) -> usize {
+        self.buddy_orders.len() * self.levels.len()
+    }
+
+    fn fb_region(&self) -> usize {
+        self.levels.len() * self.chunks.len()
+    }
+
+    fn fb_total(&self) -> usize {
+        self.fb_general() + self.fb_seg() + self.fb_buddy() + self.fb_region()
+    }
+
+    /// Decodes a codon vector into its [`Derivation`], or rejects it
+    /// with a typed error. Total over all `GENOME_LEN`-length vectors:
+    /// every decision reads its codon modulo the number of alternatives,
+    /// so any codon values decode (the fold [`GenomeSpace::canonicalize`]
+    /// applies is exactly this interpretation).
+    pub fn decode(&self, genome: &[usize]) -> Result<Derivation, GrammarError> {
+        if genome.len() != GENOME_LEN {
+            return Err(GrammarError::WrongGenomeLength {
+                expected: GENOME_LEN,
+                got: genome.len(),
+            });
+        }
+        let set = genome[POS_SET] % self.n_sets();
+        let placement = genome[POS_PLACEMENT] % self.n_placements_for(set);
+        let mid = match genome[POS_MID_KIND] % 4 {
+            0 => None,
+            1 => Some(MidTierRule::Segregated {
+                range: genome[POS_MID_RANGE] % self.mid_ranges.len(),
+                classes: genome[POS_MID_PARAM] % self.seg_classes.len(),
+            }),
+            2 => Some(MidTierRule::Buddy {
+                range: genome[POS_MID_RANGE] % self.mid_ranges.len(),
+                orders: genome[POS_MID_PARAM] % self.buddy_orders.len(),
+            }),
+            _ => Some(MidTierRule::Region {
+                range: genome[POS_MID_RANGE] % self.mid_ranges.len(),
+                chunk: genome[POS_MID_PARAM] % self.chunks.len(),
+            }),
+        };
+        let fallback = match genome[POS_FB_KIND] % 4 {
+            0 => FallbackRule::General {
+                fit: genome[POS_FB] % self.fits.len(),
+                order: genome[POS_FB + 1] % self.orders.len(),
+                coalesce: genome[POS_FB + 2] % self.coalesces.len(),
+                split: genome[POS_FB + 3] % self.splits.len(),
+                level: genome[POS_FB + 4] % self.levels.len(),
+                chunk: genome[POS_FB + 5] % self.chunks.len(),
+            },
+            1 => FallbackRule::Segregated {
+                classes: genome[POS_FB] % self.seg_classes.len(),
+                level: genome[POS_FB + 1] % self.levels.len(),
+                chunk: genome[POS_FB + 2] % self.chunks.len(),
+            },
+            2 => FallbackRule::Buddy {
+                orders: genome[POS_FB] % self.buddy_orders.len(),
+                level: genome[POS_FB + 1] % self.levels.len(),
+            },
+            _ => FallbackRule::Region {
+                level: genome[POS_FB] % self.levels.len(),
+                chunk: genome[POS_FB + 1] % self.chunks.len(),
+            },
+        };
+        Ok(Derivation {
+            set,
+            placement,
+            mid,
+            fallback,
+        })
+    }
+
+    /// Encodes a derivation back into its canonical codon vector — the
+    /// exact inverse of [`Self::decode`] over canonical genomes.
+    pub fn encode(&self, derivation: &Derivation) -> Genome {
+        let mut g = vec![0usize; GENOME_LEN];
+        g[POS_SET] = derivation.set;
+        g[POS_PLACEMENT] = derivation.placement;
+        match derivation.mid {
+            None => {}
+            Some(MidTierRule::Segregated { range, classes }) => {
+                g[POS_MID_KIND] = 1;
+                g[POS_MID_RANGE] = range;
+                g[POS_MID_PARAM] = classes;
+            }
+            Some(MidTierRule::Buddy { range, orders }) => {
+                g[POS_MID_KIND] = 2;
+                g[POS_MID_RANGE] = range;
+                g[POS_MID_PARAM] = orders;
+            }
+            Some(MidTierRule::Region { range, chunk }) => {
+                g[POS_MID_KIND] = 3;
+                g[POS_MID_RANGE] = range;
+                g[POS_MID_PARAM] = chunk;
+            }
+        }
+        match derivation.fallback {
+            FallbackRule::General {
+                fit,
+                order,
+                coalesce,
+                split,
+                level,
+                chunk,
+            } => {
+                g[POS_FB_KIND] = 0;
+                g[POS_FB] = fit;
+                g[POS_FB + 1] = order;
+                g[POS_FB + 2] = coalesce;
+                g[POS_FB + 3] = split;
+                g[POS_FB + 4] = level;
+                g[POS_FB + 5] = chunk;
+            }
+            FallbackRule::Segregated {
+                classes,
+                level,
+                chunk,
+            } => {
+                g[POS_FB_KIND] = 1;
+                g[POS_FB] = classes;
+                g[POS_FB + 1] = level;
+                g[POS_FB + 2] = chunk;
+            }
+            FallbackRule::Buddy { orders, level } => {
+                g[POS_FB_KIND] = 2;
+                g[POS_FB] = orders;
+                g[POS_FB + 1] = level;
+            }
+            FallbackRule::Region { level, chunk } => {
+                g[POS_FB_KIND] = 3;
+                g[POS_FB] = level;
+                g[POS_FB + 1] = chunk;
+            }
+        }
+        g
+    }
+
+    /// Maps an odometer genome of the covered [`ParamSpace`] to the
+    /// grammar derivation that decodes to the byte-identical
+    /// configuration: same dedicated pools and placement, no mid-tier,
+    /// general fallback with the same six policy choices.
+    pub fn odometer_derivation(&self, genome: &[usize]) -> Genome {
+        assert_eq!(genome.len(), 8, "odometer genomes have eight axes");
+        self.encode(&Derivation {
+            set: genome[0],
+            placement: genome[1] % self.n_placements_for(genome[0] % self.n_sets()),
+            mid: None,
+            fallback: FallbackRule::General {
+                fit: genome[2],
+                order: genome[3],
+                coalesce: genome[4],
+                split: genome[5],
+                level: genome[6],
+                chunk: genome[7],
+            },
+        })
+    }
+
+    /// Materializes a derivation into its [`AllocatorConfig`]: dedicated
+    /// fixed pools first (exact-routed, placed per the placement
+    /// strategy), then the mid-tier node (range-routed, on the slowest
+    /// level), then the fallback.
+    pub fn config_for(
+        &self,
+        hierarchy: &MemoryHierarchy,
+        derivation: &Derivation,
+    ) -> AllocatorConfig {
+        let placement = self.placements[derivation.placement];
+        let mut pools: Vec<PoolSpec> = self.size_sets[derivation.set]
+            .iter()
+            .map(|&size| PoolSpec {
+                route: Route::Exact(size),
+                kind: PoolKind::Fixed {
+                    block_size: size,
+                    chunk_blocks: 32,
+                },
+                level: placement.level_for(size, hierarchy),
+            })
+            .collect();
+        if let Some(mid) = derivation.mid {
+            let (range, kind) = match mid {
+                MidTierRule::Segregated { range, classes } => {
+                    let (min_class, max_class) = self.seg_classes[classes];
+                    (
+                        self.mid_ranges[range],
+                        PoolKind::Segregated {
+                            min_class,
+                            max_class,
+                            chunk_bytes: 8192,
+                        },
+                    )
+                }
+                MidTierRule::Buddy { range, orders } => {
+                    let (min_order, max_order) = self.buddy_orders[orders];
+                    (
+                        self.mid_ranges[range],
+                        PoolKind::Buddy {
+                            min_order,
+                            max_order,
+                        },
+                    )
+                }
+                MidTierRule::Region { range, chunk } => (
+                    self.mid_ranges[range],
+                    PoolKind::Region {
+                        chunk_bytes: self.chunks[chunk],
+                    },
+                ),
+            };
+            pools.push(PoolSpec {
+                route: Route::Range {
+                    min: range.0,
+                    max: range.1,
+                },
+                kind,
+                level: hierarchy.slowest(),
+            });
+        }
+        let (fb_kind, fb_level) = match derivation.fallback {
+            FallbackRule::General {
+                fit,
+                order,
+                coalesce,
+                split,
+                level,
+                chunk,
+            } => (
+                PoolKind::General {
+                    fit: self.fits[fit],
+                    order: self.orders[order],
+                    coalesce: self.coalesces[coalesce],
+                    split: self.splits[split],
+                    align: 8,
+                    chunk_bytes: self.chunks[chunk],
+                },
+                level,
+            ),
+            FallbackRule::Segregated {
+                classes,
+                level,
+                chunk,
+            } => {
+                let (min_class, max_class) = self.seg_classes[classes];
+                (
+                    PoolKind::Segregated {
+                        min_class,
+                        max_class,
+                        chunk_bytes: self.chunks[chunk],
+                    },
+                    level,
+                )
+            }
+            FallbackRule::Buddy { orders, level } => {
+                let (min_order, max_order) = self.buddy_orders[orders];
+                (
+                    PoolKind::Buddy {
+                        min_order,
+                        max_order,
+                    },
+                    level,
+                )
+            }
+            FallbackRule::Region { level, chunk } => (
+                PoolKind::Region {
+                    chunk_bytes: self.chunks[chunk],
+                },
+                level,
+            ),
+        };
+        pools.push(PoolSpec {
+            route: Route::Fallback,
+            kind: fb_kind,
+            level: self.levels[fb_level].resolve(hierarchy),
+        });
+        AllocatorConfig { pools }
+    }
+}
+
+impl GenomeSpace for GrammarSpace {
+    fn name(&self) -> &str {
+        "grammar"
+    }
+
+    fn space_id(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        self.name().hash(&mut hasher);
+        // Hash the full terminal lists, not just their lengths: two
+        // grammars of identical shape but different terminals must never
+        // share cached results.
+        format!("{self:?}").hash(&mut hasher);
+        hasher.finish()
+    }
+
+    fn len(&self) -> usize {
+        let placed_sets: usize = (0..self.n_sets()).map(|s| self.n_placements_for(s)).sum();
+        placed_sets * self.mid_total() * self.fb_total()
+    }
+
+    fn axis_lens(&self) -> Vec<usize> {
+        // Per-codon domain: the max alternative count over every
+        // derivation path through that position. Mutation redraws inside
+        // these bounds; canonicalize folds the codon to its path's
+        // actual count.
+        let c = self.seg_classes.len();
+        let b = self.buddy_orders.len();
+        let k = self.chunks.len();
+        let l = self.levels.len();
+        vec![
+            self.n_sets(),
+            self.placements.len(),
+            4,
+            self.mid_ranges.len(),
+            c.max(b).max(k),
+            4,
+            self.fits.len().max(c).max(b).max(l),
+            self.orders.len().max(l).max(k),
+            self.coalesces.len().max(k).max(1),
+            self.splits.len(),
+            l,
+            k,
+        ]
+    }
+
+    fn canonicalize(&self, mut genome: Genome) -> Genome {
+        genome.resize(GENOME_LEN, 0);
+        let derivation = self
+            .decode(&genome)
+            .expect("resized to GENOME_LEN, decode is total");
+        self.encode(&derivation)
+    }
+
+    fn genome_at(&self, index: usize) -> Genome {
+        assert!(
+            index < GenomeSpace::len(self),
+            "index {index} out of bounds for space of {}",
+            GenomeSpace::len(self)
+        );
+        let inner = self.mid_total() * self.fb_total();
+        let mut rest = index;
+        for set in 0..self.n_sets() {
+            let block = self.n_placements_for(set) * inner;
+            if rest >= block {
+                rest -= block;
+                continue;
+            }
+            let placement = rest / inner;
+            let rest = rest % inner;
+            let mid_idx = rest / self.fb_total();
+            let fb_idx = rest % self.fb_total();
+
+            let mid = if mid_idx == 0 {
+                None
+            } else {
+                let r = self.mid_ranges.len();
+                let m = mid_idx - 1;
+                let seg_block = r * self.seg_classes.len();
+                let bud_block = r * self.buddy_orders.len();
+                if m < seg_block {
+                    Some(MidTierRule::Segregated {
+                        range: m / self.seg_classes.len(),
+                        classes: m % self.seg_classes.len(),
+                    })
+                } else if m - seg_block < bud_block {
+                    let m = m - seg_block;
+                    Some(MidTierRule::Buddy {
+                        range: m / self.buddy_orders.len(),
+                        orders: m % self.buddy_orders.len(),
+                    })
+                } else {
+                    let m = m - seg_block - bud_block;
+                    Some(MidTierRule::Region {
+                        range: m / self.chunks.len(),
+                        chunk: m % self.chunks.len(),
+                    })
+                }
+            };
+
+            let (f, o, co, sp, l, k) = (
+                self.fits.len(),
+                self.orders.len(),
+                self.coalesces.len(),
+                self.splits.len(),
+                self.levels.len(),
+                self.chunks.len(),
+            );
+            let fallback = if fb_idx < self.fb_general() {
+                let mut i = fb_idx;
+                let chunk = i % k;
+                i /= k;
+                let level = i % l;
+                i /= l;
+                let split = i % sp;
+                i /= sp;
+                let coalesce = i % co;
+                i /= co;
+                let order = i % o;
+                i /= o;
+                debug_assert!(i < f);
+                FallbackRule::General {
+                    fit: i,
+                    order,
+                    coalesce,
+                    split,
+                    level,
+                    chunk,
+                }
+            } else if fb_idx - self.fb_general() < self.fb_seg() {
+                let i = fb_idx - self.fb_general();
+                FallbackRule::Segregated {
+                    classes: i / (l * k),
+                    level: (i / k) % l,
+                    chunk: i % k,
+                }
+            } else if fb_idx - self.fb_general() - self.fb_seg() < self.fb_buddy() {
+                let i = fb_idx - self.fb_general() - self.fb_seg();
+                FallbackRule::Buddy {
+                    orders: i / l,
+                    level: i % l,
+                }
+            } else {
+                let i = fb_idx - self.fb_general() - self.fb_seg() - self.fb_buddy();
+                FallbackRule::Region {
+                    level: i / k,
+                    chunk: i % k,
+                }
+            };
+
+            return self.encode(&Derivation {
+                set,
+                placement,
+                mid,
+                fallback,
+            });
+        }
+        unreachable!("index checked against len()");
+    }
+
+    fn config_at(&self, hierarchy: &MemoryHierarchy, genome: &[usize]) -> AllocatorConfig {
+        // Total: decode interprets every codon modulo its alternative
+        // count, so arbitrary (even non-canonical) vectors materialize.
+        let mut owned;
+        let genome = if genome.len() == GENOME_LEN {
+            genome
+        } else {
+            owned = genome.to_vec();
+            owned.resize(GENOME_LEN, 0);
+            &owned
+        };
+        let derivation = self.decode(genome).expect("GENOME_LEN enforced above");
+        self.config_for(hierarchy, &derivation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{easyport_space, StudyScale};
+    use dmx_memhier::presets;
+
+    fn grammar() -> (MemoryHierarchy, GrammarSpace) {
+        let hier = presets::sp64k_dram4m();
+        let space = easyport_space(&hier, StudyScale::Quick);
+        (hier, GrammarSpace::covering(&space))
+    }
+
+    #[test]
+    fn enumeration_is_canonical_distinct_and_buildable() {
+        let (hier, g) = grammar();
+        let n = GenomeSpace::len(&g);
+        assert!(n > 0);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let genome = g.genome_at(i);
+            assert_eq!(genome.len(), GENOME_LEN);
+            assert_eq!(genome, g.canonicalize(genome.clone()), "genome_at({i})");
+            let config = GenomeSpace::config_at(&g, &hier, &genome);
+            config
+                .validate(&hier)
+                .unwrap_or_else(|e| panic!("genome_at({i}) invalid: {e:?}"));
+            labels.push(format!("{config:?}"));
+        }
+        let before = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), before, "derived configs must be distinct");
+    }
+
+    #[test]
+    fn grammar_space_is_strictly_larger_than_the_odometer() {
+        let hier = presets::sp64k_dram4m();
+        let odo = easyport_space(&hier, StudyScale::Quick);
+        let g = GrammarSpace::covering(&odo);
+        assert!(
+            GenomeSpace::len(&g) > ParamSpace::len(&odo),
+            "{} vs {}",
+            GenomeSpace::len(&g),
+            ParamSpace::len(&odo)
+        );
+    }
+
+    #[test]
+    fn decode_rejects_wrong_length_with_typed_error() {
+        let (_, g) = grammar();
+        assert_eq!(
+            g.decode(&[0; 5]),
+            Err(GrammarError::WrongGenomeLength {
+                expected: GENOME_LEN,
+                got: 5
+            })
+        );
+        let msg = GrammarError::WrongGenomeLength {
+            expected: GENOME_LEN,
+            got: 5,
+        }
+        .to_string();
+        assert!(msg.contains("12"), "{msg}");
+    }
+
+    #[test]
+    fn canonicalize_zeroes_introns_and_folds_codons() {
+        let (_, g) = grammar();
+        // A region fallback consumes two params; positions 8.. are
+        // introns and must canonicalize to zero whatever they held.
+        let mut noisy = vec![usize::MAX; GENOME_LEN];
+        noisy[POS_MID_KIND] = 0;
+        noisy[POS_FB_KIND] = 3;
+        let canon = g.canonicalize(noisy);
+        assert_eq!(&canon[POS_FB + 2..], &[0, 0, 0, 0]);
+        assert_eq!(canon[POS_MID_RANGE], 0);
+        assert_eq!(canon[POS_MID_PARAM], 0);
+        assert_eq!(canon.clone(), g.canonicalize(canon), "idempotent");
+    }
+
+    #[test]
+    fn mid_tier_nodes_route_a_band_before_the_fallback() {
+        let (hier, g) = grammar();
+        let d = Derivation {
+            set: 1,
+            placement: 0,
+            mid: Some(MidTierRule::Buddy {
+                range: 1,
+                orders: 0,
+            }),
+            fallback: FallbackRule::Region { level: 0, chunk: 0 },
+        };
+        let config = g.config_for(&hier, &d);
+        config.validate(&hier).expect("mid-tier config builds");
+        let mid = &config.pools[config.pools.len() - 2];
+        assert!(matches!(mid.route, Route::Range { min: 1, max: 256 }));
+        assert!(matches!(mid.kind, PoolKind::Buddy { .. }));
+        assert!(matches!(
+            config.pools.last().unwrap().kind,
+            PoolKind::Region { .. }
+        ));
+    }
+}

@@ -102,7 +102,7 @@ proptest! {
             for (d, len) in lens.iter().enumerate() {
                 prop_assert!(g[d] < *len, "axis {} out of range in {:?}", d, g);
             }
-            prop_assert_eq!(&space.canonicalize(*g), g, "non-canonical genome evaluated");
+            prop_assert_eq!(&space.canonicalize(g.clone()), g, "non-canonical genome evaluated");
         }
     }
 

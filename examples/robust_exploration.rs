@@ -57,7 +57,7 @@ fn main() {
         .front
         .indices
         .iter()
-        .map(|&i| robust.outcome.genomes[i])
+        .map(|&i| robust.outcome.genomes[i].clone())
         .collect();
     let on_both = mean
         .outcome

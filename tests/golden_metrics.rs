@@ -596,3 +596,286 @@ fn island_run_reproduces_the_pinned_merged_front() {
         );
     }
 }
+
+/// The pinned digest of one pre-refactor guided-search run.
+struct SearchGolden {
+    strategy: &'static str,
+    /// `(evaluations, simulations, cache_hits)`.
+    counts: (usize, usize, usize),
+    /// FNV-1a of `format!("{:?}", outcome.genomes)`.
+    genomes_debug_fnv: u64,
+    /// FNV-1a of the serialized profile records.
+    records_fnv: u64,
+    /// The exported Pareto front: `(label, footprint, accesses)` per
+    /// point, in front order.
+    front: &'static [(&'static str, u64, u64)],
+}
+
+/// Captured from the pre-refactor search layer (fixed-axis genomes,
+/// `ParamSpace`-only strategies) on the quick Easyport fixture at seed
+/// 2006; see [`search_strategies_reproduce_pre_refactor_outcomes`].
+const SEARCH_GOLDENS: &[SearchGolden] = &[
+    SearchGolden {
+        strategy: "genetic",
+        counts: (18, 18, 22),
+        genomes_debug_fnv: 0xcabac67e06f16ae0,
+        records_fnv: 0x90b027ebba154f1d,
+        front: &[
+            (
+                "fix28@L1+fix74@L1+gen(bf,lifo,co-im,sp-16,a8,c8192)@L1",
+                80384,
+                269215,
+            ),
+            (
+                "fix28@L0+fix74@L0+gen(bf,lifo,co-im,sp-16,a8,c8192)@L1",
+                80384,
+                269215,
+            ),
+            (
+                "fix28@L0+fix74@L0+gen(ff,lifo,co-im,sp-16,a8,c8192)@L1",
+                88576,
+                241645,
+            ),
+            (
+                "fix28@L1+fix74@L1+fix1500@L1+gen(ff,addr,co-no,sp-no,a8,c8192)@L1",
+                611712,
+                235223,
+            ),
+            (
+                "fix28@L0+fix74@L0+fix1500@L1+gen(ff,lifo,co-no,sp-no,a8,c8192)@L1",
+                628096,
+                225291,
+            ),
+        ],
+    },
+    SearchGolden {
+        strategy: "hillclimb",
+        counts: (57, 57, 41),
+        genomes_debug_fnv: 0x8e9a079b57d958ee,
+        records_fnv: 0xc91569904c7dfa37,
+        front: &[
+            (
+                "fix28@L1+fix74@L1+gen(ff,addr,co-im,sp-16,a8,c8192)@L1",
+                72192,
+                285637,
+            ),
+            (
+                "fix28@L1+fix74@L1+gen(bf,lifo,co-im,sp-16,a8,c8192)@L1",
+                80384,
+                269215,
+            ),
+            (
+                "fix28@L0+fix74@L0+gen(bf,lifo,co-im,sp-16,a8,c8192)@L1",
+                80384,
+                269215,
+            ),
+            (
+                "fix28@L1+fix74@L1+gen(ff,lifo,co-im,sp-16,a8,c8192)@L1",
+                88576,
+                241645,
+            ),
+            (
+                "fix28@L0+fix74@L0+gen(ff,lifo,co-im,sp-16,a8,c8192)@L1",
+                88576,
+                241645,
+            ),
+            (
+                "fix28@L1+fix74@L1+fix1500@L1+gen(ff,lifo,co-im,sp-16,a8,c8192)@L1",
+                103808,
+                236472,
+            ),
+            (
+                "fix28@L0+fix74@L0+fix1500@L1+gen(ff,lifo,co-im,sp-16,a8,c8192)@L1",
+                103808,
+                236472,
+            ),
+            (
+                "fix28@L0+fix74@L0+fix1500@L1+gen(ff,addr,co-no,sp-no,a8,c8192)@L1",
+                611712,
+                235223,
+            ),
+            (
+                "fix28@L1+fix74@L1+fix1500@L1+gen(ff,lifo,co-no,sp-no,a8,c8192)@L1",
+                628096,
+                225291,
+            ),
+            (
+                "fix28@L0+fix74@L0+fix1500@L1+gen(ff,lifo,co-no,sp-no,a8,c8192)@L1",
+                628096,
+                225291,
+            ),
+        ],
+    },
+    SearchGolden {
+        strategy: "sample",
+        counts: (11, 11, 0),
+        genomes_debug_fnv: 0x03743059cb4f97e3,
+        records_fnv: 0xf78954b96516638f,
+        front: &[
+            ("gen(bf,addr,co-no,sp-16,a8,c8192)@L1", 90112, 567506),
+            (
+                "fix28@L0+fix74@L0+fix1500@L1+gen(bf,lifo,co-im,sp-16,a8,c8192)@L1",
+                95616,
+                250216,
+            ),
+            (
+                "fix28@L1+fix74@L1+gen(ff,lifo,co-no,sp-no,a8,c8192)@L1",
+                645632,
+                226162,
+            ),
+        ],
+    },
+    SearchGolden {
+        strategy: "island",
+        counts: (33, 33, 47),
+        genomes_debug_fnv: 0xef7ac9522406e7f4,
+        records_fnv: 0x083f5e64eb9977d8,
+        front: &[
+            (
+                "fix28@L1+fix74@L1+gen(bf,lifo,co-im,sp-16,a8,c8192)@L1",
+                80384,
+                269215,
+            ),
+            (
+                "fix28@L0+fix74@L0+gen(bf,lifo,co-im,sp-16,a8,c8192)@L1",
+                80384,
+                269215,
+            ),
+            (
+                "fix28@L0+fix74@L0+gen(ff,lifo,co-im,sp-16,a8,c8192)@L1",
+                88576,
+                241645,
+            ),
+            (
+                "fix28@L1+fix74@L1+fix1500@L1+gen(bf,lifo,co-no,sp-no,a8,c8192)@L1",
+                603520,
+                236891,
+            ),
+            (
+                "fix28@L0+fix74@L0+fix1500@L1+gen(bf,lifo,co-no,sp-no,a8,c8192)@L1",
+                603520,
+                236891,
+            ),
+            (
+                "fix28@L1+fix74@L1+fix1500@L1+gen(ff,addr,co-no,sp-no,a8,c8192)@L1",
+                611712,
+                235223,
+            ),
+            (
+                "fix28@L0+fix74@L0+fix1500@L1+gen(ff,lifo,co-no,sp-no,a8,c8192)@L1",
+                628096,
+                225291,
+            ),
+        ],
+    },
+];
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Rebuilds the exact `pareto_to_json` output for a pinned front.
+fn front_json(front: &[(&str, u64, u64)]) -> String {
+    let mut s = String::from("[");
+    for (k, (label, footprint, accesses)) in front.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n  {{\"label\": \"{label}\", \"footprint_bytes\": {footprint}, \
+             \"accesses\": {accesses}}}"
+        ));
+    }
+    if !front.is_empty() {
+        s.push('\n');
+    }
+    s.push_str("]\n");
+    s
+}
+
+/// Golden fixed-seed searches across every strategy: pins the
+/// `GenomeSpace`-trait refactor byte for byte. The expected digests were
+/// captured from the **pre-refactor** search layer, whose strategies
+/// held `ParamSpace` directly and bred fixed-size `[usize; 8]` genomes.
+/// Driving the same strategies through `&dyn GenomeSpace` over
+/// `Vec<usize>` genomes must not perturb a single RNG draw: the
+/// evaluated genome sequence, the serialized profile records, the
+/// exported JSON front and the planner accounting all stay identical, at
+/// both extreme worker counts.
+#[test]
+fn search_strategies_reproduce_pre_refactor_outcomes() {
+    use dmx_core::export::pareto_to_json;
+    use dmx_core::search::{
+        GeneticSearch, HillClimbSearch, IslandSearch, Migration, SearchStrategy, SubsampleSearch,
+    };
+    use dmx_core::study::{easyport_space, easyport_trace, StudyScale};
+    use dmx_core::{Explorer, Objective};
+    use dmx_profile::records_to_string;
+
+    let hier = dmx_memhier::presets::sp64k_dram4m();
+    let space = easyport_space(&hier, StudyScale::Quick);
+    let trace = easyport_trace(StudyScale::Quick, 42);
+
+    for golden in SEARCH_GOLDENS {
+        let strategy: Box<dyn SearchStrategy> = match golden.strategy {
+            "genetic" => Box::new(GeneticSearch {
+                population: 10,
+                generations: 3,
+                mutation: 0.2,
+                seed: 2006,
+            }),
+            "hillclimb" => Box::new(HillClimbSearch {
+                restarts: 3,
+                max_steps: 16,
+                seed: 2006,
+            }),
+            "sample" => Box::new(SubsampleSearch { n: 11, seed: 2006 }),
+            "island" => Box::new(IslandSearch {
+                islands: 2,
+                migration: Migration::Ring,
+                migrate_every: 1,
+                migrants: 2,
+                population: 10,
+                generations: 3,
+                mutation: 0.2,
+                seed: 2006,
+                kinds: Vec::new(),
+            }),
+            other => panic!("unknown golden strategy `{other}`"),
+        };
+        for threads in [1usize, 8] {
+            let ctx = format!("{} (threads={threads})", golden.strategy);
+            let outcome = Explorer::new(&hier).with_threads(threads).search(
+                strategy.as_ref(),
+                &space,
+                &trace,
+                &Objective::FIG1,
+            );
+            assert_eq!(
+                (outcome.evaluations, outcome.simulations, outcome.cache_hits),
+                golden.counts,
+                "{ctx}: planner accounting drifted"
+            );
+            assert_eq!(
+                fnv1a(format!("{:?}", outcome.genomes).as_bytes()),
+                golden.genomes_debug_fnv,
+                "{ctx}: the evaluated genome sequence drifted"
+            );
+            assert_eq!(
+                fnv1a(records_to_string(&outcome.exploration.to_records()).as_bytes()),
+                golden.records_fnv,
+                "{ctx}: serialized profile records drifted"
+            );
+            assert_eq!(
+                pareto_to_json(&outcome.exploration, &outcome.front, &Objective::FIG1),
+                front_json(golden.front),
+                "{ctx}: exported JSON front drifted"
+            );
+        }
+    }
+}

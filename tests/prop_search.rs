@@ -12,7 +12,7 @@ use dmx_core::search::{
     SearchStrategy, SubsampleSearch,
 };
 use dmx_core::study::{easyport_space, easyport_trace, StudyScale};
-use dmx_core::{Explorer, Objective, ParamSpace};
+use dmx_core::{Explorer, GenomeSpace, GrammarSpace, Objective, ParamSpace};
 use dmx_memhier::MemoryHierarchy;
 use dmx_profile::records_to_string;
 use dmx_trace::Trace;
@@ -150,13 +150,54 @@ proptest! {
         }
 
         // And every entry in the cache keys back to its own config.
-        for ((_, genome), result) in evaluator.cache().entries() {
+        for ((_, _, genome), result) in evaluator.cache().entries() {
             prop_assert_eq!(
                 &result.label,
                 &space.config_at(&hierarchy, &genome).label(),
                 "cached entry mismatches its genome (seed {})",
                 seed
             );
+        }
+    }
+
+    /// The strategies are space-generic: driven over the grammar space
+    /// through the same `&dyn GenomeSpace` machinery, every evaluated
+    /// configuration is a valid derivation of the grammar, and same-seed
+    /// runs stay byte-identical.
+    #[test]
+    fn strategies_generalize_to_the_grammar_space(seed in 0u64..1000) {
+        let (hierarchy, odometer, trace) = fixture();
+        let grammar = GrammarSpace::covering(&odometer);
+        let explorer = Explorer::new(&hierarchy);
+        for strategy in strategies(seed) {
+            let a = explorer.search(strategy.as_ref(), &grammar, &trace, &Objective::FIG1);
+            prop_assert!(a.evaluations <= GenomeSpace::len(&grammar));
+            prop_assert_eq!(a.exploration.results.len(), a.evaluations);
+            for (genome, r) in a.genomes.iter().zip(&a.exploration.results) {
+                prop_assert_eq!(
+                    genome.clone(),
+                    grammar.canonicalize(genome.clone()),
+                    "strategy {} evaluated a non-canonical derivation",
+                    strategy.name()
+                );
+                r.config
+                    .validate(&hierarchy)
+                    .expect("every evaluated derivation builds a valid config");
+                prop_assert_eq!(
+                    &r.label,
+                    &GenomeSpace::config_at(&grammar, &hierarchy, genome).label(),
+                    "evaluated metrics must belong to the genome's own config"
+                );
+            }
+            let b = explorer.search(strategy.as_ref(), &grammar, &trace, &Objective::FIG1);
+            prop_assert_eq!(
+                records_to_string(&a.exploration.to_records()),
+                records_to_string(&b.exploration.to_records()),
+                "strategy {} is not reproducible on the grammar space (seed {})",
+                strategy.name(),
+                seed
+            );
+            prop_assert_eq!(a.front.points, b.front.points);
         }
     }
 }
