@@ -91,18 +91,23 @@ impl SharedSimArena {
                         .lock()
                         .expect("arena block poisoned"),
                 );
+                dmx_obs::metrics().arena_checkouts.incr();
                 ArenaLease {
                     pool: self,
                     slot: Some(index),
                     arena,
+                    span: dmx_obs::span(dmx_obs::names::ARENA_LEASE, u64::from(index)),
                 }
             }
             None => {
                 self.overflow_leases.fetch_add(1, Ordering::Relaxed);
+                dmx_obs::metrics().arena_checkouts.incr();
+                dmx_obs::metrics().arena_overflows.incr();
                 ArenaLease {
                     pool: self,
                     slot: None,
                     arena: SimArena::new(),
+                    span: dmx_obs::span(dmx_obs::names::ARENA_LEASE, u64::MAX),
                 }
             }
         }
@@ -172,6 +177,10 @@ pub struct ArenaLease<'a> {
     /// The pooled block index, or `None` for an overflow lease.
     slot: Option<u32>,
     arena: SimArena,
+    /// Timeline span covering the lease's lifetime (inert unless span
+    /// recording is on; zero-sized when obs is compiled out).
+    #[allow(dead_code)]
+    span: dmx_obs::SpanGuard,
 }
 
 impl ArenaLease<'_> {

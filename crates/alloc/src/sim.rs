@@ -290,6 +290,9 @@ impl<'h> Simulator<'h> {
         trace: &CompiledTrace,
         arena: &mut SimArena,
     ) -> SimMetrics {
+        let _span = dmx_obs::span(dmx_obs::names::KERNEL_REPLAY, trace.len() as u64);
+        dmx_obs::metrics().kernel_replays.incr();
+        dmx_obs::metrics().kernel_events.add(trace.len() as u64);
         let mut ctx = AllocCtx::new(self.hierarchy.len());
         let mut allocs = 0u64;
         let mut frees = 0u64;
@@ -399,6 +402,12 @@ impl<'h> Simulator<'h> {
     ) -> Vec<SimMetrics> {
         let k = allocators.len();
         assert!(k > 0, "a batch needs at least one allocator");
+        let _span = dmx_obs::span(dmx_obs::names::KERNEL_BATCH, k as u64);
+        dmx_obs::metrics().kernel_batches.incr();
+        dmx_obs::metrics()
+            .kernel_events
+            .add(k as u64 * trace.len() as u64);
+        dmx_obs::metrics().batch_lanes.record(k as u64);
         let mut lanes: Vec<BatchLane> = (0..k)
             .map(|_| BatchLane {
                 ctx: AllocCtx::new(self.hierarchy.len()),

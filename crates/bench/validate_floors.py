@@ -22,6 +22,8 @@ where a check is one of
 ``{"min": x}``
     the record field must be ``>= x`` (events/sec floors, speedups,
     coverage percentages);
+``{"max": x}``
+    the record field must be ``<= x`` (overhead ceilings);
 ``{"max_ratio_of": ["<other_field>", r]}``
     the record field must be ``<= record[other_field] * r`` (budget
     parity);
@@ -70,6 +72,11 @@ def check_field(errors, name, doc, field, spec):
         floor = spec["min"]
         if not isinstance(got, (int, float)) or isinstance(got, bool) or got < floor:
             fail(errors, f"{name}: {field} = {got!r} below floor {floor}")
+            return
+    if "max" in spec:
+        ceiling = spec["max"]
+        if not isinstance(got, (int, float)) or isinstance(got, bool) or got > ceiling:
+            fail(errors, f"{name}: {field} = {got!r} above ceiling {ceiling}")
             return
     if "max_ratio_of" in spec:
         other, ratio = spec["max_ratio_of"]

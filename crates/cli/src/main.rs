@@ -12,9 +12,11 @@
 //!               [--generations N] [--population N] [--restarts N]
 //!               [--islands N] [--migration ring|full|star] [--migrate-every K]
 //!               [--sample-n N] [--seed N]
+//!               [--obs-trace FILE] [--obs-metrics FILE] [--progress]
 //! dmx explore   --suite NAME [--aggregate worst|mean|weighted] [--json FILE]
 //!               [--out-records FILE] [--objectives ...] [--space ...]
 //!               [--strategy ...]
+//!               [--obs-trace FILE] [--obs-metrics FILE] [--progress]
 //! dmx scenarios list [SUITE]
 //! dmx pareto    --records FILE [--objectives footprint,accesses]
 //! dmx report    --records FILE
@@ -34,6 +36,14 @@
 //! suite (see `dmx_core::scenario`) and the chosen strategy optimizes
 //! worst-case / mean / weighted aggregated objectives. All modes are
 //! deterministic in `--seed`.
+//!
+//! Observability (see `dmx_obs`): `--obs-trace FILE` records a span
+//! timeline and writes a Chrome/Perfetto-compatible `trace.json`,
+//! `--obs-metrics FILE` snapshots the metric catalog as flat JSON, and
+//! `--progress` prints a live status line (generation, front size,
+//! hypervolume proxy, cache hit rate, events/sec) to stderr during long
+//! runs. None of these perturb results — obs data goes to separate
+//! files, never into the byte-deterministic result exports.
 
 use std::fs;
 use std::io::Write as _;
@@ -41,7 +51,7 @@ use std::process::ExitCode;
 
 use std::sync::Arc;
 
-use dmx_core::export::{gnuplot_script, pareto_to_json, robust_to_json, to_csv};
+use dmx_core::export::{gnuplot_script, robust_to_json, search_to_json, to_csv};
 use dmx_core::{
     Aggregate, ExhaustiveSearch, Explorer, GeneticSearch, GenomeSpace, GrammarSpace,
     HillClimbSearch, IslandSearch, Migration, MultiScenarioEvaluator, Objective, ParamSpace,
@@ -88,9 +98,11 @@ const USAGE: &str = "usage:
                 [--generations N] [--population N] [--restarts N]
                 [--islands N] [--migration ring|full|star] [--migrate-every K]
                 [--migrants M] [--sample-n N] [--seed N] [--sim-stats]
+                [--obs-trace FILE] [--obs-metrics FILE] [--progress]
   dmx explore   --suite NAME [--aggregate worst|mean|weighted] [--json FILE]
                 [--out-records FILE] [--objectives ...] [--space ...]
                 [--strategy ...] [--seed N] [--sim-stats]
+                [--obs-trace FILE] [--obs-metrics FILE] [--progress]
   dmx scenarios list [SUITE]
   dmx pareto    --records FILE [--objectives footprint,accesses,energy,cycles]
   dmx report    --records FILE
@@ -305,20 +317,113 @@ fn objective_pair(objectives: &[Objective]) -> [Objective; 2] {
     }
 }
 
-/// Renders the simulation-kernel statistics line for `--sim-stats`.
-/// Cache hits ride along from the search outcome — both explore modes
-/// print them (the robust path used to drop them silently).
-fn render_sim_stats(stats: &dmx_core::SimStats, cache_hits: usize) -> String {
-    format!(
-        "sim stats: {} events replayed in {} simulator runs ({} batch passes), \
-         {:.0} events/sec, {} arena reuses, {} cache hits",
-        stats.events,
-        stats.runs,
-        stats.batches,
-        stats.events_per_sec(),
-        stats.arena_reuses,
-        cache_hits,
-    )
+/// Everything the observability flags ask for around one explore run:
+/// span recording switched on up front when a trace is wanted, a live
+/// `--progress` reporter thread during the search, and the Perfetto
+/// trace / flat metrics snapshots written afterwards. Observability
+/// artifacts are deliberately *separate files* from the result exports:
+/// obs values are timing-dependent (steal counts, nanoseconds), and the
+/// result exports are byte-compared across runs and thread counts in CI.
+struct ObsSession {
+    trace_path: Option<String>,
+    metrics_path: Option<String>,
+    progress: Option<ProgressReporter>,
+}
+
+impl ObsSession {
+    /// Parses the obs flags and starts recording/reporting as requested.
+    fn start(rest: &[&String]) -> Self {
+        let trace_path = opt(rest, "--obs-trace").map(str::to_owned);
+        let metrics_path = opt(rest, "--obs-metrics").map(str::to_owned);
+        let progress = has_flag(rest, "--progress");
+        if (trace_path.is_some() || metrics_path.is_some() || progress) && !dmx_obs::compiled() {
+            eprintln!(
+                "note: this build has observability compiled out; \
+                 --obs-trace/--obs-metrics/--progress will report nothing"
+            );
+        }
+        if trace_path.is_some() {
+            dmx_obs::set_recording(true);
+        }
+        ObsSession {
+            trace_path,
+            metrics_path,
+            progress: progress.then(ProgressReporter::start),
+        }
+    }
+
+    /// Stops the reporter and writes the requested obs artifacts.
+    fn finish(self) -> Result<(), String> {
+        if let Some(reporter) = self.progress {
+            reporter.finish();
+        }
+        if let Some(path) = self.trace_path {
+            dmx_obs::set_recording(false);
+            fs::write(&path, dmx_obs::perfetto_json())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote Perfetto trace to {path} (load at https://ui.perfetto.dev)");
+        }
+        if let Some(path) = self.metrics_path {
+            fs::write(&path, dmx_obs::metrics_json())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote obs metrics snapshot to {path}");
+        }
+        Ok(())
+    }
+}
+
+/// The `--progress` live reporter: a background thread sampling the obs
+/// metric catalog twice a second and printing one status line per tick
+/// to stderr — per-generation front size, hypervolume proxy, cache hit
+/// rate, and replay throughput. Reads gauges the search layer updates;
+/// never feeds anything back, so it cannot perturb the search.
+struct ProgressReporter {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl ProgressReporter {
+    fn start() -> Self {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_seen = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut last_events = dmx_obs::metrics().kernel_events.value();
+            let mut last_tick = std::time::Instant::now();
+            while !stop_seen.load(Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_millis(500));
+                let m = dmx_obs::metrics();
+                let events = m.kernel_events.value();
+                let now = std::time::Instant::now();
+                let rate =
+                    (events - last_events) as f64 / now.duration_since(last_tick).as_secs_f64();
+                last_events = events;
+                last_tick = now;
+                let hits = m.cache_hits.value();
+                let lookups = hits + m.cache_misses.value();
+                let hit_pct = if lookups == 0 {
+                    0.0
+                } else {
+                    hits as f64 * 100.0 / lookups as f64
+                };
+                eprintln!(
+                    "progress: gen {}/{}, front {}, hv {}‰, cache {:.1}% hit, {:.2}M events/sec",
+                    m.generation.value(),
+                    m.generations_total.value(),
+                    m.front_size.value(),
+                    m.hv_permille.value(),
+                    hit_pct,
+                    rate / 1e6,
+                );
+            }
+        });
+        ProgressReporter { stop, handle }
+    }
+
+    fn finish(self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let _ = self.handle.join();
+    }
 }
 
 /// Resolves `--space odometer|grammar` against the derived odometer
@@ -370,7 +475,9 @@ fn explore(rest: &[&String]) -> Result<(), String> {
         trace.len(),
         strategy.name(),
     );
+    let obs = ObsSession::start(rest);
     let outcome = Explorer::new(&hier).search(strategy.as_ref(), &*space, &trace, &objectives);
+    obs.finish()?;
     eprintln!(
         "strategy `{}`: {} simulations for a space of {} ({} cache hits), {} Pareto points",
         outcome.strategy,
@@ -383,10 +490,12 @@ fn explore(rest: &[&String]) -> Result<(), String> {
         eprint!("{}", render_island_stats(&outcome.islands));
     }
     if has_flag(rest, "--sim-stats") {
-        outln!(
-            "{}",
-            render_sim_stats(&outcome.sim_stats, outcome.cache_hits)
-        );
+        outln!("{}", outcome.sim_stats.render(outcome.cache_hits));
+    }
+    if let Some(path) = opt(rest, "--json") {
+        let json = search_to_json(&outcome, &objectives);
+        fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote search outcome JSON to {path}");
     }
     let exploration = outcome.exploration;
     let records = exploration.to_records();
@@ -404,11 +513,6 @@ fn explore(rest: &[&String]) -> Result<(), String> {
         let script = gnuplot_script(&exploration, &front, pair, trace.name());
         fs::write(path, script).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote Gnuplot script to {path}");
-    }
-    if let Some(path) = opt(rest, "--json") {
-        let json = pareto_to_json(&exploration, &outcome.front, &objectives);
-        fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
-        eprintln!("wrote Pareto front JSON to {path}");
     }
     let _ = write!(
         std::io::stdout(),
@@ -448,7 +552,9 @@ fn explore_suite(rest: &[&String], suite_name: &str) -> Result<(), String> {
         strategy.name(),
         aggregate,
     );
+    let obs = ObsSession::start(rest);
     let robust = evaluator.with_space_arc(space).run(strategy.as_ref());
+    obs.finish()?;
     eprintln!(
         "strategy `{}`: {} configurations evaluated ({} simulations, {} cache hits), robust front {}",
         robust.outcome.strategy,
@@ -463,7 +569,7 @@ fn explore_suite(rest: &[&String], suite_name: &str) -> Result<(), String> {
     if has_flag(rest, "--sim-stats") {
         outln!(
             "{}",
-            render_sim_stats(&robust.outcome.sim_stats, robust.outcome.cache_hits)
+            robust.outcome.sim_stats.render(robust.outcome.cache_hits)
         );
     }
 

@@ -119,13 +119,32 @@ fn explore_guided_strategies() {
         );
         assert!(records.exists());
 
-        // The exported front is non-empty JSON of the expected shape.
-        let front = std::fs::read_to_string(&json).unwrap();
-        assert!(front.trim_start().starts_with('['), "{strategy}: {front}");
-        assert!(front.trim_end().ends_with(']'), "{strategy}: {front}");
+        // The export is one JSON object wrapping the front plus search
+        // statistics (strategy, evaluations, per-island stats).
+        let exported = std::fs::read_to_string(&json).unwrap();
         assert!(
-            front.contains("\"label\"") && front.contains("\"footprint_bytes\""),
-            "{strategy} front must be non-empty: {front}"
+            exported.trim_start().starts_with('{'),
+            "{strategy}: {exported}"
+        );
+        assert!(exported.trim_end().ends_with('}'), "{strategy}: {exported}");
+        for key in [
+            "\"strategy\"",
+            "\"evaluations\"",
+            "\"front\"",
+            "\"islands\"",
+        ] {
+            assert!(
+                exported.contains(key),
+                "{strategy} missing {key}: {exported}"
+            );
+        }
+        assert!(
+            exported.contains(&format!("\"strategy\": \"{strategy}\"")),
+            "{strategy}: {exported}"
+        );
+        assert!(
+            exported.contains("\"label\"") && exported.contains("\"footprint_bytes\""),
+            "{strategy} front must be non-empty: {exported}"
         );
 
         // Guided runs write valid record files the rest of the pipeline
@@ -173,6 +192,89 @@ fn explore_guided_strategies() {
         .expect("binary runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown strategy"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn explore_island_json_carries_island_stats_and_obs_exports() {
+    let dir = tmpdir("island-obs");
+    let trace = dir.join("t.trace");
+    run_ok(
+        dmx()
+            .args(["gen-trace", "synthetic", "--seed", "3", "--out"])
+            .arg(&trace),
+    );
+
+    let json = dir.join("t.json");
+    let records = dir.join("t.prof");
+    let obs_trace = dir.join("t-trace.json");
+    let obs_metrics = dir.join("t-metrics.json");
+    let out = run_ok(
+        dmx()
+            .arg("explore")
+            .arg("--trace")
+            .arg(&trace)
+            .arg("--out-records")
+            .arg(&records)
+            .arg("--json")
+            .arg(&json)
+            .arg("--obs-trace")
+            .arg(&obs_trace)
+            .arg("--obs-metrics")
+            .arg(&obs_metrics)
+            .arg("--progress")
+            .args([
+                "--strategy",
+                "island",
+                "--islands",
+                "3",
+                "--topology",
+                "ring",
+                "--migrate-every",
+                "2",
+                "--generations",
+                "3",
+                "--population",
+                "9",
+                "--seed",
+                "7",
+            ]),
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("island 0"), "island stats on stderr: {err}");
+
+    // Per-island statistics ride along in the JSON export, not just stderr.
+    let exported = std::fs::read_to_string(&json).unwrap();
+    for key in [
+        "\"islands\"",
+        "\"kind\"",
+        "\"migrants_sent\"",
+        "\"migrants_received\"",
+        "\"last_improved_generation\"",
+    ] {
+        assert!(exported.contains(key), "missing {key}: {exported}");
+    }
+    assert!(
+        exported.matches("\"island\":").count() >= 3,
+        "three islands exported: {exported}"
+    );
+
+    // Observability artifacts: Perfetto trace + flat metrics JSON.
+    let perfetto = std::fs::read_to_string(&obs_trace).unwrap();
+    assert!(perfetto.contains("\"traceEvents\""), "{perfetto}");
+    for name in ["island.step", "island.migration", "eval.batch"] {
+        assert!(perfetto.contains(name), "trace missing span {name}");
+    }
+    let metrics = std::fs::read_to_string(&obs_metrics).unwrap();
+    for name in [
+        "\"search.generations\"",
+        "\"search.cache.hits\"",
+        "\"island.migrations\"",
+        "\"kernel.events\"",
+    ] {
+        assert!(metrics.contains(name), "metrics missing {name}: {metrics}");
+    }
 
     std::fs::remove_dir_all(&dir).ok();
 }

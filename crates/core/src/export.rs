@@ -192,11 +192,82 @@ fn front_to_json(
     s
 }
 
+/// Serializes per-island convergence statistics as a JSON array (shared
+/// by [`search_to_json`] and [`robust_to_json`]): island id, search
+/// kind, distinct genomes, the island-local front as objective points,
+/// migration counts, and the last generation the local front improved.
+fn islands_json(islands: &[crate::search::IslandStats], indent: &str) -> String {
+    let mut s = String::from("[");
+    for (k, isl) in islands.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n{indent}  {{\"island\": {}, \"kind\": \"{}\", \"genomes\": {}, \
+             \"front\": {:?}, \"migrants_sent\": {}, \"migrants_received\": {}, \
+             \"last_improved_generation\": {}, \"generations\": {}}}",
+            isl.island,
+            json_escape(&isl.kind),
+            isl.genomes,
+            isl.front,
+            isl.migrants_sent,
+            isl.migrants_received,
+            isl.last_improved_generation,
+            isl.generations
+        );
+    }
+    if !islands.is_empty() {
+        let _ = write!(s, "\n{indent}");
+    }
+    s.push(']');
+    s
+}
+
+/// Serializes a single-workload [`SearchOutcome`] as one JSON object:
+/// the workload, strategy, evaluation/cache statistics, the Pareto
+/// front (with genomes), and — for island runs — the per-island
+/// convergence statistics that previously only went to stderr. This is
+/// the `--json` export for classic (non-suite) exploration.
+///
+/// [`SearchOutcome`]: crate::search::SearchOutcome
+pub fn search_to_json(outcome: &crate::search::SearchOutcome, objectives: &[Objective]) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(
+        s,
+        "  \"workload\": \"{}\",",
+        json_escape(&outcome.exploration.workload)
+    );
+    let _ = writeln!(s, "  \"strategy\": \"{}\",", json_escape(&outcome.strategy));
+    let names: Vec<String> = objectives
+        .iter()
+        .map(|o| format!("\"{}\"", o.name()))
+        .collect();
+    let _ = writeln!(s, "  \"objectives\": [{}],", names.join(", "));
+    let _ = writeln!(s, "  \"evaluations\": {},", outcome.evaluations);
+    let _ = writeln!(s, "  \"simulations\": {},", outcome.simulations);
+    let _ = writeln!(s, "  \"cache_hits\": {},", outcome.cache_hits);
+    let _ = writeln!(
+        s,
+        "  \"front\": {},",
+        front_to_json(
+            &outcome.exploration,
+            &outcome.genomes,
+            &outcome.front,
+            objectives,
+            "  ",
+        )
+    );
+    let _ = writeln!(s, "  \"islands\": {}", islands_json(&outcome.islands, "  "));
+    s.push_str("}\n");
+    s
+}
+
 /// Serializes a robust exploration as one JSON object: the robust front,
-/// every per-scenario front, cache/evaluation statistics, and the
-/// commonality report. Genomes identify configurations across scenarios
-/// (labels are per-platform). Hand-emitted like [`pareto_to_json`] — no
-/// serde.
+/// every per-scenario front, cache/evaluation statistics, per-island
+/// statistics (island strategy only), and the commonality report.
+/// Genomes identify configurations across scenarios (labels are
+/// per-platform). Hand-emitted like [`pareto_to_json`] — no serde.
 pub fn robust_to_json(robust: &crate::scenario::RobustOutcome) -> String {
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"suite\": \"{}\",", json_escape(&robust.suite));
@@ -216,6 +287,11 @@ pub fn robust_to_json(robust: &crate::scenario::RobustOutcome) -> String {
     let _ = writeln!(s, "  \"evaluations\": {},", robust.outcome.evaluations);
     let _ = writeln!(s, "  \"simulations\": {},", robust.outcome.simulations);
     let _ = writeln!(s, "  \"cache_hits\": {},", robust.outcome.cache_hits);
+    let _ = writeln!(
+        s,
+        "  \"islands\": {},",
+        islands_json(&robust.outcome.islands, "  ")
+    );
     let _ = writeln!(
         s,
         "  \"robust_front\": {},",

@@ -91,8 +91,14 @@ impl EvalCache {
     pub fn get(&self, space: u64, workload: u64, genome: &Genome) -> Option<Arc<RunResult>> {
         let found = self.peek(space, workload, genome);
         match found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                dmx_obs::metrics().cache_hits.incr();
+                self.hits.fetch_add(1, Ordering::Relaxed)
+            }
+            None => {
+                dmx_obs::metrics().cache_misses.incr();
+                self.misses.fetch_add(1, Ordering::Relaxed)
+            }
         };
         found
     }
@@ -113,12 +119,16 @@ impl EvalCache {
     /// duplicate inside one batch, which is served by the single
     /// simulation its first occurrence scheduled.
     pub fn record_hit(&self) {
+        dmx_obs::metrics().cache_hits.incr();
+        dmx_obs::instant(dmx_obs::names::CACHE_HIT, 0);
         self.hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts an externally-detected miss — the evaluator's batch planner
     /// looks entries up via [`Self::peek`] and reports the verdict here.
     pub fn record_miss(&self) {
+        dmx_obs::metrics().cache_misses.incr();
+        dmx_obs::instant(dmx_obs::names::CACHE_MISS, 0);
         self.misses.fetch_add(1, Ordering::Relaxed);
     }
 

@@ -280,7 +280,14 @@ impl SearchStrategy for GeneticSearch {
         let mut population = self.initial_population(&mut rng, ctx);
 
         for generation in 0..=self.generations {
+            let _span = dmx_obs::span(dmx_obs::names::GA_GENERATION, generation as u64);
             let results = evaluator.eval_batch(&population);
+            super::record_generation_obs(
+                generation as u64,
+                self.generations as u64,
+                &results,
+                ctx.objectives,
+            );
             if generation == self.generations {
                 break; // final population evaluated; no more breeding
             }

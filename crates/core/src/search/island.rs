@@ -630,6 +630,7 @@ impl SearchStrategy for IslandSearch {
         let edges = self.migration.edges(self.islands);
 
         for generation in 0..=self.generations {
+            let _span = dmx_obs::span(dmx_obs::names::ISLAND_STEP, generation as u64);
             // One lockstep batch: all island populations, in island order.
             let mut spans: Vec<(usize, usize)> = Vec::with_capacity(self.islands);
             let mut batch: Vec<Genome> = Vec::new();
@@ -639,6 +640,12 @@ impl SearchStrategy for IslandSearch {
                 batch.extend_from_slice(pop);
             }
             let results = evaluator.eval_batch(&batch);
+            super::record_generation_obs(
+                generation as u64,
+                self.generations as u64,
+                &results,
+                ctx.objectives,
+            );
 
             // Sequential per-island tracking (deterministic).
             for (i, &(start, len)) in spans.iter().enumerate() {
@@ -675,15 +682,22 @@ impl SearchStrategy for IslandSearch {
 
             // Barrier migration on the configured cadence.
             if self.migrants > 0 && (generation + 1) % self.migrate_every == 0 {
-                let offers: Vec<Vec<Genome>> = states
-                    .iter()
-                    .map(|s| s.elites().iter().take(self.migrants).cloned().collect())
-                    .collect();
-                for &(src, dst) in &edges {
-                    let installed = states[dst].receive(ctx, &offers[src]);
-                    tracks[src].sent += offers[src].len();
-                    tracks[dst].received += installed;
+                let mut total_installed = 0u64;
+                {
+                    let _span = dmx_obs::span(dmx_obs::names::MIGRATION, generation as u64);
+                    let offers: Vec<Vec<Genome>> = states
+                        .iter()
+                        .map(|s| s.elites().iter().take(self.migrants).cloned().collect())
+                        .collect();
+                    for &(src, dst) in &edges {
+                        let installed = states[dst].receive(ctx, &offers[src]);
+                        tracks[src].sent += offers[src].len();
+                        tracks[dst].received += installed;
+                        total_installed += installed as u64;
+                    }
                 }
+                dmx_obs::metrics().migrations.incr();
+                dmx_obs::metrics().migrants_installed.add(total_installed);
             }
         }
 

@@ -93,6 +93,67 @@ use crate::sample::sample_indices;
 use crate::scenario::{aggregate_metrics, Aggregate, ScenarioMetrics};
 use crate::space::GenomeSpace;
 
+/// Updates the per-generation observability gauges: the generation
+/// counter/gauges plus — when the context has at least two objectives —
+/// the current non-dominated count and a hypervolume proxy (‰ of the
+/// bounding box spanned by the generation's points). Read by the CLI's
+/// `--progress` reporter; never read by any search decision, so it
+/// cannot perturb results (the zero-perturbation rule).
+pub(crate) fn record_generation_obs(
+    generation: u64,
+    total: u64,
+    results: &[Arc<RunResult>],
+    objectives: &[Objective],
+) {
+    // `compiled()` is const: the whole body folds away in obs-out builds.
+    if !dmx_obs::compiled() {
+        return;
+    }
+    let m = dmx_obs::metrics();
+    m.search_generations.incr();
+    m.generation.set(generation as i64);
+    m.generations_total.set(total as i64);
+    if objectives.len() < 2 || results.is_empty() {
+        return;
+    }
+    let points: Vec<(u64, u64)> = results
+        .iter()
+        .map(|r| {
+            (
+                objectives[0].extract(&r.metrics),
+                objectives[1].extract(&r.metrics),
+            )
+        })
+        .collect();
+    let front: Vec<(u64, u64)> = points
+        .iter()
+        .filter(|&&(x, y)| {
+            !points
+                .iter()
+                .any(|&(ox, oy)| (ox <= x && oy <= y) && (ox < x || oy < y))
+        })
+        .copied()
+        .collect();
+    m.front_size.set(front.len() as i64);
+    let reference = (
+        points
+            .iter()
+            .map(|p| p.0)
+            .max()
+            .unwrap_or(0)
+            .saturating_add(1),
+        points
+            .iter()
+            .map(|p| p.1)
+            .max()
+            .unwrap_or(0)
+            .saturating_add(1),
+    );
+    let volume = crate::sample::hypervolume_2d(&front, reference);
+    let bbox = u128::from(reference.0) * u128::from(reference.1);
+    m.hv_permille.set((volume * 1000 / bbox.max(1)) as i64);
+}
+
 /// The evaluation worker-thread budget for this process: the
 /// `DMX_THREADS` environment variable when set to a positive integer,
 /// otherwise the machine's available parallelism. [`crate::Explorer::new`]
@@ -209,6 +270,24 @@ impl SimStats {
         } else {
             self.events as f64 * 1e9 / self.nanos as f64
         }
+    }
+
+    /// Renders the one-line `--sim-stats` report. Lives here — not in
+    /// the CLI — so every explore path (single-workload, robust-suite,
+    /// any future consumer) prints the *same* format and CI can grep
+    /// both with one pattern. Cache hits ride along from the search
+    /// outcome because the kernel cannot see them.
+    pub fn render(&self, cache_hits: usize) -> String {
+        format!(
+            "sim stats: {} events replayed in {} simulator runs ({} batch passes), \
+             {:.0} events/sec, {} arena reuses, {} cache hits",
+            self.events,
+            self.runs,
+            self.batches,
+            self.events_per_sec(),
+            self.arena_reuses,
+            cache_hits,
+        )
     }
 }
 
@@ -430,6 +509,8 @@ impl<'a> Evaluator<'a> {
     /// cache; new ones are simulated in parallel — on every workload
     /// instance — and folded into robust results.
     pub fn eval_batch(&self, genomes: &[Genome]) -> Vec<Arc<RunResult>> {
+        let _span = dmx_obs::span(dmx_obs::names::EVAL_BATCH, genomes.len() as u64);
+        dmx_obs::metrics().eval_batches.incr();
         let canonical: Vec<Genome> = genomes
             .iter()
             .map(|g| self.space.canonicalize(g.clone()))
@@ -456,6 +537,8 @@ impl<'a> Evaluator<'a> {
         // independent, so chunking cannot change any result — only how
         // decode work is amortized.
         let fresh_len = fresh.len();
+        dmx_obs::metrics().eval_fresh.add(fresh_len as u64);
+        dmx_obs::metrics().batch_fresh.record(fresh_len as u64);
         let jobs: Vec<(usize, std::ops::Range<usize>)> = (0..self.instances.len())
             .flat_map(|k| {
                 (0..fresh_len)
@@ -496,6 +579,9 @@ impl<'a> Evaluator<'a> {
                             let (k, range) = &jobs[j];
                             let inst = &self.instances[*k];
                             let genomes = &fresh[range.clone()];
+                            let _span =
+                                dmx_obs::span(dmx_obs::names::EVAL_JOB, genomes.len() as u64);
+                            dmx_obs::metrics().eval_jobs.incr();
                             let configs: Vec<_> = genomes
                                 .iter()
                                 .map(|g| self.space.config_at(inst.hierarchy, g))

@@ -71,6 +71,9 @@ impl StealQueue {
         let own = worker % n;
         for off in 0..n {
             if let Some(i) = self.take((own + off) % n) {
+                if off > 0 {
+                    dmx_obs::metrics().queue_steals.incr();
+                }
                 return Some(i);
             }
         }

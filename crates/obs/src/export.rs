@@ -1,0 +1,251 @@
+//! Exporters: Chrome/Perfetto trace JSON and a flat metrics snapshot.
+//!
+//! JSON is hand-rolled (the workspace has no serde) with the same
+//! append-into-`String` style as `dmx-core`'s exporters. Span names are
+//! `&'static str` from [`crate::names`] and contain no characters that
+//! need escaping, but the writer escapes anyway so a future dynamic
+//! name can't corrupt the document.
+
+use crate::registry::{MetricSample, MetricValue};
+use crate::span::{SpanEvent, SpanKind, ThreadEvents};
+
+/// Serialises metric samples as one flat JSON object:
+/// counters/gauges as numbers, histograms as
+/// `{"count", "sum", "max", "buckets": [{"lo", "hi", "count"}, …]}`
+/// (non-empty buckets only).
+pub fn metrics_to_json(samples: &[MetricSample]) -> String {
+    let mut out = String::from("{\n");
+    for (i, s) in samples.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  \"");
+        push_escaped(&mut out, s.name);
+        out.push_str("\": ");
+        match &s.value {
+            MetricValue::Counter(v) => out.push_str(&v.to_string()),
+            MetricValue::Gauge(v) => out.push_str(&v.to_string()),
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!(
+                    "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": [",
+                    h.count, h.sum, h.max
+                ));
+                for (j, (lo, hi, c)) in h.buckets.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("{{\"lo\": {lo}, \"hi\": {hi}, \"count\": {c}}}"));
+                }
+                out.push_str("]}");
+            }
+        }
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Serialises per-thread timelines as a Chrome/Perfetto trace-event
+/// document (`chrome://tracing` and <https://ui.perfetto.dev> both load
+/// it): matched begin/end pairs become `"X"` complete events with
+/// microsecond `ts`/`dur`, instants become `"i"` events, and each
+/// thread gets a `thread_name` metadata record. Unmatched begins (a
+/// worker mid-span at export time) are closed at the trace's end.
+pub fn timelines_to_trace_json(timelines: &[ThreadEvents]) -> String {
+    let pid = 1u64;
+    let end_ns = timelines
+        .iter()
+        .flat_map(|t| t.events.iter().map(|e| e.t_ns))
+        .max()
+        .unwrap_or(0);
+
+    let mut out = String::from("{\"traceEvents\": [\n");
+    let mut first = true;
+    let mut push_event = |line: String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str("  ");
+        out.push_str(&line);
+    };
+
+    push_event(
+        format!(
+            "{{\"ph\": \"M\", \"pid\": {pid}, \"name\": \"process_name\", \
+             \"args\": {{\"name\": \"dmx\"}}}}"
+        ),
+        &mut first,
+    );
+    for t in timelines {
+        let label = if t.tid == 0 { "main" } else { "worker" };
+        push_event(
+            format!(
+                "{{\"ph\": \"M\", \"pid\": {pid}, \"tid\": {}, \
+                 \"name\": \"thread_name\", \"args\": {{\"name\": \"{label}-{}\"}}}}",
+                t.tid, t.tid
+            ),
+            &mut first,
+        );
+    }
+
+    for t in timelines {
+        // Match begin/end pairs per-thread with a stack; ends always
+        // close the innermost open begin because guards are RAII.
+        let mut stack: Vec<&SpanEvent> = Vec::new();
+        for e in &t.events {
+            match e.kind {
+                SpanKind::Begin => stack.push(e),
+                SpanKind::End => {
+                    if let Some(b) = stack.pop() {
+                        push_event(complete_event(pid, t.tid, b, e.t_ns), &mut first);
+                    }
+                }
+                SpanKind::Instant => {
+                    let mut line = format!(
+                        "{{\"ph\": \"i\", \"pid\": {pid}, \"tid\": {}, \"ts\": {}, \
+                         \"s\": \"t\", \"name\": \"",
+                        t.tid,
+                        e.t_ns / 1_000
+                    );
+                    push_escaped(&mut line, e.name);
+                    line.push_str(&format!("\", \"args\": {{\"arg\": {}}}}}", e.arg));
+                    push_event(line, &mut first);
+                }
+            }
+        }
+        // A worker mid-span at export time: close at the trace's end so
+        // the viewer still shows the slice.
+        while let Some(b) = stack.pop() {
+            push_event(
+                complete_event(pid, t.tid, b, end_ns.max(b.t_ns)),
+                &mut first,
+            );
+        }
+    }
+
+    out.push_str("\n], \"displayTimeUnit\": \"ms\"}\n");
+    out
+}
+
+fn complete_event(pid: u64, tid: u64, begin: &SpanEvent, end_ns: u64) -> String {
+    let ts_us = begin.t_ns / 1_000;
+    let dur_us = end_ns.saturating_sub(begin.t_ns) / 1_000;
+    let mut line = format!(
+        "{{\"ph\": \"X\", \"pid\": {pid}, \"tid\": {tid}, \"ts\": {ts_us}, \
+         \"dur\": {dur_us}, \"name\": \""
+    );
+    push_escaped(&mut line, begin.name);
+    line.push_str(&format!("\", \"args\": {{\"arg\": {}}}}}", begin.arg));
+    line
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::HistogramSnapshot;
+
+    #[test]
+    fn metrics_json_shape() {
+        let samples = vec![
+            MetricSample {
+                name: "a.count",
+                value: MetricValue::Counter(3),
+            },
+            MetricSample {
+                name: "a.level",
+                value: MetricValue::Gauge(-2),
+            },
+            MetricSample {
+                name: "a.sizes",
+                value: MetricValue::Histogram(HistogramSnapshot {
+                    count: 2,
+                    sum: 5,
+                    max: 4,
+                    buckets: vec![(1, 1, 1), (4, 7, 1)],
+                }),
+            },
+        ];
+        let json = metrics_to_json(&samples);
+        assert!(json.contains("\"a.count\": 3"));
+        assert!(json.contains("\"a.level\": -2"));
+        assert!(json.contains("\"count\": 2, \"sum\": 5, \"max\": 4"));
+        assert!(json.contains("{\"lo\": 4, \"hi\": 7, \"count\": 1}"));
+    }
+
+    #[test]
+    fn trace_json_matches_pairs() {
+        let timelines = vec![ThreadEvents {
+            tid: 0,
+            dropped: 0,
+            events: vec![
+                SpanEvent {
+                    name: "outer",
+                    kind: SpanKind::Begin,
+                    t_ns: 1_000,
+                    arg: 1,
+                },
+                SpanEvent {
+                    name: "inner",
+                    kind: SpanKind::Begin,
+                    t_ns: 2_000,
+                    arg: 2,
+                },
+                SpanEvent {
+                    name: "inner",
+                    kind: SpanKind::End,
+                    t_ns: 5_000,
+                    arg: 2,
+                },
+                SpanEvent {
+                    name: "mark",
+                    kind: SpanKind::Instant,
+                    t_ns: 6_000,
+                    arg: 9,
+                },
+                SpanEvent {
+                    name: "outer",
+                    kind: SpanKind::End,
+                    t_ns: 9_000,
+                    arg: 1,
+                },
+            ],
+        }];
+        let json = timelines_to_trace_json(&timelines);
+        assert!(json.starts_with("{\"traceEvents\": ["));
+        assert!(json.contains("\"name\": \"inner\""));
+        // inner: ts 2µs dur 3µs; outer: ts 1µs dur 8µs.
+        assert!(json.contains("\"ts\": 2, \"dur\": 3"));
+        assert!(json.contains("\"ts\": 1, \"dur\": 8"));
+        assert!(json.contains("\"ph\": \"i\""));
+        assert!(json.contains("\"displayTimeUnit\": \"ms\""));
+    }
+
+    #[test]
+    fn trace_json_closes_unmatched_begins() {
+        let timelines = vec![ThreadEvents {
+            tid: 3,
+            dropped: 0,
+            events: vec![SpanEvent {
+                name: "open",
+                kind: SpanKind::Begin,
+                t_ns: 4_000,
+                arg: 0,
+            }],
+        }];
+        let json = timelines_to_trace_json(&timelines);
+        assert!(json.contains("\"name\": \"open\""));
+        assert!(json.contains("\"dur\": 0"));
+    }
+}
