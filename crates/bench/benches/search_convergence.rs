@@ -134,6 +134,8 @@ fn bench_search_convergence(c: &mut Criterion) {
             ("bench", dmx_bench::json_str("search_convergence")),
             ("space", space.len().to_string()),
             ("genetic_evaluations", ga_outcome.evaluations.to_string()),
+            ("genetic_simulations", ga_outcome.simulations.to_string()),
+            ("genetic_cache_hits", ga_outcome.cache_hits.to_string()),
             ("genetic_hypervolume_pct", dmx_bench::json_num(ga_hv)),
             (
                 "genetic_events_per_sec",

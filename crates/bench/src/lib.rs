@@ -15,6 +15,7 @@
 //! | `tab5_allocator_ops` | §2 allocator library | per-pool alloc/free op costs |
 //! | `tab6_ablation` | §§2–3 design choices | what each parameter axis contributes |
 //! | `search_convergence` | beyond the paper | guided-search evaluations vs. front coverage (genetic ≥90 % hypervolume at ≤20 % of the evaluations) |
+//! | `search_efficiency` | beyond the paper | multi-fidelity screening: full-trace simulations saved vs. the all-full GA (≥5× asserted at ≥99 % hypervolume, worker-count determinism) |
 //! | `scenario_robustness` | beyond the paper | robust-front determinism + commonality on the built-in suite |
 //! | `sim_throughput` | beyond the paper | slab-kernel events/sec vs. the hash-map reference interpreter (≥2× asserted) |
 //! | `island_scaling` | beyond the paper | island-model front quality vs. the single GA at equal budget (≥99 % hypervolume asserted), worker-count determinism, wall-clock speedup |

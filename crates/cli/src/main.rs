@@ -45,6 +45,7 @@
 //! runs. None of these perturb results — obs data goes to separate
 //! files, never into the byte-deterministic result exports.
 
+use std::fmt::Write as _;
 use std::fs;
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -53,9 +54,9 @@ use std::sync::Arc;
 
 use dmx_core::export::{gnuplot_script, robust_to_json, search_to_json, to_csv};
 use dmx_core::{
-    Aggregate, ExhaustiveSearch, Explorer, GeneticSearch, GenomeSpace, GrammarSpace,
-    HillClimbSearch, IslandSearch, Migration, MultiScenarioEvaluator, Objective, ParamSpace,
-    ScenarioSuite, SearchStrategy, StudySummary, SubsampleSearch,
+    Aggregate, ExhaustiveSearch, Explorer, FidelityPlan, FidelityStats, GeneticSearch, GenomeSpace,
+    GrammarSpace, HillClimbSearch, IslandSearch, Migration, MultiScenarioEvaluator, Objective,
+    ParamSpace, ScenarioSuite, SearchStrategy, StudySummary, SubsampleSearch, SurrogateKind,
 };
 use dmx_memhier::presets;
 use dmx_profile::{parse_records, records_to_string, ProfileRecord};
@@ -98,10 +99,14 @@ const USAGE: &str = "usage:
                 [--generations N] [--population N] [--restarts N]
                 [--islands N] [--migration ring|full|star] [--migrate-every K]
                 [--migrants M] [--sample-n N] [--seed N] [--sim-stats]
+                [--fidelity off|halving] [--rungs 0.2,0.5,1.0] [--keep 0.4]
+                [--surrogate knn|off] [--knn-k K]
                 [--obs-trace FILE] [--obs-metrics FILE] [--progress]
   dmx explore   --suite NAME [--aggregate worst|mean|weighted] [--json FILE]
                 [--out-records FILE] [--objectives ...] [--space ...]
                 [--strategy ...] [--seed N] [--sim-stats]
+                [--fidelity off|halving] [--rungs 0.2,0.5,1.0] [--keep 0.4]
+                [--surrogate knn|off] [--knn-k K]
                 [--obs-trace FILE] [--obs-metrics FILE] [--progress]
   dmx scenarios list [SUITE]
   dmx pareto    --records FILE [--objectives footprint,accesses,energy,cycles]
@@ -406,14 +411,24 @@ impl ProgressReporter {
                 } else {
                     hits as f64 * 100.0 / lookups as f64
                 };
+                // Full simulations avoided so far by multi-fidelity
+                // screening (zero, and omitted, when fidelity is off).
+                let screened = m.fidelity_screened.value();
+                let avoided = screened.saturating_sub(m.fidelity_promoted.value());
+                let fidelity = if screened == 0 {
+                    String::new()
+                } else {
+                    format!(", {avoided} full sims avoided")
+                };
                 eprintln!(
-                    "progress: gen {}/{}, front {}, hv {}‰, cache {:.1}% hit, {:.2}M events/sec",
+                    "progress: gen {}/{}, front {}, hv {}‰, cache {:.1}% hit, {:.2}M events/sec{}",
                     m.generation.value(),
                     m.generations_total.value(),
                     m.front_size.value(),
                     m.hv_permille.value(),
                     hit_pct,
                     rate / 1e6,
+                    fidelity,
                 );
             }
         });
@@ -438,6 +453,69 @@ fn build_space(rest: &[&String], odometer: ParamSpace) -> Result<Arc<dyn GenomeS
             "unknown space `{other}` (expected odometer or grammar)"
         )),
     }
+}
+
+/// Builds the multi-fidelity plan from `--fidelity off|halving` plus the
+/// optional `--rungs`/`--keep`/`--surrogate`/`--knn-k` overrides.
+/// `None` (the default) means full-fidelity evaluation.
+fn build_fidelity(rest: &[&String]) -> Result<Option<FidelityPlan>, String> {
+    let mut plan = match opt(rest, "--fidelity").unwrap_or("off") {
+        "off" => return Ok(None),
+        "halving" => FidelityPlan::halving(),
+        other => {
+            return Err(format!(
+                "unknown fidelity mode `{other}` (expected off or halving)"
+            ))
+        }
+    };
+    if let Some(list) = opt(rest, "--rungs") {
+        plan.rungs = list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad rung `{s}`"))
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(keep) = opt(rest, "--keep") {
+        plan.keep = keep.parse().map_err(|_| "bad --keep")?;
+    }
+    plan.surrogate = match opt(rest, "--surrogate").unwrap_or("knn") {
+        "off" => SurrogateKind::Off,
+        "knn" => SurrogateKind::Knn {
+            k: num_opt(rest, "--knn-k", 8)?,
+        },
+        other => return Err(format!("unknown surrogate `{other}` (expected knn or off)")),
+    };
+    plan.validate()?;
+    Ok(Some(plan))
+}
+
+/// One stderr summary line for a multi-fidelity run: what each rung
+/// screened and how many full simulations the schedule avoided.
+fn render_fidelity(stats: &FidelityStats) -> String {
+    let mut line = String::from("fidelity:");
+    for (fraction, rung) in stats.fractions.iter().zip(&stats.rungs) {
+        let _ = write!(
+            line,
+            " rung {:.0}% {} -> {},",
+            fraction * 100.0,
+            rung.screened,
+            rung.promoted
+        );
+    }
+    let avoided = stats
+        .rungs
+        .first()
+        .map(|r| r.screened.saturating_sub(stats.full_simulations))
+        .unwrap_or(0);
+    let _ = write!(
+        line,
+        " {} surrogate hits, {} full sims ({} avoided)",
+        stats.surrogate_hits, stats.full_simulations, avoided
+    );
+    line
 }
 
 /// Looks a built-in suite up by name, listing the registry on failure.
@@ -466,6 +544,7 @@ fn explore(rest: &[&String]) -> Result<(), String> {
         .parse()
         .map_err(|_| "bad --seed")?;
     let strategy = build_strategy(rest, seed, space.len())?;
+    let fidelity = build_fidelity(rest)?;
 
     eprintln!(
         "exploring {} configurations of the `{}` space over trace `{}` ({} events) with strategy `{}`...",
@@ -476,7 +555,11 @@ fn explore(rest: &[&String]) -> Result<(), String> {
         strategy.name(),
     );
     let obs = ObsSession::start(rest);
-    let outcome = Explorer::new(&hier).search(strategy.as_ref(), &*space, &trace, &objectives);
+    let mut explorer = Explorer::new(&hier);
+    if let Some(plan) = &fidelity {
+        explorer = explorer.with_fidelity(plan);
+    }
+    let outcome = explorer.search(strategy.as_ref(), &*space, &trace, &objectives);
     obs.finish()?;
     eprintln!(
         "strategy `{}`: {} simulations for a space of {} ({} cache hits), {} Pareto points",
@@ -486,6 +569,9 @@ fn explore(rest: &[&String]) -> Result<(), String> {
         outcome.cache_hits,
         outcome.front.len(),
     );
+    if let Some(stats) = &outcome.fidelity {
+        eprintln!("{}", render_fidelity(stats));
+    }
     if !outcome.islands.is_empty() {
         eprint!("{}", render_island_stats(&outcome.islands));
     }
@@ -532,10 +618,13 @@ fn explore_suite(rest: &[&String], suite_name: &str) -> Result<(), String> {
         .parse()
         .map_err(|_| "bad --seed")?;
 
-    let evaluator = MultiScenarioEvaluator::new(&suite)
+    let mut evaluator = MultiScenarioEvaluator::new(&suite)
         .with_aggregate(aggregate)
         .with_objectives(&objectives)
         .with_seed(seed);
+    if let Some(plan) = build_fidelity(rest)? {
+        evaluator = evaluator.with_fidelity(plan);
+    }
     // The shared space sizes strategy defaults; the evaluator memoizes
     // the materialization, so this costs one trace-generation pass total,
     // and handing the space back avoids deriving it a second time in run.
@@ -563,6 +652,9 @@ fn explore_suite(rest: &[&String], suite_name: &str) -> Result<(), String> {
         robust.outcome.cache_hits,
         robust.outcome.front.len(),
     );
+    if let Some(stats) = &robust.outcome.fidelity {
+        eprintln!("{}", render_fidelity(stats));
+    }
     if !robust.outcome.islands.is_empty() {
         eprint!("{}", render_island_stats(&robust.outcome.islands));
     }

@@ -224,6 +224,43 @@ fn islands_json(islands: &[crate::search::IslandStats], indent: &str) -> String 
     s
 }
 
+/// Serializes multi-fidelity screening statistics as a JSON object
+/// (shared by [`search_to_json`] and [`robust_to_json`]): one entry per
+/// screening rung plus the surrogate and full-simulation totals. Only
+/// emitted when a run actually carried a fidelity plan, so `--fidelity
+/// off` exports stay byte-identical to pre-fidelity ones.
+fn fidelity_json(stats: &crate::search::FidelityStats, indent: &str) -> String {
+    let mut s = String::from("{");
+    let _ = write!(s, "\n{indent}  \"rungs\": [");
+    for (k, (fraction, rung)) in stats.fractions.iter().zip(&stats.rungs).enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n{indent}    {{\"fraction\": {fraction}, \"screened\": {}, \
+             \"promoted\": {}, \"surrogate_hits\": {}}}",
+            rung.screened, rung.promoted, rung.surrogate_hits
+        );
+    }
+    if !stats.rungs.is_empty() {
+        let _ = write!(s, "\n{indent}  ");
+    }
+    let _ = write!(s, "],");
+    let _ = write!(
+        s,
+        "\n{indent}  \"surrogate_hits\": {},",
+        stats.surrogate_hits
+    );
+    let _ = write!(
+        s,
+        "\n{indent}  \"full_simulations\": {}",
+        stats.full_simulations
+    );
+    let _ = write!(s, "\n{indent}}}");
+    s
+}
+
 /// Serializes a single-workload [`SearchOutcome`] as one JSON object:
 /// the workload, strategy, evaluation/cache statistics, the Pareto
 /// front (with genomes), and — for island runs — the per-island
@@ -247,6 +284,9 @@ pub fn search_to_json(outcome: &crate::search::SearchOutcome, objectives: &[Obje
     let _ = writeln!(s, "  \"evaluations\": {},", outcome.evaluations);
     let _ = writeln!(s, "  \"simulations\": {},", outcome.simulations);
     let _ = writeln!(s, "  \"cache_hits\": {},", outcome.cache_hits);
+    if let Some(stats) = &outcome.fidelity {
+        let _ = writeln!(s, "  \"fidelity\": {},", fidelity_json(stats, "  "));
+    }
     let _ = writeln!(
         s,
         "  \"front\": {},",
@@ -287,6 +327,9 @@ pub fn robust_to_json(robust: &crate::scenario::RobustOutcome) -> String {
     let _ = writeln!(s, "  \"evaluations\": {},", robust.outcome.evaluations);
     let _ = writeln!(s, "  \"simulations\": {},", robust.outcome.simulations);
     let _ = writeln!(s, "  \"cache_hits\": {},", robust.outcome.cache_hits);
+    if let Some(stats) = &robust.outcome.fidelity {
+        let _ = writeln!(s, "  \"fidelity\": {},", fidelity_json(stats, "  "));
+    }
     let _ = writeln!(
         s,
         "  \"islands\": {},",
@@ -485,6 +528,37 @@ mod tests {
         // Structural sanity: brackets and braces balance.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn fidelity_block_only_appears_when_screening_ran() {
+        let suite = crate::ScenarioSuite::builtin("quick").unwrap();
+        let strategy = crate::SubsampleSearch { n: 24, seed: 2 };
+        let off = crate::MultiScenarioEvaluator::new(&suite)
+            .with_threads(4)
+            .run(&strategy);
+        let off_json = robust_to_json(&off);
+        assert!(
+            !off_json.contains("\"fidelity\""),
+            "off stays pre-PR shaped"
+        );
+
+        let plan = crate::FidelityPlan {
+            surrogate: crate::SurrogateKind::Off,
+            ..crate::FidelityPlan::halving()
+        };
+        let on = crate::MultiScenarioEvaluator::new(&suite)
+            .with_threads(4)
+            .with_fidelity(plan)
+            .run(&strategy);
+        let on_json = robust_to_json(&on);
+        assert!(on_json.contains("\"fidelity\": {"));
+        assert!(on_json.contains("\"rungs\": ["));
+        assert!(on_json.contains("\"fraction\": 0.2"));
+        assert!(on_json.contains("\"surrogate_hits\""));
+        assert!(on_json.contains("\"full_simulations\""));
+        assert_eq!(on_json.matches('{').count(), on_json.matches('}').count());
+        assert_eq!(on_json.matches('[').count(), on_json.matches(']').count());
     }
 
     #[test]

@@ -81,7 +81,8 @@ pub use scenario::{
     Aggregate, CommonalityReport, MultiScenarioEvaluator, RobustOutcome, Scenario, ScenarioSuite,
 };
 pub use search::{
-    thread_budget, EvalCache, ExhaustiveSearch, GeneticSearch, HillClimbSearch, IslandKind,
-    IslandSearch, IslandStats, Migration, SearchOutcome, SearchStrategy, SimStats, SubsampleSearch,
+    thread_budget, EvalCache, ExhaustiveSearch, FidelityPlan, FidelityStats, GeneticSearch,
+    HillClimbSearch, IslandKind, IslandSearch, IslandStats, KnnSurrogate, Migration, RungStats,
+    SearchOutcome, SearchStrategy, SimStats, SubsampleSearch, Surrogate, SurrogateKind,
 };
 pub use space::{GenomeSpace, GrammarSpace};

@@ -12,7 +12,7 @@ use dmx_trace::{CompiledTrace, Trace};
 use crate::objective::Objective;
 use crate::param::ParamSpace;
 use crate::pareto::{pareto_front, ParetoSet};
-use crate::search::{EvalInstance, SearchContext, SearchOutcome, SearchStrategy};
+use crate::search::{EvalInstance, FidelityPlan, SearchContext, SearchOutcome, SearchStrategy};
 use crate::space::GenomeSpace;
 
 /// One explored configuration with its measured metrics.
@@ -105,6 +105,9 @@ pub fn record_from_result(result: &RunResult) -> ProfileRecord {
 pub struct Explorer<'h> {
     hierarchy: &'h MemoryHierarchy,
     threads: usize,
+    /// Multi-fidelity screening schedule for guided searches; `None`
+    /// (the default) evaluates everything at full fidelity.
+    fidelity: Option<&'h FidelityPlan>,
 }
 
 impl<'h> Explorer<'h> {
@@ -115,6 +118,7 @@ impl<'h> Explorer<'h> {
         Explorer {
             hierarchy,
             threads: crate::search::thread_budget(),
+            fidelity: None,
         }
     }
 
@@ -126,6 +130,22 @@ impl<'h> Explorer<'h> {
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "need at least one worker");
         self.threads = threads;
+        self
+    }
+
+    /// Switches guided [`Explorer::search`] runs to multi-fidelity
+    /// screening under `plan` (see [`crate::search`]'s fidelity module):
+    /// fresh genomes are ranked on cheap trace prefixes and only the
+    /// plan's keep-fraction reaches the full simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FidelityPlan::validate`].
+    pub fn with_fidelity(mut self, plan: &'h FidelityPlan) -> Self {
+        if let Err(err) = plan.validate() {
+            panic!("invalid fidelity plan: {err}");
+        }
+        self.fidelity = Some(plan);
         self
     }
 
@@ -156,6 +176,7 @@ impl<'h> Explorer<'h> {
             aggregate: None,
             objectives,
             threads: self.threads,
+            fidelity: self.fidelity,
         };
         strategy.search(&ctx)
     }

@@ -24,7 +24,7 @@ use crate::param::{Genome, ParamSpace};
 use crate::pareto::ParetoSet;
 use crate::runner::Exploration;
 use crate::scenario::{Aggregate, ScenarioSuite};
-use crate::search::{EvalInstance, SearchContext, SearchOutcome, SearchStrategy};
+use crate::search::{EvalInstance, FidelityPlan, SearchContext, SearchOutcome, SearchStrategy};
 use crate::space::GenomeSpace;
 
 /// Runs search strategies against a whole scenario suite.
@@ -40,6 +40,9 @@ pub struct MultiScenarioEvaluator<'a> {
     threads: usize,
     seed: u64,
     space: Option<Arc<dyn GenomeSpace>>,
+    /// Multi-fidelity screening schedule; `None` (the default) evaluates
+    /// every candidate at full fidelity on every scenario.
+    fidelity: Option<FidelityPlan>,
     /// Memoized materialization for the current seed, so callers that
     /// need the space before running (e.g. to size a strategy) do not pay
     /// for trace generation twice. Reset whenever the seed changes.
@@ -59,6 +62,7 @@ impl<'a> MultiScenarioEvaluator<'a> {
             threads: crate::search::thread_budget(),
             seed: 42,
             space: None,
+            fidelity: None,
             materialized: std::cell::OnceCell::new(),
         }
     }
@@ -99,6 +103,24 @@ impl<'a> MultiScenarioEvaluator<'a> {
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "need at least one worker");
         self.threads = threads;
+        self
+    }
+
+    /// Switches the run to multi-fidelity screening under `plan`: fresh
+    /// genomes are ranked on cheap prefix replays of every scenario
+    /// trace (robust-folded like the full evaluation) and only the
+    /// plan's keep-fraction is simulated in full. The robust front stays
+    /// full-fidelity-only by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FidelityPlan::validate`].
+    #[must_use]
+    pub fn with_fidelity(mut self, plan: FidelityPlan) -> Self {
+        if let Err(err) = plan.validate() {
+            panic!("invalid fidelity plan: {err}");
+        }
+        self.fidelity = Some(plan);
         self
     }
 
@@ -160,6 +182,7 @@ impl<'a> MultiScenarioEvaluator<'a> {
             aggregate: Some(self.aggregate),
             objectives: &self.objectives,
             threads: self.threads,
+            fidelity: self.fidelity.as_ref(),
         };
         let mut outcome = strategy.search(&ctx);
 

@@ -149,6 +149,7 @@ mod tests {
             aggregate: None,
             objectives: &Objective::FIG1,
             threads: 1,
+            fidelity: None,
         };
         let g = space.genome_at(space.len() / 2);
         for n in ctx.space.neighbors(&g) {

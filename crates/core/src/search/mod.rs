@@ -63,12 +63,17 @@
 //! ```
 
 mod cache;
+mod fidelity;
 mod genetic;
 mod hillclimb;
 mod island;
 mod queue;
 
 pub use cache::{EvalCache, EvalKey};
+pub use fidelity::{
+    FidelityPlan, FidelityStats, KnnSurrogate, MultiFidelityEvaluator, RungStats, Surrogate,
+    SurrogateKind,
+};
 pub use genetic::GeneticSearch;
 pub use hillclimb::HillClimbSearch;
 pub use island::{IslandKind, IslandSearch, IslandStats, Migration};
@@ -312,6 +317,11 @@ pub struct SearchContext<'a> {
     pub objectives: &'a [Objective],
     /// Worker threads for batch evaluation (≥ 1).
     pub threads: usize,
+    /// `Some` switches on multi-fidelity screening: fresh genomes are
+    /// first ranked on cheap trace prefixes (and, once warm, a
+    /// surrogate), and only the plan's keep-fraction reaches the full
+    /// simulator. `None` evaluates everything at full fidelity.
+    pub fidelity: Option<&'a FidelityPlan>,
 }
 
 /// What a search run produces.
@@ -351,6 +361,9 @@ pub struct SearchOutcome {
     /// Per-island convergence and migration statistics, in island-id
     /// order. Empty for every strategy except [`IslandSearch`].
     pub islands: Vec<IslandStats>,
+    /// What the multi-fidelity layer did, when the context carried a
+    /// [`FidelityPlan`]. `None` for full-fidelity searches.
+    pub fidelity: Option<FidelityStats>,
 }
 
 /// A pluggable exploration strategy over a [`GenomeSpace`].
@@ -432,6 +445,11 @@ pub struct Evaluator<'a> {
     /// kernel counters aggregate in one place.
     shared_arena: SharedSimArena,
     sim_nanos: AtomicU64,
+    /// The multi-fidelity screening engine, when the context carries a
+    /// [`FidelityPlan`]. Screens fresh genomes *before* they reach the
+    /// full-trace jobs; its prefix results live in a separate cache and
+    /// never touch `cache`/`robust` (fronts stay full-fidelity-only).
+    fidelity: Option<MultiFidelityEvaluator<'a>>,
 }
 
 /// How many genomes one batch-kernel job replays per trace pass. Wide
@@ -474,6 +492,9 @@ impl<'a> Evaluator<'a> {
             robust: Mutex::new(HashMap::new()),
             shared_arena: SharedSimArena::with_blocks(threads),
             sim_nanos: AtomicU64::new(0),
+            fidelity: ctx
+                .fidelity
+                .map(|plan| MultiFidelityEvaluator::new(plan, ctx)),
         }
     }
 
@@ -530,6 +551,16 @@ impl<'a> Evaluator<'a> {
                 fresh.push(g.clone());
             }
         }
+
+        // Multi-fidelity screening: rank the fresh genomes on cheap
+        // prefix rungs (or the surrogate) and let only the survivors
+        // reach the full-trace jobs below. Screened-out genomes get an
+        // infeasible-marked stand-in that is returned to the strategy
+        // but never stored — outcomes stay full-fidelity-only.
+        let (fresh, stand_ins) = match &self.fidelity {
+            Some(mf) if !fresh.is_empty() => mf.screen(fresh, &self.shared_arena, &self.sim_nanos),
+            _ => (fresh, HashMap::new()),
+        };
 
         // One job = one instance × one chunk of up to [`BATCH_K`] fresh
         // genomes, replayed through the batch kernel in a single pass
@@ -658,9 +689,19 @@ impl<'a> Evaluator<'a> {
             }
         }
 
+        // Feed the surrogate with the survivors' full-fidelity results,
+        // in batch order (deterministic, so predictions are too).
+        if let Some(mf) = &self.fidelity {
+            mf.observe_full(&fresh, |g| self.lookup(g));
+        }
+
         canonical
             .iter()
-            .map(|g| self.lookup(g).expect("batch member was just evaluated"))
+            .map(|g| {
+                self.lookup(g)
+                    .or_else(|| stand_ins.get(g).cloned())
+                    .expect("batch member was just evaluated or screened")
+            })
             .collect()
     }
 
@@ -688,6 +729,11 @@ impl<'a> Evaluator<'a> {
         let cache_hits = self.cache.hits();
         let simulations = self.cache.len();
         let sim_stats = self.sim_stats();
+        let fidelity = self.fidelity.as_ref().map(|mf| {
+            let mut stats = mf.stats();
+            stats.full_simulations = simulations;
+            stats
+        });
         let (workload, genomes, results, scenario_explorations) = match ctx.aggregate {
             None => {
                 // Drain the cache; the strategies have dropped their batch
@@ -755,6 +801,7 @@ impl<'a> Evaluator<'a> {
             scenario_explorations,
             sim_stats,
             islands: Vec::new(),
+            fidelity,
         }
     }
 }
@@ -825,6 +872,7 @@ mod tests {
             aggregate: None,
             objectives: &Objective::FIG1,
             threads: 4,
+            fidelity: None,
         }
     }
 
@@ -929,6 +977,7 @@ mod tests {
             aggregate: Some(Aggregate::WorstCase),
             objectives: &Objective::FIG1,
             threads: 4,
+            fidelity: None,
         };
         let evaluator = Evaluator::new(&ctx);
         let g = space.genome_at(5);
@@ -1023,6 +1072,7 @@ mod tests {
             aggregate: Some(Aggregate::WorstCase),
             objectives: &Objective::FIG1,
             threads: 4,
+            fidelity: None,
         };
         let evaluator = Evaluator::new(&ctx);
         for start in [0usize, 3] {
@@ -1060,6 +1110,7 @@ mod tests {
             aggregate: Some(Aggregate::WorstCase),
             objectives: &Objective::FIG1,
             threads: 1,
+            fidelity: None,
         };
         let result =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| Evaluator::new(&ctx)));
@@ -1084,6 +1135,7 @@ mod tests {
             aggregate: Some(Aggregate::WorstCase),
             objectives: &Objective::FIG1,
             threads: 2,
+            fidelity: None,
         };
         let outcome = SubsampleSearch { n: 6, seed: 1 }.search(&ctx);
         assert_eq!(outcome.scenario_explorations.len(), 1, "per-scenario view");

@@ -34,6 +34,7 @@ fn run_with_threads(strategy: &IslandSearch, threads: usize) -> SearchOutcome {
         aggregate: None,
         objectives: &Objective::FIG1,
         threads,
+        fidelity: None,
     };
     strategy.search(&ctx)
 }

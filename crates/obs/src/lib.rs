@@ -105,6 +105,9 @@ pub mod names {
     pub const CACHE_HIT: &str = "cache.hit";
     /// Cache miss marker (instant).
     pub const CACHE_MISS: &str = "cache.miss";
+    /// One multi-fidelity screening rung over a batch (arg: candidates
+    /// entering the rung).
+    pub const EVAL_SCREEN: &str = "eval.screen";
 }
 
 metrics! {
@@ -140,6 +143,12 @@ metrics! {
         pub arena_checkouts: Counter = "arena.checkouts",
         /// Checkouts that overflowed to a fresh arena.
         pub arena_overflows: Counter = "arena.overflows",
+        /// Candidates that entered a multi-fidelity screening rung.
+        pub fidelity_screened: Counter = "fidelity.screened",
+        /// Candidates promoted past a screening rung.
+        pub fidelity_promoted: Counter = "fidelity.promoted",
+        /// Candidates ranked by a surrogate instead of a prefix replay.
+        pub fidelity_surrogate_hits: Counter = "fidelity.surrogate_hits",
         /// Current generation of the most recent search.
         pub generation: Gauge = "search.generation.current",
         /// Total generations the current search will run.
@@ -153,6 +162,8 @@ metrics! {
         pub batch_fresh: Histogram = "eval.batch.fresh",
         /// Lanes per SoA batch replay pass.
         pub batch_lanes: Histogram = "kernel.batch.lanes",
+        /// Prefix lengths (trace events) replayed by screening rungs.
+        pub fidelity_prefix_events: Histogram = "fidelity.prefix.events",
     }
 }
 
@@ -198,9 +209,10 @@ mod tests {
     #[test]
     fn catalog_snapshot_has_every_metric() {
         let snap = metrics().snapshot();
-        assert_eq!(snap.len(), 20);
+        assert_eq!(snap.len(), 24);
         assert_eq!(snap[0].name, "search.generations");
         assert!(snap.iter().any(|s| s.name == "kernel.batch.lanes"));
+        assert!(snap.iter().any(|s| s.name == "fidelity.prefix.events"));
     }
 
     #[cfg(feature = "enabled")]

@@ -267,6 +267,113 @@ impl CompiledTrace {
         Arc::new(CompiledTrace::compile(trace))
     }
 
+    /// A replayable prefix of this trace: the first
+    /// `ceil(fraction × len)` events, re-lowered as a standalone
+    /// [`CompiledTrace`] that every replay kernel accepts unchanged —
+    /// the low-fidelity rungs of a multi-fidelity search screen
+    /// candidates on these.
+    ///
+    /// The SoA event streams are a plain cut, but the hoisted
+    /// per-allocation data is rebuilt over the window: access totals are
+    /// re-accumulated from in-window `Access` events only (a lifetime
+    /// total would charge accesses that happen after the cut), lifetimes
+    /// of blocks still live at the cut run to the window end, and the
+    /// tick/peak/slot summaries are recomputed. Because the dense-slot
+    /// assignment of a compile depends only on the event prefix already
+    /// consumed, the result is **identical** to compiling the truncated
+    /// source trace; `prefix(1.0)` returns a clone of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction <= 1`.
+    pub fn prefix(&self, fraction: f64) -> CompiledTrace {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "prefix fraction must be in (0, 1], got {fraction}"
+        );
+        let len = self.kinds.len();
+        let cut = ((len as f64 * fraction).ceil() as usize).min(len);
+        if cut == len {
+            return self.clone();
+        }
+
+        let mut pool_ops = Vec::new();
+        let mut alloc_sizes = Vec::new();
+        let mut alloc_reads: Vec<u64> = Vec::new();
+        let mut alloc_writes: Vec<u64> = Vec::new();
+        let mut lifetimes: Vec<u32> = Vec::new();
+        let mut total_tick_cycles = 0u64;
+        let mut allocs = 0u64;
+        let mut frees = 0u64;
+        // slot → (alloc ordinal, alloc event index) for in-window live
+        // blocks. Slots are already dense, so a flat table replaces the
+        // id map that `compile` needs.
+        let mut owner: Vec<(usize, usize)> = vec![(usize::MAX, 0); self.max_live_slots as usize];
+        let mut live_bytes = 0u64;
+        let mut peak_live_bytes = 0u64;
+        let mut max_live_slots = 0u32;
+
+        for at in 0..cut {
+            let slot = self.slots[at];
+            match self.kinds[at] {
+                OpCode::Alloc => {
+                    let size = self.args[at];
+                    owner[slot as usize] = (alloc_sizes.len(), at);
+                    alloc_sizes.push(size);
+                    alloc_reads.push(0);
+                    alloc_writes.push(0);
+                    lifetimes.push(0);
+                    allocs += 1;
+                    pool_ops.push(PoolOp::alloc(slot));
+                    live_bytes += u64::from(size);
+                    peak_live_bytes = peak_live_bytes.max(live_bytes);
+                    // The free-slot stack hands out the same slots for
+                    // the same event prefix, so the window's peak slab
+                    // is the highest slot an in-window alloc touches.
+                    max_live_slots = max_live_slots.max(slot + 1);
+                }
+                OpCode::Free => {
+                    let (ordinal, born) = owner[slot as usize];
+                    lifetimes[ordinal] = (at - born) as u32;
+                    owner[slot as usize] = (usize::MAX, 0);
+                    frees += 1;
+                    pool_ops.push(PoolOp::free(slot));
+                    live_bytes -= u64::from(alloc_sizes[ordinal]);
+                }
+                OpCode::Access => {
+                    let (ordinal, _) = owner[slot as usize];
+                    alloc_reads[ordinal] += u64::from(self.args[at]);
+                    alloc_writes[ordinal] += u64::from(self.args2[at]);
+                }
+                OpCode::Tick => total_tick_cycles += u64::from(self.args[at]),
+            }
+        }
+        // Blocks whose lifetime crosses the cut run to the window end.
+        for &(ordinal, born) in &owner {
+            if ordinal != usize::MAX {
+                lifetimes[ordinal] = (cut - born) as u32;
+            }
+        }
+
+        CompiledTrace {
+            name: self.name.clone(),
+            kinds: self.kinds[..cut].to_vec(),
+            slots: self.slots[..cut].to_vec(),
+            args: self.args[..cut].to_vec(),
+            args2: self.args2[..cut].to_vec(),
+            pool_ops,
+            alloc_sizes,
+            alloc_reads,
+            alloc_writes,
+            total_tick_cycles,
+            max_live_slots,
+            lifetimes,
+            allocs,
+            frees,
+            peak_live_bytes,
+        }
+    }
+
     /// The workload name, carried over from the source trace.
     pub fn name(&self) -> &str {
         &self.name
@@ -602,5 +709,82 @@ mod tests {
         assert_eq!(Arc::strong_count(&c), 1);
         assert!(c.to_string().contains("compiled trace"));
         assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn prefix_of_full_fraction_is_identical() {
+        let t = EasyportConfig::small().generate(7);
+        let c = CompiledTrace::compile(&t);
+        assert_eq!(c.prefix(1.0), c);
+    }
+
+    #[test]
+    fn prefix_equals_compile_of_truncated_trace() {
+        let t = EasyportConfig::small().generate(5);
+        let c = CompiledTrace::compile(&t);
+        for fraction in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let cut = ((t.len() as f64 * fraction).ceil() as usize).min(t.len());
+            let truncated =
+                Trace::from_events(t.name(), t.events()[..cut].to_vec()).expect("valid prefix");
+            assert_eq!(
+                c.prefix(fraction),
+                CompiledTrace::compile(&truncated),
+                "fraction {fraction}: prefix view must equal a fresh compile of the \
+                 truncated source trace"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_adjusts_hoisted_totals_at_the_cut() {
+        // Block 1 lives across the cut: only its in-window accesses may
+        // be charged, and its lifetime must end at the window.
+        let t = Trace::from_events(
+            "t",
+            vec![
+                alloc(1, 64),
+                TraceEvent::Access {
+                    id: BlockId(1),
+                    reads: 3,
+                    writes: 2,
+                },
+                TraceEvent::Tick { cycles: 9 },
+                TraceEvent::Access {
+                    id: BlockId(1),
+                    reads: 40,
+                    writes: 50,
+                },
+                free(1),
+                TraceEvent::Tick { cycles: 100 },
+            ],
+        )
+        .unwrap();
+        let c = CompiledTrace::compile(&t);
+        let p = c.prefix(0.5); // first 3 of 6 events
+        assert_eq!(p.len(), 3);
+        assert_eq!(
+            p.alloc_reads(),
+            [3],
+            "post-cut accesses must not be charged"
+        );
+        assert_eq!(p.alloc_writes(), [2]);
+        assert_eq!(p.total_tick_cycles(), 9);
+        assert_eq!(
+            p.lifetimes(),
+            [3],
+            "live-at-cut lifetime runs to the window end"
+        );
+        assert_eq!(p.allocs(), 1);
+        assert_eq!(p.frees(), 0);
+        assert_eq!(p.pool_ops().len(), 1);
+        assert_eq!(p.peak_live_bytes(), 64);
+        assert_eq!(p.name(), c.name());
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix fraction must be in (0, 1]")]
+    fn prefix_rejects_out_of_range_fractions() {
+        let c = CompiledTrace::compile(&ramp(4, 16));
+        let _ = c.prefix(0.0);
     }
 }

@@ -809,7 +809,7 @@ fn front_json(front: &[(&str, u64, u64)]) -> String {
 /// both extreme worker counts.
 #[test]
 fn search_strategies_reproduce_pre_refactor_outcomes() {
-    use dmx_core::export::pareto_to_json;
+    use dmx_core::export::{pareto_to_json, search_to_json};
     use dmx_core::search::{
         GeneticSearch, HillClimbSearch, IslandSearch, Migration, SearchStrategy, SubsampleSearch,
     };
@@ -876,6 +876,72 @@ fn search_strategies_reproduce_pre_refactor_outcomes() {
                 front_json(golden.front),
                 "{ctx}: exported JSON front drifted"
             );
+            // Multi-fidelity screening is opt-in: a default run must
+            // carry no fidelity statistics and export no fidelity block,
+            // so these pre-screening goldens stay byte-identical.
+            assert!(
+                outcome.fidelity.is_none(),
+                "{ctx}: fidelity stats appeared on a fidelity-off run"
+            );
+            assert!(
+                !search_to_json(&outcome, &Objective::FIG1).contains("\"fidelity\""),
+                "{ctx}: fidelity block leaked into a fidelity-off export"
+            );
         }
     }
+}
+
+/// Multi-fidelity screening golden: a fixed-seed halving+k-NN genetic
+/// search must produce byte-identical outcomes at both extreme worker
+/// counts — the same exported JSON (front, accounting *and* the fidelity
+/// block), the same evaluated genome sequence, and fewer full-trace
+/// simulations than candidates screened. Pins the prefix-replay
+/// screening pipeline the way the other goldens pin the kernels.
+#[test]
+fn multi_fidelity_search_is_deterministic_across_worker_counts() {
+    use dmx_core::export::search_to_json;
+    use dmx_core::search::GeneticSearch;
+    use dmx_core::study::{easyport_space, easyport_trace, StudyScale};
+    use dmx_core::{Explorer, FidelityPlan, Objective};
+
+    let hier = dmx_memhier::presets::sp64k_dram4m();
+    let space = easyport_space(&hier, StudyScale::Quick);
+    let trace = easyport_trace(StudyScale::Quick, 42);
+    let strategy = GeneticSearch {
+        population: 10,
+        generations: 3,
+        mutation: 0.2,
+        seed: 2006,
+    };
+    let plan = FidelityPlan::halving();
+
+    let mut runs = Vec::new();
+    for threads in [1usize, 8] {
+        let outcome = Explorer::new(&hier)
+            .with_threads(threads)
+            .with_fidelity(&plan)
+            .search(&strategy, &space, &trace, &Objective::FIG1);
+        let stats = outcome
+            .fidelity
+            .clone()
+            .expect("a fidelity plan was active");
+        assert!(
+            stats.rungs[0].screened > 0,
+            "threads={threads}: the lowest rung never screened a candidate"
+        );
+        assert!(
+            stats.full_simulations < stats.rungs[0].screened + outcome.cache_hits,
+            "threads={threads}: screening saved no full-trace simulations"
+        );
+        let json = search_to_json(&outcome, &Objective::FIG1);
+        assert!(
+            json.contains("\"fidelity\""),
+            "threads={threads}: fidelity block missing from the export"
+        );
+        runs.push((outcome.genomes, outcome.front.points, stats, json));
+    }
+    assert_eq!(
+        runs[0], runs[1],
+        "multi-fidelity run drifted between 1 and 8 workers"
+    );
 }

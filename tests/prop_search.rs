@@ -126,6 +126,7 @@ proptest! {
             aggregate: None,
             objectives: &Objective::FIG1,
             threads: 4,
+            fidelity: None,
         };
         let evaluator = Evaluator::new(&ctx);
 
