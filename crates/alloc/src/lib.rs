@@ -79,4 +79,4 @@ pub use freelist::FreeList;
 pub use freemap::FreeMap;
 pub use policy::{CoalescePolicy, FitPolicy, FreeOrder, SplitPolicy};
 pub use pool::PoolStats;
-pub use sim::{SimArena, SimMetrics, Simulator};
+pub use sim::{ContentionParams, SimArena, SimMetrics, Simulator};

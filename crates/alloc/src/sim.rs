@@ -18,7 +18,7 @@
 //! byte-identical [`SimMetrics`], and the `sim_throughput` bench reports
 //! the slab kernel's speedup over it.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use dmx_memhier::{CostModel, CostParams, CounterSet, MemoryHierarchy};
 use dmx_trace::{BlockId, CompiledEvent, CompiledTrace, Trace, TraceEvent};
@@ -58,6 +58,15 @@ pub struct SimMetrics {
     pub peak_internal_frag: u64,
     /// Allocator operations executed (allocs + frees that reached a pool).
     pub ops: u64,
+    /// Total shared-pool contention stall cycles charged (see
+    /// [`ContentionParams`]). Provably 0 for single-threaded traces: the
+    /// contention model is gated on more than one distinct thread id in
+    /// the pool-op stream.
+    pub contention_stalls: u64,
+    /// Tail-latency proxy: the p99 of per-op charged cycles
+    /// (`cpu_cycles_per_op + stall`). 0 for single-threaded traces,
+    /// where no per-op stalls are observed.
+    pub tail_latency: u64,
 }
 
 impl SimMetrics {
@@ -78,6 +87,135 @@ impl SimMetrics {
             return 0.0;
         }
         self.meta_counters.total_accesses() as f64 / total as f64
+    }
+}
+
+/// Parameters of the shared-pool contention cost model.
+///
+/// Replay charges contention only for *threaded* traces (more than one
+/// distinct thread id over the pool-op stream — single-threaded replays
+/// take the original hot path and charge exactly zero). Every operation
+/// that reaches a pool pays `stall_cycles` for each **distinct other
+/// thread** that touched the same pool within the last `window` pool
+/// operations on that pool. Per-thread-cache hits are free: a pool
+/// touched by one thread only never stalls, and neither do operations on
+/// different pools — only genuine sharing of a pool across threads pays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContentionParams {
+    /// Stall cycles charged per distinct other thread sharing the pool
+    /// within the sliding window.
+    pub stall_cycles: u32,
+    /// Sliding-window length in pool operations over which sharing is
+    /// observed. 0 disables the model entirely.
+    pub window: u32,
+}
+
+impl Default for ContentionParams {
+    fn default() -> Self {
+        // A cache-line ping-pong plus a short lock handoff per
+        // contending thread, observed over a window about one request
+        // burst long.
+        ContentionParams {
+            stall_cycles: 40,
+            window: 64,
+        }
+    }
+}
+
+/// Sliding window of the last `window` op tids on one pool, with an
+/// incremental per-tid count so "distinct other threads" is O(1) per op.
+struct PoolWindow {
+    ring: Vec<u32>,
+    head: usize,
+    filled: usize,
+    counts: HashMap<u32, u32>,
+}
+
+impl PoolWindow {
+    fn new(window: usize) -> Self {
+        PoolWindow {
+            ring: vec![0; window],
+            head: 0,
+            filled: 0,
+            counts: HashMap::new(),
+        }
+    }
+
+    /// Records `tid` touching the pool and returns the number of
+    /// distinct *other* threads present in the window before this op.
+    fn observe(&mut self, tid: u32) -> u32 {
+        let others = (self.counts.len() - usize::from(self.counts.contains_key(&tid))) as u32;
+        let window = self.ring.len();
+        if self.filled == window {
+            let old = self.ring[self.head];
+            let n = self.counts.get_mut(&old).expect("windowed tid counted");
+            *n -= 1;
+            if *n == 0 {
+                self.counts.remove(&old);
+            }
+        } else {
+            self.filled += 1;
+        }
+        self.ring[self.head] = tid;
+        self.head = (self.head + 1) % window;
+        *self.counts.entry(tid).or_insert(0) += 1;
+        others
+    }
+}
+
+/// Per-replay contention accounting: one sliding window per pool, the
+/// accumulated stall total, and a histogram of ops by distinct-other
+/// count from which the exact p99 per-op charge is recovered.
+struct ContentionState {
+    params: ContentionParams,
+    pools: Vec<PoolWindow>,
+    stalls: u64,
+    /// `dist[d]` = pool ops that observed `d` distinct other threads.
+    dist: Vec<u64>,
+}
+
+impl ContentionState {
+    fn new(params: ContentionParams, pool_count: usize) -> Self {
+        ContentionState {
+            params,
+            pools: (0..pool_count)
+                .map(|_| PoolWindow::new(params.window as usize))
+                .collect(),
+            stalls: 0,
+            dist: Vec::new(),
+        }
+    }
+
+    /// Charges one successful pool op issued by `tid` against `pool`.
+    fn charge(&mut self, pool: PoolId, tid: u32) {
+        let d = self.pools[pool as usize].observe(tid);
+        self.stalls += u64::from(self.params.stall_cycles) * u64::from(d);
+        if self.dist.len() <= d as usize {
+            self.dist.resize(d as usize + 1, 0);
+        }
+        self.dist[d as usize] += 1;
+    }
+
+    /// The p99 of per-op charged cycles, computed exactly from the
+    /// distinct-count histogram: the charge is monotone in `d`, so the
+    /// p99 op is the one at the `ceil(0.99 n)`-th position when ops are
+    /// ordered by `d`.
+    fn tail_latency(&self, cpu_cycles_per_op: u64) -> u64 {
+        let n: u64 = self.dist.iter().sum();
+        if n == 0 {
+            return 0;
+        }
+        let target = (99 * n).div_ceil(100);
+        let mut cum = 0u64;
+        let mut d99 = 0usize;
+        for (d, &count) in self.dist.iter().enumerate() {
+            cum += count;
+            if cum >= target {
+                d99 = d;
+                break;
+            }
+        }
+        cpu_cycles_per_op + u64::from(self.params.stall_cycles) * d99 as u64
     }
 }
 
@@ -196,11 +334,21 @@ struct BatchLane {
     peak_frag: u64,
 }
 
+/// Scalar tallies a replay hands to [`Simulator::finish`].
+struct OpTallies {
+    allocs: u64,
+    frees: u64,
+    failures: u64,
+    tick_cycles: u64,
+    peak_internal_frag: u64,
+}
+
 /// Replays traces against allocator configurations over a fixed platform.
 #[derive(Debug, Clone, Copy)]
 pub struct Simulator<'h> {
     hierarchy: &'h MemoryHierarchy,
     cost_params: CostParams,
+    contention: ContentionParams,
 }
 
 impl<'h> Simulator<'h> {
@@ -209,6 +357,7 @@ impl<'h> Simulator<'h> {
         Simulator {
             hierarchy,
             cost_params: CostParams::default(),
+            contention: ContentionParams::default(),
         }
     }
 
@@ -216,6 +365,27 @@ impl<'h> Simulator<'h> {
     pub fn with_cost_params(mut self, params: CostParams) -> Self {
         self.cost_params = params;
         self
+    }
+
+    /// Overrides the shared-pool contention parameters (only observable
+    /// on threaded traces; see [`ContentionParams`]).
+    pub fn with_contention(mut self, params: ContentionParams) -> Self {
+        self.contention = params;
+        self
+    }
+
+    /// The contention parameters this simulator charges threaded traces.
+    pub fn contention(&self) -> ContentionParams {
+        self.contention
+    }
+
+    /// Contention accounting for one replay, or `None` when the trace is
+    /// single-threaded or the model is disabled — the gate that keeps
+    /// tid-0-only replays on the original hot path with provably zero
+    /// contention cycles.
+    fn contention_state(&self, threaded: bool, pool_count: usize) -> Option<ContentionState> {
+        (threaded && self.contention.window > 0)
+            .then(|| ContentionState::new(self.contention, pool_count))
     }
 
     /// The platform this simulator models.
@@ -300,6 +470,9 @@ impl<'h> Simulator<'h> {
         let mut tick_cycles = 0u64;
         let mut live_internal_frag = 0u64;
         let mut peak_internal_frag = 0u64;
+        let mut contention = self.contention_state(trace.is_threaded(), allocator.pool_count());
+        let op_tids = trace.op_tids();
+        let mut op_idx = 0usize;
         let slab = arena.prepare(trace.max_live_slots() as usize);
 
         for event in trace.iter_events() {
@@ -310,22 +483,31 @@ impl<'h> Simulator<'h> {
                             allocs += 1;
                             live_internal_frag += u64::from(info.internal_fragmentation());
                             peak_internal_frag = peak_internal_frag.max(live_internal_frag);
+                            if let Some(c) = contention.as_mut() {
+                                c.charge(pool, op_tids[op_idx]);
+                            }
                             debug_assert!(slab[slot as usize].is_none(), "slot already live");
                             slab[slot as usize] = Some((info, pool));
                         }
                         Err(_) => {
                             // The block never materializes; later events on
-                            // this slot are dropped below.
+                            // this slot are dropped below — and no pool was
+                            // touched, so no contention is charged.
                             failures += 1;
                         }
                     }
+                    op_idx += 1;
                 }
                 CompiledEvent::Free { slot } => {
                     if let Some((info, pool)) = slab[slot as usize].take() {
                         live_internal_frag -= u64::from(info.internal_fragmentation());
                         allocator.free_traced(info.addr, pool, &mut ctx);
+                        if let Some(c) = contention.as_mut() {
+                            c.charge(pool, op_tids[op_idx]);
+                        }
                         frees += 1;
                     }
+                    op_idx += 1;
                 }
                 CompiledEvent::Access {
                     slot,
@@ -345,11 +527,14 @@ impl<'h> Simulator<'h> {
 
         self.finish(
             ctx,
-            allocs,
-            frees,
-            failures,
-            tick_cycles,
-            peak_internal_frag,
+            OpTallies {
+                allocs,
+                frees,
+                failures,
+                tick_cycles,
+                peak_internal_frag,
+            },
+            contention,
         )
     }
 
@@ -421,10 +606,18 @@ impl<'h> Simulator<'h> {
         let sizes = trace.alloc_sizes();
         let reads = trace.alloc_reads();
         let writes = trace.alloc_writes();
+        let op_tids = trace.op_tids();
+        // Lanes may have different pool counts, so contention windows are
+        // per lane; all share the single-threaded gate of the trace.
+        let threaded = trace.is_threaded();
+        let mut contention: Vec<Option<ContentionState>> = allocators
+            .iter()
+            .map(|a| self.contention_state(threaded, a.pool_count()))
+            .collect();
         {
             let slab = arena.prepare_batch(k, trace.max_live_slots() as usize);
             let mut ordinal = 0usize;
-            for &op in trace.pool_ops() {
+            for (op_idx, &op) in trace.pool_ops().iter().enumerate() {
                 let base = op.slot() as usize * k;
                 if op.is_free() {
                     for (j, (lane, allocator)) in
@@ -433,6 +626,9 @@ impl<'h> Simulator<'h> {
                         if let Some((info, pool)) = slab[base + j].take() {
                             lane.live_frag -= u64::from(info.internal_fragmentation());
                             allocator.free_traced(info.addr, pool, &mut lane.ctx);
+                            if let Some(c) = contention[j].as_mut() {
+                                c.charge(pool, op_tids[op_idx]);
+                            }
                             lane.frees += 1;
                         }
                     }
@@ -451,6 +647,9 @@ impl<'h> Simulator<'h> {
                                 // The block's whole-lifetime application
                                 // accesses, charged at placement.
                                 lane.ctx.app_access(info.level, block_reads, block_writes);
+                                if let Some(c) = contention[j].as_mut() {
+                                    c.charge(pool, op_tids[op_idx]);
+                                }
                                 debug_assert!(slab[base + j].is_none(), "slot already live");
                                 slab[base + j] = Some((info, pool));
                             }
@@ -467,14 +666,18 @@ impl<'h> Simulator<'h> {
         let ticks = trace.total_tick_cycles();
         lanes
             .into_iter()
-            .map(|lane| {
+            .zip(contention)
+            .map(|(lane, contention)| {
                 self.finish(
                     lane.ctx,
-                    lane.allocs,
-                    lane.frees,
-                    lane.failures,
-                    ticks,
-                    lane.peak_frag,
+                    OpTallies {
+                        allocs: lane.allocs,
+                        frees: lane.frees,
+                        failures: lane.failures,
+                        tick_cycles: ticks,
+                        peak_internal_frag: lane.peak_frag,
+                    },
+                    contention,
                 )
             })
             .collect()
@@ -495,36 +698,57 @@ impl<'h> Simulator<'h> {
     ) -> Result<SimMetrics, BuildError> {
         let mut allocator = config.build(self.hierarchy)?;
         let mut ctx = AllocCtx::new(self.hierarchy.len());
-        let mut placed: HashMap<BlockId, BlockInfo> = HashMap::new();
+        let mut placed: HashMap<BlockId, (BlockInfo, PoolId)> = HashMap::new();
         let mut allocs = 0u64;
         let mut frees = 0u64;
         let mut failures = 0u64;
         let mut tick_cycles = 0u64;
         let mut live_internal_frag = 0u64;
         let mut peak_internal_frag = 0u64;
+        // Re-derive the threaded gate from the raw events (the kernels
+        // read it off the compiled tid stream): contention only applies
+        // when more than one distinct thread issues allocator ops.
+        let threaded = trace
+            .iter()
+            .filter(|ev| ev.is_allocator_op())
+            .filter_map(|ev| ev.thread_id())
+            .collect::<HashSet<_>>()
+            .len()
+            > 1;
+        let mut contention = self.contention_state(threaded, allocator.pool_count());
 
         for event in trace {
             match *event {
-                TraceEvent::Alloc { id, size } => match allocator.alloc(size, &mut ctx) {
-                    Ok(info) => {
-                        allocs += 1;
-                        live_internal_frag += u64::from(info.internal_fragmentation());
-                        peak_internal_frag = peak_internal_frag.max(live_internal_frag);
-                        placed.insert(id, info);
+                TraceEvent::Alloc { id, size, tid } => {
+                    match allocator.alloc_traced(size, &mut ctx) {
+                        Ok((info, pool)) => {
+                            allocs += 1;
+                            live_internal_frag += u64::from(info.internal_fragmentation());
+                            peak_internal_frag = peak_internal_frag.max(live_internal_frag);
+                            if let Some(c) = contention.as_mut() {
+                                c.charge(pool, tid.0);
+                            }
+                            placed.insert(id, (info, pool));
+                        }
+                        Err(_) => {
+                            failures += 1;
+                        }
                     }
-                    Err(_) => {
-                        failures += 1;
-                    }
-                },
-                TraceEvent::Free { id } => {
-                    if let Some(info) = placed.remove(&id) {
+                }
+                TraceEvent::Free { id, tid } => {
+                    if let Some((info, pool)) = placed.remove(&id) {
                         live_internal_frag -= u64::from(info.internal_fragmentation());
-                        allocator.free(info.addr, &mut ctx);
+                        allocator.free_traced(info.addr, pool, &mut ctx);
+                        if let Some(c) = contention.as_mut() {
+                            c.charge(pool, tid.0);
+                        }
                         frees += 1;
                     }
                 }
-                TraceEvent::Access { id, reads, writes } => {
-                    if let Some(info) = placed.get(&id) {
+                TraceEvent::Access {
+                    id, reads, writes, ..
+                } => {
+                    if let Some((info, _)) = placed.get(&id) {
                         ctx.app_access(info.level, u64::from(reads), u64::from(writes));
                     }
                 }
@@ -536,40 +760,49 @@ impl<'h> Simulator<'h> {
 
         Ok(self.finish(
             ctx,
-            allocs,
-            frees,
-            failures,
-            tick_cycles,
-            peak_internal_frag,
+            OpTallies {
+                allocs,
+                frees,
+                failures,
+                tick_cycles,
+                peak_internal_frag,
+            },
+            contention,
         ))
     }
 
-    /// Folds the accounting context into the final metrics (shared by the
-    /// kernel and the reference interpreter).
+    /// Folds the accounting context into the final metrics (shared by
+    /// both kernels and the reference interpreter). `contention` is
+    /// `None` for single-threaded replays, which therefore report zero
+    /// stalls/tail-latency and the exact pre-threading cycle count.
     fn finish(
         &self,
         ctx: AllocCtx,
-        allocs: u64,
-        frees: u64,
-        failures: u64,
-        tick_cycles: u64,
-        peak_internal_frag: u64,
+        tallies: OpTallies,
+        contention: Option<ContentionState>,
     ) -> SimMetrics {
         let cost = CostModel::with_params(self.hierarchy, self.cost_params);
-        let cycles = cost.total_cycles(&ctx.counters, ctx.ops) + tick_cycles;
+        let (contention_stalls, tail_latency) = match &contention {
+            Some(c) => (c.stalls, c.tail_latency(self.cost_params.cpu_cycles_per_op)),
+            None => (0, 0),
+        };
+        let cycles =
+            cost.total_cycles(&ctx.counters, ctx.ops) + tallies.tick_cycles + contention_stalls;
         let energy_pj = cost.total_energy_pj(&ctx.counters, cycles);
         SimMetrics {
             footprint: ctx.footprint.peak_total(),
             footprint_per_level: ctx.footprint.peaks().to_vec(),
             energy_pj,
             cycles,
-            allocs,
-            frees,
-            failures,
-            peak_internal_frag,
+            allocs: tallies.allocs,
+            frees: tallies.frees,
+            failures: tallies.failures,
+            peak_internal_frag: tallies.peak_internal_frag,
             ops: ctx.ops,
             counters: ctx.counters,
             meta_counters: ctx.meta_counters,
+            contention_stalls,
+            tail_latency,
         }
     }
 }
@@ -851,6 +1084,159 @@ mod tests {
         assert_eq!(arena.runs(), 3);
         assert_eq!(arena.reuses(), 2);
         assert_eq!(arena.batches(), 2);
+    }
+
+    /// A producer/consumer trace: even blocks are allocated on t1 and
+    /// freed on t2, odd blocks the other way around, with accesses mixed
+    /// in — every free crosses threads.
+    fn cross_thread_trace() -> Trace {
+        use dmx_trace::ThreadId;
+        let mut events = Vec::new();
+        for i in 0u64..60 {
+            let (a, f) = if i % 2 == 0 {
+                (ThreadId(1), ThreadId(2))
+            } else {
+                (ThreadId(2), ThreadId(1))
+            };
+            events.push(TraceEvent::alloc_on(
+                a,
+                BlockId(i),
+                32 + (i as u32 % 5) * 16,
+            ));
+            events.push(TraceEvent::access_on(a, BlockId(i), 4, 2));
+            if i >= 8 {
+                events.push(TraceEvent::free_on(f, BlockId(i - 8)));
+            }
+            if i % 7 == 0 {
+                events.push(TraceEvent::tick(13));
+            }
+        }
+        for i in 52u64..60 {
+            events.push(TraceEvent::free_on(ThreadId(1), BlockId(i)));
+        }
+        Trace::from_events("cross-thread", events).unwrap()
+    }
+
+    #[test]
+    fn single_threaded_replay_charges_zero_contention() {
+        let hier = presets::sp64k_dram4m();
+        // Even with an aggressive contention model configured, a
+        // tid-0-only trace must charge nothing and keep every metric at
+        // its pre-threading value.
+        let sim = Simulator::new(&hier);
+        let loud = Simulator::new(&hier).with_contention(ContentionParams {
+            stall_cycles: 10_000,
+            window: 256,
+        });
+        let trace = EasyportConfig::small().generate(11);
+        let base = sim.run(&baseline(&hier), &trace).unwrap();
+        let m = loud.run(&baseline(&hier), &trace).unwrap();
+        assert_eq!(m.contention_stalls, 0);
+        assert_eq!(m.tail_latency, 0);
+        assert_eq!(m, base);
+    }
+
+    #[test]
+    fn threaded_replay_charges_contention_into_cycles() {
+        let hier = presets::sp64k_dram4m();
+        let sim = Simulator::new(&hier);
+        let off = Simulator::new(&hier).with_contention(ContentionParams {
+            stall_cycles: 40,
+            window: 0,
+        });
+        let trace = cross_thread_trace();
+        let cfg = baseline(&hier);
+        let m = sim.run(&cfg, &trace).unwrap();
+        let quiet = off.run(&cfg, &trace).unwrap();
+        assert!(
+            m.contention_stalls > 0,
+            "two threads sharing one pool must stall"
+        );
+        assert!(m.tail_latency > sim.cost_params.cpu_cycles_per_op);
+        assert_eq!(quiet.contention_stalls, 0, "window 0 disables the model");
+        assert_eq!(
+            m.cycles,
+            quiet.cycles + m.contention_stalls,
+            "stalls are charged on top of the base cycle count"
+        );
+    }
+
+    #[test]
+    fn kernels_match_reference_on_cross_thread_frees() {
+        let hier = presets::sp64k_dram4m();
+        let sim = Simulator::new(&hier);
+        let trace = cross_thread_trace();
+        let compiled = CompiledTrace::compile(&trace);
+        assert!(compiled.is_threaded());
+        let configs = vec![baseline(&hier), AllocatorConfig::paper_example(&hier)];
+        let mut arena = SimArena::new();
+        let batch = sim
+            .run_batch_in_arena(&configs, &compiled, &mut arena)
+            .unwrap();
+        for (cfg, from_batch) in configs.iter().zip(&batch) {
+            let reference = sim.run_reference(cfg, &trace).unwrap();
+            let slab = sim.run_compiled(cfg, &compiled).unwrap();
+            assert_eq!(reference, slab, "slab kernel diverges on {}", cfg.label());
+            assert_eq!(
+                reference,
+                *from_batch,
+                "batch kernel diverges on {}",
+                cfg.label()
+            );
+            assert!(reference.contention_stalls > 0);
+        }
+    }
+
+    #[test]
+    fn contention_scales_with_stall_cycles() {
+        let hier = presets::sp64k_dram4m();
+        let trace = cross_thread_trace();
+        let cfg = baseline(&hier);
+        let one = Simulator::new(&hier)
+            .with_contention(ContentionParams {
+                stall_cycles: 1,
+                window: 64,
+            })
+            .run(&cfg, &trace)
+            .unwrap();
+        let forty = Simulator::new(&hier)
+            .with_contention(ContentionParams {
+                stall_cycles: 40,
+                window: 64,
+            })
+            .run(&cfg, &trace)
+            .unwrap();
+        assert_eq!(forty.contention_stalls, 40 * one.contention_stalls);
+    }
+
+    #[test]
+    fn pool_window_counts_distinct_other_threads() {
+        let mut w = PoolWindow::new(4);
+        assert_eq!(w.observe(1), 0, "empty window: nobody else");
+        assert_eq!(w.observe(1), 0, "same thread again: still nobody else");
+        assert_eq!(w.observe(2), 1, "t1 is in the window");
+        assert_eq!(w.observe(3), 2, "t1 and t2 are in the window");
+        // The count is taken over the last 4 ops *before* the new one
+        // lands, so the full window [1, 1, 2, 3] still shows t1 and t2.
+        assert_eq!(w.observe(3), 2);
+        assert_eq!(w.observe(3), 2, "window [1, 2, 3, 3]: t1 and t2 remain");
+        assert_eq!(w.observe(3), 1, "window [2, 3, 3, 3]: only t2 left");
+        assert_eq!(w.observe(3), 0, "window [3, 3, 3, 3]: t3 all alone");
+    }
+
+    #[test]
+    fn tail_latency_is_p99_of_charged_cycles() {
+        let params = ContentionParams {
+            stall_cycles: 40,
+            window: 8,
+        };
+        let mut c = ContentionState::new(params, 1);
+        c.dist = vec![99, 1];
+        assert_eq!(c.tail_latency(12), 12, "p99 op saw 0 others at 99/100");
+        c.dist = vec![98, 2];
+        assert_eq!(c.tail_latency(12), 12 + 40, "p99 op saw 1 other");
+        c.dist = vec![];
+        assert_eq!(c.tail_latency(12), 0, "no ops observed");
     }
 
     #[test]

@@ -106,6 +106,7 @@ fn trace_from_ops(ops: &[Op]) -> Trace {
                 let id = next_id;
                 next_id += 1;
                 t.push(TraceEvent::Alloc {
+                    tid: dmx_trace::ThreadId::MAIN,
                     id: BlockId(id),
                     size: *size,
                 })
@@ -113,6 +114,7 @@ fn trace_from_ops(ops: &[Op]) -> Trace {
                 live.push(id);
                 if i % 3 == 0 {
                     t.push(TraceEvent::Access {
+                        tid: dmx_trace::ThreadId::MAIN,
                         id: BlockId(id),
                         reads: (*size % 7) + 1,
                         writes: *size % 5,
@@ -123,7 +125,11 @@ fn trace_from_ops(ops: &[Op]) -> Trace {
             Op::FreeNth(n) => {
                 if !live.is_empty() {
                     let id = live.remove(n % live.len());
-                    t.push(TraceEvent::Free { id: BlockId(id) }).unwrap();
+                    t.push(TraceEvent::Free {
+                        tid: dmx_trace::ThreadId::MAIN,
+                        id: BlockId(id),
+                    })
+                    .unwrap();
                 } else {
                     t.push(TraceEvent::Tick { cycles: 17 }).unwrap();
                 }
@@ -132,7 +138,68 @@ fn trace_from_ops(ops: &[Op]) -> Trace {
     }
     // Free half of what is left so the trace ends with some leaked blocks.
     for id in live.iter().step_by(2) {
-        t.push(TraceEvent::Free { id: BlockId(*id) }).unwrap();
+        t.push(TraceEvent::Free {
+            tid: dmx_trace::ThreadId::MAIN,
+            id: BlockId(*id),
+        })
+        .unwrap();
+    }
+    t
+}
+
+/// Like [`trace_from_ops`], but events carry thread ids from a rotating
+/// set of `tids` threads, and every free deliberately lands on a
+/// *different* thread than the alloc — the cross-thread
+/// producer/consumer pattern the contention model charges for.
+fn threaded_trace_from_ops(ops: &[Op], tids: u32) -> Trace {
+    use dmx_trace::ThreadId;
+    let mut t = Trace::new("prop-threaded");
+    let mut next_id = 0u64;
+    // Each live entry remembers its allocating thread.
+    let mut live: Vec<(u64, u32)> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        let tid = i as u32 % tids;
+        match op {
+            Op::Alloc(size) => {
+                let id = next_id;
+                next_id += 1;
+                t.push(TraceEvent::Alloc {
+                    tid: ThreadId(tid),
+                    id: BlockId(id),
+                    size: *size,
+                })
+                .unwrap();
+                live.push((id, tid));
+                if i % 3 == 0 {
+                    t.push(TraceEvent::Access {
+                        tid: ThreadId(tid),
+                        id: BlockId(id),
+                        reads: (*size % 7) + 1,
+                        writes: *size % 5,
+                    })
+                    .unwrap();
+                }
+            }
+            Op::FreeNth(n) => {
+                if !live.is_empty() {
+                    let (id, owner) = live.remove(n % live.len());
+                    t.push(TraceEvent::Free {
+                        tid: ThreadId((owner + 1) % tids),
+                        id: BlockId(id),
+                    })
+                    .unwrap();
+                } else {
+                    t.push(TraceEvent::Tick { cycles: 17 }).unwrap();
+                }
+            }
+        }
+    }
+    for (id, owner) in live.iter().step_by(2) {
+        t.push(TraceEvent::Free {
+            tid: ThreadId((owner + 1) % tids),
+            id: BlockId(*id),
+        })
+        .unwrap();
     }
     t
 }
@@ -315,6 +382,44 @@ proptest! {
         // and account for all replays (threads × configs).
         let totals = shared.stats();
         prop_assert_eq!(totals.runs(), (threads * configs.len()) as u64);
+    }
+
+    /// Threaded traces with cross-thread frees: the slab kernel, the
+    /// batch kernel and the reference interpreter agree byte-for-byte —
+    /// including the contention-stall and tail-latency charges, which
+    /// all three paths must derive from the same per-pool op windows.
+    #[test]
+    fn kernels_match_reference_on_threaded_traces(
+        ops in arb_ops(2500, 150),
+        tids in 2u32..5,
+    ) {
+        let hier = presets::sp64k_dram4m();
+        let sim = Simulator::new(&hier);
+        let trace = threaded_trace_from_ops(&ops, tids);
+        let compiled = CompiledTrace::compile(&trace);
+        let mut arena = SimArena::new();
+        for config in kernel_configs(&hier) {
+            let reference = sim.run_reference(&config, &trace).unwrap();
+            let kernel = sim.run_in_arena(&config, &compiled, &mut arena).unwrap();
+            prop_assert_eq!(
+                &reference,
+                &kernel,
+                "slab kernel diverges on a {}-thread trace for {}",
+                tids,
+                config.label()
+            );
+            let lanes = [config.clone(), config.clone()];
+            let batch = sim.run_batch_in_arena(&lanes, &compiled, &mut arena).unwrap();
+            for got in &batch {
+                prop_assert_eq!(
+                    &reference,
+                    got,
+                    "batch kernel diverges on a {}-thread trace for {}",
+                    tids,
+                    config.label()
+                );
+            }
+        }
     }
 
     /// Compiling is structurally sound on arbitrary scripts: dense slots,

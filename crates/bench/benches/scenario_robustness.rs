@@ -10,7 +10,10 @@
 //!   configuration is Pareto-optimal in more than one scenario, i.e. the
 //!   suite is diverse but not disjoint;
 //! * the scenario-keyed cache shows **cross-generation hits but zero
-//!   cross-scenario collisions** (`simulations == evaluations × scenarios`).
+//!   cross-scenario collisions** (`simulations == evaluations × scenarios`);
+//! * the threaded `server-mix` suite, ranked on the contention-model
+//!   objectives, charges **nonzero tail latency and stalls on every
+//!   robust front point** and stays deterministic per seed.
 //!
 //! A regression in any of these fails the CI bench smoke run.
 
@@ -19,6 +22,7 @@ use std::time::Duration;
 
 use dmx_core::scenario::{Aggregate, MultiScenarioEvaluator, ScenarioSuite};
 use dmx_core::search::GeneticSearch;
+use dmx_core::Objective;
 
 fn bench_scenario_robustness(c: &mut Criterion) {
     let suite = ScenarioSuite::builtin("embedded-mix").expect("built-in suite");
@@ -86,6 +90,55 @@ fn bench_scenario_robustness(c: &mut Criterion) {
     );
     assert_eq!(again.outcome.genomes, robust.outcome.genomes);
 
+    // The threaded server suite, ranked on the contention-model
+    // objectives: every robust front point must carry nonzero charges
+    // (the suite is threaded by construction), and the run must stay
+    // deterministic per seed — contention is a function of the trace,
+    // never of evaluation parallelism.
+    let server = ScenarioSuite::builtin("server-mix").expect("built-in suite");
+    let server_objectives = [Objective::TailLatency, Objective::ContentionStalls];
+    let server_eval = MultiScenarioEvaluator::new(&server)
+        .with_aggregate(Aggregate::WorstCase)
+        .with_objectives(&server_objectives)
+        .with_seed(42);
+    let server_ga = GeneticSearch {
+        population: 16,
+        generations: 4,
+        seed: 42,
+        ..GeneticSearch::default()
+    };
+    let server_robust = server_eval.run(&server_ga);
+    println!(
+        "server-mix: {} configs evaluated, robust front {} (tail_latency × contention_stalls)",
+        server_robust.outcome.evaluations,
+        server_robust.outcome.front.len(),
+    );
+    assert!(
+        !server_robust.outcome.front.is_empty(),
+        "server-mix robust front empty"
+    );
+    let contention_nonzero = server_robust
+        .outcome
+        .front
+        .points
+        .iter()
+        .all(|p| p.iter().all(|&v| v > 0));
+    assert!(
+        contention_nonzero,
+        "a threaded suite must charge nonzero tail latency and stalls \
+         on every robust front point"
+    );
+    assert_eq!(
+        server_robust.outcome.simulations,
+        server_robust.outcome.evaluations * server.scenarios.len(),
+        "server-mix: cross-scenario cache collision"
+    );
+    let server_again = server_eval.run(&server_ga);
+    assert_eq!(
+        server_again.outcome.front.points, server_robust.outcome.front.points,
+        "server-mix robust front must be deterministic per seed"
+    );
+
     // Record the headline numbers so the perf trajectory is tracked
     // across PRs.
     dmx_bench::write_bench_json(
@@ -104,6 +157,20 @@ fn bench_scenario_robustness(c: &mut Criterion) {
             (
                 "arena_reuses",
                 robust.outcome.sim_stats.arena_reuses.to_string(),
+            ),
+            (
+                "server_scenarios",
+                server_robust.scenarios.len().to_string(),
+            ),
+            (
+                "server_robust_front",
+                server_robust.outcome.front.len().to_string(),
+            ),
+            ("server_contention_nonzero", contention_nonzero.to_string()),
+            (
+                "server_deterministic",
+                (server_again.outcome.front.points == server_robust.outcome.front.points)
+                    .to_string(),
             ),
         ],
     );

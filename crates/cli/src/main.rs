@@ -3,7 +3,7 @@
 //! Subcommands mirror the paper's tool flow (Figure 1):
 //!
 //! ```text
-//! dmx gen-trace <easyport|vtc|synthetic> --out FILE [--seed N] [--paper]
+//! dmx gen-trace <easyport|vtc|synthetic|server> --out FILE [--seed N] [--paper]
 //! dmx profile   --trace FILE
 //! dmx explore   --trace FILE --out-records FILE [--csv FILE] [--gnuplot FILE]
 //!               [--json FILE] [--objectives footprint,accesses]
@@ -34,8 +34,10 @@
 //! of the default odometer index space. `--suite` switches to *robust*
 //! exploration: every configuration is evaluated across a whole scenario
 //! suite (see `dmx_core::scenario`) and the chosen strategy optimizes
-//! worst-case / mean / weighted aggregated objectives. All modes are
-//! deterministic in `--seed`.
+//! worst-case / mean / weighted aggregated objectives. The threaded
+//! `server-mix` suite pairs naturally with the contention-model
+//! objectives `tail_latency` and `contention_stalls` (both stay 0 on
+//! single-threaded traces). All modes are deterministic in `--seed`.
 //!
 //! Observability (see `dmx_obs`): `--obs-trace FILE` records a span
 //! timeline and writes a Chrome/Perfetto-compatible `trace.json`,
@@ -60,7 +62,7 @@ use dmx_core::{
 };
 use dmx_memhier::presets;
 use dmx_profile::{parse_records, records_to_string, ProfileRecord};
-use dmx_trace::gen::{EasyportConfig, SyntheticConfig, TraceGenerator, VtcConfig};
+use dmx_trace::gen::{EasyportConfig, ServerMixConfig, SyntheticConfig, TraceGenerator, VtcConfig};
 use dmx_trace::{textfmt, Trace, TraceStats};
 
 fn main() -> ExitCode {
@@ -90,7 +92,7 @@ macro_rules! outln {
 }
 
 const USAGE: &str = "usage:
-  dmx gen-trace <easyport|vtc|synthetic> --out FILE [--seed N] [--paper]
+  dmx gen-trace <easyport|vtc|synthetic|server> --out FILE [--seed N] [--paper]
   dmx profile   --trace FILE
   dmx explore   --trace FILE --out-records FILE [--csv FILE] [--gnuplot FILE]
                 [--json FILE] [--objectives footprint,accesses]
@@ -180,6 +182,14 @@ fn gen_trace(rest: &[&String]) -> Result<(), String> {
         }
         "synthetic" => {
             SyntheticConfig::uniform_churn(if paper { 50_000 } else { 5_000 }).generate(seed)
+        }
+        "server" => {
+            let cfg = if paper {
+                ServerMixConfig::paper()
+            } else {
+                ServerMixConfig::small()
+            };
+            cfg.generate(seed)
         }
         other => return Err(format!("unknown generator `{other}`")),
     };
@@ -725,13 +735,23 @@ fn parse_objectives(spec: &str) -> Result<Vec<Objective>, String> {
     spec.split(',').map(str::parse).collect()
 }
 
-fn extract(record: &ProfileRecord, objective: Objective) -> u64 {
+/// Pulls one objective value out of a stored record. Contention-model
+/// objectives are not persisted in the record format — `dmx pareto`
+/// re-ranks stored records, it cannot re-simulate; use `dmx explore
+/// --objectives tail_latency,...` (and its `--json` export) for those.
+fn extract(record: &ProfileRecord, objective: Objective) -> Result<u64, String> {
     match objective {
-        Objective::Footprint => record.footprint,
-        Objective::Accesses => record.total_accesses(),
-        Objective::EnergyPj => record.energy_pj,
-        Objective::Cycles => record.cycles,
-        _ => unreachable!("parse_objectives covers all variants"),
+        Objective::Footprint => Ok(record.footprint),
+        Objective::Accesses => Ok(record.total_accesses()),
+        Objective::EnergyPj => Ok(record.energy_pj),
+        Objective::Cycles => Ok(record.cycles),
+        Objective::TailLatency | Objective::ContentionStalls => Err(format!(
+            "objective `{objective}` is not stored in record files; \
+             rank it at exploration time with `dmx explore --objectives {objective},...`"
+        )),
+        _ => Err(format!(
+            "objective `{objective}` is not stored in record files"
+        )),
     }
 }
 
@@ -742,7 +762,7 @@ fn pareto(rest: &[&String]) -> Result<(), String> {
     let points: Vec<Vec<u64>> = feasible
         .iter()
         .map(|r| objectives.iter().map(|o| extract(r, *o)).collect())
-        .collect();
+        .collect::<Result<_, _>>()?;
     let front = dmx_core::pareto_front(&points);
     outln!(
         "{} records, {} feasible, {} Pareto-optimal on ({})",

@@ -16,6 +16,13 @@ pub enum Objective {
     EnergyPj,
     /// Execution time in cycles.
     Cycles,
+    /// The p99 of per-op charged cycles under the shared-pool contention
+    /// model — the server-workload tail-latency proxy. 0 for
+    /// single-threaded traces.
+    TailLatency,
+    /// Total shared-pool contention stall cycles. 0 for single-threaded
+    /// traces.
+    ContentionStalls,
 }
 
 impl Objective {
@@ -29,6 +36,8 @@ impl Objective {
             Objective::Footprint => metrics.footprint,
             Objective::EnergyPj => metrics.energy_pj,
             Objective::Cycles => metrics.cycles,
+            Objective::TailLatency => metrics.tail_latency,
+            Objective::ContentionStalls => metrics.contention_stalls,
         }
     }
 
@@ -39,6 +48,8 @@ impl Objective {
             Objective::Footprint => "footprint_bytes",
             Objective::EnergyPj => "energy_pj",
             Objective::Cycles => "cycles",
+            Objective::TailLatency => "tail_latency",
+            Objective::ContentionStalls => "contention_stalls",
         }
     }
 }
@@ -61,8 +72,13 @@ impl std::str::FromStr for Objective {
             "footprint" | "footprint_bytes" => Ok(Objective::Footprint),
             "energy" | "energy_pj" => Ok(Objective::EnergyPj),
             "cycles" | "time" => Ok(Objective::Cycles),
+            "tail_latency" | "tail-latency" | "p99" => Ok(Objective::TailLatency),
+            "contention_stalls" | "contention-stalls" | "contention" => {
+                Ok(Objective::ContentionStalls)
+            }
             other => Err(format!(
-                "unknown objective `{other}` (expected footprint, accesses, energy, cycles)"
+                "unknown objective `{other}` (expected footprint, accesses, energy, cycles, \
+                 tail_latency, contention_stalls)"
             )),
         }
     }
@@ -89,6 +105,8 @@ mod tests {
             failures: 0,
             peak_internal_frag: 0,
             ops: 2,
+            contention_stalls: 123,
+            tail_latency: 52,
         }
     }
 
@@ -99,6 +117,8 @@ mod tests {
         assert_eq!(Objective::Footprint.extract(&m), 4096);
         assert_eq!(Objective::EnergyPj.extract(&m), 777);
         assert_eq!(Objective::Cycles.extract(&m), 999);
+        assert_eq!(Objective::TailLatency.extract(&m), 52);
+        assert_eq!(Objective::ContentionStalls.extract(&m), 123);
     }
 
     #[test]
@@ -114,6 +134,8 @@ mod tests {
             Objective::Footprint,
             Objective::EnergyPj,
             Objective::Cycles,
+            Objective::TailLatency,
+            Objective::ContentionStalls,
         ] {
             assert_eq!(o.to_string().parse::<Objective>(), Ok(o));
         }
@@ -124,6 +146,11 @@ mod tests {
         assert_eq!("footprint".parse::<Objective>(), Ok(Objective::Footprint));
         assert_eq!(" energy ".parse::<Objective>(), Ok(Objective::EnergyPj));
         assert_eq!("time".parse::<Objective>(), Ok(Objective::Cycles));
+        assert_eq!("p99".parse::<Objective>(), Ok(Objective::TailLatency));
+        assert_eq!(
+            "contention".parse::<Objective>(),
+            Ok(Objective::ContentionStalls)
+        );
         assert!("frobs".parse::<Objective>().is_err());
     }
 }

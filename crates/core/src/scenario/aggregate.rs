@@ -153,6 +153,8 @@ pub fn aggregate_metrics(aggregate: Aggregate, parts: &[ScenarioMetrics<'_>]) ->
         failures,
         peak_internal_frag: fold(|m| m.peak_internal_frag),
         ops: fold(|m| m.ops),
+        contention_stalls: fold(|m| m.contention_stalls),
+        tail_latency: fold(|m| m.tail_latency),
     }
 }
 
@@ -177,6 +179,8 @@ mod tests {
             failures: 0,
             peak_internal_frag: 3,
             ops: 20,
+            contention_stalls: 0,
+            tail_latency: 0,
         }
     }
 

@@ -51,7 +51,8 @@ use std::sync::Arc;
 
 use dmx_memhier::MemoryHierarchy;
 use dmx_trace::gen::{
-    EasyportConfig, MmppConfig, PhaseShiftConfig, SyntheticConfig, TraceGenerator, VtcConfig,
+    EasyportConfig, MmppConfig, PhaseShiftConfig, ServerMixConfig, SyntheticConfig, TraceGenerator,
+    VtcConfig,
 };
 use dmx_trace::{CompiledTrace, Trace};
 
@@ -73,6 +74,9 @@ pub enum WorkloadSpec {
     Synthetic(SyntheticConfig),
     /// Synthetic phases concatenated — the mixture shifts mid-run.
     PhaseShift(PhaseShiftConfig),
+    /// Threaded server traffic: request/connection pools, diurnal +
+    /// flash-crowd load, cross-thread response frees.
+    ServerMix(ServerMixConfig),
 }
 
 impl WorkloadSpec {
@@ -84,6 +88,7 @@ impl WorkloadSpec {
             WorkloadSpec::Mmpp(cfg) => cfg.generate(seed),
             WorkloadSpec::Synthetic(cfg) => cfg.generate(seed),
             WorkloadSpec::PhaseShift(cfg) => cfg.generate(seed),
+            WorkloadSpec::ServerMix(cfg) => cfg.generate(seed),
         }
     }
 
@@ -95,6 +100,7 @@ impl WorkloadSpec {
             WorkloadSpec::Mmpp(_) => "mmpp",
             WorkloadSpec::Synthetic(_) => "synthetic",
             WorkloadSpec::PhaseShift(_) => "phase-shift",
+            WorkloadSpec::ServerMix(_) => "server-mix",
         }
     }
 }
@@ -223,6 +229,7 @@ mod tests {
             WorkloadSpec::Mmpp(MmppConfig::bursty(200)),
             WorkloadSpec::Synthetic(SyntheticConfig::bimodal(200)),
             WorkloadSpec::PhaseShift(PhaseShiftConfig::churn_to_frag(200)),
+            WorkloadSpec::ServerMix(ServerMixConfig::small()),
         ];
         for spec in &specs {
             let a = spec.generate(3);

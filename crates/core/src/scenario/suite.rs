@@ -9,6 +9,10 @@
 //!   platform (six scenarios, four distinct platforms);
 //! * **network** — the networking-centric subset, with the Easyport-like
 //!   workload weighted double;
+//! * **server-mix** — threaded server traffic at three pool-kind
+//!   emphases (request-scoped churn, connection-scoped sessions, and
+//!   flash-crowd spikes), exercising the contention-cost model and the
+//!   tail-latency / contention-stall objectives;
 //! * **quick** — four small scenarios for tests, smoke runs and benches.
 //!
 //! Suites also know how to derive a *shared* parameter space: the
@@ -18,7 +22,10 @@
 
 use dmx_alloc::{CoalescePolicy, FitPolicy, FreeOrder, SplitPolicy};
 use dmx_memhier::{LevelChoice, LevelId};
-use dmx_trace::gen::{EasyportConfig, MmppConfig, PhaseShiftConfig, SyntheticConfig, VtcConfig};
+use dmx_trace::gen::{
+    EasyportConfig, MmppConfig, PhaseShiftConfig, ServerMixConfig, SizeDist, SyntheticConfig,
+    VtcConfig,
+};
 use dmx_trace::TraceStats;
 
 use crate::constraint::{Constraint, ConstraintSet};
@@ -37,7 +44,7 @@ pub struct ScenarioSuite {
 }
 
 /// The names of the built-in suites, in listing order.
-pub const BUILTIN_SUITES: &[&str] = &["embedded-mix", "network", "quick"];
+pub const BUILTIN_SUITES: &[&str] = &["embedded-mix", "network", "server-mix", "quick"];
 
 impl ScenarioSuite {
     /// Builds a suite, checking that scenario names are unique.
@@ -72,6 +79,7 @@ impl ScenarioSuite {
         match name {
             "embedded-mix" => Some(embedded_mix()),
             "network" => Some(network()),
+            "server-mix" => Some(server_mix()),
             "quick" => Some(quick()),
             _ => None,
         }
@@ -190,6 +198,76 @@ fn quick() -> ScenarioSuite {
     )
 }
 
+/// Threaded server deployments, one scenario per dominant pool kind.
+/// Every member trace is threaded, so replay charges contention stalls
+/// and the [`tail_latency`](crate::Objective::TailLatency) /
+/// [`contention_stalls`](crate::Objective::ContentionStalls) objectives
+/// discriminate between configurations.
+fn server_mix() -> ScenarioSuite {
+    ScenarioSuite::new(
+        "server-mix",
+        "threaded server traffic: request-scoped churn, connection-scoped \
+         sessions, and flash-crowd spikes over shared pools",
+        vec![
+            server_request_heavy(),
+            server_session_heavy(),
+            server_spiky(),
+        ],
+    )
+}
+
+/// Request-scoped pools dominate: many small parse nodes per request,
+/// few connections, no churn.
+fn server_request_heavy() -> Scenario {
+    Scenario::new(
+        "server-request-heavy",
+        WorkloadSpec::ServerMix(ServerMixConfig {
+            requests: 900,
+            objects_per_request: 6,
+            connections: 8,
+            connection_churn_every: 0,
+            ..ServerMixConfig::paper()
+        }),
+        17,
+        PlatformSpec::Sp64kDram4m,
+    )
+}
+
+/// Connection-scoped pools dominate: many sessions, aggressive churn,
+/// lean requests.
+fn server_session_heavy() -> Scenario {
+    Scenario::new(
+        "server-session-heavy",
+        WorkloadSpec::ServerMix(ServerMixConfig {
+            requests: 900,
+            objects_per_request: 1,
+            connections: 96,
+            connection_churn_every: 2,
+            ..ServerMixConfig::paper()
+        }),
+        18,
+        PlatformSpec::Sp32kSram256kDram8m,
+    )
+}
+
+/// Flash-crowd emphasis: flat diurnal baseline punctuated by frequent
+/// large spikes of big response buffers.
+fn server_spiky() -> Scenario {
+    Scenario::new(
+        "server-spiky",
+        WorkloadSpec::ServerMix(ServerMixConfig {
+            requests: 900,
+            diurnal_amplitude: 0.0,
+            spike_every: 5,
+            spike_multiplier: 6.0,
+            response_sizes: SizeDist::Choice(vec![(2_048, 0.5), (8_192, 0.5)]),
+            ..ServerMixConfig::paper()
+        }),
+        19,
+        PlatformSpec::DramOnly4m,
+    )
+}
+
 fn easyport_bursty() -> Scenario {
     Scenario::new(
         "easyport-bursty",
@@ -303,6 +381,20 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn server_mix_members_are_all_threaded() {
+        let suite = ScenarioSuite::builtin("server-mix").unwrap();
+        assert_eq!(suite.scenarios.len(), 3);
+        for m in suite.materialize(42) {
+            assert!(
+                m.compiled.is_threaded(),
+                "{} must be threaded for contention to charge",
+                m.scenario.name
+            );
+            assert_eq!(m.scenario.workload.kind(), "server-mix");
         }
     }
 

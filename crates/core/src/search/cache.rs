@@ -231,6 +231,8 @@ mod tests {
                 failures: 0,
                 peak_internal_frag: 0,
                 ops: 0,
+                contention_stalls: 0,
+                tail_latency: 0,
             },
         })
     }

@@ -369,9 +369,15 @@ impl<'a> MultiFidelityEvaluator<'a> {
                         let mut hasher = DefaultHasher::new();
                         inst.id.hash(&mut hasher);
                         fraction.to_bits().hash(&mut hasher);
+                        // The plan was validated above, so every
+                        // screening fraction is in (0, 1].
+                        let prefix = inst
+                            .trace
+                            .prefix(fraction)
+                            .expect("validated plan has in-range fractions");
                         PrefixInstance {
                             id: hasher.finish(),
-                            trace: Arc::new(inst.trace.prefix(fraction)),
+                            trace: Arc::new(prefix),
                         }
                     })
                     .collect()

@@ -166,16 +166,41 @@ pub(crate) fn record_generation_obs(
 /// [`SearchContext::threads`] with this, so one variable pins the whole
 /// pipeline to a thread count — CI runs the suite at 1 and 8 workers to
 /// prove results never depend on it.
+///
+/// An unparseable or zero `DMX_THREADS` falls back to the core count and
+/// warns **once** on stderr — silently ignoring it would let a CI-matrix
+/// typo change the worker count without a trace.
 pub fn thread_budget() -> usize {
-    std::env::var("DMX_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    let raw = std::env::var("DMX_THREADS").ok();
+    let (budget, rejected) = parse_thread_budget(raw.as_deref());
+    if let Some(bad) = rejected {
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        WARNED.call_once(|| {
+            eprintln!(
+                "warning: ignoring invalid DMX_THREADS={bad:?} \
+                 (expected a positive integer); using {budget} threads"
+            );
+        });
+    }
+    budget
+}
+
+/// The pure half of [`thread_budget`]: the budget for a raw
+/// `DMX_THREADS` value, plus the rejected value when it was set but not
+/// a positive integer (the caller warns about it).
+fn parse_thread_budget(raw: Option<&str>) -> (usize, Option<&str>) {
+    let fallback = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    match raw {
+        None => (fallback(), None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => (n, None),
+            _ => (fallback(), Some(v)),
+        },
+    }
 }
 
 /// A stable identity for a (platform, trace) pair, used as the workload
@@ -189,7 +214,13 @@ pub fn thread_budget() -> usize {
 pub fn workload_key(hierarchy: &MemoryHierarchy, trace: &Trace) -> u64 {
     let mut hasher = std::collections::hash_map::DefaultHasher::new();
     trace.name().hash(&mut hasher);
+    // Events hash their thread ids, and the contention parameters the
+    // evaluators charge threaded replays with are folded in below — so a
+    // threaded workload (or the same one under a different contention
+    // model) can never alias a single-threaded replay in the eval cache
+    // or the fidelity prefix cache.
     trace.events().hash(&mut hasher);
+    dmx_alloc::ContentionParams::default().hash(&mut hasher);
     hierarchy.len().hash(&mut hasher);
     for (_, level) in hierarchy.iter() {
         level.capacity().hash(&mut hasher);
@@ -874,6 +905,21 @@ mod tests {
             threads: 4,
             fidelity: None,
         }
+    }
+
+    #[test]
+    fn thread_budget_accepts_positive_integers_and_rejects_garbage() {
+        assert_eq!(parse_thread_budget(Some("1")), (1, None));
+        assert_eq!(parse_thread_budget(Some("8")), (8, None));
+        let cores = parse_thread_budget(None).0;
+        assert!(cores >= 1);
+        // Zero and garbage fall back to the core count — and surface the
+        // rejected value so the caller can warn instead of silently
+        // absorbing a CI-matrix typo.
+        assert_eq!(parse_thread_budget(Some("0")), (cores, Some("0")));
+        assert_eq!(parse_thread_budget(Some("-3")), (cores, Some("-3")));
+        assert_eq!(parse_thread_budget(Some("eight")), (cores, Some("eight")));
+        assert_eq!(parse_thread_budget(Some("")), (cores, Some("")));
     }
 
     #[test]

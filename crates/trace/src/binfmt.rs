@@ -1,6 +1,6 @@
 //! Compact binary serialization of traces.
 //!
-//! Layout:
+//! Layout (version 1, single-threaded traces):
 //!
 //! ```text
 //! magic   b"DMXT\x01"
@@ -12,16 +12,40 @@
 //!         0x04 Tick   { cycles }
 //! ```
 //!
+//! Version 2 (magic `b"DMXT\x02"`) carries thread identity: the
+//! `Alloc`/`Free`/`Access` records gain one trailing `tid` varint each
+//! (`Tick` is unchanged):
+//!
+//! ```text
+//! magic   b"DMXT\x02"
+//! name    varint length + UTF-8 bytes
+//! records 0x01 Alloc  { id, size, tid }
+//!         0x02 Free   { id, tid }
+//!         0x03 Access { id, reads, writes, tid }
+//!         0x04 Tick   { cycles }
+//! ```
+//!
+//! The writer emits version 1 — byte-identical to pre-thread-support
+//! writers — whenever every event runs on tid 0, and version 2 otherwise.
+//! Version-1 inputs decode with every tid defaulting to 0.
+//!
 //! All integers are unsigned LEB128 varints, so short ids and small counts
 //! cost one or two bytes — the binary form is typically 2–4× smaller than
 //! the text form and decodes without per-line scanning, which matters when
 //! sweeping thousands of configurations over multi-million-event traces.
+//!
+//! Decoding is hardened against hostile inputs: length prefixes are
+//! bounds-checked against the *remaining* input before any slice is taken
+//! (overflow-free), so a truncated or adversarial header claiming a huge
+//! length fails fast with [`ParseError::Truncated`] and never causes an
+//! out-of-range read or an unbounded allocation.
 
 use crate::error::ParseError;
-use crate::event::{BlockId, TraceEvent};
+use crate::event::{BlockId, ThreadId, TraceEvent};
 use crate::trace::Trace;
 
-const MAGIC: &[u8; 5] = b"DMXT\x01";
+const MAGIC_V1: &[u8; 5] = b"DMXT\x01";
+const MAGIC_V2: &[u8; 5] = b"DMXT\x02";
 
 const TAG_ALLOC: u8 = 0x01;
 const TAG_FREE: u8 = 0x02;
@@ -41,28 +65,49 @@ fn push_varint(out: &mut Vec<u8>, mut v: u64) {
 }
 
 /// Encodes `trace` to a byte vector.
+///
+/// Single-threaded traces (all tids 0) encode to the version-1 layout,
+/// byte-identical to writers predating thread support; traces with any
+/// non-zero tid use version 2 carrying a tid per allocator/access record.
 pub fn to_bytes(trace: &Trace) -> Vec<u8> {
+    let threaded = trace
+        .iter()
+        .any(|ev| ev.thread_id().is_some_and(|tid| tid.0 != 0));
     let mut out = Vec::with_capacity(16 + trace.len() * 6);
-    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(if threaded { MAGIC_V2 } else { MAGIC_V1 });
     let name = trace.name().as_bytes();
     push_varint(&mut out, name.len() as u64);
     out.extend_from_slice(name);
     for ev in trace {
         match *ev {
-            TraceEvent::Alloc { id, size } => {
+            TraceEvent::Alloc { id, size, tid } => {
                 out.push(TAG_ALLOC);
                 push_varint(&mut out, id.0);
                 push_varint(&mut out, u64::from(size));
+                if threaded {
+                    push_varint(&mut out, u64::from(tid.0));
+                }
             }
-            TraceEvent::Free { id } => {
+            TraceEvent::Free { id, tid } => {
                 out.push(TAG_FREE);
                 push_varint(&mut out, id.0);
+                if threaded {
+                    push_varint(&mut out, u64::from(tid.0));
+                }
             }
-            TraceEvent::Access { id, reads, writes } => {
+            TraceEvent::Access {
+                id,
+                reads,
+                writes,
+                tid,
+            } => {
                 out.push(TAG_ACCESS);
                 push_varint(&mut out, id.0);
                 push_varint(&mut out, u64::from(reads));
                 push_varint(&mut out, u64::from(writes));
+                if threaded {
+                    push_varint(&mut out, u64::from(tid.0));
+                }
             }
             TraceEvent::Tick { cycles } => {
                 out.push(TAG_TICK);
@@ -73,21 +118,23 @@ pub fn to_bytes(trace: &Trace) -> Vec<u8> {
     out
 }
 
-/// Decodes a trace from bytes produced by [`to_bytes`].
+/// Decodes a trace from bytes produced by [`to_bytes`] (version 1 or 2).
 ///
 /// # Errors
 ///
 /// [`ParseError::BadHeader`] on a wrong magic, [`ParseError::Truncated`] if
-/// the input ends inside a record, [`ParseError::Malformed`] on an unknown
-/// record tag or an over-long varint (with the byte offset), and
-/// [`ParseError::Invalid`] if the decoded events violate trace
-/// well-formedness.
+/// the input ends inside a record or a length prefix exceeds the remaining
+/// input, [`ParseError::Malformed`] on an unknown record tag or an
+/// over-long varint (with the byte offset), and [`ParseError::Invalid`] if
+/// the decoded events violate trace well-formedness.
 pub fn from_bytes(input: &[u8]) -> Result<Trace, ParseError> {
     let mut r = Reader { input, pos: 0 };
-    let magic = r.take(MAGIC.len())?;
-    if magic != MAGIC {
-        return Err(ParseError::BadHeader);
-    }
+    let magic = r.take(MAGIC_V1.len())?;
+    let v2 = match magic {
+        m if m == MAGIC_V1 => false,
+        m if m == MAGIC_V2 => true,
+        _ => return Err(ParseError::BadHeader),
+    };
     let name_len = r.varint()? as usize;
     let name_bytes = r.take(name_len)?;
     let name = std::str::from_utf8(name_bytes)
@@ -102,14 +149,17 @@ pub fn from_bytes(input: &[u8]) -> Result<Trace, ParseError> {
             TAG_ALLOC => TraceEvent::Alloc {
                 id: BlockId(r.varint()?),
                 size: r.varint_u32()?,
+                tid: r.tid(v2)?,
             },
             TAG_FREE => TraceEvent::Free {
                 id: BlockId(r.varint()?),
+                tid: r.tid(v2)?,
             },
             TAG_ACCESS => TraceEvent::Access {
                 id: BlockId(r.varint()?),
                 reads: r.varint_u32()?,
                 writes: r.varint_u32()?,
+                tid: r.tid(v2)?,
             },
             TAG_TICK => TraceEvent::Tick {
                 cycles: r.varint_u32()?,
@@ -137,7 +187,10 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], ParseError> {
-        if self.pos + n > self.input.len() {
+        // Compare against the remaining bytes rather than computing
+        // `pos + n`: a hostile length prefix near `usize::MAX` would wrap
+        // the addition and slip past the check into an out-of-range slice.
+        if n > self.input.len() - self.pos {
             return Err(ParseError::Truncated);
         }
         let s = &self.input[self.pos..self.pos + n];
@@ -183,6 +236,16 @@ impl<'a> Reader<'a> {
             what: "field overflows u32".to_owned(),
         })
     }
+
+    /// The trailing tid varint of version-2 records; version-1 records
+    /// have none and default to tid 0.
+    fn tid(&mut self, v2: bool) -> Result<ThreadId, ParseError> {
+        if v2 {
+            Ok(ThreadId(self.varint_u32()?))
+        } else {
+            Ok(ThreadId::MAIN)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -193,17 +256,23 @@ mod tests {
         Trace::from_events(
             "bin-sample",
             vec![
-                TraceEvent::Alloc {
-                    id: BlockId(10),
-                    size: 1500,
-                },
-                TraceEvent::Access {
-                    id: BlockId(10),
-                    reads: 400,
-                    writes: 375,
-                },
-                TraceEvent::Tick { cycles: 999 },
-                TraceEvent::Free { id: BlockId(10) },
+                TraceEvent::alloc(BlockId(10), 1500),
+                TraceEvent::access(BlockId(10), 400, 375),
+                TraceEvent::tick(999),
+                TraceEvent::free(BlockId(10)),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn threaded_sample() -> Trace {
+        Trace::from_events(
+            "bin-threaded",
+            vec![
+                TraceEvent::alloc_on(ThreadId(1), BlockId(10), 1500),
+                TraceEvent::access_on(ThreadId(1), BlockId(10), 400, 375),
+                TraceEvent::tick(999),
+                TraceEvent::free_on(ThreadId(2), BlockId(10)),
             ],
         )
         .unwrap()
@@ -219,28 +288,42 @@ mod tests {
     }
 
     #[test]
+    fn single_threaded_traces_encode_as_v1() {
+        let bytes = to_bytes(&sample());
+        assert_eq!(&bytes[..5], MAGIC_V1);
+    }
+
+    #[test]
+    fn threaded_roundtrip_uses_v2() {
+        let t = threaded_sample();
+        let bytes = to_bytes(&t);
+        assert_eq!(&bytes[..5], MAGIC_V2);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.events(), t.events());
+    }
+
+    #[test]
+    fn v1_reads_default_to_tid_zero() {
+        // A v1 stream decodes with every tid 0 even when the same events,
+        // written threaded, would use v2.
+        let bytes = to_bytes(&sample());
+        let back = from_bytes(&bytes).unwrap();
+        assert!(back
+            .iter()
+            .all(|ev| ev.thread_id().is_none_or(|tid| tid == ThreadId::MAIN)));
+    }
+
+    #[test]
     fn roundtrip_extreme_values() {
         let t = Trace::from_events(
             "extremes",
             vec![
-                TraceEvent::Alloc {
-                    id: BlockId(u64::MAX),
-                    size: u32::MAX,
-                },
-                TraceEvent::Access {
-                    id: BlockId(u64::MAX),
-                    reads: u32::MAX,
-                    writes: 0,
-                },
-                TraceEvent::Tick { cycles: u32::MAX },
-                TraceEvent::Free {
-                    id: BlockId(u64::MAX),
-                },
-                TraceEvent::Alloc {
-                    id: BlockId(0),
-                    size: 1,
-                },
-                TraceEvent::Free { id: BlockId(0) },
+                TraceEvent::alloc_on(ThreadId(u32::MAX), BlockId(u64::MAX), u32::MAX),
+                TraceEvent::access_on(ThreadId(u32::MAX), BlockId(u64::MAX), u32::MAX, 0),
+                TraceEvent::tick(u32::MAX),
+                TraceEvent::free(BlockId(u64::MAX)),
+                TraceEvent::alloc(BlockId(0), 1),
+                TraceEvent::free(BlockId(0)),
             ],
         )
         .unwrap();
@@ -251,6 +334,7 @@ mod tests {
     #[test]
     fn magic_checked() {
         assert_eq!(from_bytes(b"BOGUS"), Err(ParseError::BadHeader));
+        assert_eq!(from_bytes(b"DMXT\x03\x01t"), Err(ParseError::BadHeader));
         assert_eq!(from_bytes(b""), Err(ParseError::Truncated));
     }
 
@@ -261,6 +345,24 @@ mod tests {
         // chop the last byte of the final record
         let err = from_bytes(&bytes[..bytes.len() - 1]).unwrap_err();
         assert_eq!(err, ParseError::Truncated);
+    }
+
+    #[test]
+    fn hostile_name_length_fails_fast() {
+        // Adversarial header: valid magic, then a name length claiming
+        // u64::MAX bytes. Decoding must fail with `Truncated` — no panic
+        // from an overflowed bounds check, no huge allocation attempt.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V1);
+        push_varint(&mut bytes, u64::MAX);
+        assert_eq!(from_bytes(&bytes), Err(ParseError::Truncated));
+
+        // Same with a "merely huge" length far beyond the input.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V2);
+        push_varint(&mut bytes, 1 << 40);
+        bytes.extend_from_slice(b"tiny");
+        assert_eq!(from_bytes(&bytes), Err(ParseError::Truncated));
     }
 
     #[test]
@@ -292,16 +394,24 @@ mod tests {
         let t = Trace::new("x");
         let mut bytes = to_bytes(&t);
         bytes.push(TAG_TICK);
-        let mut v = 1u64 << 35;
-        loop {
-            let byte = (v & 0x7f) as u8;
-            v >>= 7;
-            if v == 0 {
-                bytes.push(byte);
-                break;
-            }
-            bytes.push(byte | 0x80);
-        }
+        push_varint(&mut bytes, 1u64 << 35);
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(ParseError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn v2_tid_overflow_rejected() {
+        // Free record whose tid varint exceeds u32 in a v2 stream.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V2);
+        push_varint(&mut bytes, 1);
+        bytes.push(b't');
+        bytes.push(TAG_ALLOC);
+        push_varint(&mut bytes, 1); // id
+        push_varint(&mut bytes, 8); // size
+        push_varint(&mut bytes, 1u64 << 40); // tid overflows u32
         assert!(matches!(
             from_bytes(&bytes),
             Err(ParseError::Malformed { .. })
@@ -312,11 +422,8 @@ mod tests {
     fn binary_is_smaller_than_text() {
         let mut events = Vec::new();
         for i in 0..1000u64 {
-            events.push(TraceEvent::Alloc {
-                id: BlockId(i),
-                size: 74,
-            });
-            events.push(TraceEvent::Free { id: BlockId(i) });
+            events.push(TraceEvent::alloc(BlockId(i), 74));
+            events.push(TraceEvent::free(BlockId(i)));
         }
         let t = Trace::from_events("big", events).unwrap();
         let bin = to_bytes(&t);
@@ -333,7 +440,7 @@ mod tests {
     fn semantic_violation_surfaces() {
         // Hand-craft: free of never-allocated block #7.
         let mut bytes = Vec::new();
-        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(MAGIC_V1);
         bytes.push(1); // name length
         bytes.push(b't');
         bytes.push(TAG_FREE);

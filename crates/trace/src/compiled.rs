@@ -38,10 +38,11 @@
 //! tick charges are additive (order never affects the totals the cost
 //! model consumes).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
+use crate::error::CompileError;
 use crate::event::TraceEvent;
 use crate::trace::Trace;
 
@@ -124,6 +125,11 @@ impl PoolOp {
     }
 }
 
+/// Number of distinct thread ids in a pool-op tid stream.
+fn distinct_tids(op_tids: &[u32]) -> u32 {
+    op_tids.iter().collect::<HashSet<_>>().len() as u32
+}
+
 /// A flat, replay-ready SoA lowering of one workload trace.
 ///
 /// Built once per workload with [`CompiledTrace::compile`] (or emitted
@@ -139,10 +145,19 @@ pub struct CompiledTrace {
     slots: Vec<u32>,
     /// …first argument (alloc size / access reads / tick cycles)…
     args: Vec<u32>,
-    /// …second argument (access writes; 0 otherwise).
+    /// …second argument (access writes; 0 otherwise)…
     args2: Vec<u32>,
+    /// …issuing thread per event (0 for ticks).
+    tids: Vec<u32>,
     /// Allocator-op stream: allocs and frees only, in event order.
     pool_ops: Vec<PoolOp>,
+    /// Issuing thread of each pool op, parallel to [`Self::pool_ops`] —
+    /// what the contention model consumes.
+    op_tids: Vec<u32>,
+    /// Number of distinct thread ids over the pool-op stream. 1 (or 0
+    /// for op-free traces) means single-threaded: the kernels skip
+    /// contention bookkeeping entirely.
+    distinct_op_tids: u32,
     /// Requested size of each allocation, in allocation order.
     alloc_sizes: Vec<u32>,
     /// Lifetime application reads of each allocation, in allocation
@@ -172,7 +187,9 @@ impl CompiledTrace {
         let mut slots = Vec::with_capacity(len);
         let mut args = Vec::with_capacity(len);
         let mut args2 = Vec::with_capacity(len);
+        let mut tids = Vec::with_capacity(len);
         let mut pool_ops = Vec::new();
+        let mut op_tids = Vec::new();
         let mut alloc_sizes = Vec::new();
         let mut alloc_reads: Vec<u64> = Vec::new();
         let mut alloc_writes: Vec<u64> = Vec::new();
@@ -187,7 +204,7 @@ impl CompiledTrace {
 
         for (at, event) in trace.iter().enumerate() {
             match *event {
-                TraceEvent::Alloc { id, size } => {
+                TraceEvent::Alloc { id, size, tid } => {
                     let slot = free_slots.pop().unwrap_or_else(|| {
                         let s = next_slot;
                         next_slot += 1;
@@ -204,9 +221,11 @@ impl CompiledTrace {
                     slots.push(slot);
                     args.push(size);
                     args2.push(0);
+                    tids.push(tid.0);
                     pool_ops.push(PoolOp::alloc(slot));
+                    op_tids.push(tid.0);
                 }
-                TraceEvent::Free { id } => {
+                TraceEvent::Free { id, tid } => {
                     let (slot, born, ordinal) =
                         live.remove(&id.0).expect("validated trace frees live ids");
                     lifetimes[ordinal] = (at - born) as u32;
@@ -216,9 +235,16 @@ impl CompiledTrace {
                     slots.push(slot);
                     args.push(0);
                     args2.push(0);
+                    tids.push(tid.0);
                     pool_ops.push(PoolOp::free(slot));
+                    op_tids.push(tid.0);
                 }
-                TraceEvent::Access { id, reads, writes } => {
+                TraceEvent::Access {
+                    id,
+                    reads,
+                    writes,
+                    tid,
+                } => {
                     let (slot, _, ordinal) = live[&id.0];
                     alloc_reads[ordinal] += u64::from(reads);
                     alloc_writes[ordinal] += u64::from(writes);
@@ -226,6 +252,7 @@ impl CompiledTrace {
                     slots.push(slot);
                     args.push(reads);
                     args2.push(writes);
+                    tids.push(tid.0);
                 }
                 TraceEvent::Tick { cycles } => {
                     total_tick_cycles += u64::from(cycles);
@@ -233,6 +260,7 @@ impl CompiledTrace {
                     slots.push(0);
                     args.push(cycles);
                     args2.push(0);
+                    tids.push(0);
                 }
             }
         }
@@ -242,13 +270,17 @@ impl CompiledTrace {
             lifetimes[ordinal] = (end - born) as u32;
         }
 
+        let distinct_op_tids = distinct_tids(&op_tids);
         CompiledTrace {
             name: trace.name().to_owned(),
             kinds,
             slots,
             args,
             args2,
+            tids,
             pool_ops,
+            op_tids,
+            distinct_op_tids,
             alloc_sizes,
             alloc_reads,
             alloc_writes,
@@ -283,21 +315,23 @@ impl CompiledTrace {
     /// consumed, the result is **identical** to compiling the truncated
     /// source trace; `prefix(1.0)` returns a clone of `self`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `0 < fraction <= 1`.
-    pub fn prefix(&self, fraction: f64) -> CompiledTrace {
-        assert!(
-            fraction > 0.0 && fraction <= 1.0,
-            "prefix fraction must be in (0, 1], got {fraction}"
-        );
+    /// [`CompileError::PrefixFractionOutOfRange`] unless
+    /// `0 < fraction <= 1` (NaN included), so a malformed fidelity rung
+    /// surfaces as a typed error instead of aborting the run.
+    pub fn prefix(&self, fraction: f64) -> Result<CompiledTrace, CompileError> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(CompileError::PrefixFractionOutOfRange { fraction });
+        }
         let len = self.kinds.len();
         let cut = ((len as f64 * fraction).ceil() as usize).min(len);
         if cut == len {
-            return self.clone();
+            return Ok(self.clone());
         }
 
         let mut pool_ops = Vec::new();
+        let mut op_tids = Vec::new();
         let mut alloc_sizes = Vec::new();
         let mut alloc_reads: Vec<u64> = Vec::new();
         let mut alloc_writes: Vec<u64> = Vec::new();
@@ -325,6 +359,7 @@ impl CompiledTrace {
                     lifetimes.push(0);
                     allocs += 1;
                     pool_ops.push(PoolOp::alloc(slot));
+                    op_tids.push(self.tids[at]);
                     live_bytes += u64::from(size);
                     peak_live_bytes = peak_live_bytes.max(live_bytes);
                     // The free-slot stack hands out the same slots for
@@ -338,6 +373,7 @@ impl CompiledTrace {
                     owner[slot as usize] = (usize::MAX, 0);
                     frees += 1;
                     pool_ops.push(PoolOp::free(slot));
+                    op_tids.push(self.tids[at]);
                     live_bytes -= u64::from(alloc_sizes[ordinal]);
                 }
                 OpCode::Access => {
@@ -355,13 +391,17 @@ impl CompiledTrace {
             }
         }
 
-        CompiledTrace {
+        let distinct_op_tids = distinct_tids(&op_tids);
+        Ok(CompiledTrace {
             name: self.name.clone(),
             kinds: self.kinds[..cut].to_vec(),
             slots: self.slots[..cut].to_vec(),
             args: self.args[..cut].to_vec(),
             args2: self.args2[..cut].to_vec(),
+            tids: self.tids[..cut].to_vec(),
             pool_ops,
+            op_tids,
+            distinct_op_tids,
             alloc_sizes,
             alloc_reads,
             alloc_writes,
@@ -371,7 +411,7 @@ impl CompiledTrace {
             allocs,
             frees,
             peak_live_bytes,
-        }
+        })
     }
 
     /// The workload name, carried over from the source trace.
@@ -430,6 +470,30 @@ impl CompiledTrace {
     /// [`Self::total_tick_cycles`].
     pub fn pool_ops(&self) -> &[PoolOp] {
         &self.pool_ops
+    }
+
+    /// Issuing thread of each event, parallel to the full event stream
+    /// (0 for ticks, which are thread-agnostic).
+    pub fn tids(&self) -> &[u32] {
+        &self.tids
+    }
+
+    /// Issuing thread of each pool op, parallel to [`Self::pool_ops`] —
+    /// the stream the contention model consumes.
+    pub fn op_tids(&self) -> &[u32] {
+        &self.op_tids
+    }
+
+    /// Number of distinct thread ids over the pool-op stream.
+    pub fn distinct_op_tids(&self) -> u32 {
+        self.distinct_op_tids
+    }
+
+    /// `true` when more than one thread issues allocator operations —
+    /// the gate for all contention bookkeeping (single-threaded replays
+    /// take the original hot path and charge zero contention).
+    pub fn is_threaded(&self) -> bool {
+        self.distinct_op_tids > 1
     }
 
     /// Requested size of the n-th allocation (allocation order, aligned
@@ -515,13 +579,10 @@ mod tests {
     use crate::gen::{ramp, EasyportConfig, TraceGenerator};
 
     fn alloc(id: u64, size: u32) -> TraceEvent {
-        TraceEvent::Alloc {
-            id: BlockId(id),
-            size,
-        }
+        TraceEvent::alloc(BlockId(id), size)
     }
     fn free(id: u64) -> TraceEvent {
-        TraceEvent::Free { id: BlockId(id) }
+        TraceEvent::free(BlockId(id))
     }
 
     #[test]
@@ -549,12 +610,7 @@ mod tests {
     fn lifetimes_cover_freed_and_leaked_blocks() {
         let t = Trace::from_events(
             "t",
-            vec![
-                alloc(1, 8),
-                TraceEvent::Tick { cycles: 5 },
-                free(1),
-                alloc(2, 8),
-            ],
+            vec![alloc(1, 8), TraceEvent::tick(5), free(1), alloc(2, 8)],
         )
         .unwrap();
         let c = CompiledTrace::compile(&t);
@@ -570,12 +626,8 @@ mod tests {
             "t",
             vec![
                 alloc(7, 100),
-                TraceEvent::Access {
-                    id: BlockId(7),
-                    reads: 3,
-                    writes: 2,
-                },
-                TraceEvent::Tick { cycles: 11 },
+                TraceEvent::access(BlockId(7), 3, 2),
+                TraceEvent::tick(11),
                 free(7),
             ],
         )
@@ -601,25 +653,13 @@ mod tests {
             "t",
             vec![
                 alloc(1, 64),
-                TraceEvent::Access {
-                    id: BlockId(1),
-                    reads: 3,
-                    writes: 2,
-                },
+                TraceEvent::access(BlockId(1), 3, 2),
                 alloc(2, 128),
-                TraceEvent::Tick { cycles: 9 },
-                TraceEvent::Access {
-                    id: BlockId(1),
-                    reads: 4,
-                    writes: 0,
-                },
+                TraceEvent::tick(9),
+                TraceEvent::access(BlockId(1), 4, 0),
                 free(1),
-                TraceEvent::Access {
-                    id: BlockId(2),
-                    reads: 1,
-                    writes: 1,
-                },
-                TraceEvent::Tick { cycles: 2 },
+                TraceEvent::access(BlockId(2), 1, 1),
+                TraceEvent::tick(2),
             ],
         )
         .unwrap();
@@ -715,7 +755,7 @@ mod tests {
     fn prefix_of_full_fraction_is_identical() {
         let t = EasyportConfig::small().generate(7);
         let c = CompiledTrace::compile(&t);
-        assert_eq!(c.prefix(1.0), c);
+        assert_eq!(c.prefix(1.0).unwrap(), c);
     }
 
     #[test]
@@ -727,7 +767,7 @@ mod tests {
             let truncated =
                 Trace::from_events(t.name(), t.events()[..cut].to_vec()).expect("valid prefix");
             assert_eq!(
-                c.prefix(fraction),
+                c.prefix(fraction).unwrap(),
                 CompiledTrace::compile(&truncated),
                 "fraction {fraction}: prefix view must equal a fresh compile of the \
                  truncated source trace"
@@ -743,24 +783,16 @@ mod tests {
             "t",
             vec![
                 alloc(1, 64),
-                TraceEvent::Access {
-                    id: BlockId(1),
-                    reads: 3,
-                    writes: 2,
-                },
-                TraceEvent::Tick { cycles: 9 },
-                TraceEvent::Access {
-                    id: BlockId(1),
-                    reads: 40,
-                    writes: 50,
-                },
+                TraceEvent::access(BlockId(1), 3, 2),
+                TraceEvent::tick(9),
+                TraceEvent::access(BlockId(1), 40, 50),
                 free(1),
-                TraceEvent::Tick { cycles: 100 },
+                TraceEvent::tick(100),
             ],
         )
         .unwrap();
         let c = CompiledTrace::compile(&t);
-        let p = c.prefix(0.5); // first 3 of 6 events
+        let p = c.prefix(0.5).unwrap(); // first 3 of 6 events
         assert_eq!(p.len(), 3);
         assert_eq!(
             p.alloc_reads(),
@@ -782,9 +814,71 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "prefix fraction must be in (0, 1]")]
     fn prefix_rejects_out_of_range_fractions() {
+        use crate::error::CompileError;
         let c = CompiledTrace::compile(&ramp(4, 16));
-        let _ = c.prefix(0.0);
+        for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            match c.prefix(bad) {
+                Err(CompileError::PrefixFractionOutOfRange { fraction }) => {
+                    assert!(fraction.is_nan() == bad.is_nan() || fraction == bad);
+                }
+                other => panic!("prefix({bad}) should fail, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tid_lowering_preserves_thread_identity() {
+        use crate::event::ThreadId;
+        // Producer thread 1 allocates, consumer thread 2 frees; a tick
+        // separates them. Pool-op tids must follow the event tids.
+        let t = Trace::from_events(
+            "t",
+            vec![
+                TraceEvent::alloc_on(ThreadId(1), BlockId(1), 64),
+                TraceEvent::access_on(ThreadId(2), BlockId(1), 3, 1),
+                TraceEvent::tick(9),
+                TraceEvent::free_on(ThreadId(2), BlockId(1)),
+            ],
+        )
+        .unwrap();
+        let c = CompiledTrace::compile(&t);
+        assert_eq!(c.tids(), [1, 2, 0, 2]);
+        assert_eq!(c.op_tids(), [1, 2]);
+        assert_eq!(c.distinct_op_tids(), 2);
+        assert!(c.is_threaded());
+        // Single-threaded traces gate contention off.
+        let s = CompiledTrace::compile(&ramp(4, 16));
+        assert_eq!(s.distinct_op_tids(), 1);
+        assert!(!s.is_threaded());
+    }
+
+    #[test]
+    fn prefix_rederives_op_tids() {
+        use crate::event::ThreadId;
+        let mut events = Vec::new();
+        for i in 0..10u64 {
+            events.push(TraceEvent::alloc_on(
+                ThreadId((i % 3) as u32),
+                BlockId(i),
+                32,
+            ));
+        }
+        for i in 0..10u64 {
+            events.push(TraceEvent::free_on(
+                ThreadId(((i + 1) % 3) as u32),
+                BlockId(i),
+            ));
+        }
+        let t = Trace::from_events("t", events).unwrap();
+        let c = CompiledTrace::compile(&t);
+        for fraction in [0.2, 0.5, 0.8] {
+            let cut = ((t.len() as f64 * fraction).ceil() as usize).min(t.len());
+            let truncated =
+                Trace::from_events(t.name(), t.events()[..cut].to_vec()).expect("valid prefix");
+            let p = c.prefix(fraction).unwrap();
+            assert_eq!(p, CompiledTrace::compile(&truncated));
+            assert_eq!(p.op_tids().len(), p.pool_ops().len());
+        }
     }
 }

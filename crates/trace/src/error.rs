@@ -60,6 +60,29 @@ impl fmt::Display for TraceError {
 
 impl Error for TraceError {}
 
+/// An invalid request against a compiled trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// A prefix fraction outside `(0, 1]` was requested.
+    PrefixFractionOutOfRange {
+        /// The offending fraction.
+        fraction: f64,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::PrefixFractionOutOfRange { fraction } => {
+                write!(f, "prefix fraction must be in (0, 1], got {fraction}")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {}
+
 /// A syntax or semantic error while parsing a serialized trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]

@@ -16,6 +16,26 @@ impl fmt::Display for BlockId {
     }
 }
 
+/// Identity of the application thread issuing a trace event.
+///
+/// Single-threaded traces use `ThreadId::MAIN` (tid 0) throughout; threaded
+/// server traces carry the issuing thread on every `Alloc`/`Free`/`Access`
+/// so the simulator can charge shared-pool contention. A block allocated on
+/// one thread may legally be freed on another (producer/consumer handoff).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// The implicit thread of single-threaded traces.
+    pub const MAIN: ThreadId = ThreadId(0);
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
 /// One event of an allocation trace.
 ///
 /// `Access` events aggregate the application's reads/writes to a block
@@ -23,7 +43,8 @@ impl fmt::Display for BlockId {
 /// data reaches gigabytes; aggregation is what keeps replay tractable).
 /// `Tick` events model application compute time in which no dynamic-memory
 /// activity happens; they contribute to execution time but not to memory
-/// metrics.
+/// metrics. `Alloc`/`Free`/`Access` carry the issuing thread; `Tick` models
+/// whole-application compute and is thread-agnostic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TraceEvent {
     /// The application allocates `size` bytes under identity `id`.
@@ -32,11 +53,15 @@ pub enum TraceEvent {
         id: BlockId,
         /// Requested size in bytes (non-zero).
         size: u32,
+        /// Thread issuing the allocation.
+        tid: ThreadId,
     },
     /// The application frees block `id`.
     Free {
         /// Block identity; must be live.
         id: BlockId,
+        /// Thread issuing the free (may differ from the allocating thread).
+        tid: ThreadId,
     },
     /// The application performs `reads`/`writes` word accesses to block `id`.
     Access {
@@ -46,6 +71,8 @@ pub enum TraceEvent {
         reads: u32,
         /// Number of write accesses.
         writes: u32,
+        /// Thread issuing the accesses.
+        tid: ThreadId,
     },
     /// `cycles` of pure computation pass (no memory-allocator activity).
     Tick {
@@ -55,12 +82,74 @@ pub enum TraceEvent {
 }
 
 impl TraceEvent {
+    /// An `Alloc` on the main thread (tid 0).
+    pub fn alloc(id: BlockId, size: u32) -> Self {
+        TraceEvent::Alloc {
+            id,
+            size,
+            tid: ThreadId::MAIN,
+        }
+    }
+
+    /// An `Alloc` on an explicit thread.
+    pub fn alloc_on(tid: ThreadId, id: BlockId, size: u32) -> Self {
+        TraceEvent::Alloc { id, size, tid }
+    }
+
+    /// A `Free` on the main thread (tid 0).
+    pub fn free(id: BlockId) -> Self {
+        TraceEvent::Free {
+            id,
+            tid: ThreadId::MAIN,
+        }
+    }
+
+    /// A `Free` on an explicit thread.
+    pub fn free_on(tid: ThreadId, id: BlockId) -> Self {
+        TraceEvent::Free { id, tid }
+    }
+
+    /// An `Access` on the main thread (tid 0).
+    pub fn access(id: BlockId, reads: u32, writes: u32) -> Self {
+        TraceEvent::Access {
+            id,
+            reads,
+            writes,
+            tid: ThreadId::MAIN,
+        }
+    }
+
+    /// An `Access` on an explicit thread.
+    pub fn access_on(tid: ThreadId, id: BlockId, reads: u32, writes: u32) -> Self {
+        TraceEvent::Access {
+            id,
+            reads,
+            writes,
+            tid,
+        }
+    }
+
+    /// A compute `Tick`.
+    pub fn tick(cycles: u32) -> Self {
+        TraceEvent::Tick { cycles }
+    }
+
     /// The block id this event refers to, if any.
     pub fn block_id(&self) -> Option<BlockId> {
         match self {
             TraceEvent::Alloc { id, .. }
-            | TraceEvent::Free { id }
+            | TraceEvent::Free { id, .. }
             | TraceEvent::Access { id, .. } => Some(*id),
+            TraceEvent::Tick { .. } => None,
+        }
+    }
+
+    /// The issuing thread, if the event has one (`Tick` does not).
+    pub fn thread_id(&self) -> Option<ThreadId> {
+        match self {
+            TraceEvent::Alloc { tid, .. }
+            | TraceEvent::Free { tid, .. }
+            | TraceEvent::Access { tid, .. } => Some(*tid),
             TraceEvent::Tick { .. } => None,
         }
     }
@@ -74,10 +163,25 @@ impl TraceEvent {
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TraceEvent::Alloc { id, size } => write!(f, "alloc {id} {size}B"),
-            TraceEvent::Free { id } => write!(f, "free {id}"),
-            TraceEvent::Access { id, reads, writes } => {
+            TraceEvent::Alloc { id, size, tid } if tid.0 == 0 => write!(f, "alloc {id} {size}B"),
+            TraceEvent::Alloc { id, size, tid } => write!(f, "alloc {id} {size}B @{tid}"),
+            TraceEvent::Free { id, tid } if tid.0 == 0 => write!(f, "free {id}"),
+            TraceEvent::Free { id, tid } => write!(f, "free {id} @{tid}"),
+            TraceEvent::Access {
+                id,
+                reads,
+                writes,
+                tid,
+            } if tid.0 == 0 => {
                 write!(f, "access {id} r{reads} w{writes}")
+            }
+            TraceEvent::Access {
+                id,
+                reads,
+                writes,
+                tid,
+            } => {
+                write!(f, "access {id} r{reads} w{writes} @{tid}")
             }
             TraceEvent::Tick { cycles } => write!(f, "tick {cycles}"),
         }
@@ -91,55 +195,47 @@ mod tests {
     #[test]
     fn block_id_extraction() {
         assert_eq!(
-            TraceEvent::Alloc {
-                id: BlockId(3),
-                size: 8
-            }
-            .block_id(),
+            TraceEvent::alloc(BlockId(3), 8).block_id(),
             Some(BlockId(3))
         );
+        assert_eq!(TraceEvent::free(BlockId(4)).block_id(), Some(BlockId(4)));
         assert_eq!(
-            TraceEvent::Free { id: BlockId(4) }.block_id(),
-            Some(BlockId(4))
-        );
-        assert_eq!(
-            TraceEvent::Access {
-                id: BlockId(5),
-                reads: 1,
-                writes: 0
-            }
-            .block_id(),
+            TraceEvent::access(BlockId(5), 1, 0).block_id(),
             Some(BlockId(5))
         );
-        assert_eq!(TraceEvent::Tick { cycles: 10 }.block_id(), None);
+        assert_eq!(TraceEvent::tick(10).block_id(), None);
     }
 
     #[test]
     fn allocator_op_classification() {
-        assert!(TraceEvent::Alloc {
-            id: BlockId(0),
-            size: 1
-        }
-        .is_allocator_op());
-        assert!(TraceEvent::Free { id: BlockId(0) }.is_allocator_op());
-        assert!(!TraceEvent::Access {
-            id: BlockId(0),
-            reads: 0,
-            writes: 0
-        }
-        .is_allocator_op());
-        assert!(!TraceEvent::Tick { cycles: 1 }.is_allocator_op());
+        assert!(TraceEvent::alloc(BlockId(0), 1).is_allocator_op());
+        assert!(TraceEvent::free(BlockId(0)).is_allocator_op());
+        assert!(!TraceEvent::access(BlockId(0), 0, 0).is_allocator_op());
+        assert!(!TraceEvent::tick(1).is_allocator_op());
+    }
+
+    #[test]
+    fn thread_id_extraction() {
+        assert_eq!(
+            TraceEvent::alloc(BlockId(1), 8).thread_id(),
+            Some(ThreadId::MAIN)
+        );
+        assert_eq!(
+            TraceEvent::free_on(ThreadId(3), BlockId(1)).thread_id(),
+            Some(ThreadId(3))
+        );
+        assert_eq!(TraceEvent::tick(5).thread_id(), None);
     }
 
     #[test]
     fn display_is_compact() {
         assert_eq!(
-            TraceEvent::Alloc {
-                id: BlockId(7),
-                size: 74
-            }
-            .to_string(),
+            TraceEvent::alloc(BlockId(7), 74).to_string(),
             "alloc #7 74B"
+        );
+        assert_eq!(
+            TraceEvent::alloc_on(ThreadId(2), BlockId(7), 74).to_string(),
+            "alloc #7 74B @t2"
         );
     }
 }

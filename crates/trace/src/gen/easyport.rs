@@ -127,6 +127,7 @@ impl TraceGenerator for EasyportConfig {
             push(
                 &mut trace,
                 TraceEvent::Alloc {
+                    tid: crate::event::ThreadId::MAIN,
                     id,
                     size: CONNECTION_SIZE,
                 },
@@ -134,6 +135,7 @@ impl TraceGenerator for EasyportConfig {
             push(
                 &mut trace,
                 TraceEvent::Access {
+                    tid: crate::event::ThreadId::MAIN,
                     id,
                     reads: 8,
                     writes: 32,
@@ -173,16 +175,24 @@ impl TraceGenerator for EasyportConfig {
                     push(
                         &mut trace,
                         TraceEvent::Access {
+                            tid: crate::event::ThreadId::MAIN,
                             id: old,
                             reads: 16,
                             writes: 0,
                         },
                     );
-                    push(&mut trace, TraceEvent::Free { id: old });
+                    push(
+                        &mut trace,
+                        TraceEvent::Free {
+                            tid: crate::event::ThreadId::MAIN,
+                            id: old,
+                        },
+                    );
                     let id = fresh();
                     push(
                         &mut trace,
                         TraceEvent::Alloc {
+                            tid: crate::event::ThreadId::MAIN,
                             id,
                             size: CONNECTION_SIZE,
                         },
@@ -190,6 +200,7 @@ impl TraceGenerator for EasyportConfig {
                     push(
                         &mut trace,
                         TraceEvent::Access {
+                            tid: crate::event::ThreadId::MAIN,
                             id,
                             reads: 8,
                             writes: 32,
@@ -211,6 +222,7 @@ impl TraceGenerator for EasyportConfig {
                 push(
                     &mut trace,
                     TraceEvent::Alloc {
+                        tid: crate::event::ThreadId::MAIN,
                         id: descriptor,
                         size: DESCRIPTOR_SIZE,
                     },
@@ -218,6 +230,7 @@ impl TraceGenerator for EasyportConfig {
                 push(
                     &mut trace,
                     TraceEvent::Alloc {
+                        tid: crate::event::ThreadId::MAIN,
                         id: header,
                         size: HEADER_SIZE,
                     },
@@ -225,6 +238,7 @@ impl TraceGenerator for EasyportConfig {
                 push(
                     &mut trace,
                     TraceEvent::Alloc {
+                        tid: crate::event::ThreadId::MAIN,
                         id: payload,
                         size: payload_size,
                     },
@@ -235,6 +249,7 @@ impl TraceGenerator for EasyportConfig {
                 push(
                     &mut trace,
                     TraceEvent::Access {
+                        tid: crate::event::ThreadId::MAIN,
                         id: payload,
                         reads: 0,
                         writes: payload_size / 64 + 1,
@@ -243,6 +258,7 @@ impl TraceGenerator for EasyportConfig {
                 push(
                     &mut trace,
                     TraceEvent::Access {
+                        tid: crate::event::ThreadId::MAIN,
                         id: header,
                         reads: 12,
                         writes: 8,
@@ -251,6 +267,7 @@ impl TraceGenerator for EasyportConfig {
                 push(
                     &mut trace,
                     TraceEvent::Access {
+                        tid: crate::event::ThreadId::MAIN,
                         id: descriptor,
                         reads: 6,
                         writes: 4,
@@ -262,6 +279,7 @@ impl TraceGenerator for EasyportConfig {
                 push(
                     &mut trace,
                     TraceEvent::Access {
+                        tid: crate::event::ThreadId::MAIN,
                         id: ctx,
                         reads: 6,
                         writes: 2,
@@ -270,6 +288,7 @@ impl TraceGenerator for EasyportConfig {
                 push(
                     &mut trace,
                     TraceEvent::Access {
+                        tid: crate::event::ThreadId::MAIN,
                         id: header,
                         reads: 16,
                         writes: 6,
@@ -278,6 +297,7 @@ impl TraceGenerator for EasyportConfig {
                 push(
                     &mut trace,
                     TraceEvent::Access {
+                        tid: crate::event::ThreadId::MAIN,
                         id: descriptor,
                         reads: 8,
                         writes: 4,
@@ -286,6 +306,7 @@ impl TraceGenerator for EasyportConfig {
                 push(
                     &mut trace,
                     TraceEvent::Access {
+                        tid: crate::event::ThreadId::MAIN,
                         id: payload,
                         reads: payload_size / 32 + 1,
                         writes: 0,
@@ -306,6 +327,7 @@ impl TraceGenerator for EasyportConfig {
                     push(
                         &mut trace,
                         TraceEvent::Alloc {
+                            tid: crate::event::ThreadId::MAIN,
                             id: timer,
                             size: TIMER_SIZE,
                         },
@@ -313,6 +335,7 @@ impl TraceGenerator for EasyportConfig {
                     push(
                         &mut trace,
                         TraceEvent::Access {
+                            tid: crate::event::ThreadId::MAIN,
                             id: timer,
                             reads: 2,
                             writes: 6,
@@ -351,7 +374,13 @@ impl TraceGenerator for EasyportConfig {
             &mut push,
         );
         for id in contexts {
-            push(&mut trace, TraceEvent::Free { id });
+            push(
+                &mut trace,
+                TraceEvent::Free {
+                    tid: crate::event::ThreadId::MAIN,
+                    id,
+                },
+            );
         }
         trace
     }
@@ -372,6 +401,7 @@ fn release_due(
             push(
                 trace,
                 TraceEvent::Access {
+                    tid: crate::event::ThreadId::MAIN,
                     id: blocks.descriptor,
                     reads: 4,
                     writes: 2,
@@ -380,6 +410,7 @@ fn release_due(
             push(
                 trace,
                 TraceEvent::Access {
+                    tid: crate::event::ThreadId::MAIN,
                     id: blocks.header,
                     reads: 4,
                     writes: 2,
@@ -388,16 +419,30 @@ fn release_due(
             push(
                 trace,
                 TraceEvent::Access {
+                    tid: crate::event::ThreadId::MAIN,
                     id: blocks.payload,
                     reads: blocks.payload_size / 64 + 1,
                     writes: 0,
                 },
             );
-            push(trace, TraceEvent::Free { id: blocks.payload });
-            push(trace, TraceEvent::Free { id: blocks.header });
             push(
                 trace,
                 TraceEvent::Free {
+                    tid: crate::event::ThreadId::MAIN,
+                    id: blocks.payload,
+                },
+            );
+            push(
+                trace,
+                TraceEvent::Free {
+                    tid: crate::event::ThreadId::MAIN,
+                    id: blocks.header,
+                },
+            );
+            push(
+                trace,
+                TraceEvent::Free {
+                    tid: crate::event::ThreadId::MAIN,
                     id: blocks.descriptor,
                 },
             );
@@ -412,12 +457,19 @@ fn release_due(
             push(
                 trace,
                 TraceEvent::Access {
+                    tid: crate::event::ThreadId::MAIN,
                     id,
                     reads: 2,
                     writes: 1,
                 },
             );
-            push(trace, TraceEvent::Free { id });
+            push(
+                trace,
+                TraceEvent::Free {
+                    tid: crate::event::ThreadId::MAIN,
+                    id,
+                },
+            );
         } else {
             j += 1;
         }

@@ -88,11 +88,24 @@ impl TraceGenerator for MmppConfig {
                     }
                     deaths.pop();
                     emit_final_access(&mut trace, BlockId(id), size, self.accesses_per_word, push);
-                    push(&mut trace, TraceEvent::Free { id: BlockId(id) });
+                    push(
+                        &mut trace,
+                        TraceEvent::Free {
+                            tid: crate::event::ThreadId::MAIN,
+                            id: BlockId(id),
+                        },
+                    );
                 }
                 let id = BlockId(step + 1);
                 let size = self.sizes.sample(&mut rng);
-                push(&mut trace, TraceEvent::Alloc { id, size });
+                push(
+                    &mut trace,
+                    TraceEvent::Alloc {
+                        tid: crate::event::ThreadId::MAIN,
+                        id,
+                        size,
+                    },
+                );
                 if self.accesses_per_word > 0.0 {
                     let words = u64::from(size / 4 + 1);
                     let writes = (words as f64 * self.accesses_per_word * 0.5) as u32;
@@ -100,6 +113,7 @@ impl TraceGenerator for MmppConfig {
                         push(
                             &mut trace,
                             TraceEvent::Access {
+                                tid: crate::event::ThreadId::MAIN,
                                 id,
                                 reads: writes,
                                 writes,
@@ -127,7 +141,13 @@ impl TraceGenerator for MmppConfig {
         }
         while let Some(std::cmp::Reverse((_, id, size))) = deaths.pop() {
             emit_final_access(&mut trace, BlockId(id), size, self.accesses_per_word, push);
-            push(&mut trace, TraceEvent::Free { id: BlockId(id) });
+            push(
+                &mut trace,
+                TraceEvent::Free {
+                    tid: crate::event::ThreadId::MAIN,
+                    id: BlockId(id),
+                },
+            );
         }
         trace
     }
@@ -146,6 +166,7 @@ fn emit_final_access(
             push(
                 trace,
                 TraceEvent::Access {
+                    tid: crate::event::ThreadId::MAIN,
                     id,
                     reads,
                     writes: 0,

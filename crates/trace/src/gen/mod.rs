@@ -18,7 +18,10 @@
 //! * [`MmppConfig`] — Markov-modulated burstiness sweeps;
 //! * [`PhaseShiftConfig`] — synthetic phases concatenated so the
 //!   allocation mixture shifts mid-run (the robustness stressor behind
-//!   the scenario suites).
+//!   the scenario suites);
+//! * [`ServerMixConfig`] — threaded server traffic: request/connection
+//!   scoped pools, diurnal + flash-crowd load, and responses freed by a
+//!   different thread than allocated them (the contention stressor).
 //!
 //! All generators are deterministic in their seed.
 
@@ -26,6 +29,7 @@ mod dist;
 mod easyport;
 mod mmpp;
 mod phase;
+mod server;
 mod synthetic;
 mod vtc;
 
@@ -33,6 +37,7 @@ pub use dist::{LifetimeDist, SizeDist};
 pub use easyport::EasyportConfig;
 pub use mmpp::MmppConfig;
 pub use phase::PhaseShiftConfig;
+pub use server::ServerMixConfig;
 pub use synthetic::{ramp, SyntheticConfig};
 pub use vtc::VtcConfig;
 

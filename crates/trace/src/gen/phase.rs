@@ -58,17 +58,22 @@ impl TraceGenerator for PhaseShiftConfig {
             let mut max_id = 0u64;
             for ev in part.events() {
                 events.push(match *ev {
-                    TraceEvent::Alloc { id, size } => {
+                    TraceEvent::Alloc { id, size, .. } => {
                         max_id = max_id.max(id.0);
                         TraceEvent::Alloc {
+                            tid: crate::event::ThreadId::MAIN,
                             id: BlockId(id.0 + id_offset),
                             size,
                         }
                     }
-                    TraceEvent::Free { id } => TraceEvent::Free {
+                    TraceEvent::Free { id, .. } => TraceEvent::Free {
+                        tid: crate::event::ThreadId::MAIN,
                         id: BlockId(id.0 + id_offset),
                     },
-                    TraceEvent::Access { id, reads, writes } => TraceEvent::Access {
+                    TraceEvent::Access {
+                        id, reads, writes, ..
+                    } => TraceEvent::Access {
+                        tid: crate::event::ThreadId::MAIN,
                         id: BlockId(id.0 + id_offset),
                         reads,
                         writes,

@@ -1,0 +1,399 @@
+//! Server-workload generator: many clients, worker threads, shared pools.
+//!
+//! The paper's flow tunes allocators for single-threaded embedded
+//! applications; its parallel-EA successor targets *server* software,
+//! whose dynamic-memory behaviour differs in kind, not just in volume:
+//!
+//! * **request-scoped objects** — headers and parse nodes allocated and
+//!   freed by the same worker thread within one request (the per-thread
+//!   fast path a contention-aware allocator must keep free);
+//! * **connection-scoped objects** — session state allocated on accept
+//!   by the acceptor thread and freed on close, living across thousands
+//!   of requests;
+//! * **producer/consumer lifetimes** — response buffers allocated by a
+//!   worker but freed by the I/O thread once the bytes are on the wire,
+//!   so frees legitimately cross threads;
+//! * **diurnal + spike traffic** — request rate swings slowly over a
+//!   simulated day (triangle-wave modulation, kept free of
+//!   platform-dependent transcendentals so traces stay byte-reproducible)
+//!   with occasional flash-crowd bursts.
+//!
+//! Thread ids: tid 0 is the acceptor, tids `1..=workers` handle
+//! requests, and tid `workers + 1` is the I/O (sender) thread.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::{BlockId, ThreadId, TraceEvent};
+use crate::gen::dist::{exponential, SizeDist};
+use crate::gen::TraceGenerator;
+use crate::trace::Trace;
+
+/// Configuration of the server-mix generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerMixConfig {
+    /// Total requests to serve.
+    pub requests: usize,
+    /// Worker threads handling requests (tids `1..=workers`, ≥ 1).
+    pub workers: u32,
+    /// Concurrent connections (each holds one session buffer).
+    pub connections: usize,
+    /// Request-scoped parse nodes allocated per request.
+    pub objects_per_request: usize,
+    /// Parse-node size mixture.
+    pub request_sizes: SizeDist,
+    /// Response-buffer size mixture.
+    pub response_sizes: SizeDist,
+    /// Close one connection and accept a new one every this many requests
+    /// (0 disables churn).
+    pub connection_churn_every: usize,
+    /// Mean requests per arrival burst at baseline load.
+    pub base_burst: f64,
+    /// Bursts per simulated day; the rate follows a triangle wave over
+    /// this period (0 = flat load).
+    pub diurnal_period: usize,
+    /// Peak deviation of the diurnal wave from baseline, as a fraction
+    /// in `[0, 1)` — rate swings between `1 - a` and `1 + a`.
+    pub diurnal_amplitude: f64,
+    /// Every this-many-th burst is a flash-crowd spike (0 = never).
+    pub spike_every: usize,
+    /// Burst-size multiplier during a spike.
+    pub spike_multiplier: f64,
+    /// Responses are freed by the I/O thread this many requests after
+    /// being produced (the cross-thread producer/consumer lag).
+    pub response_linger: usize,
+    /// Compute cycles per served request.
+    pub cycles_per_request: u32,
+    /// Compute cycles of idle time between bursts.
+    pub idle_cycles: u32,
+}
+
+impl ServerMixConfig {
+    /// A small configuration for unit tests and doc examples
+    /// (~1.2 k requests, 4 workers).
+    pub fn small() -> Self {
+        ServerMixConfig {
+            requests: 1_200,
+            workers: 4,
+            ..Self::paper()
+        }
+    }
+
+    /// The case-study configuration (~4 k requests, 8 workers, full
+    /// diurnal cycle plus flash crowds).
+    pub fn paper() -> Self {
+        ServerMixConfig {
+            requests: 4_000,
+            workers: 8,
+            connections: 48,
+            objects_per_request: 3,
+            request_sizes: SizeDist::Choice(vec![
+                (32, 0.50), // parse-tree nodes
+                (64, 0.30), // header fields
+                (96, 0.20), // cookie / query-string fragments
+            ]),
+            response_sizes: SizeDist::Choice(vec![
+                (512, 0.40),   // small API replies
+                (2_048, 0.45), // HTML pages
+                (8_192, 0.15), // asset chunks
+            ]),
+            connection_churn_every: 16,
+            base_burst: 10.0,
+            diurnal_period: 48,
+            diurnal_amplitude: 0.6,
+            spike_every: 19,
+            spike_multiplier: 3.0,
+            response_linger: 32,
+            cycles_per_request: 3_200,
+            idle_cycles: 1_600,
+        }
+    }
+
+    /// The diurnal rate multiplier for burst number `n`: a triangle wave
+    /// between `1 - amplitude` and `1 + amplitude`, built from exact
+    /// rational arithmetic so the trace never depends on a platform's
+    /// `sin` implementation.
+    fn diurnal_factor(&self, n: usize) -> f64 {
+        if self.diurnal_period == 0 || self.diurnal_amplitude == 0.0 {
+            return 1.0;
+        }
+        let pos = n % self.diurnal_period;
+        // 0 at the trough (pos 0), 1 at the peak (pos period/2), back to 0.
+        let tri = 1.0 - (2.0 * pos as f64 / self.diurnal_period as f64 - 1.0).abs();
+        1.0 - self.diurnal_amplitude + 2.0 * self.diurnal_amplitude * tri
+    }
+}
+
+/// Request headers are one fixed-size block; session state is one
+/// 384-byte context per connection.
+const REQUEST_HEADER_SIZE: u32 = 128;
+const SESSION_SIZE: u32 = 384;
+
+/// A response in flight to the I/O thread.
+struct InFlight {
+    release_at: usize,
+    id: BlockId,
+    size: u32,
+}
+
+impl TraceGenerator for ServerMixConfig {
+    fn generate(&self, seed: u64) -> Trace {
+        assert!(self.workers >= 1, "a server needs at least one worker");
+        assert!(self.connections >= 1, "a server needs a connection");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5E17_ED01);
+        let mut trace = Trace::new("server-mix");
+        let mut next_id = 0u64;
+        let mut fresh = || {
+            next_id += 1;
+            BlockId(next_id)
+        };
+        let mut push = |t: &mut Trace, ev: TraceEvent| {
+            t.push(ev).expect("generator emits well-formed traces");
+        };
+        let acceptor = ThreadId::MAIN;
+        let io_tid = ThreadId(self.workers + 1);
+
+        // Accept the initial connections: session state allocated by the
+        // acceptor, touched by whichever workers serve the connection.
+        let mut sessions = Vec::with_capacity(self.connections);
+        for _ in 0..self.connections {
+            let id = fresh();
+            push(&mut trace, TraceEvent::alloc_on(acceptor, id, SESSION_SIZE));
+            push(&mut trace, TraceEvent::access_on(acceptor, id, 4, 24));
+            sessions.push(id);
+        }
+
+        let mut in_flight: Vec<InFlight> = Vec::new();
+        let mut served = 0usize;
+        let mut burst_no = 0usize;
+        while served < self.requests {
+            let mut rate = self.diurnal_factor(burst_no);
+            if self.spike_every > 0 && burst_no % self.spike_every == self.spike_every - 1 {
+                rate *= self.spike_multiplier;
+            }
+            burst_no += 1;
+            let cap = (4.0 * self.base_burst * self.spike_multiplier.max(1.0)) as usize + 1;
+            let burst = ((exponential(&mut rng, self.base_burst) * rate).round() as usize)
+                .clamp(1, cap)
+                .min(self.requests - served);
+
+            for _ in 0..burst {
+                let now = served;
+                served += 1;
+
+                // The I/O thread drains responses whose bytes went out.
+                flush_sent(&mut trace, &mut in_flight, now, io_tid, &mut push);
+
+                // Connection churn: the acceptor closes one connection
+                // and accepts a replacement, interleaving long-lived
+                // session blocks between request blocks.
+                if self.connection_churn_every > 0
+                    && now.is_multiple_of(self.connection_churn_every)
+                {
+                    let slot = rng.gen_range(0..sessions.len());
+                    let old = sessions[slot];
+                    push(&mut trace, TraceEvent::access_on(acceptor, old, 8, 0));
+                    push(&mut trace, TraceEvent::free_on(acceptor, old));
+                    let id = fresh();
+                    push(&mut trace, TraceEvent::alloc_on(acceptor, id, SESSION_SIZE));
+                    push(&mut trace, TraceEvent::access_on(acceptor, id, 4, 24));
+                    sessions[slot] = id;
+                }
+
+                // A worker picks the request up.
+                let worker = ThreadId(1 + rng.gen_range(0..self.workers));
+                let session = sessions[rng.gen_range(0..sessions.len())];
+
+                // Parse: request-scoped header + nodes, all on the worker.
+                let header = fresh();
+                push(
+                    &mut trace,
+                    TraceEvent::alloc_on(worker, header, REQUEST_HEADER_SIZE),
+                );
+                push(&mut trace, TraceEvent::access_on(worker, header, 10, 6));
+                let mut nodes = Vec::with_capacity(self.objects_per_request);
+                for _ in 0..self.objects_per_request {
+                    let id = fresh();
+                    let size = self.request_sizes.sample(&mut rng);
+                    push(&mut trace, TraceEvent::alloc_on(worker, id, size));
+                    push(&mut trace, TraceEvent::access_on(worker, id, 3, 3));
+                    nodes.push(id);
+                }
+                push(&mut trace, TraceEvent::access_on(worker, session, 6, 2));
+
+                // Produce the response; the worker fills it, the I/O
+                // thread frees it later (cross-thread lifetime).
+                let response = fresh();
+                let response_size = self.response_sizes.sample(&mut rng);
+                push(
+                    &mut trace,
+                    TraceEvent::alloc_on(worker, response, response_size),
+                );
+                push(
+                    &mut trace,
+                    TraceEvent::access_on(worker, response, 2, response_size / 32 + 1),
+                );
+                push(
+                    &mut trace,
+                    TraceEvent::Tick {
+                        cycles: self.cycles_per_request,
+                    },
+                );
+                in_flight.push(InFlight {
+                    release_at: now + self.response_linger,
+                    id: response,
+                    size: response_size,
+                });
+
+                // Request teardown: the worker frees its own scratch —
+                // the same-thread fast path.
+                for id in nodes.into_iter().rev() {
+                    push(&mut trace, TraceEvent::free_on(worker, id));
+                }
+                push(&mut trace, TraceEvent::free_on(worker, header));
+            }
+
+            push(
+                &mut trace,
+                TraceEvent::Tick {
+                    cycles: self.idle_cycles,
+                },
+            );
+        }
+
+        // Drain: flush every response still queued, close all connections.
+        flush_sent(&mut trace, &mut in_flight, usize::MAX, io_tid, &mut push);
+        for id in sessions {
+            push(&mut trace, TraceEvent::free_on(acceptor, id));
+        }
+        trace
+    }
+}
+
+/// The I/O thread sends and frees every response due by `now`, in FIFO
+/// order.
+fn flush_sent(
+    trace: &mut Trace,
+    in_flight: &mut Vec<InFlight>,
+    now: usize,
+    io_tid: ThreadId,
+    push: &mut impl FnMut(&mut Trace, TraceEvent),
+) {
+    let mut i = 0;
+    while i < in_flight.len() {
+        if in_flight[i].release_at <= now {
+            let sent = in_flight.remove(i);
+            push(
+                trace,
+                TraceEvent::access_on(io_tid, sent.id, sent.size / 64 + 1, 0),
+            );
+            push(trace, TraceEvent::free_on(io_tid, sent.id));
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiled::CompiledTrace;
+    use crate::stats::TraceStats;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = ServerMixConfig::small().generate(7);
+        let b = ServerMixConfig::small().generate(7);
+        assert_eq!(a.events(), b.events());
+        let c = ServerMixConfig::small().generate(8);
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn everything_is_freed() {
+        let t = ServerMixConfig::small().generate(2);
+        assert_eq!(t.final_live_bytes(), 0);
+        assert_eq!(t.live_blocks().count(), 0);
+    }
+
+    #[test]
+    fn trace_is_threaded_with_the_configured_thread_set() {
+        let cfg = ServerMixConfig::small();
+        let t = cfg.generate(3);
+        let tids: HashSet<u32> = t
+            .iter()
+            .filter_map(|e| e.thread_id())
+            .map(|t| t.0)
+            .collect();
+        assert!(tids.contains(&0), "acceptor must appear");
+        assert!(
+            tids.contains(&(cfg.workers + 1)),
+            "the I/O thread must appear"
+        );
+        assert!(tids.len() as u32 > cfg.workers, "tids observed: {tids:?}");
+        assert!(CompiledTrace::compile(&t).is_threaded());
+    }
+
+    #[test]
+    fn responses_are_freed_cross_thread() {
+        let cfg = ServerMixConfig::small();
+        let t = cfg.generate(4);
+        let io = cfg.workers + 1;
+        // Track each live block's allocating tid; at its free, compare.
+        let mut owner = std::collections::HashMap::new();
+        let mut crossings = 0usize;
+        for ev in &t {
+            match *ev {
+                TraceEvent::Alloc { id, tid, .. } => {
+                    owner.insert(id, tid);
+                }
+                TraceEvent::Free { id, tid } => {
+                    let from = owner.remove(&id).expect("freed block was live");
+                    if from != tid {
+                        assert_eq!(tid.0, io, "only the I/O thread frees remotely");
+                        crossings += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            crossings > cfg.requests / 2,
+            "most responses cross threads: {crossings}"
+        );
+    }
+
+    #[test]
+    fn diurnal_factor_is_a_bounded_triangle_wave() {
+        let cfg = ServerMixConfig::paper();
+        let lo = 1.0 - cfg.diurnal_amplitude;
+        let hi = 1.0 + cfg.diurnal_amplitude;
+        for n in 0..3 * cfg.diurnal_period {
+            let f = cfg.diurnal_factor(n);
+            assert!((lo..=hi).contains(&f), "factor {f} at burst {n}");
+        }
+        // Trough at the period boundary, peak mid-period.
+        assert!((cfg.diurnal_factor(0) - lo).abs() < 1e-12);
+        assert!((cfg.diurnal_factor(cfg.diurnal_period / 2) - hi).abs() < 1e-12);
+        // Period 0 = flat load.
+        let flat = ServerMixConfig {
+            diurnal_period: 0,
+            ..cfg
+        };
+        assert_eq!(flat.diurnal_factor(17), 1.0);
+    }
+
+    #[test]
+    fn dominant_sizes_cover_the_request_pools() {
+        let t = ServerMixConfig::small().generate(5);
+        let s = TraceStats::compute(&t);
+        assert!(
+            s.size_stat(REQUEST_HEADER_SIZE).is_some(),
+            "headers must occur"
+        );
+        assert!(s.size_stat(SESSION_SIZE).is_some(), "sessions must occur");
+        assert!(s.size_stat(32).is_some(), "parse nodes must occur");
+        assert!(s.size_stat(2_048).is_some(), "responses must occur");
+    }
+}

@@ -99,18 +99,39 @@ impl TraceGenerator for SyntheticConfig {
                 }
                 deaths.pop();
                 self.emit_final_access(&mut trace, BlockId(id), size, &mut push);
-                push(&mut trace, TraceEvent::Free { id: BlockId(id) });
+                push(
+                    &mut trace,
+                    TraceEvent::Free {
+                        tid: crate::event::ThreadId::MAIN,
+                        id: BlockId(id),
+                    },
+                );
             }
 
             let id = BlockId(step + 1);
             let size = self.sizes.sample(&mut rng);
-            push(&mut trace, TraceEvent::Alloc { id, size });
+            push(
+                &mut trace,
+                TraceEvent::Alloc {
+                    tid: crate::event::ThreadId::MAIN,
+                    id,
+                    size,
+                },
+            );
             if self.accesses_per_word > 0.0 {
                 let words = u64::from(size / 4 + 1);
                 let writes = (words as f64 * self.accesses_per_word * 0.6) as u32;
                 let reads = (words as f64 * self.accesses_per_word * 0.4) as u32;
                 if reads + writes > 0 {
-                    push(&mut trace, TraceEvent::Access { id, reads, writes });
+                    push(
+                        &mut trace,
+                        TraceEvent::Access {
+                            tid: crate::event::ThreadId::MAIN,
+                            id,
+                            reads,
+                            writes,
+                        },
+                    );
                 }
             }
             let life = self.lifetimes.sample(&mut rng);
@@ -129,7 +150,13 @@ impl TraceGenerator for SyntheticConfig {
         // Drain survivors in death order.
         while let Some(Reverse((_, id, size))) = deaths.pop() {
             self.emit_final_access(&mut trace, BlockId(id), size, &mut push);
-            push(&mut trace, TraceEvent::Free { id: BlockId(id) });
+            push(
+                &mut trace,
+                TraceEvent::Free {
+                    tid: crate::event::ThreadId::MAIN,
+                    id: BlockId(id),
+                },
+            );
         }
         trace
     }
@@ -149,6 +176,7 @@ impl SyntheticConfig {
                 push(
                     trace,
                     TraceEvent::Access {
+                        tid: crate::event::ThreadId::MAIN,
                         id,
                         reads,
                         writes: 0,
@@ -165,12 +193,16 @@ pub fn ramp(n: usize, size: u32) -> Trace {
     let mut events = Vec::with_capacity(2 * n);
     for i in 0..n as u64 {
         events.push(TraceEvent::Alloc {
+            tid: crate::event::ThreadId::MAIN,
             id: BlockId(i + 1),
             size,
         });
     }
     for i in 0..n as u64 {
-        events.push(TraceEvent::Free { id: BlockId(i + 1) });
+        events.push(TraceEvent::Free {
+            tid: crate::event::ThreadId::MAIN,
+            id: BlockId(i + 1),
+        });
     }
     Trace::from_events("ramp", events).expect("ramp trace is well-formed")
 }

@@ -91,10 +91,18 @@ impl TraceGenerator for VtcConfig {
             for _ in 0..6 {
                 let id = fresh();
                 let size = PARSE_SIZES[rng.gen_range(0..PARSE_SIZES.len())];
-                push(&mut trace, TraceEvent::Alloc { id, size });
+                push(
+                    &mut trace,
+                    TraceEvent::Alloc {
+                        tid: crate::event::ThreadId::MAIN,
+                        id,
+                        size,
+                    },
+                );
                 push(
                     &mut trace,
                     TraceEvent::Access {
+                        tid: crate::event::ThreadId::MAIN,
                         id,
                         reads: 10,
                         writes: 6,
@@ -110,6 +118,7 @@ impl TraceGenerator for VtcConfig {
             push(
                 &mut trace,
                 TraceEvent::Alloc {
+                    tid: crate::event::ThreadId::MAIN,
                     id: texture,
                     size: texture_size,
                 },
@@ -126,6 +135,7 @@ impl TraceGenerator for VtcConfig {
                 push(
                     &mut trace,
                     TraceEvent::Alloc {
+                        tid: crate::event::ThreadId::MAIN,
                         id,
                         size: NODE_SIZE,
                     },
@@ -133,6 +143,7 @@ impl TraceGenerator for VtcConfig {
                 push(
                     &mut trace,
                     TraceEvent::Access {
+                        tid: crate::event::ThreadId::MAIN,
                         id,
                         reads: 2,
                         writes: 4,
@@ -152,7 +163,14 @@ impl TraceGenerator for VtcConfig {
                 let mut subbands = Vec::with_capacity(3);
                 for _sb in 0..3 {
                     let id = fresh();
-                    push(&mut trace, TraceEvent::Alloc { id, size: sub_size });
+                    push(
+                        &mut trace,
+                        TraceEvent::Alloc {
+                            tid: crate::event::ThreadId::MAIN,
+                            id,
+                            size: sub_size,
+                        },
+                    );
                     subbands.push(id);
                 }
 
@@ -167,6 +185,7 @@ impl TraceGenerator for VtcConfig {
                         push(
                             &mut trace,
                             TraceEvent::Access {
+                                tid: crate::event::ThreadId::MAIN,
                                 id: sb,
                                 reads: coeffs / 16,
                                 writes: coeffs / 16,
@@ -183,6 +202,7 @@ impl TraceGenerator for VtcConfig {
                         push(
                             &mut trace,
                             TraceEvent::Access {
+                                tid: crate::event::ThreadId::MAIN,
                                 id,
                                 reads: per_sample,
                                 writes: per_sample / 6,
@@ -202,6 +222,7 @@ impl TraceGenerator for VtcConfig {
                     push(
                         &mut trace,
                         TraceEvent::Access {
+                            tid: crate::event::ThreadId::MAIN,
                             id: sb,
                             reads: coeffs / 2,
                             writes: 0,
@@ -211,6 +232,7 @@ impl TraceGenerator for VtcConfig {
                 push(
                     &mut trace,
                     TraceEvent::Access {
+                        tid: crate::event::ThreadId::MAIN,
                         id: texture,
                         reads: coeffs / 2,
                         writes: coeffs,
@@ -224,7 +246,13 @@ impl TraceGenerator for VtcConfig {
                 );
 
                 for sb in subbands {
-                    push(&mut trace, TraceEvent::Free { id: sb });
+                    push(
+                        &mut trace,
+                        TraceEvent::Free {
+                            tid: crate::event::ThreadId::MAIN,
+                            id: sb,
+                        },
+                    );
                 }
             }
 
@@ -232,6 +260,7 @@ impl TraceGenerator for VtcConfig {
             push(
                 &mut trace,
                 TraceEvent::Access {
+                    tid: crate::event::ThreadId::MAIN,
                     id: texture,
                     reads: texture_size / 8,
                     writes: 0,
@@ -239,12 +268,30 @@ impl TraceGenerator for VtcConfig {
             );
             push(&mut trace, TraceEvent::Tick { cycles: 30_000 });
             for id in nodes {
-                push(&mut trace, TraceEvent::Free { id });
+                push(
+                    &mut trace,
+                    TraceEvent::Free {
+                        tid: crate::event::ThreadId::MAIN,
+                        id,
+                    },
+                );
             }
             for id in parse_blocks {
-                push(&mut trace, TraceEvent::Free { id });
+                push(
+                    &mut trace,
+                    TraceEvent::Free {
+                        tid: crate::event::ThreadId::MAIN,
+                        id,
+                    },
+                );
             }
-            push(&mut trace, TraceEvent::Free { id: texture });
+            push(
+                &mut trace,
+                TraceEvent::Free {
+                    tid: crate::event::ThreadId::MAIN,
+                    id: texture,
+                },
+            );
         }
         trace
     }

@@ -53,7 +53,7 @@ pub mod textfmt;
 mod trace;
 
 pub use compiled::{CompiledEvent, CompiledTrace};
-pub use error::{ParseError, TraceError};
-pub use event::{BlockId, TraceEvent};
+pub use error::{CompileError, ParseError, TraceError};
+pub use event::{BlockId, ThreadId, TraceEvent};
 pub use stats::{SizeStat, TraceStats};
 pub use trace::Trace;

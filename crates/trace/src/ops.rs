@@ -39,19 +39,29 @@ pub fn merge_round_robin(name: impl Into<String>, traces: &[&Trace]) -> Result<T
             cursors[ti] += 1;
             progressed = true;
             let mapped = match *event {
-                TraceEvent::Alloc { id, size } => {
+                TraceEvent::Alloc { id, size, .. } => {
                     let new = BlockId(next_id);
                     next_id += 1;
                     remap[ti].insert(id, new);
-                    TraceEvent::Alloc { id: new, size }
+                    TraceEvent::Alloc {
+                        tid: crate::event::ThreadId::MAIN,
+                        id: new,
+                        size,
+                    }
                 }
-                TraceEvent::Free { id } => {
+                TraceEvent::Free { id, .. } => {
                     let new = remap[ti].remove(&id).expect("input trace is well-formed");
-                    TraceEvent::Free { id: new }
+                    TraceEvent::Free {
+                        tid: crate::event::ThreadId::MAIN,
+                        id: new,
+                    }
                 }
-                TraceEvent::Access { id, reads, writes } => {
+                TraceEvent::Access {
+                    id, reads, writes, ..
+                } => {
                     let new = *remap[ti].get(&id).expect("input trace is well-formed");
                     TraceEvent::Access {
+                        tid: crate::event::ThreadId::MAIN,
                         id: new,
                         reads,
                         writes,
@@ -81,7 +91,8 @@ pub fn scale_sizes(trace: &Trace, factor: f64) -> Trace {
     let mut out = Trace::new(format!("{}-x{factor}", trace.name()));
     for ev in trace {
         let mapped = match *ev {
-            TraceEvent::Alloc { id, size } => TraceEvent::Alloc {
+            TraceEvent::Alloc { id, size, .. } => TraceEvent::Alloc {
+                tid: crate::event::ThreadId::MAIN,
                 id,
                 size: ((f64::from(size) * factor).ceil() as u32).max(1),
             },
@@ -102,8 +113,11 @@ pub fn truncate(trace: &Trace, n: usize) -> Trace {
     }
     let live: Vec<BlockId> = out.live_blocks().map(|(id, _)| id).collect();
     for id in live {
-        out.push(TraceEvent::Free { id })
-            .expect("freeing live blocks is well-formed");
+        out.push(TraceEvent::Free {
+            tid: crate::event::ThreadId::MAIN,
+            id,
+        })
+        .expect("freeing live blocks is well-formed");
     }
     out
 }

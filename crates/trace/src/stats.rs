@@ -79,7 +79,7 @@ impl TraceStats {
 
         for (idx, ev) in trace.iter().enumerate() {
             match *ev {
-                TraceEvent::Alloc { id, size } => {
+                TraceEvent::Alloc { id, size, .. } => {
                     allocs += 1;
                     total_alloc_bytes += u64::from(size);
                     live_bytes += u64::from(size);
@@ -94,7 +94,7 @@ impl TraceStats {
                     e.1 += 1;
                     e.2 = e.2.max(e.1);
                 }
-                TraceEvent::Free { id } => {
+                TraceEvent::Free { id, .. } => {
                     frees += 1;
                     if let Some((size, born)) = live.remove(&id) {
                         live_bytes -= u64::from(size);
@@ -106,7 +106,9 @@ impl TraceStats {
                         }
                     }
                 }
-                TraceEvent::Access { id, reads, writes } => {
+                TraceEvent::Access {
+                    id, reads, writes, ..
+                } => {
                     app_reads += u64::from(reads);
                     app_writes += u64::from(writes);
                     if let Some((size, _)) = live.get(&id) {
@@ -169,7 +171,7 @@ impl TraceStats {
                 TraceEvent::Alloc { id, .. } => {
                     born.insert(id, idx);
                 }
-                TraceEvent::Free { id } => {
+                TraceEvent::Free { id, .. } => {
                     if let Some(b) = born.remove(&id) {
                         let d = (idx - b) as u64;
                         let bucket = (64 - (d + 1).leading_zeros() - 1) as usize;
@@ -219,31 +221,48 @@ mod tests {
             "t",
             vec![
                 TraceEvent::Alloc {
+                    tid: crate::event::ThreadId::MAIN,
                     id: BlockId(1),
                     size: 74,
                 },
                 TraceEvent::Alloc {
+                    tid: crate::event::ThreadId::MAIN,
                     id: BlockId(2),
                     size: 74,
                 },
                 TraceEvent::Access {
+                    tid: crate::event::ThreadId::MAIN,
                     id: BlockId(1),
                     reads: 5,
                     writes: 3,
                 },
                 TraceEvent::Alloc {
+                    tid: crate::event::ThreadId::MAIN,
                     id: BlockId(3),
                     size: 1500,
                 },
                 TraceEvent::Tick { cycles: 100 },
-                TraceEvent::Free { id: BlockId(1) },
-                TraceEvent::Free { id: BlockId(2) },
+                TraceEvent::Free {
+                    tid: crate::event::ThreadId::MAIN,
+                    id: BlockId(1),
+                },
+                TraceEvent::Free {
+                    tid: crate::event::ThreadId::MAIN,
+                    id: BlockId(2),
+                },
                 TraceEvent::Alloc {
+                    tid: crate::event::ThreadId::MAIN,
                     id: BlockId(4),
                     size: 74,
                 },
-                TraceEvent::Free { id: BlockId(3) },
-                TraceEvent::Free { id: BlockId(4) },
+                TraceEvent::Free {
+                    tid: crate::event::ThreadId::MAIN,
+                    id: BlockId(3),
+                },
+                TraceEvent::Free {
+                    tid: crate::event::ThreadId::MAIN,
+                    id: BlockId(4),
+                },
             ],
         )
         .unwrap()
@@ -315,24 +334,36 @@ mod tests {
             "h",
             vec![
                 E::Alloc {
+                    tid: crate::event::ThreadId::MAIN,
                     id: BlockId(1),
                     size: 8,
                 },
-                E::Free { id: BlockId(1) }, // d=1 → bucket 1
+                E::Free {
+                    tid: crate::event::ThreadId::MAIN,
+                    id: BlockId(1),
+                }, // d=1 → bucket 1
                 E::Alloc {
+                    tid: crate::event::ThreadId::MAIN,
                     id: BlockId(2),
                     size: 8,
                 },
                 E::Tick { cycles: 1 },
-                E::Free { id: BlockId(2) }, // d=2 → bucket 1
+                E::Free {
+                    tid: crate::event::ThreadId::MAIN,
+                    id: BlockId(2),
+                }, // d=2 → bucket 1
                 E::Alloc {
+                    tid: crate::event::ThreadId::MAIN,
                     id: BlockId(3),
                     size: 8,
                 },
                 E::Tick { cycles: 1 },
                 E::Tick { cycles: 1 },
                 E::Tick { cycles: 1 },
-                E::Free { id: BlockId(3) }, // d=4 → bucket 2
+                E::Free {
+                    tid: crate::event::ThreadId::MAIN,
+                    id: BlockId(3),
+                }, // d=4 → bucket 2
             ],
         )
         .unwrap();

@@ -12,30 +12,76 @@
 //! r <id> <reads> <writes>   application accesses
 //! k <cycles>           compute tick
 //! ```
+//!
+//! Threaded traces use the `v2` header and append the issuing thread id as
+//! the last field of `a`/`f`/`r` records:
+//!
+//! ```text
+//! dmxtrace v2 <name>
+//! a <id> <size> <tid>
+//! f <id> <tid>
+//! r <id> <reads> <writes> <tid>
+//! k <cycles>
+//! ```
+//!
+//! The writer emits `v1` whenever every event runs on tid 0, so
+//! single-threaded traces serialize byte-identically to the original
+//! format. `v1` inputs parse with every tid defaulting to 0; `v2` inputs
+//! may omit the tid field (it also defaults to 0).
 
 use crate::error::ParseError;
-use crate::event::{BlockId, TraceEvent};
+use crate::event::{BlockId, ThreadId, TraceEvent};
 use crate::trace::Trace;
 
-const HEADER: &str = "dmxtrace v1";
+const HEADER_V1: &str = "dmxtrace v1";
+const HEADER_V2: &str = "dmxtrace v2";
+
+/// `true` when any event carries a non-zero thread id.
+fn is_threaded(trace: &Trace) -> bool {
+    trace
+        .iter()
+        .any(|ev| ev.thread_id().is_some_and(|tid| tid.0 != 0))
+}
 
 /// Serializes `trace` to the text format.
+///
+/// Single-threaded traces (all tids 0) serialize to the `v1` format,
+/// byte-identical to writers predating thread support; traces with any
+/// non-zero tid use the `v2` format carrying a tid per record.
 pub fn to_string(trace: &Trace) -> String {
+    let threaded = is_threaded(trace);
     let mut out = String::with_capacity(16 + trace.len() * 12);
-    out.push_str(HEADER);
+    out.push_str(if threaded { HEADER_V2 } else { HEADER_V1 });
     out.push(' ');
     out.push_str(trace.name());
     out.push('\n');
     for ev in trace {
         match *ev {
-            TraceEvent::Alloc { id, size } => {
-                out.push_str(&format!("a {} {}\n", id.0, size));
+            TraceEvent::Alloc { id, size, tid } => {
+                if threaded {
+                    out.push_str(&format!("a {} {} {}\n", id.0, size, tid.0));
+                } else {
+                    out.push_str(&format!("a {} {}\n", id.0, size));
+                }
             }
-            TraceEvent::Free { id } => {
-                out.push_str(&format!("f {}\n", id.0));
+            TraceEvent::Free { id, tid } => {
+                if threaded {
+                    out.push_str(&format!("f {} {}\n", id.0, tid.0));
+                } else {
+                    out.push_str(&format!("f {}\n", id.0));
+                }
             }
-            TraceEvent::Access { id, reads, writes } => {
-                out.push_str(&format!("r {} {} {}\n", id.0, reads, writes));
+            TraceEvent::Access {
+                id,
+                reads,
+                writes,
+                tid,
+            } => {
+                if threaded {
+                    out.push_str(&format!("r {} {} {} {}\n", id.0, reads, writes, tid.0));
+                } else {
+                    out.push_str(&format!("r {} {} {}\n", id.0, reads, writes));
+                }
             }
             TraceEvent::Tick { cycles } => {
                 out.push_str(&format!("k {cycles}\n"));
@@ -45,24 +91,30 @@ pub fn to_string(trace: &Trace) -> String {
     out
 }
 
-/// Parses a trace from the text format.
+/// Parses a trace from the text format (`v1` or `v2` header).
 ///
 /// # Errors
 ///
-/// [`ParseError::BadHeader`] if the first line is not a `dmxtrace v1`
-/// header; [`ParseError::Malformed`] (with a 1-based line number) for a
-/// syntactically bad line; [`ParseError::Invalid`] if the events violate
-/// trace well-formedness.
+/// [`ParseError::BadHeader`] if the first line is not a `dmxtrace v1` or
+/// `dmxtrace v2` header; [`ParseError::Malformed`] (with a 1-based line
+/// number) for a syntactically bad line; [`ParseError::Invalid`] if the
+/// events violate trace well-formedness.
 pub fn from_str(input: &str) -> Result<Trace, ParseError> {
     let mut lines = input.lines().enumerate();
-    let name = match lines.next() {
+    let (name, v2) = match lines.next() {
         Some((_, first)) => {
-            let rest = first.strip_prefix(HEADER).ok_or(ParseError::BadHeader)?;
+            let (rest, v2) = match first.strip_prefix(HEADER_V2) {
+                Some(rest) => (rest, true),
+                None => (
+                    first.strip_prefix(HEADER_V1).ok_or(ParseError::BadHeader)?,
+                    false,
+                ),
+            };
             let name = rest.trim();
             if name.is_empty() {
                 return Err(ParseError::BadHeader);
             }
-            name.to_owned()
+            (name.to_owned(), v2)
         }
         None => return Err(ParseError::BadHeader),
     };
@@ -80,14 +132,17 @@ pub fn from_str(input: &str) -> Result<Trace, ParseError> {
             "a" => TraceEvent::Alloc {
                 id: BlockId(parse_u64(fields.next(), at, "alloc id")?),
                 size: parse_u32(fields.next(), at, "alloc size")?,
+                tid: parse_tid(&mut fields, v2, at)?,
             },
             "f" => TraceEvent::Free {
                 id: BlockId(parse_u64(fields.next(), at, "free id")?),
+                tid: parse_tid(&mut fields, v2, at)?,
             },
             "r" => TraceEvent::Access {
                 id: BlockId(parse_u64(fields.next(), at, "access id")?),
                 reads: parse_u32(fields.next(), at, "access reads")?,
                 writes: parse_u32(fields.next(), at, "access writes")?,
+                tid: parse_tid(&mut fields, v2, at)?,
             },
             "k" => TraceEvent::Tick {
                 cycles: parse_u32(fields.next(), at, "tick cycles")?,
@@ -128,6 +183,25 @@ fn parse_u32(field: Option<&str>, at: usize, what: &str) -> Result<u32, ParseErr
         })
 }
 
+/// The optional trailing thread-id field: only `v2` records may carry one,
+/// and a missing tid defaults to 0 in both versions.
+fn parse_tid(
+    fields: &mut std::str::SplitAsciiWhitespace<'_>,
+    v2: bool,
+    at: usize,
+) -> Result<ThreadId, ParseError> {
+    if !v2 {
+        return Ok(ThreadId::MAIN);
+    }
+    match fields.next() {
+        None => Ok(ThreadId::MAIN),
+        Some(f) => f.parse().map(ThreadId).map_err(|_| ParseError::Malformed {
+            at,
+            what: "invalid thread id".to_owned(),
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,17 +210,23 @@ mod tests {
         Trace::from_events(
             "sample",
             vec![
-                TraceEvent::Alloc {
-                    id: BlockId(1),
-                    size: 74,
-                },
-                TraceEvent::Access {
-                    id: BlockId(1),
-                    reads: 3,
-                    writes: 1,
-                },
-                TraceEvent::Tick { cycles: 42 },
-                TraceEvent::Free { id: BlockId(1) },
+                TraceEvent::alloc(BlockId(1), 74),
+                TraceEvent::access(BlockId(1), 3, 1),
+                TraceEvent::tick(42),
+                TraceEvent::free(BlockId(1)),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn threaded_sample() -> Trace {
+        Trace::from_events(
+            "threaded",
+            vec![
+                TraceEvent::alloc_on(ThreadId(1), BlockId(1), 74),
+                TraceEvent::access_on(ThreadId(1), BlockId(1), 3, 1),
+                TraceEvent::tick(42),
+                TraceEvent::free_on(ThreadId(2), BlockId(1)),
             ],
         )
         .unwrap()
@@ -162,10 +242,65 @@ mod tests {
     }
 
     #[test]
+    fn single_threaded_traces_serialize_as_v1() {
+        let s = to_string(&sample());
+        assert!(s.starts_with("dmxtrace v1 sample\n"));
+        assert_eq!(s, "dmxtrace v1 sample\na 1 74\nr 1 3 1\nk 42\nf 1\n");
+    }
+
+    #[test]
+    fn threaded_roundtrip_uses_v2() {
+        let t = threaded_sample();
+        let s = to_string(&t);
+        assert!(s.starts_with("dmxtrace v2 threaded\n"));
+        assert_eq!(
+            s,
+            "dmxtrace v2 threaded\na 1 74 1\nr 1 3 1 1\nk 42\nf 1 2\n"
+        );
+        let back = from_str(&s).unwrap();
+        assert_eq!(back.events(), t.events());
+    }
+
+    #[test]
+    fn v1_reads_default_to_tid_zero() {
+        let t = from_str("dmxtrace v1 t\na 1 8\nf 1\n").unwrap();
+        assert!(t
+            .iter()
+            .all(|ev| ev.thread_id().is_none_or(|tid| tid == ThreadId::MAIN)));
+    }
+
+    #[test]
+    fn v2_tid_field_is_optional() {
+        let t = from_str("dmxtrace v2 t\na 1 8\nf 1 3\n").unwrap();
+        assert_eq!(t.events()[0].thread_id(), Some(ThreadId::MAIN));
+        assert_eq!(t.events()[1].thread_id(), Some(ThreadId(3)));
+    }
+
+    #[test]
+    fn v1_rejects_tid_field_as_trailing() {
+        let err = from_str("dmxtrace v1 t\na 1 8 2\n").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { .. }));
+    }
+
+    #[test]
+    fn v2_rejects_bad_tid() {
+        let err = from_str("dmxtrace v2 t\na 1 8 zap\n").unwrap_err();
+        match err {
+            ParseError::Malformed { at, what } => {
+                assert_eq!(at, 2);
+                assert!(what.contains("thread id"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
     fn header_required() {
         assert_eq!(from_str(""), Err(ParseError::BadHeader));
         assert_eq!(from_str("not a header\n"), Err(ParseError::BadHeader));
         assert_eq!(from_str("dmxtrace v1 \n"), Err(ParseError::BadHeader));
+        assert_eq!(from_str("dmxtrace v2 \n"), Err(ParseError::BadHeader));
+        assert_eq!(from_str("dmxtrace v3 t\n"), Err(ParseError::BadHeader));
     }
 
     #[test]
@@ -195,6 +330,8 @@ mod tests {
     #[test]
     fn trailing_fields_rejected() {
         let err = from_str("dmxtrace v1 t\nf 1 9\n").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { .. }));
+        let err = from_str("dmxtrace v2 t\nf 1 9 9\n").unwrap_err();
         assert!(matches!(err, ParseError::Malformed { .. }));
     }
 

@@ -67,7 +67,7 @@ impl Trace {
     pub fn push(&mut self, event: TraceEvent) -> Result<(), TraceError> {
         let at = self.events.len();
         match event {
-            TraceEvent::Alloc { id, size } => {
+            TraceEvent::Alloc { id, size, .. } => {
                 if size == 0 {
                     return Err(TraceError::ZeroSizeAlloc { at, id });
                 }
@@ -78,7 +78,7 @@ impl Trace {
                 self.live_bytes += u64::from(size);
                 self.peak_live_bytes = self.peak_live_bytes.max(self.live_bytes);
             }
-            TraceEvent::Free { id } => match self.live.remove(&id) {
+            TraceEvent::Free { id, .. } => match self.live.remove(&id) {
                 Some(size) => self.live_bytes -= u64::from(size),
                 None => return Err(TraceError::FreeOfDeadBlock { at, id }),
             },
@@ -163,13 +163,10 @@ mod tests {
     use super::*;
 
     fn alloc(id: u64, size: u32) -> TraceEvent {
-        TraceEvent::Alloc {
-            id: BlockId(id),
-            size,
-        }
+        TraceEvent::alloc(BlockId(id), size)
     }
     fn free(id: u64) -> TraceEvent {
-        TraceEvent::Free { id: BlockId(id) }
+        TraceEvent::free(BlockId(id))
     }
 
     #[test]
@@ -225,13 +222,7 @@ mod tests {
     #[test]
     fn access_to_dead_block_rejected() {
         let mut t = Trace::new("t");
-        let err = t
-            .push(TraceEvent::Access {
-                id: BlockId(1),
-                reads: 1,
-                writes: 0,
-            })
-            .unwrap_err();
+        let err = t.push(TraceEvent::access(BlockId(1), 1, 0)).unwrap_err();
         assert_eq!(
             err,
             TraceError::AccessToDeadBlock {
@@ -265,9 +256,9 @@ mod tests {
     #[test]
     fn ticks_do_not_affect_live_accounting() {
         let mut t = Trace::new("t");
-        t.push(TraceEvent::Tick { cycles: 100 }).unwrap();
+        t.push(TraceEvent::tick(100)).unwrap();
         t.push(alloc(1, 8)).unwrap();
-        t.push(TraceEvent::Tick { cycles: 100 }).unwrap();
+        t.push(TraceEvent::tick(100)).unwrap();
         assert_eq!(t.peak_live_bytes(), 8);
         assert_eq!(t.len(), 3);
     }

@@ -14,7 +14,7 @@ use dmx_alloc::{
     SimMetrics, Simulator, SplitPolicy,
 };
 use dmx_memhier::MemoryHierarchy;
-use dmx_trace::gen::{EasyportConfig, SyntheticConfig, TraceGenerator, VtcConfig};
+use dmx_trace::gen::{EasyportConfig, ServerMixConfig, SyntheticConfig, TraceGenerator, VtcConfig};
 use dmx_trace::{CompiledTrace, Trace};
 
 /// The pinned digest of one (workload, configuration) simulation.
@@ -327,6 +327,7 @@ fn fixture_trace(name: &str) -> Trace {
         "easyport" => EasyportConfig::small().generate(11),
         "vtc" => VtcConfig::small().generate(3),
         "churn" => SyntheticConfig::uniform_churn(800).generate(9),
+        "server" => ServerMixConfig::small().generate(17),
         other => panic!("unknown fixture trace `{other}`"),
     }
 }
@@ -464,6 +465,259 @@ fn all_pool_kinds_reproduce_pre_refactor_metrics_on_every_path() {
     );
 }
 
+/// The pinned digest of one (threaded workload, configuration)
+/// simulation, including the contention-model outputs. Kept as a
+/// separate table from [`GOLDENS`]: those pin the *pre-refactor,
+/// single-threaded* numbers (where both contention fields must stay 0),
+/// while these pin the threaded server-mix behaviour — per-pool stall
+/// charges and the p99 tail-latency proxy — per pool kind.
+struct ServerGolden {
+    case: &'static str,
+    allocs: u64,
+    frees: u64,
+    failures: u64,
+    ops: u64,
+    footprint: u64,
+    footprint_per_level: [u64; 2],
+    energy_pj: u64,
+    cycles: u64,
+    peak_internal_frag: u64,
+    contention_stalls: u64,
+    tail_latency: u64,
+    counters: [(u64, u64); 2],
+    meta_counters: [(u64, u64); 2],
+}
+
+impl ServerGolden {
+    fn assert_matches(&self, m: &SimMetrics, path: &str) {
+        let ctx = format!("{} via {path}", self.case);
+        assert_eq!(m.allocs, self.allocs, "{ctx}: allocs");
+        assert_eq!(m.frees, self.frees, "{ctx}: frees");
+        assert_eq!(m.failures, self.failures, "{ctx}: failures");
+        assert_eq!(m.ops, self.ops, "{ctx}: ops");
+        assert_eq!(m.footprint, self.footprint, "{ctx}: footprint");
+        assert_eq!(
+            m.footprint_per_level, self.footprint_per_level,
+            "{ctx}: footprint per level"
+        );
+        assert_eq!(m.energy_pj, self.energy_pj, "{ctx}: energy");
+        assert_eq!(m.cycles, self.cycles, "{ctx}: cycles");
+        assert_eq!(
+            m.peak_internal_frag, self.peak_internal_frag,
+            "{ctx}: internal fragmentation"
+        );
+        assert_eq!(
+            m.contention_stalls, self.contention_stalls,
+            "{ctx}: contention stalls"
+        );
+        assert_eq!(m.tail_latency, self.tail_latency, "{ctx}: tail latency");
+        let counters: Vec<(u64, u64)> = m
+            .counters
+            .iter()
+            .map(|(_, c)| (c.reads, c.writes))
+            .collect();
+        assert_eq!(counters, self.counters, "{ctx}: per-level accesses");
+        let meta: Vec<(u64, u64)> = m
+            .meta_counters
+            .iter()
+            .map(|(_, c)| (c.reads, c.writes))
+            .collect();
+        assert_eq!(meta, self.meta_counters, "{ctx}: per-level meta accesses");
+    }
+}
+
+/// Captured from `Simulator::run_reference` on the server-mix fixture
+/// (`ServerMixConfig::small()`, seed 17) when the contention model
+/// landed; one case per pool kind. Note the composite case: routing
+/// splits ops across five pools, so its per-pool contention windows see
+/// different thread interleavings and charge *fewer* stalls than the
+/// single-pool configurations — the signal the contention objectives
+/// exist to expose.
+const SERVER_GOLDENS: &[ServerGolden] = &[
+    ServerGolden {
+        case: "server/general",
+        allocs: 6123,
+        frees: 6123,
+        failures: 0,
+        ops: 12246,
+        footprint: 622880,
+        footprint_per_level: [0, 622880],
+        energy_pj: 372250120,
+        cycles: 10639260,
+        peak_internal_frag: 420880,
+        contention_stalls: 1903960,
+        tail_latency: 212,
+        counters: [(0, 0), (96896, 141091)],
+        meta_counters: [(0, 0), (19340, 30811)],
+    },
+    ServerGolden {
+        case: "server/fixed+general",
+        allocs: 6123,
+        frees: 6123,
+        failures: 0,
+        ops: 12246,
+        footprint: 155744,
+        footprint_per_level: [0, 155744],
+        energy_pj: 471590082,
+        cycles: 11854696,
+        peak_internal_frag: 680,
+        contention_stalls: 1903960,
+        tail_latency: 212,
+        counters: [(0, 0), (135898, 166761)],
+        meta_counters: [(0, 0), (58342, 56481)],
+    },
+    ServerGolden {
+        case: "server/segregated",
+        allocs: 6123,
+        frees: 6123,
+        failures: 0,
+        ops: 12246,
+        footprint: 167936,
+        footprint_per_level: [0, 167936],
+        energy_pj: 349688072,
+        cycles: 10361262,
+        peak_internal_frag: 6240,
+        contention_stalls: 1903960,
+        tail_latency: 212,
+        counters: [(0, 0), (95215, 128704)],
+        meta_counters: [(0, 0), (17659, 18424)],
+    },
+    ServerGolden {
+        case: "server/buddy",
+        allocs: 6123,
+        frees: 6123,
+        failures: 0,
+        ops: 12246,
+        footprint: 524288,
+        footprint_per_level: [0, 524288],
+        energy_pj: 439153143,
+        cycles: 11460148,
+        peak_internal_frag: 116448,
+        contention_stalls: 1903960,
+        tail_latency: 212,
+        counters: [(0, 0), (114612, 166191)],
+        meta_counters: [(0, 0), (37056, 55911)],
+    },
+    ServerGolden {
+        case: "server/region",
+        allocs: 6123,
+        frees: 6123,
+        failures: 0,
+        ops: 12246,
+        footprint: 3989504,
+        footprint_per_level: [0, 3989504],
+        energy_pj: 333242733,
+        cycles: 10159768,
+        peak_internal_frag: 0,
+        contention_stalls: 1903960,
+        tail_latency: 212,
+        counters: [(0, 0), (89802, 123501)],
+        meta_counters: [(0, 0), (12246, 13221)],
+    },
+    ServerGolden {
+        case: "server/composite",
+        allocs: 6123,
+        frees: 6123,
+        failures: 0,
+        ops: 12246,
+        footprint: 184408,
+        footprint_per_level: [0, 184408],
+        energy_pj: 430523014,
+        cycles: 11330566,
+        peak_internal_frag: 16608,
+        contention_stalls: 1884320,
+        tail_latency: 212,
+        counters: [(0, 0), (127273, 149299)],
+        meta_counters: [(0, 0), (49717, 39019)],
+    },
+];
+
+/// Every server-mix golden case via every replay path: the threaded
+/// contention charges — not just the classic counters — reproduce
+/// exactly through the slab kernel, the batch kernel and the hash-map
+/// reference interpreter.
+#[test]
+fn server_mix_reproduces_pinned_threaded_metrics_on_every_path() {
+    let hier = dmx_memhier::presets::sp64k_dram4m();
+    let sim = Simulator::new(&hier);
+    let mut arena = SimArena::new();
+    let trace = fixture_trace("server");
+    let compiled = CompiledTrace::compile(&trace);
+    assert!(
+        compiled.is_threaded(),
+        "the server fixture must be threaded"
+    );
+    for golden in SERVER_GOLDENS {
+        let (_, config_name) = golden.case.split_once('/').expect("case format");
+        let config = fixture_config(config_name, &hier);
+
+        let reference = sim.run_reference(&config, &trace).unwrap();
+        golden.assert_matches(&reference, "run_reference (hash-map oracle)");
+
+        let kernel = sim.run_compiled(&config, &compiled).unwrap();
+        golden.assert_matches(&kernel, "run_compiled (slab kernel)");
+
+        let arena_run = sim.run_in_arena(&config, &compiled, &mut arena).unwrap();
+        golden.assert_matches(&arena_run, "run_in_arena (shared worker arena)");
+
+        let lanes = [config.clone(), config];
+        let batch = sim
+            .run_batch_in_arena(&lanes, &compiled, &mut arena)
+            .unwrap();
+        for metrics in &batch {
+            golden.assert_matches(metrics, "run_batch_in_arena (batch kernel)");
+        }
+    }
+}
+
+/// A guided search over the threaded server-mix trace, ranked on the
+/// contention-model objectives, must be byte-identical at both extreme
+/// worker counts (what `DMX_THREADS=1` and `DMX_THREADS=8` select): the
+/// contention charges are a pure function of the trace's op/tid streams,
+/// never of the evaluation parallelism.
+#[test]
+fn threaded_trace_search_is_deterministic_across_worker_counts() {
+    use dmx_core::export::search_to_json;
+    use dmx_core::search::GeneticSearch;
+    use dmx_core::{Explorer, Objective, ParamSpace};
+    use dmx_trace::TraceStats;
+
+    let hier = dmx_memhier::presets::sp64k_dram4m();
+    let trace = fixture_trace("server");
+    let space = ParamSpace::suggest(&TraceStats::compute(&trace), &hier);
+    let strategy = GeneticSearch {
+        population: 8,
+        generations: 2,
+        mutation: 0.2,
+        seed: 2006,
+    };
+    let objectives = [Objective::TailLatency, Objective::ContentionStalls];
+
+    let mut runs = Vec::new();
+    for threads in [1usize, 8] {
+        let outcome = Explorer::new(&hier).with_threads(threads).search(
+            &strategy,
+            &space,
+            &trace,
+            &objectives,
+        );
+        assert!(
+            outcome.front.points.iter().all(|p| p[0] > 0 && p[1] > 0),
+            "threads={threads}: a threaded trace must charge nonzero \
+             tail latency and stalls on every front point"
+        );
+        runs.push((
+            outcome.genomes.clone(),
+            outcome.front.points.clone(),
+            search_to_json(&outcome, &objectives),
+        ));
+    }
+    assert_eq!(
+        runs[0], runs[1],
+        "threaded-trace search drifted between 1 and 8 workers"
+    );
+}
+
 /// The golden table must cover every pool kind — a regression guard so a
 /// future pool addition extends this suite.
 #[test]
@@ -485,6 +739,20 @@ fn golden_suite_covers_every_pool_kind() {
         assert!(
             GOLDENS.iter().any(|g| g.case.starts_with(workload)),
             "no golden case for workload `{workload}`"
+        );
+    }
+    // The threaded table mirrors the pool-kind coverage.
+    for kind in [
+        "general",
+        "fixed+general",
+        "segregated",
+        "buddy",
+        "region",
+        "composite",
+    ] {
+        assert!(
+            SERVER_GOLDENS.iter().any(|g| g.case.ends_with(kind)),
+            "no server golden case for pool kind `{kind}`"
         );
     }
 }

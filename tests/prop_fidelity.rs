@@ -31,7 +31,7 @@ proptest! {
     fn prefix_of_full_fraction_is_the_identity(which in 0usize..3, seed in 0u64..1000) {
         let trace = workload(which, seed);
         let compiled = CompiledTrace::compile(&trace);
-        prop_assert_eq!(compiled.prefix(1.0), compiled);
+        prop_assert_eq!(compiled.prefix(1.0).unwrap(), compiled);
     }
 
     /// A prefix view equals a fresh compile of the truncated source
@@ -51,7 +51,7 @@ proptest! {
         let truncated = Trace::from_events(trace.name(), trace.events()[..cut].to_vec())
             .expect("a prefix of a valid trace is a valid trace");
         prop_assert_eq!(
-            compiled.prefix(fraction),
+            compiled.prefix(fraction).unwrap(),
             CompiledTrace::compile(&truncated),
             "fraction {} of `{}`",
             fraction,
@@ -87,7 +87,9 @@ proptest! {
                 SplitPolicy::Never,
             ),
         ] {
-            let via_prefix = sim.run_compiled(&config, &compiled.prefix(fraction)).unwrap();
+            let via_prefix = sim
+                .run_compiled(&config, &compiled.prefix(fraction).unwrap())
+                .unwrap();
             let via_truncated = sim.run(&config, &truncated).unwrap();
             prop_assert_eq!(
                 via_prefix,
